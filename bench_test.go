@@ -1,0 +1,252 @@
+package quantilelb_test
+
+// Benchmark harness: one benchmark per reproduced figure/claim (E1–E12 in
+// DESIGN.md) plus update/query micro-benchmarks for every summary. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks use reduced parameters so a full sweep stays in
+// the range of seconds per benchmark; cmd/experiments runs the full-size
+// versions and EXPERIMENTS.md records their output.
+
+import (
+	"fmt"
+	"testing"
+
+	quantilelb "quantilelb"
+	"quantilelb/internal/experiments"
+	"quantilelb/internal/stream"
+)
+
+// --- micro-benchmarks: summary update and query throughput ---------------
+
+func benchmarkUpdate(b *testing.B, mk func() quantilelb.Summary, workload string) {
+	gen := stream.NewGenerator(1)
+	st, err := gen.ByName(workload, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := st.Items()
+	s := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(items[i%len(items)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.StoredCount()), "items_stored")
+}
+
+func BenchmarkGKUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewGK(0.01) }, "shuffled")
+}
+
+func BenchmarkGKUpdateSorted(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewGK(0.01) }, "sorted")
+}
+
+func BenchmarkGKGreedyUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewGKGreedy(0.01) }, "shuffled")
+}
+
+func BenchmarkMRLUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewMRL(0.01, 10_000_000) }, "shuffled")
+}
+
+func BenchmarkKLLUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewKLL(0.01, 1) }, "shuffled")
+}
+
+func BenchmarkReservoirUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewReservoir(0.01, 0.01, 1) }, "shuffled")
+}
+
+func BenchmarkBiasedUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewBiased(0.01) }, "shuffled")
+}
+
+func benchmarkQuery(b *testing.B, mk func() quantilelb.Summary) {
+	gen := stream.NewGenerator(2)
+	st := gen.Uniform(200_000)
+	s := mk()
+	st.Each(s.Update)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := float64(i%1000) / 1000
+		if _, ok := s.Query(phi); !ok {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+func BenchmarkGKQuery(b *testing.B) {
+	benchmarkQuery(b, func() quantilelb.Summary { return quantilelb.NewGK(0.01) })
+}
+
+func BenchmarkKLLQuery(b *testing.B) {
+	benchmarkQuery(b, func() quantilelb.Summary { return quantilelb.NewKLL(0.01, 1) })
+}
+
+func BenchmarkBiasedQuery(b *testing.B) {
+	benchmarkQuery(b, func() quantilelb.Summary { return quantilelb.NewBiased(0.01) })
+}
+
+func BenchmarkGKEstimateRank(b *testing.B) {
+	gen := stream.NewGenerator(3)
+	st := gen.Uniform(200_000)
+	s := quantilelb.NewGK(0.01)
+	st.Each(s.Update)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EstimateRank(float64(i%1000) / 1000)
+	}
+}
+
+// Sweep GK update cost across eps to expose the space/time trade-off.
+func BenchmarkGKUpdateEpsSweep(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.01, 0.001} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewGK(eps) }, "shuffled")
+		})
+	}
+}
+
+// --- experiment benchmarks: one per reproduced figure / claim -------------
+
+// BenchmarkFigure1Gap regenerates E1 (Figure 1).
+func BenchmarkFigure1Gap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Construction regenerates E2 (Figure 2: eps=1/6, k=3).
+func BenchmarkFigure2Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem22LowerBound regenerates E3 (space vs k) at reduced size.
+func BenchmarkTheorem22LowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Theorem22([]float64{1.0 / 32}, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLemma34GapBound regenerates E4.
+func BenchmarkLemma34GapBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lemma34(1.0/32, 6, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClaim1GapAdditivity regenerates E5.
+func BenchmarkClaim1GapAdditivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Claim1(1.0/32, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceGapInequality regenerates E6.
+func BenchmarkSpaceGapInequality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SpaceGap(1.0/32, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGKSandwich regenerates E7.
+func BenchmarkGKSandwich(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sandwich(1.0/32, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMedianCorollary regenerates E8 (Theorem 6.1).
+func BenchmarkMedianCorollary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MedianCorollary(1.0/32, 6, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankCorollary regenerates E9 (Theorem 6.2).
+func BenchmarkRankCorollary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RankCorollary(1.0/32, 6, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBiasedCorollary regenerates E10 (Theorem 6.5).
+func BenchmarkBiasedCorollary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BiasedCorollary(1.0/32, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomizedAdversary regenerates E11 (Section 6.3 / Theorem 6.4).
+func BenchmarkRandomizedAdversary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RandomizedAdversary(1.0/32, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummaryComparison regenerates E12 (cross-summary comparison) at
+// reduced size.
+func BenchmarkSummaryComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Compare(1.0/32, 20000, []string{"shuffled"}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation tables (A1–A3).
+func BenchmarkAblations(b *testing.B) {
+	p := experiments.QuickParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversaryVsGKScaling reports how the cost of the construction
+// itself scales with k (the construction is the paper's contribution, so its
+// own cost matters for reproducibility).
+func BenchmarkAdversaryVsGKScaling(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := quantilelb.RunLowerBound(quantilelb.TargetGK, 1.0/32, k, 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.MaxStored), "items_stored")
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates the reproduction tables (E1–E12 in
+// DESIGN.md) for the lower-bound paper and prints them as plain text.
+//
+// Usage:
+//
+//	experiments [-run <id|all>] [-quick] [-eps 0.03125] [-k 8] [-maxk 9]
+//	            [-cap 16] [-phases 6] [-n 100000]
+//
+// Examples:
+//
+//	experiments -run all -quick      # fast smoke run of every experiment
+//	experiments -run thm2.2          # only the Theorem 2.2 space-growth table
+//	experiments -run fig2            # the Figure 2 construction trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quantilelb/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run: all, fig1, fig2, thm2.2, lemma3.4, claim1, spacegap, sandwich, median, rank, biased, randomized, compare, ablations")
+		quick  = flag.Bool("quick", false, "use small parameters (fast smoke run)")
+		eps    = flag.Float64("eps", 0, "accuracy parameter (0 = default)")
+		k      = flag.Int("k", 0, "recursion level for single-run experiments (0 = default)")
+		maxK   = flag.Int("maxk", 0, "largest recursion level for sweeps (0 = default)")
+		capC   = flag.Int("cap", 0, "capacity of the capped strawman summary (0 = default)")
+		phases = flag.Int("phases", 0, "phases of the biased-quantile construction (0 = default)")
+		n      = flag.Int("n", 0, "stream length for the cross-summary comparison (0 = default)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *quick {
+		p = experiments.QuickParams()
+	}
+	if *eps > 0 {
+		p.Eps = *eps
+	}
+	if *k > 0 {
+		p.K = *k
+	}
+	if *maxK > 0 {
+		p.MaxK = *maxK
+	}
+	if *capC > 0 {
+		p.CappedCapacity = *capC
+	}
+	if *phases > 0 {
+		p.BiasedPhases = *phases
+	}
+	if *n > 0 {
+		p.CompareN = *n
+	}
+
+	if err := runExperiments(strings.ToLower(*run), p); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, p experiments.Params) error {
+	print := func(t *experiments.Table, err error) error {
+		if t != nil {
+			fmt.Println(t.Render())
+		}
+		return err
+	}
+	switch which {
+	case "all":
+		tables, err := experiments.All(p)
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return err
+	case "fig1", "e1":
+		return print(experiments.Figure1())
+	case "fig2", "e2":
+		t, _, err := experiments.Figure2()
+		return print(t, err)
+	case "thm2.2", "e3":
+		return print(experiments.Theorem22([]float64{p.Eps, p.Eps / 2}, p.MaxK))
+	case "lemma3.4", "e4":
+		return print(experiments.Lemma34(p.Eps, p.K, p.CappedCapacity))
+	case "claim1", "e5":
+		return print(experiments.Claim1(p.Eps, p.K))
+	case "spacegap", "e6":
+		return print(experiments.SpaceGap(p.Eps, p.K))
+	case "sandwich", "e7":
+		return print(experiments.Sandwich(p.Eps, p.MaxK))
+	case "median", "e8":
+		return print(experiments.MedianCorollary(p.Eps, p.K, p.CappedCapacity))
+	case "rank", "e9":
+		return print(experiments.RankCorollary(p.Eps, p.K, p.CappedCapacity))
+	case "biased", "e10":
+		return print(experiments.BiasedCorollary(p.Eps, p.BiasedPhases))
+	case "randomized", "e11":
+		return print(experiments.RandomizedAdversary(p.Eps, p.K))
+	case "compare", "e12":
+		t, _, err := experiments.Compare(p.Eps, p.CompareN, p.CompareWorkloads, p.Seed)
+		return print(t, err)
+	case "ablations":
+		tables, err := experiments.Ablations(p)
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return err
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+}

@@ -1,0 +1,125 @@
+// Command lowerbound runs the adversarial construction of Cormode & Veselý
+// (PODS 2020) against a chosen quantile summary and reports the space it was
+// forced to use, the resulting gap, and — when the summary is too small —
+// the quantile query it gets wrong.
+//
+// Usage:
+//
+//	lowerbound [-summary gk|gk-greedy|capped|kll|reservoir|biased]
+//	           [-eps 0.03125] [-k 8] [-cap 16] [-seed 1] [-nodes] [-leaves]
+//
+// Examples:
+//
+//	lowerbound -summary gk -eps 0.03125 -k 10     # how much space GK is forced to use
+//	lowerbound -summary capped -cap 8 -k 8        # watch a too-small summary fail
+//	lowerbound -summary gk -eps 0.166666 -k 3 -leaves   # the paper's Figure 2 example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/capped"
+	"quantilelb/internal/core"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+)
+
+func main() {
+	var (
+		summaryName = flag.String("summary", "gk", "summary to attack: gk, gk-greedy, capped, kll, reservoir, biased")
+		eps         = flag.Float64("eps", 1.0/32, "accuracy parameter of the summary")
+		k           = flag.Int("k", 8, "recursion level (stream length is (1/eps)*2^k)")
+		capacity    = flag.Int("cap", 16, "capacity for -summary capped / reservoir")
+		seed        = flag.Int64("seed", 1, "seed for randomized summaries (fixed seed = deterministic)")
+		showNodes   = flag.Bool("nodes", false, "print the per-node gap and space-gap inequality report")
+		showLeaves  = flag.Bool("leaves", false, "print the per-leaf construction trace (Figure 2 style)")
+	)
+	flag.Parse()
+
+	uni := universe.NewRational()
+	cmp := uni.Comparator()
+	var factory func() summary.Summary[*big.Rat]
+	switch *summaryName {
+	case "gk":
+		factory = func() summary.Summary[*big.Rat] { return gk.New(cmp, *eps) }
+	case "gk-greedy":
+		factory = func() summary.Summary[*big.Rat] { return gk.NewGreedy(cmp, *eps) }
+	case "capped":
+		factory = func() summary.Summary[*big.Rat] { return capped.New(cmp, *capacity) }
+	case "kll":
+		factory = func() summary.Summary[*big.Rat] {
+			return kll.New(cmp, kll.KForEpsilon(*eps), kll.WithSeed(*seed))
+		}
+	case "reservoir":
+		factory = func() summary.Summary[*big.Rat] { return sampling.New(cmp, *capacity, *seed) }
+	case "biased":
+		factory = func() summary.Summary[*big.Rat] { return biased.New(cmp, *eps) }
+	default:
+		fmt.Fprintf(os.Stderr, "lowerbound: unknown summary %q\n", *summaryName)
+		os.Exit(2)
+	}
+
+	adv := &core.Adversary[*big.Rat]{
+		Uni:          uni,
+		Cmp:          cmp,
+		Eps:          *eps,
+		NewSummary:   factory,
+		RecordLeaves: *showLeaves,
+	}
+	res, err := adv.Run(*k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowerbound: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("adversarial construction against %q\n", *summaryName)
+	fmt.Printf("  eps            = %.6g\n", res.Eps)
+	fmt.Printf("  k              = %d\n", res.K)
+	fmt.Printf("  stream length  = %d\n", res.N)
+	fmt.Printf("  max stored     = %d items (pi), %d items (rho)\n", res.MaxStoredPi, res.MaxStoredRho)
+	fmt.Printf("  final stored   = %d items\n", res.FinalStoredPi)
+	fmt.Printf("  lower bound    = %.1f items (Theorem 2.2, c = 1/8 - 2eps)\n", res.LowerBound)
+	fmt.Printf("  GK upper bound = %.1f items\n", gk.UpperBoundSize(res.Eps, res.N))
+	fmt.Printf("  gap(pi, rho)   = %d (bound 2*eps*N = %.1f)\n", res.Gap, res.GapBound)
+	fmt.Printf("  sizes agree    = %v\n", res.SizesAgree)
+	fmt.Printf("  claim 1 violations    = %d / %d nodes\n", res.Claim1Violations, len(res.Nodes))
+	fmt.Printf("  space-gap violations  = %d / %d nodes\n", res.SpaceGapViolations, len(res.Nodes))
+
+	if res.Witness != nil {
+		w := res.Witness
+		fmt.Printf("\nLemma 3.4 failure witness:\n")
+		fmt.Printf("  query phi      = %.4f (target rank %d)\n", w.Phi, w.TargetRank)
+		fmt.Printf("  rank on pi     = %d (error %d)\n", w.RankInPi, w.ErrPi)
+		fmt.Printf("  rank on rho    = %d (error %d)\n", w.RankInRho, w.ErrRho)
+		fmt.Printf("  allowed error  = %.1f\n", w.AllowedError)
+		fmt.Printf("  fails          = %v\n", w.Exceeds())
+	} else {
+		fmt.Printf("\nno failure witness: the summary kept the gap within 2*eps*N\n")
+	}
+
+	if *showNodes {
+		fmt.Printf("\nper-node report (post-order):\n")
+		fmt.Printf("%-6s %-6s %-8s %-6s %-6s %-6s %-8s %-10s %-8s\n",
+			"level", "depth", "N_k", "g", "g'", "g''", "S_k", "RHS", "holds")
+		for _, n := range res.Nodes {
+			fmt.Printf("%-6d %-6d %-8d %-6d %-6d %-6d %-8d %-10.2f %-8v\n",
+				n.Level, n.Depth, n.Items, n.Gap, n.GapLeft, n.GapRight,
+				n.RestrictedStored, n.SpaceGapRHS, n.SpaceGapOK && n.Claim1OK)
+		}
+	}
+
+	if *showLeaves {
+		fmt.Printf("\nper-leaf trace:\n")
+		for _, leaf := range res.Leaves {
+			fmt.Printf("  leaf %d: %d items so far, stored %d (pi) / %d (rho)\n",
+				leaf.LeafIndex, leaf.TotalItems, len(leaf.StoredPi), len(leaf.StoredRho))
+		}
+	}
+}

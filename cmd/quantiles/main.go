@@ -1,0 +1,137 @@
+// Command quantiles builds a streaming quantile summary over numbers read
+// from standard input (one per line) or a generated workload, and prints the
+// requested quantiles, an equi-depth histogram, and the summary's footprint.
+//
+// Usage:
+//
+//	quantiles [-summary gk|gk-greedy|mrl|kll|reservoir|biased] [-eps 0.01]
+//	          [-q 0.5,0.9,0.99] [-hist 0] [-workload uniform -n 100000]
+//
+// Examples:
+//
+//	shuf -i 1-1000000 | quantiles -eps 0.001 -q 0.5,0.99,0.999
+//	quantiles -workload lognormal -n 500000 -summary kll -hist 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/histogram"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/order"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+)
+
+func main() {
+	var (
+		summaryName = flag.String("summary", "gk", "summary type: gk, gk-greedy, mrl, kll, reservoir, biased")
+		eps         = flag.Float64("eps", 0.01, "accuracy parameter")
+		quantiles   = flag.String("q", "0.5,0.9,0.95,0.99", "comma-separated quantiles to report")
+		histBuckets = flag.Int("hist", 0, "if positive, print an equi-depth histogram with this many buckets")
+		workload    = flag.String("workload", "", "generate a workload instead of reading stdin: "+strings.Join(stream.WorkloadNames(), ", "))
+		n           = flag.Int("n", 100000, "number of items for -workload")
+		seed        = flag.Int64("seed", 1, "seed for -workload and randomized summaries")
+		maxN        = flag.Int("maxn", 10_000_000, "declared maximum stream length (mrl only)")
+	)
+	flag.Parse()
+
+	s, err := buildSummary(*summaryName, *eps, *seed, *maxN)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+		os.Exit(2)
+	}
+
+	count := 0
+	if *workload != "" {
+		st, err := stream.NewGenerator(*seed).ByName(*workload, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+			os.Exit(2)
+		}
+		st.Each(func(x float64) { s.Update(x) })
+		count = st.Len()
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quantiles: skipping %q: %v\n", line, err)
+				continue
+			}
+			s.Update(x)
+			count++
+		}
+		if err := scanner.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: reading input: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if count == 0 {
+		fmt.Fprintln(os.Stderr, "quantiles: no input items")
+		os.Exit(1)
+	}
+
+	fmt.Printf("items processed : %d\n", count)
+	fmt.Printf("items stored    : %d (%.4f%% of the stream)\n", s.StoredCount(),
+		100*float64(s.StoredCount())/float64(count))
+	for _, part := range strings.Split(*quantiles, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: bad quantile %q: %v\n", part, err)
+			continue
+		}
+		if v, ok := s.Query(phi); ok {
+			fmt.Printf("q%-7s         : %g\n", strings.TrimPrefix(part, "0"), v)
+		}
+	}
+
+	if *histBuckets > 0 {
+		h, err := histogram.Build[float64](s, *histBuckets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantiles: histogram: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nequi-depth histogram (%d buckets):\n", *histBuckets)
+		fmt.Print(h.Render(func(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }, 40))
+	}
+}
+
+func buildSummary(name string, eps float64, seed int64, maxN int) (summary.Summary[float64], error) {
+	cmp := order.Floats[float64]()
+	switch name {
+	case "gk":
+		return gk.NewWithPolicy(cmp, eps, gk.PolicyBands), nil
+	case "gk-greedy":
+		return gk.NewWithPolicy(cmp, eps, gk.PolicyGreedy), nil
+	case "mrl":
+		return mrl.New(cmp, eps, maxN), nil
+	case "kll":
+		return kll.New(cmp, kll.KForEpsilon(eps), kll.WithSeed(seed)), nil
+	case "reservoir":
+		return sampling.New(cmp, sampling.SizeForAccuracy(eps, 0.05), seed), nil
+	case "biased":
+		return biased.New(cmp, eps), nil
+	default:
+		return nil, fmt.Errorf("unknown summary %q", name)
+	}
+}

@@ -1,0 +1,68 @@
+// Distributed aggregation: the "balancing parallel computations" use case
+// from Section 1 of the paper. Data is spread over many workers; each builds
+// a small quantile summary locally, the summaries are merged at a
+// coordinator, and the merged summary drives range partitioning for the next
+// stage (each partition receives an approximately equal share of the data).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	quantilelb "quantilelb"
+)
+
+func main() {
+	const workers = 16
+	const perWorker = 125_000
+	const eps = 0.01
+	const partitions = 8
+
+	// Each worker sees a differently skewed slice of the key space, as happens
+	// when the upstream data is range- or time-partitioned.
+	coordinator := quantilelb.NewKLL(eps, 999)
+	var all []float64
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		local := quantilelb.NewKLL(eps, int64(w+1))
+		for i := 0; i < perWorker; i++ {
+			// Worker w's keys concentrate around w*100 with a long tail.
+			x := float64(w*100) + rng.ExpFloat64()*50
+			local.Update(x)
+			all = append(all, x)
+		}
+		// Ship only the sketch (a few hundred items), not the raw data.
+		if err := coordinator.Merge(local); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Printf("%d workers x %d items = %d total items\n", workers, perWorker, workers*perWorker)
+	fmt.Printf("coordinator sketch holds %d items (%.4f%% of the data)\n\n",
+		coordinator.StoredCount(), 100*float64(coordinator.StoredCount())/float64(workers*perWorker))
+
+	// Choose partition boundaries at the i/partitions quantiles.
+	boundaries := make([]float64, 0, partitions-1)
+	for i := 1; i < partitions; i++ {
+		b, _ := coordinator.Query(float64(i) / float64(partitions))
+		boundaries = append(boundaries, b)
+	}
+	fmt.Printf("partition boundaries: %.1f\n\n", boundaries)
+
+	// Verify balance against the raw data.
+	sort.Float64s(all)
+	prev := 0
+	fmt.Printf("%-12s %-12s %-10s\n", "partition", "items", "share")
+	for i := 0; i <= len(boundaries); i++ {
+		hi := len(all)
+		if i < len(boundaries) {
+			hi = sort.SearchFloat64s(all, boundaries[i])
+		}
+		count := hi - prev
+		fmt.Printf("%-12d %-12d %-10.2f%%\n", i, count, 100*float64(count)/float64(len(all)))
+		prev = hi
+	}
+	fmt.Println("\neach partition receives close to an equal share, so the next parallel stage")
+	fmt.Println("is balanced — computed from mergeable sketches instead of a shuffle of the raw data.")
+}

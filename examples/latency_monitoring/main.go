@@ -1,0 +1,73 @@
+// Latency monitoring: the workload that motivates streaming quantile
+// summaries in practice. A service emits response times; we track p50/p95/p99
+// per window with a KLL sketch (tiny, mergeable) and detect a latency
+// regression between deployment windows with an approximate two-sample
+// Kolmogorov–Smirnov test built on the summaries — without ever storing the
+// raw latencies.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	quantilelb "quantilelb"
+)
+
+func main() {
+	const perWindow = 200_000
+	const eps = 0.005
+	rng := rand.New(rand.NewSource(7))
+
+	// Window A: healthy service. Log-normal latencies around ~20ms.
+	healthy := func() float64 { return math.Exp(3.0 + 0.5*rng.NormFloat64()) }
+	// Window B: a regression adds a slow dependency for 20% of requests.
+	degraded := func() float64 {
+		v := math.Exp(3.0 + 0.5*rng.NormFloat64())
+		if rng.Float64() < 0.2 {
+			v += math.Exp(4.5 + 0.3*rng.NormFloat64())
+		}
+		return v
+	}
+
+	windowA := quantilelb.NewKLL(eps, 1)
+	windowB := quantilelb.NewKLL(eps, 2)
+	for i := 0; i < perWindow; i++ {
+		windowA.Update(healthy())
+		windowB.Update(degraded())
+	}
+
+	report := func(name string, s quantilelb.Summary) {
+		p50, _ := s.Query(0.50)
+		p95, _ := s.Query(0.95)
+		p99, _ := s.Query(0.99)
+		fmt.Printf("%-18s p50 %7.1f ms   p95 %7.1f ms   p99 %7.1f ms   (stored %d of %d samples)\n",
+			name, p50, p95, p99, s.StoredCount(), s.Count())
+	}
+	fmt.Println("per-window latency profiles (KLL sketches):")
+	report("window A (before)", windowA)
+	report("window B (after)", windowB)
+
+	d := quantilelb.KSStatistic(windowA, windowB)
+	fmt.Printf("\napproximate Kolmogorov–Smirnov distance between windows: %.4f\n", d)
+	if d > 0.05 {
+		fmt.Println("-> distribution shift detected: the deployment changed the latency profile")
+	} else {
+		fmt.Println("-> no significant distribution shift detected")
+	}
+
+	// The same sketches merge across shards/replicas: simulate three replicas
+	// of window B and combine them.
+	merged := quantilelb.NewKLL(eps, 3)
+	for replica := 0; replica < 3; replica++ {
+		shard := quantilelb.NewKLL(eps, int64(10+replica))
+		for i := 0; i < perWindow/4; i++ {
+			shard.Update(degraded())
+		}
+		if err := merged.Merge(shard); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\nmerged view across 3 replicas of the degraded window:")
+	report("replicas merged", merged)
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a Greenwald–Khanna quantile summary over a stream of a
+// million values, query percentiles and ranks, estimate the CDF, and build an
+// equi-depth histogram — all in a few kilobytes of state instead of storing
+// the stream.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	quantilelb "quantilelb"
+)
+
+func main() {
+	const n = 1_000_000
+	const eps = 0.001 // rank error at most 0.1% of the stream length
+
+	// A long-tailed synthetic latency distribution (milliseconds).
+	rng := rand.New(rand.NewSource(42))
+	latency := func() float64 {
+		base := rng.ExpFloat64() * 20
+		if rng.Float64() < 0.01 {
+			base += 200 + rng.Float64()*800 // occasional slow requests
+		}
+		return base
+	}
+
+	s := quantilelb.NewGK(eps)
+	for i := 0; i < n; i++ {
+		s.Update(latency())
+	}
+
+	fmt.Printf("processed %d items, stored %d (%.4f%% of the stream)\n\n",
+		s.Count(), s.StoredCount(), 100*float64(s.StoredCount())/float64(s.Count()))
+
+	fmt.Println("percentiles:")
+	for _, phi := range []float64{0.50, 0.90, 0.95, 0.99, 0.999} {
+		if v, ok := s.Query(phi); ok {
+			fmt.Printf("  p%-5.4g = %8.2f ms\n", phi*100, v)
+		}
+	}
+
+	fmt.Println("\nrank queries (how many requests were at most this fast?):")
+	for _, q := range []float64{10, 50, 100, 500} {
+		fmt.Printf("  <= %6.1f ms : about %d requests\n", q, s.EstimateRank(q))
+	}
+
+	fmt.Println("\napproximate CDF:")
+	c := quantilelb.CDF(s)
+	for _, q := range []float64{10, 50, 100, 500} {
+		fmt.Printf("  F(%6.1f) = %.4f\n", q, c.Value(q))
+	}
+
+	fmt.Println("\nequi-depth histogram (8 buckets, ~equal populations):")
+	h, err := quantilelb.Histogram(s, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(h.Render(func(x float64) string { return fmt.Sprintf("%.2f", x) }, 40))
+
+	fmt.Println("\ntheoretical context (the reproduced paper):")
+	fmt.Printf("  lower bound (Theorem 2.2):  %.0f stored items\n", quantilelb.TheoreticalLowerBound(eps, n))
+	fmt.Printf("  GK upper bound:             %.0f stored items\n", quantilelb.GKUpperBound(eps, n))
+	fmt.Printf("  this run actually stored:   %d items\n", s.StoredCount())
+}

@@ -1,0 +1,215 @@
+package biased
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v should panic", eps)
+				}
+			}()
+			NewFloat64(eps)
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := NewFloat64(0.1)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if s.EstimateRank(1) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+	if s.Epsilon() != 0.1 {
+		t.Errorf("Epsilon = %v", s.Epsilon())
+	}
+}
+
+func feed(s *Summary[float64], items []float64) {
+	for _, x := range items {
+		s.Update(x)
+	}
+}
+
+func TestRelativeErrorGuarantee(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	n := 20000
+	for _, name := range []string{"sorted", "reverse", "shuffled", "uniform", "lognormal"} {
+		for _, eps := range []float64{0.1, 0.05} {
+			st, err := gen.ByName(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewFloat64(eps)
+			feed(s, st.Items())
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("%s eps=%v: %v", name, eps, err)
+			}
+			oracle := rank.Float64Oracle(st.Items())
+			// Check quantiles across several orders of magnitude of phi,
+			// which is where the relative-error guarantee matters.
+			for _, phi := range []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0} {
+				got, ok := s.Query(phi)
+				if !ok {
+					t.Fatalf("query failed")
+				}
+				target := rank.QuantileRank(n, phi)
+				errRank := oracle.RankError(got, phi)
+				allowed := eps*(1+2*eps)*float64(target) + 2
+				if float64(errRank) > allowed {
+					t.Errorf("%s eps=%v phi=%v: rank error %d, allowed %.1f (target rank %d)",
+						name, eps, phi, errRank, allowed, target)
+				}
+			}
+		}
+	}
+}
+
+func TestLowQuantilesAreNearlyExact(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	n := 50000
+	st := gen.Shuffled(n)
+	s := NewFloat64(0.1)
+	feed(s, st.Items())
+	oracle := rank.Float64Oracle(st.Items())
+	// phi = 10/n: allowed error is about eps*10 = 1 item.
+	phi := 10.0 / float64(n)
+	got, _ := s.Query(phi)
+	if err := oracle.RankError(got, phi); err > 3 {
+		t.Errorf("low quantile error %d, want <= 3", err)
+	}
+}
+
+func TestSpaceGrowsModerately(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	n := 100000
+	eps := 0.05
+	s := NewFloat64(eps)
+	maxStored := 0
+	for _, x := range gen.Shuffled(n).Items() {
+		s.Update(x)
+		if s.StoredCount() > maxStored {
+			maxStored = s.StoredCount()
+		}
+	}
+	// The biased summary must store at least the lower-bound number of items
+	// (Section 6.4: even offline, Ω((1/ε)·log εN)) and should stay well below
+	// the stream length.
+	if maxStored >= n/10 {
+		t.Errorf("biased summary not compressing: %d of %d", maxStored, n)
+	}
+	trivial := int((1 / eps))
+	if maxStored < trivial {
+		t.Errorf("biased summary stores %d items, below the trivial bound %d", maxStored, trivial)
+	}
+}
+
+func TestEstimateRankRelativeError(t *testing.T) {
+	gen := stream.NewGenerator(4)
+	n := 30000
+	eps := 0.05
+	st := gen.Uniform(n)
+	s := NewFloat64(eps)
+	feed(s, st.Items())
+	oracle := rank.Float64Oracle(st.Items())
+	for _, q := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		est := s.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		allowed := eps*float64(exact) + 2
+		if math.Abs(float64(est-exact)) > allowed {
+			t.Errorf("EstimateRank(%v) = %d, exact %d, allowed ±%.1f", q, est, exact, allowed)
+		}
+	}
+	if s.EstimateRank(-1) != 0 {
+		t.Errorf("rank below minimum should be 0")
+	}
+}
+
+func TestTuplesAndStoredItems(t *testing.T) {
+	s := New(order.Floats[float64](), 0.1)
+	feed(s, []float64{5, 2, 9, 1, 7})
+	if len(s.Tuples()) != s.StoredCount() {
+		t.Errorf("Tuples / StoredCount mismatch")
+	}
+	items := s.StoredItems()
+	if !order.IsSorted(order.Floats[float64](), items) {
+		t.Errorf("StoredItems not sorted")
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestQueryClamping(t *testing.T) {
+	s := NewFloat64(0.1)
+	feed(s, []float64{1, 2, 3, 4, 5})
+	if v, _ := s.Query(-1); v != 1 {
+		t.Errorf("phi<0 should clamp to minimum")
+	}
+	if v, _ := s.Query(2); v != 5 {
+		t.Errorf("phi>1 should clamp to maximum")
+	}
+}
+
+func TestBoundFunctions(t *testing.T) {
+	if LowerBoundSize(0, 100) != 0 || LowerBoundSize(0.1, 0) != 0 {
+		t.Errorf("degenerate lower bound should be 0")
+	}
+	if LowerBoundSize(0.3, 1000) != 0 {
+		t.Errorf("lower bound with eps >= 1/16 constant should clamp to 0")
+	}
+	if UpperBoundSize(0, 100) != 0 || UpperBoundSize(0.1, 0) != 0 {
+		t.Errorf("degenerate upper bound should be 0")
+	}
+	lo := LowerBoundSize(0.01, 1_000_000)
+	hi := UpperBoundSize(0.01, 1_000_000)
+	if lo <= 0 || hi <= lo {
+		t.Errorf("bounds not ordered: lower %v upper %v", lo, hi)
+	}
+	if LowerBoundSize(0.01, 10_000_000) <= LowerBoundSize(0.01, 10_000) {
+		t.Errorf("lower bound should grow with N")
+	}
+}
+
+// Property: invariant holds and min/max are always exact for arbitrary
+// streams.
+func TestInvariantProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		if len(items) == 0 {
+			return true
+		}
+		s := NewFloat64(0.1)
+		mn, mx := items[0], items[0]
+		for _, x := range items {
+			s.Update(x)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		if s.CheckInvariant() != nil {
+			return false
+		}
+		stored := s.StoredItems()
+		return stored[0] == mn && stored[len(stored)-1] == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

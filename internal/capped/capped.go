@@ -1,0 +1,242 @@
+// Package capped implements a deterministic comparison-based quantile summary
+// with a hard cap on the number of stored items.
+//
+// It is the strawman that the lower bound of Cormode & Veselý (PODS 2020)
+// proves cannot work: any deterministic comparison-based summary using
+// o((1/ε)·log εN) items must fail to provide some ε-approximate quantile.
+// Experiments E4 and E8 run this summary (with capacity well below the bound)
+// against the adversarial construction and then exhibit a quantile query it
+// answers with error larger than εN, giving an executable demonstration of
+// Lemma 3.4 and Theorem 6.1. On benign (random-order) streams the same
+// summary looks perfectly accurate, which is exactly why a lower bound is
+// needed to rule it out.
+//
+// Internally it maintains Greenwald–Khanna style tuples (v, g, Δ), where g is
+// the rank increment from the previous stored item and Δ the uncertainty in
+// the item's rank; insertions keep the bounds valid, and when the tuple count
+// exceeds the capacity the interior pair with the smallest combined coverage
+// (g_i + g_{i+1} + Δ_{i+1}) is merged. The minimum and maximum are never
+// merged away, matching the model assumption in Section 2 of the paper.
+package capped
+
+import (
+	"fmt"
+
+	"quantilelb/internal/order"
+)
+
+// tuple is a stored item with GK-style rank bookkeeping.
+type tuple[T any] struct {
+	item  T
+	g     int
+	delta int
+}
+
+// Summary is a capacity-bounded deterministic quantile summary.
+type Summary[T any] struct {
+	cmp      order.Comparator[T]
+	capacity int
+	n        int
+	tuples   []tuple[T]
+}
+
+// New returns a summary that never stores more than capacity items.
+// It panics if capacity < 3 (the minimum, maximum and one interior item).
+func New[T any](cmp order.Comparator[T], capacity int) *Summary[T] {
+	if capacity < 3 {
+		panic("capped: capacity must be at least 3")
+	}
+	return &Summary[T]{cmp: cmp, capacity: capacity}
+}
+
+// NewFloat64 returns a float64 summary with the given capacity.
+func NewFloat64(capacity int) *Summary[float64] {
+	return New(order.Floats[float64](), capacity)
+}
+
+// Capacity returns the configured capacity.
+func (s *Summary[T]) Capacity() int { return s.capacity }
+
+// Count returns the number of items processed.
+func (s *Summary[T]) Count() int { return s.n }
+
+// StoredCount returns the number of stored items.
+func (s *Summary[T]) StoredCount() int { return len(s.tuples) }
+
+// StoredItems returns the stored items in non-decreasing order.
+func (s *Summary[T]) StoredItems() []T {
+	out := make([]T, len(s.tuples))
+	for i, e := range s.tuples {
+		out[i] = e.item
+	}
+	return out
+}
+
+// Update processes one stream item.
+func (s *Summary[T]) Update(x T) {
+	s.n++
+	idx := 0
+	for idx < len(s.tuples) && s.cmp(s.tuples[idx].item, x) < 0 {
+		idx++
+	}
+	var delta int
+	if idx > 0 && idx < len(s.tuples) {
+		// Interior insertion: the new item's true rank lies anywhere between
+		// rmin(previous)+1 and rmax(successor), so it inherits the
+		// successor's coverage as uncertainty (standard GK insertion).
+		delta = s.tuples[idx].g + s.tuples[idx].delta - 1
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	s.tuples = append(s.tuples, tuple[T]{})
+	copy(s.tuples[idx+1:], s.tuples[idx:])
+	s.tuples[idx] = tuple[T]{item: x, g: 1, delta: delta}
+	if len(s.tuples) > s.capacity {
+		s.shrink()
+	}
+}
+
+// shrink merges the interior adjacent pair with the smallest combined
+// coverage, preserving the first and last tuples.
+func (s *Summary[T]) shrink() {
+	if len(s.tuples) < 4 {
+		return
+	}
+	best := -1
+	bestCover := 0
+	for i := 1; i+1 <= len(s.tuples)-2; i++ {
+		cover := s.tuples[i].g + s.tuples[i+1].g + s.tuples[i+1].delta
+		if best == -1 || cover < bestCover {
+			best, bestCover = i, cover
+		}
+	}
+	if best == -1 {
+		return
+	}
+	// Merge tuple best into best+1: the survivor absorbs the g weight; its
+	// rank bounds remain valid.
+	s.tuples[best+1].g += s.tuples[best].g
+	s.tuples = append(s.tuples[:best], s.tuples[best+1:]...)
+}
+
+// rankBounds returns the claimed [rmin, rmax] for tuple index i.
+func (s *Summary[T]) rankBounds(i int) (int, int) {
+	rmin := 0
+	for j := 0; j <= i; j++ {
+		rmin += s.tuples[j].g
+	}
+	return rmin, rmin + s.tuples[i].delta
+}
+
+// MaxCoverage returns the largest value of g_i + Δ_i over stored tuples: the
+// widest rank uncertainty, which bounds the worst-case query error. The
+// adversarial experiments report it as the realized "gap".
+func (s *Summary[T]) MaxCoverage() int {
+	maxCover := 0
+	for i := 1; i < len(s.tuples); i++ {
+		c := s.tuples[i].g + s.tuples[i].delta
+		if c > maxCover {
+			maxCover = c
+		}
+	}
+	return maxCover
+}
+
+// Query returns the stored item whose claimed rank interval is closest to the
+// target rank ⌊ϕN⌋.
+func (s *Summary[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int(phi * float64(s.n))
+	if target < 1 {
+		target = 1
+	}
+	bestIdx := 0
+	bestDist := -1
+	rmin := 0
+	for i := range s.tuples {
+		rmin += s.tuples[i].g
+		rmax := rmin + s.tuples[i].delta
+		dist := 0
+		switch {
+		case target < rmin:
+			dist = rmin - target
+		case target > rmax:
+			dist = target - rmax
+		}
+		if bestDist == -1 || dist < bestDist {
+			bestIdx, bestDist = i, dist
+		}
+	}
+	return s.tuples[bestIdx].item, true
+}
+
+// EstimateRank estimates the number of items <= q using the claimed rank
+// bounds of the bracketing stored items.
+func (s *Summary[T]) EstimateRank(q T) int {
+	if s.n == 0 {
+		return 0
+	}
+	rmin := 0
+	lastRmin := -1
+	nextIdx := -1
+	for i := range s.tuples {
+		if s.cmp(s.tuples[i].item, q) > 0 {
+			nextIdx = i
+			break
+		}
+		rmin += s.tuples[i].g
+		lastRmin = rmin
+	}
+	if lastRmin < 0 {
+		return 0
+	}
+	upper := s.n
+	if nextIdx >= 0 {
+		upper = lastRmin + s.tuples[nextIdx].g + s.tuples[nextIdx].delta - 1
+	}
+	return (lastRmin + upper) / 2
+}
+
+// CheckInvariant verifies that tuples are sorted, g values are positive, the
+// g values sum to n, the extreme tuples are exact, and the capacity cap is
+// respected.
+func (s *Summary[T]) CheckInvariant() error {
+	if len(s.tuples) > s.capacity {
+		return fmt.Errorf("capped: %d entries exceed capacity %d", len(s.tuples), s.capacity)
+	}
+	total := 0
+	for i, e := range s.tuples {
+		if e.g < 1 {
+			return fmt.Errorf("capped: tuple %d has non-positive g", i)
+		}
+		if e.delta < 0 {
+			return fmt.Errorf("capped: tuple %d has negative delta", i)
+		}
+		if i > 0 && s.cmp(s.tuples[i-1].item, e.item) > 0 {
+			return fmt.Errorf("capped: tuples out of order at %d", i)
+		}
+		total += e.g
+	}
+	if total != s.n {
+		return fmt.Errorf("capped: total g %d != n %d", total, s.n)
+	}
+	if len(s.tuples) > 0 {
+		if s.tuples[0].delta != 0 {
+			return fmt.Errorf("capped: first tuple has nonzero delta")
+		}
+		if s.tuples[len(s.tuples)-1].delta != 0 {
+			return fmt.Errorf("capped: last tuple has nonzero delta")
+		}
+	}
+	return nil
+}

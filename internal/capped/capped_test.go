@@ -1,0 +1,163 @@
+package capped
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("capacity < 3 should panic")
+		}
+	}()
+	NewFloat64(2)
+}
+
+func TestEmpty(t *testing.T) {
+	s := NewFloat64(8)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if s.EstimateRank(1) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	s := NewFloat64(10)
+	gen := stream.NewGenerator(1)
+	for _, x := range gen.Shuffled(10000).Items() {
+		s.Update(x)
+		if s.StoredCount() > 10 {
+			t.Fatalf("capacity exceeded: %d", s.StoredCount())
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 10 {
+		t.Errorf("Capacity = %d", s.Capacity())
+	}
+	if s.Count() != 10000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestMinMaxPreserved(t *testing.T) {
+	s := NewFloat64(5)
+	gen := stream.NewGenerator(2)
+	st := gen.Shuffled(5000)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	items := s.StoredItems()
+	if items[0] != 1 {
+		t.Errorf("minimum lost: %v", items[0])
+	}
+	if items[len(items)-1] != 5000 {
+		t.Errorf("maximum lost: %v", items[len(items)-1])
+	}
+}
+
+func TestAccuracyWhenCapacityIsGenerous(t *testing.T) {
+	// With capacity well above 1/(2 eps) on a random-order stream, the capped
+	// summary is usually accurate; this is the "looks fine on benign input"
+	// behaviour that the adversarial construction then defeats.
+	eps := 0.05
+	n := 20000
+	s := NewFloat64(200)
+	gen := stream.NewGenerator(3)
+	st := gen.Shuffled(n)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	bad := 0
+	for i := 0; i <= 100; i++ {
+		phi := float64(i) / 100
+		got, _ := s.Query(phi)
+		if !oracle.IsApproxQuantile(got, phi, eps) {
+			bad++
+		}
+	}
+	if bad > 5 {
+		t.Errorf("capped summary with generous capacity failed %d/101 queries on a random stream", bad)
+	}
+}
+
+func TestQueryAndRankOnSmallStream(t *testing.T) {
+	s := NewFloat64(100)
+	for i := 1; i <= 50; i++ {
+		s.Update(float64(i))
+	}
+	// Everything fits: answers are exact.
+	if v, _ := s.Query(0.5); v != 25 {
+		t.Errorf("median = %v, want 25", v)
+	}
+	if got := s.EstimateRank(30); got != 30 {
+		t.Errorf("EstimateRank(30) = %d", got)
+	}
+	if got := s.EstimateRank(0); got != 0 {
+		t.Errorf("EstimateRank(0) = %d", got)
+	}
+	if v, _ := s.Query(-1); v != 1 {
+		t.Errorf("clamped phi<0 should return min")
+	}
+	if v, _ := s.Query(2); v != 50 {
+		t.Errorf("clamped phi>1 should return max")
+	}
+}
+
+func TestWeightsConserved(t *testing.T) {
+	s := NewFloat64(7)
+	gen := stream.NewGenerator(4)
+	for i, x := range gen.Uniform(3000).Items() {
+		s.Update(x)
+		if i%101 == 0 {
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("after %d items: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoredItemsSorted(t *testing.T) {
+	s := New(order.Floats[float64](), 16)
+	gen := stream.NewGenerator(5)
+	for _, x := range gen.Uniform(2000).Items() {
+		s.Update(x)
+	}
+	items := s.StoredItems()
+	if !order.IsSorted(order.Floats[float64](), items) {
+		t.Fatalf("StoredItems not sorted")
+	}
+	if len(items) != s.StoredCount() {
+		t.Fatalf("StoredItems / StoredCount mismatch")
+	}
+}
+
+// Property: invariant (sorted, weights positive, weights sum to n, capacity
+// respected) holds for arbitrary inputs.
+func TestInvariantProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		s := NewFloat64(9)
+		for _, x := range items {
+			s.Update(x)
+		}
+		return s.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package cdf estimates cumulative distribution functions from quantile
+// summaries.
+//
+// Estimating the empirical CDF is the first motivating application listed in
+// Section 1 of the lower-bound paper: an ε-approximate quantile summary
+// immediately yields an estimate F̂ with |F̂(x) − F(x)| ≤ ε for every x
+// (a uniform, Kolmogorov–Smirnov style guarantee).
+package cdf
+
+import (
+	"fmt"
+	"sort"
+
+	"quantilelb/internal/summary"
+)
+
+// Estimator evaluates an approximate empirical CDF backed by a quantile
+// summary.
+type Estimator[T any] struct {
+	s summary.Summary[T]
+}
+
+// New returns an Estimator reading from the given summary. The summary may
+// continue to receive updates; the estimator always reflects its current
+// state.
+func New[T any](s summary.Summary[T]) *Estimator[T] {
+	return &Estimator[T]{s: s}
+}
+
+// Value returns F̂(x): the estimated fraction of stream items that are less
+// than or equal to x. It returns 0 for an empty stream.
+func (e *Estimator[T]) Value(x T) float64 {
+	n := e.s.Count()
+	if n == 0 {
+		return 0
+	}
+	r := e.s.EstimateRank(x)
+	if r < 0 {
+		r = 0
+	}
+	if r > n {
+		r = n
+	}
+	return float64(r) / float64(n)
+}
+
+// Inverse returns F̂⁻¹(p): the estimated p-quantile. The boolean is false for
+// an empty stream.
+func (e *Estimator[T]) Inverse(p float64) (T, bool) {
+	return e.s.Query(p)
+}
+
+// Table returns the estimated CDF evaluated at the summary's stored items:
+// pairs (item, F̂(item)) in non-decreasing item order. It is the natural
+// "step function" representation for plotting.
+func (e *Estimator[T]) Table() []Point[T] {
+	items := e.s.StoredItems()
+	out := make([]Point[T], 0, len(items))
+	for _, x := range items {
+		out = append(out, Point[T]{X: x, P: e.Value(x)})
+	}
+	// Stored items are sorted; probabilities of a valid summary are
+	// non-decreasing up to estimation noise. Enforce monotonicity so the
+	// result is a valid CDF.
+	for i := 1; i < len(out); i++ {
+		if out[i].P < out[i-1].P {
+			out[i].P = out[i-1].P
+		}
+	}
+	return out
+}
+
+// Point is one evaluation point of the estimated CDF.
+type Point[T any] struct {
+	X T
+	P float64
+}
+
+// String implements fmt.Stringer.
+func (p Point[T]) String() string { return fmt.Sprintf("(%v, %.4f)", p.X, p.P) }
+
+// Float64Exact computes the exact empirical CDF of float64 data at a point;
+// tests and experiments use it as ground truth.
+func Float64Exact(data []float64, x float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	i := sort.SearchFloat64s(sorted, x)
+	for i < len(sorted) && sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}

@@ -1,0 +1,112 @@
+package cdf
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/stream"
+)
+
+func buildEstimator(eps float64, data []float64) *Estimator[float64] {
+	s := gk.NewFloat64(eps)
+	for _, x := range data {
+		s.Update(x)
+	}
+	return New[float64](s)
+}
+
+func TestValueMatchesExactCDF(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	n := 50000
+	eps := 0.01
+	st := gen.Uniform(n)
+	e := buildEstimator(eps, st.Items())
+	for _, x := range []float64{0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		got := e.Value(x)
+		want := Float64Exact(st.Items(), x)
+		if math.Abs(got-want) > eps+1e-6 {
+			t.Errorf("F(%v) = %v, exact %v", x, got, want)
+		}
+	}
+	// Out-of-range queries clamp to [0, 1].
+	if e.Value(-100) != 0 {
+		t.Errorf("F(-100) = %v, want 0", e.Value(-100))
+	}
+	if e.Value(100) != 1 {
+		t.Errorf("F(100) = %v, want 1", e.Value(100))
+	}
+}
+
+func TestValueEmpty(t *testing.T) {
+	e := New[float64](gk.NewFloat64(0.1))
+	if e.Value(1) != 0 {
+		t.Errorf("empty estimator should return 0")
+	}
+	if _, ok := e.Inverse(0.5); ok {
+		t.Errorf("Inverse on empty should report false")
+	}
+	if len(e.Table()) != 0 {
+		t.Errorf("Table on empty should be empty")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	n := 20000
+	eps := 0.02
+	st := gen.Gaussian(n, 50, 10)
+	e := buildEstimator(eps, st.Items())
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x, ok := e.Inverse(p)
+		if !ok {
+			t.Fatalf("Inverse(%v) failed", p)
+		}
+		back := e.Value(x)
+		if math.Abs(back-p) > 2*eps+1e-6 {
+			t.Errorf("F(F^-1(%v)) = %v, want within 2*eps", p, back)
+		}
+	}
+}
+
+func TestTableMonotone(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	st := gen.Zipf(20000, 1.3, 100000)
+	e := buildEstimator(0.02, st.Items())
+	table := e.Table()
+	if len(table) == 0 {
+		t.Fatalf("table should not be empty")
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i].P < table[i-1].P {
+			t.Errorf("table probabilities not monotone at %d", i)
+		}
+		if table[i].X < table[i-1].X {
+			t.Errorf("table items not sorted at %d", i)
+		}
+	}
+	if table[len(table)-1].P < 0.99 {
+		t.Errorf("last table entry should be near 1, got %v", table[len(table)-1].P)
+	}
+	if got := table[0].String(); got == "" {
+		t.Errorf("Point.String should render")
+	}
+}
+
+func TestFloat64Exact(t *testing.T) {
+	data := []float64{1, 2, 2, 3}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := Float64Exact(data, c.x); got != c.want {
+			t.Errorf("Float64Exact(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if Float64Exact(nil, 1) != 0 {
+		t.Errorf("empty data should give 0")
+	}
+}

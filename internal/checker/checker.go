@@ -1,0 +1,208 @@
+// Package checker verifies the accuracy guarantees of quantile summaries
+// against ground truth. It is the measurement harness used by the
+// experiments: given a summary and the stream it processed, it checks every
+// quantile query (on a dense grid of ϕ values), every rank query, and reports
+// the worst observed errors.
+//
+// Terminology follows the paper: a summary passes the uniform guarantee when
+// every ϕ-quantile answer has rank within ±εN of ⌊ϕN⌋, and the biased
+// (relative-error) guarantee when the error is within ±εϕN.
+package checker
+
+import (
+	"fmt"
+	"math"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/summary"
+)
+
+// Report summarizes the verification of one summary against one stream.
+type Report struct {
+	// N is the stream length.
+	N int
+	// Eps is the accuracy the summary was checked against.
+	Eps float64
+	// QueriesChecked is the number of quantile queries issued.
+	QueriesChecked int
+	// WorstRankError is the largest absolute rank error observed.
+	WorstRankError int
+	// WorstPhi is the query at which the worst error occurred.
+	WorstPhi float64
+	// Failures is the number of queries whose error exceeded the allowance.
+	Failures int
+	// MeanRankError is the mean absolute rank error over all queries.
+	MeanRankError float64
+	// StoredItems is the number of items the summary held when checked.
+	StoredItems int
+}
+
+// Passed reports whether no query exceeded its allowance.
+func (r Report) Passed() bool { return r.Failures == 0 }
+
+// String renders a one-line human-readable description.
+func (r Report) String() string {
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s: %d queries, worst error %d (at phi=%.4f), mean %.1f, allowance %.1f, stored %d",
+		status, r.QueriesChecked, r.WorstRankError, r.WorstPhi, r.MeanRankError, r.Eps*float64(r.N), r.StoredItems)
+}
+
+// VerifyUniform checks the uniform ε-approximation guarantee of the summary
+// on the given data, issuing `grid`+1 evenly spaced quantile queries.
+func VerifyUniform[T any](cmp order.Comparator[T], s summary.Summary[T], data []T, eps float64, grid int) Report {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.NewOracle(cmp, data)
+	n := oracle.Len()
+	rep := Report{N: n, Eps: eps, StoredItems: s.StoredCount()}
+	if n == 0 {
+		return rep
+	}
+	allowance := eps * float64(n)
+	totalErr := 0
+	for i := 0; i <= grid; i++ {
+		phi := float64(i) / float64(grid)
+		got, ok := s.Query(phi)
+		if !ok {
+			rep.Failures++
+			continue
+		}
+		rep.QueriesChecked++
+		e := oracle.RankError(got, phi)
+		totalErr += e
+		if e > rep.WorstRankError {
+			rep.WorstRankError = e
+			rep.WorstPhi = phi
+		}
+		if float64(e) > allowance+1e-9 {
+			rep.Failures++
+		}
+	}
+	if rep.QueriesChecked > 0 {
+		rep.MeanRankError = float64(totalErr) / float64(rep.QueriesChecked)
+	}
+	return rep
+}
+
+// VerifyBiased checks the relative-error guarantee (Section 6.4): for each
+// query ϕ the allowed rank error is ε·⌊ϕN⌋ (plus a +2 additive slack for
+// integer rounding at very low ranks).
+func VerifyBiased[T any](cmp order.Comparator[T], s summary.Summary[T], data []T, eps float64, grid int) Report {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.NewOracle(cmp, data)
+	n := oracle.Len()
+	rep := Report{N: n, Eps: eps, StoredItems: s.StoredCount()}
+	if n == 0 {
+		return rep
+	}
+	totalErr := 0
+	for i := 1; i <= grid; i++ {
+		// Geometric grid emphasises the low quantiles where the biased
+		// guarantee is strongest.
+		phi := math.Pow(float64(i)/float64(grid), 2)
+		if phi <= 0 {
+			continue
+		}
+		got, ok := s.Query(phi)
+		if !ok {
+			rep.Failures++
+			continue
+		}
+		rep.QueriesChecked++
+		e := oracle.RankError(got, phi)
+		totalErr += e
+		if e > rep.WorstRankError {
+			rep.WorstRankError = e
+			rep.WorstPhi = phi
+		}
+		allowance := eps*(1+2*eps)*float64(rank.QuantileRank(n, phi)) + 2
+		if float64(e) > allowance {
+			rep.Failures++
+		}
+	}
+	if rep.QueriesChecked > 0 {
+		rep.MeanRankError = float64(totalErr) / float64(rep.QueriesChecked)
+	}
+	return rep
+}
+
+// RankReport summarizes rank-estimation verification.
+type RankReport struct {
+	// N is the stream length, QueriesChecked the number of rank queries.
+	N, QueriesChecked int
+	// WorstError is the largest absolute rank-estimation error.
+	WorstError int
+	// Failures counts queries whose error exceeded εN.
+	Failures int
+}
+
+// Passed reports whether no rank query exceeded the allowance.
+func (r RankReport) Passed() bool { return r.Failures == 0 }
+
+// VerifyRanks checks the Estimating Rank guarantee (Section 6.2): for each of
+// the stream's own items used as a query (sampled down to at most `samples`
+// queries), the estimate must be within ±εN of the true count.
+func VerifyRanks[T any](cmp order.Comparator[T], s summary.Summary[T], data []T, eps float64, samples int) RankReport {
+	oracle := rank.NewOracle(cmp, data)
+	n := oracle.Len()
+	rep := RankReport{N: n}
+	if n == 0 || samples < 1 {
+		return rep
+	}
+	step := n / samples
+	if step < 1 {
+		step = 1
+	}
+	allowance := eps * float64(n)
+	sorted := oracle.Sorted()
+	for i := 0; i < n; i += step {
+		q := sorted[i]
+		est := s.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		e := est - exact
+		if e < 0 {
+			e = -e
+		}
+		rep.QueriesChecked++
+		if e > rep.WorstError {
+			rep.WorstError = e
+		}
+		if float64(e) > allowance+1e-9 {
+			rep.Failures++
+		}
+	}
+	return rep
+}
+
+// MaxGap returns the largest difference between the ranks of consecutive
+// stored items of the summary with respect to the data (plus the boundary
+// gaps below the smallest and above the largest stored item). By the
+// argument of Section 3 of the paper, a summary can only answer every
+// quantile query within εN if this gap is at most 2εN (+O(1)).
+func MaxGap[T any](cmp order.Comparator[T], s summary.Inspectable[T], data []T) int {
+	oracle := rank.NewOracle(cmp, data)
+	stored := s.StoredItems()
+	if len(stored) == 0 {
+		return oracle.Len()
+	}
+	maxGap := 0
+	prevRank := 0
+	for _, x := range stored {
+		r := oracle.RankLE(x)
+		if g := r - prevRank; g > maxGap {
+			maxGap = g
+		}
+		prevRank = r
+	}
+	if g := oracle.Len() - prevRank; g > maxGap {
+		maxGap = g
+	}
+	return maxGap
+}

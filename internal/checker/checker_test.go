@@ -1,0 +1,166 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/capped"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/order"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+)
+
+func buildGK(eps float64, data []float64) summary.Summary[float64] {
+	s := gk.NewFloat64(eps)
+	for _, x := range data {
+		s.Update(x)
+	}
+	return s
+}
+
+func TestVerifyUniformPassesForGK(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	st := gen.Uniform(20000)
+	eps := 0.02
+	s := buildGK(eps, st.Items())
+	rep := VerifyUniform(order.Floats[float64](), s, st.Items(), eps, 500)
+	if !rep.Passed() {
+		t.Fatalf("GK should pass: %s", rep)
+	}
+	if rep.QueriesChecked != 501 {
+		t.Errorf("expected 501 queries, got %d", rep.QueriesChecked)
+	}
+	if rep.StoredItems != s.StoredCount() {
+		t.Errorf("stored items not recorded")
+	}
+	if rep.N != 20000 {
+		t.Errorf("N = %d", rep.N)
+	}
+	if !strings.HasPrefix(rep.String(), "PASS") {
+		t.Errorf("String should start with PASS: %q", rep.String())
+	}
+}
+
+func TestVerifyUniformFailsForTinyCappedSummary(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	st := gen.Sorted(50000)
+	eps := 0.001
+	// Capacity 5 cannot achieve eps=0.001 on 50000 items.
+	s := capped.NewFloat64(5)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	rep := VerifyUniform(order.Floats[float64](), s, st.Items(), eps, 200)
+	if rep.Passed() {
+		t.Fatalf("capacity-5 summary should fail eps=0.001: %s", rep)
+	}
+	if !strings.HasPrefix(rep.String(), "FAIL") {
+		t.Errorf("String should start with FAIL: %q", rep.String())
+	}
+	if rep.WorstRankError <= int(eps*float64(st.Len())) {
+		t.Errorf("worst error should exceed the allowance")
+	}
+}
+
+func TestVerifyUniformEmptyData(t *testing.T) {
+	s := gk.NewFloat64(0.1)
+	rep := VerifyUniform(order.Floats[float64](), s, nil, 0.1, 10)
+	if rep.N != 0 || rep.QueriesChecked != 0 {
+		t.Errorf("empty data should yield an empty report: %+v", rep)
+	}
+	if !rep.Passed() {
+		t.Errorf("empty report should pass vacuously")
+	}
+}
+
+func TestVerifyUniformGridClamp(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	st := gen.Uniform(100)
+	s := buildGK(0.1, st.Items())
+	rep := VerifyUniform(order.Floats[float64](), s, st.Items(), 0.1, 0)
+	if rep.QueriesChecked != 2 {
+		t.Errorf("grid 0 should clamp to 1 (2 queries), got %d", rep.QueriesChecked)
+	}
+}
+
+func TestVerifyBiased(t *testing.T) {
+	gen := stream.NewGenerator(4)
+	st := gen.Shuffled(20000)
+	eps := 0.05
+	s := biased.NewFloat64(eps)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	rep := VerifyBiased(order.Floats[float64](), s, st.Items(), eps, 300)
+	if !rep.Passed() {
+		t.Fatalf("biased summary should pass the relative-error check: %s", rep)
+	}
+	// A plain GK summary with the same uniform eps fails the *relative*
+	// guarantee at low quantiles on a long stream... unless it happens to
+	// keep low ranks exact; use a coarse GK to make the failure robust.
+	coarse := buildGK(0.1, st.Items())
+	rep2 := VerifyBiased(order.Floats[float64](), coarse, st.Items(), 0.1, 300)
+	if rep2.WorstRankError == 0 {
+		t.Errorf("expected the uniform summary to show some error under the biased metric")
+	}
+	// Empty data edge case.
+	empty := biased.NewFloat64(0.1)
+	rep3 := VerifyBiased(order.Floats[float64](), empty, nil, 0.1, 10)
+	if rep3.N != 0 || !rep3.Passed() {
+		t.Errorf("empty data should pass vacuously")
+	}
+}
+
+func TestVerifyRanks(t *testing.T) {
+	gen := stream.NewGenerator(5)
+	st := gen.Uniform(30000)
+	eps := 0.02
+	s := buildGK(eps, st.Items())
+	rep := VerifyRanks(order.Floats[float64](), s, st.Items(), eps, 200)
+	if !rep.Passed() {
+		t.Fatalf("GK rank estimates should pass: %+v", rep)
+	}
+	if rep.QueriesChecked == 0 {
+		t.Errorf("no queries checked")
+	}
+	// Degenerate inputs.
+	if got := VerifyRanks(order.Floats[float64](), s, nil, eps, 10); got.QueriesChecked != 0 {
+		t.Errorf("empty data should check nothing")
+	}
+	if got := VerifyRanks(order.Floats[float64](), s, st.Items(), eps, 0); got.QueriesChecked != 0 {
+		t.Errorf("zero samples should check nothing")
+	}
+}
+
+func TestMaxGap(t *testing.T) {
+	gen := stream.NewGenerator(6)
+	st := gen.Shuffled(10000)
+	eps := 0.01
+	s := gk.NewFloat64(eps)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	gap := MaxGap[float64](order.Floats[float64](), s, st.Items())
+	if gap <= 0 {
+		t.Fatalf("gap should be positive")
+	}
+	if float64(gap) > 2*eps*float64(st.Len())+2 {
+		t.Errorf("GK max gap %d exceeds 2εN", gap)
+	}
+	// A tiny capped summary has a much larger gap.
+	c := capped.NewFloat64(4)
+	for _, x := range st.Items() {
+		c.Update(x)
+	}
+	cGap := MaxGap[float64](order.Floats[float64](), c, st.Items())
+	if cGap <= gap {
+		t.Errorf("capacity-4 summary should have a larger gap than GK: %d vs %d", cGap, gap)
+	}
+	// Empty summary: the gap is the whole stream.
+	e := gk.NewFloat64(0.1)
+	if got := MaxGap[float64](order.Floats[float64](), e, st.Items()); got != st.Len() {
+		t.Errorf("empty summary gap = %d, want %d", got, st.Len())
+	}
+}

@@ -1,0 +1,615 @@
+// Package core implements the primary contribution of Cormode & Veselý,
+// "A Tight Lower Bound for Comparison-Based Quantile Summaries" (PODS 2020):
+// the recursive adversarial construction of two indistinguishable streams
+// (procedures RefineIntervals and AdvStrategy, Section 4 of the paper) and
+// the analysis machinery around it (gaps, the space–gap inequality of
+// Lemma 5.2, and the corollary adversaries of Section 6).
+//
+// The paper proves that any deterministic comparison-based ε-approximate
+// quantile summary must store Ω((1/ε)·log εN) items on some stream of length
+// N. The proof is constructive: an adversary builds two streams π and ϱ of
+// length N_k = (1/ε)·2^k that the summary cannot distinguish, while making
+// the "gap" — the uncertainty between the ranks of consecutive stored items
+// across the two streams — as large as possible. If the summary stores too
+// few items, the gap exceeds 2εN and some quantile query must fail
+// (Lemma 3.4).
+//
+// This package turns that existence proof into an executable adversary: it
+// drives any summary implementing summary.Summary[T] (the item-array view of
+// Definition 2.1) through the construction, measures the space the summary is
+// forced to use, records the gap structure at every node of the recursion
+// tree, verifies Claim 1 (gap additivity) and the space–gap inequality at
+// every node, and reproduces the paper's worked example (Figures 1 and 2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+)
+
+// Constant of the space–gap inequality (Lemma 5.2): c = 1/8 − 2ε.
+// SpaceGapConstant returns it for a given ε (not optimized in the paper).
+func SpaceGapConstant(eps float64) float64 { return 0.125 - 2*eps }
+
+// LowerBoundItems returns the lower bound on the number of stored items that
+// Theorem 2.2 gives for streams of length N_k = (1/ε)·2^k:
+// c·(log2(2εN_k)+1)·(1/(4ε)) = c·(k+1)/(4ε).
+func LowerBoundItems(eps float64, k int) float64 {
+	c := SpaceGapConstant(eps)
+	if c <= 0 || k < 1 {
+		return 0
+	}
+	return c * float64(k+1) / (4 * eps)
+}
+
+// StreamLength returns N_k = (1/ε)·2^k, the length of the constructed
+// streams for recursion level k.
+func StreamLength(eps float64, k int) int {
+	return int(math.Round(1/eps)) * (1 << uint(k))
+}
+
+// Adversary drives the recursive construction against a quantile summary.
+// The type parameter T is the item type of the universe the construction
+// draws from (use universe.Rational / *big.Rat for deep recursions).
+type Adversary[T any] struct {
+	// Uni is the continuous universe items are drawn from.
+	Uni universe.Universe[T]
+	// Cmp is the total order on items (must agree with Uni).
+	Cmp order.Comparator[T]
+	// Eps is the accuracy parameter ε of the summary under attack.
+	Eps float64
+	// NewSummary creates a fresh instance of the summary D. Two instances
+	// are created per run, one fed stream π and one fed stream ϱ; for the
+	// construction to be meaningful the factory must be deterministic.
+	NewSummary func() summary.Summary[T]
+	// CheckIndistinguishability enables the (more expensive) full check of
+	// Definition 3.2: stored items of the two instances must sit at the same
+	// stream positions. When disabled only the sizes are compared.
+	CheckIndistinguishability bool
+	// RecordLeaves keeps a snapshot after every leaf of the recursion tree;
+	// used to reproduce Figure 2 of the paper.
+	RecordLeaves bool
+}
+
+// boundary is an interval endpoint that may be an actual stream item or a
+// ±infinity sentinel (the initial call of AdvStrategy uses sentinels).
+type boundary[T any] struct {
+	item T
+	has  bool
+}
+
+// NodeReport describes one internal node of the recursion tree.
+type NodeReport struct {
+	// Level is the recursion parameter k of this node (k >= 2 for internal
+	// nodes).
+	Level int
+	// Depth is the distance from the root (root = 0).
+	Depth int
+	// Items is N_k, the number of items appended by this node's subtree.
+	Items int
+	// IntervalPi and IntervalRho describe the node's input intervals.
+	IntervalPi, IntervalRho string
+	// Gap is g, the largest gap in the input intervals after the node's
+	// subtree finished (Definition 5.1).
+	Gap int
+	// GapLeft is g', the largest gap after the first recursive call.
+	GapLeft int
+	// GapRight is g'', the largest gap in the refined intervals after the
+	// second recursive call.
+	GapRight int
+	// Claim1OK records whether g >= g' + g'' - 1 (Claim 1 of the paper).
+	Claim1OK bool
+	// RestrictedStored is S_k: the size of the item array restricted to the
+	// node's input interval (enclosed by its endpoints) after the node's
+	// subtree finished.
+	RestrictedStored int
+	// SpaceGapRHS is the right-hand side of the space–gap inequality (2):
+	// c·(log2 g + 1)·(N_k/g − 1/(4ε)).
+	SpaceGapRHS float64
+	// SpaceGapOK records whether RestrictedStored >= SpaceGapRHS.
+	SpaceGapOK bool
+}
+
+// LeafSnapshot captures the state after one leaf of the recursion tree
+// appended its items; it is used to render Figure 2.
+type LeafSnapshot[T any] struct {
+	// LeafIndex counts leaves in execution order, starting at 1.
+	LeafIndex int
+	// TotalItems is the number of items in each stream so far.
+	TotalItems int
+	// StoredPi and StoredRho are the item arrays of the two instances.
+	StoredPi, StoredRho []T
+	// PiItems and RhoItems are the items appended by this leaf, in order.
+	PiItems, RhoItems []T
+}
+
+// FailureWitness records a quantile query that a summary answered with error
+// larger than εN on one of the two streams, demonstrating Lemma 3.4.
+type FailureWitness struct {
+	// Phi is the query.
+	Phi float64
+	// TargetRank is ⌊ϕN⌋.
+	TargetRank int
+	// RankInPi and RankInRho are the ranks of the returned items with respect
+	// to streams π and ϱ.
+	RankInPi, RankInRho int
+	// ErrPi and ErrRho are the corresponding absolute rank errors.
+	ErrPi, ErrRho int
+	// AllowedError is εN.
+	AllowedError float64
+}
+
+// Exceeds reports whether the witness demonstrates a failure (error beyond
+// the allowed εN on at least one stream).
+func (w FailureWitness) Exceeds() bool {
+	return float64(w.ErrPi) > w.AllowedError || float64(w.ErrRho) > w.AllowedError
+}
+
+// Result is the outcome of running the adversary.
+type Result[T any] struct {
+	// Eps and K are the construction parameters; N = (1/ε)·2^K.
+	Eps float64
+	K   int
+	N   int
+
+	// Pi and Rho are the two constructed streams in arrival order.
+	Pi, Rho []T
+
+	// MaxStoredPi/Rho are the maxima of |I| observed while processing π / ϱ.
+	MaxStoredPi, MaxStoredRho int
+	// FinalStoredPi/Rho are |I| after the last item.
+	FinalStoredPi, FinalStoredRho int
+
+	// Gap is gap(π, ϱ) of Definition 3.3 (computed over the full item
+	// arrays, assuming rank_π(I_π[i]) <= rank_ϱ(I_ϱ[i]) as the construction
+	// guarantees).
+	Gap int
+	// GapBound is 2εN, the bound of Lemma 3.4 for a correct summary.
+	GapBound float64
+
+	// LowerBound is the number of items Theorem 2.2 forces for these
+	// parameters (c·(k+1)/(4ε)).
+	LowerBound float64
+
+	// Nodes holds one report per internal node of the recursion tree, in
+	// post-order.
+	Nodes []NodeReport
+	// Leaves holds per-leaf snapshots when RecordLeaves was set.
+	Leaves []LeafSnapshot[T]
+
+	// SizesAgree reports whether the two instances always stored the same
+	// number of items (necessary condition for indistinguishability).
+	SizesAgree bool
+	// PositionsAgree reports whether stored items occupied the same stream
+	// positions in both instances (the full condition (2) of Definition 3.2);
+	// only meaningful when CheckIndistinguishability was set.
+	PositionsAgree bool
+
+	// Claim1Violations counts nodes where g >= g' + g'' - 1 failed.
+	Claim1Violations int
+	// SpaceGapViolations counts nodes where the space–gap inequality failed.
+	SpaceGapViolations int
+
+	// Witness demonstrates a failing quantile query when the final gap
+	// exceeds 2εN (only set in that case).
+	Witness *FailureWitness
+}
+
+// runState carries the mutable state of one construction run.
+type runState[T any] struct {
+	adv    *Adversary[T]
+	m      int // items per leaf = ceil(2/ε)
+	piSeq  []T
+	rhoSeq []T
+	piSet  *order.Multiset[T]
+	rhoSet *order.Multiset[T]
+	dPi    *summary.Instrumented[T]
+	dRho   *summary.Instrumented[T]
+	nodes  []NodeReport
+	leaves []LeafSnapshot[T]
+	leafNo int
+
+	sizesAgree     bool
+	positionsAgree bool
+}
+
+// Validate checks the adversary configuration.
+func (a *Adversary[T]) Validate() error {
+	if a.Uni == nil {
+		return errors.New("core: Uni must be set")
+	}
+	if a.Cmp == nil {
+		return errors.New("core: Cmp must be set")
+	}
+	if !(a.Eps > 0 && a.Eps < 1) {
+		return errors.New("core: Eps must be in (0, 1)")
+	}
+	if a.NewSummary == nil {
+		return errors.New("core: NewSummary must be set")
+	}
+	return nil
+}
+
+// Run executes AdvStrategy(k, ∅, ∅, (−∞,∞), (−∞,∞)) against two fresh
+// instances of the summary and returns the full report.
+func (a *Adversary[T]) Run(k int) (*Result[T], error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("core: k must be at least 1")
+	}
+	st := &runState[T]{
+		adv:            a,
+		m:              int(math.Ceil(2 / a.Eps)),
+		piSet:          order.NewMultiset(a.Cmp),
+		rhoSet:         order.NewMultiset(a.Cmp),
+		dPi:            summary.NewInstrumented[T](a.NewSummary(), nil),
+		dRho:           summary.NewInstrumented[T](a.NewSummary(), nil),
+		sizesAgree:     true,
+		positionsAgree: true,
+	}
+	full := universe.FullInterval[T]()
+	if err := st.advStrategy(k, full, full, 0); err != nil {
+		return nil, err
+	}
+	return st.buildResult(a, k), nil
+}
+
+// advStrategy is Pseudocode 2 of the paper.
+func (st *runState[T]) advStrategy(k int, ivPi, ivRho universe.Interval[T], depth int) error {
+	if k == 1 {
+		return st.leaf(ivPi, ivRho)
+	}
+	// First recursive call (line 6).
+	if err := st.advStrategy(k-1, ivPi, ivRho, depth+1); err != nil {
+		return err
+	}
+	// RefineIntervals (line 7) — also yields g', the gap after the first
+	// half.
+	newPi, newRho, gapLeft, err := st.refineIntervals(ivPi, ivRho)
+	if err != nil {
+		return err
+	}
+	// Second recursive call (line 8).
+	if err := st.advStrategy(k-1, newPi, newRho, depth+1); err != nil {
+		return err
+	}
+	gapRight := st.gapIn(newPi, newRho)
+	gap := st.gapIn(ivPi, ivRho)
+	restricted := st.enclosedStoredSize(st.dPi, ivPi)
+
+	nk := st.m / 2 * (1 << uint(k)) // N_k = (1/ε)·2^k with m = 2/ε
+	rhs := spaceGapRHS(st.adv.Eps, nk, gap)
+	st.nodes = append(st.nodes, NodeReport{
+		Level:            k,
+		Depth:            depth,
+		Items:            nk,
+		IntervalPi:       universe.FormatInterval(st.adv.Uni, ivPi),
+		IntervalRho:      universe.FormatInterval(st.adv.Uni, ivRho),
+		Gap:              gap,
+		GapLeft:          gapLeft,
+		GapRight:         gapRight,
+		Claim1OK:         gap >= gapLeft+gapRight-1,
+		RestrictedStored: restricted,
+		SpaceGapRHS:      rhs,
+		SpaceGapOK:       float64(restricted) >= rhs,
+	})
+	return nil
+}
+
+// spaceGapRHS evaluates the right-hand side of inequality (2) of the paper.
+func spaceGapRHS(eps float64, nk, gap int) float64 {
+	c := SpaceGapConstant(eps)
+	if c <= 0 || gap < 1 {
+		return 0
+	}
+	return c * (math.Log2(float64(gap)) + 1) * (float64(nk)/float64(gap) - 1/(4*eps))
+}
+
+// leaf is the base case of AdvStrategy: append 2/ε fresh items inside the
+// current intervals to both streams, in the same (increasing) order.
+func (st *runState[T]) leaf(ivPi, ivRho universe.Interval[T]) error {
+	piItems, ok := st.adv.Uni.Partition(ivPi, st.m)
+	if !ok {
+		return fmt.Errorf("core: universe cannot supply %d items inside %s (precision exhausted?)",
+			st.m, universe.FormatInterval(st.adv.Uni, ivPi))
+	}
+	rhoItems, ok := st.adv.Uni.Partition(ivRho, st.m)
+	if !ok {
+		return fmt.Errorf("core: universe cannot supply %d items inside %s (precision exhausted?)",
+			st.m, universe.FormatInterval(st.adv.Uni, ivRho))
+	}
+	for i := 0; i < st.m; i++ {
+		st.dPi.Update(piItems[i])
+		st.dRho.Update(rhoItems[i])
+	}
+	st.piSeq = append(st.piSeq, piItems...)
+	st.rhoSeq = append(st.rhoSeq, rhoItems...)
+	st.piSet.AddSortedBatch(piItems)
+	st.rhoSet.AddSortedBatch(rhoItems)
+	st.leafNo++
+
+	if st.dPi.StoredCount() != st.dRho.StoredCount() {
+		st.sizesAgree = false
+	}
+	if st.adv.CheckIndistinguishability && !st.checkPositions() {
+		st.positionsAgree = false
+	}
+	if st.adv.RecordLeaves {
+		st.leaves = append(st.leaves, LeafSnapshot[T]{
+			LeafIndex:  st.leafNo,
+			TotalItems: len(st.piSeq),
+			StoredPi:   st.dPi.StoredItems(),
+			StoredRho:  st.dRho.StoredItems(),
+			PiItems:    piItems,
+			RhoItems:   rhoItems,
+		})
+	}
+	return nil
+}
+
+// checkPositions verifies condition (2) of Definition 3.2: the j-th stored
+// item of the π instance and the j-th stored item of the ϱ instance arrived
+// at the same stream position. All items are distinct, so the position of an
+// item is found by scanning its arrival sequence.
+func (st *runState[T]) checkPositions() bool {
+	itemsPi := st.dPi.StoredItems()
+	itemsRho := st.dRho.StoredItems()
+	if len(itemsPi) != len(itemsRho) {
+		return false
+	}
+	posPi := positionIndex(st.adv.Cmp, st.piSeq, itemsPi)
+	posRho := positionIndex(st.adv.Cmp, st.rhoSeq, itemsRho)
+	for j := range itemsPi {
+		if posPi[j] != posRho[j] || posPi[j] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// positionIndex returns, for each stored item, its arrival index in seq
+// (-1 when not found). Stored items are distinct and sorted; seq items are
+// distinct.
+func positionIndex[T any](cmp order.Comparator[T], seq []T, stored []T) []int {
+	out := make([]int, len(stored))
+	for i := range out {
+		out[i] = -1
+	}
+	for pos, x := range seq {
+		// Binary search in stored.
+		i := order.SearchFirstGE(cmp, stored, x)
+		if i < len(stored) && cmp(stored[i], x) == 0 && out[i] == -1 {
+			out[i] = pos
+		}
+	}
+	return out
+}
+
+// enclosedEntry is one entry of a restricted item array I^(ℓ,r): either an
+// actual item or a ±infinity sentinel standing in for an unbounded endpoint.
+type enclosedEntry[T any] struct {
+	item T
+	// kind: -1 = low sentinel, 0 = real item, +1 = high sentinel.
+	kind int
+}
+
+// enclosedArray builds I^(ℓ,r) for the given stored items: the endpoint ℓ,
+// the stored items strictly inside (ℓ, r), and the endpoint r (Section 4.2 of
+// the paper). Unbounded endpoints become sentinels.
+func enclosedArray[T any](cmp order.Comparator[T], stored []T, iv universe.Interval[T]) []enclosedEntry[T] {
+	inside := order.Restrict(cmp, stored, iv.Lo, iv.HasLo, iv.Hi, iv.HasHi)
+	out := make([]enclosedEntry[T], 0, len(inside)+2)
+	if iv.HasLo {
+		out = append(out, enclosedEntry[T]{item: iv.Lo, kind: 0})
+	} else {
+		out = append(out, enclosedEntry[T]{kind: -1})
+	}
+	for _, x := range inside {
+		out = append(out, enclosedEntry[T]{item: x, kind: 0})
+	}
+	if iv.HasHi {
+		out = append(out, enclosedEntry[T]{item: iv.Hi, kind: 0})
+	} else {
+		out = append(out, enclosedEntry[T]{kind: 1})
+	}
+	return out
+}
+
+// restrictedRank returns the rank of entry e within the substream of set
+// restricted to the closed interval [ℓ, r]: the number of stream items in
+// [ℓ, r] that are <= e. Sentinels rank 0 (low) / count+1 (high).
+func restrictedRank[T any](set *order.Multiset[T], iv universe.Interval[T], e enclosedEntry[T]) int {
+	lowCount := 0
+	if iv.HasLo {
+		lowCount = set.CountLT(iv.Lo)
+	}
+	switch e.kind {
+	case -1:
+		return 0
+	case 1:
+		total := set.Len() - lowCount
+		if iv.HasHi {
+			total = set.CountLE(iv.Hi) - lowCount
+		}
+		return total + 1
+	default:
+		return set.CountLE(e.item) - lowCount
+	}
+}
+
+// gapIn computes the largest gap (Definition 5.1) between the two instances'
+// item arrays restricted to the given intervals:
+// max_i rank_ϱ̄(I'_ϱ[i+1]) − rank_π̄(I'_π[i]).
+func (st *runState[T]) gapIn(ivPi, ivRho universe.Interval[T]) int {
+	gap, _, _ := st.largestGap(ivPi, ivRho)
+	return gap
+}
+
+// largestGap returns the gap value together with the pair of entries that
+// realize it (the arguments for RefineIntervals).
+func (st *runState[T]) largestGap(ivPi, ivRho universe.Interval[T]) (int, enclosedEntry[T], enclosedEntry[T]) {
+	arrPi := enclosedArray(st.adv.Cmp, st.dPi.StoredItems(), ivPi)
+	arrRho := enclosedArray(st.adv.Cmp, st.dRho.StoredItems(), ivRho)
+	n := len(arrPi)
+	if len(arrRho) < n {
+		n = len(arrRho)
+	}
+	var bestPi, bestRho enclosedEntry[T]
+	best := math.MinInt
+	for i := 0; i+1 < n; i++ {
+		g := restrictedRank(st.rhoSet, ivRho, arrRho[i+1]) - restrictedRank(st.piSet, ivPi, arrPi[i])
+		if g > best {
+			best = g
+			bestPi = arrPi[i]
+			bestRho = arrRho[i+1]
+		}
+	}
+	if best == math.MinInt {
+		return 0, bestPi, bestRho
+	}
+	return best, bestPi, bestRho
+}
+
+// refineIntervals is Pseudocode 1 of the paper: locate the largest gap inside
+// the current intervals and return new open intervals in its extreme regions,
+// together with the gap value g'.
+func (st *runState[T]) refineIntervals(ivPi, ivRho universe.Interval[T]) (universe.Interval[T], universe.Interval[T], int, error) {
+	gap, entPi, entRho := st.largestGap(ivPi, ivRho)
+
+	// New interval for π: (I'_π[i], next(π, I'_π[i])).
+	var newPi universe.Interval[T]
+	switch entPi.kind {
+	case -1:
+		// Lower sentinel: the interval starts unbounded below and ends at the
+		// smallest stream item inside the current interval (or r if none).
+		if first, ok := st.piSet.Min(); ok && ivPi.Contains(st.adv.Cmp, first) {
+			newPi = universe.BelowOf(first)
+		} else if ivPi.HasHi {
+			newPi = universe.BelowOf(ivPi.Hi)
+		} else {
+			newPi = universe.FullInterval[T]()
+		}
+		// Ensure the lower bound matches the current interval's lower bound.
+		newPi.Lo, newPi.HasLo = ivPi.Lo, ivPi.HasLo
+	default:
+		lo := entPi.item
+		if next, ok := st.piSet.Next(lo); ok {
+			newPi = universe.Open(lo, next)
+		} else {
+			newPi = universe.AboveOf(lo)
+		}
+	}
+
+	// New interval for ϱ: (prev(ϱ, I'_ϱ[i+1]), I'_ϱ[i+1]).
+	var newRho universe.Interval[T]
+	switch entRho.kind {
+	case 1:
+		if last, ok := st.rhoSet.Max(); ok && ivRho.Contains(st.adv.Cmp, last) {
+			newRho = universe.AboveOf(last)
+		} else if ivRho.HasLo {
+			newRho = universe.AboveOf(ivRho.Lo)
+		} else {
+			newRho = universe.FullInterval[T]()
+		}
+		newRho.Hi, newRho.HasHi = ivRho.Hi, ivRho.HasHi
+	default:
+		hi := entRho.item
+		if prev, ok := st.rhoSet.Prev(hi); ok {
+			newRho = universe.Open(prev, hi)
+		} else {
+			newRho = universe.BelowOf(hi)
+		}
+	}
+
+	if newPi.Empty(st.adv.Cmp) || newRho.Empty(st.adv.Cmp) {
+		return newPi, newRho, gap, fmt.Errorf("core: refined interval is empty (pi %s, rho %s)",
+			universe.FormatInterval(st.adv.Uni, newPi), universe.FormatInterval(st.adv.Uni, newRho))
+	}
+	return newPi, newRho, gap, nil
+}
+
+// enclosedStoredSize returns |I^(ℓ,r)| for the given instrumented summary:
+// the stored items strictly inside the interval plus the two enclosing
+// endpoints (Section 4.2).
+func (st *runState[T]) enclosedStoredSize(d *summary.Instrumented[T], iv universe.Interval[T]) int {
+	inside := order.Restrict(st.adv.Cmp, d.StoredItems(), iv.Lo, iv.HasLo, iv.Hi, iv.HasHi)
+	return len(inside) + 2
+}
+
+// topLevelGap computes gap(π, ϱ) of Definition 3.3 over the full item arrays:
+// max_i rank_ϱ(I_ϱ[i+1]) − rank_π(I_π[i]).
+func (st *runState[T]) topLevelGap() int {
+	itemsPi := st.dPi.StoredItems()
+	itemsRho := st.dRho.StoredItems()
+	n := len(itemsPi)
+	if len(itemsRho) < n {
+		n = len(itemsRho)
+	}
+	best := 0
+	for i := 0; i+1 < n; i++ {
+		g := st.rhoSet.CountLE(itemsRho[i+1]) - st.piSet.CountLE(itemsPi[i])
+		if g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// failureWitness constructs the Lemma 3.4 witness: the ϕ in the middle of the
+// largest gap, the items the two instances return for it, and their rank
+// errors with respect to their own streams.
+func (st *runState[T]) failureWitness(gap int) FailureWitness {
+	itemsPi := st.dPi.StoredItems()
+	itemsRho := st.dRho.StoredItems()
+	n := len(itemsPi)
+	if len(itemsRho) < n {
+		n = len(itemsRho)
+	}
+	bestI := -1
+	best := math.MinInt
+	for i := 0; i+1 < n; i++ {
+		g := st.rhoSet.CountLE(itemsRho[i+1]) - st.piSet.CountLE(itemsPi[i])
+		if g > best {
+			best = g
+			bestI = i
+		}
+	}
+	N := len(st.piSeq)
+	w := FailureWitness{AllowedError: st.adv.Eps * float64(N)}
+	if bestI < 0 {
+		return w
+	}
+	rLow := st.piSet.CountLE(itemsPi[bestI])
+	rHigh := st.rhoSet.CountLE(itemsRho[bestI+1])
+	mid := float64(rLow+rHigh) / 2
+	w.Phi = mid / float64(N)
+	w.TargetRank = int(mid)
+
+	// Ask both instances. A comparison-based summary returns the item at the
+	// same index for both; we simply measure the realized rank errors.
+	ansPi, okPi := st.dPi.Query(w.Phi)
+	ansRho, okRho := st.dRho.Query(w.Phi)
+	if okPi {
+		w.RankInPi = st.piSet.CountLE(ansPi)
+		w.ErrPi = abs(w.RankInPi - w.TargetRank)
+	}
+	if okRho {
+		w.RankInRho = st.rhoSet.CountLE(ansRho)
+		w.ErrRho = abs(w.RankInRho - w.TargetRank)
+	}
+	return w
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

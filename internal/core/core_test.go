@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"quantilelb/internal/capped"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/order"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+)
+
+// ratAdversary builds an adversary over the rational universe for the given
+// summary factory.
+func ratAdversary(eps float64, factory func() summary.Summary[*big.Rat]) *Adversary[*big.Rat] {
+	uni := universe.NewRational()
+	return &Adversary[*big.Rat]{
+		Uni:        uni,
+		Cmp:        uni.Comparator(),
+		Eps:        eps,
+		NewSummary: factory,
+	}
+}
+
+func gkFactory(eps float64) func() summary.Summary[*big.Rat] {
+	uni := universe.NewRational()
+	return func() summary.Summary[*big.Rat] {
+		return gk.New(uni.Comparator(), eps)
+	}
+}
+
+func cappedFactory(capacity int) func() summary.Summary[*big.Rat] {
+	uni := universe.NewRational()
+	return func() summary.Summary[*big.Rat] {
+		return capped.New(uni.Comparator(), capacity)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	uni := universe.NewRational()
+	cases := []Adversary[*big.Rat]{
+		{},
+		{Uni: uni},
+		{Uni: uni, Cmp: uni.Comparator()},
+		{Uni: uni, Cmp: uni.Comparator(), Eps: 2},
+		{Uni: uni, Cmp: uni.Comparator(), Eps: 0.1},
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	ok := ratAdversary(0.1, gkFactory(0.1))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid adversary rejected: %v", err)
+	}
+	if _, err := ok.Run(0); err == nil {
+		t.Errorf("k=0 should be rejected")
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	if StreamLength(1.0/16, 3) != 16*8 {
+		t.Errorf("StreamLength(1/16, 3) = %d, want 128", StreamLength(1.0/16, 3))
+	}
+	if LowerBoundItems(0.25, 5) != 0 {
+		t.Errorf("lower bound with eps >= 1/16 should be 0 (constant non-positive)")
+	}
+	lb4 := LowerBoundItems(1.0/32, 4)
+	lb8 := LowerBoundItems(1.0/32, 8)
+	if lb4 <= 0 || lb8 <= lb4 {
+		t.Errorf("lower bound should be positive and increasing in k: %v vs %v", lb4, lb8)
+	}
+	if SpaceGapConstant(1.0/32) <= 0 {
+		t.Errorf("space-gap constant should be positive for eps < 1/16")
+	}
+	if SpaceGapConstant(0.1) >= 0.125 {
+		t.Errorf("space-gap constant should shrink with eps")
+	}
+}
+
+func TestConstructionAgainstGK(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, gkFactory(eps))
+	adv.CheckIndistinguishability = true
+	for k := 1; k <= 6; k++ {
+		res, err := adv.Run(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		wantN := StreamLength(eps, k)
+		if res.N != wantN {
+			t.Errorf("k=%d: N = %d, want %d", k, res.N, wantN)
+		}
+		if len(res.Pi) != wantN || len(res.Rho) != wantN {
+			t.Errorf("k=%d: stream lengths %d/%d, want %d", k, len(res.Pi), len(res.Rho), wantN)
+		}
+		if !res.SizesAgree {
+			t.Errorf("k=%d: GK stored different numbers of items on indistinguishable streams", k)
+		}
+		if !res.PositionsAgree {
+			t.Errorf("k=%d: stored items at different stream positions (not comparison-based?)", k)
+		}
+		// GK is a correct ε-approximate summary: the gap must obey Lemma 3.4.
+		if float64(res.Gap) > res.GapBound {
+			t.Errorf("k=%d: gap %d exceeds 2εN = %v for a correct summary", k, res.Gap, res.GapBound)
+		}
+		if res.Witness != nil {
+			t.Errorf("k=%d: unexpected failure witness for a correct summary", k)
+		}
+		// Theorem 2.2: space at least the (small-constant) lower bound.
+		if float64(res.MaxStoredPi) < res.LowerBound {
+			t.Errorf("k=%d: GK stored %d items, below the theoretical lower bound %v",
+				k, res.MaxStoredPi, res.LowerBound)
+		}
+		// Claim 1 and the space–gap inequality hold for every internal node.
+		if res.Claim1Violations != 0 {
+			t.Errorf("k=%d: %d Claim 1 violations", k, res.Claim1Violations)
+		}
+		if res.SpaceGapViolations != 0 {
+			t.Errorf("k=%d: %d space-gap inequality violations", k, res.SpaceGapViolations)
+		}
+		if k > 1 && len(res.Nodes) != (1<<uint(k-1))-1 {
+			t.Errorf("k=%d: %d internal nodes, want %d", k, len(res.Nodes), (1<<uint(k-1))-1)
+		}
+	}
+}
+
+func TestSpaceGrowsWithK(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, gkFactory(eps))
+	res4, err := adv.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := adv.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.MaxStoredPi <= res4.MaxStoredPi {
+		t.Errorf("forced space should grow with k: k=4 -> %d, k=8 -> %d",
+			res4.MaxStoredPi, res8.MaxStoredPi)
+	}
+}
+
+func TestCappedSummaryFailsLemma34(t *testing.T) {
+	eps := 1.0 / 32
+	// Capacity far below (1/eps)·log(eps N): with k=7 the bound is ~  a few
+	// hundred; 8 items cannot possibly cover the stream.
+	adv := ratAdversary(eps, cappedFactory(8))
+	res, err := adv.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SizesAgree {
+		t.Fatalf("capped summary is deterministic and comparison-based; sizes must agree")
+	}
+	if float64(res.Gap) <= res.GapBound {
+		t.Fatalf("capped summary with capacity 8 should exceed the gap bound: gap %d, bound %v",
+			res.Gap, res.GapBound)
+	}
+	if res.Witness == nil {
+		t.Fatalf("expected a failure witness when the gap exceeds 2εN")
+	}
+	if !res.Witness.Exceeds() {
+		t.Errorf("witness does not demonstrate a failure: %+v", *res.Witness)
+	}
+}
+
+func TestConstructionDeterministic(t *testing.T) {
+	eps := 1.0 / 16
+	adv := ratAdversary(eps, gkFactory(eps))
+	a, err := adv.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := adv.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pi) != len(b.Pi) {
+		t.Fatalf("different stream lengths across runs")
+	}
+	cmp := universe.NewRational().Comparator()
+	for i := range a.Pi {
+		if cmp(a.Pi[i], b.Pi[i]) != 0 || cmp(a.Rho[i], b.Rho[i]) != 0 {
+			t.Fatalf("construction not deterministic at position %d", i)
+		}
+	}
+	if a.Gap != b.Gap || a.MaxStoredPi != b.MaxStoredPi {
+		t.Fatalf("reports differ across identical runs")
+	}
+}
+
+func TestStreamsAreIncreasingPerLeafAndDistinct(t *testing.T) {
+	eps := 1.0 / 16
+	adv := ratAdversary(eps, gkFactory(eps))
+	adv.RecordLeaves = true
+	res, err := adv.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := universe.NewRational().Comparator()
+	if len(res.Leaves) != 4 {
+		t.Fatalf("k=3 should have 4 leaves, got %d", len(res.Leaves))
+	}
+	m := int(2 / eps)
+	for _, leaf := range res.Leaves {
+		if len(leaf.PiItems) != m || len(leaf.RhoItems) != m {
+			t.Errorf("leaf %d appended %d/%d items, want %d", leaf.LeafIndex, len(leaf.PiItems), len(leaf.RhoItems), m)
+		}
+		for i := 1; i < len(leaf.PiItems); i++ {
+			if cmp(leaf.PiItems[i-1], leaf.PiItems[i]) >= 0 {
+				t.Errorf("leaf %d: pi items not strictly increasing", leaf.LeafIndex)
+			}
+			if cmp(leaf.RhoItems[i-1], leaf.RhoItems[i]) >= 0 {
+				t.Errorf("leaf %d: rho items not strictly increasing", leaf.LeafIndex)
+			}
+		}
+	}
+	// All items within each stream are distinct.
+	sortedPi := order.Sorted(cmp, res.Pi)
+	for i := 1; i < len(sortedPi); i++ {
+		if cmp(sortedPi[i-1], sortedPi[i]) == 0 {
+			t.Fatalf("duplicate item in stream pi")
+		}
+	}
+}
+
+func TestFigure2Parameters(t *testing.T) {
+	// The worked example of Section 4.5: eps = 1/6, k = 3, N_3 = 48, leaves
+	// append 12 items each.
+	eps := 1.0 / 6
+	adv := ratAdversary(eps, gkFactory(eps))
+	adv.RecordLeaves = true
+	res, err := adv.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 48 {
+		t.Errorf("N = %d, want 48", res.N)
+	}
+	if len(res.Leaves) != 4 {
+		t.Errorf("leaves = %d, want 4", len(res.Leaves))
+	}
+	for i, leaf := range res.Leaves {
+		if leaf.TotalItems != 12*(i+1) {
+			t.Errorf("leaf %d total items = %d, want %d", i+1, leaf.TotalItems, 12*(i+1))
+		}
+	}
+	// Lemma 3.4 example: the largest gap can be at most 2εN_1 = 4 after the
+	// first leaf; globally at most 2εN_3 = 16 for a correct summary.
+	if float64(res.Gap) > res.GapBound {
+		t.Errorf("gap %d exceeds bound %v", res.Gap, res.GapBound)
+	}
+}
+
+func TestFloat64UniverseShallow(t *testing.T) {
+	// The float64 universe supports shallow constructions; this documents the
+	// substitution (DESIGN.md): big.Rat is needed only for deep recursions.
+	uni := universe.NewFloat64()
+	eps := 1.0 / 16
+	adv := &Adversary[float64]{
+		Uni: uni,
+		Cmp: uni.Comparator(),
+		Eps: eps,
+		NewSummary: func() summary.Summary[float64] {
+			return gk.New(uni.Comparator(), eps)
+		},
+	}
+	res, err := adv.Run(4)
+	if err != nil {
+		t.Fatalf("shallow float64 construction should succeed: %v", err)
+	}
+	if float64(res.Gap) > res.GapBound {
+		t.Errorf("gap bound violated on float64 universe")
+	}
+}
+
+func TestNodeReportsPopulated(t *testing.T) {
+	eps := 1.0 / 16
+	adv := ratAdversary(eps, gkFactory(eps))
+	res, err := adv.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) == 0 {
+		t.Fatalf("expected node reports")
+	}
+	for _, n := range res.Nodes {
+		if n.Level < 2 || n.Items <= 0 {
+			t.Errorf("node report has invalid level/items: %+v", n)
+		}
+		if n.Gap < 1 || n.GapLeft < 1 || n.GapRight < 1 {
+			t.Errorf("gaps should be at least 1: %+v", n)
+		}
+		if n.RestrictedStored < 2 {
+			t.Errorf("restricted size includes the two endpoints: %+v", n)
+		}
+		if n.IntervalPi == "" || n.IntervalRho == "" {
+			t.Errorf("interval descriptions missing: %+v", n)
+		}
+	}
+	// The root node is reported last (post-order) and covers all items.
+	root := res.Nodes[len(res.Nodes)-1]
+	if root.Level != 4 || root.Items != res.N {
+		t.Errorf("root node report wrong: %+v", root)
+	}
+}
+
+func TestFailureWitnessExceeds(t *testing.T) {
+	w := FailureWitness{ErrPi: 10, ErrRho: 1, AllowedError: 5}
+	if !w.Exceeds() {
+		t.Errorf("ErrPi beyond allowed should exceed")
+	}
+	w = FailureWitness{ErrPi: 1, ErrRho: 1, AllowedError: 5}
+	if w.Exceeds() {
+		t.Errorf("small errors should not exceed")
+	}
+}

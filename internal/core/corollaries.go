@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+)
+
+// This file implements the corollary adversaries of Section 6 of the paper:
+// approximate median (Theorem 6.1), rank estimation (Theorem 6.2), and biased
+// quantiles (Theorem 6.5). Each reuses the recursive construction of
+// Section 4 and adds the reduction described in the corresponding proof
+// sketch.
+
+// MedianResult is the outcome of the approximate-median adversary
+// (Theorem 6.1): after the construction, the streams are extended with items
+// smaller (or larger) than everything so far, moving the exact median into
+// the middle of the largest gap; a summary that used too little space then
+// cannot return an ε-approximate median.
+type MedianResult[T any] struct {
+	// Construction is the underlying run of the recursive construction.
+	Construction *Result[T]
+	// Extended reports whether the padding step was applied (it is skipped
+	// when the gap is small, i.e. the summary used enough space).
+	Extended bool
+	// PaddingItems is the number of items appended.
+	PaddingItems int
+	// FinalN is the stream length after padding.
+	FinalN int
+	// MedianRankPi / MedianRankRho are the ranks (w.r.t. the extended π / ϱ
+	// streams) of the item the summary returned for ϕ = 1/2.
+	MedianRankPi, MedianRankRho int
+	// TargetRank is ⌊FinalN/2⌋.
+	TargetRank int
+	// ErrPi / ErrRho are the absolute rank errors on the two streams.
+	ErrPi, ErrRho int
+	// AllowedError is ε·FinalN.
+	AllowedError float64
+}
+
+// Fails reports whether the summary failed to return an ε-approximate median
+// on at least one of the two streams.
+func (m *MedianResult[T]) Fails() bool {
+	return float64(m.ErrPi) > m.AllowedError || float64(m.ErrRho) > m.AllowedError
+}
+
+// RunMedian executes the Theorem 6.1 adversary: the recursive construction
+// followed, when the gap is large, by appending items beyond one end of the
+// stream so that the median falls inside the gap.
+func (a *Adversary[T]) RunMedian(k int) (*MedianResult[T], error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("core: k must be at least 1")
+	}
+	st := &runState[T]{
+		adv:            a,
+		m:              int(math.Ceil(2 / a.Eps)),
+		piSet:          order.NewMultiset(a.Cmp),
+		rhoSet:         order.NewMultiset(a.Cmp),
+		dPi:            summary.NewInstrumented[T](a.NewSummary(), nil),
+		dRho:           summary.NewInstrumented[T](a.NewSummary(), nil),
+		sizesAgree:     true,
+		positionsAgree: true,
+	}
+	full := universe.FullInterval[T]()
+	if err := st.advStrategy(k, full, full, 0); err != nil {
+		return nil, err
+	}
+	base := st.buildResult(a, k)
+
+	out := &MedianResult[T]{Construction: base}
+	n := len(st.piSeq)
+
+	// Locate the largest gap and the rank interval it spans.
+	itemsPi := st.dPi.StoredItems()
+	itemsRho := st.dRho.StoredItems()
+	limit := len(itemsPi)
+	if len(itemsRho) < limit {
+		limit = len(itemsRho)
+	}
+	bestI, bestGap := -1, 0
+	for i := 0; i+1 < limit; i++ {
+		g := st.rhoSet.CountLE(itemsRho[i+1]) - st.piSet.CountLE(itemsPi[i])
+		if g > bestGap {
+			bestGap, bestI = g, i
+		}
+	}
+	if bestI < 0 {
+		return out, nil
+	}
+	rLow := st.piSet.CountLE(itemsPi[bestI])
+	rHigh := st.rhoSet.CountLE(itemsRho[bestI+1])
+	midRank := (rLow + rHigh) / 2
+	phiPrime := float64(midRank) / float64(n)
+
+	// Padding (proof of Theorem 6.1): if ϕ' < 1/2 append (1−2ϕ')·N items
+	// below everything; otherwise append (2ϕ'−1)·N items above everything.
+	var padCount int
+	var padInterval universe.Interval[T]
+	if phiPrime < 0.5 {
+		padCount = int(math.Round((1 - 2*phiPrime) * float64(n)))
+		if lo, ok := st.piSet.Min(); ok {
+			padInterval = universe.BelowOf(minItem(a, lo, st.rhoSet))
+		}
+	} else {
+		padCount = int(math.Round((2*phiPrime - 1) * float64(n)))
+		if hi, ok := st.piSet.Max(); ok {
+			padInterval = universe.AboveOf(maxItem(a, hi, st.rhoSet))
+		}
+	}
+	if padCount > 0 {
+		items, ok := a.Uni.Partition(padInterval, padCount)
+		if !ok {
+			return nil, fmt.Errorf("core: cannot generate %d padding items", padCount)
+		}
+		for _, x := range items {
+			st.dPi.Update(x)
+			st.dRho.Update(x)
+		}
+		st.piSeq = append(st.piSeq, items...)
+		st.rhoSeq = append(st.rhoSeq, items...)
+		st.piSet.AddSortedBatch(items)
+		st.rhoSet.AddSortedBatch(items)
+		out.Extended = true
+		out.PaddingItems = padCount
+	}
+
+	finalN := len(st.piSeq)
+	out.FinalN = finalN
+	out.TargetRank = finalN / 2
+	out.AllowedError = a.Eps * float64(finalN)
+
+	ansPi, okPi := st.dPi.Query(0.5)
+	ansRho, okRho := st.dRho.Query(0.5)
+	if okPi {
+		out.MedianRankPi = st.piSet.CountLE(ansPi)
+		out.ErrPi = abs(out.MedianRankPi - out.TargetRank)
+	}
+	if okRho {
+		out.MedianRankRho = st.rhoSet.CountLE(ansRho)
+		out.ErrRho = abs(out.MedianRankRho - out.TargetRank)
+	}
+	return out, nil
+}
+
+// RankResult is the outcome of the Estimating Rank adversary (Theorem 6.2):
+// two queries q_π and q_ϱ drawn from the extreme regions of the largest gap
+// receive (for a comparison-based structure) rank estimates that cannot both
+// be within εN of the truth once the gap exceeds 2εN + 2.
+type RankResult[T any] struct {
+	// Construction is the underlying run.
+	Construction *Result[T]
+	// Gap is gap(π, ϱ).
+	Gap int
+	// TrueRankPi is the exact rank of q_π in π; TrueRankRho the exact rank of
+	// q_ϱ in ϱ.
+	TrueRankPi, TrueRankRho int
+	// EstimatePi / EstimateRho are the summary's answers.
+	EstimatePi, EstimateRho int
+	// ErrPi / ErrRho are the absolute errors.
+	ErrPi, ErrRho int
+	// AllowedError is ε·N.
+	AllowedError float64
+	// QueriesAvailable is false when the gap region admitted no fresh query
+	// item (only possible for degenerate parameters).
+	QueriesAvailable bool
+}
+
+// Fails reports whether at least one of the two rank estimates exceeds the
+// allowed error.
+func (r *RankResult[T]) Fails() bool {
+	return float64(r.ErrPi) > r.AllowedError || float64(r.ErrRho) > r.AllowedError
+}
+
+// RunRank executes the Theorem 6.2 adversary against a summary that also
+// implements rank estimation (all summaries in this repository do).
+func (a *Adversary[T]) RunRank(k int) (*RankResult[T], error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("core: k must be at least 1")
+	}
+	st := &runState[T]{
+		adv:            a,
+		m:              int(math.Ceil(2 / a.Eps)),
+		piSet:          order.NewMultiset(a.Cmp),
+		rhoSet:         order.NewMultiset(a.Cmp),
+		dPi:            summary.NewInstrumented[T](a.NewSummary(), nil),
+		dRho:           summary.NewInstrumented[T](a.NewSummary(), nil),
+		sizesAgree:     true,
+		positionsAgree: true,
+	}
+	full := universe.FullInterval[T]()
+	if err := st.advStrategy(k, full, full, 0); err != nil {
+		return nil, err
+	}
+	base := st.buildResult(a, k)
+
+	out := &RankResult[T]{Construction: base, Gap: base.Gap, AllowedError: a.Eps * float64(base.N)}
+
+	itemsPi := st.dPi.StoredItems()
+	itemsRho := st.dRho.StoredItems()
+	limit := len(itemsPi)
+	if len(itemsRho) < limit {
+		limit = len(itemsRho)
+	}
+	bestI, bestGap := -1, 0
+	for i := 0; i+1 < limit; i++ {
+		g := st.rhoSet.CountLE(itemsRho[i+1]) - st.piSet.CountLE(itemsPi[i])
+		if g > bestGap {
+			bestGap, bestI = g, i
+		}
+	}
+	if bestI < 0 {
+		return out, nil
+	}
+	// q_π lies just above I_π[i] (inside (I_π[i], next(π, I_π[i]))); q_ϱ lies
+	// just below I_ϱ[i+1]. Both exist by the continuity assumption.
+	var qPiInterval, qRhoInterval universe.Interval[T]
+	if next, ok := st.piSet.Next(itemsPi[bestI]); ok {
+		qPiInterval = universe.Open(itemsPi[bestI], next)
+	} else {
+		qPiInterval = universe.AboveOf(itemsPi[bestI])
+	}
+	if prev, ok := st.rhoSet.Prev(itemsRho[bestI+1]); ok {
+		qRhoInterval = universe.Open(prev, itemsRho[bestI+1])
+	} else {
+		qRhoInterval = universe.BelowOf(itemsRho[bestI+1])
+	}
+	qPi, ok1 := a.Uni.Between(qPiInterval)
+	qRho, ok2 := a.Uni.Between(qRhoInterval)
+	if !ok1 || !ok2 {
+		return out, nil
+	}
+	out.QueriesAvailable = true
+	out.TrueRankPi = st.piSet.CountLE(qPi)
+	out.TrueRankRho = st.rhoSet.CountLE(qRho)
+	out.EstimatePi = st.dPi.EstimateRank(qPi)
+	out.EstimateRho = st.dRho.EstimateRank(qRho)
+	out.ErrPi = abs(out.EstimatePi - out.TrueRankPi)
+	out.ErrRho = abs(out.EstimateRho - out.TrueRankRho)
+	return out, nil
+}
+
+// BiasedPhaseReport describes one phase of the Theorem 6.5 construction.
+type BiasedPhaseReport struct {
+	// Phase is the phase index i (1-based); the phase appends (1/ε)·2^i items
+	// larger than everything before it.
+	Phase int
+	// ItemsAppended is the number of items the phase appended to each stream.
+	ItemsAppended int
+	// StoredFromPhase is the number of items from this phase's value range
+	// still stored when the whole construction ends.
+	StoredFromPhase int
+	// LowerBoundForPhase is c·(1/ε)·i / 4, the per-phase contribution of the
+	// Theorem 6.5 argument.
+	LowerBoundForPhase float64
+}
+
+// BiasedResult is the outcome of the Theorem 6.5 adversary for biased
+// (relative-error) quantile summaries.
+type BiasedResult struct {
+	// Eps and Phases are the construction parameters.
+	Eps    float64
+	Phases int
+	// TotalItems is the final stream length.
+	TotalItems int
+	// MaxStored is the maximum number of items the summary held.
+	MaxStored int
+	// FinalStored is the number of items held at the end.
+	FinalStored int
+	// LowerBound is the Ω((1/ε)·k²) bound (summed per-phase contributions).
+	LowerBound float64
+	// PhaseReports holds one entry per phase.
+	PhaseReports []BiasedPhaseReport
+}
+
+// RunBiased executes the k-phase construction of Theorem 6.5 against a
+// summary for biased quantiles. Phase i runs AdvStrategy(i) inside the
+// interval above everything generated so far.
+func (a *Adversary[T]) RunBiased(phases int) (*BiasedResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if phases < 1 {
+		return nil, errors.New("core: phases must be at least 1")
+	}
+	st := &runState[T]{
+		adv:            a,
+		m:              int(math.Ceil(2 / a.Eps)),
+		piSet:          order.NewMultiset(a.Cmp),
+		rhoSet:         order.NewMultiset(a.Cmp),
+		dPi:            summary.NewInstrumented[T](a.NewSummary(), nil),
+		dRho:           summary.NewInstrumented[T](a.NewSummary(), nil),
+		sizesAgree:     true,
+		positionsAgree: true,
+	}
+	out := &BiasedResult{Eps: a.Eps, Phases: phases}
+	c := SpaceGapConstant(a.Eps)
+	// phaseStart[i] records the largest item before phase i, so phase
+	// membership can be recovered afterwards.
+	type phaseRange[T any] struct {
+		lo    T
+		hasLo bool
+	}
+	starts := make([]phaseRange[T], 0, phases)
+
+	for i := 1; i <= phases; i++ {
+		ivPi := universe.FullInterval[T]()
+		ivRho := universe.FullInterval[T]()
+		if maxSoFarPi, ok := st.piSet.Max(); ok {
+			maxSoFarRho, _ := st.rhoSet.Max()
+			ivPi = universe.AboveOf(maxSoFarPi)
+			ivRho = universe.AboveOf(maxSoFarRho)
+			starts = append(starts, phaseRange[T]{lo: maxItem(a, maxSoFarPi, st.rhoSet), hasLo: true})
+		} else {
+			starts = append(starts, phaseRange[T]{})
+		}
+		before := len(st.piSeq)
+		if err := st.advStrategy(i, ivPi, ivRho, 0); err != nil {
+			return nil, err
+		}
+		out.PhaseReports = append(out.PhaseReports, BiasedPhaseReport{
+			Phase:              i,
+			ItemsAppended:      len(st.piSeq) - before,
+			LowerBoundForPhase: c * float64(i) / (4 * a.Eps),
+		})
+	}
+
+	out.TotalItems = len(st.piSeq)
+	out.MaxStored = st.dPi.Stats().MaxStored
+	out.FinalStored = st.dPi.StoredCount()
+	for i := range out.PhaseReports {
+		out.LowerBound += out.PhaseReports[i].LowerBoundForPhase
+	}
+	// Count stored items per phase value range.
+	stored := st.dPi.StoredItems()
+	for i := range out.PhaseReports {
+		var lo T
+		hasLo := starts[i].hasLo
+		lo = starts[i].lo
+		var hi T
+		hasHi := i+1 < len(starts) && starts[i+1].hasLo
+		if hasHi {
+			hi = starts[i+1].lo
+		}
+		count := 0
+		for _, x := range stored {
+			if hasLo && a.Cmp(x, lo) <= 0 {
+				continue
+			}
+			if hasHi && a.Cmp(x, hi) > 0 {
+				continue
+			}
+			count++
+		}
+		out.PhaseReports[i].StoredFromPhase = count
+	}
+	return out, nil
+}
+
+// buildResult assembles the common Result from the run state.
+func (st *runState[T]) buildResult(a *Adversary[T], k int) *Result[T] {
+	res := &Result[T]{
+		Eps:            a.Eps,
+		K:              k,
+		N:              len(st.piSeq),
+		Pi:             st.piSeq,
+		Rho:            st.rhoSeq,
+		MaxStoredPi:    st.dPi.Stats().MaxStored,
+		MaxStoredRho:   st.dRho.Stats().MaxStored,
+		FinalStoredPi:  st.dPi.StoredCount(),
+		FinalStoredRho: st.dRho.StoredCount(),
+		GapBound:       2 * a.Eps * float64(len(st.piSeq)),
+		LowerBound:     LowerBoundItems(a.Eps, k),
+		Nodes:          st.nodes,
+		Leaves:         st.leaves,
+		SizesAgree:     st.sizesAgree,
+		PositionsAgree: st.positionsAgree,
+	}
+	res.Gap = st.topLevelGap()
+	for _, n := range st.nodes {
+		if !n.Claim1OK {
+			res.Claim1Violations++
+		}
+		if !n.SpaceGapOK {
+			res.SpaceGapViolations++
+		}
+	}
+	if float64(res.Gap) > res.GapBound {
+		w := st.failureWitness(res.Gap)
+		res.Witness = &w
+	}
+	return res
+}
+
+// minItem returns the smaller of x and the minimum of the given multiset
+// (used to pad below both streams).
+func minItem[T any](a *Adversary[T], x T, other interface{ Min() (T, bool) }) T {
+	if m, ok := other.Min(); ok && a.Cmp(m, x) < 0 {
+		return m
+	}
+	return x
+}
+
+// maxItem returns the larger of x and the maximum of the given multiset.
+func maxItem[T any](a *Adversary[T], x T, other interface{ Max() (T, bool) }) T {
+	if m, ok := other.Max(); ok && a.Cmp(m, x) > 0 {
+		return m
+	}
+	return x
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+)
+
+func TestRunMedianValidation(t *testing.T) {
+	bad := &Adversary[*big.Rat]{}
+	if _, err := bad.RunMedian(3); err == nil {
+		t.Errorf("invalid adversary should be rejected")
+	}
+	good := ratAdversary(1.0/16, gkFactory(1.0/16))
+	if _, err := good.RunMedian(0); err == nil {
+		t.Errorf("k=0 should be rejected")
+	}
+}
+
+func TestMedianAdversaryAgainstGK(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, gkFactory(eps))
+	res, err := adv.RunMedian(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GK is correct, so it must return an ε-approximate median even after the
+	// padding step.
+	if res.Fails() {
+		t.Errorf("GK failed the median adversary: errPi=%d errRho=%d allowed=%v",
+			res.ErrPi, res.ErrRho, res.AllowedError)
+	}
+	if res.FinalN < res.Construction.N {
+		t.Errorf("final stream length %d smaller than construction %d", res.FinalN, res.Construction.N)
+	}
+	if res.TargetRank != res.FinalN/2 {
+		t.Errorf("target rank %d, want %d", res.TargetRank, res.FinalN/2)
+	}
+}
+
+func TestMedianAdversaryDefeatsCappedSummary(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, cappedFactory(8))
+	res, err := adv.RunMedian(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capped summary created a gap wider than 2εN; after padding, the
+	// median falls inside it and the summary cannot answer it.
+	if float64(res.Construction.Gap) <= res.Construction.GapBound {
+		t.Skipf("capped summary unexpectedly kept the gap small (gap=%d)", res.Construction.Gap)
+	}
+	if !res.Fails() {
+		t.Errorf("capped summary should fail the median query: errPi=%d errRho=%d allowed=%v extended=%v",
+			res.ErrPi, res.ErrRho, res.AllowedError, res.Extended)
+	}
+}
+
+func TestRankAdversaryAgainstGK(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, gkFactory(eps))
+	res, err := adv.RunRank(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QueriesAvailable {
+		t.Fatalf("expected rank queries to be constructible")
+	}
+	// GK provides ε-approximate ranks, so neither query may fail.
+	if res.Fails() {
+		t.Errorf("GK failed the rank adversary: errPi=%d errRho=%d allowed=%v",
+			res.ErrPi, res.ErrRho, res.AllowedError)
+	}
+}
+
+func TestRankAdversaryDefeatsCappedSummary(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, cappedFactory(8))
+	res, err := adv.RunRank(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QueriesAvailable {
+		t.Fatalf("expected rank queries to be constructible")
+	}
+	if float64(res.Gap) <= 2*eps*float64(res.Construction.N)+2 {
+		t.Skipf("capped summary unexpectedly kept the gap small (gap=%d)", res.Gap)
+	}
+	// Theorem 6.2: with a gap above 2εN + 2, at least one of the two rank
+	// estimates must be off by more than εN.
+	if !res.Fails() {
+		t.Errorf("capped summary should fail a rank query: errPi=%d errRho=%d allowed=%v",
+			res.ErrPi, res.ErrRho, res.AllowedError)
+	}
+	if _, err := ratAdversary(eps, cappedFactory(8)).RunRank(0); err == nil {
+		t.Errorf("k=0 should be rejected")
+	}
+}
+
+func biasedFactory(eps float64) func() summary.Summary[*big.Rat] {
+	uni := universe.NewRational()
+	return func() summary.Summary[*big.Rat] {
+		return biased.New(uni.Comparator(), eps)
+	}
+}
+
+func TestBiasedAdversary(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, biasedFactory(eps))
+	res, err := adv.RunBiased(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 5 || len(res.PhaseReports) != 5 {
+		t.Fatalf("expected 5 phase reports, got %d", len(res.PhaseReports))
+	}
+	wantTotal := 0
+	for i := 1; i <= 5; i++ {
+		wantTotal += StreamLength(eps, i)
+	}
+	if res.TotalItems != wantTotal {
+		t.Errorf("total items %d, want %d", res.TotalItems, wantTotal)
+	}
+	// Phase sizes double.
+	for i, pr := range res.PhaseReports {
+		if pr.ItemsAppended != StreamLength(eps, i+1) {
+			t.Errorf("phase %d appended %d items, want %d", i+1, pr.ItemsAppended, StreamLength(eps, i+1))
+		}
+		if pr.LowerBoundForPhase <= 0 {
+			t.Errorf("phase %d lower bound should be positive", i+1)
+		}
+	}
+	// The biased summary must store at least the summed per-phase bound
+	// (Theorem 6.5) — with the paper's small constant this is far below what
+	// the real summary keeps, so the check is not vacuous but not tight.
+	if float64(res.MaxStored) < res.LowerBound {
+		t.Errorf("biased summary stored %d items, below the Theorem 6.5 bound %v",
+			res.MaxStored, res.LowerBound)
+	}
+	if res.FinalStored <= 0 || res.MaxStored < res.FinalStored {
+		t.Errorf("stored counts inconsistent: max %d final %d", res.MaxStored, res.FinalStored)
+	}
+	// Per-phase stored counts are recorded and sum to at most the final size.
+	sum := 0
+	for _, pr := range res.PhaseReports {
+		if pr.StoredFromPhase < 0 {
+			t.Errorf("negative stored-from-phase")
+		}
+		sum += pr.StoredFromPhase
+	}
+	if sum > res.FinalStored {
+		t.Errorf("per-phase stored items %d exceed final stored %d", sum, res.FinalStored)
+	}
+	if _, err := adv.RunBiased(0); err == nil {
+		t.Errorf("phases=0 should be rejected")
+	}
+	bad := &Adversary[*big.Rat]{}
+	if _, err := bad.RunBiased(2); err == nil {
+		t.Errorf("invalid adversary should be rejected")
+	}
+}
+
+func TestBiasedAdversaryGrowsWithPhases(t *testing.T) {
+	eps := 1.0 / 32
+	adv := ratAdversary(eps, biasedFactory(eps))
+	r3, err := adv.RunBiased(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := adv.RunBiased(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.MaxStored <= r3.MaxStored {
+		t.Errorf("biased summary space should grow with phases: %d vs %d", r3.MaxStored, r6.MaxStored)
+	}
+	if r6.LowerBound <= r3.LowerBound {
+		t.Errorf("lower bound should grow with phases")
+	}
+}

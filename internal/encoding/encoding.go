@@ -1,0 +1,236 @@
+// Package encoding provides compact binary serialization for the float64
+// quantile summaries, so sketches can be shipped between workers and a
+// coordinator (the distributed aggregation setting of Section 1 of the paper
+// and the "mergeable summaries" line of work it cites) or checkpointed to
+// disk.
+//
+// The format is versioned, little-endian, and self-describing enough to
+// reject foreign payloads: a 4-byte magic, a format version, a summary kind,
+// followed by kind-specific fields. Only the information needed to continue
+// answering queries (and merging) is serialized; instrumentation counters are
+// not.
+package encoding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/order"
+)
+
+// Magic identifies serialized summaries from this package.
+const Magic = uint32(0x51534d31) // "QSM1"
+
+// Version is the current format version.
+const Version = uint16(1)
+
+// Kind identifies the summary type inside a payload.
+type Kind uint16
+
+// Supported kinds.
+const (
+	KindGK  Kind = 1
+	KindKLL Kind = 2
+)
+
+// ErrBadPayload is returned when the payload is not a serialized summary
+// produced by this package.
+var ErrBadPayload = errors.New("encoding: not a quantilelb summary payload")
+
+type writer struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (w *writer) u16(v uint16)  { w.bin(v) }
+func (w *writer) u32(v uint32)  { w.bin(v) }
+func (w *writer) u64(v uint64)  { w.bin(v) }
+func (w *writer) i64(v int64)   { w.bin(v) }
+func (w *writer) f64(v float64) { w.bin(math.Float64bits(v)) }
+
+func (w *writer) bin(v interface{}) {
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(&w.buf, binary.LittleEndian, v)
+}
+
+type reader struct {
+	buf *bytes.Reader
+	err error
+}
+
+func (r *reader) u16() uint16  { var v uint16; r.bin(&v); return v }
+func (r *reader) u32() uint32  { var v uint32; r.bin(&v); return v }
+func (r *reader) u64() uint64  { var v uint64; r.bin(&v); return v }
+func (r *reader) i64() int64   { var v int64; r.bin(&v); return v }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bin(v interface{}) {
+	if r.err != nil {
+		return
+	}
+	r.err = binary.Read(r.buf, binary.LittleEndian, v)
+}
+
+// EncodeGK serializes a float64 Greenwald–Khanna summary.
+func EncodeGK(s *gk.Summary[float64]) ([]byte, error) {
+	if s == nil {
+		return nil, errors.New("encoding: nil summary")
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindGK))
+	w.f64(s.Epsilon())
+	w.u16(uint16(s.PolicyUsed()))
+	w.i64(int64(s.Count()))
+	tuples := s.Tuples()
+	w.u32(uint32(len(tuples)))
+	for _, t := range tuples {
+		w.f64(t.V)
+		w.i64(int64(t.G))
+		w.i64(int64(t.Delta))
+	}
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeGK reconstructs a float64 Greenwald–Khanna summary.
+func DecodeGK(payload []byte) (*gk.Summary[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindGK {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want GK (%d)", kind, KindGK)
+	}
+	eps := r.f64()
+	policy := gk.Policy(r.u16())
+	count := r.i64()
+	numTuples := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated GK header: %w", r.err)
+	}
+	if count < 0 || numTuples > uint32(count)+1 {
+		return nil, fmt.Errorf("encoding: inconsistent GK payload (n=%d, tuples=%d)", count, numTuples)
+	}
+	tuples := make([]gk.Tuple[float64], numTuples)
+	for i := range tuples {
+		tuples[i] = gk.Tuple[float64]{V: r.f64(), G: int(r.i64()), Delta: int(r.i64())}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated GK tuples: %w", r.err)
+	}
+	s, err := gk.Restore(order.Floats[float64](), eps, policy, int(count), tuples)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeKLL serializes a float64 KLL sketch.
+func EncodeKLL(s *kll.Sketch[float64]) ([]byte, error) {
+	if s == nil {
+		return nil, errors.New("encoding: nil sketch")
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindKLL))
+	w.i64(int64(s.K()))
+	w.i64(int64(s.Count()))
+	levels := s.Compactors()
+	w.u32(uint32(len(levels)))
+	for _, level := range levels {
+		w.u32(uint32(len(level)))
+		for _, x := range level {
+			w.f64(x)
+		}
+	}
+	mn, mx, ok := s.Extremes()
+	if ok {
+		w.u16(1)
+		w.f64(mn)
+		w.f64(mx)
+	} else {
+		w.u16(0)
+	}
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeKLL reconstructs a float64 KLL sketch. The decoded sketch continues
+// to accept updates and merges (its random source is freshly seeded from the
+// retained state size, which does not affect correctness guarantees).
+func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindKLL {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want KLL (%d)", kind, KindKLL)
+	}
+	k := int(r.i64())
+	count := r.i64()
+	numLevels := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated KLL header: %w", r.err)
+	}
+	if k < 2 || count < 0 || numLevels > 64 {
+		return nil, fmt.Errorf("encoding: inconsistent KLL payload (k=%d, n=%d, levels=%d)", k, count, numLevels)
+	}
+	levels := make([][]float64, numLevels)
+	for i := range levels {
+		sz := r.u32()
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated KLL level header: %w", r.err)
+		}
+		if int64(sz) > count+1 {
+			return nil, fmt.Errorf("encoding: inconsistent KLL level size %d", sz)
+		}
+		level := make([]float64, sz)
+		for j := range level {
+			level[j] = r.f64()
+		}
+		levels[i] = level
+	}
+	hasExtremes := r.u16() == 1
+	var mn, mx float64
+	if hasExtremes {
+		mn, mx = r.f64(), r.f64()
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated KLL payload: %w", r.err)
+	}
+	s, err := kll.Restore(order.Floats[float64](), k, int(count), levels, mn, mx, hasExtremes)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
+}
+
+// DetectKind returns the summary kind stored in a payload without decoding it
+// fully.
+func DetectKind(payload []byte) (Kind, error) {
+	_, kind, err := openPayload(payload)
+	return kind, err
+}
+
+func openPayload(payload []byte) (*reader, Kind, error) {
+	r := &reader{buf: bytes.NewReader(payload)}
+	if r.u32() != Magic {
+		return nil, 0, ErrBadPayload
+	}
+	if v := r.u16(); v != Version {
+		return nil, 0, fmt.Errorf("encoding: unsupported format version %d", v)
+	}
+	kind := Kind(r.u16())
+	if r.err != nil {
+		return nil, 0, ErrBadPayload
+	}
+	return r, kind, nil
+}

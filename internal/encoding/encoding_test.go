@@ -1,0 +1,236 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestGKRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	st := gen.Uniform(50000)
+	eps := 0.01
+	s := gk.NewFloat64(eps)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindGK {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	restored, err := DecodeGK(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.StoredCount() != s.StoredCount() {
+		t.Fatalf("restored counts differ: %d/%d vs %d/%d",
+			restored.Count(), restored.StoredCount(), s.Count(), s.StoredCount())
+	}
+	if restored.Epsilon() != eps || restored.PolicyUsed() != s.PolicyUsed() {
+		t.Errorf("restored parameters differ")
+	}
+	// The restored summary answers queries identically.
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		a, _ := s.Query(phi)
+		b, _ := restored.Query(phi)
+		if a != b {
+			t.Errorf("phi=%v: original %v, restored %v", phi, a, b)
+		}
+	}
+	// And it keeps working: continue the stream on the restored copy.
+	oracle := rank.Float64Oracle(st.Items())
+	more := gen.Uniform(10000)
+	all := append(append([]float64(nil), st.Items()...), more.Items()...)
+	for _, x := range more.Items() {
+		restored.Update(x)
+	}
+	oracle = rank.Float64Oracle(all)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := restored.Query(phi)
+		if e := oracle.RankError(got, phi); float64(e) > eps*float64(len(all))+1 {
+			t.Errorf("restored summary inaccurate after further updates at phi=%v: err %d", phi, e)
+		}
+	}
+}
+
+func TestKLLRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	st := gen.Gaussian(60000, 10, 3)
+	s := kll.NewFloat64(0.01, kll.WithSeed(5))
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	payload, err := EncodeKLL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindKLL {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	restored, err := DecodeKLL(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.StoredCount() != s.StoredCount() {
+		t.Fatalf("restored counts differ")
+	}
+	if err := restored.CheckInvariant(); err != nil {
+		t.Fatalf("restored sketch invariant: %v", err)
+	}
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		a, _ := s.Query(phi)
+		b, _ := restored.Query(phi)
+		if a != b {
+			t.Errorf("phi=%v: original %v, restored %v", phi, a, b)
+		}
+	}
+	// Restored sketches still merge.
+	other := kll.NewFloat64(0.01, kll.WithSeed(9))
+	for _, x := range gen.Gaussian(20000, 10, 3).Items() {
+		other.Update(x)
+	}
+	if err := restored.Merge(other); err != nil {
+		t.Fatalf("merge after restore: %v", err)
+	}
+	if restored.Count() != 80000 {
+		t.Errorf("count after merge = %d", restored.Count())
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if _, err := EncodeGK(nil); err == nil {
+		t.Errorf("nil GK should error")
+	}
+	if _, err := EncodeKLL(nil); err == nil {
+		t.Errorf("nil KLL should error")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		[]byte("definitely not a summary payload"),
+	}
+	for _, payload := range cases {
+		if _, err := DecodeGK(payload); err == nil {
+			t.Errorf("DecodeGK accepted garbage %v", payload)
+		}
+		if _, err := DecodeKLL(payload); err == nil {
+			t.Errorf("DecodeKLL accepted garbage %v", payload)
+		}
+		if _, err := DetectKind(payload); err == nil {
+			t.Errorf("DetectKind accepted garbage %v", payload)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongKind(t *testing.T) {
+	s := gk.NewFloat64(0.1)
+	s.Update(1)
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeKLL(payload); err == nil {
+		t.Errorf("DecodeKLL should reject a GK payload")
+	}
+	k := kll.NewFloat64(0.1)
+	k.Update(1)
+	payload2, err := EncodeKLL(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGK(payload2); err == nil {
+		t.Errorf("DecodeGK should reject a KLL payload")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	s := gk.NewFloat64(0.05)
+	for _, x := range gen.Uniform(1000).Items() {
+		s.Update(x)
+	}
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(payload) / 2, len(payload) - 3, 9} {
+		if _, err := DecodeGK(payload[:cut]); err == nil {
+			t.Errorf("truncated payload (len %d) accepted", cut)
+		}
+	}
+	k := kll.NewFloat64(0.05)
+	for _, x := range gen.Uniform(1000).Items() {
+		k.Update(x)
+	}
+	payload2, err := EncodeKLL(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(payload2) / 2, len(payload2) - 3, 9} {
+		if _, err := DecodeKLL(payload2[:cut]); err == nil {
+			t.Errorf("truncated KLL payload (len %d) accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptedCounts(t *testing.T) {
+	s := gk.NewFloat64(0.1)
+	for i := 0; i < 100; i++ {
+		s.Update(float64(i))
+	}
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the item count field (offset: 4 magic + 2 version + 2 kind +
+	// 8 eps + 2 policy = 18).
+	corrupted := append([]byte(nil), payload...)
+	corrupted[18] = 0xFF
+	if _, err := DecodeGK(corrupted); err == nil {
+		t.Errorf("corrupted GK payload accepted")
+	}
+}
+
+// Property: encode/decode round-trips GK summaries built from arbitrary
+// streams, preserving query answers.
+func TestGKRoundTripProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		s := gk.NewFloat64(0.1)
+		for _, x := range items {
+			s.Update(x)
+		}
+		payload, err := EncodeGK(s)
+		if err != nil {
+			return false
+		}
+		restored, err := DecodeGK(payload)
+		if err != nil {
+			return false
+		}
+		if restored.Count() != s.Count() {
+			return false
+		}
+		for _, phi := range []float64{0, 0.5, 1} {
+			a, okA := s.Query(phi)
+			b, okB := restored.Query(phi)
+			if okA != okB || (okA && a != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

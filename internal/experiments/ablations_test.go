@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationGKPolicy(t *testing.T) {
+	tab, err := AblationGKPolicy(1.0/32, 20000, 5)
+	if err != nil {
+		t.Fatalf("AblationGKPolicy: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 inputs x 2 policies), got %d", len(tab.Rows))
+	}
+	// Random-stream rows must be within the allowance.
+	for _, row := range tab.Rows[:2] {
+		if row[0] != "random" {
+			t.Errorf("unexpected row order: %v", row)
+		}
+	}
+	if out := tab.Render(); !strings.Contains(out, "bands") || !strings.Contains(out, "greedy") {
+		t.Errorf("both policies should appear: %s", out)
+	}
+}
+
+func TestAblationKLLDecay(t *testing.T) {
+	tab, err := AblationKLLDecay(0.02, 30000)
+	if err != nil {
+		t.Fatalf("AblationKLLDecay: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 decay rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestAblationUniverse(t *testing.T) {
+	tab, err := AblationUniverse(1.0/32, 4)
+	if err != nil {
+		t.Fatalf("AblationUniverse: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	}
+	// The rational universe column must always be populated.
+	for _, row := range tab.Rows {
+		if row[2] == "" || row[2] == "-" {
+			t.Errorf("big.Rat column missing: %v", row)
+		}
+	}
+}
+
+func TestAblationsDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ablation sweep in -short mode")
+	}
+	p := QuickParams()
+	tables, err := Ablations(p)
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("expected 3 ablation tables, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if !strings.HasPrefix(tab.ID, "A") {
+			t.Errorf("ablation table id %q should start with A", tab.ID)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.Render()
+	if !strings.Contains(out, "T0 — demo") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Errorf("float formatting missing: %q", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Errorf("notes missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines (title, header, separator, 2 rows, note), got %d", len(lines))
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	tab, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("expected 3 gap rows, got %d", len(tab.Rows))
+	}
+	if !strings.Contains(strings.Join(tab.Notes, " "), "largest gap = 5") {
+		t.Errorf("expected the figure's gap of 5: %v", tab.Notes)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	tab, res, err := Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if res.N != 48 {
+		t.Errorf("N = %d, want 48", res.N)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("expected 4 leaf rows, got %d", len(tab.Rows))
+	}
+	if float64(res.Gap) > res.GapBound {
+		t.Errorf("GK violated the gap bound in the Figure 2 example")
+	}
+}
+
+func TestTheorem22Small(t *testing.T) {
+	tab, err := Theorem22([]float64{1.0 / 32}, 5)
+	if err != nil {
+		t.Fatalf("Theorem22: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("expected 5 rows, got %d", len(tab.Rows))
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "VIOLATION") {
+			t.Errorf("lower bound violated: %s", note)
+		}
+	}
+}
+
+func TestLemma34Small(t *testing.T) {
+	tab, err := Lemma34(1.0/32, 6, 8)
+	if err != nil {
+		t.Fatalf("Lemma34: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected 2 rows")
+	}
+	// GK row must be within the bound; the capped row must not be.
+	if tab.Rows[0][4] != "true" {
+		t.Errorf("GK should be within the gap bound: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][4] != "false" {
+		t.Errorf("capped summary should exceed the gap bound: %v", tab.Rows[1])
+	}
+	if tab.Rows[1][5] == "-" {
+		t.Errorf("capped summary should have a failure witness")
+	}
+}
+
+func TestClaim1AndSpaceGapSmall(t *testing.T) {
+	c1, err := Claim1(1.0/32, 5)
+	if err != nil {
+		t.Fatalf("Claim1: %v", err)
+	}
+	if len(c1.Rows) != 15 {
+		t.Errorf("k=5 should have 15 internal nodes, got %d", len(c1.Rows))
+	}
+	if !strings.Contains(strings.Join(c1.Notes, " "), "violations: 0") {
+		t.Errorf("Claim 1 should hold at every node: %v", c1.Notes)
+	}
+	sg, err := SpaceGap(1.0/32, 5)
+	if err != nil {
+		t.Fatalf("SpaceGap: %v", err)
+	}
+	if !strings.Contains(strings.Join(sg.Notes, " "), "violations: 0") {
+		t.Errorf("space-gap inequality should hold at every node: %v", sg.Notes)
+	}
+}
+
+func TestSandwichSmall(t *testing.T) {
+	tab, err := Sandwich(1.0/32, 4)
+	if err != nil {
+		t.Fatalf("Sandwich: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestMedianAndRankCorollariesSmall(t *testing.T) {
+	med, err := MedianCorollary(1.0/32, 6, 8)
+	if err != nil {
+		t.Fatalf("MedianCorollary: %v", err)
+	}
+	if len(med.Rows) != 2 {
+		t.Fatalf("expected 2 rows")
+	}
+	if med.Rows[0][6] != "false" {
+		t.Errorf("GK should not fail the median adversary: %v", med.Rows[0])
+	}
+	rk, err := RankCorollary(1.0/32, 6, 8)
+	if err != nil {
+		t.Fatalf("RankCorollary: %v", err)
+	}
+	if rk.Rows[0][6] != "false" {
+		t.Errorf("GK should not fail the rank adversary: %v", rk.Rows[0])
+	}
+	if rk.Rows[1][6] != "true" {
+		t.Errorf("capped summary should fail the rank adversary: %v", rk.Rows[1])
+	}
+}
+
+func TestBiasedCorollarySmall(t *testing.T) {
+	tab, err := BiasedCorollary(1.0/32, 4)
+	if err != nil {
+		t.Fatalf("BiasedCorollary: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("expected 4 phase rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestRandomizedAdversarySmall(t *testing.T) {
+	tab, err := RandomizedAdversary(1.0/32, 5)
+	if err != nil {
+		t.Fatalf("RandomizedAdversary: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("expected 3 rows, got %d", len(tab.Rows))
+	}
+	// The deterministic GK row must respect the gap bound.
+	if tab.Rows[0][5] != "true" {
+		t.Errorf("GK row should be within the gap bound: %v", tab.Rows[0])
+	}
+}
+
+func TestCompareSmall(t *testing.T) {
+	tab, rows, err := Compare(0.02, 20000, []string{"shuffled", "zipf"}, 1)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(rows) != 14 {
+		t.Errorf("expected 2 workloads x 7 summaries = 14 rows, got %d", len(rows))
+	}
+	if len(tab.Rows) != len(rows) {
+		t.Errorf("table and row slice disagree")
+	}
+	for _, r := range rows {
+		// Deterministic uniform-error summaries must pass.
+		if r.Summary == "gk-bands" || r.Summary == "gk-greedy" || r.Summary == "mrl" || r.Summary == "biased" {
+			if !r.Passed {
+				t.Errorf("%s on %s should pass the uniform check (worst err %d, allowed %v)",
+					r.Summary, r.Workload, r.WorstError, r.Allowed)
+			}
+		}
+		if r.MaxStored <= 0 || r.UpdateNsOp <= 0 {
+			t.Errorf("row has degenerate measurements: %+v", r)
+		}
+	}
+	// Unknown workload propagates an error.
+	if _, _, err := Compare(0.02, 100, []string{"nope"}, 1); err == nil {
+		t.Errorf("unknown workload should error")
+	}
+}
+
+func TestQuickParamsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full experiment sweep in -short mode")
+	}
+	p := QuickParams()
+	tables, err := All(p)
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(tables) != 12 {
+		t.Errorf("expected 12 tables, got %d", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+		if out := tab.Render(); len(out) == 0 {
+			t.Errorf("table %s rendered empty", tab.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Eps <= 0 || p.MaxK < p.K || p.CompareN <= 0 || len(p.CompareWorkloads) == 0 {
+		t.Errorf("default params look wrong: %+v", p)
+	}
+}

@@ -1,0 +1,124 @@
+// Package histogram builds equi-depth histograms from quantile summaries.
+//
+// Equi-depth histograms — buckets holding approximately equal numbers of
+// items — are one of the motivating applications listed in Section 1 of the
+// lower-bound paper. Given any ε-approximate quantile summary, the bucket
+// boundaries are simply the i/b-quantiles for i = 1..b−1, and each bucket's
+// population is within ±2εN of N/b.
+package histogram
+
+import (
+	"fmt"
+	"strings"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/summary"
+)
+
+// Bucket is one histogram bucket: the half-open value range [Lo, Hi) (the
+// last bucket is closed) and the estimated number of items in it.
+type Bucket[T any] struct {
+	Lo, Hi         T
+	EstimatedCount int
+}
+
+// Histogram is an equi-depth histogram.
+type Histogram[T any] struct {
+	Buckets []Bucket[T]
+	// N is the number of items the summary had processed.
+	N int
+}
+
+// Build constructs an equi-depth histogram with b buckets from the summary.
+// It returns an error when the summary is empty or b < 1.
+func Build[T any](s summary.Summary[T], b int) (*Histogram[T], error) {
+	if b < 1 {
+		return nil, fmt.Errorf("histogram: bucket count must be positive, got %d", b)
+	}
+	n := s.Count()
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: summary is empty")
+	}
+	lo, ok := s.Query(0)
+	if !ok {
+		return nil, fmt.Errorf("histogram: summary cannot answer queries")
+	}
+	h := &Histogram[T]{N: n}
+	prev := lo
+	prevRank := 0
+	for i := 1; i <= b; i++ {
+		phi := float64(i) / float64(b)
+		hi, ok := s.Query(phi)
+		if !ok {
+			return nil, fmt.Errorf("histogram: query %v failed", phi)
+		}
+		rank := s.EstimateRank(hi)
+		if i == b {
+			rank = n
+		}
+		h.Buckets = append(h.Buckets, Bucket[T]{Lo: prev, Hi: hi, EstimatedCount: rank - prevRank})
+		prev = hi
+		prevRank = rank
+	}
+	return h, nil
+}
+
+// MaxSkew returns the largest absolute deviation of a bucket's estimated
+// population from the ideal N/b, in items.
+func (h *Histogram[T]) MaxSkew() int {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	ideal := h.N / len(h.Buckets)
+	worst := 0
+	for _, b := range h.Buckets {
+		d := b.EstimatedCount - ideal
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Render returns a rough ASCII rendering of the histogram (one line per
+// bucket), useful in command-line tools and examples.
+func (h *Histogram[T]) Render(format func(T) string, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 1
+	for _, b := range h.Buckets {
+		if b.EstimatedCount > maxCount {
+			maxCount = b.EstimatedCount
+		}
+	}
+	var sb strings.Builder
+	for _, b := range h.Buckets {
+		bar := b.EstimatedCount * width / maxCount
+		fmt.Fprintf(&sb, "[%12s, %12s) %7d %s\n", format(b.Lo), format(b.Hi), b.EstimatedCount, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// ExactCounts recomputes each bucket's true population from the raw data,
+// returning the per-bucket absolute errors of the estimates. It is used by
+// tests and experiments to validate the ±2εN bucket guarantee.
+func (h *Histogram[T]) ExactCounts(cmp order.Comparator[T], data []T) []int {
+	sorted := order.Sorted(cmp, data)
+	errs := make([]int, len(h.Buckets))
+	prev := 0
+	for i, b := range h.Buckets {
+		hi := order.CountLE(cmp, sorted, b.Hi)
+		exact := hi - prev
+		diff := exact - b.EstimatedCount
+		if diff < 0 {
+			diff = -diff
+		}
+		errs[i] = diff
+		prev = hi
+	}
+	return errs
+}

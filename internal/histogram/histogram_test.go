@@ -1,0 +1,142 @@
+package histogram
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/order"
+	"quantilelb/internal/stream"
+)
+
+func buildSummary(eps float64, data []float64) *gk.Summary[float64] {
+	s := gk.NewFloat64(eps)
+	for _, x := range data {
+		s.Update(x)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := buildSummary(0.1, []float64{1, 2, 3})
+	if _, err := Build[float64](s, 0); err == nil {
+		t.Errorf("zero buckets should error")
+	}
+	empty := gk.NewFloat64(0.1)
+	if _, err := Build[float64](empty, 4); err == nil {
+		t.Errorf("empty summary should error")
+	}
+}
+
+func TestEquiDepthOnUniformData(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	n := 50000
+	eps := 0.01
+	st := gen.Uniform(n)
+	s := buildSummary(eps, st.Items())
+	h, err := Build[float64](s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 10 {
+		t.Fatalf("bucket count = %d", len(h.Buckets))
+	}
+	if h.N != n {
+		t.Fatalf("N = %d", h.N)
+	}
+	// Each bucket's estimated population should be within 2εN of N/b.
+	ideal := n / 10
+	for i, b := range h.Buckets {
+		d := b.EstimatedCount - ideal
+		if d < 0 {
+			d = -d
+		}
+		if float64(d) > 2*eps*float64(n)+1 {
+			t.Errorf("bucket %d count %d deviates from ideal %d by %d", i, b.EstimatedCount, ideal, d)
+		}
+	}
+	if float64(h.MaxSkew()) > 2*eps*float64(n)+1 {
+		t.Errorf("MaxSkew = %d too large", h.MaxSkew())
+	}
+	// Estimated counts should be close to exact counts.
+	errs := h.ExactCounts(order.Floats[float64](), st.Items())
+	for i, e := range errs {
+		if float64(e) > 2*eps*float64(n)+1 {
+			t.Errorf("bucket %d estimate off by %d", i, e)
+		}
+	}
+	// Boundaries are non-decreasing.
+	for i := 1; i < len(h.Buckets); i++ {
+		if h.Buckets[i].Lo > h.Buckets[i].Hi {
+			t.Errorf("bucket %d has Lo > Hi", i)
+		}
+		if h.Buckets[i-1].Hi != h.Buckets[i].Lo {
+			t.Errorf("buckets %d and %d are not contiguous", i-1, i)
+		}
+	}
+}
+
+func TestEquiDepthOnClusteredData(t *testing.T) {
+	// Clustered data is where equi-depth histograms shine: equal-width
+	// buckets would be mostly empty.
+	gen := stream.NewGenerator(2)
+	n := 30000
+	st := gen.Clustered(n, 5)
+	s := buildSummary(0.01, st.Items())
+	h, err := Build[float64](s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range h.Buckets {
+		if b.EstimatedCount < n/8-2*n/100-1 || b.EstimatedCount > n/8+2*n/100+1 {
+			t.Errorf("bucket %d count %d far from equi-depth ideal %d", i, b.EstimatedCount, n/8)
+		}
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	s := buildSummary(0.1, []float64{5, 1, 3})
+	h, err := Build[float64](s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 1 {
+		t.Fatalf("want 1 bucket")
+	}
+	if h.Buckets[0].EstimatedCount != 3 {
+		t.Errorf("single bucket should hold everything, got %d", h.Buckets[0].EstimatedCount)
+	}
+	if h.MaxSkew() != 0 {
+		t.Errorf("single bucket skew should be 0")
+	}
+}
+
+func TestRender(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	s := buildSummary(0.05, gen.Gaussian(5000, 100, 10).Items())
+	h, err := Build[float64](s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(func(x float64) string { return fmt.Sprintf("%.1f", x) }, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("render should contain bars")
+	}
+	// Width clamp.
+	out2 := h.Render(func(x float64) string { return "x" }, 0)
+	if !strings.Contains(out2, "#") {
+		t.Errorf("render with clamped width should still draw bars")
+	}
+}
+
+func TestMaxSkewEmpty(t *testing.T) {
+	h := &Histogram[float64]{}
+	if h.MaxSkew() != 0 {
+		t.Errorf("empty histogram skew should be 0")
+	}
+}

@@ -1,0 +1,359 @@
+// Package kll implements the Karnin–Lang–Liberty (FOCS 2016) randomized
+// comparison-based quantile sketch, which achieves space
+// O((1/ε)·log log (1/εδ)) with failure probability δ.
+//
+// Section 6.3 of Cormode & Veselý (PODS 2020) relates the deterministic lower
+// bound to randomized summaries: a randomized comparison-based summary with
+// failure probability below 1/N! can be derandomized, so it inherits the
+// Ω((1/ε)·log εN) bound (Theorem 6.4). This implementation exists so the
+// experiments can (a) contrast randomized space usage with the deterministic
+// lower bound on the adversarial streams, and (b) illustrate that fixing the
+// random bits turns KLL into a deterministic comparison-based summary to
+// which the lower bound applies directly.
+//
+// The sketch is a hierarchy of compactors. Compactor h holds items of weight
+// 2^h; when it exceeds its capacity it sorts itself and promotes either the
+// odd- or even-indexed half (chosen by a coin flip) to level h+1. Capacities
+// shrink geometrically for lower levels (factor 2/3), giving the log log
+// bound.
+package kll
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"quantilelb/internal/order"
+)
+
+// Sketch is a KLL quantile sketch over items of type T.
+type Sketch[T any] struct {
+	cmp order.Comparator[T]
+	k   int
+	c   float64
+	rng *rand.Rand
+	n   int
+
+	compactors [][]T
+
+	hasMin, hasMax bool
+	min, max       T
+}
+
+// Option configures a Sketch.
+type Option func(*config)
+
+type config struct {
+	seed int64
+	c    float64
+}
+
+// WithSeed fixes the random seed, making the sketch deterministic. With a
+// fixed seed the sketch is a deterministic comparison-based summary, so the
+// paper's lower bound applies to it (the derandomization argument of §6.3).
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithDecay overrides the capacity decay factor (default 2/3).
+func WithDecay(c float64) Option {
+	return func(cf *config) { cf.c = c }
+}
+
+// New returns a sketch with top-compactor capacity k (larger k = more
+// accurate). A common rule of thumb is k ≈ 2/ε for worst-case error ε.
+func New[T any](cmp order.Comparator[T], k int, opts ...Option) *Sketch[T] {
+	if k < 2 {
+		panic("kll: k must be at least 2")
+	}
+	cfg := config{seed: 1, c: 2.0 / 3.0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.c <= 0.5 || cfg.c >= 1 {
+		panic("kll: decay must be in (0.5, 1)")
+	}
+	return &Sketch[T]{
+		cmp:        cmp,
+		k:          k,
+		c:          cfg.c,
+		rng:        rand.New(rand.NewSource(cfg.seed)),
+		compactors: [][]T{nil},
+	}
+}
+
+// NewFloat64 returns a float64 sketch sized for accuracy eps.
+func NewFloat64(eps float64, opts ...Option) *Sketch[float64] {
+	return New(order.Floats[float64](), KForEpsilon(eps), opts...)
+}
+
+// KForEpsilon returns the top-compactor capacity used for a target accuracy.
+func KForEpsilon(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("kll: eps must be in (0, 1)")
+	}
+	k := int(math.Ceil(2 / eps))
+	if k < 8 {
+		k = 8
+	}
+	return k
+}
+
+// K returns the top-compactor capacity.
+func (s *Sketch[T]) K() int { return s.k }
+
+// Count returns the number of items processed.
+func (s *Sketch[T]) Count() int { return s.n }
+
+// capacityOf returns the capacity of compactor h when there are numLevels
+// levels: k·c^(numLevels-1-h), but never below 2.
+func (s *Sketch[T]) capacityOf(h, numLevels int) int {
+	depth := numLevels - 1 - h
+	cap := int(math.Ceil(float64(s.k) * math.Pow(s.c, float64(depth))))
+	if cap < 2 {
+		cap = 2
+	}
+	return cap
+}
+
+// Update processes one stream item.
+func (s *Sketch[T]) Update(x T) {
+	s.n++
+	if !s.hasMin || s.cmp(x, s.min) < 0 {
+		s.min, s.hasMin = x, true
+	}
+	if !s.hasMax || s.cmp(x, s.max) > 0 {
+		s.max, s.hasMax = x, true
+	}
+	s.compactors[0] = append(s.compactors[0], x)
+	s.compress()
+}
+
+// compress compacts any level exceeding its capacity.
+func (s *Sketch[T]) compress() {
+	for h := 0; h < len(s.compactors); h++ {
+		if len(s.compactors[h]) < s.capacityOf(h, len(s.compactors)) {
+			continue
+		}
+		if h+1 >= len(s.compactors) {
+			s.compactors = append(s.compactors, nil)
+		}
+		buf := s.compactors[h]
+		sort.SliceStable(buf, func(i, j int) bool { return s.cmp(buf[i], buf[j]) < 0 })
+		// If the buffer has odd length, hold one item back at this level so
+		// that total weight is preserved exactly: promoting m (even) items of
+		// weight w as m/2 items of weight 2w conserves weight.
+		var keep []T
+		if len(buf)%2 == 1 {
+			keep = []T{buf[len(buf)-1]}
+			buf = buf[:len(buf)-1]
+		}
+		offset := 0
+		if s.rng.Intn(2) == 1 {
+			offset = 1
+		}
+		for i := offset; i < len(buf); i += 2 {
+			s.compactors[h+1] = append(s.compactors[h+1], buf[i])
+		}
+		s.compactors[h] = keep
+	}
+}
+
+// weightedItem pairs an item with the weight of its compactor level.
+type weightedItem[T any] struct {
+	item   T
+	weight int
+}
+
+func (s *Sketch[T]) collect() []weightedItem[T] {
+	var out []weightedItem[T]
+	for h, comp := range s.compactors {
+		w := 1 << uint(h)
+		for _, x := range comp {
+			out = append(out, weightedItem[T]{item: x, weight: w})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return s.cmp(out[i].item, out[j].item) < 0 })
+	return out
+}
+
+// Query returns an approximate ϕ-quantile.
+func (s *Sketch[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	if phi <= 0 {
+		return s.min, true
+	}
+	if phi >= 1 {
+		return s.max, true
+	}
+	items := s.collect()
+	totalWeight := 0
+	for _, w := range items {
+		totalWeight += w.weight
+	}
+	target := phi * float64(totalWeight)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for _, w := range items {
+		cum += w.weight
+		if float64(cum) >= target {
+			return w.item, true
+		}
+	}
+	return s.max, true
+}
+
+// EstimateRank estimates the number of items less than or equal to q.
+func (s *Sketch[T]) EstimateRank(q T) int {
+	if s.n == 0 {
+		return 0
+	}
+	est := 0
+	total := 0
+	for _, w := range s.collect() {
+		total += w.weight
+		if s.cmp(w.item, q) <= 0 {
+			est += w.weight
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	// Scale to the true count: compaction retains total weight ~= n but an
+	// unpaired item can make them differ slightly.
+	return int(math.Round(float64(est) * float64(s.n) / float64(total)))
+}
+
+// StoredItems returns all retained items in non-decreasing order.
+func (s *Sketch[T]) StoredItems() []T {
+	ws := s.collect()
+	out := make([]T, len(ws))
+	for i, w := range ws {
+		out[i] = w.item
+	}
+	return out
+}
+
+// StoredCount returns the number of retained items.
+func (s *Sketch[T]) StoredCount() int {
+	count := 0
+	for _, comp := range s.compactors {
+		count += len(comp)
+	}
+	return count
+}
+
+// Levels returns the number of compactor levels.
+func (s *Sketch[T]) Levels() int { return len(s.compactors) }
+
+// Merge folds another sketch into the receiver by appending its compactors
+// level-wise and recompressing. The error of the merged sketch is bounded by
+// the larger of the two sketches' errors (KLL sketches are fully mergeable).
+func (s *Sketch[T]) Merge(other *Sketch[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.k != s.k {
+		return fmt.Errorf("kll: cannot merge sketches with different k (%d vs %d)", s.k, other.k)
+	}
+	for len(s.compactors) < len(other.compactors) {
+		s.compactors = append(s.compactors, nil)
+	}
+	for h, comp := range other.compactors {
+		s.compactors[h] = append(s.compactors[h], comp...)
+	}
+	s.n += other.n
+	if other.hasMin && (!s.hasMin || s.cmp(other.min, s.min) < 0) {
+		s.min, s.hasMin = other.min, true
+	}
+	if other.hasMax && (!s.hasMax || s.cmp(other.max, s.max) > 0) {
+		s.max, s.hasMax = other.max, true
+	}
+	s.compress()
+	return nil
+}
+
+// CheckInvariant validates structural invariants: no compactor is above twice
+// its capacity (compaction is triggered eagerly, but merges can briefly grow
+// a level before compress restores it) and the total weight is within one
+// top-level weight of n.
+func (s *Sketch[T]) CheckInvariant() error {
+	totalWeight := 0
+	for h, comp := range s.compactors {
+		if len(comp) > 2*s.capacityOf(h, len(s.compactors))+1 {
+			return fmt.Errorf("kll: compactor %d has %d items, capacity %d", h, len(comp), s.capacityOf(h, len(s.compactors)))
+		}
+		totalWeight += len(comp) << uint(h)
+	}
+	if totalWeight != s.n {
+		return fmt.Errorf("kll: total weight %d != n %d", totalWeight, s.n)
+	}
+	return nil
+}
+
+// TheoreticalSize returns the O((1/ε)·log log(1/(εδ))) bound on the number of
+// retained items for failure probability δ, used for plotting.
+func TheoreticalSize(eps, delta float64) float64 {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	inner := math.Log2(1 / (eps * delta))
+	if inner < 2 {
+		inner = 2
+	}
+	return (1 / eps) * math.Log2(inner)
+}
+
+// Compactors returns a deep copy of the compactor levels (level h holds items
+// of weight 2^h). It is used by the serialization layer.
+func (s *Sketch[T]) Compactors() [][]T {
+	out := make([][]T, len(s.compactors))
+	for i, level := range s.compactors {
+		out[i] = append([]T(nil), level...)
+	}
+	return out
+}
+
+// Extremes returns the exact minimum and maximum seen so far; ok is false
+// when the sketch is empty.
+func (s *Sketch[T]) Extremes() (min, max T, ok bool) {
+	return s.min, s.max, s.hasMin && s.hasMax
+}
+
+// Restore reconstructs a sketch from previously exported state, validating
+// weight conservation before accepting it. The restored sketch uses a fresh
+// deterministic random source; this does not affect the accuracy guarantees.
+func Restore[T any](cmp order.Comparator[T], k, count int, levels [][]T, min, max T, hasExtremes bool) (*Sketch[T], error) {
+	if k < 2 {
+		return nil, fmt.Errorf("kll: restore: k must be at least 2, got %d", k)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("kll: restore: negative item count")
+	}
+	s := New(cmp, k, WithSeed(int64(count)+1))
+	s.n = count
+	s.compactors = make([][]T, len(levels))
+	for i, level := range levels {
+		s.compactors[i] = append([]T(nil), level...)
+	}
+	if len(s.compactors) == 0 {
+		s.compactors = [][]T{nil}
+	}
+	if hasExtremes {
+		s.min, s.max = min, max
+		s.hasMin, s.hasMax = true, true
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("kll: restore: %w", err)
+	}
+	if count > 0 && !hasExtremes {
+		return nil, fmt.Errorf("kll: restore: non-empty sketch without extremes")
+	}
+	return s, nil
+}

@@ -1,0 +1,291 @@
+package kll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("k < 2 should panic")
+		}
+	}()
+	New(order.Floats[float64](), 1)
+}
+
+func TestKForEpsilonValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v should panic", eps)
+				}
+			}()
+			KForEpsilon(eps)
+		}()
+	}
+	if KForEpsilon(0.01) != 200 {
+		t.Errorf("KForEpsilon(0.01) = %d, want 200", KForEpsilon(0.01))
+	}
+	if KForEpsilon(0.9) != 8 {
+		t.Errorf("KForEpsilon(0.9) should clamp to 8, got %d", KForEpsilon(0.9))
+	}
+}
+
+func TestDecayValidation(t *testing.T) {
+	for _, c := range []float64{0.5, 1.0, 0.2, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("decay %v should panic", c)
+				}
+			}()
+			New(order.Floats[float64](), 10, WithDecay(c))
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := NewFloat64(0.1)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if s.EstimateRank(3) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if s.Count() != 0 || s.StoredCount() != 0 {
+		t.Errorf("empty sketch has nonzero counts")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	s := NewFloat64(0.1)
+	s.Update(42)
+	for _, phi := range []float64{0, 0.5, 1} {
+		if v, ok := s.Query(phi); !ok || v != 42 {
+			t.Errorf("Query(%v) = %v, %v", phi, v, ok)
+		}
+	}
+	if s.K() < 2 {
+		t.Errorf("K accessor wrong")
+	}
+}
+
+func TestAccuracyOnWorkloads(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	n := 50000
+	eps := 0.02
+	for _, name := range []string{"sorted", "shuffled", "uniform", "gaussian", "zipf"} {
+		st, err := gen.ByName(name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewFloat64(eps, WithSeed(7))
+		for _, x := range st.Items() {
+			s.Update(x)
+		}
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("%s: invariant: %v", name, err)
+		}
+		oracle := rank.Float64Oracle(st.Items())
+		// Randomized guarantee: allow 3x slack over the configured eps and
+		// require at least 95 of 101 query points to be within eps.
+		within := 0
+		for i := 0; i <= 100; i++ {
+			phi := float64(i) / 100
+			got, ok := s.Query(phi)
+			if !ok {
+				t.Fatalf("query failed")
+			}
+			errRank := oracle.RankError(got, phi)
+			if float64(errRank) <= eps*float64(n) {
+				within++
+			}
+			if float64(errRank) > 3*eps*float64(n) {
+				t.Errorf("%s phi=%v: error %d > 3*eps*N", name, phi, errRank)
+			}
+		}
+		if within < 95 {
+			t.Errorf("%s: only %d/101 queries within eps", name, within)
+		}
+	}
+}
+
+func TestEstimateRank(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	n := 50000
+	eps := 0.02
+	st := gen.Uniform(n)
+	s := NewFloat64(eps, WithSeed(3))
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		est := s.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		if math.Abs(float64(est-exact)) > 3*eps*float64(n) {
+			t.Errorf("EstimateRank(%v) = %d, exact %d", q, est, exact)
+		}
+	}
+	if s.EstimateRank(-1) > int(3*eps*float64(n)) {
+		t.Errorf("rank below the minimum should be near 0")
+	}
+}
+
+func TestSpaceIsSmall(t *testing.T) {
+	n := 200000
+	eps := 0.01
+	s := NewFloat64(eps, WithSeed(5))
+	gen := stream.NewGenerator(3)
+	maxStored := 0
+	for _, x := range gen.Shuffled(n).Items() {
+		s.Update(x)
+		if s.StoredCount() > maxStored {
+			maxStored = s.StoredCount()
+		}
+	}
+	// KLL stores O(k) = O(1/eps) items up to small factors, far below both n
+	// and the deterministic GK bound for large n.
+	if maxStored > 10*KForEpsilon(eps) {
+		t.Errorf("KLL stored %d items, expected O(k)=O(%d)", maxStored, KForEpsilon(eps))
+	}
+	if s.Levels() < 2 {
+		t.Errorf("expected multiple compactor levels, got %d", s.Levels())
+	}
+}
+
+func TestDeterministicWithFixedSeed(t *testing.T) {
+	gen := stream.NewGenerator(4)
+	st := gen.Uniform(20000)
+	a := NewFloat64(0.05, WithSeed(99))
+	b := NewFloat64(0.05, WithSeed(99))
+	for _, x := range st.Items() {
+		a.Update(x)
+		b.Update(x)
+	}
+	ia, ib := a.StoredItems(), b.StoredItems()
+	if len(ia) != len(ib) {
+		t.Fatalf("fixed-seed sketches diverged in size: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("fixed-seed sketches diverged at %d", i)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	gen := stream.NewGenerator(5)
+	eps := 0.02
+	a := NewFloat64(eps, WithSeed(1))
+	b := NewFloat64(eps, WithSeed(2))
+	s1 := gen.Uniform(30000)
+	s2 := gen.Gaussian(30000, 0.5, 0.2)
+	for _, x := range s1.Items() {
+		a.Update(x)
+	}
+	for _, x := range s2.Items() {
+		b.Update(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 60000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after merge: %v", err)
+	}
+	all := append(append([]float64(nil), s1.Items()...), s2.Items()...)
+	oracle := rank.Float64Oracle(all)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, ok := a.Query(phi)
+		if !ok {
+			t.Fatal("query failed after merge")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > 4*eps*float64(len(all)) {
+			t.Errorf("phi=%v error %d too large after merge", phi, err)
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := NewFloat64(0.1)
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil should be a no-op, got %v", err)
+	}
+	b := New(order.Floats[float64](), 64)
+	b.Update(1)
+	if err := a.Merge(b); err == nil && a.K() != b.K() {
+		t.Errorf("merging sketches with different k should error")
+	}
+}
+
+func TestMinMaxAlwaysAnswered(t *testing.T) {
+	gen := stream.NewGenerator(6)
+	st := gen.Shuffled(10000)
+	s := NewFloat64(0.01, WithSeed(8))
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	if v, _ := s.Query(0); v != 1 {
+		t.Errorf("phi=0 should return the minimum, got %v", v)
+	}
+	if v, _ := s.Query(1); v != 10000 {
+		t.Errorf("phi=1 should return the maximum, got %v", v)
+	}
+}
+
+func TestStoredItemsSorted(t *testing.T) {
+	gen := stream.NewGenerator(7)
+	s := NewFloat64(0.05)
+	for _, x := range gen.Uniform(10000).Items() {
+		s.Update(x)
+	}
+	items := s.StoredItems()
+	if len(items) != s.StoredCount() {
+		t.Fatalf("length mismatch")
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1] > items[i] {
+			t.Fatalf("StoredItems not sorted")
+		}
+	}
+}
+
+func TestTheoreticalSize(t *testing.T) {
+	if TheoreticalSize(0, 0.1) != 0 || TheoreticalSize(0.1, 0) != 0 || TheoreticalSize(0.1, 2) != 0 {
+		t.Errorf("degenerate inputs should be 0")
+	}
+	if TheoreticalSize(0.001, 0.01) <= TheoreticalSize(0.01, 0.01) {
+		t.Errorf("size should grow as eps shrinks")
+	}
+}
+
+// Property: weight conservation — the invariant holds after every update for
+// arbitrary item sequences and seeds.
+func TestWeightConservationProperty(t *testing.T) {
+	f := func(items []float64, seed int64) bool {
+		s := NewFloat64(0.1, WithSeed(seed))
+		for _, x := range items {
+			s.Update(x)
+			if s.CheckInvariant() != nil {
+				return false
+			}
+		}
+		return s.Count() == len(items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

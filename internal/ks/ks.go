@@ -1,0 +1,103 @@
+// Package ks implements approximate two-sample Kolmogorov–Smirnov tests on
+// top of quantile summaries.
+//
+// Section 1 of the lower-bound paper lists Kolmogorov–Smirnov statistical
+// tests among the applications of quantile summaries (citing Lall, 2015): the
+// KS statistic is the maximum distance between two empirical CDFs, and an
+// ε-approximate summary of each stream estimates it to within 2ε without
+// storing the streams.
+package ks
+
+import (
+	"math"
+	"sort"
+
+	"quantilelb/internal/summary"
+)
+
+// Statistic returns the approximate two-sample KS statistic
+// D = sup_x |F̂_a(x) − F̂_b(x)| computed by evaluating both estimated CDFs at
+// every item stored by either summary. The estimate is within ε_a + ε_b of
+// the exact statistic.
+func Statistic[T any](a, b summary.Summary[T]) float64 {
+	na, nb := a.Count(), b.Count()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	best := 0.0
+	eval := func(x T) {
+		fa := float64(clamp(a.EstimateRank(x), 0, na)) / float64(na)
+		fb := float64(clamp(b.EstimateRank(x), 0, nb)) / float64(nb)
+		if d := math.Abs(fa - fb); d > best {
+			best = d
+		}
+	}
+	for _, x := range a.StoredItems() {
+		eval(x)
+	}
+	for _, x := range b.StoredItems() {
+		eval(x)
+	}
+	return best
+}
+
+// ExactStatistic computes the exact two-sample KS statistic from raw float64
+// samples (ground truth for tests and experiments).
+func ExactStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := sortedCopy(a)
+	sb := sortedCopy(b)
+	best := 0.0
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if d := math.Abs(fa - fb); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RejectAtAlpha reports whether the KS statistic d rejects the null
+// hypothesis (same distribution) at significance level alpha for sample sizes
+// na and nb, using the standard asymptotic critical value
+// c(α)·sqrt((na+nb)/(na·nb)) with c(α) = sqrt(−ln(α/2)/2).
+func RejectAtAlpha(d float64, na, nb int, alpha float64) bool {
+	if na == 0 || nb == 0 || alpha <= 0 || alpha >= 1 {
+		return false
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	critical := c * math.Sqrt(float64(na+nb)/float64(na)/float64(nb))
+	return d > critical
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

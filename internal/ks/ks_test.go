@@ -1,0 +1,100 @@
+package ks
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+)
+
+func buildGK(eps float64, data []float64) summary.Summary[float64] {
+	s := gk.NewFloat64(eps)
+	for _, x := range data {
+		s.Update(x)
+	}
+	return s
+}
+
+func TestStatisticSameDistribution(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	eps := 0.01
+	a := gen.Gaussian(40000, 0, 1)
+	b := gen.Gaussian(40000, 0, 1)
+	sa := buildGK(eps, a.Items())
+	sb := buildGK(eps, b.Items())
+	approx := Statistic(sa, sb)
+	exact := ExactStatistic(a.Items(), b.Items())
+	if math.Abs(approx-exact) > 2*eps+0.01 {
+		t.Errorf("approx KS %v vs exact %v", approx, exact)
+	}
+	// Same distribution: the statistic should be small. (Rejection decisions
+	// at this sample size require a finer summary than eps=0.01, since the
+	// approximation error 2ε dominates the critical value; the
+	// different-distribution test below exercises rejection.)
+	if approx > 0.05 {
+		t.Errorf("KS statistic %v too large for identical distributions", approx)
+	}
+	if exact > 0.05 {
+		t.Errorf("exact KS statistic %v unexpectedly large", exact)
+	}
+}
+
+func TestStatisticDifferentDistributions(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	eps := 0.01
+	a := gen.Gaussian(30000, 0, 1)
+	b := gen.Gaussian(30000, 1, 1) // shifted mean
+	sa := buildGK(eps, a.Items())
+	sb := buildGK(eps, b.Items())
+	approx := Statistic(sa, sb)
+	exact := ExactStatistic(a.Items(), b.Items())
+	if math.Abs(approx-exact) > 2*eps+0.01 {
+		t.Errorf("approx KS %v vs exact %v", approx, exact)
+	}
+	if approx < 0.2 {
+		t.Errorf("KS statistic %v too small for clearly different distributions", approx)
+	}
+	if !RejectAtAlpha(approx, a.Len(), b.Len(), 0.01) {
+		t.Errorf("shifted distributions should be rejected at alpha=0.01")
+	}
+}
+
+func TestStatisticEmpty(t *testing.T) {
+	sa := buildGK(0.1, nil)
+	sb := buildGK(0.1, []float64{1, 2, 3})
+	if Statistic(sa, sb) != 0 {
+		t.Errorf("empty summary should give 0 statistic")
+	}
+	if ExactStatistic(nil, []float64{1}) != 0 {
+		t.Errorf("empty data should give 0 exact statistic")
+	}
+}
+
+func TestExactStatisticKnownValue(t *testing.T) {
+	// Two completely disjoint samples have KS statistic 1.
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if got := ExactStatistic(a, b); got != 1 {
+		t.Errorf("disjoint samples KS = %v, want 1", got)
+	}
+	// Identical samples have statistic 0.
+	if got := ExactStatistic(a, a); got != 0 {
+		t.Errorf("identical samples KS = %v, want 0", got)
+	}
+}
+
+func TestRejectAtAlphaEdgeCases(t *testing.T) {
+	if RejectAtAlpha(0.5, 0, 10, 0.05) || RejectAtAlpha(0.5, 10, 10, 0) || RejectAtAlpha(0.5, 10, 10, 1) {
+		t.Errorf("degenerate inputs should not reject")
+	}
+	// A huge statistic with decent sample sizes must reject.
+	if !RejectAtAlpha(0.9, 1000, 1000, 0.05) {
+		t.Errorf("statistic 0.9 should reject")
+	}
+	// A tiny statistic must not reject.
+	if RejectAtAlpha(0.001, 1000, 1000, 0.05) {
+		t.Errorf("statistic 0.001 should not reject")
+	}
+}

@@ -1,0 +1,273 @@
+// Package mrl implements a Manku–Rajagopalan–Lindsay style deterministic
+// quantile summary (SIGMOD 1998), the multi-level buffer-collapse algorithm
+// that preceded Greenwald–Khanna and uses O((1/ε)·log²(εN)) space.
+//
+// As the lower-bound paper notes (Section 1), the MRL summary "relies on the
+// advance knowledge of the stream length N"; this implementation keeps that
+// requirement: the capacity of each buffer is derived from ε and the declared
+// maximum stream length. The algorithm is comparison-based and deterministic,
+// so the lower bound of Cormode & Veselý applies to it; experiments compare
+// its space against GK and against the bound.
+//
+// The structure is a hierarchy of buffers. Level 0 receives incoming items
+// with weight 1. When two buffers at the same level are full they are
+// collapsed: their contents are merged and every second item is promoted to a
+// buffer at the next level with doubled weight. Each collapse at level l
+// perturbs ranks by at most 2^l, and the buffer capacity k is chosen so that
+// the total perturbation is at most εN.
+package mrl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quantilelb/internal/order"
+)
+
+// Summary is an MRL-style deterministic quantile summary.
+type Summary[T any] struct {
+	cmp      order.Comparator[T]
+	eps      float64
+	capacity int // per-buffer capacity k
+	maxN     int
+	n        int
+
+	// levels[l] holds the full buffers at level l (each of exactly capacity
+	// items with weight 2^l); current is the partially filled level-0 buffer.
+	levels  [][][]T
+	current []T
+
+	hasMin, hasMax bool
+	min, max       T
+}
+
+// New returns a summary with accuracy eps for streams of at most maxN items.
+// It panics if eps is not in (0, 1) or maxN < 1.
+func New[T any](cmp order.Comparator[T], eps float64, maxN int) *Summary[T] {
+	if !(eps > 0 && eps < 1) {
+		panic("mrl: eps must be in (0, 1)")
+	}
+	if maxN < 1 {
+		panic("mrl: maxN must be positive")
+	}
+	return &Summary[T]{
+		cmp:      cmp,
+		eps:      eps,
+		capacity: bufferCapacity(eps, maxN),
+		maxN:     maxN,
+	}
+}
+
+// NewFloat64 returns a float64 summary.
+func NewFloat64(eps float64, maxN int) *Summary[float64] {
+	return New(order.Floats[float64](), eps, maxN)
+}
+
+// bufferCapacity chooses the per-buffer capacity k so that the cumulative
+// collapse error L·N/(2k) stays below εN/2, where L = log2(N/k) is the number
+// of levels; the remaining εN/2 covers the rank uncertainty within a buffer.
+func bufferCapacity(eps float64, maxN int) int {
+	k := 8
+	for {
+		levels := math.Log2(float64(maxN)/float64(k)) + 1
+		if levels < 1 {
+			levels = 1
+		}
+		need := levels / eps
+		if float64(k) >= need || k >= maxN {
+			break
+		}
+		k *= 2
+	}
+	return k
+}
+
+// Epsilon returns the accuracy parameter.
+func (s *Summary[T]) Epsilon() float64 { return s.eps }
+
+// BufferCapacity returns the per-buffer capacity k chosen at construction.
+func (s *Summary[T]) BufferCapacity() int { return s.capacity }
+
+// Count returns the number of items processed.
+func (s *Summary[T]) Count() int { return s.n }
+
+// Update processes one stream item. Processing more than the declared maximum
+// number of items keeps the summary functional but voids the error guarantee
+// (the guarantee is re-derived in terms of the actual length in experiments).
+func (s *Summary[T]) Update(x T) {
+	s.n++
+	if !s.hasMin || s.cmp(x, s.min) < 0 {
+		s.min, s.hasMin = x, true
+	}
+	if !s.hasMax || s.cmp(x, s.max) > 0 {
+		s.max, s.hasMax = x, true
+	}
+	s.current = append(s.current, x)
+	if len(s.current) >= s.capacity {
+		buf := s.current
+		s.current = nil
+		order.Sort(s.cmp, buf)
+		s.pushBuffer(0, buf)
+	}
+}
+
+// pushBuffer adds a full sorted buffer at the given level, collapsing pairs of
+// buffers upward while a level holds two buffers.
+func (s *Summary[T]) pushBuffer(level int, buf []T) {
+	for len(s.levels) <= level {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[level] = append(s.levels[level], buf)
+	for l := level; l < len(s.levels) && len(s.levels[l]) >= 2; l++ {
+		a := s.levels[l][0]
+		b := s.levels[l][1]
+		s.levels[l] = s.levels[l][2:]
+		merged := order.Merge(s.cmp, a, b)
+		// Promote every second item (offset 1 keeps the collapse unbiased
+		// towards neither end and is fully deterministic).
+		promoted := make([]T, 0, (len(merged)+1)/2)
+		for i := 1; i < len(merged); i += 2 {
+			promoted = append(promoted, merged[i])
+		}
+		if len(s.levels) <= l+1 {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[l+1] = append(s.levels[l+1], promoted)
+	}
+}
+
+// weighted returns the stored items with their weights, sorted by item.
+type weighted[T any] struct {
+	item   T
+	weight int
+}
+
+func (s *Summary[T]) collect() []weighted[T] {
+	var out []weighted[T]
+	for _, x := range s.current {
+		out = append(out, weighted[T]{item: x, weight: 1})
+	}
+	for l, bufs := range s.levels {
+		w := 1 << uint(l)
+		for _, buf := range bufs {
+			for _, x := range buf {
+				out = append(out, weighted[T]{item: x, weight: w})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return s.cmp(out[i].item, out[j].item) < 0 })
+	return out
+}
+
+// Query returns an approximate ϕ-quantile.
+func (s *Summary[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	if phi <= 0 {
+		return s.min, true
+	}
+	if phi >= 1 {
+		return s.max, true
+	}
+	target := int(phi * float64(s.n))
+	if target < 1 {
+		target = 1
+	}
+	items := s.collect()
+	cum := 0
+	for _, w := range items {
+		cum += w.weight
+		if cum >= target {
+			return w.item, true
+		}
+	}
+	return s.max, true
+}
+
+// EstimateRank estimates the number of items less than or equal to q.
+func (s *Summary[T]) EstimateRank(q T) int {
+	if s.n == 0 {
+		return 0
+	}
+	est := 0
+	for _, w := range s.collect() {
+		if s.cmp(w.item, q) <= 0 {
+			est += w.weight
+		} else {
+			break
+		}
+	}
+	return est
+}
+
+// StoredItems returns all retained items in non-decreasing order.
+func (s *Summary[T]) StoredItems() []T {
+	ws := s.collect()
+	out := make([]T, len(ws))
+	for i, w := range ws {
+		out[i] = w.item
+	}
+	return out
+}
+
+// StoredCount returns the number of retained items.
+func (s *Summary[T]) StoredCount() int {
+	count := len(s.current)
+	for _, bufs := range s.levels {
+		for _, buf := range bufs {
+			count += len(buf)
+		}
+	}
+	return count
+}
+
+// Levels returns the number of buffer levels currently in use.
+func (s *Summary[T]) Levels() int { return len(s.levels) }
+
+// CheckInvariant verifies structural invariants: every full buffer is sorted
+// and holds at most the configured capacity, at most one partially filled
+// buffer exists, and the total weight equals the item count. Tests use it as
+// a structural oracle.
+func (s *Summary[T]) CheckInvariant() error {
+	if len(s.current) >= s.capacity {
+		return fmt.Errorf("mrl: current buffer overfull: %d >= %d", len(s.current), s.capacity)
+	}
+	weight := len(s.current)
+	for l, bufs := range s.levels {
+		if len(bufs) > 1 {
+			return fmt.Errorf("mrl: level %d holds %d buffers, want at most 1", l, len(bufs))
+		}
+		for _, buf := range bufs {
+			if !order.IsSorted(s.cmp, buf) {
+				return fmt.Errorf("mrl: level %d buffer not sorted", l)
+			}
+			if len(buf) > s.capacity {
+				return fmt.Errorf("mrl: level %d buffer exceeds capacity: %d > %d", l, len(buf), s.capacity)
+			}
+			weight += len(buf) << uint(l)
+		}
+	}
+	// Collapses drop at most one unit of weight per promotion when merged
+	// buffers have odd length; with even capacities the weight is exact.
+	if weight != s.n {
+		return fmt.Errorf("mrl: total weight %d != n %d", weight, s.n)
+	}
+	return nil
+}
+
+// TheoreticalSize returns the O((1/ε)·log²(εN)) space bound the MRL analysis
+// gives for this configuration, measured in items.
+func TheoreticalSize(eps float64, n int) float64 {
+	if eps <= 0 || n <= 0 {
+		return 0
+	}
+	x := 2 * eps * float64(n)
+	if x < 2 {
+		x = 2
+	}
+	l := math.Log2(x)
+	return (1 / eps) * l * l
+}

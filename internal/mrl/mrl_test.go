@@ -1,0 +1,217 @@
+package mrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct {
+		eps  float64
+		maxN int
+	}{{0, 100}, {-0.1, 100}, {1, 100}, {0.1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v maxN=%d should panic", c.eps, c.maxN)
+				}
+			}()
+			NewFloat64(c.eps, c.maxN)
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := NewFloat64(0.1, 1000)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if s.EstimateRank(1) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if s.Count() != 0 || s.StoredCount() != 0 || s.Levels() != 0 {
+		t.Errorf("empty summary has nonzero counters")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+}
+
+func TestSingleAndExtremes(t *testing.T) {
+	s := NewFloat64(0.1, 100)
+	s.Update(7)
+	if v, ok := s.Query(0.5); !ok || v != 7 {
+		t.Errorf("Query = %v, %v", v, ok)
+	}
+	s2 := NewFloat64(0.1, 1000)
+	for i := 1; i <= 1000; i++ {
+		s2.Update(float64(i))
+	}
+	if v, _ := s2.Query(0); v != 1 {
+		t.Errorf("phi=0 should return the minimum, got %v", v)
+	}
+	if v, _ := s2.Query(1); v != 1000 {
+		t.Errorf("phi=1 should return the maximum, got %v", v)
+	}
+}
+
+func TestAccuracyOnWorkloads(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	for _, name := range []string{"sorted", "reverse", "shuffled", "uniform", "gaussian"} {
+		for _, eps := range []float64{0.1, 0.05, 0.02} {
+			n := 20000
+			st, err := gen.ByName(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewFloat64(eps, n)
+			for _, x := range st.Items() {
+				s.Update(x)
+			}
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("%s eps=%v: %v", name, eps, err)
+			}
+			oracle := rank.Float64Oracle(st.Items())
+			for i := 0; i <= 100; i++ {
+				phi := float64(i) / 100
+				got, ok := s.Query(phi)
+				if !ok {
+					t.Fatalf("query failed")
+				}
+				if !oracle.IsApproxQuantile(got, phi, eps+1e-9) {
+					t.Fatalf("%s eps=%v phi=%v: error %d > %v", name, eps, phi,
+						oracle.RankError(got, phi), eps*float64(n))
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateRank(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	n := 20000
+	eps := 0.05
+	st := gen.Uniform(n)
+	s := NewFloat64(eps, n)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1.0, -5} {
+		est := s.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		if math.Abs(float64(est-exact)) > eps*float64(n)+1 {
+			t.Errorf("EstimateRank(%v) = %d, exact %d", q, est, exact)
+		}
+	}
+}
+
+func TestSpaceIsPolylog(t *testing.T) {
+	n := 100000
+	eps := 0.01
+	s := NewFloat64(eps, n)
+	gen := stream.NewGenerator(3)
+	st := gen.Shuffled(n)
+	maxStored := 0
+	for _, x := range st.Items() {
+		s.Update(x)
+		if s.StoredCount() > maxStored {
+			maxStored = s.StoredCount()
+		}
+	}
+	if maxStored >= n/4 {
+		t.Errorf("MRL not compressing: %d stored of %d", maxStored, n)
+	}
+	// MRL space should exceed GK asymptotically (log^2 vs log); just check
+	// it is within its own theoretical bound times a small constant.
+	if float64(maxStored) > 4*TheoreticalSize(eps, n) {
+		t.Errorf("stored %d exceeds 4x theoretical %v", maxStored, TheoreticalSize(eps, n))
+	}
+}
+
+func TestStoredItemsSortedAndCounted(t *testing.T) {
+	s := NewFloat64(0.1, 5000)
+	gen := stream.NewGenerator(4)
+	for _, x := range gen.Uniform(5000).Items() {
+		s.Update(x)
+	}
+	items := s.StoredItems()
+	if len(items) != s.StoredCount() {
+		t.Fatalf("StoredItems()=%d, StoredCount()=%d", len(items), s.StoredCount())
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1] > items[i] {
+			t.Fatalf("StoredItems not sorted")
+		}
+	}
+}
+
+func TestBufferCapacityGrowsWithPrecision(t *testing.T) {
+	a := NewFloat64(0.1, 100000).BufferCapacity()
+	b := NewFloat64(0.01, 100000).BufferCapacity()
+	if b <= a {
+		t.Errorf("capacity should grow as eps shrinks: %d vs %d", a, b)
+	}
+	if NewFloat64(0.1, 100000).Epsilon() != 0.1 {
+		t.Errorf("Epsilon accessor wrong")
+	}
+}
+
+func TestTheoreticalSize(t *testing.T) {
+	if TheoreticalSize(0, 10) != 0 || TheoreticalSize(0.1, 0) != 0 {
+		t.Errorf("degenerate inputs should be 0")
+	}
+	if TheoreticalSize(0.01, 1_000_000) <= TheoreticalSize(0.01, 10_000) {
+		t.Errorf("theoretical size should grow with N")
+	}
+}
+
+// Property: the summary never loses the minimum or maximum.
+func TestMinMaxProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		if len(items) == 0 {
+			return true
+		}
+		s := NewFloat64(0.1, len(items))
+		mn, mx := items[0], items[0]
+		for _, x := range items {
+			s.Update(x)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		lo, ok1 := s.Query(0)
+		hi, ok2 := s.Query(1)
+		return ok1 && ok2 && lo == mn && hi == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invariant holds throughout random streams.
+func TestInvariantProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		if len(items) == 0 {
+			return true
+		}
+		s := NewFloat64(0.2, len(items))
+		for _, x := range items {
+			s.Update(x)
+			if s.CheckInvariant() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package offline implements the offline optimal ε-approximate quantile
+// summary described in Section 1 of the lower-bound paper: with random access
+// to the whole data set, selecting the ε-, 3ε-, 5ε-, ... quantiles yields a
+// summary of exactly ⌈1/(2ε)⌉ items that answers every quantile query within
+// ε, and no smaller summary can.
+//
+// The package provides both the one-shot offline construction (Build) and a
+// streaming wrapper (Collector) that buffers the entire stream and builds the
+// optimal summary on demand; the wrapper is the "unbounded memory" reference
+// point in the cross-summary comparison experiment.
+package offline
+
+import (
+	"math"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+)
+
+// Summary is an immutable offline-optimal quantile summary.
+type Summary[T any] struct {
+	cmp   order.Comparator[T]
+	eps   float64
+	n     int
+	items []T // selected quantiles, sorted
+	min   T
+	max   T
+}
+
+// Build constructs the offline optimal summary of data for accuracy eps.
+// It panics if eps is not in (0, 1) or data is empty.
+func Build[T any](cmp order.Comparator[T], eps float64, data []T) *Summary[T] {
+	if !(eps > 0 && eps < 1) {
+		panic("offline: eps must be in (0, 1)")
+	}
+	if len(data) == 0 {
+		panic("offline: data must be non-empty")
+	}
+	oracle := rank.NewOracle(cmp, data)
+	n := oracle.Len()
+	// Select the (2i+1)ε quantiles for i = 0, 1, ... while (2i+1)ε ≤ 1. The
+	// same expression is used at query time so that each stored item's rank
+	// is known exactly (up to ties).
+	var items []T
+	for i := 0; (2*float64(i)+1)*eps <= 1; i++ {
+		items = append(items, oracle.Quantile((2*float64(i)+1)*eps))
+	}
+	if len(items) == 0 {
+		items = append(items, oracle.Quantile(1))
+	}
+	items = order.Sorted(cmp, items)
+	return &Summary[T]{
+		cmp:   cmp,
+		eps:   eps,
+		n:     n,
+		items: items,
+		min:   oracle.Select(1),
+		max:   oracle.Select(n),
+	}
+}
+
+// BuildFloat64 constructs the offline optimal float64 summary.
+func BuildFloat64(eps float64, data []float64) *Summary[float64] {
+	return Build(order.Floats[float64](), eps, data)
+}
+
+// Epsilon returns the accuracy parameter.
+func (s *Summary[T]) Epsilon() float64 { return s.eps }
+
+// Count returns the number of items the summary was built from.
+func (s *Summary[T]) Count() int { return s.n }
+
+// StoredItems returns the selected quantiles in non-decreasing order.
+func (s *Summary[T]) StoredItems() []T {
+	out := make([]T, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// StoredCount returns the number of stored items, which is at most ⌈1/(2ε)⌉.
+func (s *Summary[T]) StoredCount() int { return len(s.items) }
+
+// Query returns an ε-approximate ϕ-quantile.
+func (s *Summary[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	if phi <= 0 {
+		return s.min, true
+	}
+	if phi >= 1 {
+		return s.max, true
+	}
+	// Item i was selected as the (2i+1)ε-quantile, i.e. it sits at rank
+	// QuantileRank(n, (2i+1)ε). Return the stored item whose rank is closest
+	// to the query's target rank; consecutive stored ranks are about 2εn
+	// apart, so the error is at most εn.
+	target := rank.QuantileRank(s.n, phi)
+	bestIdx := 0
+	bestDist := math.MaxInt
+	for i := range s.items {
+		r := rank.QuantileRank(s.n, (2*float64(i)+1)*s.eps)
+		dist := r - target
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist {
+			bestIdx, bestDist = i, dist
+		}
+	}
+	return s.items[bestIdx], true
+}
+
+// EstimateRank estimates the number of items <= q from the stored quantiles.
+func (s *Summary[T]) EstimateRank(q T) int {
+	if s.n == 0 {
+		return 0
+	}
+	if s.cmp(q, s.min) < 0 {
+		return 0
+	}
+	if s.cmp(q, s.max) >= 0 {
+		return s.n
+	}
+	// Each stored item i approximates the (2i+1)ε quantile; the rank of q is
+	// estimated by the midpoint of the bracket of stored items around q.
+	le := order.CountLE(s.cmp, s.items, q)
+	phiLow := 2 * float64(le) * s.eps
+	return int(phiLow * float64(s.n))
+}
+
+// Collector buffers an entire stream in memory and can produce the offline
+// optimal summary for any eps after the fact. It is the "exact" reference
+// summary in comparisons (unbounded space, zero error).
+type Collector[T any] struct {
+	cmp  order.Comparator[T]
+	data []T
+}
+
+// NewCollector returns an empty collector.
+func NewCollector[T any](cmp order.Comparator[T]) *Collector[T] {
+	return &Collector[T]{cmp: cmp}
+}
+
+// NewCollectorFloat64 returns an empty float64 collector.
+func NewCollectorFloat64() *Collector[float64] {
+	return NewCollector(order.Floats[float64]())
+}
+
+// Update buffers one stream item.
+func (c *Collector[T]) Update(x T) { c.data = append(c.data, x) }
+
+// Count returns the number of buffered items.
+func (c *Collector[T]) Count() int { return len(c.data) }
+
+// Build produces the offline optimal summary for accuracy eps.
+func (c *Collector[T]) Build(eps float64) *Summary[T] {
+	return Build(c.cmp, eps, c.data)
+}
+
+// Oracle returns an exact rank oracle over the buffered data.
+func (c *Collector[T]) Oracle() *rank.Oracle[T] {
+	return rank.NewOracle(c.cmp, c.data)
+}

@@ -1,0 +1,143 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestBuildValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v should panic", eps)
+				}
+			}()
+			BuildFloat64(eps, []float64{1})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("empty data should panic")
+			}
+		}()
+		BuildFloat64(0.1, nil)
+	}()
+}
+
+func TestOptimalSize(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	st := gen.Uniform(10000)
+	for _, eps := range []float64{0.5, 0.25, 0.1, 0.05, 0.01} {
+		s := BuildFloat64(eps, st.Items())
+		want := rank.OfflineOptimalSize(eps)
+		got := s.StoredCount()
+		if got > want+1 || got < want-1 {
+			t.Errorf("eps=%v: stored %d items, offline optimum is %d", eps, got, want)
+		}
+	}
+}
+
+func TestQueryAccuracy(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	for _, name := range []string{"sorted", "shuffled", "uniform", "gaussian"} {
+		st, err := gen.ByName(name, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.1, 0.05, 0.01} {
+			s := BuildFloat64(eps, st.Items())
+			oracle := rank.Float64Oracle(st.Items())
+			for i := 0; i <= 100; i++ {
+				phi := float64(i) / 100
+				got, ok := s.Query(phi)
+				if !ok {
+					t.Fatalf("query failed")
+				}
+				if !oracle.IsApproxQuantile(got, phi, eps+1e-9) {
+					t.Fatalf("%s eps=%v phi=%v: error %d", name, eps, phi, oracle.RankError(got, phi))
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateRank(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	n := 20000
+	eps := 0.02
+	st := gen.Uniform(n)
+	s := BuildFloat64(eps, st.Items())
+	oracle := rank.Float64Oracle(st.Items())
+	for _, q := range []float64{-1, 0, 0.1, 0.5, 0.9, 1, 2} {
+		est := s.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		diff := est - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > eps*float64(n)+1 {
+			t.Errorf("EstimateRank(%v) = %d, exact %d", q, est, exact)
+		}
+	}
+}
+
+func TestQueryExtremes(t *testing.T) {
+	s := BuildFloat64(0.1, []float64{5, 1, 9, 3})
+	if v, _ := s.Query(0); v != 1 {
+		t.Errorf("phi=0 should return minimum, got %v", v)
+	}
+	if v, _ := s.Query(1); v != 9 {
+		t.Errorf("phi=1 should return maximum, got %v", v)
+	}
+	if s.Epsilon() != 0.1 {
+		t.Errorf("Epsilon = %v", s.Epsilon())
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	items := s.StoredItems()
+	if len(items) != s.StoredCount() {
+		t.Errorf("StoredItems / StoredCount mismatch")
+	}
+}
+
+func TestCollectorBasics(t *testing.T) {
+	gen := stream.NewGenerator(4)
+	st := gen.Gaussian(5000, 0, 1)
+	col := NewCollectorFloat64()
+	for _, x := range st.Items() {
+		col.Update(x)
+	}
+	if col.Count() != 5000 {
+		t.Fatalf("Count = %d", col.Count())
+	}
+	s := col.Build(0.05)
+	oracle := col.Oracle()
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := s.Query(phi)
+		if !oracle.IsApproxQuantile(got, phi, 0.05+1e-9) {
+			t.Errorf("collector-built summary inaccurate at phi=%v", phi)
+		}
+	}
+}
+
+// Property: the offline summary never stores more than ceil(1/(2 eps)) + 1
+// items, for any data and eps in a reasonable range.
+func TestSizeBoundProperty(t *testing.T) {
+	f := func(items []float64, epsRaw uint8) bool {
+		if len(items) == 0 {
+			return true
+		}
+		eps := 0.02 + float64(epsRaw)/255*0.4
+		s := BuildFloat64(eps, items)
+		return s.StoredCount() <= rank.OfflineOptimalSize(eps)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package order
+
+// Multiset is a sorted multiset of items maintained as a slice. It supports
+// the rank queries the adversarial construction needs (rank of an item within
+// a stream, next/previous item in the ordering of a stream) with O(log n)
+// lookups and O(n) inserts. Streams constructed by the adversary are built in
+// large sorted batches, so AddSortedBatch is the common fast path.
+type Multiset[T any] struct {
+	cmp   Comparator[T]
+	items []T
+}
+
+// NewMultiset returns an empty multiset ordered by cmp.
+func NewMultiset[T any](cmp Comparator[T]) *Multiset[T] {
+	return &Multiset[T]{cmp: cmp}
+}
+
+// Len returns the number of items in the multiset.
+func (m *Multiset[T]) Len() int { return len(m.items) }
+
+// Items returns the underlying sorted slice. The caller must not modify it.
+func (m *Multiset[T]) Items() []T { return m.items }
+
+// Add inserts a single item.
+func (m *Multiset[T]) Add(x T) {
+	m.items = InsertSorted(m.cmp, m.items, x)
+}
+
+// AddSortedBatch merges a sorted batch of items into the multiset.
+func (m *Multiset[T]) AddSortedBatch(batch []T) {
+	if len(batch) == 0 {
+		return
+	}
+	if len(m.items) == 0 {
+		m.items = append(m.items, batch...)
+		return
+	}
+	m.items = Merge(m.cmp, m.items, batch)
+}
+
+// Rank returns the 1-based rank of x, defined (as in the paper, where all
+// stream items are distinct) as one more than the number of items strictly
+// smaller than x. x need not be present in the multiset.
+func (m *Multiset[T]) Rank(x T) int {
+	return CountLT(m.cmp, m.items, x) + 1
+}
+
+// CountLE returns the number of items less than or equal to x.
+func (m *Multiset[T]) CountLE(x T) int { return CountLE(m.cmp, m.items, x) }
+
+// CountLT returns the number of items strictly less than x.
+func (m *Multiset[T]) CountLT(x T) int { return CountLT(m.cmp, m.items, x) }
+
+// CountInOpen returns the number of items strictly inside the open interval
+// (lo, hi). The has* flags mark which bounds are present (absent = unbounded).
+func (m *Multiset[T]) CountInOpen(lo T, hasLo bool, hi T, hasHi bool) int {
+	return len(Restrict(m.cmp, m.items, lo, hasLo, hi, hasHi))
+}
+
+// Contains reports whether x is present.
+func (m *Multiset[T]) Contains(x T) bool { return Contains(m.cmp, m.items, x) }
+
+// Min returns the smallest item. The boolean is false when the set is empty.
+func (m *Multiset[T]) Min() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	return m.items[0], true
+}
+
+// Max returns the largest item. The boolean is false when the set is empty.
+func (m *Multiset[T]) Max() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	return m.items[len(m.items)-1], true
+}
+
+// Next returns the smallest item strictly greater than x, mirroring the
+// paper's next(σ, a). The boolean is false when no such item exists.
+func (m *Multiset[T]) Next(x T) (T, bool) {
+	var zero T
+	i := SearchFirstGT(m.cmp, m.items, x)
+	if i >= len(m.items) {
+		return zero, false
+	}
+	return m.items[i], true
+}
+
+// Prev returns the largest item strictly smaller than x, mirroring the
+// paper's prev(σ, b). The boolean is false when no such item exists.
+func (m *Multiset[T]) Prev(x T) (T, bool) {
+	var zero T
+	i := SearchFirstGE(m.cmp, m.items, x)
+	if i == 0 {
+		return zero, false
+	}
+	return m.items[i-1], true
+}
+
+// Select returns the item with 1-based rank k (the k-th smallest item).
+// It panics if k is out of range.
+func (m *Multiset[T]) Select(k int) T {
+	if k < 1 || k > len(m.items) {
+		panic("order: Multiset.Select rank out of range")
+	}
+	return m.items[k-1]
+}
+
+// Clone returns a deep copy of the multiset.
+func (m *Multiset[T]) Clone() *Multiset[T] {
+	items := make([]T, len(m.items))
+	copy(items, m.items)
+	return &Multiset[T]{cmp: m.cmp, items: items}
+}

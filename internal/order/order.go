@@ -1,0 +1,249 @@
+// Package order provides the comparison layer used throughout the library.
+//
+// The computational model of Cormode & Veselý (PODS 2020, Definition 2.1) only
+// permits a data structure to compare two items or test them for equality.
+// Everything in this repository that touches items goes through a Comparator,
+// which makes "comparison-based" explicit in the type system and lets the
+// instrumentation in this package count exactly how many comparisons a summary
+// performs.
+package order
+
+import "sort"
+
+// Comparator compares two items of type T. It returns a negative number when
+// a < b, zero when a == b and a positive number when a > b, mirroring the
+// contract of strings.Compare and cmp.Compare.
+type Comparator[T any] func(a, b T) int
+
+// Ints returns the natural comparator for any signed or unsigned integer type.
+func Ints[T ~int | ~int8 | ~int16 | ~int32 | ~int64 | ~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64]() Comparator[T] {
+	return func(a, b T) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Floats returns the natural comparator for float types. NaNs are ordered
+// before all other values so that the comparator induces a total order, which
+// the summaries require.
+func Floats[T ~float32 | ~float64]() Comparator[T] {
+	return func(a, b T) int {
+		// NaN != NaN, so detect NaNs via self-comparison.
+		aNaN := a != a
+		bNaN := b != b
+		switch {
+		case aNaN && bNaN:
+			return 0
+		case aNaN:
+			return -1
+		case bNaN:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Strings returns the lexicographic comparator for string-like types. The
+// paper's example of a continuous universe is "a large enough set of long
+// incompressible strings, ordered lexicographically".
+func Strings[T ~string]() Comparator[T] {
+	return func(a, b T) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Reverse returns a comparator with the opposite ordering of c.
+func Reverse[T any](c Comparator[T]) Comparator[T] {
+	return func(a, b T) int { return -c(a, b) }
+}
+
+// Less reports whether a < b under c.
+func Less[T any](c Comparator[T], a, b T) bool { return c(a, b) < 0 }
+
+// Equal reports whether a == b under c.
+func Equal[T any](c Comparator[T], a, b T) bool { return c(a, b) == 0 }
+
+// Min returns the smaller of a and b under c (a on ties).
+func Min[T any](c Comparator[T], a, b T) T {
+	if c(b, a) < 0 {
+		return b
+	}
+	return a
+}
+
+// Max returns the larger of a and b under c (a on ties).
+func Max[T any](c Comparator[T], a, b T) T {
+	if c(b, a) > 0 {
+		return b
+	}
+	return a
+}
+
+// Counting wraps a comparator and counts the number of comparisons made.
+// It is safe for single-goroutine use, which matches the streaming model
+// (one item processed at a time).
+type Counting[T any] struct {
+	cmp   Comparator[T]
+	count uint64
+}
+
+// NewCounting returns a Counting wrapper around cmp.
+func NewCounting[T any](cmp Comparator[T]) *Counting[T] {
+	return &Counting[T]{cmp: cmp}
+}
+
+// Compare compares a and b, incrementing the counter.
+func (c *Counting[T]) Compare(a, b T) int {
+	c.count++
+	return c.cmp(a, b)
+}
+
+// Comparator returns a Comparator func backed by the counter.
+func (c *Counting[T]) Comparator() Comparator[T] {
+	return c.Compare
+}
+
+// Count returns the number of comparisons performed so far.
+func (c *Counting[T]) Count() uint64 { return c.count }
+
+// Reset sets the comparison counter back to zero.
+func (c *Counting[T]) Reset() { c.count = 0 }
+
+// IsSorted reports whether items are in non-decreasing order under cmp.
+func IsSorted[T any](cmp Comparator[T], items []T) bool {
+	for i := 1; i < len(items); i++ {
+		if cmp(items[i-1], items[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort sorts items in place into non-decreasing order under cmp. The sort is
+// not stable; use SortStable when equal items must retain arrival order.
+func Sort[T any](cmp Comparator[T], items []T) {
+	sort.Slice(items, func(i, j int) bool { return cmp(items[i], items[j]) < 0 })
+}
+
+// SortStable sorts items in place, keeping the original order of equal items.
+func SortStable[T any](cmp Comparator[T], items []T) {
+	sort.SliceStable(items, func(i, j int) bool { return cmp(items[i], items[j]) < 0 })
+}
+
+// Sorted returns a sorted copy of items, leaving the input untouched.
+func Sorted[T any](cmp Comparator[T], items []T) []T {
+	out := make([]T, len(items))
+	copy(out, items)
+	Sort(cmp, out)
+	return out
+}
+
+// SearchFirstGE returns the smallest index i in the sorted slice items such
+// that items[i] >= x, or len(items) if every item is smaller than x.
+func SearchFirstGE[T any](cmp Comparator[T], items []T, x T) int {
+	return sort.Search(len(items), func(i int) bool { return cmp(items[i], x) >= 0 })
+}
+
+// SearchFirstGT returns the smallest index i in the sorted slice items such
+// that items[i] > x, or len(items) if no item is greater than x.
+func SearchFirstGT[T any](cmp Comparator[T], items []T, x T) int {
+	return sort.Search(len(items), func(i int) bool { return cmp(items[i], x) > 0 })
+}
+
+// CountLE returns the number of elements of the sorted slice items that are
+// less than or equal to x.
+func CountLE[T any](cmp Comparator[T], items []T, x T) int {
+	return SearchFirstGT(cmp, items, x)
+}
+
+// CountLT returns the number of elements of the sorted slice items that are
+// strictly less than x.
+func CountLT[T any](cmp Comparator[T], items []T, x T) int {
+	return SearchFirstGE(cmp, items, x)
+}
+
+// Contains reports whether the sorted slice items contains x.
+func Contains[T any](cmp Comparator[T], items []T, x T) bool {
+	i := SearchFirstGE(cmp, items, x)
+	return i < len(items) && cmp(items[i], x) == 0
+}
+
+// InsertSorted inserts x into the sorted slice items, keeping it sorted, and
+// returns the extended slice. Equal items are inserted after existing ones.
+func InsertSorted[T any](cmp Comparator[T], items []T, x T) []T {
+	i := SearchFirstGT(cmp, items, x)
+	items = append(items, x)
+	copy(items[i+1:], items[i:])
+	items[i] = x
+	return items
+}
+
+// Merge merges two sorted slices into a new sorted slice.
+func Merge[T any](cmp Comparator[T], a, b []T) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Dedupe removes duplicate adjacent items from a sorted slice, returning a new
+// slice that contains each distinct value once.
+func Dedupe[T any](cmp Comparator[T], items []T) []T {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]T, 0, len(items))
+	out = append(out, items[0])
+	for i := 1; i < len(items); i++ {
+		if cmp(items[i-1], items[i]) != 0 {
+			out = append(out, items[i])
+		}
+	}
+	return out
+}
+
+// Restrict returns the sub-slice of the sorted slice items that lies strictly
+// inside the open interval (lo, hi). The boolean flags indicate whether each
+// bound is present; an absent bound means unbounded on that side.
+func Restrict[T any](cmp Comparator[T], items []T, lo T, hasLo bool, hi T, hasHi bool) []T {
+	start := 0
+	if hasLo {
+		start = SearchFirstGT(cmp, items, lo)
+	}
+	end := len(items)
+	if hasHi {
+		end = SearchFirstGE(cmp, items, hi)
+	}
+	if start > end {
+		return nil
+	}
+	return items[start:end]
+}

@@ -1,0 +1,476 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntsComparator(t *testing.T) {
+	cmp := Ints[int]()
+	cases := []struct {
+		a, b, want int
+	}{
+		{1, 2, -1},
+		{2, 1, 1},
+		{3, 3, 0},
+		{-5, 5, -1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		got := cmp(c.a, c.b)
+		if sign(got) != c.want {
+			t.Errorf("cmp(%d,%d) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatsComparatorNaN(t *testing.T) {
+	cmp := Floats[float64]()
+	nan := math.NaN()
+	if cmp(nan, nan) != 0 {
+		t.Errorf("NaN should equal NaN in total order")
+	}
+	if cmp(nan, 1.0) >= 0 {
+		t.Errorf("NaN should sort before finite values")
+	}
+	if cmp(1.0, nan) <= 0 {
+		t.Errorf("finite values should sort after NaN")
+	}
+	if cmp(1.5, 2.5) >= 0 || cmp(2.5, 1.5) <= 0 || cmp(2.5, 2.5) != 0 {
+		t.Errorf("finite comparisons incorrect")
+	}
+}
+
+func TestStringsComparator(t *testing.T) {
+	cmp := Strings[string]()
+	if cmp("abc", "abd") >= 0 {
+		t.Errorf("lexicographic order broken")
+	}
+	if cmp("b", "a") <= 0 {
+		t.Errorf("lexicographic order broken")
+	}
+	if cmp("x", "x") != 0 {
+		t.Errorf("equality broken")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cmp := Ints[int]()
+	rev := Reverse(cmp)
+	if rev(1, 2) <= 0 {
+		t.Errorf("Reverse should invert ordering")
+	}
+	if rev(2, 1) >= 0 {
+		t.Errorf("Reverse should invert ordering")
+	}
+	if rev(2, 2) != 0 {
+		t.Errorf("Reverse should preserve equality")
+	}
+}
+
+func TestMinMaxLessEqual(t *testing.T) {
+	cmp := Ints[int]()
+	if Min(cmp, 3, 5) != 3 || Min(cmp, 5, 3) != 3 {
+		t.Errorf("Min incorrect")
+	}
+	if Max(cmp, 3, 5) != 5 || Max(cmp, 5, 3) != 5 {
+		t.Errorf("Max incorrect")
+	}
+	if !Less(cmp, 1, 2) || Less(cmp, 2, 1) || Less(cmp, 2, 2) {
+		t.Errorf("Less incorrect")
+	}
+	if !Equal(cmp, 7, 7) || Equal(cmp, 7, 8) {
+		t.Errorf("Equal incorrect")
+	}
+}
+
+func TestCountingComparator(t *testing.T) {
+	base := Ints[int]()
+	c := NewCounting(base)
+	cmp := c.Comparator()
+	if c.Count() != 0 {
+		t.Fatalf("expected 0 initial comparisons")
+	}
+	cmp(1, 2)
+	cmp(2, 3)
+	cmp(3, 3)
+	if c.Count() != 3 {
+		t.Fatalf("expected 3 comparisons, got %d", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatalf("expected 0 after reset, got %d", c.Count())
+	}
+	if cmp(5, 4) <= 0 {
+		t.Errorf("counting comparator must preserve result")
+	}
+	if c.Count() != 1 {
+		t.Errorf("expected 1 comparison after reset+compare, got %d", c.Count())
+	}
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	cmp := Ints[int]()
+	items := []int{5, 3, 9, 1, 3, 7}
+	if IsSorted(cmp, items) {
+		t.Fatalf("unsorted input reported as sorted")
+	}
+	Sort(cmp, items)
+	if !IsSorted(cmp, items) {
+		t.Fatalf("Sort did not sort")
+	}
+	want := []int{1, 3, 3, 5, 7, 9}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("Sort = %v, want %v", items, want)
+	}
+	if !IsSorted(cmp, []int{}) || !IsSorted(cmp, []int{1}) {
+		t.Errorf("empty and singleton slices are sorted")
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	cmp := Ints[int]()
+	items := []int{3, 1, 2}
+	out := Sorted(cmp, items)
+	if !reflect.DeepEqual(items, []int{3, 1, 2}) {
+		t.Errorf("Sorted mutated its input: %v", items)
+	}
+	if !reflect.DeepEqual(out, []int{1, 2, 3}) {
+		t.Errorf("Sorted output = %v", out)
+	}
+}
+
+func TestSearchAndCounts(t *testing.T) {
+	cmp := Ints[int]()
+	items := []int{1, 3, 3, 5, 7}
+	if got := SearchFirstGE(cmp, items, 3); got != 1 {
+		t.Errorf("SearchFirstGE(3) = %d, want 1", got)
+	}
+	if got := SearchFirstGT(cmp, items, 3); got != 3 {
+		t.Errorf("SearchFirstGT(3) = %d, want 3", got)
+	}
+	if got := SearchFirstGE(cmp, items, 100); got != len(items) {
+		t.Errorf("SearchFirstGE(100) = %d, want %d", got, len(items))
+	}
+	if got := CountLE(cmp, items, 3); got != 3 {
+		t.Errorf("CountLE(3) = %d, want 3", got)
+	}
+	if got := CountLT(cmp, items, 3); got != 1 {
+		t.Errorf("CountLT(3) = %d, want 1", got)
+	}
+	if got := CountLE(cmp, items, 0); got != 0 {
+		t.Errorf("CountLE(0) = %d, want 0", got)
+	}
+	if !Contains(cmp, items, 5) || Contains(cmp, items, 4) {
+		t.Errorf("Contains incorrect")
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	cmp := Ints[int]()
+	var items []int
+	for _, x := range []int{5, 1, 3, 3, 9, 0} {
+		items = InsertSorted(cmp, items, x)
+		if !IsSorted(cmp, items) {
+			t.Fatalf("not sorted after inserting %d: %v", x, items)
+		}
+	}
+	want := []int{0, 1, 3, 3, 5, 9}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("InsertSorted result %v, want %v", items, want)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	cmp := Ints[int]()
+	a := []int{1, 4, 6}
+	b := []int{2, 4, 5, 9}
+	got := Merge(cmp, a, b)
+	want := []int{1, 2, 4, 4, 5, 6, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+	if got := Merge(cmp, nil, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("Merge(nil, b) = %v", got)
+	}
+	if got := Merge(cmp, a, nil); !reflect.DeepEqual(got, a) {
+		t.Errorf("Merge(a, nil) = %v", got)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	cmp := Ints[int]()
+	got := Dedupe(cmp, []int{1, 1, 2, 3, 3, 3, 4})
+	want := []int{1, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dedupe = %v, want %v", got, want)
+	}
+	if Dedupe(cmp, nil) != nil {
+		t.Errorf("Dedupe(nil) should be nil")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	cmp := Ints[int]()
+	items := []int{1, 2, 3, 4, 5, 6, 7}
+	got := Restrict(cmp, items, 2, true, 6, true)
+	want := []int{3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Restrict(2,6) = %v, want %v", got, want)
+	}
+	// Unbounded below.
+	got = Restrict(cmp, items, 0, false, 4, true)
+	want = []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Restrict(-inf,4) = %v, want %v", got, want)
+	}
+	// Unbounded above.
+	got = Restrict(cmp, items, 5, true, 0, false)
+	want = []int{6, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Restrict(5,+inf) = %v, want %v", got, want)
+	}
+	// Fully unbounded.
+	got = Restrict(cmp, items, 0, false, 0, false)
+	if !reflect.DeepEqual(got, items) {
+		t.Fatalf("Restrict(-inf,+inf) = %v, want all items", got)
+	}
+	// Empty interval.
+	got = Restrict(cmp, items, 3, true, 4, true)
+	if len(got) != 0 {
+		t.Fatalf("Restrict(3,4) = %v, want empty", got)
+	}
+}
+
+func TestMultisetBasic(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	if m.Len() != 0 {
+		t.Fatalf("new multiset should be empty")
+	}
+	if _, ok := m.Min(); ok {
+		t.Fatalf("Min on empty should report false")
+	}
+	if _, ok := m.Max(); ok {
+		t.Fatalf("Max on empty should report false")
+	}
+	for _, x := range []int{5, 2, 8, 2, 11} {
+		m.Add(x)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", m.Len())
+	}
+	if mn, _ := m.Min(); mn != 2 {
+		t.Errorf("Min = %d, want 2", mn)
+	}
+	if mx, _ := m.Max(); mx != 11 {
+		t.Errorf("Max = %d, want 11", mx)
+	}
+	if !m.Contains(8) || m.Contains(7) {
+		t.Errorf("Contains incorrect")
+	}
+	if got := m.Rank(8); got != 4 {
+		t.Errorf("Rank(8) = %d, want 4", got)
+	}
+	if got := m.Rank(1); got != 1 {
+		t.Errorf("Rank(1) = %d, want 1", got)
+	}
+	if got := m.Rank(100); got != 6 {
+		t.Errorf("Rank(100) = %d, want 6", got)
+	}
+	if got := m.CountLE(5); got != 3 {
+		t.Errorf("CountLE(5) = %d, want 3", got)
+	}
+	if got := m.CountLT(5); got != 2 {
+		t.Errorf("CountLT(5) = %d, want 2", got)
+	}
+	if got := m.Select(1); got != 2 {
+		t.Errorf("Select(1) = %d, want 2", got)
+	}
+	if got := m.Select(5); got != 11 {
+		t.Errorf("Select(5) = %d, want 11", got)
+	}
+}
+
+func TestMultisetSelectPanics(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	m.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Select out of range should panic")
+		}
+	}()
+	m.Select(2)
+}
+
+func TestMultisetNextPrev(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	m.AddSortedBatch([]int{10, 20, 30, 40})
+	if nx, ok := m.Next(20); !ok || nx != 30 {
+		t.Errorf("Next(20) = %d,%v want 30,true", nx, ok)
+	}
+	if nx, ok := m.Next(25); !ok || nx != 30 {
+		t.Errorf("Next(25) = %d,%v want 30,true", nx, ok)
+	}
+	if _, ok := m.Next(40); ok {
+		t.Errorf("Next(max) should report false")
+	}
+	if pv, ok := m.Prev(20); !ok || pv != 10 {
+		t.Errorf("Prev(20) = %d,%v want 10,true", pv, ok)
+	}
+	if pv, ok := m.Prev(25); !ok || pv != 20 {
+		t.Errorf("Prev(25) = %d,%v want 20,true", pv, ok)
+	}
+	if _, ok := m.Prev(10); ok {
+		t.Errorf("Prev(min) should report false")
+	}
+}
+
+func TestMultisetAddSortedBatch(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	m.AddSortedBatch([]int{1, 3, 5})
+	m.AddSortedBatch([]int{2, 4, 6})
+	m.AddSortedBatch(nil)
+	want := []int{1, 2, 3, 4, 5, 6}
+	if !reflect.DeepEqual(m.Items(), want) {
+		t.Fatalf("Items = %v, want %v", m.Items(), want)
+	}
+}
+
+func TestMultisetCountInOpen(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	m.AddSortedBatch([]int{1, 2, 3, 4, 5})
+	if got := m.CountInOpen(1, true, 5, true); got != 3 {
+		t.Errorf("CountInOpen(1,5) = %d, want 3", got)
+	}
+	if got := m.CountInOpen(0, false, 3, true); got != 2 {
+		t.Errorf("CountInOpen(-inf,3) = %d, want 2", got)
+	}
+	if got := m.CountInOpen(3, true, 0, false); got != 2 {
+		t.Errorf("CountInOpen(3,+inf) = %d, want 2", got)
+	}
+}
+
+func TestMultisetClone(t *testing.T) {
+	m := NewMultiset(Ints[int]())
+	m.AddSortedBatch([]int{1, 2, 3})
+	c := m.Clone()
+	c.Add(4)
+	if m.Len() != 3 {
+		t.Errorf("Clone should not share storage: original len %d", m.Len())
+	}
+	if c.Len() != 4 {
+		t.Errorf("clone len = %d, want 4", c.Len())
+	}
+}
+
+// Property: Sort agrees with sort.Ints on random inputs.
+func TestSortMatchesStdlibProperty(t *testing.T) {
+	cmp := Ints[int]()
+	f := func(items []int) bool {
+		mine := make([]int, len(items))
+		copy(mine, items)
+		theirs := make([]int, len(items))
+		copy(theirs, items)
+		Sort(cmp, mine)
+		sort.Ints(theirs)
+		return reflect.DeepEqual(mine, theirs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge of two sorted slices is sorted and has the right length.
+func TestMergeProperty(t *testing.T) {
+	cmp := Ints[int]()
+	f := func(a, b []int) bool {
+		sort.Ints(a)
+		sort.Ints(b)
+		m := Merge(cmp, a, b)
+		return len(m) == len(a)+len(b) && IsSorted(cmp, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Multiset.Rank matches a brute-force count on random inputs.
+func TestMultisetRankProperty(t *testing.T) {
+	f := func(items []int, q int) bool {
+		m := NewMultiset(Ints[int]())
+		for _, x := range items {
+			m.Add(x)
+		}
+		brute := 1
+		for _, x := range items {
+			if x < q {
+				brute++
+			}
+		}
+		return m.Rank(q) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InsertSorted keeps slices sorted regardless of insertion order.
+func TestInsertSortedProperty(t *testing.T) {
+	cmp := Ints[int]()
+	f := func(items []int) bool {
+		var s []int
+		for _, x := range items {
+			s = InsertSorted(cmp, s, x)
+		}
+		return len(s) == len(items) && IsSorted(cmp, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Restrict returns exactly the items strictly inside the interval.
+func TestRestrictProperty(t *testing.T) {
+	cmp := Ints[int]()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(100)
+		}
+		sort.Ints(items)
+		lo := rng.Intn(100)
+		hi := lo + rng.Intn(100)
+		got := Restrict(cmp, items, lo, true, hi, true)
+		var want []int
+		for _, x := range items {
+			if x > lo && x < hi {
+				want = append(want, x)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Restrict length mismatch: got %v want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Restrict mismatch: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

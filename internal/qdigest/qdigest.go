@@ -1,0 +1,270 @@
+// Package qdigest implements the q-digest quantile summary of Shrivastava,
+// Buragohain, Agrawal and Suri (SenSys 2004) for a bounded integer universe.
+//
+// Section 2 of the lower-bound paper singles out q-digest as a structure that
+// is *not* comparison-based: it builds a binary tree over the universe
+// [0, 2^bits) and may return an item that never occurred in the stream, so
+// the Ω((1/ε)·log εN) lower bound does not apply to it. Its space is
+// O((1/ε)·log |U|) words, which for N ≫ |U| can be far below the
+// comparison-based bound. The experiments include it as the contrast point:
+// the lower bound is a statement about a model, not about all summaries.
+//
+// The digest stores counts on nodes of the implicit complete binary tree over
+// the universe (heap numbering: root 1, children 2i and 2i+1, leaves
+// 2^bits + v). The digest property enforced by Compress is that every
+// non-root node with a parent of small total count is merged upward, keeping
+// the number of stored nodes at O(k) for compression factor k while ranks are
+// preserved to within (log |U|)·n/k.
+package qdigest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Digest is a q-digest over the universe [0, 2^bits).
+type Digest struct {
+	bits   uint
+	k      int // compression factor
+	n      int64
+	counts map[uint64]int64
+	// pending counts updates since the last compression.
+	sinceCompress int64
+}
+
+// New returns a digest over [0, 2^bits) with compression factor k. Larger k
+// means more space and lower error: rank error is at most bits·n/k.
+// It panics if bits is not in [1, 62] or k < 1.
+func New(bits uint, k int) *Digest {
+	if bits < 1 || bits > 62 {
+		panic("qdigest: bits must be in [1, 62]")
+	}
+	if k < 1 {
+		panic("qdigest: k must be positive")
+	}
+	return &Digest{bits: bits, k: k, counts: make(map[uint64]int64)}
+}
+
+// NewForEpsilon returns a digest over [0, 2^bits) with compression factor
+// chosen so that the rank error is at most εn: k = ⌈bits/ε⌉.
+func NewForEpsilon(bits uint, eps float64) *Digest {
+	if eps <= 0 || eps >= 1 {
+		panic("qdigest: eps must be in (0, 1)")
+	}
+	return New(bits, int(math.Ceil(float64(bits)/eps)))
+}
+
+// UniverseSize returns |U| = 2^bits.
+func (d *Digest) UniverseSize() uint64 { return 1 << d.bits }
+
+// CompressionFactor returns k.
+func (d *Digest) CompressionFactor() int { return d.k }
+
+// Count returns the number of items processed.
+func (d *Digest) Count() int { return int(d.n) }
+
+// StoredCount returns the number of tree nodes with a non-zero count, the
+// space measure comparable to the item counts of comparison-based summaries.
+func (d *Digest) StoredCount() int { return len(d.counts) }
+
+// leaf returns the node id of the leaf for value v.
+func (d *Digest) leaf(v uint64) uint64 { return (1 << d.bits) + v }
+
+// nodeRange returns the [lo, hi] value range covered by node id.
+func (d *Digest) nodeRange(id uint64) (lo, hi uint64) {
+	level := uint(bitsLen(id)) - 1 // depth of the node; root (id 1) is level 0
+	span := d.bits - level
+	base := (id - (1 << level)) << span
+	return base, base + (1<<span - 1)
+}
+
+func bitsLen(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// Update adds one occurrence of value v. It panics if v is outside the
+// universe.
+func (d *Digest) Update(v uint64) {
+	d.UpdateWeighted(v, 1)
+}
+
+// UpdateWeighted adds weight occurrences of value v.
+func (d *Digest) UpdateWeighted(v uint64, weight int64) {
+	if v >= d.UniverseSize() {
+		panic(fmt.Sprintf("qdigest: value %d outside universe [0, %d)", v, d.UniverseSize()))
+	}
+	if weight <= 0 {
+		return
+	}
+	d.counts[d.leaf(v)] += weight
+	d.n += weight
+	d.sinceCompress += weight
+	if d.sinceCompress >= int64(d.k) {
+		d.Compress()
+		d.sinceCompress = 0
+	}
+}
+
+// threshold returns ⌊n/k⌋, the per-node count threshold of the digest
+// property.
+func (d *Digest) threshold() int64 { return d.n / int64(d.k) }
+
+// Compress restores the q-digest property: any node whose count, together
+// with its sibling's and parent's counts, is below ⌊n/k⌋ is merged into its
+// parent. Nodes are processed bottom-up.
+func (d *Digest) Compress() {
+	if len(d.counts) == 0 {
+		return
+	}
+	thr := d.threshold()
+	if thr < 1 {
+		return
+	}
+	// Collect node ids grouped by depth, deepest first.
+	ids := make([]uint64, 0, len(d.counts))
+	for id := range d.counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	for _, id := range ids {
+		if id <= 1 {
+			continue // root has no parent
+		}
+		c, ok := d.counts[id]
+		if !ok {
+			continue // already merged
+		}
+		sibling := id ^ 1
+		parent := id >> 1
+		total := c + d.counts[sibling] + d.counts[parent]
+		if total < thr {
+			d.counts[parent] = total
+			delete(d.counts, id)
+			delete(d.counts, sibling)
+		}
+	}
+}
+
+// Query returns an approximate ϕ-quantile: a universe value v such that the
+// number of stream items ≤ v is approximately ⌊ϕN⌋, within (log |U|)·n/k.
+func (d *Digest) Query(phi float64) (uint64, bool) {
+	if d.n == 0 {
+		return 0, false
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(phi * float64(d.n))
+	if target < 1 {
+		target = 1
+	}
+	nodes := d.sortedNodes()
+	var cum int64
+	for _, nd := range nodes {
+		cum += d.counts[nd.id]
+		if cum >= target {
+			return nd.hi, true
+		}
+	}
+	last := nodes[len(nodes)-1]
+	return last.hi, true
+}
+
+// EstimateRank estimates the number of items less than or equal to q.
+func (d *Digest) EstimateRank(q uint64) int {
+	if d.n == 0 {
+		return 0
+	}
+	var est int64
+	for id, c := range d.counts {
+		lo, hi := d.nodeRange(id)
+		switch {
+		case hi <= q:
+			est += c
+		case lo > q:
+			// node entirely above q contributes nothing
+		default:
+			// node straddles q: attribute a proportional share
+			width := hi - lo + 1
+			covered := q - lo + 1
+			est += c * int64(covered) / int64(width)
+		}
+	}
+	return int(est)
+}
+
+type nodeInfo struct {
+	id     uint64
+	lo, hi uint64
+	depth  int
+}
+
+// sortedNodes returns the stored nodes in the post-order used for quantile
+// queries: increasing upper bound, deeper nodes first on ties.
+func (d *Digest) sortedNodes() []nodeInfo {
+	nodes := make([]nodeInfo, 0, len(d.counts))
+	for id := range d.counts {
+		lo, hi := d.nodeRange(id)
+		nodes = append(nodes, nodeInfo{id: id, lo: lo, hi: hi, depth: bitsLen(id)})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].hi != nodes[j].hi {
+			return nodes[i].hi < nodes[j].hi
+		}
+		return nodes[i].depth > nodes[j].depth
+	})
+	return nodes
+}
+
+// TheoreticalSize returns the 3k bound on the number of stored nodes from the
+// q-digest paper.
+func (d *Digest) TheoreticalSize() int { return 3 * d.k }
+
+// CheckInvariant verifies structural invariants: all node ids are valid for
+// the universe, counts are positive, and counts sum to n.
+func (d *Digest) CheckInvariant() error {
+	var total int64
+	maxID := uint64(1) << (d.bits + 1)
+	for id, c := range d.counts {
+		if id < 1 || id >= maxID {
+			return fmt.Errorf("qdigest: invalid node id %d", id)
+		}
+		if c <= 0 {
+			return fmt.Errorf("qdigest: node %d has non-positive count %d", id, c)
+		}
+		total += c
+	}
+	if total != d.n {
+		return fmt.Errorf("qdigest: counts sum to %d, n is %d", total, d.n)
+	}
+	return nil
+}
+
+// Merge folds another digest over the same universe and compression factor
+// into the receiver (q-digests are mergeable by adding node counts).
+func (d *Digest) Merge(other *Digest) error {
+	if other == nil {
+		return nil
+	}
+	if other.bits != d.bits {
+		return fmt.Errorf("qdigest: universe mismatch (%d vs %d bits)", d.bits, other.bits)
+	}
+	if other.n == 0 {
+		return nil
+	}
+	for id, c := range other.counts {
+		d.counts[id] += c
+	}
+	d.n += other.n
+	d.Compress()
+	return nil
+}

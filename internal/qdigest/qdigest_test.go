@@ -1,0 +1,260 @@
+package qdigest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct {
+		bits uint
+		k    int
+	}{{0, 10}, {63, 10}, {16, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d k=%d should panic", c.bits, c.k)
+				}
+			}()
+			New(c.bits, c.k)
+		}()
+	}
+	for _, eps := range []float64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v should panic", eps)
+				}
+			}()
+			NewForEpsilon(16, eps)
+		}()
+	}
+}
+
+func TestUniverseBounds(t *testing.T) {
+	d := New(8, 10)
+	if d.UniverseSize() != 256 {
+		t.Errorf("UniverseSize = %d", d.UniverseSize())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-universe value should panic")
+		}
+	}()
+	d.Update(256)
+}
+
+func TestEmpty(t *testing.T) {
+	d := New(8, 10)
+	if _, ok := d.Query(0.5); ok {
+		t.Errorf("query on empty digest should fail")
+	}
+	if d.EstimateRank(10) != 0 {
+		t.Errorf("rank on empty digest should be 0")
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+	d.UpdateWeighted(3, 0) // no-op
+	if d.Count() != 0 {
+		t.Errorf("zero-weight update should be ignored")
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	d := New(3, 4) // universe 0..7
+	lo, hi := d.nodeRange(1)
+	if lo != 0 || hi != 7 {
+		t.Errorf("root range = [%d,%d]", lo, hi)
+	}
+	lo, hi = d.nodeRange(2)
+	if lo != 0 || hi != 3 {
+		t.Errorf("left child range = [%d,%d]", lo, hi)
+	}
+	lo, hi = d.nodeRange(3)
+	if lo != 4 || hi != 7 {
+		t.Errorf("right child range = [%d,%d]", lo, hi)
+	}
+	lo, hi = d.nodeRange(d.leaf(5))
+	if lo != 5 || hi != 5 {
+		t.Errorf("leaf range = [%d,%d]", lo, hi)
+	}
+}
+
+func TestExactOnSmallStream(t *testing.T) {
+	d := New(10, 1000)
+	for v := uint64(1); v <= 100; v++ {
+		d.Update(v)
+	}
+	if d.Count() != 100 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if got, _ := d.Query(0.5); got < 48 || got > 52 {
+		t.Errorf("median = %d, want about 50", got)
+	}
+	if got := d.EstimateRank(30); got < 28 || got > 32 {
+		t.Errorf("EstimateRank(30) = %d", got)
+	}
+}
+
+func TestAccuracyAndCompression(t *testing.T) {
+	bits := uint(16)
+	eps := 0.02
+	d := NewForEpsilon(bits, eps)
+	rng := rand.New(rand.NewSource(1))
+	n := 100000
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(rng.Intn(1 << bits))
+		d.Update(values[i])
+	}
+	d.Compress()
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	slack := eps * float64(n)
+	for i := 1; i <= 20; i++ {
+		phi := float64(i) / 20
+		got, ok := d.Query(phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		// Rank of the returned value.
+		rank := sort.Search(len(values), func(j int) bool { return values[j] > got })
+		target := int(phi * float64(n))
+		if math.Abs(float64(rank-target)) > slack+1 {
+			t.Errorf("phi=%v: returned %d with rank %d, target %d, slack %v", phi, got, rank, target, slack)
+		}
+	}
+	// Space must be far below n and within the 3k bound (with slack for the
+	// lazily compressed fringe).
+	if d.StoredCount() > 4*d.TheoreticalSize() {
+		t.Errorf("stored %d nodes, theoretical bound %d", d.StoredCount(), d.TheoreticalSize())
+	}
+	if d.StoredCount() >= n/10 {
+		t.Errorf("digest not compressing: %d nodes", d.StoredCount())
+	}
+}
+
+func TestEstimateRankAccuracy(t *testing.T) {
+	bits := uint(14)
+	eps := 0.02
+	d := NewForEpsilon(bits, eps)
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(rng.Intn(1 << bits))
+		d.Update(values[i])
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []uint64{100, 1000, 8000, 16000} {
+		exact := sort.Search(len(values), func(j int) bool { return values[j] > q })
+		got := d.EstimateRank(q)
+		if math.Abs(float64(got-exact)) > 2*eps*float64(n) {
+			t.Errorf("EstimateRank(%d) = %d, exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestWeightedUpdates(t *testing.T) {
+	d := New(8, 100)
+	d.UpdateWeighted(10, 500)
+	d.UpdateWeighted(200, 500)
+	if d.Count() != 1000 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if got, _ := d.Query(0.25); got > 100 {
+		t.Errorf("low quantile should come from the low value, got %d", got)
+	}
+	if got, _ := d.Query(0.9); got < 100 {
+		t.Errorf("high quantile should come from the high value, got %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(12, 500)
+	b := New(12, 500)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		a.Update(uint64(rng.Intn(2048)))        // low half
+		b.Update(uint64(2048 + rng.Intn(2048))) // high half
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 40000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Median should be near the boundary between the halves.
+	if got, _ := a.Query(0.5); got < 1800 || got > 2300 {
+		t.Errorf("median after merge = %d, want near 2048", got)
+	}
+	// Mismatched universes must error.
+	c := New(8, 500)
+	if err := a.Merge(c); err == nil {
+		t.Errorf("merging different universes should fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil should be a no-op")
+	}
+}
+
+func TestCompressionFactorAccessor(t *testing.T) {
+	d := New(10, 77)
+	if d.CompressionFactor() != 77 {
+		t.Errorf("CompressionFactor = %d", d.CompressionFactor())
+	}
+}
+
+// Property: counts are conserved (invariant holds) under arbitrary updates.
+func TestCountConservationProperty(t *testing.T) {
+	f := func(values []uint16) bool {
+		d := New(16, 50)
+		for _, v := range values {
+			d.Update(uint64(v))
+		}
+		d.Compress()
+		return d.CheckInvariant() == nil && d.Count() == len(values)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the returned quantile is always inside the universe and its
+// estimated rank is monotone in phi.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(values []uint16, seed int64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		d := New(16, 20)
+		for _, v := range values {
+			d.Update(uint64(v))
+		}
+		prev := uint64(0)
+		for i := 0; i <= 10; i++ {
+			phi := float64(i) / 10
+			got, ok := d.Query(phi)
+			if !ok || got >= d.UniverseSize() {
+				return false
+			}
+			if i > 0 && got < prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

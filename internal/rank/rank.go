@@ -1,0 +1,227 @@
+// Package rank provides exact order-statistic computation: the ground truth
+// that experiments compare approximate summaries against.
+//
+// Definitions follow the paper: the rank of an item a with respect to a stream
+// σ is its position in the non-decreasing ordering of σ (for distinct items,
+// one more than the number of items strictly smaller than a). The ϕ-quantile
+// of a stream of N items is the ⌊ϕN⌋-th smallest item, and an ε-approximate
+// ϕ-quantile is any k'-th smallest item with k' ∈ [⌊ϕN⌋ − εN, ⌊ϕN⌋ + εN].
+package rank
+
+import (
+	"sort"
+
+	"quantilelb/internal/order"
+)
+
+// Oracle answers exact rank and quantile queries over a fixed multiset of
+// items. Construction sorts a copy of the data; queries are O(log n).
+type Oracle[T any] struct {
+	cmp    order.Comparator[T]
+	sorted []T
+}
+
+// NewOracle builds an oracle over items (which are copied and sorted).
+func NewOracle[T any](cmp order.Comparator[T], items []T) *Oracle[T] {
+	sorted := make([]T, len(items))
+	copy(sorted, items)
+	order.Sort(cmp, sorted)
+	return &Oracle[T]{cmp: cmp, sorted: sorted}
+}
+
+// Len returns the number of items.
+func (o *Oracle[T]) Len() int { return len(o.sorted) }
+
+// Sorted returns the sorted items. Callers must not modify the slice.
+func (o *Oracle[T]) Sorted() []T { return o.sorted }
+
+// Rank returns the 1-based rank of x: one more than the number of items
+// strictly smaller than x. x need not occur in the data.
+func (o *Oracle[T]) Rank(x T) int {
+	return order.CountLT(o.cmp, o.sorted, x) + 1
+}
+
+// RankLE returns the number of items less than or equal to x, which is the
+// convention used by the Estimating Rank problem in Section 6.2.
+func (o *Oracle[T]) RankLE(x T) int {
+	return order.CountLE(o.cmp, o.sorted, x)
+}
+
+// RankRange returns the inclusive range of ranks occupied by x: [lo, hi] where
+// lo is the rank of the first occurrence and hi the rank of the last. When x
+// does not occur, lo = hi = Rank(x) describes the position it would take.
+func (o *Oracle[T]) RankRange(x T) (lo, hi int) {
+	lo = order.CountLT(o.cmp, o.sorted, x) + 1
+	le := order.CountLE(o.cmp, o.sorted, x)
+	if le >= lo {
+		return lo, le
+	}
+	return lo, lo
+}
+
+// Select returns the item of 1-based rank k (the k-th smallest item); k is
+// clamped to [1, Len].
+func (o *Oracle[T]) Select(k int) T {
+	if len(o.sorted) == 0 {
+		panic("rank: Select on empty oracle")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(o.sorted) {
+		k = len(o.sorted)
+	}
+	return o.sorted[k-1]
+}
+
+// Quantile returns the exact ϕ-quantile, the ⌊ϕN⌋-th smallest item (with rank
+// clamped to at least 1).
+func (o *Oracle[T]) Quantile(phi float64) T {
+	return o.Select(QuantileRank(len(o.sorted), phi))
+}
+
+// QuantileRank returns the target rank ⌊ϕN⌋ clamped to [1, N].
+func QuantileRank(n int, phi float64) int {
+	if n <= 0 {
+		return 0
+	}
+	k := int(phi * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// IsApproxQuantile reports whether candidate is an ε-approximate ϕ-quantile of
+// the oracle's data: whether some occurrence of candidate has rank within
+// ±εN of ⌊ϕN⌋.
+func (o *Oracle[T]) IsApproxQuantile(candidate T, phi, eps float64) bool {
+	n := len(o.sorted)
+	if n == 0 {
+		return false
+	}
+	target := QuantileRank(n, phi)
+	slack := eps * float64(n)
+	lo, hi := o.RankRange(candidate)
+	// Some rank in [lo, hi] must fall within [target - slack, target + slack].
+	lower := float64(target) - slack
+	upper := float64(target) + slack
+	return float64(hi) >= lower && float64(lo) <= upper
+}
+
+// RankError returns the absolute rank error of candidate when used to answer
+// the ϕ-quantile query: the distance from the closest rank occupied by
+// candidate to the target rank ⌊ϕN⌋, in items.
+func (o *Oracle[T]) RankError(candidate T, phi float64) int {
+	n := len(o.sorted)
+	target := QuantileRank(n, phi)
+	lo, hi := o.RankRange(candidate)
+	switch {
+	case target < lo:
+		return lo - target
+	case target > hi:
+		return target - hi
+	default:
+		return 0
+	}
+}
+
+// Select returns the k-th smallest (1-based) element of items without fully
+// sorting them, using in-place quickselect with median-of-three pivoting.
+// The input slice is reordered. It panics if k is out of range.
+func Select[T any](cmp order.Comparator[T], items []T, k int) T {
+	if k < 1 || k > len(items) {
+		panic("rank: Select k out of range")
+	}
+	lo, hi := 0, len(items)-1
+	target := k - 1
+	for lo < hi {
+		p := partition(cmp, items, lo, hi)
+		switch {
+		case target == p:
+			return items[p]
+		case target < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return items[target]
+}
+
+// Median returns the lower median (the ⌈n/2⌉-th smallest item) of items,
+// reordering the slice.
+func Median[T any](cmp order.Comparator[T], items []T) T {
+	n := len(items)
+	if n == 0 {
+		panic("rank: Median of empty slice")
+	}
+	return Select(cmp, items, (n+1)/2)
+}
+
+func partition[T any](cmp order.Comparator[T], items []T, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order items[lo], items[mid], items[hi].
+	if cmp(items[mid], items[lo]) < 0 {
+		items[mid], items[lo] = items[lo], items[mid]
+	}
+	if cmp(items[hi], items[lo]) < 0 {
+		items[hi], items[lo] = items[lo], items[hi]
+	}
+	if cmp(items[hi], items[mid]) < 0 {
+		items[hi], items[mid] = items[mid], items[hi]
+	}
+	pivot := items[mid]
+	items[mid], items[hi] = items[hi], items[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if cmp(items[i], pivot) < 0 {
+			items[i], items[store] = items[store], items[i]
+			store++
+		}
+	}
+	items[store], items[hi] = items[hi], items[store]
+	return store
+}
+
+// Float64Oracle is a convenience constructor for the common float64 case.
+func Float64Oracle(items []float64) *Oracle[float64] {
+	return NewOracle(order.Floats[float64](), items)
+}
+
+// EvenlySpacedQuantiles returns the exact ϕ-quantiles for m evenly spaced
+// probabilities ϕ = 1/m, 2/m, ..., 1, useful for building reference CDFs.
+func (o *Oracle[T]) EvenlySpacedQuantiles(m int) []T {
+	if m <= 0 || len(o.sorted) == 0 {
+		return nil
+	}
+	out := make([]T, m)
+	for i := 1; i <= m; i++ {
+		out[i-1] = o.Quantile(float64(i) / float64(m))
+	}
+	return out
+}
+
+// OfflineOptimalSize returns ⌈1/(2ε)⌉, the storage needed by the offline
+// optimal summary described in Section 1 of the paper.
+func OfflineOptimalSize(eps float64) int {
+	if eps <= 0 {
+		return 0
+	}
+	size := int(1 / (2 * eps))
+	if float64(size) < 1/(2*eps) {
+		size++
+	}
+	return size
+}
+
+// SortedCopy returns a sorted copy of items under the natural float64 order.
+func SortedCopy(items []float64) []float64 {
+	out := make([]float64, len(items))
+	copy(out, items)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,285 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+)
+
+func TestOracleRankAndSelect(t *testing.T) {
+	o := Float64Oracle([]float64{5, 1, 9, 3, 7})
+	if o.Len() != 5 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	if got := o.Rank(1); got != 1 {
+		t.Errorf("Rank(1) = %d, want 1", got)
+	}
+	if got := o.Rank(9); got != 5 {
+		t.Errorf("Rank(9) = %d, want 5", got)
+	}
+	if got := o.Rank(4); got != 3 {
+		t.Errorf("Rank(4) = %d, want 3 (2 smaller + 1)", got)
+	}
+	if got := o.RankLE(5); got != 3 {
+		t.Errorf("RankLE(5) = %d, want 3", got)
+	}
+	if got := o.Select(1); got != 1 {
+		t.Errorf("Select(1) = %v", got)
+	}
+	if got := o.Select(5); got != 9 {
+		t.Errorf("Select(5) = %v", got)
+	}
+	// Clamping.
+	if got := o.Select(0); got != 1 {
+		t.Errorf("Select(0) should clamp to min, got %v", got)
+	}
+	if got := o.Select(100); got != 9 {
+		t.Errorf("Select(100) should clamp to max, got %v", got)
+	}
+}
+
+func TestOracleSortedIsSorted(t *testing.T) {
+	o := Float64Oracle([]float64{2, 1, 3})
+	if !reflect.DeepEqual(o.Sorted(), []float64{1, 2, 3}) {
+		t.Errorf("Sorted = %v", o.Sorted())
+	}
+}
+
+func TestRankRangeWithDuplicates(t *testing.T) {
+	o := Float64Oracle([]float64{1, 2, 2, 2, 3})
+	lo, hi := o.RankRange(2)
+	if lo != 2 || hi != 4 {
+		t.Errorf("RankRange(2) = [%d,%d], want [2,4]", lo, hi)
+	}
+	lo, hi = o.RankRange(2.5)
+	if lo != 5 || hi != 5 {
+		t.Errorf("RankRange(2.5) = [%d,%d], want [5,5]", lo, hi)
+	}
+}
+
+func TestQuantileRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		phi  float64
+		want int
+	}{
+		{100, 0.5, 50},
+		{100, 0.0, 1},
+		{100, 1.0, 100},
+		{100, 0.999, 99},
+		{10, 0.05, 1},
+		{0, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := QuantileRank(c.n, c.phi); got != c.want {
+			t.Errorf("QuantileRank(%d, %v) = %d, want %d", c.n, c.phi, got, c.want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	o := Float64Oracle(items)
+	if got := o.Quantile(0.5); got != 50 {
+		t.Errorf("Quantile(0.5) = %v, want 50", got)
+	}
+	if got := o.Quantile(0.25); got != 25 {
+		t.Errorf("Quantile(0.25) = %v, want 25", got)
+	}
+	if got := o.Quantile(1.0); got != 100 {
+		t.Errorf("Quantile(1.0) = %v, want 100", got)
+	}
+	if got := o.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+}
+
+func TestIsApproxQuantile(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	o := Float64Oracle(items)
+	// Target rank for phi=0.5 is 50, eps=0.1 allows ranks 40..60.
+	if !o.IsApproxQuantile(50, 0.5, 0.1) {
+		t.Errorf("exact median should qualify")
+	}
+	if !o.IsApproxQuantile(41, 0.5, 0.1) || !o.IsApproxQuantile(59, 0.5, 0.1) {
+		t.Errorf("items within eps*N should qualify")
+	}
+	if o.IsApproxQuantile(39, 0.5, 0.1) || o.IsApproxQuantile(61, 0.5, 0.1) {
+		t.Errorf("items outside eps*N should not qualify")
+	}
+}
+
+func TestRankError(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	o := Float64Oracle(items)
+	if got := o.RankError(50, 0.5); got != 0 {
+		t.Errorf("RankError(50, 0.5) = %d, want 0", got)
+	}
+	if got := o.RankError(45, 0.5); got != 5 {
+		t.Errorf("RankError(45, 0.5) = %d, want 5", got)
+	}
+	if got := o.RankError(60, 0.5); got != 10 {
+		t.Errorf("RankError(60, 0.5) = %d, want 10", got)
+	}
+}
+
+func TestSelectQuickselect(t *testing.T) {
+	cmp := order.Floats[float64]()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		items := make([]float64, n)
+		for i := range items {
+			items[i] = rng.Float64() * 100
+		}
+		sorted := SortedCopy(items)
+		k := 1 + rng.Intn(n)
+		work := append([]float64(nil), items...)
+		got := Select(cmp, work, k)
+		if got != sorted[k-1] {
+			t.Fatalf("Select(%d) = %v, want %v", k, got, sorted[k-1])
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	cmp := order.Floats[float64]()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Select(cmp, []float64{1, 2, 3}, 4)
+}
+
+func TestMedian(t *testing.T) {
+	cmp := order.Floats[float64]()
+	if got := Median(cmp, []float64{5, 1, 3}); got != 3 {
+		t.Errorf("Median odd = %v, want 3", got)
+	}
+	if got := Median(cmp, []float64{4, 1, 3, 2}); got != 2 {
+		t.Errorf("Median even (lower) = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Median of empty should panic")
+		}
+	}()
+	Median(cmp, nil)
+}
+
+func TestEvenlySpacedQuantiles(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	o := Float64Oracle(items)
+	qs := o.EvenlySpacedQuantiles(4)
+	want := []float64{25, 50, 75, 100}
+	if !reflect.DeepEqual(qs, want) {
+		t.Errorf("EvenlySpacedQuantiles(4) = %v, want %v", qs, want)
+	}
+	if o.EvenlySpacedQuantiles(0) != nil {
+		t.Errorf("m=0 should return nil")
+	}
+	empty := Float64Oracle(nil)
+	if empty.EvenlySpacedQuantiles(3) != nil {
+		t.Errorf("empty oracle should return nil")
+	}
+}
+
+func TestOfflineOptimalSize(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		want int
+	}{
+		{0.5, 1},
+		{0.25, 2},
+		{0.1, 5},
+		{0.01, 50},
+		{0.3, 2},  // 1/(2*0.3) = 1.67 -> 2
+		{0.07, 8}, // 1/(0.14) = 7.14 -> 8
+		{0, 0},
+		{-1, 0},
+	}
+	for _, c := range cases {
+		if got := OfflineOptimalSize(c.eps); got != c.want {
+			t.Errorf("OfflineOptimalSize(%v) = %d, want %d", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SortedCopy(in)
+	if !reflect.DeepEqual(out, []float64{1, 2, 3}) {
+		t.Errorf("SortedCopy = %v", out)
+	}
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Errorf("SortedCopy mutated input")
+	}
+}
+
+// Property: oracle Rank matches brute force for arbitrary queries.
+func TestOracleRankProperty(t *testing.T) {
+	f := func(items []float64, q float64) bool {
+		o := Float64Oracle(items)
+		brute := 1
+		for _, x := range items {
+			if x < q {
+				brute++
+			}
+		}
+		return o.Rank(q) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Select via quickselect agrees with sorting for random slices.
+func TestSelectMatchesSortProperty(t *testing.T) {
+	cmp := order.Floats[float64]()
+	f := func(items []float64, kRaw uint8) bool {
+		if len(items) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(items) + 1
+		sorted := append([]float64(nil), items...)
+		sort.Float64s(sorted)
+		work := append([]float64(nil), items...)
+		return Select(cmp, work, k) == sorted[k-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact quantile is always an ε-approximate quantile of itself.
+func TestExactQuantileIsApproxProperty(t *testing.T) {
+	f := func(items []float64, phiRaw uint8) bool {
+		if len(items) == 0 {
+			return true
+		}
+		phi := float64(phiRaw) / 255
+		o := Float64Oracle(items)
+		q := o.Quantile(phi)
+		return o.IsApproxQuantile(q, phi, 0.001)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

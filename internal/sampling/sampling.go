@@ -1,0 +1,144 @@
+// Package sampling implements a reservoir-sampling quantile estimator, the
+// simplest randomized comparison-based baseline referenced in Section 1.2 of
+// the lower-bound paper (sampling-based approaches need Θ((1/ε²)·log(1/δ))
+// samples for a uniform ε guarantee).
+//
+// The estimator keeps a uniform random sample of the stream (Vitter's
+// reservoir sampling, Algorithm R) plus the exact minimum and maximum, and
+// answers quantile and rank queries from the sample. It exists as a baseline
+// in the cross-summary comparison experiments and to illustrate that the
+// deterministic lower bound does not constrain randomized summaries with
+// constant failure probability.
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"quantilelb/internal/order"
+)
+
+// Reservoir is a reservoir-sampling quantile estimator.
+type Reservoir[T any] struct {
+	cmp      order.Comparator[T]
+	capacity int
+	rng      *rand.Rand
+	n        int
+	sample   []T
+
+	hasMin, hasMax bool
+	min, max       T
+}
+
+// New returns a reservoir of the given capacity. It panics if capacity < 1.
+func New[T any](cmp order.Comparator[T], capacity int, seed int64) *Reservoir[T] {
+	if capacity < 1 {
+		panic("sampling: capacity must be positive")
+	}
+	return &Reservoir[T]{
+		cmp:      cmp,
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewFloat64 returns a float64 reservoir sized for accuracy eps and failure
+// probability delta using the standard (1/ε²)·ln(2/δ)/2 bound.
+func NewFloat64(eps, delta float64, seed int64) *Reservoir[float64] {
+	return New(order.Floats[float64](), SizeForAccuracy(eps, delta), seed)
+}
+
+// SizeForAccuracy returns the sample size needed so that, with probability at
+// least 1−δ, every quantile estimate from the sample is within ε of the true
+// quantile (by the DKW inequality: m ≥ ln(2/δ)/(2ε²)).
+func SizeForAccuracy(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("sampling: eps must be in (0, 1)")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("sampling: delta must be in (0, 1)")
+	}
+	m := int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Capacity returns the reservoir capacity.
+func (r *Reservoir[T]) Capacity() int { return r.capacity }
+
+// Count returns the number of items processed.
+func (r *Reservoir[T]) Count() int { return r.n }
+
+// Update processes one stream item.
+func (r *Reservoir[T]) Update(x T) {
+	r.n++
+	if !r.hasMin || r.cmp(x, r.min) < 0 {
+		r.min, r.hasMin = x, true
+	}
+	if !r.hasMax || r.cmp(x, r.max) > 0 {
+		r.max, r.hasMax = x, true
+	}
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, x)
+		return
+	}
+	// Algorithm R: replace a random slot with probability capacity/n.
+	j := r.rng.Intn(r.n)
+	if j < r.capacity {
+		r.sample[j] = x
+	}
+}
+
+// Query returns an approximate ϕ-quantile computed from the sample.
+func (r *Reservoir[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	if phi <= 0 {
+		return r.min, true
+	}
+	if phi >= 1 {
+		return r.max, true
+	}
+	sorted := order.Sorted(r.cmp, r.sample)
+	k := int(phi * float64(len(sorted)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1], true
+}
+
+// EstimateRank estimates the number of items less than or equal to q by
+// scaling the sample rank.
+func (r *Reservoir[T]) EstimateRank(q T) int {
+	if r.n == 0 || len(r.sample) == 0 {
+		return 0
+	}
+	sorted := order.Sorted(r.cmp, r.sample)
+	le := order.CountLE(r.cmp, sorted, q)
+	return int(math.Round(float64(le) / float64(len(sorted)) * float64(r.n)))
+}
+
+// StoredItems returns the sampled items (plus min and max if not sampled) in
+// non-decreasing order.
+func (r *Reservoir[T]) StoredItems() []T {
+	items := order.Sorted(r.cmp, r.sample)
+	if r.hasMin && !order.Contains(r.cmp, items, r.min) {
+		items = order.InsertSorted(r.cmp, items, r.min)
+	}
+	if r.hasMax && !order.Contains(r.cmp, items, r.max) {
+		items = order.InsertSorted(r.cmp, items, r.max)
+	}
+	return items
+}
+
+// StoredCount returns the number of retained items.
+func (r *Reservoir[T]) StoredCount() int {
+	return len(r.StoredItems())
+}

@@ -1,0 +1,190 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("capacity < 1 should panic")
+		}
+	}()
+	New(order.Floats[float64](), 0, 1)
+}
+
+func TestSizeForAccuracyValidation(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v delta=%v should panic", c.eps, c.delta)
+				}
+			}()
+			SizeForAccuracy(c.eps, c.delta)
+		}()
+	}
+	// DKW: m >= ln(2/delta)/(2 eps^2).
+	if got := SizeForAccuracy(0.1, 0.05); got != int(math.Ceil(math.Log(40)/0.02)) {
+		t.Errorf("SizeForAccuracy(0.1, 0.05) = %d", got)
+	}
+	if SizeForAccuracy(0.01, 0.05) <= SizeForAccuracy(0.1, 0.05) {
+		t.Errorf("size should grow as eps shrinks")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	r := NewFloat64(0.1, 0.1, 1)
+	if _, ok := r.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if r.EstimateRank(1) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if r.Count() != 0 || r.StoredCount() != 0 {
+		t.Errorf("empty reservoir has nonzero counts")
+	}
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	r := New(order.Floats[float64](), 100, 1)
+	for i := 1; i <= 50; i++ {
+		r.Update(float64(i))
+	}
+	// Whole stream fits in the reservoir: quantiles are exact.
+	if v, _ := r.Query(0.5); v != 25 {
+		t.Errorf("median of 1..50 = %v, want 25", v)
+	}
+	if v, _ := r.Query(0); v != 1 {
+		t.Errorf("min = %v", v)
+	}
+	if v, _ := r.Query(1); v != 50 {
+		t.Errorf("max = %v", v)
+	}
+	if got := r.EstimateRank(10); got != 10 {
+		t.Errorf("EstimateRank(10) = %d, want 10", got)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	r := New(order.Floats[float64](), 64, 2)
+	gen := stream.NewGenerator(1)
+	for _, x := range gen.Uniform(10000).Items() {
+		r.Update(x)
+	}
+	if r.Capacity() != 64 {
+		t.Errorf("Capacity = %d", r.Capacity())
+	}
+	// Stored items: sample plus possibly min and max.
+	if r.StoredCount() > 66 {
+		t.Errorf("StoredCount = %d, want <= 66", r.StoredCount())
+	}
+	if r.Count() != 10000 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestAccuracyWithDKWSize(t *testing.T) {
+	eps, delta := 0.05, 0.01
+	r := NewFloat64(eps, delta, 7)
+	gen := stream.NewGenerator(3)
+	n := 100000
+	st := gen.Uniform(n)
+	for _, x := range st.Items() {
+		r.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	// Randomized guarantee: allow most queries within eps and all within 4eps
+	// for this fixed seed.
+	within := 0
+	for i := 0; i <= 100; i++ {
+		phi := float64(i) / 100
+		got, ok := r.Query(phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		e := oracle.RankError(got, phi)
+		if float64(e) <= eps*float64(n) {
+			within++
+		}
+		if float64(e) > 4*eps*float64(n) {
+			t.Errorf("phi=%v error %d > 4 eps N", phi, e)
+		}
+	}
+	if within < 90 {
+		t.Errorf("only %d/101 queries within eps", within)
+	}
+}
+
+func TestEstimateRank(t *testing.T) {
+	eps := 0.05
+	r := NewFloat64(eps, 0.01, 11)
+	gen := stream.NewGenerator(5)
+	n := 50000
+	st := gen.Uniform(n)
+	for _, x := range st.Items() {
+		r.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est := r.EstimateRank(q)
+		exact := oracle.RankLE(q)
+		if math.Abs(float64(est-exact)) > 3*eps*float64(n) {
+			t.Errorf("EstimateRank(%v) = %d, exact %d", q, est, exact)
+		}
+	}
+}
+
+func TestMinMaxAlwaysAvailable(t *testing.T) {
+	r := New(order.Floats[float64](), 4, 3)
+	gen := stream.NewGenerator(6)
+	st := gen.Shuffled(5000)
+	for _, x := range st.Items() {
+		r.Update(x)
+	}
+	if v, _ := r.Query(0); v != 1 {
+		t.Errorf("min = %v, want 1", v)
+	}
+	if v, _ := r.Query(1); v != 5000 {
+		t.Errorf("max = %v, want 5000", v)
+	}
+	// StoredItems must include min and max even with a tiny reservoir.
+	items := r.StoredItems()
+	if items[0] != 1 || items[len(items)-1] != 5000 {
+		t.Errorf("StoredItems does not include extremes: %v", items)
+	}
+}
+
+func TestStoredItemsSorted(t *testing.T) {
+	r := New(order.Floats[float64](), 32, 9)
+	gen := stream.NewGenerator(7)
+	for _, x := range gen.Uniform(2000).Items() {
+		r.Update(x)
+	}
+	items := r.StoredItems()
+	for i := 1; i < len(items); i++ {
+		if items[i-1] > items[i] {
+			t.Fatalf("StoredItems not sorted")
+		}
+	}
+}
+
+// Property: the reservoir never exceeds its capacity and counts correctly.
+func TestReservoirBoundsProperty(t *testing.T) {
+	f := func(items []float64, seed int64) bool {
+		r := New(order.Floats[float64](), 16, seed)
+		for _, x := range items {
+			r.Update(x)
+		}
+		return r.Count() == len(items) && len(r.sample) <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package stream provides the insertion-only stream abstraction and workload
+// generators used by the experiments, examples, and benchmarks.
+//
+// The paper studies the cash-register (insertion-only) streaming model: a
+// sequence of items from a totally ordered universe processed in a single
+// pass. This package models streams both as materialized slices (convenient
+// for ground-truth computation) and as iterators (convenient for feeding
+// summaries one item at a time), plus deterministic generators for the
+// workload shapes used throughout the evaluation: sorted, reverse-sorted,
+// uniformly shuffled, Zipf-like skewed, Gaussian-like, clustered, and
+// duplicate-heavy streams.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Stream is a materialized stream of float64 items in arrival order.
+type Stream struct {
+	name  string
+	items []float64
+}
+
+// New returns a stream with the given name wrapping items (not copied).
+func New(name string, items []float64) *Stream {
+	return &Stream{name: name, items: items}
+}
+
+// Name returns the human-readable workload name.
+func (s *Stream) Name() string { return s.name }
+
+// Len returns the number of items.
+func (s *Stream) Len() int { return len(s.items) }
+
+// Items returns the underlying items in arrival order. Callers must not
+// modify the returned slice.
+func (s *Stream) Items() []float64 { return s.items }
+
+// At returns the i-th item in arrival order.
+func (s *Stream) At(i int) float64 { return s.items[i] }
+
+// Each calls fn for every item in arrival order.
+func (s *Stream) Each(fn func(x float64)) {
+	for _, x := range s.items {
+		fn(x)
+	}
+}
+
+// Iterator returns a pull-based iterator over the stream.
+func (s *Stream) Iterator() *Iterator {
+	return &Iterator{items: s.items}
+}
+
+// Append returns a new stream consisting of s followed by more items. The
+// underlying slices are copied so the original stream is unchanged; the
+// median-corollary adversary (Theorem 6.1) uses this to extend streams.
+func (s *Stream) Append(name string, more []float64) *Stream {
+	items := make([]float64, 0, len(s.items)+len(more))
+	items = append(items, s.items...)
+	items = append(items, more...)
+	return &Stream{name: name, items: items}
+}
+
+// String implements fmt.Stringer.
+func (s *Stream) String() string {
+	return fmt.Sprintf("stream %q with %d items", s.name, len(s.items))
+}
+
+// Iterator pulls items from a stream one at a time.
+type Iterator struct {
+	items []float64
+	pos   int
+}
+
+// Next returns the next item; ok is false when the stream is exhausted.
+func (it *Iterator) Next() (x float64, ok bool) {
+	if it.pos >= len(it.items) {
+		return 0, false
+	}
+	x = it.items[it.pos]
+	it.pos++
+	return x, true
+}
+
+// Remaining returns the number of items not yet consumed.
+func (it *Iterator) Remaining() int { return len(it.items) - it.pos }
+
+// Generator produces deterministic workloads. All generators are seeded so
+// experiments are reproducible; the same seed yields the same stream.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sorted returns 1, 2, ..., n — the worst case for naive samplers and the
+// classic stress test for deterministic summaries.
+func (g *Generator) Sorted(n int) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	return New("sorted", items)
+}
+
+// Reverse returns n, n-1, ..., 1.
+func (g *Generator) Reverse(n int) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = float64(n - i)
+	}
+	return New("reverse", items)
+}
+
+// Shuffled returns a uniformly random permutation of 1..n.
+func (g *Generator) Shuffled(n int) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = float64(i + 1)
+	}
+	g.rng.Shuffle(n, func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return New("shuffled", items)
+}
+
+// Uniform returns n independent uniform samples from [0, 1).
+func (g *Generator) Uniform(n int) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = g.rng.Float64()
+	}
+	return New("uniform", items)
+}
+
+// Gaussian returns n samples from a normal distribution with the given mean
+// and standard deviation; heavy middle, light tails.
+func (g *Generator) Gaussian(n int, mean, stddev float64) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = mean + stddev*g.rng.NormFloat64()
+	}
+	return New("gaussian", items)
+}
+
+// Zipf returns n samples from a Zipf-like heavy-tailed distribution with
+// exponent s over the universe 1..v. Useful for modeling latency tails and
+// skewed value distributions.
+func (g *Generator) Zipf(n int, s float64, v uint64) *Stream {
+	if s <= 1 {
+		s = 1.0001
+	}
+	z := rand.NewZipf(g.rng, s, 1, v)
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = float64(z.Uint64() + 1)
+	}
+	return New("zipf", items)
+}
+
+// LogNormal returns n samples from a log-normal distribution, a common model
+// for service latencies (long right tail).
+func (g *Generator) LogNormal(n int, mu, sigma float64) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = math.Exp(mu + sigma*g.rng.NormFloat64())
+	}
+	return New("lognormal", items)
+}
+
+// Clustered returns n items drawn from k tight clusters spread over [0, 1000).
+// Equi-depth histogram experiments use it because equal-width buckets fail
+// badly on it.
+func (g *Generator) Clustered(n, k int) *Stream {
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]float64, k)
+	for i := range centers {
+		centers[i] = g.rng.Float64() * 1000
+	}
+	items := make([]float64, n)
+	for i := range items {
+		c := centers[g.rng.Intn(k)]
+		items[i] = c + g.rng.NormFloat64()*0.5
+	}
+	return New("clustered", items)
+}
+
+// Duplicates returns n items drawn from only d distinct values, exercising
+// tie handling in the summaries.
+func (g *Generator) Duplicates(n, d int) *Stream {
+	if d < 1 {
+		d = 1
+	}
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = float64(g.rng.Intn(d))
+	}
+	return New("duplicates", items)
+}
+
+// SawTooth returns n items cycling through period increasing ramps. This is a
+// semi-adversarial pattern for summaries that compress eagerly.
+func (g *Generator) SawTooth(n, period int) *Stream {
+	if period < 1 {
+		period = 1
+	}
+	items := make([]float64, n)
+	for i := range items {
+		cycle := i / period
+		pos := i % period
+		items[i] = float64(pos)*1000 + float64(cycle)
+	}
+	return New("sawtooth", items)
+}
+
+// ByName generates one of the named workloads with n items. Recognized names:
+// sorted, reverse, shuffled, uniform, gaussian, zipf, lognormal, clustered,
+// duplicates, sawtooth. It returns an error for unknown names.
+func (g *Generator) ByName(name string, n int) (*Stream, error) {
+	switch name {
+	case "sorted":
+		return g.Sorted(n), nil
+	case "reverse":
+		return g.Reverse(n), nil
+	case "shuffled":
+		return g.Shuffled(n), nil
+	case "uniform":
+		return g.Uniform(n), nil
+	case "gaussian":
+		return g.Gaussian(n, 100, 15), nil
+	case "zipf":
+		return g.Zipf(n, 1.2, 1_000_000), nil
+	case "lognormal":
+		return g.LogNormal(n, 3, 1), nil
+	case "clustered":
+		return g.Clustered(n, 10), nil
+	case "duplicates":
+		return g.Duplicates(n, 100), nil
+	case "sawtooth":
+		return g.SawTooth(n, 1000), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown workload %q", name)
+	}
+}
+
+// WorkloadNames lists the workload names understood by ByName.
+func WorkloadNames() []string {
+	return []string{
+		"sorted", "reverse", "shuffled", "uniform", "gaussian",
+		"zipf", "lognormal", "clustered", "duplicates", "sawtooth",
+	}
+}

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	s := New("demo", []float64{3, 1, 2})
+	if s.Name() != "demo" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.At(0) != 3 || s.At(2) != 2 {
+		t.Errorf("At returned wrong items")
+	}
+	var seen []float64
+	s.Each(func(x float64) { seen = append(seen, x) })
+	if !reflect.DeepEqual(seen, []float64{3, 1, 2}) {
+		t.Errorf("Each order wrong: %v", seen)
+	}
+	if got := s.String(); got != `stream "demo" with 3 items` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIterator(t *testing.T) {
+	s := New("it", []float64{10, 20, 30})
+	it := s.Iterator()
+	if it.Remaining() != 3 {
+		t.Errorf("Remaining = %d, want 3", it.Remaining())
+	}
+	var got []float64
+	for {
+		x, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, x)
+	}
+	if !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Errorf("iterator items = %v", got)
+	}
+	if it.Remaining() != 0 {
+		t.Errorf("Remaining after exhaustion = %d", it.Remaining())
+	}
+	if _, ok := it.Next(); ok {
+		t.Errorf("Next after exhaustion should report false")
+	}
+}
+
+func TestAppendDoesNotMutate(t *testing.T) {
+	s := New("base", []float64{1, 2})
+	s2 := s.Append("extended", []float64{3, 4})
+	if s.Len() != 2 {
+		t.Errorf("original stream mutated")
+	}
+	if s2.Len() != 4 || s2.Name() != "extended" {
+		t.Errorf("appended stream wrong: %v", s2)
+	}
+	if !reflect.DeepEqual(s2.Items(), []float64{1, 2, 3, 4}) {
+		t.Errorf("appended items = %v", s2.Items())
+	}
+}
+
+func TestSortedReverse(t *testing.T) {
+	g := NewGenerator(1)
+	s := g.Sorted(5)
+	if !reflect.DeepEqual(s.Items(), []float64{1, 2, 3, 4, 5}) {
+		t.Errorf("Sorted = %v", s.Items())
+	}
+	r := g.Reverse(5)
+	if !reflect.DeepEqual(r.Items(), []float64{5, 4, 3, 2, 1}) {
+		t.Errorf("Reverse = %v", r.Items())
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	g := NewGenerator(42)
+	s := g.Shuffled(1000)
+	sorted := append([]float64(nil), s.Items()...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		if x != float64(i+1) {
+			t.Fatalf("shuffled stream is not a permutation of 1..n at %d: %v", i, x)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		a, err := NewGenerator(7).ByName(name, 500)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		b, err := NewGenerator(7).ByName(name, 500)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !reflect.DeepEqual(a.Items(), b.Items()) {
+			t.Errorf("workload %q not deterministic for equal seeds", name)
+		}
+		if a.Len() != 500 {
+			t.Errorf("workload %q produced %d items, want 500", name, a.Len())
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	g := NewGenerator(1)
+	if _, err := g.ByName("nope", 10); err == nil {
+		t.Fatalf("expected error for unknown workload")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewGenerator(3)
+	s := g.Uniform(10000)
+	for _, x := range s.Items() {
+		if x < 0 || x >= 1 {
+			t.Fatalf("uniform sample out of range: %v", x)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewGenerator(5)
+	s := g.Gaussian(200000, 50, 10)
+	var sum, sq float64
+	for _, x := range s.Items() {
+		sum += x
+		sq += x * x
+	}
+	n := float64(s.Len())
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-50) > 0.5 {
+		t.Errorf("gaussian mean = %v, want about 50", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-10) > 0.5 {
+		t.Errorf("gaussian stddev = %v, want about 10", math.Sqrt(variance))
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	g := NewGenerator(11)
+	s := g.Zipf(50000, 1.3, 1000)
+	ones := 0
+	for _, x := range s.Items() {
+		if x < 1 || x > 1001 {
+			t.Fatalf("zipf sample out of range: %v", x)
+		}
+		if x == 1 {
+			ones++
+		}
+	}
+	if ones < s.Len()/10 {
+		t.Errorf("zipf distribution not skewed toward small values: %d ones of %d", ones, s.Len())
+	}
+	// Degenerate exponent must not panic and must still produce items.
+	s2 := g.Zipf(100, 0.5, 100)
+	if s2.Len() != 100 {
+		t.Errorf("zipf with clamped exponent produced %d items", s2.Len())
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	g := NewGenerator(13)
+	s := g.LogNormal(10000, 3, 1)
+	for _, x := range s.Items() {
+		if x <= 0 {
+			t.Fatalf("lognormal sample not positive: %v", x)
+		}
+	}
+}
+
+func TestClusteredAndDuplicates(t *testing.T) {
+	g := NewGenerator(17)
+	c := g.Clustered(5000, 5)
+	if c.Len() != 5000 {
+		t.Errorf("clustered length wrong")
+	}
+	// Degenerate cluster count is clamped.
+	if g.Clustered(10, 0).Len() != 10 {
+		t.Errorf("clustered with k=0 should clamp")
+	}
+	d := g.Duplicates(5000, 7)
+	distinct := map[float64]bool{}
+	for _, x := range d.Items() {
+		distinct[x] = true
+	}
+	if len(distinct) > 7 {
+		t.Errorf("duplicates stream has %d distinct values, want <= 7", len(distinct))
+	}
+	if g.Duplicates(10, 0).Len() != 10 {
+		t.Errorf("duplicates with d=0 should clamp")
+	}
+}
+
+func TestSawTooth(t *testing.T) {
+	g := NewGenerator(19)
+	s := g.SawTooth(100, 10)
+	if s.Len() != 100 {
+		t.Fatalf("sawtooth length wrong")
+	}
+	// Within one period values must strictly increase.
+	for i := 1; i < 10; i++ {
+		if s.At(i) <= s.At(i-1) {
+			t.Errorf("sawtooth should increase within a period")
+		}
+	}
+	// Start of the next period drops back down.
+	if s.At(10) >= s.At(9) {
+		t.Errorf("sawtooth should reset at period boundary")
+	}
+	if g.SawTooth(5, 0).Len() != 5 {
+		t.Errorf("sawtooth with period=0 should clamp")
+	}
+}
+
+// Property: every generator produces exactly n items for any small n.
+func TestGeneratorLengthsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)
+		g := NewGenerator(seed)
+		for _, name := range WorkloadNames() {
+			s, err := g.ByName(name, n)
+			if err != nil || s.Len() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

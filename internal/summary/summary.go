@@ -1,0 +1,150 @@
+// Package summary defines the interfaces shared by all quantile summaries in
+// this repository, together with an instrumentation wrapper that records the
+// quantities the lower-bound experiments measure (maximum number of stored
+// items, number of comparisons, number of updates).
+//
+// The interfaces mirror Definition 2.1 of Cormode & Veselý (PODS 2020): a
+// comparison-based quantile summary processes a stream one item at a time,
+// stores a subset of the items it has seen (the item array I), and answers
+// quantile queries by returning one of the stored items.
+package summary
+
+import "quantilelb/internal/order"
+
+// Quantile is the minimal interface of a streaming quantile summary.
+type Quantile[T any] interface {
+	// Update processes the next stream item.
+	Update(x T)
+	// Query returns an (approximate) ϕ-quantile of the items processed so
+	// far, for ϕ in [0, 1]. The boolean is false when the summary is empty.
+	Query(phi float64) (T, bool)
+	// Count returns the number of items processed so far.
+	Count() int
+}
+
+// RankEstimator is implemented by summaries that can also estimate the rank
+// of an arbitrary query item (the Estimating Rank problem of Section 6.2):
+// the number of stream items that are not larger than q, up to ±εN.
+type RankEstimator[T any] interface {
+	// EstimateRank returns an estimate of |{x in stream : x <= q}|.
+	EstimateRank(q T) int
+}
+
+// Inspectable is implemented by summaries that expose their item array I of
+// Definition 2.1: the items from the stream currently retained in memory.
+// The adversarial construction requires this view.
+type Inspectable[T any] interface {
+	// StoredItems returns the retained items in non-decreasing order.
+	// The returned slice is owned by the caller.
+	StoredItems() []T
+	// StoredCount returns len(StoredItems()) without materializing it.
+	StoredCount() int
+}
+
+// Summary combines the capabilities every deterministic comparison-based
+// summary in this repository provides.
+type Summary[T any] interface {
+	Quantile[T]
+	RankEstimator[T]
+	Inspectable[T]
+}
+
+// Mergeable is implemented by summaries that support merging a same-typed
+// summary into the receiver (the "mergeable summaries" setting referenced in
+// Section 1.2 of the paper).
+type Mergeable[S any] interface {
+	Merge(other S) error
+}
+
+// Epsiloned is implemented by summaries constructed for a specific accuracy
+// target ε.
+type Epsiloned interface {
+	Epsilon() float64
+}
+
+// Stats aggregates the instrumentation counters collected by Instrumented.
+type Stats struct {
+	// Updates is the number of items processed.
+	Updates int
+	// Queries is the number of quantile queries answered.
+	Queries int
+	// MaxStored is the maximum value of |I| (stored items) observed after any
+	// update. This is the space measure used by the paper: space in words is
+	// measured by the number of items retained.
+	MaxStored int
+	// FinalStored is |I| after the last update.
+	FinalStored int
+	// Comparisons is the number of item comparisons performed, when the
+	// summary was built with a counting comparator.
+	Comparisons uint64
+}
+
+// Instrumented wraps a Summary and records Stats. It forwards every call to
+// the wrapped summary; after each update it samples StoredCount to maintain
+// the running maximum, which is exactly the "space on the worst-case input"
+// quantity that Theorem 2.2 lower-bounds.
+type Instrumented[T any] struct {
+	inner   Summary[T]
+	counter *order.Counting[T]
+	stats   Stats
+}
+
+// NewInstrumented wraps inner. If counter is non-nil its comparison count is
+// reported in Stats.
+func NewInstrumented[T any](inner Summary[T], counter *order.Counting[T]) *Instrumented[T] {
+	return &Instrumented[T]{inner: inner, counter: counter}
+}
+
+// Update implements Quantile.
+func (w *Instrumented[T]) Update(x T) {
+	w.inner.Update(x)
+	w.stats.Updates++
+	stored := w.inner.StoredCount()
+	w.stats.FinalStored = stored
+	if stored > w.stats.MaxStored {
+		w.stats.MaxStored = stored
+	}
+}
+
+// Query implements Quantile.
+func (w *Instrumented[T]) Query(phi float64) (T, bool) {
+	w.stats.Queries++
+	return w.inner.Query(phi)
+}
+
+// Count implements Quantile.
+func (w *Instrumented[T]) Count() int { return w.inner.Count() }
+
+// EstimateRank implements RankEstimator.
+func (w *Instrumented[T]) EstimateRank(q T) int { return w.inner.EstimateRank(q) }
+
+// StoredItems implements Inspectable.
+func (w *Instrumented[T]) StoredItems() []T { return w.inner.StoredItems() }
+
+// StoredCount implements Inspectable.
+func (w *Instrumented[T]) StoredCount() int { return w.inner.StoredCount() }
+
+// Inner returns the wrapped summary.
+func (w *Instrumented[T]) Inner() Summary[T] { return w.inner }
+
+// Stats returns a copy of the collected statistics, with the comparison count
+// read from the counting comparator if one was supplied.
+func (w *Instrumented[T]) Stats() Stats {
+	s := w.stats
+	if w.counter != nil {
+		s.Comparisons = w.counter.Count()
+	}
+	return s
+}
+
+// Factory constructs a fresh summary instance for a given ε. The adversarial
+// construction uses a factory to create the two summary instances that process
+// the indistinguishable streams π and ϱ.
+type Factory[T any] func(eps float64) Summary[T]
+
+// Named couples a factory with a human-readable algorithm name; experiment
+// drivers iterate over a list of Named factories.
+type Named[T any] struct {
+	Name string
+	New  Factory[T]
+}

@@ -1,0 +1,91 @@
+package summary_test
+
+import (
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/order"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+)
+
+func TestInstrumentedTracksMaxStored(t *testing.T) {
+	counter := order.NewCounting(order.Floats[float64]())
+	inner := gk.New(counter.Comparator(), 0.05)
+	w := summary.NewInstrumented[float64](inner, counter)
+	gen := stream.NewGenerator(1)
+	st := gen.Shuffled(5000)
+	for _, x := range st.Items() {
+		w.Update(x)
+	}
+	stats := w.Stats()
+	if stats.Updates != 5000 {
+		t.Errorf("Updates = %d", stats.Updates)
+	}
+	if stats.MaxStored < stats.FinalStored || stats.MaxStored <= 0 {
+		t.Errorf("MaxStored %d should be at least FinalStored %d and positive", stats.MaxStored, stats.FinalStored)
+	}
+	if stats.FinalStored != inner.StoredCount() {
+		t.Errorf("FinalStored %d != inner stored %d", stats.FinalStored, inner.StoredCount())
+	}
+	if stats.Comparisons == 0 {
+		t.Errorf("comparisons should have been counted")
+	}
+	if stats.Queries != 0 {
+		t.Errorf("no queries issued yet")
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if _, ok := w.Query(0.5); !ok {
+		t.Errorf("query should succeed")
+	}
+	if w.Stats().Queries != 1 {
+		t.Errorf("query count not tracked")
+	}
+	if w.EstimateRank(2500) <= 0 {
+		t.Errorf("rank estimate should be positive")
+	}
+	if len(w.StoredItems()) != w.StoredCount() {
+		t.Errorf("StoredItems / StoredCount mismatch")
+	}
+	if w.Inner() != summary.Summary[float64](inner) {
+		t.Errorf("Inner should return the wrapped summary")
+	}
+}
+
+func TestInstrumentedWithoutCounter(t *testing.T) {
+	inner := gk.NewFloat64(0.1)
+	w := summary.NewInstrumented[float64](inner, nil)
+	w.Update(1)
+	w.Update(2)
+	if w.Stats().Comparisons != 0 {
+		t.Errorf("without a counter, comparisons should be 0")
+	}
+	if w.Stats().MaxStored != 2 {
+		t.Errorf("MaxStored = %d, want 2", w.Stats().MaxStored)
+	}
+}
+
+func TestNamedFactory(t *testing.T) {
+	named := summary.Named[float64]{
+		Name: "gk",
+		New:  func(eps float64) summary.Summary[float64] { return gk.NewFloat64(eps) },
+	}
+	s := named.New(0.1)
+	s.Update(1)
+	if s.Count() != 1 {
+		t.Errorf("factory-built summary broken")
+	}
+	if named.Name != "gk" {
+		t.Errorf("name lost")
+	}
+}
+
+// Compile-time checks that every summary in the repository satisfies the
+// shared interface (this test exists to keep the interface honest).
+func TestInterfacesSatisfied(t *testing.T) {
+	var _ summary.Summary[float64] = gk.NewFloat64(0.1)
+	var _ summary.Epsiloned = gk.NewFloat64(0.1)
+	var _ summary.Mergeable[*gk.Summary[float64]] = gk.NewFloat64(0.1)
+}

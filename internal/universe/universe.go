@@ -1,0 +1,282 @@
+// Package universe implements the totally ordered, continuous, unbounded
+// universes that the lower-bound construction of Cormode & Veselý (PODS 2020)
+// draws its items from.
+//
+// Section 2 of the paper assumes "the universe is unbounded and continuous in
+// the sense that any non-empty open interval contains an unbounded number of
+// items"; the adversary repeatedly generates fresh items strictly inside
+// ever-narrower open intervals. Machine floating point cannot sustain that
+// refinement beyond a few levels of recursion, so the primary implementation
+// (Rational) uses arbitrary-precision rationals from math/big. A Float64
+// universe is provided for shallow constructions, fast experiments, and to
+// demonstrate exactly where fixed precision breaks down (it reports exhaustion
+// instead of silently generating duplicate items).
+package universe
+
+import (
+	"fmt"
+	"math/big"
+
+	"quantilelb/internal/order"
+)
+
+// Universe describes a totally ordered universe from which the adversary can
+// draw fresh items. All methods must be consistent with Compare.
+type Universe[T any] interface {
+	// Compare is the total order on the universe.
+	Compare(a, b T) int
+	// Between returns an item strictly inside the open interval described by
+	// iv. It returns false when the universe cannot produce such an item
+	// (for example a fixed-precision universe that has been exhausted).
+	Between(iv Interval[T]) (T, bool)
+	// Partition returns n items strictly inside the open interval described
+	// by iv, in strictly increasing order. It returns false when the
+	// universe cannot produce n distinct items inside the interval.
+	Partition(iv Interval[T], n int) ([]T, bool)
+	// Format renders an item for diagnostics.
+	Format(a T) string
+}
+
+// Interval is an open interval over the universe. A nil bound represents
+// -infinity (for Lo) or +infinity (for Hi); these are the sentinels the
+// initial call of the adversarial strategy uses.
+type Interval[T any] struct {
+	Lo    T
+	HasLo bool
+	Hi    T
+	HasHi bool
+}
+
+// FullInterval returns the unbounded interval (-inf, +inf).
+func FullInterval[T any]() Interval[T] {
+	return Interval[T]{}
+}
+
+// Open returns the open interval (lo, hi).
+func Open[T any](lo, hi T) Interval[T] {
+	return Interval[T]{Lo: lo, HasLo: true, Hi: hi, HasHi: true}
+}
+
+// AboveOf returns the open interval (lo, +inf).
+func AboveOf[T any](lo T) Interval[T] {
+	return Interval[T]{Lo: lo, HasLo: true}
+}
+
+// BelowOf returns the open interval (-inf, hi).
+func BelowOf[T any](hi T) Interval[T] {
+	return Interval[T]{Hi: hi, HasHi: true}
+}
+
+// Contains reports whether x lies strictly inside the interval under cmp.
+func (iv Interval[T]) Contains(cmp order.Comparator[T], x T) bool {
+	if iv.HasLo && cmp(x, iv.Lo) <= 0 {
+		return false
+	}
+	if iv.HasHi && cmp(x, iv.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Empty reports whether the open interval contains no points of a continuous
+// universe, i.e. whether Lo >= Hi when both bounds are present.
+func (iv Interval[T]) Empty(cmp order.Comparator[T]) bool {
+	if iv.HasLo && iv.HasHi {
+		return cmp(iv.Lo, iv.Hi) >= 0
+	}
+	return false
+}
+
+// String renders the interval using the universe's formatter.
+func FormatInterval[T any](u Universe[T], iv Interval[T]) string {
+	lo := "-inf"
+	if iv.HasLo {
+		lo = u.Format(iv.Lo)
+	}
+	hi := "+inf"
+	if iv.HasHi {
+		hi = u.Format(iv.Hi)
+	}
+	return fmt.Sprintf("(%s, %s)", lo, hi)
+}
+
+// Rational is the arbitrary-precision continuous universe over *big.Rat.
+// It can always produce a fresh item strictly inside any non-empty open
+// interval, matching the paper's continuity assumption exactly.
+type Rational struct{}
+
+// NewRational returns the rational universe.
+func NewRational() Rational { return Rational{} }
+
+// Compare implements Universe.
+func (Rational) Compare(a, b *big.Rat) int { return a.Cmp(b) }
+
+// Comparator returns the comparison function as an order.Comparator.
+func (Rational) Comparator() order.Comparator[*big.Rat] {
+	return func(a, b *big.Rat) int { return a.Cmp(b) }
+}
+
+// Format implements Universe.
+func (Rational) Format(a *big.Rat) string {
+	if a == nil {
+		return "<nil>"
+	}
+	// Use a decimal rendering for readability; exact value is kept internally.
+	return a.FloatString(6)
+}
+
+// Between implements Universe. For bounded intervals it returns the midpoint;
+// for half-open intervals it steps one unit beyond the finite bound; for the
+// unbounded interval it returns zero.
+func (u Rational) Between(iv Interval[*big.Rat]) (*big.Rat, bool) {
+	one := big.NewRat(1, 1)
+	switch {
+	case iv.HasLo && iv.HasHi:
+		if iv.Lo.Cmp(iv.Hi) >= 0 {
+			return nil, false
+		}
+		mid := new(big.Rat).Add(iv.Lo, iv.Hi)
+		mid.Quo(mid, big.NewRat(2, 1))
+		return mid, true
+	case iv.HasLo:
+		return new(big.Rat).Add(iv.Lo, one), true
+	case iv.HasHi:
+		return new(big.Rat).Sub(iv.Hi, one), true
+	default:
+		return new(big.Rat), true
+	}
+}
+
+// Partition implements Universe. For a bounded interval (lo, hi) it returns
+// lo + i*(hi-lo)/(n+1) for i = 1..n; for half-bounded intervals it steps in
+// unit increments away from the finite bound; for the unbounded interval it
+// returns 1..n.
+func (u Rational) Partition(iv Interval[*big.Rat], n int) ([]*big.Rat, bool) {
+	if n <= 0 {
+		return nil, true
+	}
+	out := make([]*big.Rat, 0, n)
+	switch {
+	case iv.HasLo && iv.HasHi:
+		if iv.Lo.Cmp(iv.Hi) >= 0 {
+			return nil, false
+		}
+		width := new(big.Rat).Sub(iv.Hi, iv.Lo)
+		step := new(big.Rat).Quo(width, big.NewRat(int64(n+1), 1))
+		cur := new(big.Rat).Set(iv.Lo)
+		for i := 0; i < n; i++ {
+			cur = new(big.Rat).Add(cur, step)
+			out = append(out, cur)
+		}
+	case iv.HasLo:
+		cur := new(big.Rat).Set(iv.Lo)
+		one := big.NewRat(1, 1)
+		for i := 0; i < n; i++ {
+			cur = new(big.Rat).Add(cur, one)
+			out = append(out, cur)
+		}
+	case iv.HasHi:
+		// Produce items hi-n, hi-n+1, ..., hi-1 so they are increasing.
+		start := new(big.Rat).Sub(iv.Hi, big.NewRat(int64(n), 1))
+		one := big.NewRat(1, 1)
+		cur := new(big.Rat).Sub(start, one)
+		for i := 0; i < n; i++ {
+			cur = new(big.Rat).Add(cur, one)
+			out = append(out, cur)
+		}
+	default:
+		for i := 1; i <= n; i++ {
+			out = append(out, big.NewRat(int64(i), 1))
+		}
+	}
+	return out, true
+}
+
+// Float64U is a fixed-precision universe over float64. It refuses to produce
+// items once the interval is too narrow to contain a representable value,
+// so callers can detect precision exhaustion instead of silently receiving
+// duplicates. It exists to benchmark the construction cheaply and to document
+// the substitution made for the paper's continuity assumption.
+type Float64U struct{}
+
+// NewFloat64 returns the float64 universe.
+func NewFloat64() Float64U { return Float64U{} }
+
+// Compare implements Universe.
+func (Float64U) Compare(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Comparator returns the comparison function as an order.Comparator.
+func (Float64U) Comparator() order.Comparator[float64] {
+	return order.Floats[float64]()
+}
+
+// Format implements Universe.
+func (Float64U) Format(a float64) string { return fmt.Sprintf("%g", a) }
+
+// Between implements Universe.
+func (u Float64U) Between(iv Interval[float64]) (float64, bool) {
+	switch {
+	case iv.HasLo && iv.HasHi:
+		if !(iv.Lo < iv.Hi) {
+			return 0, false
+		}
+		mid := iv.Lo + (iv.Hi-iv.Lo)/2
+		if mid <= iv.Lo || mid >= iv.Hi {
+			return 0, false // precision exhausted
+		}
+		return mid, true
+	case iv.HasLo:
+		return iv.Lo + 1, true
+	case iv.HasHi:
+		return iv.Hi - 1, true
+	default:
+		return 0, true
+	}
+}
+
+// Partition implements Universe.
+func (u Float64U) Partition(iv Interval[float64], n int) ([]float64, bool) {
+	if n <= 0 {
+		return nil, true
+	}
+	out := make([]float64, 0, n)
+	switch {
+	case iv.HasLo && iv.HasHi:
+		if !(iv.Lo < iv.Hi) {
+			return nil, false
+		}
+		width := iv.Hi - iv.Lo
+		step := width / float64(n+1)
+		prev := iv.Lo
+		for i := 1; i <= n; i++ {
+			v := iv.Lo + step*float64(i)
+			if v <= prev || v >= iv.Hi {
+				return nil, false // precision exhausted
+			}
+			out = append(out, v)
+			prev = v
+		}
+	case iv.HasLo:
+		for i := 1; i <= n; i++ {
+			out = append(out, iv.Lo+float64(i))
+		}
+	case iv.HasHi:
+		for i := n; i >= 1; i-- {
+			out = append(out, iv.Hi-float64(i))
+		}
+	default:
+		for i := 1; i <= n; i++ {
+			out = append(out, float64(i))
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,249 @@
+package universe
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/order"
+)
+
+func TestIntervalContains(t *testing.T) {
+	cmp := order.Ints[int]()
+	iv := Open(1, 5)
+	if !iv.Contains(cmp, 3) {
+		t.Errorf("3 should be inside (1,5)")
+	}
+	if iv.Contains(cmp, 1) || iv.Contains(cmp, 5) {
+		t.Errorf("open interval must exclude endpoints")
+	}
+	if iv.Contains(cmp, 0) || iv.Contains(cmp, 6) {
+		t.Errorf("values outside bounds must be excluded")
+	}
+	full := FullInterval[int]()
+	if !full.Contains(cmp, -1000) || !full.Contains(cmp, 1000) {
+		t.Errorf("full interval should contain everything")
+	}
+	above := AboveOf(10)
+	if above.Contains(cmp, 10) || !above.Contains(cmp, 11) {
+		t.Errorf("AboveOf incorrect")
+	}
+	below := BelowOf(10)
+	if below.Contains(cmp, 10) || !below.Contains(cmp, 9) {
+		t.Errorf("BelowOf incorrect")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	cmp := order.Ints[int]()
+	if Open(1, 5).Empty(cmp) {
+		t.Errorf("(1,5) is not empty")
+	}
+	if !Open(5, 5).Empty(cmp) {
+		t.Errorf("(5,5) is empty")
+	}
+	if !Open(6, 5).Empty(cmp) {
+		t.Errorf("(6,5) is empty")
+	}
+	if FullInterval[int]().Empty(cmp) || AboveOf(3).Empty(cmp) || BelowOf(3).Empty(cmp) {
+		t.Errorf("unbounded intervals are never empty")
+	}
+}
+
+func TestRationalBetween(t *testing.T) {
+	u := NewRational()
+	lo, hi := big.NewRat(1, 3), big.NewRat(1, 2)
+	mid, ok := u.Between(Open(lo, hi))
+	if !ok {
+		t.Fatalf("Between on non-empty interval should succeed")
+	}
+	if mid.Cmp(lo) <= 0 || mid.Cmp(hi) >= 0 {
+		t.Fatalf("midpoint %v not strictly inside (%v,%v)", mid, lo, hi)
+	}
+	if _, ok := u.Between(Open(hi, lo)); ok {
+		t.Errorf("Between on empty interval should fail")
+	}
+	if v, ok := u.Between(AboveOf(big.NewRat(7, 1))); !ok || v.Cmp(big.NewRat(7, 1)) <= 0 {
+		t.Errorf("Between above bound incorrect: %v %v", v, ok)
+	}
+	if v, ok := u.Between(BelowOf(big.NewRat(7, 1))); !ok || v.Cmp(big.NewRat(7, 1)) >= 0 {
+		t.Errorf("Between below bound incorrect: %v %v", v, ok)
+	}
+	if _, ok := u.Between(FullInterval[*big.Rat]()); !ok {
+		t.Errorf("Between on full interval should succeed")
+	}
+}
+
+func TestRationalPartition(t *testing.T) {
+	u := NewRational()
+	cmp := u.Comparator()
+	iv := Open(big.NewRat(0, 1), big.NewRat(1, 1))
+	items, ok := u.Partition(iv, 7)
+	if !ok || len(items) != 7 {
+		t.Fatalf("Partition failed: ok=%v len=%d", ok, len(items))
+	}
+	for i, x := range items {
+		if !iv.Contains(cmp, x) {
+			t.Errorf("item %d = %v outside interval", i, x)
+		}
+		if i > 0 && cmp(items[i-1], x) >= 0 {
+			t.Errorf("items not strictly increasing at %d", i)
+		}
+	}
+	// Empty interval fails.
+	if _, ok := u.Partition(Open(big.NewRat(2, 1), big.NewRat(1, 1)), 3); ok {
+		t.Errorf("Partition on empty interval should fail")
+	}
+	// n = 0 succeeds with no items.
+	if out, ok := u.Partition(iv, 0); !ok || len(out) != 0 {
+		t.Errorf("Partition(.., 0) should return empty, ok")
+	}
+	// Half-bounded and unbounded intervals.
+	for _, tc := range []Interval[*big.Rat]{
+		AboveOf(big.NewRat(10, 1)),
+		BelowOf(big.NewRat(-10, 1)),
+		FullInterval[*big.Rat](),
+	} {
+		items, ok := u.Partition(tc, 5)
+		if !ok || len(items) != 5 {
+			t.Fatalf("Partition on %v failed", tc)
+		}
+		for i, x := range items {
+			if !tc.Contains(cmp, x) {
+				t.Errorf("item %v outside interval", x)
+			}
+			if i > 0 && cmp(items[i-1], x) >= 0 {
+				t.Errorf("items not strictly increasing")
+			}
+		}
+	}
+}
+
+// Property: rational partition of a random non-empty interval always yields n
+// strictly increasing items inside the interval, even for very narrow
+// intervals obtained by repeated subdivision. This is the continuity property
+// the lower-bound proof relies on.
+func TestRationalRepeatedRefinement(t *testing.T) {
+	u := NewRational()
+	cmp := u.Comparator()
+	iv := Open(big.NewRat(0, 1), big.NewRat(1, 1))
+	// Refine 60 times: far beyond what float64 could support with 12 items
+	// per level.
+	for depth := 0; depth < 60; depth++ {
+		items, ok := u.Partition(iv, 12)
+		if !ok {
+			t.Fatalf("rational universe exhausted at depth %d", depth)
+		}
+		for i := 1; i < len(items); i++ {
+			if cmp(items[i-1], items[i]) >= 0 {
+				t.Fatalf("not strictly increasing at depth %d", depth)
+			}
+		}
+		// Narrow to the interval between two adjacent new items.
+		iv = Open(items[5], items[6])
+		if iv.Empty(cmp) {
+			t.Fatalf("interval became empty at depth %d", depth)
+		}
+	}
+}
+
+func TestFloat64Between(t *testing.T) {
+	u := NewFloat64()
+	if v, ok := u.Between(Open(1.0, 2.0)); !ok || v <= 1.0 || v >= 2.0 {
+		t.Errorf("Between(1,2) = %v, %v", v, ok)
+	}
+	if _, ok := u.Between(Open(2.0, 1.0)); ok {
+		t.Errorf("Between on empty interval should fail")
+	}
+	if v, ok := u.Between(AboveOf(5.0)); !ok || v <= 5.0 {
+		t.Errorf("Between above bound incorrect")
+	}
+	if v, ok := u.Between(BelowOf(5.0)); !ok || v >= 5.0 {
+		t.Errorf("Between below bound incorrect")
+	}
+	if _, ok := u.Between(FullInterval[float64]()); !ok {
+		t.Errorf("Between on full interval should succeed")
+	}
+}
+
+func TestFloat64PrecisionExhaustion(t *testing.T) {
+	u := NewFloat64()
+	// An interval of two adjacent floats has no representable interior point.
+	lo := 1.0
+	hi := 1.0000000000000002 // next float after 1.0
+	if _, ok := u.Between(Open(lo, hi)); ok {
+		t.Errorf("expected precision exhaustion to be reported")
+	}
+	if _, ok := u.Partition(Open(lo, hi), 4); ok {
+		t.Errorf("expected partition to report exhaustion")
+	}
+}
+
+func TestFloat64Partition(t *testing.T) {
+	u := NewFloat64()
+	cmp := u.Comparator()
+	iv := Open(0.0, 1.0)
+	items, ok := u.Partition(iv, 9)
+	if !ok || len(items) != 9 {
+		t.Fatalf("Partition failed")
+	}
+	for i, x := range items {
+		if !iv.Contains(cmp, x) {
+			t.Errorf("item %v outside interval", x)
+		}
+		if i > 0 && items[i-1] >= x {
+			t.Errorf("items not strictly increasing")
+		}
+	}
+	for _, tc := range []Interval[float64]{AboveOf(3.0), BelowOf(-3.0), FullInterval[float64]()} {
+		items, ok := u.Partition(tc, 4)
+		if !ok || len(items) != 4 {
+			t.Fatalf("Partition on %v failed", tc)
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i-1] >= items[i] {
+				t.Errorf("items not strictly increasing for %v", tc)
+			}
+		}
+	}
+}
+
+func TestFormatInterval(t *testing.T) {
+	u := NewRational()
+	got := FormatInterval[*big.Rat](u, FullInterval[*big.Rat]())
+	if got != "(-inf, +inf)" {
+		t.Errorf("FormatInterval full = %q", got)
+	}
+	got = FormatInterval[*big.Rat](u, Open(big.NewRat(1, 2), big.NewRat(3, 4)))
+	if got != "(0.500000, 0.750000)" {
+		t.Errorf("FormatInterval = %q", got)
+	}
+	fu := NewFloat64()
+	got = FormatInterval[float64](fu, AboveOf(2.5))
+	if got != "(2.5, +inf)" {
+		t.Errorf("FormatInterval above = %q", got)
+	}
+}
+
+// Property: for random bounded rational intervals, Between always returns a
+// point strictly inside.
+func TestRationalBetweenProperty(t *testing.T) {
+	u := NewRational()
+	f := func(aNum, bNum int16, den uint8) bool {
+		d := int64(den) + 1
+		a := big.NewRat(int64(aNum), d)
+		b := big.NewRat(int64(bNum), d)
+		if a.Cmp(b) == 0 {
+			return true
+		}
+		lo, hi := a, b
+		if lo.Cmp(hi) > 0 {
+			lo, hi = hi, lo
+		}
+		mid, ok := u.Between(Open(lo, hi))
+		return ok && mid.Cmp(lo) > 0 && mid.Cmp(hi) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

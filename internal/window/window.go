@@ -1,0 +1,253 @@
+// Package window provides approximate quantiles over a sliding window of the
+// most recent W stream items.
+//
+// The sliding-window model is one of the settings surveyed in the
+// related-work discussion of the lower-bound paper (Greenwald & Khanna's
+// survey chapter, cited as [7]). This implementation uses the standard
+// block/bucket reduction: the window is covered by ⌈W/B⌉ + 1 blocks of B
+// items each; every block carries its own ε′-accurate summary; expired blocks
+// are dropped whole. Queries merge the weighted stored items of the live
+// blocks. The oldest (partially expired) block contributes up to B items of
+// slack, so the overall rank error is at most ε′·W + B; choosing
+// B = ⌊εW/2⌋ and ε′ = ε/2 gives the usual ε-approximate sliding-window
+// guarantee with O((1/ε)·(1/ε + log εW)) stored items.
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/order"
+)
+
+// Summary maintains ε-approximate quantiles over the last W items.
+type Summary[T any] struct {
+	cmp       order.Comparator[T]
+	eps       float64
+	windowLen int
+	blockLen  int
+
+	n      int // total items ever seen
+	blocks []*block[T]
+}
+
+type block[T any] struct {
+	start   int // index (0-based) of the first item in the block
+	count   int
+	summary *gk.Summary[T]
+}
+
+// New returns a sliding-window summary with accuracy eps over a window of
+// windowLen items. It panics if eps is not in (0, 1) or windowLen < 2.
+func New[T any](cmp order.Comparator[T], eps float64, windowLen int) *Summary[T] {
+	if !(eps > 0 && eps < 1) {
+		panic("window: eps must be in (0, 1)")
+	}
+	if windowLen < 2 {
+		panic("window: window length must be at least 2")
+	}
+	blockLen := int(eps * float64(windowLen) / 2)
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	return &Summary[T]{
+		cmp:       cmp,
+		eps:       eps,
+		windowLen: windowLen,
+		blockLen:  blockLen,
+	}
+}
+
+// NewFloat64 returns a float64 sliding-window summary.
+func NewFloat64(eps float64, windowLen int) *Summary[float64] {
+	return New(order.Floats[float64](), eps, windowLen)
+}
+
+// Epsilon returns the accuracy parameter.
+func (s *Summary[T]) Epsilon() float64 { return s.eps }
+
+// WindowLen returns the configured window length.
+func (s *Summary[T]) WindowLen() int { return s.windowLen }
+
+// BlockLen returns the derived block length.
+func (s *Summary[T]) BlockLen() int { return s.blockLen }
+
+// TotalSeen returns the number of items processed since creation.
+func (s *Summary[T]) TotalSeen() int { return s.n }
+
+// Count returns the number of items currently inside the window.
+func (s *Summary[T]) Count() int {
+	if s.n < s.windowLen {
+		return s.n
+	}
+	return s.windowLen
+}
+
+// Update processes one stream item.
+func (s *Summary[T]) Update(x T) {
+	if len(s.blocks) == 0 || s.blocks[len(s.blocks)-1].count >= s.blockLen {
+		s.blocks = append(s.blocks, &block[T]{
+			start:   s.n,
+			summary: gk.New(s.cmp, s.eps/2),
+		})
+	}
+	b := s.blocks[len(s.blocks)-1]
+	b.summary.Update(x)
+	b.count++
+	s.n++
+	s.expire()
+}
+
+// expire drops blocks that have fully left the window.
+func (s *Summary[T]) expire() {
+	windowStart := s.n - s.windowLen
+	keep := 0
+	for keep < len(s.blocks) && s.blocks[keep].start+s.blocks[keep].count <= windowStart {
+		keep++
+	}
+	if keep > 0 {
+		s.blocks = append([]*block[T]{}, s.blocks[keep:]...)
+	}
+}
+
+// StoredCount returns the total number of items retained across all live
+// block summaries.
+func (s *Summary[T]) StoredCount() int {
+	total := 0
+	for _, b := range s.blocks {
+		total += b.summary.StoredCount()
+	}
+	return total
+}
+
+// StoredItems returns the retained items of all live blocks, sorted.
+func (s *Summary[T]) StoredItems() []T {
+	var out []T
+	for _, b := range s.blocks {
+		out = append(out, b.summary.StoredItems()...)
+	}
+	order.Sort(s.cmp, out)
+	return out
+}
+
+// Blocks returns the number of live blocks.
+func (s *Summary[T]) Blocks() int { return len(s.blocks) }
+
+// weighted gathers (item, weight) pairs from every live block summary, where
+// an item's weight is the g value of its tuple (so the weights of a block sum
+// to the block's item count).
+func (s *Summary[T]) weighted() ([]T, []int, int) {
+	var items []T
+	var weights []int
+	total := 0
+	for _, b := range s.blocks {
+		for _, t := range b.summary.Tuples() {
+			items = append(items, t.V)
+			weights = append(weights, t.G)
+			total += t.G
+		}
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, c int) bool { return s.cmp(items[idx[a]], items[idx[c]]) < 0 })
+	sortedItems := make([]T, len(items))
+	sortedWeights := make([]int, len(items))
+	for i, j := range idx {
+		sortedItems[i] = items[j]
+		sortedWeights[i] = weights[j]
+	}
+	return sortedItems, sortedWeights, total
+}
+
+// Query returns an approximate ϕ-quantile of the items currently in the
+// window. The rank error is at most ε·W once the window is full (and ε·n
+// before that, up to the partial-block slack).
+func (s *Summary[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	items, weights, total := s.weighted()
+	if total == 0 {
+		return zero, false
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int(math.Ceil(phi * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for i, x := range items {
+		cum += weights[i]
+		if cum >= target {
+			return x, true
+		}
+	}
+	return items[len(items)-1], true
+}
+
+// EstimateRank estimates how many items currently in the window are less than
+// or equal to q.
+func (s *Summary[T]) EstimateRank(q T) int {
+	if s.n == 0 {
+		return 0
+	}
+	est := 0
+	for _, b := range s.blocks {
+		est += b.summary.EstimateRank(q)
+	}
+	// The oldest block may be partially expired; scale its contribution.
+	if len(s.blocks) > 0 {
+		oldest := s.blocks[0]
+		windowStart := s.n - s.windowLen
+		if windowStart > oldest.start {
+			expired := windowStart - oldest.start
+			blockEst := oldest.summary.EstimateRank(q)
+			// Remove the expected share of expired items.
+			est -= int(float64(blockEst) * float64(expired) / float64(oldest.count))
+		}
+	}
+	if est < 0 {
+		est = 0
+	}
+	if est > s.Count() {
+		est = s.Count()
+	}
+	return est
+}
+
+// CheckInvariant validates structural invariants: block boundaries are
+// contiguous, block counts are within the block length, and no fully expired
+// block is retained.
+func (s *Summary[T]) CheckInvariant() error {
+	windowStart := s.n - s.windowLen
+	prevEnd := -1
+	for i, b := range s.blocks {
+		if b.count < 1 || b.count > s.blockLen {
+			return fmt.Errorf("window: block %d has count %d (block length %d)", i, b.count, s.blockLen)
+		}
+		if prevEnd >= 0 && b.start != prevEnd {
+			return fmt.Errorf("window: block %d not contiguous (start %d, previous end %d)", i, b.start, prevEnd)
+		}
+		if b.start+b.count <= windowStart {
+			return fmt.Errorf("window: block %d fully expired but retained", i)
+		}
+		if b.summary.Count() != b.count {
+			return fmt.Errorf("window: block %d summary count %d != block count %d", i, b.summary.Count(), b.count)
+		}
+		prevEnd = b.start + b.count
+	}
+	if prevEnd >= 0 && prevEnd != s.n {
+		return fmt.Errorf("window: last block ends at %d, expected %d", prevEnd, s.n)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct {
+		eps float64
+		w   int
+	}{{0, 100}, {1, 100}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v w=%d should panic", c.eps, c.w)
+				}
+			}()
+			NewFloat64(c.eps, c.w)
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := NewFloat64(0.1, 100)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty should fail")
+	}
+	if s.EstimateRank(1) != 0 {
+		t.Errorf("rank on empty should be 0")
+	}
+	if s.Count() != 0 || s.StoredCount() != 0 || s.Blocks() != 0 {
+		t.Errorf("empty summary has nonzero counters")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant on empty: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewFloat64(0.05, 1000)
+	if s.Epsilon() != 0.05 || s.WindowLen() != 1000 {
+		t.Errorf("accessors wrong")
+	}
+	if s.BlockLen() != 25 {
+		t.Errorf("BlockLen = %d, want 25 (= eps*W/2)", s.BlockLen())
+	}
+	// Tiny windows clamp the block length to 1.
+	if NewFloat64(0.1, 2).BlockLen() != 1 {
+		t.Errorf("tiny window should clamp block length to 1")
+	}
+}
+
+func TestCountTracksWindow(t *testing.T) {
+	s := NewFloat64(0.1, 100)
+	for i := 0; i < 50; i++ {
+		s.Update(float64(i))
+	}
+	if s.Count() != 50 || s.TotalSeen() != 50 {
+		t.Errorf("Count=%d TotalSeen=%d, want 50/50", s.Count(), s.TotalSeen())
+	}
+	for i := 50; i < 1000; i++ {
+		s.Update(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %d, want window length 100", s.Count())
+	}
+	if s.TotalSeen() != 1000 {
+		t.Errorf("TotalSeen = %d", s.TotalSeen())
+	}
+}
+
+func TestAccuracyWithinWindow(t *testing.T) {
+	eps := 0.05
+	windowLen := 10000
+	s := NewFloat64(eps, windowLen)
+	gen := stream.NewGenerator(1)
+	st := gen.Shuffled(50000)
+	for i, x := range st.Items() {
+		s.Update(x)
+		if i%9973 == 0 {
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("after %d items: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: the last windowLen items of the stream.
+	items := st.Items()
+	windowItems := items[len(items)-windowLen:]
+	oracle := rank.Float64Oracle(windowItems)
+	for i := 0; i <= 50; i++ {
+		phi := float64(i) / 50
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		// Allowance: eps*W plus one block of slack from the partially
+		// expired oldest block.
+		allowed := eps*float64(windowLen) + float64(s.BlockLen()) + 1
+		if e := oracle.RankError(got, phi); float64(e) > allowed {
+			t.Errorf("phi=%v: rank error %d > %v", phi, e, allowed)
+		}
+	}
+}
+
+func TestOldItemsExpire(t *testing.T) {
+	s := NewFloat64(0.05, 1000)
+	// First 10000 items are huge, the final 1000 (the window) are 1..1000.
+	for i := 0; i < 10000; i++ {
+		s.Update(1e9 + float64(i))
+	}
+	for i := 1; i <= 1000; i++ {
+		s.Update(float64(i))
+	}
+	med, ok := s.Query(0.5)
+	if !ok {
+		t.Fatal("query failed")
+	}
+	if med > 1000 {
+		t.Fatalf("median %v reflects expired items", med)
+	}
+	if med < 400 || med > 600 {
+		t.Errorf("median of the window should be about 500, got %v", med)
+	}
+	if r := s.EstimateRank(500); r < 400 || r > 600 {
+		t.Errorf("EstimateRank(500) = %d, want about 500", r)
+	}
+	if r := s.EstimateRank(1e12); r != s.Count() {
+		t.Errorf("rank above everything should be the window count, got %d", r)
+	}
+}
+
+func TestSpaceStaysBounded(t *testing.T) {
+	eps := 0.02
+	windowLen := 20000
+	s := NewFloat64(eps, windowLen)
+	gen := stream.NewGenerator(2)
+	maxStored := 0
+	maxBlocks := 0
+	for _, x := range gen.Uniform(100000).Items() {
+		s.Update(x)
+		if s.StoredCount() > maxStored {
+			maxStored = s.StoredCount()
+		}
+		if s.Blocks() > maxBlocks {
+			maxBlocks = s.Blocks()
+		}
+	}
+	wantBlocks := windowLen/s.BlockLen() + 2
+	if maxBlocks > wantBlocks {
+		t.Errorf("blocks grew to %d, want at most %d", maxBlocks, wantBlocks)
+	}
+	if maxStored >= windowLen/2 {
+		t.Errorf("sliding-window summary stores %d items for a window of %d", maxStored, windowLen)
+	}
+	items := s.StoredItems()
+	if len(items) != s.StoredCount() {
+		t.Errorf("StoredItems / StoredCount mismatch")
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1] > items[i] {
+			t.Fatalf("StoredItems not sorted")
+		}
+	}
+}
+
+func TestBeforeWindowFullMatchesPlainSummary(t *testing.T) {
+	eps := 0.05
+	s := NewFloat64(eps, 100000)
+	gen := stream.NewGenerator(3)
+	st := gen.Uniform(5000)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := s.Query(phi)
+		if e := oracle.RankError(got, phi); float64(e) > eps*float64(st.Len())+float64(s.BlockLen()) {
+			t.Errorf("phi=%v error %d", phi, e)
+		}
+	}
+}
+
+// Property: the invariant holds throughout arbitrary streams and the window
+// count never exceeds the window length.
+func TestInvariantProperty(t *testing.T) {
+	f := func(items []float64) bool {
+		s := NewFloat64(0.1, 50)
+		for _, x := range items {
+			s.Update(x)
+			if s.CheckInvariant() != nil || s.Count() > 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package quantilelb is the public facade of the reproduction of
+// "A Tight Lower Bound for Comparison-Based Quantile Summaries"
+// (Cormode & Veselý, PODS 2020).
+//
+// It exposes, specialized to float64 streams, the pieces a downstream user
+// needs most often:
+//
+//   - streaming quantile summaries (Greenwald–Khanna and its greedy variant,
+//     MRL, KLL, reservoir sampling, biased/relative-error quantiles, and the
+//     deliberately space-capped strawman),
+//   - applications built on them (equi-depth histograms, CDF estimation,
+//     Kolmogorov–Smirnov tests),
+//   - and the paper's adversarial lower-bound construction, runnable against
+//     any of the summaries to measure the space it forces.
+//
+// The full generic implementations live under internal/ (one package per
+// subsystem; see DESIGN.md for the inventory), and the experiment drivers
+// that regenerate every figure and claim of the paper are in
+// internal/experiments (run them with cmd/experiments).
+package quantilelb
+
+import (
+	"fmt"
+	"math/big"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/capped"
+	"quantilelb/internal/cdf"
+	"quantilelb/internal/core"
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/histogram"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/ks"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/order"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/universe"
+	"quantilelb/internal/window"
+)
+
+// Summary is the float64-specialized interface satisfied by every quantile
+// summary in this library. It mirrors Definition 2.1 of the paper: a summary
+// ingests a stream one item at a time, retains a subset of the items (the
+// item array I), and answers quantile and rank queries from what it stored.
+type Summary interface {
+	// Update processes the next stream item.
+	Update(x float64)
+	// Query returns an approximate ϕ-quantile; false when empty.
+	Query(phi float64) (float64, bool)
+	// EstimateRank estimates the number of items ≤ q.
+	EstimateRank(q float64) int
+	// Count returns the number of items processed.
+	Count() int
+	// StoredItems returns the retained items in non-decreasing order.
+	StoredItems() []float64
+	// StoredCount returns the number of retained items (the paper's space
+	// measure).
+	StoredCount() int
+}
+
+// compile-time interface compatibility checks.
+var (
+	_ Summary = (*gk.Summary[float64])(nil)
+	_ Summary = (*mrl.Summary[float64])(nil)
+	_ Summary = (*kll.Sketch[float64])(nil)
+	_ Summary = (*sampling.Reservoir[float64])(nil)
+	_ Summary = (*biased.Summary[float64])(nil)
+	_ Summary = (*capped.Summary[float64])(nil)
+	_ Summary = (*window.Summary[float64])(nil)
+)
+
+// NewGK returns a Greenwald–Khanna summary with accuracy eps, the
+// deterministic comparison-based summary whose O((1/ε)·log εN) space the
+// paper proves optimal.
+func NewGK(eps float64) *gk.Summary[float64] { return gk.NewFloat64(eps) }
+
+// NewGKGreedy returns the simplified greedy-compression GK variant discussed
+// as an open problem in Section 6 of the paper.
+func NewGKGreedy(eps float64) *gk.Summary[float64] {
+	return gk.NewWithPolicy(order.Floats[float64](), eps, gk.PolicyGreedy)
+}
+
+// NewMRL returns a Manku–Rajagopalan–Lindsay summary with accuracy eps for
+// streams of at most maxN items (MRL requires the length in advance).
+func NewMRL(eps float64, maxN int) *mrl.Summary[float64] {
+	return mrl.NewFloat64(eps, maxN)
+}
+
+// NewKLL returns a Karnin–Lang–Liberty randomized sketch sized for accuracy
+// eps, seeded deterministically with seed.
+func NewKLL(eps float64, seed int64) *kll.Sketch[float64] {
+	return kll.NewFloat64(eps, kll.WithSeed(seed))
+}
+
+// NewReservoir returns a reservoir-sampling estimator sized (via the DKW
+// inequality) for accuracy eps with failure probability delta.
+func NewReservoir(eps, delta float64, seed int64) *sampling.Reservoir[float64] {
+	return sampling.NewFloat64(eps, delta, seed)
+}
+
+// NewBiased returns a biased (relative-error) quantile summary with relative
+// accuracy eps (Section 6.4 of the paper).
+func NewBiased(eps float64) *biased.Summary[float64] { return biased.NewFloat64(eps) }
+
+// NewCapped returns the deliberately capacity-bounded strawman summary that
+// the lower bound proves cannot exist for capacities in o((1/ε)·log εN): on
+// benign streams it looks accurate, and the adversary defeats it.
+func NewCapped(capacity int) *capped.Summary[float64] { return capped.NewFloat64(capacity) }
+
+// NewSlidingWindow returns a summary of the most recent windowLen items with
+// accuracy eps (the sliding-window model from the survey the paper cites).
+func NewSlidingWindow(eps float64, windowLen int) *window.Summary[float64] {
+	return window.NewFloat64(eps, windowLen)
+}
+
+// EncodeGK serializes a GK summary into a compact binary payload that can be
+// shipped to a coordinator or checkpointed; DecodeGK reverses it.
+func EncodeGK(s *gk.Summary[float64]) ([]byte, error) { return encoding.EncodeGK(s) }
+
+// DecodeGK reconstructs a GK summary serialized by EncodeGK.
+func DecodeGK(payload []byte) (*gk.Summary[float64], error) { return encoding.DecodeGK(payload) }
+
+// EncodeKLL serializes a KLL sketch; DecodeKLL reverses it.
+func EncodeKLL(s *kll.Sketch[float64]) ([]byte, error) { return encoding.EncodeKLL(s) }
+
+// DecodeKLL reconstructs a KLL sketch serialized by EncodeKLL.
+func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) { return encoding.DecodeKLL(payload) }
+
+// adapter lifts the public Summary interface to the internal generic one
+// (the method sets are identical).
+type adapter struct{ Summary }
+
+func (a adapter) Update(x float64)                { a.Summary.Update(x) }
+func (a adapter) Query(p float64) (float64, bool) { return a.Summary.Query(p) }
+func (a adapter) EstimateRank(q float64) int      { return a.Summary.EstimateRank(q) }
+func (a adapter) Count() int                      { return a.Summary.Count() }
+func (a adapter) StoredItems() []float64          { return a.Summary.StoredItems() }
+func (a adapter) StoredCount() int                { return a.Summary.StoredCount() }
+
+func lift(s Summary) summary.Summary[float64] {
+	if g, ok := s.(summary.Summary[float64]); ok {
+		return g
+	}
+	return adapter{s}
+}
+
+// Histogram builds an equi-depth histogram with b buckets from any summary.
+// Each bucket holds approximately Count()/b items (within ±2εN for an
+// ε-approximate summary).
+func Histogram(s Summary, b int) (*histogram.Histogram[float64], error) {
+	return histogram.Build[float64](lift(s), b)
+}
+
+// CDF returns an approximate empirical CDF estimator backed by the summary.
+func CDF(s Summary) *cdf.Estimator[float64] {
+	return cdf.New[float64](lift(s))
+}
+
+// KSStatistic returns the approximate two-sample Kolmogorov–Smirnov statistic
+// between the distributions summarized by a and b; the estimate is within
+// ε_a + ε_b of the exact statistic.
+func KSStatistic(a, b Summary) float64 {
+	return ks.Statistic[float64](lift(a), lift(b))
+}
+
+// AttackTarget names a summary the lower-bound adversary can be run against.
+type AttackTarget string
+
+// Attackable summaries.
+const (
+	TargetGK       AttackTarget = "gk"
+	TargetGKGreedy AttackTarget = "gk-greedy"
+	TargetCapped   AttackTarget = "capped"
+	TargetKLL      AttackTarget = "kll"
+	TargetBiased   AttackTarget = "biased"
+)
+
+// LowerBoundReport is the distilled outcome of running the paper's
+// adversarial construction against a summary.
+type LowerBoundReport struct {
+	// Eps, K and N are the construction parameters (N = (1/ε)·2^K).
+	Eps float64
+	K   int
+	N   int
+	// MaxStored is the maximum number of items the summary held.
+	MaxStored int
+	// LowerBound is the Ω((1/ε)·log εN) bound with the paper's constant.
+	LowerBound float64
+	// GKUpperBound is the Greenwald–Khanna space bound for the same N.
+	GKUpperBound float64
+	// Gap is the realized gap(π, ϱ); GapBound is 2εN (Lemma 3.4).
+	Gap      int
+	GapBound float64
+	// FailedQuantile is true when the gap exceeded the bound and the summary
+	// answered the witness query with error above εN.
+	FailedQuantile bool
+}
+
+// RunLowerBound runs the adversarial construction at recursion level k
+// against a fresh summary of the requested kind. capacity is only used for
+// TargetCapped; seed only for TargetKLL.
+func RunLowerBound(target AttackTarget, eps float64, k, capacity int, seed int64) (*LowerBoundReport, error) {
+	uni := universe.NewRational()
+	cmp := uni.Comparator()
+	var factory func() summary.Summary[*big.Rat]
+	switch target {
+	case TargetGK:
+		factory = func() summary.Summary[*big.Rat] { return gk.New(cmp, eps) }
+	case TargetGKGreedy:
+		factory = func() summary.Summary[*big.Rat] { return gk.NewGreedy(cmp, eps) }
+	case TargetCapped:
+		factory = func() summary.Summary[*big.Rat] { return capped.New(cmp, capacity) }
+	case TargetKLL:
+		factory = func() summary.Summary[*big.Rat] {
+			return kll.New(cmp, kll.KForEpsilon(eps), kll.WithSeed(seed))
+		}
+	case TargetBiased:
+		factory = func() summary.Summary[*big.Rat] { return biased.New(cmp, eps) }
+	default:
+		return nil, fmt.Errorf("quantilelb: unknown attack target %q", target)
+	}
+	adv := &core.Adversary[*big.Rat]{Uni: uni, Cmp: cmp, Eps: eps, NewSummary: factory}
+	res, err := adv.Run(k)
+	if err != nil {
+		return nil, err
+	}
+	rep := &LowerBoundReport{
+		Eps:          res.Eps,
+		K:            res.K,
+		N:            res.N,
+		MaxStored:    res.MaxStoredPi,
+		LowerBound:   res.LowerBound,
+		GKUpperBound: gk.UpperBoundSize(res.Eps, res.N),
+		Gap:          res.Gap,
+		GapBound:     res.GapBound,
+	}
+	if res.Witness != nil {
+		rep.FailedQuantile = res.Witness.Exceeds()
+	}
+	return rep, nil
+}
+
+// TheoreticalLowerBound returns the Ω((1/ε)·log εN) lower bound of
+// Theorem 2.2 (with the paper's unoptimized constant c = 1/8 − 2ε) for a
+// stream of length n.
+func TheoreticalLowerBound(eps float64, n int) float64 {
+	if eps <= 0 || n <= 0 {
+		return 0
+	}
+	// Express n as (1/ε)·2^k.
+	x := eps * float64(n)
+	if x < 2 {
+		return core.LowerBoundItems(eps, 1)
+	}
+	k := 0
+	for (1 << uint(k+1)) <= int(x) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return core.LowerBoundItems(eps, k)
+}
+
+// GKUpperBound returns the O((1/ε)·log εN) upper bound on GK's space for a
+// stream of length n.
+func GKUpperBound(eps float64, n int) float64 { return gk.UpperBoundSize(eps, n) }

@@ -1,0 +1,194 @@
+package quantilelb_test
+
+import (
+	"math"
+	"testing"
+
+	quantilelb "quantilelb"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func feed(s quantilelb.Summary, items []float64) {
+	for _, x := range items {
+		s.Update(x)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	gen := stream.NewGenerator(1)
+	st := gen.Uniform(20000)
+	eps := 0.02
+	summaries := map[string]quantilelb.Summary{
+		"gk":        quantilelb.NewGK(eps),
+		"gk-greedy": quantilelb.NewGKGreedy(eps),
+		"mrl":       quantilelb.NewMRL(eps, st.Len()),
+		"kll":       quantilelb.NewKLL(eps, 1),
+		"reservoir": quantilelb.NewReservoir(eps, 0.01, 1),
+		"biased":    quantilelb.NewBiased(eps),
+		"capped":    quantilelb.NewCapped(500),
+	}
+	oracle := rank.Float64Oracle(st.Items())
+	for name, s := range summaries {
+		feed(s, st.Items())
+		if s.Count() != st.Len() {
+			t.Errorf("%s: Count = %d", name, s.Count())
+		}
+		if s.StoredCount() <= 0 || s.StoredCount() > st.Len() {
+			t.Errorf("%s: StoredCount = %d", name, s.StoredCount())
+		}
+		med, ok := s.Query(0.5)
+		if !ok {
+			t.Errorf("%s: median query failed", name)
+			continue
+		}
+		// Generous tolerance: randomized summaries have probabilistic
+		// guarantees.
+		if e := oracle.RankError(med, 0.5); float64(e) > 4*eps*float64(st.Len()) {
+			t.Errorf("%s: median rank error %d", name, e)
+		}
+		if r := s.EstimateRank(med); r <= 0 || r > st.Len() {
+			t.Errorf("%s: EstimateRank(median) = %d", name, r)
+		}
+		if len(s.StoredItems()) != s.StoredCount() {
+			t.Errorf("%s: StoredItems / StoredCount mismatch", name)
+		}
+	}
+}
+
+func TestFacadeHistogramAndCDF(t *testing.T) {
+	gen := stream.NewGenerator(2)
+	st := gen.Gaussian(30000, 100, 15)
+	s := quantilelb.NewGK(0.01)
+	feed(s, st.Items())
+
+	h, err := quantilelb.Histogram(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 10 {
+		t.Errorf("bucket count = %d", len(h.Buckets))
+	}
+	if float64(h.MaxSkew()) > 0.03*float64(st.Len()) {
+		t.Errorf("histogram skew too large: %d", h.MaxSkew())
+	}
+
+	c := quantilelb.CDF(s)
+	if v := c.Value(100); math.Abs(v-0.5) > 0.03 {
+		t.Errorf("CDF(mean) = %v, want about 0.5", v)
+	}
+	if x, ok := c.Inverse(0.5); !ok || math.Abs(x-100) > 3 {
+		t.Errorf("CDF inverse at 0.5 = %v, want about 100", x)
+	}
+}
+
+func TestFacadeKS(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	a := quantilelb.NewGK(0.01)
+	b := quantilelb.NewGK(0.01)
+	c := quantilelb.NewGK(0.01)
+	feed(a, gen.Gaussian(20000, 0, 1).Items())
+	feed(b, gen.Gaussian(20000, 0, 1).Items())
+	feed(c, gen.Gaussian(20000, 2, 1).Items())
+	same := quantilelb.KSStatistic(a, b)
+	diff := quantilelb.KSStatistic(a, c)
+	if same > 0.06 {
+		t.Errorf("KS of identical distributions = %v", same)
+	}
+	if diff < 0.5 {
+		t.Errorf("KS of shifted distributions = %v, want large", diff)
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	eps := 1.0 / 32
+	rep, err := quantilelb.RunLowerBound(quantilelb.TargetGK, eps, 6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedQuantile {
+		t.Errorf("GK should not fail the adversary")
+	}
+	if float64(rep.Gap) > rep.GapBound {
+		t.Errorf("GK gap %d above bound %v", rep.Gap, rep.GapBound)
+	}
+	if float64(rep.MaxStored) < rep.LowerBound {
+		t.Errorf("stored %d below lower bound %v", rep.MaxStored, rep.LowerBound)
+	}
+	if float64(rep.MaxStored) > rep.GKUpperBound {
+		t.Errorf("stored %d above GK upper bound %v", rep.MaxStored, rep.GKUpperBound)
+	}
+
+	repCapped, err := quantilelb.RunLowerBound(quantilelb.TargetCapped, eps, 7, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repCapped.FailedQuantile {
+		t.Errorf("capacity-8 summary should fail the adversary")
+	}
+
+	if _, err := quantilelb.RunLowerBound("nope", eps, 3, 0, 1); err == nil {
+		t.Errorf("unknown target should error")
+	}
+}
+
+func TestFacadeSlidingWindowAndEncoding(t *testing.T) {
+	gen := stream.NewGenerator(9)
+	w := quantilelb.NewSlidingWindow(0.05, 1000)
+	for _, x := range gen.Shuffled(5000).Items() {
+		w.Update(x)
+	}
+	if w.Count() != 1000 {
+		t.Errorf("window count = %d, want 1000", w.Count())
+	}
+	if _, ok := w.Query(0.5); !ok {
+		t.Errorf("window query failed")
+	}
+
+	g := quantilelb.NewGK(0.02)
+	feed(g, gen.Uniform(10000).Items())
+	payload, err := quantilelb.EncodeGK(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := quantilelb.DecodeGK(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != g.Count() {
+		t.Errorf("round-trip count mismatch")
+	}
+
+	k := quantilelb.NewKLL(0.02, 3)
+	feed(k, gen.Uniform(10000).Items())
+	payload2, err := quantilelb.EncodeKLL(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := quantilelb.DecodeKLL(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Count() != k.Count() {
+		t.Errorf("KLL round-trip count mismatch")
+	}
+}
+
+func TestTheoreticalBounds(t *testing.T) {
+	if quantilelb.TheoreticalLowerBound(0, 100) != 0 || quantilelb.TheoreticalLowerBound(0.01, 0) != 0 {
+		t.Errorf("degenerate inputs should give 0")
+	}
+	lbSmall := quantilelb.TheoreticalLowerBound(0.01, 10_000)
+	lbLarge := quantilelb.TheoreticalLowerBound(0.01, 10_000_000)
+	if lbLarge <= lbSmall {
+		t.Errorf("lower bound should grow with N: %v vs %v", lbSmall, lbLarge)
+	}
+	ub := quantilelb.GKUpperBound(0.01, 10_000_000)
+	if ub <= lbLarge {
+		t.Errorf("upper bound %v should exceed lower bound %v", ub, lbLarge)
+	}
+	// Tiny stream falls back to k = 1.
+	if quantilelb.TheoreticalLowerBound(0.01, 10) <= 0 {
+		t.Errorf("tiny stream should still give the k=1 bound")
+	}
+}
