@@ -1,7 +1,8 @@
 package quantilelb_test
 
 // Benchmark harness: one benchmark per reproduced figure/claim (E1–E12 in
-// DESIGN.md) plus update/query micro-benchmarks for every summary. Run with
+// DESIGN.md) plus update/query micro-benchmarks for every summary and
+// concurrent-ingestion benchmarks for the sharded layer. Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -11,6 +12,7 @@ package quantilelb_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	quantilelb "quantilelb"
@@ -102,6 +104,146 @@ func BenchmarkGKEstimateRank(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.EstimateRank(float64(i%1000) / 1000)
 	}
+}
+
+// --- concurrent ingestion benchmarks: the sharded layer -------------------
+
+// benchmarkShardedUpdate measures aggregate update throughput with the given
+// number of writer goroutines; each op is one ingested item, so ns/op is
+// directly comparable with the single-writer BenchmarkGKUpdateShuffled
+// baseline. batch == 0 uses the single-item Update path; batch > 0 hands
+// pre-aggregated slices to UpdateBatch.
+func benchmarkShardedUpdate(b *testing.B, writers, shards, batch int) {
+	gen := stream.NewGenerator(1)
+	st, err := gen.ByName("shuffled", 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := st.Items()
+	s := quantilelb.NewSharded(quantilelb.GKFactory(0.01), shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		lo := w * b.N / writers
+		hi := (w + 1) * b.N / writers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if batch == 0 {
+				for i := lo; i < hi; i++ {
+					s.Update(items[i%len(items)])
+				}
+				return
+			}
+			for i := lo; i < hi; i += batch {
+				end := i + batch
+				if end > hi {
+					end = hi
+				}
+				start := i % (len(items) - batch)
+				s.UpdateBatch(items[start : start+(end-i)])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	b.StopTimer()
+	s.Refresh()
+	if s.Count() != b.N {
+		b.Fatalf("lost updates: count = %d, want %d", s.Count(), b.N)
+	}
+	b.ReportMetric(float64(s.StoredCount()), "items_stored")
+}
+
+// BenchmarkShardedUpdate: unbatched concurrent ingestion. Compare ns/op for
+// writers=16 against BenchmarkGKUpdateShuffled (single-writer, unsharded).
+func BenchmarkShardedUpdate(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			benchmarkShardedUpdate(b, writers, 16, 0)
+		})
+	}
+}
+
+// BenchmarkShardedUpdateBatch: producers that pre-aggregate 256-item batches
+// (the network-handler pattern of cmd/quantileserver).
+func BenchmarkShardedUpdateBatch(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			benchmarkShardedUpdate(b, writers, 16, 256)
+		})
+	}
+}
+
+// BenchmarkShardedQuery measures snapshot reads concurrent with nothing:
+// the steady-state read path (snapshot is fresh, no rebuild).
+func BenchmarkShardedQuery(b *testing.B) {
+	gen := stream.NewGenerator(2)
+	st := gen.Uniform(200_000)
+	s := quantilelb.NewSharded(quantilelb.GKFactory(0.01), 16)
+	st.Each(s.Update)
+	s.Refresh()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := float64(i%1000) / 1000
+		if _, ok := s.Query(phi); !ok {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+// BenchmarkGKMerge measures the COMBINE merge of two full GK summaries, the
+// unit of work of every snapshot rebuild.
+func BenchmarkGKMerge(b *testing.B) {
+	gen := stream.NewGenerator(3)
+	s1 := gen.Uniform(500_000).Items()
+	s2 := gen.Uniform(500_000).Items()
+	base := quantilelb.NewGK(0.01)
+	other := quantilelb.NewGK(0.01)
+	for _, x := range s1 {
+		base.Update(x)
+	}
+	for _, x := range s2 {
+		other.Update(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := quantilelb.NewGK(0.01)
+		if err := fresh.Merge(base); err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.Merge(other); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGKUpdateBatch isolates the bulk-insert fast path the sharded
+// write buffer uses (single goroutine, no locks: pure algorithmic gain of
+// one merge pass per 256 items over 256 insertion scans).
+func BenchmarkGKUpdateBatch(b *testing.B) {
+	gen := stream.NewGenerator(1)
+	st, err := gen.ByName("shuffled", 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := st.Items()
+	s := quantilelb.NewGK(0.01)
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		end := i + batch
+		if end > b.N {
+			end = b.N
+		}
+		start := i % (len(items) - batch)
+		s.UpdateBatch(items[start : start+(end-i)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.StoredCount()), "items_stored")
 }
 
 // Sweep GK update cost across eps to expose the space/time trade-off.

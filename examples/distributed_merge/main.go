@@ -3,6 +3,14 @@
 // a small quantile summary locally, the summaries are merged at a
 // coordinator, and the merged summary drives range partitioning for the next
 // stage (each partition receives an approximately equal share of the data).
+//
+// Two coordinator strategies are shown:
+//
+//   - KLL: fully mergeable randomized sketch (eps_new = max over inputs).
+//   - GK + PRUNE: deterministic MERGE/COMBINE with eps_new = max(eps1, eps2),
+//     followed by Prune(b) to cap the shipped size at b+1 tuples for an
+//     extra 1/(2b) of error — the classic mergeable-summaries error budget
+//     (see DESIGN.md, "Merge error budget").
 package main
 
 import (
@@ -22,25 +30,40 @@ func main() {
 	// Each worker sees a differently skewed slice of the key space, as happens
 	// when the upstream data is range- or time-partitioned.
 	coordinator := quantilelb.NewKLL(eps, 999)
+	gkCoordinator := quantilelb.NewGK(eps)
 	var all []float64
 	for w := 0; w < workers; w++ {
 		rng := rand.New(rand.NewSource(int64(w + 1)))
 		local := quantilelb.NewKLL(eps, int64(w+1))
+		gkLocal := quantilelb.NewGK(eps)
 		for i := 0; i < perWorker; i++ {
 			// Worker w's keys concentrate around w*100 with a long tail.
 			x := float64(w*100) + rng.ExpFloat64()*50
 			local.Update(x)
+			gkLocal.Update(x)
 			all = append(all, x)
 		}
 		// Ship only the sketch (a few hundred items), not the raw data.
 		if err := coordinator.Merge(local); err != nil {
 			panic(err)
 		}
+		// Deterministic alternative: GK COMBINE keeps eps_new = max(eps, eps)
+		// — merging adds no error — and PRUNE caps the shipped message at
+		// b+1 tuples for an extra 1/(2b) of error (here b = 1/(2eps), so the
+		// message is ≤ 51 tuples and the budget grows by exactly eps).
+		gkLocal.Prune(int(1 / (2 * eps)))
+		if err := quantilelb.MergeGK(gkCoordinator, gkLocal); err != nil {
+			panic(err)
+		}
 	}
 
 	fmt.Printf("%d workers x %d items = %d total items\n", workers, perWorker, workers*perWorker)
-	fmt.Printf("coordinator sketch holds %d items (%.4f%% of the data)\n\n",
+	fmt.Printf("coordinator KLL sketch holds %d items (%.4f%% of the data)\n",
 		coordinator.StoredCount(), 100*float64(coordinator.StoredCount())/float64(workers*perWorker))
+	fmt.Printf("coordinator GK summary holds %d items after merge+prune (eps grew %.4f -> %.4f)\n\n",
+		gkCoordinator.StoredCount(), eps, gkCoordinator.Epsilon())
+	med, _ := gkCoordinator.Query(0.5)
+	fmt.Printf("deterministic GK median estimate: %.2f\n\n", med)
 
 	// Choose partition boundaries at the i/partitions quantiles.
 	boundaries := make([]float64, 0, partitions-1)

@@ -1,0 +1,3 @@
+module quantilelb
+
+go 1.24

@@ -154,6 +154,56 @@ func (s *Summary[T]) Update(x T) {
 	}
 }
 
+// UpdateBatch inserts a batch of stream items in one pass. It is equivalent
+// to calling Update for each item (the summary is a multiset, so intra-batch
+// order is irrelevant) but sorts the batch and merges it into the tuple list
+// with a single scan, costing O(S + m·log m) for batch size m instead of the
+// O(S·m) of m individual updates. This is the fast path used by the
+// internal/sharded ingestion layer.
+func (s *Summary[T]) UpdateBatch(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	batch := make([]T, len(xs))
+	copy(batch, xs)
+	order.Sort(s.cmp, batch)
+	s.n += len(batch)
+	p := s.threshold()
+	interior := p - 1
+	if interior < 0 {
+		interior = 0
+	}
+	merged := make([]Tuple[T], 0, len(s.tuples)+len(batch))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(batch) {
+		if j >= len(batch) || (i < len(s.tuples) && s.cmp(s.tuples[i].V, batch[j]) <= 0) {
+			merged = append(merged, s.tuples[i])
+			i++
+		} else {
+			merged = append(merged, Tuple[T]{V: batch[j], G: 1, Delta: interior})
+			j++
+		}
+	}
+	// The smallest and largest tuples have exactly known ranks: a batch item
+	// that became the new global minimum or maximum carries Delta 0, exactly
+	// as in the single-item insert path. When the summary was empty every
+	// batch item has an exact rank, so all deltas are 0.
+	if len(s.tuples) == 0 {
+		for k := range merged {
+			merged[k].Delta = 0
+		}
+	} else {
+		merged[0].Delta = 0
+		merged[len(merged)-1].Delta = 0
+	}
+	s.tuples = merged
+	s.sinceCompress += len(batch)
+	if s.sinceCompress >= s.compressEvery {
+		s.Compress()
+		s.sinceCompress = 0
+	}
+}
+
 func (s *Summary[T]) insert(x T) {
 	// Locate the first tuple whose value is >= x (insertion point).
 	idx := 0
@@ -377,52 +427,161 @@ func UpperBoundSize(eps float64, n int) float64 {
 	return (11 / (2 * eps)) * math.Log2(x)
 }
 
-// Merge folds another summary into the receiver. Greenwald–Khanna summaries
-// are not known to be fully mergeable without error growth; this merge
-// combines the two tuple lists (preserving g weights and adding the other
-// summary's maximal uncertainty to interior tuples), then compresses. The
-// resulting summary answers queries with error at most εa + εb, which the
-// tests verify. It returns an error if the comparators disagree on policy.
+// raiseEps loosens the accuracy parameter to eps and re-derives the classic
+// compression schedule (every ⌊1/(2ε)⌋ updates) from it, keeping the two
+// consistent when Merge or Prune grow the error budget.
+func (s *Summary[T]) raiseEps(eps float64) {
+	s.eps = eps
+	every := int(1 / (2 * s.eps))
+	if every < 1 {
+		every = 1
+	}
+	s.compressEvery = every
+}
+
+// rankBoundsAll returns, for every tuple, its deterministic rank bounds
+// [rmin_i, rmax_i] in one pass (rmin is the prefix sum of g, rmax adds Delta).
+func (s *Summary[T]) rankBoundsAll() (rmins, rmaxs []int) {
+	rmins = make([]int, len(s.tuples))
+	rmaxs = make([]int, len(s.tuples))
+	run := 0
+	for i, t := range s.tuples {
+		run += t.G
+		rmins[i] = run
+		rmaxs[i] = run + t.Delta
+	}
+	return rmins, rmaxs
+}
+
+// Merge folds another summary into the receiver using the MERGE (a.k.a.
+// COMBINE) operation of the mergeable-summaries GK lineage: the two tuple
+// lists are merged in sorted order and each kept item's rank bounds are
+// recomputed as the sum of its own bounds and the bounds contributed by its
+// predecessor/successor in the other summary.
+//
+// Error guarantee: eps_new = max(eps_a, eps_b) over the combined stream of
+// n_a + n_b items — merging does NOT add error (unlike naive tuple-list
+// concatenation, which degrades to eps_a + eps_b). The receiver's accuracy
+// parameter becomes max(eps_a, eps_b) and a Compress pass with the combined
+// threshold ⌊2·eps_new·(n_a+n_b)⌋ restores the usual space bound.
+//
+// The argument is read but never modified, so a shard summary can keep
+// ingesting after being merged into a snapshot (see internal/sharded).
 func (s *Summary[T]) Merge(other *Summary[T]) error {
 	if other == nil || other.n == 0 {
 		return nil
+	}
+	if other.eps > s.eps {
+		s.raiseEps(other.eps)
 	}
 	if s.n == 0 {
 		s.tuples = other.Tuples()
 		s.n = other.n
 		return nil
 	}
-	merged := make([]Tuple[T], 0, len(s.tuples)+len(other.tuples))
+	aRmin, aRmax := s.rankBoundsAll()
+	bRmin, bRmax := other.rankBoundsAll()
+	a, b := s.tuples, other.tuples
+	merged := make([]Tuple[T], 0, len(a)+len(b))
+	prevRmin := 0 // rmin of the previously emitted merged tuple
 	i, j := 0, 0
-	for i < len(s.tuples) || j < len(other.tuples) {
-		var take Tuple[T]
-		var fromOther bool
-		switch {
-		case i >= len(s.tuples):
-			take, fromOther = other.tuples[j], true
-		case j >= len(other.tuples):
-			take, fromOther = s.tuples[i], false
-		case s.cmp(s.tuples[i].V, other.tuples[j].V) <= 0:
-			take, fromOther = s.tuples[i], false
-		default:
-			take, fromOther = other.tuples[j], true
-		}
-		if fromOther {
-			j++
-		} else {
+	emit := func(v T, rmin, rmax int) {
+		merged = append(merged, Tuple[T]{V: v, G: rmin - prevRmin, Delta: rmax - rmin})
+		prevRmin = rmin
+	}
+	for i < len(a) || j < len(b) {
+		takeA := j >= len(b) || (i < len(a) && s.cmp(a[i].V, b[j].V) <= 0)
+		if takeA {
+			// Predecessor in b is b[j-1] (all emitted), successor is b[j].
+			rmin := aRmin[i]
+			rmax := aRmax[i]
+			if j > 0 {
+				rmin += bRmin[j-1]
+			}
+			if j < len(b) {
+				rmax += bRmax[j] - 1
+			} else {
+				rmax += other.n
+			}
+			emit(a[i].V, rmin, rmax)
 			i++
+		} else {
+			rmin := bRmin[j]
+			rmax := bRmax[j]
+			if i > 0 {
+				rmin += aRmin[i-1]
+			}
+			if i < len(a) {
+				rmax += aRmax[i] - 1
+			} else {
+				rmax += s.n
+			}
+			emit(b[j].V, rmin, rmax)
+			j++
 		}
-		merged = append(merged, take)
 	}
 	s.tuples = merged
 	s.n += other.n
-	// Re-establish exact endpoints: the extreme tuples must carry Delta 0.
-	if len(s.tuples) > 0 {
-		s.tuples[0].Delta = 0
-		s.tuples[len(s.tuples)-1].Delta = 0
-	}
+	// The extreme tuples are the exact minimum and maximum of the combined
+	// stream; the arithmetic above already yields Delta 0 for them, but pin it
+	// explicitly so CheckInvariant never depends on that derivation.
+	s.tuples[0].Delta = 0
+	s.tuples[len(s.tuples)-1].Delta = 0
 	s.Compress()
 	return nil
+}
+
+// Prune shrinks the summary to at most b+1 tuples by keeping, for each target
+// rank i·n/b (i = 0..b), the stored tuple whose rank interval is centred
+// closest to it (the PRUNE operation of the mergeable-summaries GK lineage).
+//
+// Error guarantee: eps_new = eps + 1/(2b) — documented conservatively as
+// eps + 1/b. The receiver's accuracy parameter is increased accordingly so
+// that subsequent updates and Compress calls use the right threshold.
+// Pruning to b below 1 is a no-op.
+func (s *Summary[T]) Prune(b int) {
+	if b < 1 || len(s.tuples) <= b+1 {
+		return
+	}
+	rmins, rmaxs := s.rankBoundsAll()
+	keep := make([]int, 0, b+1)
+	last := -1
+	for i := 0; i <= b; i++ {
+		target := float64(i) * float64(s.n) / float64(b)
+		// Advance to the tuple whose bound midpoint is closest to target.
+		best := last + 1
+		if best >= len(s.tuples) {
+			break
+		}
+		bestDist := math.Abs(float64(rmins[best]+rmaxs[best])/2 - target)
+		for k := best + 1; k < len(s.tuples); k++ {
+			d := math.Abs(float64(rmins[k]+rmaxs[k])/2 - target)
+			if d <= bestDist {
+				best, bestDist = k, d
+			} else {
+				break // midpoints are non-decreasing, distance only grows
+			}
+		}
+		if best != last {
+			keep = append(keep, best)
+			last = best
+		}
+	}
+	if keep[len(keep)-1] != len(s.tuples)-1 {
+		keep = append(keep, len(s.tuples)-1) // never drop the maximum
+	}
+	pruned := make([]Tuple[T], len(keep))
+	prevRmin := 0
+	for out, idx := range keep {
+		pruned[out] = Tuple[T]{
+			V:     s.tuples[idx].V,
+			G:     rmins[idx] - prevRmin,
+			Delta: rmaxs[idx] - rmins[idx],
+		}
+		prevRmin = rmins[idx]
+	}
+	s.tuples = pruned
+	s.raiseEps(s.eps + 1/(2*float64(b)))
 }
 
 // Restore reconstructs a summary from previously exported state (accuracy,

@@ -227,6 +227,56 @@ func (s *Summary[T]) StoredCount() int {
 // Levels returns the number of buffer levels currently in use.
 func (s *Summary[T]) Levels() int { return len(s.levels) }
 
+// Merge folds another summary into the receiver by appending the other
+// summary's full buffers level-wise (collapsing pairs upward exactly as
+// during streaming) and re-ingesting its partially filled level-0 buffer.
+// Both summaries must have been built with the same per-buffer capacity —
+// in practice, by the same factory — otherwise an error is returned.
+//
+// Error guarantee: eps_new = max(eps_a, eps_b) over the combined stream,
+// provided each summary's declared maximum stream length covers its share of
+// the combined stream (the merged summary behaves exactly like a single
+// summary of capacity k that processed the concatenation). The receiver's
+// declared maximum length becomes the sum of the two.
+//
+// The argument is read but never modified; its buffers are copied, so the
+// receiver and the argument can continue to ingest independently afterwards
+// (see internal/sharded).
+func (s *Summary[T]) Merge(other *Summary[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.capacity != s.capacity {
+		return fmt.Errorf("mrl: cannot merge summaries with different buffer capacities (%d vs %d)", s.capacity, other.capacity)
+	}
+	if other.eps > s.eps {
+		s.eps = other.eps
+	}
+	s.maxN += other.maxN
+	s.n += other.n
+	if other.hasMin && (!s.hasMin || s.cmp(other.min, s.min) < 0) {
+		s.min, s.hasMin = other.min, true
+	}
+	if other.hasMax && (!s.hasMax || s.cmp(other.max, s.max) > 0) {
+		s.max, s.hasMax = other.max, true
+	}
+	for l, bufs := range other.levels {
+		for _, buf := range bufs {
+			s.pushBuffer(l, append([]T(nil), buf...))
+		}
+	}
+	for _, x := range other.current {
+		s.current = append(s.current, x)
+		if len(s.current) >= s.capacity {
+			buf := s.current
+			s.current = nil
+			order.Sort(s.cmp, buf)
+			s.pushBuffer(0, buf)
+		}
+	}
+	return nil
+}
+
 // CheckInvariant verifies structural invariants: every full buffer is sorted
 // and holds at most the configured capacity, at most one partially filled
 // buffer exists, and the total weight equals the item count. Tests use it as

@@ -215,3 +215,75 @@ func TestInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMerge verifies the level-wise buffer merge: the merged summary must
+// answer within max(eps_a, eps_b) of the truth for the combined stream and
+// keep the structural invariant.
+func TestMerge(t *testing.T) {
+	gen := stream.NewGenerator(21)
+	eps := 0.02
+	const nA, nB = 40000, 25000
+	a := NewFloat64(eps, nA+nB)
+	b := New(a.cmp, eps, nA+nB)
+	if a.BufferCapacity() != b.BufferCapacity() {
+		t.Fatalf("same-parameter summaries got different capacities")
+	}
+	sa := gen.Uniform(nA).Items()
+	sb := gen.Gaussian(nB, 2, 0.5).Items()
+	for _, x := range sa {
+		a.Update(x)
+	}
+	for _, x := range sb {
+		b.Update(x)
+	}
+	bStored := b.StoredCount()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != nA+nB {
+		t.Fatalf("merged count = %d, want %d", a.Count(), nA+nB)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after merge: %v", err)
+	}
+	// The argument must be untouched.
+	if b.Count() != nB || b.StoredCount() != bStored {
+		t.Fatalf("merge modified its argument")
+	}
+	all := append(append([]float64(nil), sa...), sb...)
+	oracle := rank.Float64Oracle(all)
+	bound := eps*float64(len(all)) + 2
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		got, ok := a.Query(phi)
+		if !ok {
+			t.Fatalf("query after merge failed")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds eps*N=%v", phi, err, bound)
+		}
+	}
+	// Argument keeps working after the merge.
+	b.Update(1.5)
+	if err := b.CheckInvariant(); err != nil {
+		t.Fatalf("argument invariant after post-merge update: %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := NewFloat64(0.1, 1000)
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+	if err := a.Merge(NewFloat64(0.1, 1000)); err != nil {
+		t.Fatalf("merge empty: %v", err)
+	}
+	// A wildly different eps yields a different buffer capacity, which must
+	// be rejected.
+	c := NewFloat64(0.001, 1_000_000)
+	c.Update(1)
+	if c.BufferCapacity() != a.BufferCapacity() {
+		if err := a.Merge(c); err == nil {
+			t.Fatalf("merging different capacities should fail")
+		}
+	}
+}

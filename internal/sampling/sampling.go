@@ -91,6 +91,70 @@ func (r *Reservoir[T]) Update(x T) {
 	}
 }
 
+// Merge folds another reservoir into the receiver so that the result is
+// (approximately) a uniform random sample of the union of the two input
+// streams, using weighted draws without replacement: each next sample slot is
+// filled from one of the two reservoirs with probability proportional to the
+// number of stream items that reservoir still represents. This is the
+// standard distributed reservoir merge (as in Apache DataFu); it never
+// requires revisiting the raw streams.
+//
+// Error guarantee: the merged sample is again uniform over the combined
+// stream, so the DKW bound applies unchanged and eps_new = max(eps_a, eps_b)
+// for reservoirs sized with SizeForAccuracy. The merged sample size is the
+// receiver's capacity.
+//
+// The argument is read but never modified (see internal/sharded).
+func (r *Reservoir[T]) Merge(other *Reservoir[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.hasMin && (!r.hasMin || r.cmp(other.min, r.min) < 0) {
+		r.min, r.hasMin = other.min, true
+	}
+	if other.hasMax && (!r.hasMax || r.cmp(other.max, r.max) > 0) {
+		r.max, r.hasMax = other.max, true
+	}
+	if r.n == 0 {
+		r.sample = append(r.sample[:0], other.sample...)
+		if len(r.sample) > r.capacity {
+			// The other reservoir was larger: keep a uniform subsample.
+			r.rng.Shuffle(len(r.sample), func(i, j int) {
+				r.sample[i], r.sample[j] = r.sample[j], r.sample[i]
+			})
+			r.sample = r.sample[:r.capacity]
+		}
+		r.n = other.n
+		return nil
+	}
+	a := append([]T(nil), r.sample...)
+	b := append([]T(nil), other.sample...)
+	// wa and wb track how many stream items the remaining portion of each
+	// sample still represents; drawing an item from a sample scales its
+	// weight down proportionally.
+	wa, wb := float64(r.n), float64(other.n)
+	merged := make([]T, 0, r.capacity)
+	for len(merged) < r.capacity && (len(a) > 0 || len(b) > 0) {
+		takeA := len(b) == 0 || (len(a) > 0 && r.rng.Float64() < wa/(wa+wb))
+		if takeA {
+			i := r.rng.Intn(len(a))
+			merged = append(merged, a[i])
+			wa *= float64(len(a)-1) / float64(len(a))
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+		} else {
+			i := r.rng.Intn(len(b))
+			merged = append(merged, b[i])
+			wb *= float64(len(b)-1) / float64(len(b))
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+		}
+	}
+	r.sample = merged
+	r.n += other.n
+	return nil
+}
+
 // Query returns an approximate ϕ-quantile computed from the sample.
 func (r *Reservoir[T]) Query(phi float64) (T, bool) {
 	var zero T

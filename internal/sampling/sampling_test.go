@@ -188,3 +188,75 @@ func TestReservoirBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMerge verifies the weighted-draw reservoir merge: the merged reservoir
+// is a uniform-ish sample of the union, so quantile estimates must stay
+// within the DKW eps bound (with generous slack for sampling noise).
+func TestMerge(t *testing.T) {
+	gen := stream.NewGenerator(31)
+	eps, delta := 0.05, 0.01
+	a := NewFloat64(eps, delta, 1)
+	b := NewFloat64(eps, delta, 2)
+	sa := gen.Uniform(30000).Items()
+	sb := gen.Gaussian(20000, 3, 0.5).Items()
+	for _, x := range sa {
+		a.Update(x)
+	}
+	for _, x := range sb {
+		b.Update(x)
+	}
+	bSample := len(b.sample)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 50000 {
+		t.Fatalf("merged count = %d, want 50000", a.Count())
+	}
+	if len(a.sample) > a.Capacity() {
+		t.Fatalf("merged sample %d exceeds capacity %d", len(a.sample), a.Capacity())
+	}
+	if b.Count() != 20000 || len(b.sample) != bSample {
+		t.Fatalf("merge modified its argument")
+	}
+	all := append(append([]float64(nil), sa...), sb...)
+	oracle := rank.Float64Oracle(all)
+	// 3x slack: the DKW bound is probabilistic and the merge adds one more
+	// round of sampling noise.
+	bound := 3 * eps * float64(len(all))
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, ok := a.Query(phi)
+		if !ok {
+			t.Fatalf("query after merge failed")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds 3*eps*N=%v", phi, err, bound)
+		}
+	}
+	// Min and max are tracked exactly across the merge.
+	if v, _ := a.Query(0); v != oracle.Select(1) {
+		t.Errorf("merged min = %v, want %v", v, oracle.Select(1))
+	}
+	if v, _ := a.Query(1); v != oracle.Select(oracle.Len()) {
+		t.Errorf("merged max = %v, want %v", v, oracle.Select(oracle.Len()))
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	b := New(order.Floats[float64](), 100, 3)
+	for i := 0; i < 1000; i++ {
+		b.Update(float64(i))
+	}
+	a := New(order.Floats[float64](), 10, 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", a.Count())
+	}
+	if len(a.sample) != 10 {
+		t.Fatalf("merged-into-empty sample = %d, want capacity 10", len(a.sample))
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+}

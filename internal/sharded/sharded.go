@@ -1,0 +1,375 @@
+// Package sharded provides a concurrent ingestion layer over any mergeable
+// quantile summary: writes are spread across P independently locked shards,
+// and reads are served from a merged snapshot that is rebuilt copy-on-merge,
+// so readers never block writers and writers never block readers.
+//
+// The design exploits the MERGE discipline of the mergeable-summaries
+// literature (referenced in Section 1.2 of Cormode & Veselý, PODS 2020):
+// when Merge guarantees eps_new = max(eps_a, eps_b) — as the GK COMBINE
+// merge, the KLL sketch, the MRL buffer merge, and the reservoir merge in
+// this repository all do — a summary sharded P ways answers queries over the
+// union of all shards with the *same* accuracy eps as a single-writer
+// summary, while accepting updates from P goroutines in parallel.
+//
+// Write path. Update picks a shard uniformly at random (uniform assignment
+// keeps every shard an i.i.d. subsample of the stream, which is all the merge
+// guarantee needs — quantile summaries are multisets, so assignment cannot
+// bias answers) and appends the item to a small per-shard buffer under the
+// shard lock; full buffers are flushed with the summary's bulk UpdateBatch
+// when it has one (GK does), amortizing the per-item insertion scan.
+// UpdateBatch hands a whole caller-provided batch to one shard in a single
+// lock acquisition.
+//
+// Read path. Query, EstimateRank, CDF, StoredItems and StoredCount read an
+// immutable snapshot built by folding every shard into a fresh summary from
+// the factory (each shard is locked only while it is being copied out). A
+// snapshot is rebuilt when a reader finds it more than refreshEvery updates
+// stale and no other rebuild is in flight; readers that lose the race simply
+// serve the previous snapshot. Staleness is therefore bounded by
+// refreshEvery items plus one in-flight rebuild.
+package sharded
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantilelb/internal/summary"
+)
+
+// Mergeable constrains the shard summary type S: a full quantile summary
+// over items of type T that can fold another instance of its own concrete
+// type into itself with bounded error (eps_new = max(eps_a, eps_b) for every
+// implementation in this repository).
+type Mergeable[T any, S any] interface {
+	summary.Summary[T]
+	Merge(other S) error
+}
+
+// batchUpdater is the optional fast path a summary can provide for flushing
+// a write buffer in one pass (see gk.UpdateBatch).
+type batchUpdater[T any] interface {
+	UpdateBatch(xs []T)
+}
+
+// Option configures a Sharded summary.
+type Option func(*config)
+
+type config struct {
+	refreshEvery int64
+	bufferSize   int
+}
+
+// WithRefreshEvery sets how many accepted updates may accumulate before a
+// reader triggers a snapshot rebuild. Lower values give fresher reads at the
+// cost of more merge work; 0 rebuilds on every read. The default is 4096.
+func WithRefreshEvery(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.refreshEvery = int64(n)
+		}
+	}
+}
+
+// WithWriteBuffer sets the per-shard write buffer size. Buffered items are
+// invisible to queries until the buffer is flushed (on overflow or at the
+// next snapshot rebuild, which flushes every shard). 0 disables buffering so
+// every Update reaches the shard summary immediately. The default is 128.
+func WithWriteBuffer(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.bufferSize = n
+		}
+	}
+}
+
+// shard is one lock stripe. Shards are allocated individually so that two
+// shards never share a cache line through the enclosing slice.
+type shard[T any, S Mergeable[T, S]] struct {
+	mu  sync.Mutex
+	sum S
+	buf []T
+}
+
+// snapshot is an immutable merged view: sum is never written after
+// publication, so any number of readers may query it concurrently.
+type snapshot[T any, S Mergeable[T, S]] struct {
+	sum S
+	n   int64 // accepted updates included in sum
+}
+
+// Sharded is a concurrent quantile summary: P lock-striped shards of S plus
+// a copy-on-merge snapshot for readers. All methods are safe for concurrent
+// use by any number of goroutines. It implements the same Summary interface
+// as the underlying sketches, so the histogram/CDF/KS applications work on
+// it unchanged.
+type Sharded[T any, S Mergeable[T, S]] struct {
+	factory  func() S
+	shards   []*shard[T, S]
+	bufSize  int
+	refresh  int64
+	batching bool // S implements batchUpdater[T]
+
+	total     atomic.Int64 // accepted updates, including still-buffered ones
+	snap      atomic.Pointer[snapshot[T, S]]
+	mergeMu   sync.Mutex // serializes snapshot rebuilds
+	refreshes atomic.Int64
+}
+
+// New returns a Sharded summary with the given number of shards, each
+// initialized from factory. The factory must produce summaries that can
+// merge with each other (same accuracy, and same structural parameters where
+// the summary requires them — KLL's k, MRL's buffer capacity). It panics if
+// shards < 1.
+func New[T any, S Mergeable[T, S]](factory func() S, shards int, opts ...Option) *Sharded[T, S] {
+	if shards < 1 {
+		panic("sharded: shards must be positive")
+	}
+	cfg := config{refreshEvery: 4096, bufferSize: 128}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Sharded[T, S]{
+		factory: factory,
+		shards:  make([]*shard[T, S], shards),
+		bufSize: cfg.bufferSize,
+		refresh: cfg.refreshEvery,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard[T, S]{sum: factory()}
+	}
+	_, s.batching = any(s.shards[0].sum).(batchUpdater[T])
+	return s
+}
+
+// Shards returns the number of lock stripes.
+func (s *Sharded[T, S]) Shards() int { return len(s.shards) }
+
+// pick selects a shard uniformly at random. math/rand/v2 draws from
+// per-goroutine state, so picking is contention-free.
+func (s *Sharded[T, S]) pick() *shard[T, S] {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[rand.IntN(len(s.shards))]
+}
+
+// applyLocked feeds items into a shard's summary, using the bulk path when
+// the summary has one. The shard lock must be held.
+func (s *Sharded[T, S]) applyLocked(sh *shard[T, S], items []T) {
+	if len(items) == 0 {
+		return
+	}
+	if s.batching {
+		any(sh.sum).(batchUpdater[T]).UpdateBatch(items)
+		return
+	}
+	for _, x := range items {
+		sh.sum.Update(x)
+	}
+}
+
+// flushLocked drains a shard's write buffer into its summary. The shard lock
+// must be held.
+func (s *Sharded[T, S]) flushLocked(sh *shard[T, S]) {
+	if len(sh.buf) == 0 {
+		return
+	}
+	s.applyLocked(sh, sh.buf)
+	sh.buf = sh.buf[:0]
+}
+
+// Update ingests one item. Safe for concurrent use; with buffering enabled
+// the item becomes visible to queries at the latest at the next snapshot
+// rebuild.
+func (s *Sharded[T, S]) Update(x T) {
+	sh := s.pick()
+	sh.mu.Lock()
+	if s.bufSize > 0 {
+		sh.buf = append(sh.buf, x)
+		if len(sh.buf) >= s.bufSize {
+			s.flushLocked(sh)
+		}
+	} else {
+		sh.sum.Update(x)
+	}
+	sh.mu.Unlock()
+	s.total.Add(1)
+}
+
+// UpdateBatch ingests a batch of items through a single shard under one lock
+// acquisition — the preferred write path for high-throughput producers that
+// already aggregate items (network handlers, log shippers).
+func (s *Sharded[T, S]) UpdateBatch(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	sh := s.pick()
+	sh.mu.Lock()
+	s.flushLocked(sh) // preserve buffered items' visibility ordering
+	s.applyLocked(sh, xs)
+	sh.mu.Unlock()
+	s.total.Add(int64(len(xs)))
+}
+
+// refreshLocked rebuilds the snapshot. Caller holds mergeMu.
+func (s *Sharded[T, S]) refreshLocked() {
+	fresh := s.factory()
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.flushLocked(sh)
+		err := fresh.Merge(sh.sum)
+		sh.mu.Unlock()
+		if err != nil {
+			// Factories produce mutually mergeable summaries, so this can
+			// only mean a misconfigured factory; surface it loudly rather
+			// than serving silently wrong answers.
+			panic("sharded: snapshot merge failed: " + err.Error())
+		}
+	}
+	n = int64(fresh.Count())
+	s.snap.Store(&snapshot[T, S]{sum: fresh, n: n})
+	s.refreshes.Add(1)
+}
+
+// Refresh synchronously rebuilds the merged snapshot, flushing every shard's
+// write buffer. Queries issued afterwards observe every update accepted
+// before Refresh was called. When the current snapshot already covers every
+// accepted update the rebuild is skipped — an idle AutoRefresh tick costs an
+// atomic load, not a full merge.
+func (s *Sharded[T, S]) Refresh() {
+	if sn := s.snap.Load(); sn != nil && sn.n == s.total.Load() {
+		return
+	}
+	s.mergeMu.Lock()
+	s.refreshLocked()
+	s.mergeMu.Unlock()
+}
+
+// view returns the snapshot to answer a read from, rebuilding it when it is
+// missing or stale and no other rebuild is already in flight.
+func (s *Sharded[T, S]) view() *snapshot[T, S] {
+	sn := s.snap.Load()
+	if sn == nil {
+		s.Refresh()
+		return s.snap.Load()
+	}
+	if s.total.Load()-sn.n >= s.refresh {
+		if s.mergeMu.TryLock() {
+			s.refreshLocked()
+			s.mergeMu.Unlock()
+			return s.snap.Load()
+		}
+		// Another goroutine is rebuilding; serve the current snapshot.
+	}
+	return sn
+}
+
+// AutoRefresh starts a background goroutine that rebuilds the snapshot every
+// interval, giving time-bounded (rather than update-count-bounded) staleness
+// for read-light workloads. The returned stop function terminates it.
+func (s *Sharded[T, S]) AutoRefresh(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Refresh()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Query returns an approximate ϕ-quantile of everything ingested so far (up
+// to snapshot staleness), with the same eps guarantee as a single instance
+// of the underlying summary.
+func (s *Sharded[T, S]) Query(phi float64) (T, bool) {
+	return s.view().sum.Query(phi)
+}
+
+// EstimateRank estimates the number of ingested items ≤ q from the merged
+// snapshot.
+func (s *Sharded[T, S]) EstimateRank(q T) int {
+	return s.view().sum.EstimateRank(q)
+}
+
+// CDF returns F̂(q), the estimated fraction of ingested items ≤ q, clamped
+// to [0, 1]. The estimate is uniform over q: |F̂(q) − F(q)| ≤ eps.
+func (s *Sharded[T, S]) CDF(q T) float64 {
+	sn := s.view()
+	n := sn.sum.Count()
+	if n == 0 {
+		return 0
+	}
+	r := sn.sum.EstimateRank(q)
+	if r < 0 {
+		r = 0
+	}
+	if r > n {
+		r = n
+	}
+	return float64(r) / float64(n)
+}
+
+// Count returns the number of items accepted so far, including items still
+// sitting in write buffers or not yet merged into the snapshot.
+func (s *Sharded[T, S]) Count() int { return int(s.total.Load()) }
+
+// StoredItems returns the merged snapshot's retained items in non-decreasing
+// order.
+func (s *Sharded[T, S]) StoredItems() []T { return s.view().sum.StoredItems() }
+
+// StoredCount returns the number of items retained by the merged snapshot
+// (the space measure of the paper, for the reader-facing copy).
+func (s *Sharded[T, S]) StoredCount() int { return s.view().sum.StoredCount() }
+
+// Snapshot returns the current merged summary and the number of accepted
+// updates it covers, without forcing a rebuild (a nil-snapshot state forces
+// one so the returned summary is never nil). The returned summary is
+// immutable — callers may query it concurrently but must not update it.
+func (s *Sharded[T, S]) Snapshot() (S, int) {
+	sn := s.snap.Load()
+	if sn == nil {
+		s.Refresh()
+		sn = s.snap.Load()
+	}
+	return sn.sum, int(sn.n)
+}
+
+// Stats reports operational counters for monitoring endpoints.
+type Stats struct {
+	// Shards is the number of lock stripes.
+	Shards int
+	// Count is the number of accepted updates.
+	Count int
+	// SnapshotCount is the number of updates covered by the current snapshot.
+	SnapshotCount int
+	// SnapshotStored is the number of items the snapshot retains.
+	SnapshotStored int
+	// Refreshes is the number of snapshot rebuilds performed.
+	Refreshes int
+}
+
+// Stats returns a point-in-time view of the operational counters. It does
+// not force a snapshot rebuild; before the first read all snapshot fields
+// are zero.
+func (s *Sharded[T, S]) Stats() Stats {
+	st := Stats{
+		Shards:    len(s.shards),
+		Count:     int(s.total.Load()),
+		Refreshes: int(s.refreshes.Load()),
+	}
+	if sn := s.snap.Load(); sn != nil {
+		st.SnapshotCount = int(sn.n)
+		st.SnapshotStored = sn.sum.StoredCount()
+	}
+	return st
+}

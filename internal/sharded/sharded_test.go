@@ -1,0 +1,280 @@
+package sharded
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
+)
+
+func gkFactory(eps float64) func() *gk.Summary[float64] {
+	return func() *gk.Summary[float64] { return gk.NewFloat64(eps) }
+}
+
+// The sharded wrapper must itself satisfy the full summary interface so the
+// histogram/CDF/KS applications can consume it.
+var _ summary.Summary[float64] = (*Sharded[float64, *gk.Summary[float64]])(nil)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("shards < 1 should panic")
+		}
+	}()
+	New(gkFactory(0.1), 0)
+}
+
+func TestEmpty(t *testing.T) {
+	s := New(gkFactory(0.1), 4)
+	if _, ok := s.Query(0.5); ok {
+		t.Errorf("query on empty sharded summary should report false")
+	}
+	if s.Count() != 0 || s.EstimateRank(1) != 0 || s.CDF(1) != 0 {
+		t.Errorf("empty summary should report zero counts")
+	}
+}
+
+func TestSequentialAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eps := 0.02
+	s := New(gkFactory(eps), 8, WithRefreshEvery(1000))
+	n := 50000
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = rng.NormFloat64()
+	}
+	for _, x := range items {
+		s.Update(x)
+	}
+	s.Refresh()
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	oracle := rank.Float64Oracle(items)
+	bound := eps*float64(n) + 2
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds eps*N=%v", phi, err, bound)
+		}
+	}
+	// CDF error is uniformly bounded by eps.
+	for _, q := range []float64{-2, -1, 0, 1, 2} {
+		got := s.CDF(q)
+		want := float64(oracle.RankLE(q)) / float64(n)
+		if diff := got - want; diff > eps+0.001 || diff < -eps-0.001 {
+			t.Errorf("CDF(%v) = %v, want %v ± %v", q, got, want, eps)
+		}
+	}
+}
+
+// TestConcurrentIngestion is the headline race test: many writer goroutines
+// hammer Update and UpdateBatch concurrently with readers; afterwards the
+// merged snapshot must contain every item and answer every quantile within
+// the merged eps bound (= the factory's eps, since Merge guarantees
+// eps_new = max over same-eps shards). Run under -race.
+func TestConcurrentIngestion(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+		eps       = 0.02
+	)
+	s := New(gkFactory(eps), 8, WithRefreshEvery(5000), WithWriteBuffer(64))
+	all := make([][]float64, writers)
+	for w := range all {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		items := make([]float64, perWriter)
+		for i := range items {
+			// Give each writer its own distribution so shards are *not*
+			// identically loaded unless the random assignment works.
+			items[i] = float64(w) + rng.Float64()
+		}
+		all[w] = items
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(items []float64, batched bool) {
+			defer wg.Done()
+			if batched {
+				for i := 0; i < len(items); i += 100 {
+					end := i + 100
+					if end > len(items) {
+						end = len(items)
+					}
+					s.UpdateBatch(items[i:end])
+				}
+			} else {
+				for _, x := range items {
+					s.Update(x)
+				}
+			}
+		}(all[w], w%2 == 0)
+	}
+	// Concurrent readers exercise the snapshot path while writers run.
+	readDone := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readDone:
+					return
+				default:
+					s.Query(0.5)
+					s.EstimateRank(4)
+					s.CDF(2.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readDone)
+	readers.Wait()
+
+	s.Refresh()
+	total := writers * perWriter
+	if s.Count() != total {
+		t.Fatalf("count = %d, want %d (lost updates)", s.Count(), total)
+	}
+	var flat []float64
+	for _, items := range all {
+		flat = append(flat, items...)
+	}
+	oracle := rank.Float64Oracle(flat)
+	bound := eps*float64(total) + 2
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed after concurrent ingestion")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds merged eps*N=%v", phi, err, bound)
+		}
+	}
+	st := s.Stats()
+	if st.Count != total || st.SnapshotCount != total || st.Shards != 8 {
+		t.Errorf("stats = %+v, want count/snapshot %d over 8 shards", st, total)
+	}
+	if st.Refreshes < 1 {
+		t.Errorf("expected at least one snapshot refresh, got %d", st.Refreshes)
+	}
+}
+
+// TestBackends checks the layer over every mergeable summary family.
+func TestBackends(t *testing.T) {
+	const n = 30000
+	rng := rand.New(rand.NewSource(3))
+	items := make([]float64, n)
+	for i := range items {
+		items[i] = rng.ExpFloat64()
+	}
+	oracle := rank.Float64Oracle(items)
+	run := func(t *testing.T, s interface {
+		Update(float64)
+		Refresh()
+		Query(float64) (float64, bool)
+		Count() int
+	}, bound float64) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(part []float64) {
+				defer wg.Done()
+				for _, x := range part {
+					s.Update(x)
+				}
+			}(items[w*n/4 : (w+1)*n/4])
+		}
+		wg.Wait()
+		s.Refresh()
+		if s.Count() != n {
+			t.Fatalf("count = %d, want %d", s.Count(), n)
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			got, ok := s.Query(phi)
+			if !ok {
+				t.Fatalf("query failed")
+			}
+			if err := oracle.RankError(got, phi); float64(err) > bound {
+				t.Errorf("phi=%v rank error %d exceeds %v", phi, err, bound)
+			}
+		}
+	}
+	t.Run("gk", func(t *testing.T) {
+		run(t, New(gkFactory(0.02), 4), 0.02*n+2)
+	})
+	t.Run("kll", func(t *testing.T) {
+		factory := func() *kll.Sketch[float64] { return kll.NewFloat64(0.02, kll.WithSeed(7)) }
+		// KLL is randomized: allow 3x eps slack.
+		run(t, New(factory, 4), 3*0.02*n)
+	})
+	t.Run("mrl", func(t *testing.T) {
+		factory := func() *mrl.Summary[float64] { return mrl.NewFloat64(0.02, n) }
+		run(t, New(factory, 4), 0.02*n+2)
+	})
+	t.Run("reservoir", func(t *testing.T) {
+		factory := func() *sampling.Reservoir[float64] { return sampling.NewFloat64(0.05, 0.01, 11) }
+		// Reservoir sampling is probabilistic: generous slack.
+		run(t, New(factory, 4), 3*0.05*n)
+	})
+}
+
+func TestUpdateBatchAndBufferVisibility(t *testing.T) {
+	s := New(gkFactory(0.05), 2, WithWriteBuffer(1000), WithRefreshEvery(1<<30))
+	for i := 0; i < 10; i++ {
+		s.Update(float64(i))
+	}
+	// Items sit in buffers; Count sees them immediately.
+	if s.Count() != 10 {
+		t.Fatalf("count = %d, want 10", s.Count())
+	}
+	// Refresh flushes buffers into the snapshot.
+	s.Refresh()
+	if _, n := s.Snapshot(); n != 10 {
+		t.Fatalf("snapshot covers %d updates, want 10", n)
+	}
+	if r := s.EstimateRank(100); r != 10 {
+		t.Fatalf("rank = %d, want 10", r)
+	}
+	s.UpdateBatch([]float64{10, 11, 12})
+	s.UpdateBatch(nil)
+	s.Refresh()
+	if r := s.EstimateRank(100); r != 13 {
+		t.Fatalf("rank after batch = %d, want 13", r)
+	}
+	if got := len(s.StoredItems()); got != s.StoredCount() {
+		t.Errorf("StoredItems/StoredCount disagree: %d vs %d", got, s.StoredCount())
+	}
+}
+
+func TestStaleSnapshotRefreshes(t *testing.T) {
+	s := New(gkFactory(0.05), 2, WithRefreshEvery(100), WithWriteBuffer(0))
+	for i := 0; i < 99; i++ {
+		s.Update(float64(i))
+	}
+	s.Query(0.5) // builds the first snapshot
+	before := s.Stats().Refreshes
+	for i := 0; i < 200; i++ {
+		s.Update(float64(i))
+	}
+	s.Query(0.5) // stale by > 100 updates: must rebuild
+	if after := s.Stats().Refreshes; after <= before {
+		t.Errorf("snapshot was not refreshed after exceeding staleness budget")
+	}
+	if _, ok := s.Query(0.5); !ok {
+		t.Errorf("query failed")
+	}
+}

@@ -10,6 +10,9 @@
 //     deliberately space-capped strawman),
 //   - applications built on them (equi-depth histograms, CDF estimation,
 //     Kolmogorov–Smirnov tests),
+//   - a concurrent sharded ingestion layer (NewSharded) that spreads writes
+//     over lock-striped shards of any mergeable summary and serves reads
+//     from a merged snapshot with the same accuracy eps,
 //   - and the paper's adversarial lower-bound construction, runnable against
 //     any of the summaries to measure the space it forces.
 //
@@ -22,6 +25,7 @@ package quantilelb
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"quantilelb/internal/biased"
 	"quantilelb/internal/capped"
@@ -35,6 +39,7 @@ import (
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
+	"quantilelb/internal/sharded"
 	"quantilelb/internal/summary"
 	"quantilelb/internal/universe"
 	"quantilelb/internal/window"
@@ -69,6 +74,13 @@ var (
 	_ Summary = (*biased.Summary[float64])(nil)
 	_ Summary = (*capped.Summary[float64])(nil)
 	_ Summary = (*window.Summary[float64])(nil)
+	_ Summary = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
+
+	// compile-time mergeability checks: every factory NewSharded accepts.
+	_ summary.Mergeable[*gk.Summary[float64]]         = (*gk.Summary[float64])(nil)
+	_ summary.Mergeable[*kll.Sketch[float64]]         = (*kll.Sketch[float64])(nil)
+	_ summary.Mergeable[*mrl.Summary[float64]]        = (*mrl.Summary[float64])(nil)
+	_ summary.Mergeable[*sampling.Reservoir[float64]] = (*sampling.Reservoir[float64])(nil)
 )
 
 // NewGK returns a Greenwald–Khanna summary with accuracy eps, the
@@ -113,6 +125,73 @@ func NewCapped(capacity int) *capped.Summary[float64] { return capped.NewFloat64
 // accuracy eps (the sliding-window model from the survey the paper cites).
 func NewSlidingWindow(eps float64, windowLen int) *window.Summary[float64] {
 	return window.NewFloat64(eps, windowLen)
+}
+
+// MergeGK folds b into a using the MERGE/COMBINE discipline of the GK
+// lineage: the merged summary answers queries over the concatenated streams
+// with error eps_new = max(eps_a, eps_b) — merging does not add error. b is
+// not modified.
+func MergeGK(a, b *gk.Summary[float64]) error { return a.Merge(b) }
+
+// ShardedOption configures a sharded summary built by NewSharded.
+type ShardedOption = sharded.Option
+
+// WithRefreshEvery bounds snapshot staleness to n accepted updates; a reader
+// finding the snapshot older triggers a copy-on-merge rebuild.
+func WithRefreshEvery(n int) ShardedOption { return sharded.WithRefreshEvery(n) }
+
+// WithWriteBuffer sets the per-shard write buffer size (0 disables
+// buffering). Buffered items become visible at the next snapshot rebuild.
+func WithWriteBuffer(n int) ShardedOption { return sharded.WithWriteBuffer(n) }
+
+// NewSharded wraps any mergeable summary in the concurrent ingestion layer
+// of internal/sharded: writes (Update, UpdateBatch) are spread over `shards`
+// lock-striped instances produced by factory, and reads (Query,
+// EstimateRank, CDF) are served from a periodically-rebuilt merged snapshot,
+// so readers never block writers.
+//
+// Because every Merge in this library guarantees eps_new = max(eps_1, eps_2),
+// the sharded summary answers queries with the same accuracy eps as a single
+// instance from the factory, while sustaining concurrent writers. Use the
+// *Factory helpers for the common backends:
+//
+//	s := quantilelb.NewSharded(quantilelb.GKFactory(0.01), 16)
+//	go func() { s.Update(x) }() // any number of writers
+//	q, _ := s.Query(0.99)       // any number of readers
+func NewSharded[S sharded.Mergeable[float64, S]](factory func() S, shards int, opts ...ShardedOption) *sharded.Sharded[float64, S] {
+	return sharded.New(factory, shards, opts...)
+}
+
+// GKFactory returns a factory of Greenwald–Khanna summaries with accuracy
+// eps, for use with NewSharded.
+func GKFactory(eps float64) func() *gk.Summary[float64] {
+	return func() *gk.Summary[float64] { return gk.NewFloat64(eps) }
+}
+
+// KLLFactory returns a factory of KLL sketches with accuracy eps, for use
+// with NewSharded. Each produced sketch draws a distinct deterministic seed
+// derived from seed, so shards do not share compaction coin flips.
+func KLLFactory(eps float64, seed int64) func() *kll.Sketch[float64] {
+	var next atomic.Int64
+	return func() *kll.Sketch[float64] {
+		return kll.NewFloat64(eps, kll.WithSeed(seed+next.Add(1)))
+	}
+}
+
+// MRLFactory returns a factory of MRL summaries with accuracy eps for a
+// combined stream of at most maxN items, for use with NewSharded.
+func MRLFactory(eps float64, maxN int) func() *mrl.Summary[float64] {
+	return func() *mrl.Summary[float64] { return mrl.NewFloat64(eps, maxN) }
+}
+
+// ReservoirFactory returns a factory of reservoir samplers sized for
+// accuracy eps and failure probability delta, for use with NewSharded. Each
+// produced reservoir draws a distinct deterministic seed derived from seed.
+func ReservoirFactory(eps, delta float64, seed int64) func() *sampling.Reservoir[float64] {
+	var next atomic.Int64
+	return func() *sampling.Reservoir[float64] {
+		return sampling.NewFloat64(eps, delta, seed+next.Add(1))
+	}
 }
 
 // EncodeGK serializes a GK summary into a compact binary payload that can be

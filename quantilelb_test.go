@@ -2,6 +2,7 @@ package quantilelb_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	quantilelb "quantilelb"
@@ -190,5 +191,100 @@ func TestTheoreticalBounds(t *testing.T) {
 	// Tiny stream falls back to k = 1.
 	if quantilelb.TheoreticalLowerBound(0.01, 10) <= 0 {
 		t.Errorf("tiny stream should still give the k=1 bound")
+	}
+}
+
+// TestFacadeSharded exercises the concurrent ingestion layer through the
+// public facade: concurrent writers over every factory backend, reads
+// through the facade applications (Histogram, CDF, KSStatistic), and the
+// merged-eps accuracy guarantee.
+func TestFacadeSharded(t *testing.T) {
+	gen := stream.NewGenerator(17)
+	items := gen.Shuffled(40000).Items()
+	eps := 0.02
+	s := quantilelb.NewSharded(quantilelb.GKFactory(eps), 8,
+		quantilelb.WithRefreshEvery(2000), quantilelb.WithWriteBuffer(64))
+	var wg sync.WaitGroup
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(part []float64) {
+			defer wg.Done()
+			s.UpdateBatch(part[:len(part)/2])
+			for _, x := range part[len(part)/2:] {
+				s.Update(x)
+			}
+		}(items[w*len(items)/writers : (w+1)*len(items)/writers])
+	}
+	wg.Wait()
+	s.Refresh()
+	if s.Count() != len(items) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(items))
+	}
+	oracle := rank.Float64Oracle(items)
+	bound := eps*float64(len(items)) + 2
+	for _, phi := range []float64{0.05, 0.5, 0.95} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds eps*N=%v", phi, err, bound)
+		}
+	}
+	// The sharded summary satisfies the facade Summary interface, so the
+	// applications consume it unchanged.
+	h, err := quantilelb.Histogram(s, 10)
+	if err != nil {
+		t.Fatalf("histogram over sharded summary: %v", err)
+	}
+	if got := len(h.Buckets); got != 10 {
+		t.Errorf("histogram has %d buckets, want 10", got)
+	}
+	est := quantilelb.CDF(s)
+	med, _ := s.Query(0.5)
+	if v := est.Value(med); v < 0.5-eps-0.01 || v > 0.5+eps+0.01 {
+		t.Errorf("CDF(median) = %v, want ~0.5", v)
+	}
+	single := quantilelb.NewGK(eps)
+	feed(single, items)
+	if d := quantilelb.KSStatistic(s, single); d > 2*eps+0.01 {
+		t.Errorf("KS distance between sharded and single-writer = %v, want <= %v", d, 2*eps)
+	}
+	// The other factories plug in the same way.
+	for name, q := range map[string]quantilelb.Summary{
+		"kll":       quantilelb.NewSharded(quantilelb.KLLFactory(eps, 5), 4),
+		"mrl":       quantilelb.NewSharded(quantilelb.MRLFactory(eps, len(items)), 4),
+		"reservoir": quantilelb.NewSharded(quantilelb.ReservoirFactory(0.05, 0.01, 5), 4),
+	} {
+		feed(q, items[:10000])
+		if q.Count() != 10000 {
+			t.Errorf("%s: count = %d, want 10000", name, q.Count())
+		}
+		if _, ok := q.Query(0.5); !ok {
+			t.Errorf("%s: query failed", name)
+		}
+	}
+}
+
+// TestFacadeMergeGK pins the facade-level merge guarantee.
+func TestFacadeMergeGK(t *testing.T) {
+	gen := stream.NewGenerator(19)
+	eps := 0.02
+	a, b := quantilelb.NewGK(eps), quantilelb.NewGK(eps)
+	sa, sb := gen.Uniform(15000).Items(), gen.Uniform(15000).Items()
+	feed(a, sa)
+	feed(b, sb)
+	if err := quantilelb.MergeGK(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 30000 || b.Count() != 15000 {
+		t.Fatalf("merge changed the wrong counts: a=%d b=%d", a.Count(), b.Count())
+	}
+	all := append(append([]float64(nil), sa...), sb...)
+	oracle := rank.Float64Oracle(all)
+	med, _ := a.Query(0.5)
+	if err := oracle.RankError(med, 0.5); float64(err) > eps*float64(len(all))+2 {
+		t.Errorf("merged median rank error %d exceeds eps*N", err)
 	}
 }
