@@ -246,6 +246,59 @@ func BenchmarkGKUpdateBatch(b *testing.B) {
 	b.ReportMetric(float64(s.StoredCount()), "items_stored")
 }
 
+// batchTarget is the batched slice of the summary interface; the compile
+// succeeds only while every batched family keeps its UpdateBatch.
+type batchTarget interface {
+	quantilelb.Summary
+	UpdateBatch(xs []float64)
+}
+
+// benchmarkUpdateBatch measures bulk ingestion for any summary with an
+// UpdateBatch fast path, directly comparable against the item-at-a-time
+// benchmarkUpdate numbers (each op is one ingested item).
+func benchmarkUpdateBatch(b *testing.B, mk func() batchTarget, batch int) {
+	gen := stream.NewGenerator(1)
+	st, err := gen.ByName("shuffled", 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := st.Items()
+	s := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		end := i + batch
+		if end > b.N {
+			end = b.N
+		}
+		start := i % (len(items) - batch)
+		s.UpdateBatch(items[start : start+(end-i)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.StoredCount()), "items_stored")
+}
+
+// BenchmarkKLLUpdateBatch: the level-0 bulk load + single compaction cascade.
+// Compare against BenchmarkKLLUpdateShuffled; the batch path must win for
+// batches >= 1024 (tracked in BENCH_PR2.json as kll/shuffled update vs batch).
+func BenchmarkKLLUpdateBatch(b *testing.B) {
+	for _, batch := range []int{256, 1024, 8192} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchmarkUpdateBatch(b, func() batchTarget { return quantilelb.NewKLL(0.01, 1) }, batch)
+		})
+	}
+}
+
+// BenchmarkMRLUpdateBatch: chunk-wise buffer fills vs item-at-a-time appends.
+func BenchmarkMRLUpdateBatch(b *testing.B) {
+	benchmarkUpdateBatch(b, func() batchTarget { return quantilelb.NewMRL(0.01, 10_000_000) }, 1024)
+}
+
+// BenchmarkReservoirUpdateBatch: the tight-loop Algorithm R batch path.
+func BenchmarkReservoirUpdateBatch(b *testing.B) {
+	benchmarkUpdateBatch(b, func() batchTarget { return quantilelb.NewReservoir(0.01, 0.01, 1) }, 1024)
+}
+
 // Sweep GK update cost across eps to expose the space/time trade-off.
 func BenchmarkGKUpdateEpsSweep(b *testing.B) {
 	for _, eps := range []float64{0.1, 0.01, 0.001} {

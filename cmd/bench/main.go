@@ -1,0 +1,79 @@
+// Command bench runs the workload benchmark matrix of internal/bench —
+// every summary family (GK, greedy GK, KLL, MRL, reservoir, biased, capped,
+// and the sharded variants) against every workload (sorted, reverse,
+// shuffled, zipf, duplicates, drift, and the paper's adversarial stream), in
+// both item-at-a-time and batched ingestion modes — and writes the
+// machine-readable report that records the repository's performance
+// trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/bench -label PR2 -out BENCH_PR2.json
+//	go run ./cmd/bench -n 50000 -quick -out /tmp/bench.json
+//
+// Each cell records ns/op, items/sec, retained items and bytes, and the
+// worst rank error against the exact oracle. Diff two reports to see what a
+// PR did to any (family, workload) pair; README.md carries the headline
+// numbers of the latest recorded run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"quantilelb/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	var (
+		out   = flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+		quick = flag.Bool("quick", false, "single repetition, small n (smoke test)")
+	)
+	flag.IntVar(&cfg.N, "n", cfg.N, "items per workload")
+	flag.Float64Var(&cfg.Eps, "eps", cfg.Eps, "accuracy target for every family")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload generator seed")
+	flag.IntVar(&cfg.BatchSize, "batch", cfg.BatchSize, "batch size for batch-mode cells")
+	flag.IntVar(&cfg.Grid, "grid", cfg.Grid, "quantile grid for rank-error measurement")
+	flag.IntVar(&cfg.Repetitions, "reps", cfg.Repetitions, "timed repetitions per cell (best-of)")
+	flag.StringVar(&cfg.Label, "label", "dev", "report label (e.g. PR2)")
+	flag.Parse()
+	if *quick {
+		cfg.N = 20_000
+		cfg.Repetitions = 1
+	}
+
+	workloads, err := bench.Workloads(cfg)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	families := bench.DefaultFamilies(cfg)
+	fmt.Fprintf(os.Stderr, "bench: %d families x %d workloads, n=%d eps=%g batch=%d\n",
+		len(families), len(workloads), cfg.N, cfg.Eps, cfg.BatchSize)
+
+	rep := bench.Run(cfg, families, workloads)
+
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench: marshal: %v", err)
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		log.Fatalf("bench: write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d cells to %s\n", len(rep.Cells), *out)
+
+	// Human-readable digest on stdout: the shuffled-workload column, the one
+	// most comparable across PRs.
+	fmt.Printf("%-12s %-8s %12s %14s %10s %12s\n", "family", "mode", "ns/op", "items/sec", "retained", "max_err_frac")
+	for _, c := range rep.Cells {
+		if c.Workload != "shuffled" {
+			continue
+		}
+		fmt.Printf("%-12s %-8s %12.1f %14.0f %10d %12.5f\n",
+			c.Family, c.Mode, c.NsPerOp, c.ItemsPerSec, c.RetainedItems, c.MaxRankErrorFrac)
+	}
+}

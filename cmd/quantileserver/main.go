@@ -5,8 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /update    body: whitespace/comma-separated float64s (batched into
-//	                one shard per request); or a single ?x= query parameter.
+//	POST /update    body: whitespace/comma-separated float64s, or — with
+//	                Content-Type: application/json — a JSON array of numbers.
+//	                Either way the whole request is ingested as one batch
+//	                through the summary's bulk UpdateBatch path (one shard,
+//	                one lock acquisition, one merge pass). A single item can
+//	                also be sent as a ?x= query parameter.
 //	GET  /quantile  ?phi=0.5&phi=0.99  -> {"results":[{"phi":0.5,"value":...},...]}
 //	GET  /rank      ?q=1.5             -> {"q":1.5,"rank":...,"n":...}
 //	GET  /cdf       ?q=1&q=2&q=3       -> {"points":[{"q":1,"p":...},...]}
@@ -16,6 +20,7 @@
 //
 //	quantileserver -addr :8080 -eps 0.01 -shards 16 &
 //	seq 1 100000 | shuf | curl -s --data-binary @- localhost:8080/update
+//	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/update
 //	curl -s 'localhost:8080/quantile?phi=0.5&phi=0.99'
 package main
 
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -104,7 +110,12 @@ func handleUpdate(s *summaryT, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(body) > 0 {
-		fromBody, err := parseFloats(string(body))
+		var fromBody []float64
+		if isJSONContent(r.Header.Get("Content-Type")) {
+			fromBody, err = parseJSONBatch(body)
+		} else {
+			fromBody, err = parseFloats(string(body))
+		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -186,6 +197,25 @@ func statsPayload(s *summaryT) map[string]any {
 		"snapshot_lag":    st.Count - st.SnapshotCount,
 		"refreshes":       st.Refreshes,
 	}
+}
+
+// isJSONContent reports whether a Content-Type header declares JSON. Media
+// types are case-insensitive (RFC 9110) and may carry parameters like
+// "; charset=utf-8".
+func isJSONContent(ct string) bool {
+	mediaType, _, err := mime.ParseMediaType(ct)
+	return err == nil && mediaType == "application/json"
+}
+
+// parseJSONBatch decodes a JSON array of numbers — the batched payload
+// format for producers that already aggregate items (log shippers, metric
+// agents). NaN and infinities are rejected by JSON itself.
+func parseJSONBatch(body []byte) ([]float64, error) {
+	var out []float64
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("bad JSON batch: want an array of numbers: %v", err)
+	}
+	return out, nil
 }
 
 // parseFloats splits a body on whitespace, commas and newlines.

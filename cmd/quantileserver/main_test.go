@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	quantilelb "quantilelb"
+)
+
+func newTestSummary() *summaryT {
+	return quantilelb.NewSharded(quantilelb.GKFactory(0.01), 4)
+}
+
+func postUpdate(t *testing.T, s *summaryT, contentType, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	handleUpdate(s, rec, req)
+	return rec
+}
+
+// TestUpdateJSONBatch exercises the batched JSON payload end to end: ingest
+// through the handler, then read the ingested items back via rank queries.
+func TestUpdateJSONBatch(t *testing.T) {
+	s := newTestSummary()
+	rec := postUpdate(t, s, "application/json; charset=utf-8", "[1, 2.5, 3, 4.5, 5]")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	s.Refresh()
+	if r := s.EstimateRank(100); r != 5 {
+		t.Errorf("rank(100) = %d, want 5", r)
+	}
+}
+
+// TestUpdateTextBatch keeps the plain-text format working unchanged.
+func TestUpdateTextBatch(t *testing.T) {
+	s := newTestSummary()
+	rec := postUpdate(t, s, "", "1 2,3\n4\t5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+}
+
+// TestUpdateRejectsWholeBatch: a malformed payload must not partially ingest.
+func TestUpdateRejectsWholeBatch(t *testing.T) {
+	s := newTestSummary()
+	if rec := postUpdate(t, s, "application/json", "[1, 2, \"x\"]"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON batch: status = %d", rec.Code)
+	}
+	if rec := postUpdate(t, s, "", "1 2 nope"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad text batch: status = %d", rec.Code)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("rejected batches must not ingest anything, count = %d", s.Count())
+	}
+}

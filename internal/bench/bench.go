@@ -1,0 +1,267 @@
+// Package bench is the workload benchmark harness behind cmd/bench: it runs
+// every summary family in this repository against a matrix of workloads and
+// measures, per (family, workload, ingestion-mode) cell, the ingestion speed
+// (ns per item, items per second), the space actually retained (items and an
+// estimate in bytes), and the worst rank error observed against the exact
+// oracle of internal/rank.
+//
+// The harness exists because algorithm choice is workload-dependent — the
+// central empirical message of Karnin–Lang–Liberty (FOCS 2016) and of
+// Cormode et al., "Theory meets Practice at the Median" — while the paper
+// reproduced here (Cormode & Veselý, PODS 2020) pins down the worst case:
+// the adversarial workload in the matrix is the paper's own lower-bound
+// stream π, materialized to float64, so the recorded trajectory always
+// contains the input family the theory says is hardest. cmd/bench serializes
+// the matrix to a BENCH_*.json file at the repository root; successive PRs
+// diff these files to keep a recorded performance trajectory (ROADMAP.md).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+// Target is the slice of the summary interface the harness drives: ingest,
+// query, and space accounting. Every summary in this repository satisfies it.
+type Target interface {
+	Update(x float64)
+	Query(phi float64) (float64, bool)
+	Count() int
+	StoredCount() int
+}
+
+// BatchTarget is the optional bulk-ingest fast path (gk, kll, mrl, sampling,
+// and the sharded wrapper all provide it). Families whose target implements
+// it get an extra "batch"-mode cell per workload.
+type BatchTarget interface {
+	UpdateBatch(xs []float64)
+}
+
+// refresher is implemented by the sharded wrapper; the harness forces a
+// snapshot rebuild before measuring accuracy so buffered items are visible.
+type refresher interface {
+	Refresh()
+}
+
+// Family describes one summary family in the matrix.
+type Family struct {
+	// Name identifies the family in the report (e.g. "gk", "sharded-kll").
+	Name string
+	// New builds a fresh summary for one cell.
+	New func() Target
+	// BytesPerItem estimates the memory cost of one retained item (24 for
+	// GK-lineage tuples holding value+G+Delta, 8 for plain float64 buffers).
+	// RetainedBytes in a cell is StoredCount * BytesPerItem.
+	BytesPerItem int
+	// EpsTarget is the uniform accuracy the family was configured for, or 0
+	// when the family makes no uniform guarantee (biased: relative error
+	// only; capped: deliberately unsound).
+	EpsTarget float64
+}
+
+// Workload is one column of the matrix: a named, materialized stream.
+type Workload struct {
+	Name  string
+	Items []float64
+}
+
+// Cell is one measured matrix entry.
+type Cell struct {
+	Family   string `json:"family"`
+	Workload string `json:"workload"`
+	// Mode is "update" (item-at-a-time) or "batch" (UpdateBatch in
+	// config-sized chunks).
+	Mode          string  `json:"mode"`
+	N             int     `json:"n"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ItemsPerSec   float64 `json:"items_per_sec"`
+	RetainedItems int     `json:"retained_items"`
+	RetainedBytes int     `json:"retained_bytes"`
+	// MaxRankError is the worst absolute rank error over the quantile grid,
+	// measured against the exact oracle; MaxRankErrorFrac normalizes it by N
+	// (comparable to eps).
+	MaxRankError     int     `json:"max_rank_error"`
+	MaxRankErrorFrac float64 `json:"max_rank_error_frac"`
+	// EpsTarget and WithinEps are only meaningful for families with a
+	// uniform guarantee (EpsTarget > 0).
+	EpsTarget float64 `json:"eps_target,omitempty"`
+	WithinEps bool    `json:"within_eps,omitempty"`
+}
+
+// Report is the machine-readable result of one full matrix run; cmd/bench
+// writes it as BENCH_PR<n>.json at the repository root.
+type Report struct {
+	// Schema identifies the report layout for future diff tooling.
+	Schema int `json:"schema"`
+	// Label names the run (e.g. "PR2").
+	Label     string `json:"label"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Timestamp is RFC 3339 UTC.
+	Timestamp string `json:"timestamp"`
+	// Config echoes the run parameters.
+	N         int     `json:"n"`
+	Eps       float64 `json:"eps"`
+	BatchSize int     `json:"batch_size"`
+	Grid      int     `json:"grid"`
+	Seed      int64   `json:"seed"`
+	Cells     []Cell  `json:"cells"`
+}
+
+// Config parameterizes a matrix run.
+type Config struct {
+	// N is the stream length per workload (the adversarial workload has its
+	// own construction-determined length, recorded per cell).
+	N int
+	// Eps is the accuracy every family is configured for.
+	Eps float64
+	// Seed drives the workload generators (and randomized summaries).
+	Seed int64
+	// BatchSize is the chunk size of batch-mode ingestion.
+	BatchSize int
+	// Grid is the number of evenly spaced quantile queries used to measure
+	// rank error.
+	Grid int
+	// Repetitions: each cell's ingest is timed this many times on a fresh
+	// summary and the fastest run is reported (best-of-k suppresses GC and
+	// scheduler noise).
+	Repetitions int
+	// Label names the run in the report (e.g. "PR2").
+	Label string
+}
+
+// DefaultConfig returns the configuration cmd/bench uses unless overridden:
+// 200k items, eps = 1%, 1024-item batches, 200-point error grid, best of 3.
+func DefaultConfig() Config {
+	return Config{
+		N:           200_000,
+		Eps:         0.01,
+		Seed:        1,
+		BatchSize:   1024,
+		Grid:        200,
+		Repetitions: 3,
+		Label:       "dev",
+	}
+}
+
+// Workloads materializes the matrix columns for a config: sorted, reverse,
+// shuffled (random), zipf (skewed), duplicates (heavy tie handling), drift
+// (the sliding-window regime), and the paper's adversarial stream.
+func Workloads(cfg Config) ([]Workload, error) {
+	gen := stream.NewGenerator(cfg.Seed)
+	out := make([]Workload, 0, 7)
+	for _, name := range []string{"sorted", "reverse", "shuffled", "zipf", "duplicates", "drift"} {
+		st, err := gen.ByName(name, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{Name: st.Name(), Items: st.Items()})
+	}
+	adv, err := AdversarialWorkload(cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building adversarial workload: %w", err)
+	}
+	out = append(out, adv)
+	return out, nil
+}
+
+// Run executes the full family × workload × mode matrix and returns the
+// report. Cells are measured sequentially so they never contend with each
+// other.
+func Run(cfg Config, families []Family, workloads []Workload) *Report {
+	rep := &Report{
+		Schema:    1,
+		Label:     cfg.Label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		N:         cfg.N,
+		Eps:       cfg.Eps,
+		BatchSize: cfg.BatchSize,
+		Grid:      cfg.Grid,
+		Seed:      cfg.Seed,
+	}
+	for _, wl := range workloads {
+		oracle := rank.Float64Oracle(wl.Items)
+		for _, fam := range families {
+			rep.Cells = append(rep.Cells, measure(cfg, fam, wl, oracle, "update"))
+			if _, ok := fam.New().(BatchTarget); ok {
+				rep.Cells = append(rep.Cells, measure(cfg, fam, wl, oracle, "batch"))
+			}
+		}
+	}
+	return rep
+}
+
+// measure times ingestion of one cell (best of cfg.Repetitions) and verifies
+// accuracy of the last-built summary against the oracle.
+func measure(cfg Config, fam Family, wl Workload, oracle *rank.Oracle[float64], mode string) Cell {
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	var s Target
+	for r := 0; r < reps; r++ {
+		s = fam.New()
+		start := time.Now()
+		if mode == "batch" {
+			bt := s.(BatchTarget)
+			for i := 0; i < len(wl.Items); i += cfg.BatchSize {
+				end := i + cfg.BatchSize
+				if end > len(wl.Items) {
+					end = len(wl.Items)
+				}
+				bt.UpdateBatch(wl.Items[i:end])
+			}
+		} else {
+			for _, x := range wl.Items {
+				s.Update(x)
+			}
+		}
+		elapsed := time.Since(start)
+		if r == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	if rf, ok := s.(refresher); ok {
+		rf.Refresh()
+	}
+	n := len(wl.Items)
+	cell := Cell{
+		Family:        fam.Name,
+		Workload:      wl.Name,
+		Mode:          mode,
+		N:             n,
+		NsPerOp:       float64(best.Nanoseconds()) / float64(n),
+		ItemsPerSec:   float64(n) / best.Seconds(),
+		RetainedItems: s.StoredCount(),
+		RetainedBytes: s.StoredCount() * fam.BytesPerItem,
+		EpsTarget:     fam.EpsTarget,
+	}
+	worst := 0
+	for i := 0; i <= cfg.Grid; i++ {
+		phi := float64(i) / float64(cfg.Grid)
+		got, ok := s.Query(phi)
+		if !ok {
+			continue
+		}
+		if e := oracle.RankError(got, phi); e > worst {
+			worst = e
+		}
+	}
+	cell.MaxRankError = worst
+	cell.MaxRankErrorFrac = float64(worst) / float64(n)
+	if fam.EpsTarget > 0 {
+		cell.WithinEps = float64(worst) <= fam.EpsTarget*float64(n)+1
+	}
+	return cell
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// quickConfig keeps harness tests in the sub-second range.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 5_000
+	cfg.Repetitions = 1
+	cfg.Grid = 50
+	cfg.Label = "test"
+	return cfg
+}
+
+// TestMatrixShape runs the full matrix at a small size and checks that every
+// family appears for every workload, batched families get a batch-mode cell,
+// and every cell carries sane measurements.
+func TestMatrixShape(t *testing.T) {
+	cfg := quickConfig()
+	workloads, err := Workloads(cfg)
+	if err != nil {
+		t.Fatalf("workloads: %v", err)
+	}
+	if len(workloads) != 7 {
+		t.Fatalf("got %d workloads, want 7", len(workloads))
+	}
+	families := DefaultFamilies(cfg)
+	rep := Run(cfg, families, workloads)
+
+	type key struct{ fam, wl, mode string }
+	seen := map[key]bool{}
+	for _, c := range rep.Cells {
+		seen[key{c.Family, c.Workload, c.Mode}] = true
+		if c.N <= 0 || c.NsPerOp <= 0 || c.ItemsPerSec <= 0 {
+			t.Errorf("cell %s/%s/%s has degenerate timing: %+v", c.Family, c.Workload, c.Mode, c)
+		}
+		if c.RetainedItems <= 0 || c.RetainedBytes < c.RetainedItems*8 {
+			t.Errorf("cell %s/%s/%s has degenerate space: %+v", c.Family, c.Workload, c.Mode, c)
+		}
+		if c.MaxRankError < 0 || c.MaxRankErrorFrac < 0 || c.MaxRankErrorFrac > 1 {
+			t.Errorf("cell %s/%s/%s has degenerate error: %+v", c.Family, c.Workload, c.Mode, c)
+		}
+	}
+	for _, wl := range workloads {
+		for _, fam := range families {
+			if !seen[key{fam.Name, wl.Name, "update"}] {
+				t.Errorf("missing update cell for %s/%s", fam.Name, wl.Name)
+			}
+			if _, ok := fam.New().(BatchTarget); ok && !seen[key{fam.Name, wl.Name, "batch"}] {
+				t.Errorf("missing batch cell for batched family %s/%s", fam.Name, wl.Name)
+			}
+		}
+	}
+}
+
+// TestGuaranteesHold asserts the harness's accuracy measurements reproduce
+// the theory on the shuffled workload: deterministic uniform-guarantee
+// families stay within eps, and the capped strawman's recorded error
+// documents its failure on at least one workload.
+func TestGuaranteesHold(t *testing.T) {
+	cfg := quickConfig()
+	workloads, err := Workloads(cfg)
+	if err != nil {
+		t.Fatalf("workloads: %v", err)
+	}
+	rep := Run(cfg, DefaultFamilies(cfg), workloads)
+	cappedFailedSomewhere := false
+	for _, c := range rep.Cells {
+		deterministic := c.Family == "gk" || c.Family == "gk-greedy" || c.Family == "mrl"
+		if deterministic && c.Workload == "shuffled" && !c.WithinEps {
+			t.Errorf("%s/%s/%s: deterministic family exceeded eps: %+v", c.Family, c.Workload, c.Mode, c)
+		}
+		if c.Family == "capped" && float64(c.MaxRankError) > cfg.Eps*float64(c.N) {
+			cappedFailedSomewhere = true
+		}
+	}
+	if !cappedFailedSomewhere {
+		t.Errorf("capped strawman stayed within eps everywhere — the matrix should expose it")
+	}
+}
+
+// TestAdversarialWorkload checks the construction-backed workload is
+// deterministic, non-trivial, and bounded by the requested size.
+func TestAdversarialWorkload(t *testing.T) {
+	a, err := AdversarialWorkload(20_000)
+	if err != nil {
+		t.Fatalf("adversarial: %v", err)
+	}
+	b, err := AdversarialWorkload(20_000)
+	if err != nil {
+		t.Fatalf("adversarial: %v", err)
+	}
+	if len(a.Items) == 0 || len(a.Items) > 20_000 {
+		t.Fatalf("adversarial workload has %d items, want (0, 20000]", len(a.Items))
+	}
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("construction is not deterministic: %d vs %d items", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("construction is not deterministic at position %d", i)
+		}
+	}
+}
+
+// TestReportRoundTrips ensures the report JSON-serializes and carries the
+// fields the trajectory diffing relies on.
+func TestReportRoundTrips(t *testing.T) {
+	cfg := quickConfig()
+	cfg.N = 2_000
+	workloads, err := Workloads(cfg)
+	if err != nil {
+		t.Fatalf("workloads: %v", err)
+	}
+	rep := Run(cfg, DefaultFamilies(cfg)[:2], workloads[:1])
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(payload, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Schema != 1 || back.Label != "test" || len(back.Cells) != len(rep.Cells) {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/capped"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/order"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/sharded"
+)
+
+// Bytes-per-retained-item estimates. GK-lineage summaries (gk, biased,
+// capped) store (value, G, Delta) tuples — one float64 plus two ints = 24
+// bytes; buffer-based summaries (kll, mrl, reservoir) store bare float64s.
+const (
+	tupleBytes = 24
+	itemBytes  = 8
+)
+
+// cappedCapacity deliberately undercuts the GK bound so the matrix records
+// what breaks when a summary is given o((1/eps)·log eps·N) items — the
+// regime the lower bound proves impossible.
+const cappedCapacity = 64
+
+// shardedWidth is the shard count of the sharded variants, matching the
+// cmd/quantileserver default.
+const shardedWidth = 16
+
+// DefaultFamilies returns every summary family the matrix covers, configured
+// for cfg.Eps. maxN bounds the per-workload stream length (MRL needs it in
+// advance).
+func DefaultFamilies(cfg Config) []Family {
+	eps := cfg.Eps
+	maxN := cfg.N * 2 // headroom: adversarial workload length is quantized
+	return []Family{
+		{
+			Name:         "gk",
+			New:          func() Target { return gk.NewFloat64(eps) },
+			BytesPerItem: tupleBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name:         "gk-greedy",
+			New:          func() Target { return gk.NewWithPolicy(order.Floats[float64](), eps, gk.PolicyGreedy) },
+			BytesPerItem: tupleBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name:         "kll",
+			New:          func() Target { return kll.NewFloat64(eps, kll.WithSeed(cfg.Seed)) },
+			BytesPerItem: itemBytes,
+			// Randomized guarantee: failure probability is constant per
+			// query, so the recorded error can exceed eps on some grids;
+			// EpsTarget is still the configured accuracy.
+			EpsTarget: eps,
+		},
+		{
+			Name:         "mrl",
+			New:          func() Target { return mrl.NewFloat64(eps, maxN) },
+			BytesPerItem: itemBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name:         "reservoir",
+			New:          func() Target { return sampling.NewFloat64(eps, 0.01, cfg.Seed) },
+			BytesPerItem: itemBytes,
+			// DKW sizing gives a randomized uniform guarantee; like KLL the
+			// observed error can exceed eps with probability delta.
+			EpsTarget: eps,
+		},
+		{
+			Name:         "biased",
+			New:          func() Target { return biased.NewFloat64(eps) },
+			BytesPerItem: tupleBytes,
+			// Relative-error guarantee only — no uniform EpsTarget; the
+			// recorded max_rank_error_frac shows what that costs at the
+			// high quantiles.
+		},
+		{
+			Name:         "capped",
+			New:          func() Target { return capped.NewFloat64(cappedCapacity) },
+			BytesPerItem: tupleBytes,
+			// Deliberately unsound: the lower bound proves this family must
+			// exceed any eps on some workload. Recorded to show the failure.
+		},
+		{
+			Name: "sharded-gk",
+			New: func() Target {
+				return sharded.New(func() *gk.Summary[float64] { return gk.NewFloat64(eps) }, shardedWidth)
+			},
+			BytesPerItem: tupleBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name: "sharded-kll",
+			New: func() Target {
+				var next atomic.Int64
+				return sharded.New(func() *kll.Sketch[float64] {
+					return kll.NewFloat64(eps, kll.WithSeed(cfg.Seed+next.Add(1)))
+				}, shardedWidth)
+			},
+			BytesPerItem: itemBytes,
+			EpsTarget:    eps,
+		},
+	}
+}

@@ -2,13 +2,15 @@
 // quantile summaries, so sketches can be shipped between workers and a
 // coordinator (the distributed aggregation setting of Section 1 of the paper
 // and the "mergeable summaries" line of work it cites) or checkpointed to
-// disk.
+// disk. All four mergeable families are covered: GK, KLL, MRL, and the
+// reservoir — a coordinator can therefore round-trip and merge whichever
+// family its workers run.
 //
 // The format is versioned, little-endian, and self-describing enough to
 // reject foreign payloads: a 4-byte magic, a format version, a summary kind,
-// followed by kind-specific fields. Only the information needed to continue
-// answering queries (and merging) is serialized; instrumentation counters are
-// not.
+// followed by kind-specific fields (the full wire format is documented in
+// DESIGN.md). Only the information needed to continue answering queries (and
+// merging) is serialized; instrumentation counters are not.
 package encoding
 
 import (
@@ -20,7 +22,9 @@ import (
 
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
+	"quantilelb/internal/sampling"
 )
 
 // Magic identifies serialized summaries from this package.
@@ -34,8 +38,10 @@ type Kind uint16
 
 // Supported kinds.
 const (
-	KindGK  Kind = 1
-	KindKLL Kind = 2
+	KindGK        Kind = 1
+	KindKLL       Kind = 2
+	KindMRL       Kind = 3
+	KindReservoir Kind = 4
 )
 
 // ErrBadPayload is returned when the payload is not a serialized summary
@@ -153,13 +159,7 @@ func EncodeKLL(s *kll.Sketch[float64]) ([]byte, error) {
 		}
 	}
 	mn, mx, ok := s.Extremes()
-	if ok {
-		w.u16(1)
-		w.f64(mn)
-		w.f64(mx)
-	} else {
-		w.u16(0)
-	}
+	writeExtremes(w, mn, mx, ok)
 	return w.buf.Bytes(), w.err
 }
 
@@ -198,11 +198,7 @@ func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) {
 		}
 		levels[i] = level
 	}
-	hasExtremes := r.u16() == 1
-	var mn, mx float64
-	if hasExtremes {
-		mn, mx = r.f64(), r.f64()
-	}
+	mn, mx, hasExtremes := readExtremes(r)
 	if r.err != nil {
 		return nil, fmt.Errorf("encoding: truncated KLL payload: %w", r.err)
 	}
@@ -211,6 +207,188 @@ func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) {
 		return nil, fmt.Errorf("encoding: %w", err)
 	}
 	return s, nil
+}
+
+// EncodeMRL serializes a float64 MRL summary: the per-buffer capacity, the
+// declared maximum stream length, every full buffer level-wise, and the
+// partially filled level-0 buffer.
+func EncodeMRL(s *mrl.Summary[float64]) ([]byte, error) {
+	if s == nil {
+		return nil, errors.New("encoding: nil summary")
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindMRL))
+	w.f64(s.Epsilon())
+	w.i64(int64(s.BufferCapacity()))
+	w.i64(int64(s.MaxN()))
+	w.i64(int64(s.Count()))
+	levels := s.Buffers()
+	w.u32(uint32(len(levels)))
+	for _, bufs := range levels {
+		w.u32(uint32(len(bufs)))
+		for _, buf := range bufs {
+			w.u32(uint32(len(buf)))
+			for _, x := range buf {
+				w.f64(x)
+			}
+		}
+	}
+	current := s.Pending()
+	w.u32(uint32(len(current)))
+	for _, x := range current {
+		w.f64(x)
+	}
+	mn, mx, ok := s.Extremes()
+	writeExtremes(w, mn, mx, ok)
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeMRL reconstructs a float64 MRL summary serialized by EncodeMRL. The
+// decoded summary continues to accept updates and merges.
+func DecodeMRL(payload []byte) (*mrl.Summary[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindMRL {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want MRL (%d)", kind, KindMRL)
+	}
+	eps := r.f64()
+	capacity := r.i64()
+	maxN := r.i64()
+	count := r.i64()
+	numLevels := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated MRL header: %w", r.err)
+	}
+	if capacity < 1 || maxN < 1 || count < 0 || numLevels > 64 {
+		return nil, fmt.Errorf("encoding: inconsistent MRL payload (capacity=%d, maxN=%d, n=%d, levels=%d)", capacity, maxN, count, numLevels)
+	}
+	levels := make([][][]float64, numLevels)
+	for l := range levels {
+		numBufs := r.u32()
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated MRL level header: %w", r.err)
+		}
+		if int64(numBufs) > count {
+			return nil, fmt.Errorf("encoding: inconsistent MRL level %d buffer count %d", l, numBufs)
+		}
+		levels[l] = make([][]float64, numBufs)
+		for b := range levels[l] {
+			sz := r.u32()
+			if r.err != nil {
+				return nil, fmt.Errorf("encoding: truncated MRL buffer header: %w", r.err)
+			}
+			if int64(sz) > capacity {
+				return nil, fmt.Errorf("encoding: MRL buffer of %d items exceeds capacity %d", sz, capacity)
+			}
+			buf := make([]float64, sz)
+			for i := range buf {
+				buf[i] = r.f64()
+			}
+			levels[l][b] = buf
+		}
+	}
+	curLen := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated MRL payload: %w", r.err)
+	}
+	if int64(curLen) > capacity {
+		return nil, fmt.Errorf("encoding: MRL partial buffer of %d items exceeds capacity %d", curLen, capacity)
+	}
+	current := make([]float64, curLen)
+	for i := range current {
+		current[i] = r.f64()
+	}
+	mn, mx, hasExtremes := readExtremes(r)
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated MRL payload: %w", r.err)
+	}
+	s, err := mrl.Restore(order.Floats[float64](), eps, int(capacity), int(maxN), int(count), levels, current, mn, mx, hasExtremes)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeReservoir serializes a float64 reservoir sampler: capacity, stream
+// count, the sample, and the exact extremes.
+func EncodeReservoir(r *sampling.Reservoir[float64]) ([]byte, error) {
+	if r == nil {
+		return nil, errors.New("encoding: nil reservoir")
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindReservoir))
+	w.i64(int64(r.Capacity()))
+	w.i64(int64(r.Count()))
+	sample := r.Sample()
+	w.u32(uint32(len(sample)))
+	for _, x := range sample {
+		w.f64(x)
+	}
+	mn, mx, ok := r.Extremes()
+	writeExtremes(w, mn, mx, ok)
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeReservoir reconstructs a float64 reservoir serialized by
+// EncodeReservoir. The decoded reservoir continues to accept updates and
+// merges (its random source is freshly seeded, which does not affect the
+// uniformity of the restored sample).
+func DecodeReservoir(payload []byte) (*sampling.Reservoir[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindReservoir {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want reservoir (%d)", kind, KindReservoir)
+	}
+	capacity := r.i64()
+	count := r.i64()
+	sampleLen := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated reservoir header: %w", r.err)
+	}
+	if capacity < 1 || count < 0 || int64(sampleLen) > capacity || int64(sampleLen) > count {
+		return nil, fmt.Errorf("encoding: inconsistent reservoir payload (capacity=%d, n=%d, sample=%d)", capacity, count, sampleLen)
+	}
+	sample := make([]float64, sampleLen)
+	for i := range sample {
+		sample[i] = r.f64()
+	}
+	mn, mx, hasExtremes := readExtremes(r)
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated reservoir payload: %w", r.err)
+	}
+	s, err := sampling.Restore(order.Floats[float64](), int(capacity), int(count), sample, mn, mx, hasExtremes)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
+}
+
+// writeExtremes appends the shared extremes trailer: a u16 presence flag
+// followed by min and max when present.
+func writeExtremes(w *writer, mn, mx float64, ok bool) {
+	if ok {
+		w.u16(1)
+		w.f64(mn)
+		w.f64(mx)
+	} else {
+		w.u16(0)
+	}
+}
+
+// readExtremes reads the extremes trailer written by writeExtremes.
+func readExtremes(r *reader) (mn, mx float64, ok bool) {
+	if r.u16() == 1 {
+		return r.f64(), r.f64(), true
+	}
+	return 0, 0, false
 }
 
 // DetectKind returns the summary kind stored in a payload without decoding it

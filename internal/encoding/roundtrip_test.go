@@ -1,0 +1,174 @@
+package encoding
+
+// Round-trip tests for the MRL and reservoir kinds added alongside the batch
+// ingestion paths; the GK and KLL round trips live in encoding_test.go.
+
+import (
+	"testing"
+
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/stream"
+)
+
+func TestMRLRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(4)
+	st := gen.Shuffled(30_000)
+	s := mrl.NewFloat64(0.01, 100_000)
+	s.UpdateBatch(st.Items()[:25_000])
+	for _, x := range st.Items()[25_000:] {
+		s.Update(x) // leave a partially filled level-0 buffer
+	}
+	payload, err := EncodeMRL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindMRL {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	restored, err := DecodeMRL(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.StoredCount() != s.StoredCount() {
+		t.Fatalf("restored counts differ: %d/%d vs %d/%d",
+			restored.Count(), restored.StoredCount(), s.Count(), s.StoredCount())
+	}
+	if restored.Epsilon() != s.Epsilon() || restored.BufferCapacity() != s.BufferCapacity() || restored.MaxN() != s.MaxN() {
+		t.Errorf("restored parameters differ")
+	}
+	if err := restored.CheckInvariant(); err != nil {
+		t.Fatalf("restored summary invariant: %v", err)
+	}
+	// MRL is deterministic, so the restored summary answers identically.
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		a, _ := s.Query(phi)
+		b, _ := restored.Query(phi)
+		if a != b {
+			t.Errorf("phi=%v: original %v, restored %v", phi, a, b)
+		}
+	}
+	// Restored summaries still merge (the coordinator use case).
+	other := mrl.NewFloat64(0.01, 100_000)
+	other.UpdateBatch(gen.Shuffled(10_000).Items())
+	if err := restored.Merge(other); err != nil {
+		t.Fatalf("merge after restore: %v", err)
+	}
+	if restored.Count() != 40_000 {
+		t.Errorf("count after merge = %d", restored.Count())
+	}
+}
+
+func TestReservoirRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(5)
+	st := gen.Uniform(40_000)
+	s := sampling.NewFloat64(0.05, 0.05, 3)
+	s.UpdateBatch(st.Items())
+	payload, err := EncodeReservoir(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindReservoir {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	restored, err := DecodeReservoir(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.Capacity() != s.Capacity() {
+		t.Fatalf("restored counts differ")
+	}
+	a := s.Sample()
+	b := restored.Sample()
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample differs at %d", i)
+		}
+	}
+	amn, amx, _ := s.Extremes()
+	bmn, bmx, ok := restored.Extremes()
+	if !ok || amn != bmn || amx != bmx {
+		t.Errorf("extremes differ: (%v,%v) vs (%v,%v)", amn, amx, bmn, bmx)
+	}
+	// The restored reservoir keeps sampling uniformly.
+	restored.UpdateBatch(gen.Uniform(10_000).Items())
+	if restored.Count() != 50_000 {
+		t.Errorf("count after further updates = %d", restored.Count())
+	}
+}
+
+func TestNewKindsRejectNilAndWrongKind(t *testing.T) {
+	if _, err := EncodeMRL(nil); err == nil {
+		t.Errorf("nil MRL should error")
+	}
+	if _, err := EncodeReservoir(nil); err == nil {
+		t.Errorf("nil reservoir should error")
+	}
+	s := mrl.NewFloat64(0.1, 100)
+	s.Update(1)
+	payload, err := EncodeMRL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReservoir(payload); err == nil {
+		t.Errorf("DecodeReservoir should reject an MRL payload")
+	}
+	if _, err := DecodeGK(payload); err == nil {
+		t.Errorf("DecodeGK should reject an MRL payload")
+	}
+	// Truncations of the new kinds must error, never panic.
+	for cut := 0; cut < len(payload); cut += 3 {
+		if _, err := DecodeMRL(payload[:cut]); err == nil {
+			t.Errorf("DecodeMRL accepted a payload truncated to %d bytes", cut)
+		}
+	}
+	r := sampling.NewFloat64(0.1, 0.1, 1)
+	r.Update(2)
+	payload2, err := EncodeReservoir(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload2); cut += 3 {
+		if _, err := DecodeReservoir(payload2[:cut]); err == nil {
+			t.Errorf("DecodeReservoir accepted a payload truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestEmptySummariesRoundTrip(t *testing.T) {
+	m, err := DecodeMRL(mustEncodeMRL(t, mrl.NewFloat64(0.1, 100)))
+	if err != nil {
+		t.Fatalf("empty MRL: %v", err)
+	}
+	if m.Count() != 0 {
+		t.Errorf("empty MRL count = %d", m.Count())
+	}
+	r, err := DecodeReservoir(mustEncodeReservoir(t, sampling.NewFloat64(0.1, 0.1, 1)))
+	if err != nil {
+		t.Fatalf("empty reservoir: %v", err)
+	}
+	if r.Count() != 0 {
+		t.Errorf("empty reservoir count = %d", r.Count())
+	}
+}
+
+func mustEncodeMRL(t *testing.T, s *mrl.Summary[float64]) []byte {
+	t.Helper()
+	payload, err := EncodeMRL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func mustEncodeReservoir(t *testing.T, s *sampling.Reservoir[float64]) []byte {
+	t.Helper()
+	payload, err := EncodeReservoir(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}

@@ -1,0 +1,102 @@
+package kll
+
+import (
+	"testing"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+// maxRankError feeds a summary across an evenly spaced quantile grid and
+// returns the worst absolute rank error against the exact oracle.
+func maxRankError(t *testing.T, s *Sketch[float64], items []float64, grid int) int {
+	t.Helper()
+	oracle := rank.Float64Oracle(items)
+	worst := 0
+	for i := 0; i <= grid; i++ {
+		phi := float64(i) / float64(grid)
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query phi=%v failed on non-empty sketch", phi)
+		}
+		if e := oracle.RankError(got, phi); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestUpdateBatchEquivalence asserts the batch path gives the same eps
+// guarantee as item-at-a-time updates, across batch sizes that exercise the
+// empty, single-item, sub-capacity and multi-cascade cases.
+func TestUpdateBatchEquivalence(t *testing.T) {
+	const eps = 0.02
+	const n = 40_000
+	gen := stream.NewGenerator(7)
+	items := gen.Shuffled(n).Items()
+
+	// KLL's guarantee is probabilistic (constant failure probability per
+	// query), so the sequential path is the baseline: the batch path must be
+	// within eps*n of item-at-a-time updates, not of the exact oracle.
+	seq := NewFloat64(eps, WithSeed(3))
+	for _, x := range items {
+		seq.Update(x)
+	}
+	seqWorst := maxRankError(t, seq, items, 200)
+	allowance := seqWorst + int(eps*float64(n)) + 1
+
+	for _, batch := range []int{1, 7, 64, 1024, 8192, n} {
+		bat := NewFloat64(eps, WithSeed(3))
+		for i := 0; i < len(items); i += batch {
+			end := i + batch
+			if end > len(items) {
+				end = len(items)
+			}
+			bat.UpdateBatch(items[i:end])
+		}
+		if bat.Count() != seq.Count() {
+			t.Fatalf("batch=%d: count %d, want %d", batch, bat.Count(), seq.Count())
+		}
+		if err := bat.CheckInvariant(); err != nil {
+			t.Fatalf("batch=%d: invariant: %v", batch, err)
+		}
+		bmin, bmax, ok := bat.Extremes()
+		smin, smax, _ := seq.Extremes()
+		if !ok || bmin != smin || bmax != smax {
+			t.Fatalf("batch=%d: extremes (%v,%v), want (%v,%v)", batch, bmin, bmax, smin, smax)
+		}
+		if worst := maxRankError(t, bat, items, 200); worst > allowance {
+			t.Errorf("batch=%d: worst rank error %d exceeds sequential baseline %d + eps*n", batch, worst, seqWorst)
+		}
+	}
+}
+
+// TestUpdateBatchEdgeCases covers the empty and single-item batches the
+// sharded layer can produce when flushing write buffers.
+func TestUpdateBatchEdgeCases(t *testing.T) {
+	s := NewFloat64(0.1, WithSeed(1))
+	s.UpdateBatch(nil)
+	s.UpdateBatch([]float64{})
+	if s.Count() != 0 {
+		t.Fatalf("empty batches must not change the count, got %d", s.Count())
+	}
+	if _, ok := s.Query(0.5); ok {
+		t.Fatalf("sketch should still be empty")
+	}
+	s.UpdateBatch([]float64{42})
+	if s.Count() != 1 {
+		t.Fatalf("count = %d, want 1", s.Count())
+	}
+	if v, ok := s.Query(0.5); !ok || v != 42 {
+		t.Fatalf("Query(0.5) = %v, %v; want 42, true", v, ok)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+	// A batch mixed into an existing stream keeps min/max exact.
+	s.UpdateBatch([]float64{-7, 99, 3})
+	mn, mx, ok := s.Extremes()
+	if !ok || mn != -7 || mx != 99 {
+		t.Fatalf("extremes (%v,%v), want (-7,99)", mn, mx)
+	}
+}

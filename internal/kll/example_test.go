@@ -1,0 +1,28 @@
+package kll_test
+
+import (
+	"fmt"
+
+	"quantilelb/internal/kll"
+)
+
+// ExampleSketch_UpdateBatch shows the bulk ingestion fast path: hand the
+// sketch pre-aggregated batches and it bulk-loads the level-0 buffer and
+// runs the compaction cascade once per batch instead of once per item. A
+// fixed seed makes the sketch — and this example — fully deterministic.
+func ExampleSketch_UpdateBatch() {
+	s := kll.NewFloat64(0.01, kll.WithSeed(1))
+	batch := make([]float64, 1024)
+	for start := 0; start < 10_240; start += len(batch) {
+		for i := range batch {
+			batch[i] = float64(start + i + 1)
+		}
+		s.UpdateBatch(batch)
+	}
+	median, _ := s.Query(0.5)
+	fmt.Println("n:", s.Count())
+	fmt.Println("median within 1%:", median >= 5018 && median <= 5222)
+	// Output:
+	// n: 10240
+	// median within 1%: true
+}

@@ -130,6 +130,34 @@ func (s *Sketch[T]) Update(x T) {
 	s.compress()
 }
 
+// UpdateBatch processes a batch of stream items in one pass. It is
+// equivalent to calling Update for each item — the sketch is a multiset, so
+// intra-batch order is irrelevant, and compacting one large level-0 buffer
+// introduces no more rank error than compacting it in capacity-sized pieces
+// (each compaction at level h perturbs any fixed rank by at most 2^h
+// regardless of buffer length). The speedup comes from bulk-loading the
+// level-0 buffer and running the compaction cascade once per batch instead
+// of once per item: m individual Updates pay m full passes over the level
+// array, a batch pays one sort of the (larger) level-0 buffer and a single
+// cascade. This is the fast path the internal/sharded ingestion layer and
+// cmd/quantileserver use for pre-aggregated payloads.
+func (s *Sketch[T]) UpdateBatch(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	for _, x := range xs {
+		if !s.hasMin || s.cmp(x, s.min) < 0 {
+			s.min, s.hasMin = x, true
+		}
+		if !s.hasMax || s.cmp(x, s.max) > 0 {
+			s.max, s.hasMax = x, true
+		}
+	}
+	s.n += len(xs)
+	s.compactors[0] = append(s.compactors[0], xs...)
+	s.compress()
+}
+
 // compress compacts any level exceeding its capacity.
 func (s *Sketch[T]) compress() {
 	for h := 0; h < len(s.compactors); h++ {

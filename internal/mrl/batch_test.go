@@ -1,0 +1,86 @@
+package mrl
+
+import (
+	"testing"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+// TestUpdateBatchEquivalence asserts that the batch path preserves the MRL
+// error guarantee and the structural invariants for batch sizes around the
+// buffer capacity (the interesting boundaries: partial top-up, exact chunks,
+// chunk + remainder, and whole-stream batches).
+func TestUpdateBatchEquivalence(t *testing.T) {
+	const eps = 0.02
+	const n = 40_000
+	gen := stream.NewGenerator(11)
+	items := gen.Shuffled(n).Items()
+	oracle := rank.Float64Oracle(items)
+	allowance := int(eps*float64(n)) + 1
+
+	ref := NewFloat64(eps, n)
+	cap := ref.BufferCapacity()
+	for _, batch := range []int{1, cap - 1, cap, cap + 1, 3*cap + 5, n} {
+		s := NewFloat64(eps, n)
+		for i := 0; i < len(items); i += batch {
+			end := i + batch
+			if end > len(items) {
+				end = len(items)
+			}
+			s.UpdateBatch(items[i:end])
+		}
+		if s.Count() != n {
+			t.Fatalf("batch=%d: count %d, want %d", batch, s.Count(), n)
+		}
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("batch=%d: invariant: %v", batch, err)
+		}
+		worst := 0
+		for i := 0; i <= 200; i++ {
+			phi := float64(i) / 200
+			got, ok := s.Query(phi)
+			if !ok {
+				t.Fatalf("batch=%d: query failed", batch)
+			}
+			if e := oracle.RankError(got, phi); e > worst {
+				worst = e
+			}
+		}
+		if worst > allowance {
+			t.Errorf("batch=%d: worst rank error %d exceeds eps*n=%d", batch, worst, allowance)
+		}
+	}
+}
+
+// TestUpdateBatchEdgeCases covers empty and single-item batches and the
+// interaction with an existing partial buffer.
+func TestUpdateBatchEdgeCases(t *testing.T) {
+	s := NewFloat64(0.1, 1000)
+	s.UpdateBatch(nil)
+	s.UpdateBatch([]float64{})
+	if s.Count() != 0 {
+		t.Fatalf("empty batches must not change the count, got %d", s.Count())
+	}
+	s.UpdateBatch([]float64{5})
+	if s.Count() != 1 {
+		t.Fatalf("count = %d, want 1", s.Count())
+	}
+	if v, ok := s.Query(0.5); !ok || v != 5 {
+		t.Fatalf("Query(0.5) = %v, %v; want 5, true", v, ok)
+	}
+	// Interleave per-item and batched updates: the multiset semantics make
+	// them freely mixable.
+	s.Update(1)
+	s.UpdateBatch([]float64{9, 2, 8})
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+	mn, mx, ok := s.Extremes()
+	if !ok || mn != 1 || mx != 9 {
+		t.Fatalf("extremes (%v,%v), want (1,9)", mn, mx)
+	}
+}

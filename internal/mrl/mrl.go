@@ -112,6 +112,53 @@ func (s *Summary[T]) Update(x T) {
 	}
 }
 
+// UpdateBatch processes a batch of stream items in one pass. It is
+// equivalent to calling Update for each item (the summary is a multiset, so
+// intra-batch order is irrelevant): the partially filled level-0 buffer is
+// topped up first, then full capacity-sized chunks of the batch become
+// level-0 buffers directly — each chunk is copied and sorted once and handed
+// to the collapse cascade — and the remainder stays in the partial buffer.
+// Compared with m individual Updates this saves the per-item append/overflow
+// check and sorts each chunk in place instead of growing the buffer item by
+// item. This is the fast path the internal/sharded ingestion layer uses.
+func (s *Summary[T]) UpdateBatch(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	for _, x := range xs {
+		if !s.hasMin || s.cmp(x, s.min) < 0 {
+			s.min, s.hasMin = x, true
+		}
+		if !s.hasMax || s.cmp(x, s.max) > 0 {
+			s.max, s.hasMax = x, true
+		}
+	}
+	s.n += len(xs)
+	i := 0
+	// Top up the partially filled level-0 buffer.
+	if len(s.current) > 0 {
+		take := s.capacity - len(s.current)
+		if take > len(xs) {
+			take = len(xs)
+		}
+		s.current = append(s.current, xs[:take]...)
+		i = take
+		if len(s.current) >= s.capacity {
+			buf := s.current
+			s.current = nil
+			order.Sort(s.cmp, buf)
+			s.pushBuffer(0, buf)
+		}
+	}
+	// Full chunks become level-0 buffers directly.
+	for ; i+s.capacity <= len(xs); i += s.capacity {
+		buf := append([]T(nil), xs[i:i+s.capacity]...)
+		order.Sort(s.cmp, buf)
+		s.pushBuffer(0, buf)
+	}
+	s.current = append(s.current, xs[i:]...)
+}
+
 // pushBuffer adds a full sorted buffer at the given level, collapsing pairs of
 // buffers upward while a level holds two buffers.
 func (s *Summary[T]) pushBuffer(level int, buf []T) {
@@ -306,6 +353,71 @@ func (s *Summary[T]) CheckInvariant() error {
 		return fmt.Errorf("mrl: total weight %d != n %d", weight, s.n)
 	}
 	return nil
+}
+
+// MaxN returns the declared maximum stream length (after merges, the sum of
+// the declared lengths of the merged summaries).
+func (s *Summary[T]) MaxN() int { return s.maxN }
+
+// Buffers returns a deep copy of the full buffers: Buffers()[l] holds the
+// sorted buffers at level l, whose items carry weight 2^l. It is used by the
+// serialization layer.
+func (s *Summary[T]) Buffers() [][][]T {
+	out := make([][][]T, len(s.levels))
+	for l, bufs := range s.levels {
+		out[l] = make([][]T, len(bufs))
+		for i, buf := range bufs {
+			out[l][i] = append([]T(nil), buf...)
+		}
+	}
+	return out
+}
+
+// Pending returns a copy of the partially filled level-0 buffer (weight-1
+// items not yet part of any full buffer). It is used by the serialization
+// layer.
+func (s *Summary[T]) Pending() []T {
+	return append([]T(nil), s.current...)
+}
+
+// Extremes returns the exact minimum and maximum seen so far; ok is false
+// when the summary is empty.
+func (s *Summary[T]) Extremes() (min, max T, ok bool) {
+	return s.min, s.max, s.hasMin && s.hasMax
+}
+
+// Restore reconstructs a summary from previously exported state (capacity,
+// declared maximum length, item count, full buffers per level, partial
+// buffer, extremes), validating the structural invariants before accepting
+// it. The capacity is restored verbatim rather than re-derived from eps and
+// maxN because merges change maxN without re-deriving the capacity.
+func Restore[T any](cmp order.Comparator[T], eps float64, capacity, maxN, count int, levels [][][]T, current []T, min, max T, hasExtremes bool) (*Summary[T], error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("mrl: restore: eps %v out of (0, 1)", eps)
+	}
+	if capacity < 1 || maxN < 1 || count < 0 {
+		return nil, fmt.Errorf("mrl: restore: invalid capacity/maxN/count (%d, %d, %d)", capacity, maxN, count)
+	}
+	s := &Summary[T]{cmp: cmp, eps: eps, capacity: capacity, maxN: maxN, n: count}
+	s.levels = make([][][]T, len(levels))
+	for l, bufs := range levels {
+		s.levels[l] = make([][]T, len(bufs))
+		for i, buf := range bufs {
+			s.levels[l][i] = append([]T(nil), buf...)
+		}
+	}
+	s.current = append([]T(nil), current...)
+	if hasExtremes {
+		s.min, s.max = min, max
+		s.hasMin, s.hasMax = true, true
+	}
+	if count > 0 && !hasExtremes {
+		return nil, fmt.Errorf("mrl: restore: non-empty summary without extremes")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("mrl: restore: %w", err)
+	}
+	return s, nil
 }
 
 // TheoreticalSize returns the O((1/ε)·log²(εN)) space bound the MRL analysis

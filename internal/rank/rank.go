@@ -1,7 +1,9 @@
 // Package rank provides exact order-statistic computation: the ground truth
-// that experiments compare approximate summaries against.
+// that experiments, the internal/checker accuracy oracles, and the
+// internal/bench workload harness compare approximate summaries against.
 //
-// Definitions follow the paper: the rank of an item a with respect to a stream
+// Definitions follow Section 2 of Cormode & Veselý (PODS 2020): the rank of
+// an item a with respect to a stream
 // σ is its position in the non-decreasing ordering of σ (for distinct items,
 // one more than the number of items strictly smaller than a). The ϕ-quantile
 // of a stream of N items is the ⌊ϕN⌋-th smallest item, and an ε-approximate

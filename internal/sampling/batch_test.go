@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"testing"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+// TestUpdateBatchEquivalence asserts that the batch path keeps the reservoir
+// a uniform sample: quantile estimates stay within the DKW eps allowance (with
+// slack for the randomized guarantee) and the sample size matches the
+// sequential path exactly.
+func TestUpdateBatchEquivalence(t *testing.T) {
+	const eps = 0.05
+	const delta = 0.01
+	const n = 50_000
+	gen := stream.NewGenerator(13)
+	items := gen.Shuffled(n).Items()
+	oracle := rank.Float64Oracle(items)
+	// DKW holds with probability 1-delta; double the allowance keeps the
+	// fixed-seed test deterministic and far from the boundary.
+	allowance := int(2*eps*float64(n)) + 1
+
+	for _, batch := range []int{1, 33, 1024, n} {
+		r := NewFloat64(eps, delta, 17)
+		for i := 0; i < len(items); i += batch {
+			end := i + batch
+			if end > len(items) {
+				end = len(items)
+			}
+			r.UpdateBatch(items[i:end])
+		}
+		if r.Count() != n {
+			t.Fatalf("batch=%d: count %d, want %d", batch, r.Count(), n)
+		}
+		if got, want := len(r.Sample()), r.Capacity(); got != want {
+			t.Fatalf("batch=%d: sample size %d, want full capacity %d", batch, got, want)
+		}
+		worst := 0
+		for i := 0; i <= 100; i++ {
+			phi := float64(i) / 100
+			got, ok := r.Query(phi)
+			if !ok {
+				t.Fatalf("batch=%d: query failed", batch)
+			}
+			if e := oracle.RankError(got, phi); e > worst {
+				worst = e
+			}
+		}
+		if worst > allowance {
+			t.Errorf("batch=%d: worst rank error %d exceeds 2*eps*n=%d", batch, worst, allowance)
+		}
+	}
+}
+
+// TestUpdateBatchEdgeCases covers empty and single-item batches and exact
+// min/max tracking through the batch path.
+func TestUpdateBatchEdgeCases(t *testing.T) {
+	r := NewFloat64(0.1, 0.1, 1)
+	r.UpdateBatch(nil)
+	r.UpdateBatch([]float64{})
+	if r.Count() != 0 {
+		t.Fatalf("empty batches must not change the count, got %d", r.Count())
+	}
+	r.UpdateBatch([]float64{3})
+	if r.Count() != 1 {
+		t.Fatalf("count = %d, want 1", r.Count())
+	}
+	if v, ok := r.Query(0.5); !ok || v != 3 {
+		t.Fatalf("Query(0.5) = %v, %v; want 3, true", v, ok)
+	}
+	r.Update(10)
+	r.UpdateBatch([]float64{-1, 5})
+	mn, mx, ok := r.Extremes()
+	if !ok || mn != -1 || mx != 10 {
+		t.Fatalf("extremes (%v,%v), want (-1,10)", mn, mx)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("count = %d, want 4", r.Count())
+	}
+}
+
+// TestRestoreRejectsShortSample: a sample smaller than min(capacity, count)
+// is not a state Algorithm R can produce; restoring it would let subsequent
+// updates enter the sample with probability 1 and break uniformity.
+func TestRestoreRejectsShortSample(t *testing.T) {
+	if _, err := Restore(order.Floats[float64](), 10, 1000, nil, 0, 1, true); err == nil {
+		t.Errorf("Restore accepted an empty sample for a 1000-item stream")
+	}
+	if _, err := Restore(order.Floats[float64](), 10, 5, []float64{1, 2, 3}, 1, 3, true); err == nil {
+		t.Errorf("Restore accepted a 3-item sample for count=5 < capacity")
+	}
+	// The exact-fill states round-trip.
+	if _, err := Restore(order.Floats[float64](), 10, 5, []float64{1, 2, 3, 4, 5}, 1, 5, true); err != nil {
+		t.Errorf("Restore rejected a legitimate fill-phase state: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package sampling
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -88,6 +89,32 @@ func (r *Reservoir[T]) Update(x T) {
 	j := r.rng.Intn(r.n)
 	if j < r.capacity {
 		r.sample[j] = x
+	}
+}
+
+// UpdateBatch processes a batch of stream items in one tight loop. The
+// sampling decisions are exactly those of calling Update per item — each item
+// x_i replaces a uniformly random slot with probability capacity/n_i, so the
+// reservoir remains a uniform sample of the whole stream — but the batch path
+// amortizes the per-item method dispatch and keeps the acceptance test in a
+// branch-predictable loop. This is the fast path the internal/sharded
+// ingestion layer uses for flushing write buffers.
+func (r *Reservoir[T]) UpdateBatch(xs []T) {
+	for _, x := range xs {
+		if !r.hasMin || r.cmp(x, r.min) < 0 {
+			r.min, r.hasMin = x, true
+		}
+		if !r.hasMax || r.cmp(x, r.max) > 0 {
+			r.max, r.hasMax = x, true
+		}
+		r.n++
+		if len(r.sample) < r.capacity {
+			r.sample = append(r.sample, x)
+			continue
+		}
+		if j := r.rng.Intn(r.n); j < r.capacity {
+			r.sample[j] = x
+		}
 	}
 }
 
@@ -205,4 +232,50 @@ func (r *Reservoir[T]) StoredItems() []T {
 // StoredCount returns the number of retained items.
 func (r *Reservoir[T]) StoredCount() int {
 	return len(r.StoredItems())
+}
+
+// Sample returns a copy of the current sample in insertion order (not
+// sorted). It is used by the serialization layer.
+func (r *Reservoir[T]) Sample() []T {
+	return append([]T(nil), r.sample...)
+}
+
+// Extremes returns the exact minimum and maximum seen so far; ok is false
+// when the reservoir is empty.
+func (r *Reservoir[T]) Extremes() (min, max T, ok bool) {
+	return r.min, r.max, r.hasMin && r.hasMax
+}
+
+// Restore reconstructs a reservoir from previously exported state, validating
+// consistency before accepting it. The restored reservoir uses a fresh
+// deterministic random source; the sample remains a uniform sample of the
+// original stream, so the DKW accuracy guarantee is unaffected.
+func Restore[T any](cmp order.Comparator[T], capacity, count int, sample []T, min, max T, hasExtremes bool) (*Reservoir[T], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("sampling: restore: capacity must be positive, got %d", capacity)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("sampling: restore: negative item count")
+	}
+	// Algorithm R keeps the sample at exactly min(capacity, count) items; a
+	// smaller sample would make the fill branch of Update re-enter items
+	// with probability 1 and destroy uniformity, so reject it.
+	want := capacity
+	if count < want {
+		want = count
+	}
+	if len(sample) != want {
+		return nil, fmt.Errorf("sampling: restore: sample has %d items, want min(capacity, count) = %d", len(sample), want)
+	}
+	if count > 0 && !hasExtremes {
+		return nil, fmt.Errorf("sampling: restore: non-empty reservoir without extremes")
+	}
+	r := New(cmp, capacity, int64(count)+1)
+	r.n = count
+	r.sample = append([]T(nil), sample...)
+	if hasExtremes {
+		r.min, r.max = min, max
+		r.hasMin, r.hasMax = true, true
+	}
+	return r, nil
 }

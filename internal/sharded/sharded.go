@@ -146,6 +146,12 @@ func New[T any, S Mergeable[T, S]](factory func() S, shards int, opts ...Option)
 // Shards returns the number of lock stripes.
 func (s *Sharded[T, S]) Shards() int { return len(s.shards) }
 
+// Batched reports whether the underlying summary provides a bulk UpdateBatch
+// fast path (every mergeable summary in this repository — GK, KLL, MRL, and
+// the reservoir — does). When false, buffered writes fall back to
+// item-at-a-time Update on flush.
+func (s *Sharded[T, S]) Batched() bool { return s.batching }
+
 // pick selects a shard uniformly at random. math/rand/v2 draws from
 // per-goroutine state, so picking is contention-free.
 func (s *Sharded[T, S]) pick() *shard[T, S] {

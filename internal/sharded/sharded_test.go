@@ -278,3 +278,21 @@ func TestStaleSnapshotRefreshes(t *testing.T) {
 		t.Errorf("query failed")
 	}
 }
+
+// TestAllFactoriesBatched asserts that every mergeable summary family plugs
+// into the sharded layer's bulk write path: buffer flushes and UpdateBatch
+// calls must hit the summary's UpdateBatch, not the item-at-a-time fallback.
+func TestAllFactoriesBatched(t *testing.T) {
+	if s := New(gkFactory(0.05), 2); !s.Batched() {
+		t.Errorf("GK shards should use the batch path")
+	}
+	if s := New(func() *kll.Sketch[float64] { return kll.NewFloat64(0.05, kll.WithSeed(1)) }, 2); !s.Batched() {
+		t.Errorf("KLL shards should use the batch path")
+	}
+	if s := New(func() *mrl.Summary[float64] { return mrl.NewFloat64(0.05, 1_000_000) }, 2); !s.Batched() {
+		t.Errorf("MRL shards should use the batch path")
+	}
+	if s := New(func() *sampling.Reservoir[float64] { return sampling.NewFloat64(0.05, 0.05, 1) }, 2); !s.Batched() {
+		t.Errorf("reservoir shards should use the batch path")
+	}
+}

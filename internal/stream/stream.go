@@ -1,9 +1,10 @@
 // Package stream provides the insertion-only stream abstraction and workload
 // generators used by the experiments, examples, and benchmarks.
 //
-// The paper studies the cash-register (insertion-only) streaming model: a
-// sequence of items from a totally ordered universe processed in a single
-// pass. This package models streams both as materialized slices (convenient
+// The paper (Cormode & Veselý, PODS 2020, Section 2) studies the
+// cash-register (insertion-only) streaming model: a sequence of items from a
+// totally ordered universe processed in a single pass. This package models
+// streams both as materialized slices (convenient
 // for ground-truth computation) and as iterators (convenient for feeding
 // summaries one item at a time), plus deterministic generators for the
 // workload shapes used throughout the evaluation: sorted, reverse-sorted,
@@ -203,6 +204,20 @@ func (g *Generator) Duplicates(n, d int) *Stream {
 	return New("duplicates", items)
 }
 
+// Drift returns n Gaussian samples whose mean shifts linearly from 0 to 1000
+// over the course of the stream — a concept-drift workload in which the early
+// and late distributions barely overlap. This is the regime sliding-window
+// summaries (internal/window) exist for, and it stresses whole-stream
+// summaries whose retained items concentrate around stale quantiles.
+func (g *Generator) Drift(n int) *Stream {
+	items := make([]float64, n)
+	for i := range items {
+		mean := 1000 * float64(i) / float64(n)
+		items[i] = mean + 10*g.rng.NormFloat64()
+	}
+	return New("drift", items)
+}
+
 // SawTooth returns n items cycling through period increasing ramps. This is a
 // semi-adversarial pattern for summaries that compress eagerly.
 func (g *Generator) SawTooth(n, period int) *Stream {
@@ -220,7 +235,7 @@ func (g *Generator) SawTooth(n, period int) *Stream {
 
 // ByName generates one of the named workloads with n items. Recognized names:
 // sorted, reverse, shuffled, uniform, gaussian, zipf, lognormal, clustered,
-// duplicates, sawtooth. It returns an error for unknown names.
+// duplicates, drift, sawtooth. It returns an error for unknown names.
 func (g *Generator) ByName(name string, n int) (*Stream, error) {
 	switch name {
 	case "sorted":
@@ -241,6 +256,8 @@ func (g *Generator) ByName(name string, n int) (*Stream, error) {
 		return g.Clustered(n, 10), nil
 	case "duplicates":
 		return g.Duplicates(n, 100), nil
+	case "drift":
+		return g.Drift(n), nil
 	case "sawtooth":
 		return g.SawTooth(n, 1000), nil
 	default:
@@ -252,6 +269,6 @@ func (g *Generator) ByName(name string, n int) (*Stream, error) {
 func WorkloadNames() []string {
 	return []string{
 		"sorted", "reverse", "shuffled", "uniform", "gaussian",
-		"zipf", "lognormal", "clustered", "duplicates", "sawtooth",
+		"zipf", "lognormal", "clustered", "duplicates", "drift", "sawtooth",
 	}
 }

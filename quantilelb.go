@@ -207,6 +207,25 @@ func EncodeKLL(s *kll.Sketch[float64]) ([]byte, error) { return encoding.EncodeK
 // DecodeKLL reconstructs a KLL sketch serialized by EncodeKLL.
 func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) { return encoding.DecodeKLL(payload) }
 
+// EncodeMRL serializes an MRL summary; DecodeMRL reverses it. Together with
+// EncodeGK, EncodeKLL, and EncodeReservoir this covers every mergeable
+// family, so a coordinator can checkpoint or ship whichever summary its
+// workers run (the wire format is documented in DESIGN.md).
+func EncodeMRL(s *mrl.Summary[float64]) ([]byte, error) { return encoding.EncodeMRL(s) }
+
+// DecodeMRL reconstructs an MRL summary serialized by EncodeMRL.
+func DecodeMRL(payload []byte) (*mrl.Summary[float64], error) { return encoding.DecodeMRL(payload) }
+
+// EncodeReservoir serializes a reservoir sampler; DecodeReservoir reverses it.
+func EncodeReservoir(s *sampling.Reservoir[float64]) ([]byte, error) {
+	return encoding.EncodeReservoir(s)
+}
+
+// DecodeReservoir reconstructs a reservoir serialized by EncodeReservoir.
+func DecodeReservoir(payload []byte) (*sampling.Reservoir[float64], error) {
+	return encoding.DecodeReservoir(payload)
+}
+
 // adapter lifts the public Summary interface to the internal generic one
 // (the method sets are identical).
 type adapter struct{ Summary }
