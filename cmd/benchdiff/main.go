@@ -1,0 +1,173 @@
+// Command benchdiff is the benchmark-regression gate run by CI: it compares
+// a freshly produced workload-matrix report (cmd/bench) against the
+// committed baseline (the newest BENCH_PR<n>.json at the repository root,
+// currently BENCH_PR3.json) and fails — by
+// exiting non-zero — on accuracy regressions, defined as any family ×
+// workload × mode cell whose measured max rank error exceeds the accuracy
+// the family was configured for. Speed is hardware- and runner-dependent, so
+// ns/op deltas against the baseline are printed as advisory output only;
+// accuracy is a mathematical guarantee, so it gates.
+//
+// Randomized families (KLL, the reservoir, and their sharded variants) carry
+// a per-query constant failure probability; their cells only fail the gate
+// above -slack times the configured eps, so an unlucky-but-in-contract draw
+// does not break CI while a real regression (error growing by multiples)
+// still does.
+//
+// Usage (what .github/workflows/ci.yml runs):
+//
+//	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR3.json -report /tmp/bench-ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"quantilelb/internal/bench"
+)
+
+// randomized lists the families whose accuracy guarantee is probabilistic;
+// their gate threshold is slack·eps instead of eps.
+var randomized = map[string]bool{
+	"kll":         true,
+	"reservoir":   true,
+	"sharded-kll": true,
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR3.json", "committed baseline report")
+		reportPath   = flag.String("report", "", "freshly produced report to gate")
+		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
+	)
+	flag.Parse()
+	if *reportPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -report is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	report, err := load(*reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures := gateAccuracy(report, *slack)
+	printSpeedDeltas(baseline, report)
+	printCoverageDrift(baseline, report)
+
+	if len(failures) > 0 {
+		fmt.Printf("\nACCURACY GATE: %d failing cell(s)\n", len(failures))
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nACCURACY GATE: all %d guaranteed cells within eps (baseline %s, report %s)\n",
+		gatedCells(report), baseline.Label, report.Label)
+}
+
+func load(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if rep.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported report schema %d", path, rep.Schema)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("%s: empty report", path)
+	}
+	return &rep, nil
+}
+
+// gateAccuracy returns one failure line per cell of a uniform-guarantee
+// family whose measured max rank error exceeds its configured accuracy
+// (randomized families: slack times it). The +1 absorbs the rank-rounding
+// quantization of the oracle grid, matching the WithinEps rule the harness
+// itself records.
+func gateAccuracy(rep *bench.Report, slack float64) []string {
+	var failures []string
+	for _, c := range rep.Cells {
+		if c.EpsTarget <= 0 {
+			continue // biased (relative error only) and capped (deliberately unsound)
+		}
+		limit := c.EpsTarget*float64(c.N) + 1
+		if randomized[c.Family] {
+			limit = slack*c.EpsTarget*float64(c.N) + 1
+		}
+		if float64(c.MaxRankError) > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s/%s: max rank error %d > limit %.0f (eps=%g, n=%d)",
+				c.Family, c.Workload, c.Mode, c.MaxRankError, limit, c.EpsTarget, c.N))
+		}
+	}
+	return failures
+}
+
+func gatedCells(rep *bench.Report) int {
+	n := 0
+	for _, c := range rep.Cells {
+		if c.EpsTarget > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+type cellKey struct{ family, workload, mode string }
+
+func index(rep *bench.Report) map[cellKey]bench.Cell {
+	out := make(map[cellKey]bench.Cell, len(rep.Cells))
+	for _, c := range rep.Cells {
+		out[cellKey{c.Family, c.Workload, c.Mode}] = c
+	}
+	return out
+}
+
+// printSpeedDeltas prints the ns/op movement of every cell present in both
+// reports. Advisory: runners differ, n differs between -quick and full runs,
+// and best-of-k still jitters, so speed never gates.
+func printSpeedDeltas(baseline, report *bench.Report) {
+	base := index(baseline)
+	fmt.Printf("ns/op vs baseline %q (advisory; baseline n=%d, report n=%d):\n",
+		baseline.Label, baseline.N, report.N)
+	fmt.Printf("  %-14s %-12s %-8s %12s %12s %8s\n", "family", "workload", "mode", "base", "now", "delta")
+	for _, c := range report.Cells {
+		b, ok := base[cellKey{c.Family, c.Workload, c.Mode}]
+		if !ok {
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("  %-14s %-12s %-8s %12.1f %12.1f %+7.1f%%\n",
+			c.Family, c.Workload, c.Mode, b.NsPerOp, c.NsPerOp, delta)
+	}
+}
+
+// printCoverageDrift lists cells that appear in only one of the two reports,
+// so silently dropped families or workloads are visible in the CI log.
+func printCoverageDrift(baseline, report *bench.Report) {
+	base, cur := index(baseline), index(report)
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			fmt.Printf("coverage: cell %s/%s/%s in baseline but not in report\n", k.family, k.workload, k.mode)
+		}
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("coverage: cell %s/%s/%s is new (not in baseline)\n", k.family, k.workload, k.mode)
+		}
+	}
+}

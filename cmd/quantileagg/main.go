@@ -1,0 +1,66 @@
+// Command quantileagg is the aggregator node of the distributed tier
+// (internal/cluster): it periodically pulls the binary /snapshot of every
+// configured quantileserver peer, merges them under the COMBINE rule
+// (eps_new = max over peers — distribution adds no error), and serves the
+// globally merged read API:
+//
+//	GET  /quantile  ?phi=0.5&phi=0.99  global quantiles over all peers
+//	GET  /rank      ?q=1.5             global rank estimate
+//	GET  /cdf       ?q=1&q=2           global CDF points
+//	GET  /stats                        merged-view size + per-peer pull health
+//	GET  /snapshot                     merged view re-exported as a wire
+//	                                   payload (aggregators compose into trees)
+//	POST /pull                         force a pull round now
+//
+// A peer that cannot be reached keeps contributing its last successful
+// snapshot; its error shows up in /stats until it recovers.
+//
+// Example:
+//
+//	quantileserver -addr :8081 & quantileserver -addr :8082 & quantileserver -addr :8083 &
+//	quantileagg -addr :8080 -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	curl -s 'localhost:8080/quantile?phi=0.5'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"quantilelb/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://host:8081,http://host:8082)")
+		interval = flag.Duration("interval", 2*time.Second, "pull interval")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-pull HTTP timeout")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("quantileagg: -peers is required (comma-separated base URLs)")
+	}
+
+	agg := cluster.NewHTTP(&http.Client{Timeout: *timeout}, urls...)
+	if err := agg.PullOnce(context.Background()); err != nil {
+		// Partial failures are expected at startup (peers may still be
+		// coming up); the pull loop keeps retrying.
+		log.Printf("quantileagg: initial pull: %v", err)
+	}
+	stop := agg.Start(*interval)
+	defer stop()
+
+	log.Printf("quantileagg listening on %s (%d peers, pull every %s)", *addr, len(urls), *interval)
+	log.Fatal(http.ListenAndServe(*addr, cluster.NewAggregatorHandler(agg)))
+}

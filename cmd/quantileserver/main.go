@@ -1,20 +1,21 @@
 // Command quantileserver exposes a sharded concurrent quantile summary over
-// HTTP, demonstrating the internal/sharded ingestion layer under real
-// concurrent load: every request handler goroutine is a writer or reader of
-// the same summary, with no coordination beyond the layer itself.
+// HTTP — one writer node of the distributed tier in internal/cluster. Every
+// request handler goroutine is a writer or reader of the same summary, with
+// no coordination beyond the sharded ingestion layer itself.
 //
-// Endpoints:
+// Endpoints (served by cluster.NewServerHandler; see its doc comment for the
+// full contract):
 //
-//	POST /update    body: whitespace/comma-separated float64s, or — with
-//	                Content-Type: application/json — a JSON array of numbers.
-//	                Either way the whole request is ingested as one batch
-//	                through the summary's bulk UpdateBatch path (one shard,
-//	                one lock acquisition, one merge pass). A single item can
-//	                also be sent as a ?x= query parameter.
+//	POST /update    ingest a batch: whitespace/comma-separated float64s, a
+//	                JSON array of numbers (Content-Type: application/json),
+//	                or single items as ?x= query parameters
 //	GET  /quantile  ?phi=0.5&phi=0.99  -> {"results":[{"phi":0.5,"value":...},...]}
 //	GET  /rank      ?q=1.5             -> {"q":1.5,"rank":...,"n":...}
 //	GET  /cdf       ?q=1&q=2&q=3       -> {"points":[{"q":1,"p":...},...]}
 //	GET  /stats                        -> shards, counts, snapshot freshness
+//	GET  /snapshot                     -> binary wire payload of the merged
+//	                                      view, ETag'd by update count
+//	POST /merge                        -> ingest a peer's wire payload
 //
 // Example session:
 //
@@ -22,27 +23,21 @@
 //	seq 1 100000 | shuf | curl -s --data-binary @- localhost:8080/update
 //	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/update
 //	curl -s 'localhost:8080/quantile?phi=0.5&phi=0.99'
+//	curl -s localhost:8080/snapshot -o node.sketch
+//
+// Run several of these and point cmd/quantileagg at them to serve globally
+// merged quantiles (README.md has a 3-server quickstart).
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"mime"
 	"net/http"
-	"strconv"
-	"strings"
 	"time"
 
 	quantilelb "quantilelb"
-	"quantilelb/internal/gk"
-	"quantilelb/internal/sharded"
+	"quantilelb/internal/cluster"
 )
-
-const maxUpdateBody = 64 << 20 // 64 MiB per request
 
 func main() {
 	var (
@@ -61,193 +56,6 @@ func main() {
 		defer stop()
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
-		handleUpdate(s, w, r)
-	})
-	mux.HandleFunc("GET /quantile", func(w http.ResponseWriter, r *http.Request) {
-		handleQuantile(s, w, r)
-	})
-	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
-		handleRank(s, w, r)
-	})
-	mux.HandleFunc("GET /cdf", func(w http.ResponseWriter, r *http.Request) {
-		handleCDF(s, w, r)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, statsPayload(s))
-	})
-
 	log.Printf("quantileserver listening on %s (eps=%g shards=%d)", *addr, *eps, *shards)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// summaryT is the concrete sharded summary type the server works with.
-type summaryT = sharded.Sharded[float64, *gk.Summary[float64]]
-
-func handleUpdate(s *summaryT, w http.ResponseWriter, r *http.Request) {
-	// Parse and validate everything before ingesting anything: a request is
-	// either accepted whole or rejected whole (there is no way to remove
-	// items from a summary, so a partial ingest before a 400 would leave a
-	// retrying client double-counting).
-	var batch []float64
-	for _, raw := range r.URL.Query()["x"] {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad x parameter %q: %v", raw, err)
-			return
-		}
-		batch = append(batch, v)
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUpdateBody))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes; split the batch", maxUpdateBody)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	if len(body) > 0 {
-		var fromBody []float64
-		if isJSONContent(r.Header.Get("Content-Type")) {
-			fromBody, err = parseJSONBatch(body)
-		} else {
-			fromBody, err = parseFloats(string(body))
-		}
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		batch = append(batch, fromBody...)
-	}
-	if len(batch) > 0 {
-		s.UpdateBatch(batch)
-	}
-	writeJSON(w, map[string]any{"accepted": len(batch), "n": s.Count()})
-}
-
-func handleQuantile(s *summaryT, w http.ResponseWriter, r *http.Request) {
-	phis := r.URL.Query()["phi"]
-	if len(phis) == 0 {
-		httpError(w, http.StatusBadRequest, "at least one phi parameter is required")
-		return
-	}
-	type result struct {
-		Phi   float64 `json:"phi"`
-		Value float64 `json:"value"`
-	}
-	results := make([]result, 0, len(phis))
-	for _, raw := range phis {
-		phi, err := strconv.ParseFloat(raw, 64)
-		if err != nil || phi < 0 || phi > 1 {
-			httpError(w, http.StatusBadRequest, "bad phi %q: want a number in [0,1]", raw)
-			return
-		}
-		v, ok := s.Query(phi)
-		if !ok {
-			httpError(w, http.StatusNotFound, "summary is empty")
-			return
-		}
-		results = append(results, result{Phi: phi, Value: v})
-	}
-	writeJSON(w, map[string]any{"results": results, "n": s.Count()})
-}
-
-func handleRank(s *summaryT, w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("q")
-	q, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad q %q: %v", raw, err)
-		return
-	}
-	writeJSON(w, map[string]any{"q": q, "rank": s.EstimateRank(q), "n": s.Count()})
-}
-
-func handleCDF(s *summaryT, w http.ResponseWriter, r *http.Request) {
-	qs := r.URL.Query()["q"]
-	if len(qs) == 0 {
-		httpError(w, http.StatusBadRequest, "at least one q parameter is required")
-		return
-	}
-	type point struct {
-		Q float64 `json:"q"`
-		P float64 `json:"p"`
-	}
-	points := make([]point, 0, len(qs))
-	for _, raw := range qs {
-		q, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad q %q: %v", raw, err)
-			return
-		}
-		points = append(points, point{Q: q, P: s.CDF(q)})
-	}
-	writeJSON(w, map[string]any{"points": points, "n": s.Count()})
-}
-
-func statsPayload(s *summaryT) map[string]any {
-	st := s.Stats()
-	return map[string]any{
-		"shards":          st.Shards,
-		"count":           st.Count,
-		"snapshot_count":  st.SnapshotCount,
-		"snapshot_stored": st.SnapshotStored,
-		"snapshot_lag":    st.Count - st.SnapshotCount,
-		"refreshes":       st.Refreshes,
-	}
-}
-
-// isJSONContent reports whether a Content-Type header declares JSON. Media
-// types are case-insensitive (RFC 9110) and may carry parameters like
-// "; charset=utf-8".
-func isJSONContent(ct string) bool {
-	mediaType, _, err := mime.ParseMediaType(ct)
-	return err == nil && mediaType == "application/json"
-}
-
-// parseJSONBatch decodes a JSON array of numbers — the batched payload
-// format for producers that already aggregate items (log shippers, metric
-// agents). NaN and infinities are rejected by JSON itself.
-func parseJSONBatch(body []byte) ([]float64, error) {
-	var out []float64
-	if err := json.Unmarshal(body, &out); err != nil {
-		return nil, fmt.Errorf("bad JSON batch: want an array of numbers: %v", err)
-	}
-	return out, nil
-}
-
-// parseFloats splits a body on whitespace, commas and newlines.
-func parseFloats(body string) ([]float64, error) {
-	fields := strings.FieldsFunc(body, func(r rune) bool {
-		return r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ','
-	})
-	out := make([]float64, 0, len(fields))
-	for _, f := range fields {
-		v, err := strconv.ParseFloat(f, 64)
-		if err != nil {
-			// Truncate the echoed token: a malformed multi-megabyte body
-			// must not turn into a multi-megabyte error response.
-			if len(f) > 32 {
-				f = f[:32] + "…"
-			}
-			return nil, fmt.Errorf("bad value %q: not a float64", f)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func writeJSON(w http.ResponseWriter, payload any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(payload); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	log.Fatal(http.ListenAndServe(*addr, cluster.NewServerHandler(s)))
 }

@@ -1,77 +1,127 @@
-// Distributed aggregation: the "balancing parallel computations" use case
-// from Section 1 of the paper. Data is spread over many workers; each builds
-// a small quantile summary locally, the summaries are merged at a
-// coordinator, and the merged summary drives range partitioning for the next
-// stage (each partition receives an approximately equal share of the data).
+// Distributed aggregation on the real tier: the "balancing parallel
+// computations" use case from Section 1 of the paper, run end to end through
+// internal/cluster — the same code paths cmd/quantileserver and
+// cmd/quantileagg serve in production, wired up in-process with httptest so
+// the example is self-contained.
 //
-// Two coordinator strategies are shown:
+// Three writer nodes (sharded GK summaries behind the real HTTP handler)
+// ingest differently skewed slices of the key space, as happens when the
+// upstream data is range- or time-partitioned. An aggregator pulls each
+// node's binary /snapshot (ETag'd, so an idle node ships zero bytes) and
+// merges them under the COMBINE rule eps_global = max_i eps_i — distribution
+// adds no error. The globally merged summary then drives range partitioning
+// for the next stage: each partition receives an approximately equal share
+// of the data, computed from a few hundred shipped items instead of a
+// shuffle of the raw data.
 //
-//   - KLL: fully mergeable randomized sketch (eps_new = max over inputs).
-//   - GK + PRUNE: deterministic MERGE/COMBINE with eps_new = max(eps1, eps2),
-//     followed by Prune(b) to cap the shipped size at b+1 tuples for an
-//     extra 1/(2b) of error — the classic mergeable-summaries error budget
-//     (see DESIGN.md, "Merge error budget").
+// The node-to-node push path is shown too: a worker that finishes a local
+// batch PRUNEs its summary to cap the message size and POSTs it to a node's
+// /merge endpoint.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sort"
 
 	quantilelb "quantilelb"
+	"quantilelb/internal/cluster"
 )
 
 func main() {
-	const workers = 16
-	const perWorker = 125_000
-	const eps = 0.01
-	const partitions = 8
+	const (
+		nodes     = 3
+		workers   = 15 // producers, spread over the nodes
+		perWorker = 100_000
+		eps       = 0.01
+		parts     = 8
+	)
 
-	// Each worker sees a differently skewed slice of the key space, as happens
-	// when the upstream data is range- or time-partitioned.
-	coordinator := quantilelb.NewKLL(eps, 999)
-	gkCoordinator := quantilelb.NewGK(eps)
+	// Start the writer tier: three real quantileserver handlers.
+	urls := make([]string, nodes)
+	sources := make([]cluster.Source, nodes)
+	for i := range urls {
+		s := quantilelb.NewSharded(quantilelb.GKFactory(eps), 8)
+		srv := httptest.NewServer(cluster.NewServerHandler(s))
+		defer srv.Close()
+		urls[i] = srv.URL
+		// Fresh pulls keep the example deterministic; production aggregators
+		// rely on each node's AutoRefresh instead.
+		sources[i] = &cluster.HTTPSource{URL: srv.URL, Fresh: true}
+	}
+
+	// Each worker sees a differently skewed slice of the key space and ships
+	// batches to its node over HTTP.
 	var all []float64
 	for w := 0; w < workers; w++ {
 		rng := rand.New(rand.NewSource(int64(w + 1)))
-		local := quantilelb.NewKLL(eps, int64(w+1))
-		gkLocal := quantilelb.NewGK(eps)
-		for i := 0; i < perWorker; i++ {
-			// Worker w's keys concentrate around w*100 with a long tail.
-			x := float64(w*100) + rng.ExpFloat64()*50
-			local.Update(x)
-			gkLocal.Update(x)
-			all = append(all, x)
+		batch := make([]float64, perWorker)
+		for i := range batch {
+			batch[i] = float64(w*100) + rng.ExpFloat64()*50
 		}
-		// Ship only the sketch (a few hundred items), not the raw data.
-		if err := coordinator.Merge(local); err != nil {
-			panic(err)
-		}
-		// Deterministic alternative: GK COMBINE keeps eps_new = max(eps, eps)
-		// — merging adds no error — and PRUNE caps the shipped message at
-		// b+1 tuples for an extra 1/(2b) of error (here b = 1/(2eps), so the
-		// message is ≤ 51 tuples and the budget grows by exactly eps).
-		gkLocal.Prune(int(1 / (2 * eps)))
-		if err := quantilelb.MergeGK(gkCoordinator, gkLocal); err != nil {
-			panic(err)
-		}
+		all = append(all, batch...)
+		postBatch(urls[w%nodes], batch)
 	}
 
-	fmt.Printf("%d workers x %d items = %d total items\n", workers, perWorker, workers*perWorker)
-	fmt.Printf("coordinator KLL sketch holds %d items (%.4f%% of the data)\n",
-		coordinator.StoredCount(), 100*float64(coordinator.StoredCount())/float64(workers*perWorker))
-	fmt.Printf("coordinator GK summary holds %d items after merge+prune (eps grew %.4f -> %.4f)\n\n",
-		gkCoordinator.StoredCount(), eps, gkCoordinator.Epsilon())
-	med, _ := gkCoordinator.Query(0.5)
-	fmt.Printf("deterministic GK median estimate: %.2f\n\n", med)
+	// One more producer pushes a pre-built summary instead of raw items:
+	// PRUNE caps the shipped message at b+1 tuples for an extra 1/(2b) of
+	// error (b = 1/(2eps) keeps the budget growth at exactly eps).
+	local := quantilelb.NewGK(eps)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < perWorker; i++ {
+		x := 1500 + rng.ExpFloat64()*50
+		local.Update(x)
+		all = append(all, x)
+	}
+	local.Prune(int(1 / (2 * eps)))
+	payload, err := quantilelb.Snapshot(local)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(urls[0]+"/merge", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("POST /merge: status %s", resp.Status))
+	}
+	fmt.Printf("pushed a pruned %d-tuple summary of %d items to node 0 via POST /merge (%d bytes)\n",
+		local.StoredCount(), perWorker, len(payload))
 
-	// Choose partition boundaries at the i/partitions quantiles.
-	boundaries := make([]float64, 0, partitions-1)
-	for i := 1; i < partitions; i++ {
-		b, _ := coordinator.Query(float64(i) / float64(partitions))
+	// The aggregation tier: pull every node's snapshot and merge.
+	agg := cluster.New(sources...)
+	if err := agg.PullOnce(context.Background()); err != nil {
+		panic(err)
+	}
+	total := (workers + 1) * perWorker
+	fmt.Printf("%d nodes x pulled snapshots = %d items covered globally (ingested %d)\n",
+		nodes, agg.Count(), total)
+	fmt.Printf("global view retains %d items (%.4f%% of the data)\n\n",
+		agg.StoredCount(), 100*float64(agg.StoredCount())/float64(total))
+
+	// A second pull without new writes moves no bytes: every node answers
+	// 304 off the ETag.
+	if err := agg.PullOnce(context.Background()); err != nil {
+		panic(err)
+	}
+	for _, st := range agg.Status() {
+		fmt.Printf("peer %-28s healthy=%-5t kind=%s n=%-7d payload=%dB fetches=%d 304s=%d\n",
+			st.Name, st.Healthy, st.Kind, st.N, st.PayloadBytes, st.Fetches, st.NotModified)
+	}
+
+	// Choose partition boundaries at the i/parts quantiles of the global view.
+	boundaries := make([]float64, 0, parts-1)
+	for i := 1; i < parts; i++ {
+		b, _ := agg.Query(float64(i) / float64(parts))
 		boundaries = append(boundaries, b)
 	}
-	fmt.Printf("partition boundaries: %.1f\n\n", boundaries)
+	fmt.Printf("\npartition boundaries: %.1f\n\n", boundaries)
 
 	// Verify balance against the raw data.
 	sort.Float64s(all)
@@ -87,5 +137,21 @@ func main() {
 		prev = hi
 	}
 	fmt.Println("\neach partition receives close to an equal share, so the next parallel stage")
-	fmt.Println("is balanced — computed from mergeable sketches instead of a shuffle of the raw data.")
+	fmt.Println("is balanced — computed from pulled wire snapshots instead of a shuffle of the raw data.")
+}
+
+// postBatch ships one JSON batch to a node's /update endpoint.
+func postBatch(url string, batch []float64) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(url+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("POST /update: status %s", resp.Status))
+	}
 }

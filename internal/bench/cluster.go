@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"quantilelb/internal/cluster"
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/gk"
+)
+
+// clusterNodes is the number of writer nodes the cluster family simulates,
+// matching the 3-server quickstart in README.md.
+const clusterNodes = 3
+
+// clusterTarget drives the distributed tier of internal/cluster in-process:
+// items are spread round-robin over K GK writer nodes, and queries are
+// answered by an aggregator that pulls each node's wire payload (the real
+// encode → decode → COMBINE-merge path, minus the HTTP transport) and serves
+// the merged view. Its cells record what distribution costs: ingest ns/op of
+// a node plus the routing, accuracy of the max-eps merged view.
+type clusterTarget struct {
+	nodes []*gk.Summary[float64]
+	agg   *cluster.Aggregator
+	next  int
+}
+
+func newClusterTarget(eps float64) *clusterTarget {
+	t := &clusterTarget{}
+	sources := make([]cluster.Source, clusterNodes)
+	for i := 0; i < clusterNodes; i++ {
+		node := gk.NewFloat64(eps)
+		t.nodes = append(t.nodes, node)
+		sources[i] = &cluster.SummarySource{
+			SourceName: fmt.Sprintf("node-%d", i),
+			Payload:    func() ([]byte, error) { return encoding.Encode(node) },
+		}
+	}
+	t.agg = cluster.New(sources...)
+	return t
+}
+
+// Update routes one item to the next node round-robin.
+func (t *clusterTarget) Update(x float64) {
+	t.nodes[t.next].Update(x)
+	t.next = (t.next + 1) % len(t.nodes)
+}
+
+// UpdateBatch hands a whole batch to one node, like a load balancer routing
+// an aggregated producer request.
+func (t *clusterTarget) UpdateBatch(xs []float64) {
+	t.nodes[t.next].UpdateBatch(xs)
+	t.next = (t.next + 1) % len(t.nodes)
+}
+
+// Refresh pulls every node's payload and rebuilds the merged view; the
+// harness calls it before measuring accuracy (same hook as the sharded
+// wrapper).
+func (t *clusterTarget) Refresh() {
+	if err := t.agg.PullOnce(context.Background()); err != nil {
+		// Local sources cannot fail to fetch; an error here means the
+		// encode/decode/merge path is broken, which the matrix must surface.
+		panic("bench: cluster pull failed: " + err.Error())
+	}
+}
+
+// Query answers from the aggregator's merged view.
+func (t *clusterTarget) Query(phi float64) (float64, bool) { return t.agg.Query(phi) }
+
+// Count reports the total items across all nodes (the merged view's count).
+func (t *clusterTarget) Count() int {
+	n := 0
+	for _, node := range t.nodes {
+		n += node.Count()
+	}
+	return n
+}
+
+// StoredCount reports the items retained by the merged global view.
+func (t *clusterTarget) StoredCount() int { return t.agg.StoredCount() }

@@ -11,6 +11,7 @@ import (
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/sharded"
+	"quantilelb/internal/window"
 )
 
 // Bytes-per-retained-item estimates. GK-lineage summaries (gk, biased,
@@ -94,6 +95,25 @@ func DefaultFamilies(cfg Config) []Family {
 			},
 			BytesPerItem: tupleBytes,
 			EpsTarget:    eps,
+		},
+		{
+			Name: "window",
+			// Sized so the window covers the whole stream: the recorded rank
+			// error is then measured against the same full-stream oracle as
+			// every other family, while the ingest path still pays the
+			// block/bucket bookkeeping of the sliding-window reduction.
+			New:          func() Target { return window.NewFloat64(eps, maxN) },
+			BytesPerItem: tupleBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name:         "cluster-gk",
+			New:          func() Target { return newClusterTarget(eps) },
+			BytesPerItem: tupleBytes,
+			// COMBINE keeps eps_new = max over the nodes' equal eps, so the
+			// merged global view carries the same uniform guarantee as one
+			// node.
+			EpsTarget: eps,
 		},
 		{
 			Name: "sharded-kll",

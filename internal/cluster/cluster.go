@@ -1,0 +1,572 @@
+// Package cluster is the distributed snapshot/aggregation tier: it turns K
+// single-node writers (cmd/quantileserver instances, each a sharded mergeable
+// summary) into one logical quantile summary served by an aggregator
+// (cmd/quantileagg).
+//
+// The paper reproduced here (Cormode & Veselý, PODS 2020) proves that a
+// single comparison-based summary must retain Ω((1/ε)·log(1/ε)) items; the
+// practical way to scale past any single node is horizontal: every summary in
+// this repository merges with eps_new = max(eps_1, eps_2) (the COMBINE
+// discipline of the mergeable-summaries literature the paper cites), so an
+// aggregator that pulls the wire snapshot of every node and folds them
+// together answers queries over the union of all nodes' streams with
+// accuracy max_i eps_i — no error is added by distribution itself.
+//
+// Pull loop. The Aggregator periodically fetches each configured Source
+// (normally GET /snapshot of a quantileserver, via HTTPSource). Fetches carry
+// the previous ETag, so an idle node answers 304 and ships no bytes. The
+// merged view is rebuilt from the latest payload of every peer — decoding
+// fresh summaries each time, so merging (which mutates the receiver) never
+// corrupts retained peer state — and published atomically; readers never
+// block on a pull, and a round in which every reachable peer answered 304
+// skips the rebuild entirely.
+//
+// Failure handling. A peer that cannot be reached keeps contributing its last
+// successful snapshot (stale-but-available beats absent: quantile summaries
+// are monotone accumulations, so a stale substream only under-counts recent
+// items); the error is recorded per peer and surfaced via Status and the
+// aggregator's /stats endpoint. A peer that has never been reached
+// contributes nothing until its first successful pull.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
+)
+
+// Source yields wire payloads of one node's current summary. Implementations
+// must be safe for use from the aggregator's pull goroutine.
+type Source interface {
+	// Name identifies the peer in status reports (for HTTPSource, its URL).
+	Name() string
+	// Fetch returns the node's current snapshot payload. etag carries the
+	// value returned by the previous fetch ("" on the first); notModified
+	// reports that the content is unchanged since then, in which case payload
+	// is nil and the previous payload remains valid.
+	Fetch(ctx context.Context, etag string) (payload []byte, newETag string, notModified bool, err error)
+}
+
+// defaultPullClient bounds fetches when HTTPSource.Client is nil. A pull
+// must always have a deadline: PullOnce holds pullMu across the round, so a
+// single half-open connection to a blackholed peer would otherwise wedge
+// every future pull for every peer.
+var defaultPullClient = &http.Client{Timeout: 10 * time.Second}
+
+// HTTPSource pulls GET {URL}/snapshot from a quantileserver (or another
+// aggregator — the tier composes into trees, since aggregators re-export
+// /snapshot).
+type HTTPSource struct {
+	// URL is the peer's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+	// Client is the HTTP client to use; nil means a shared default with a
+	// 10s timeout (never the deadline-less http.DefaultClient — see
+	// defaultPullClient).
+	Client *http.Client
+	// Fresh requests ?fresh=1 snapshots (the peer rebuilds its merged view
+	// before answering). Deterministic, at the cost of a merge on the peer
+	// per pull; leave false in production, where the peer's AutoRefresh
+	// bounds staleness.
+	Fresh bool
+}
+
+// Name returns the peer's base URL.
+func (h *HTTPSource) Name() string { return h.URL }
+
+// Fetch implements Source over GET /snapshot with If-None-Match.
+func (h *HTTPSource) Fetch(ctx context.Context, etag string) ([]byte, string, bool, error) {
+	u := strings.TrimSuffix(h.URL, "/") + "/snapshot"
+	if h.Fresh {
+		u += "?fresh=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	client := h.Client
+	if client == nil {
+		client = defaultPullClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, etag, true, nil
+	case http.StatusOK:
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes+1))
+		if err != nil {
+			return nil, "", false, fmt.Errorf("reading snapshot body: %w", err)
+		}
+		if len(payload) > MaxBodyBytes {
+			return nil, "", false, fmt.Errorf("snapshot exceeds %d bytes", MaxBodyBytes)
+		}
+		return payload, resp.Header.Get("ETag"), false, nil
+	}
+	return nil, "", false, fmt.Errorf("GET %s: status %s", u, resp.Status)
+}
+
+// SummarySource adapts an in-process payload producer to the Source
+// interface — used by tests and by the benchmark harness to drive the
+// aggregation path without HTTP.
+type SummarySource struct {
+	// SourceName identifies the peer in status reports.
+	SourceName string
+	// Payload returns the node's current wire payload.
+	Payload func() ([]byte, error)
+}
+
+// Name returns the configured source name.
+func (s *SummarySource) Name() string { return s.SourceName }
+
+// Fetch implements Source; it never reports 304 (local producers are cheap
+// enough to re-encode).
+func (s *SummarySource) Fetch(context.Context, string) ([]byte, string, bool, error) {
+	p, err := s.Payload()
+	return p, "", false, err
+}
+
+// peerState is the aggregator's record of one source. Fields are written
+// only by the pull round in flight (pullMu serializes rounds) and every
+// write additionally holds Aggregator.mu, so Status can copy a consistent
+// view without waiting out a round's network fetches.
+type peerState struct {
+	src         Source
+	etag        string
+	payload     []byte
+	kind        encoding.Kind
+	n           int
+	lastErr     error
+	lastSuccess time.Time
+	fetches     int
+	notModified int
+}
+
+// PeerStatus is a point-in-time view of one peer for monitoring.
+type PeerStatus struct {
+	// Name identifies the peer (its URL for HTTP sources).
+	Name string `json:"name"`
+	// Healthy reports that the most recent pull succeeded.
+	Healthy bool `json:"healthy"`
+	// LastError is the most recent pull error, empty when Healthy.
+	LastError string `json:"last_error,omitempty"`
+	// Kind names the summary family of the peer's last payload.
+	Kind string `json:"kind,omitempty"`
+	// N is the update count the peer's last payload covers.
+	N int `json:"n"`
+	// PayloadBytes is the size of the retained payload.
+	PayloadBytes int `json:"payload_bytes"`
+	// Fetches counts pull attempts; NotModified counts those answered 304.
+	Fetches     int `json:"fetches"`
+	NotModified int `json:"not_modified"`
+	// LastSuccess is the time of the last successful pull (zero if never).
+	LastSuccess time.Time `json:"last_success,omitzero"`
+}
+
+// view is the immutable published merged state.
+type view struct {
+	sum   summary.Summary[float64]
+	n     int
+	peers int // number of peers contributing a payload
+}
+
+// Aggregator merges the snapshots of many Sources into one logical summary
+// and serves the read API from the merged view. All read methods are safe
+// for concurrent use and never block on a pull in flight.
+type Aggregator struct {
+	peers  []*peerState
+	pullMu sync.Mutex // serializes pull rounds; never held while reading
+	mu     sync.Mutex // guards peerState fields; held only for field access
+	view   atomic.Pointer[view]
+	pulls  atomic.Int64
+}
+
+// New returns an aggregator over the given sources. The merged view is empty
+// until the first PullOnce (or Start tick) completes.
+func New(sources ...Source) *Aggregator {
+	a := &Aggregator{}
+	for _, src := range sources {
+		a.peers = append(a.peers, &peerState{src: src})
+	}
+	return a
+}
+
+// NewHTTP returns an aggregator pulling GET /snapshot from each peer base
+// URL with the given client (nil for http.DefaultClient).
+func NewHTTP(client *http.Client, peerURLs ...string) *Aggregator {
+	srcs := make([]Source, len(peerURLs))
+	for i, u := range peerURLs {
+		srcs[i] = &HTTPSource{URL: u, Client: client}
+	}
+	return New(srcs...)
+}
+
+// PullOnce fetches every peer's snapshot concurrently, rebuilds the merged
+// view from the latest payload of each peer, and publishes it. Peers that
+// fail keep their previous payload (see the package comment on failure
+// handling); their errors are joined into the returned error, so a non-nil
+// return with a still-updated view is the expected partial-failure outcome.
+// An error decoding or merging a payload aborts the rebuild instead: a
+// corrupt peer must not silently vanish from the global answer.
+func (a *Aggregator) PullOnce(ctx context.Context) error {
+	a.pullMu.Lock()
+	defer a.pullMu.Unlock()
+	a.pulls.Add(1)
+
+	// Fetch every peer with no lock held: a blackholed peer must not make
+	// Status (and GET /stats, the endpoint that diagnoses exactly that
+	// incident) wait out the HTTP timeout. Reading peer fields without mu is
+	// safe here because pullMu makes this round the only writer.
+	type outcome struct {
+		payload     []byte
+		etag        string
+		notModified bool
+		err         error
+	}
+	outcomes := make([]outcome, len(a.peers))
+	var wg sync.WaitGroup
+	for i, p := range a.peers {
+		wg.Add(1)
+		go func(i int, p *peerState) {
+			defer wg.Done()
+			var o outcome
+			o.payload, o.etag, o.notModified, o.err = p.src.Fetch(ctx, p.etag)
+			outcomes[i] = o
+		}(i, p)
+	}
+	wg.Wait()
+
+	errs := make([]error, 0, len(a.peers)+1)
+	changed := false
+	now := time.Now()
+	a.mu.Lock()
+	for i, p := range a.peers {
+		o := outcomes[i]
+		p.fetches++
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", p.src.Name(), o.err))
+			p.lastErr = o.err
+			continue
+		}
+		p.lastErr = nil
+		p.lastSuccess = now
+		if o.notModified {
+			p.notModified++
+			continue
+		}
+		p.payload = o.payload
+		p.etag = o.etag
+		changed = true
+	}
+	a.mu.Unlock()
+
+	// Nothing moved (every reachable peer answered 304) and a view is
+	// already published: skip the decode + merge entirely — the whole point
+	// of the ETag path is that idle rounds cost nothing.
+	if !changed && a.view.Load() != nil {
+		return errors.Join(errs...)
+	}
+	if badPeer, err := a.rebuild(); err != nil {
+		// A payload that fails to decode or merge must not be retained: its
+		// ETag would keep answering 304 and freeze the view behind a
+		// rebuild that can never succeed. Dropping payload and ETag forces
+		// a refetch next round, and the recorded error makes the peer show
+		// unhealthy in Status until a usable payload arrives.
+		if badPeer != nil {
+			a.mu.Lock()
+			badPeer.payload = nil
+			badPeer.etag = ""
+			badPeer.lastErr = err
+			a.mu.Unlock()
+		}
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// rebuild decodes every retained payload and publishes the merged view; on
+// failure it returns the peer whose payload could not be used. Caller holds
+// pullMu (but not mu: decoding and merging large payloads must not block
+// Status).
+func (a *Aggregator) rebuild() (*peerState, error) {
+	var merged any
+	contributing := 0
+	for _, p := range a.peers {
+		if len(p.payload) == 0 {
+			continue
+		}
+		dec, err := encoding.Decode(p.payload)
+		if err != nil {
+			return p, fmt.Errorf("peer %s: decoding snapshot: %w", p.src.Name(), err)
+		}
+		kind, _ := encoding.DetectKind(p.payload)
+		sum, ok := dec.(summary.Summary[float64])
+		if !ok {
+			return p, fmt.Errorf("peer %s: payload kind %v is not a quantile summary", p.src.Name(), kind)
+		}
+		a.mu.Lock()
+		p.kind = kind
+		p.n = sum.Count()
+		a.mu.Unlock()
+		contributing++
+		if merged == nil {
+			merged = dec
+			continue
+		}
+		if err := mergeAny(merged, dec); err != nil {
+			return p, fmt.Errorf("peer %s: %w", p.src.Name(), err)
+		}
+	}
+	if merged == nil {
+		a.view.Store(&view{})
+		return nil, nil
+	}
+	sum := merged.(summary.Summary[float64])
+	a.view.Store(&view{sum: sum, n: sum.Count(), peers: contributing})
+	return nil, nil
+}
+
+// mergeAny folds src into dst when both hold the same mergeable concrete
+// summary type. Every branch preserves the COMBINE budget eps_new = max.
+func mergeAny(dst, src any) error {
+	switch d := dst.(type) {
+	case *gk.Summary[float64]:
+		if s, ok := src.(*gk.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *kll.Sketch[float64]:
+		if s, ok := src.(*kll.Sketch[float64]); ok {
+			return d.Merge(s)
+		}
+	case *mrl.Summary[float64]:
+		if s, ok := src.(*mrl.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *sampling.Reservoir[float64]:
+		if s, ok := src.(*sampling.Reservoir[float64]); ok {
+			return d.Merge(s)
+		}
+	default:
+		return fmt.Errorf("cluster: summary type %T is not mergeable", dst)
+	}
+	return fmt.Errorf("cluster: cannot merge %T into %T; peers must run the same family", src, dst)
+}
+
+// Start launches a background pull loop with the given interval and returns
+// a function that stops it. Pull errors are retained per peer and visible
+// via Status; the loop itself never stops on error.
+func (a *Aggregator) Start(interval time.Duration) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = a.PullOnce(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+}
+
+// load returns the published merged view, never nil.
+func (a *Aggregator) load() *view {
+	if v := a.view.Load(); v != nil {
+		return v
+	}
+	return &view{}
+}
+
+// Query returns an approximate ϕ-quantile over the union of all peers'
+// streams (as of each peer's last pulled snapshot); false while no peer has
+// contributed yet.
+func (a *Aggregator) Query(phi float64) (float64, bool) {
+	v := a.load()
+	if v.sum == nil {
+		return 0, false
+	}
+	return v.sum.Query(phi)
+}
+
+// EstimateRank estimates the number of items ≤ q across all peers.
+func (a *Aggregator) EstimateRank(q float64) int {
+	v := a.load()
+	if v.sum == nil {
+		return 0
+	}
+	return v.sum.EstimateRank(q)
+}
+
+// CDF returns the estimated fraction of items ≤ q across all peers, clamped
+// to [0, 1].
+func (a *Aggregator) CDF(q float64) float64 {
+	v := a.load()
+	if v.sum == nil || v.n == 0 {
+		return 0
+	}
+	r := v.sum.EstimateRank(q)
+	if r < 0 {
+		r = 0
+	}
+	if r > v.n {
+		r = v.n
+	}
+	return float64(r) / float64(v.n)
+}
+
+// Count returns the total number of items covered by the merged view.
+func (a *Aggregator) Count() int { return a.load().n }
+
+// StoredItems returns the merged view's retained items in non-decreasing
+// order.
+func (a *Aggregator) StoredItems() []float64 {
+	v := a.load()
+	if v.sum == nil {
+		return nil
+	}
+	return v.sum.StoredItems()
+}
+
+// StoredCount returns the number of items the merged view retains (the
+// paper's space measure, for the global summary).
+func (a *Aggregator) StoredCount() int {
+	v := a.load()
+	if v.sum == nil {
+		return 0
+	}
+	return v.sum.StoredCount()
+}
+
+// Update panics: the aggregator is a read-only tier. Writes go to the
+// underlying quantileserver nodes.
+func (a *Aggregator) Update(float64) {
+	panic("cluster: the aggregator is read-only; send updates to a server node")
+}
+
+// ContributingPeers returns how many peers' payloads are in the merged view.
+func (a *Aggregator) ContributingPeers() int { return a.load().peers }
+
+// Pulls returns the number of pull rounds performed.
+func (a *Aggregator) Pulls() int { return int(a.pulls.Load()) }
+
+// SnapshotVersion reports the covered update count of the merged view
+// without serializing it; ok is false before the first successful rebuild.
+func (a *Aggregator) SnapshotVersion() (int64, bool) {
+	v := a.load()
+	if v.sum == nil {
+		return 0, false
+	}
+	return int64(v.n), true
+}
+
+// SnapshotPayload re-exports the merged view as a wire payload, so
+// aggregators compose: a higher-level aggregator can pull from this one
+// exactly as it pulls from a server node.
+func (a *Aggregator) SnapshotPayload() ([]byte, int64, error) {
+	v := a.load()
+	if v.sum == nil {
+		return nil, 0, errors.New("cluster: no merged view yet")
+	}
+	payload, err := encoding.Encode(v.sum)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, int64(v.n), nil
+}
+
+// Status reports the per-peer pull state for monitoring. It never waits on
+// a pull round in flight — only on the brief field-update sections — so
+// /stats stays responsive while a dead peer times out.
+func (a *Aggregator) Status() []PeerStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PeerStatus, len(a.peers))
+	for i, p := range a.peers {
+		st := PeerStatus{
+			Name:         p.src.Name(),
+			Healthy:      p.lastErr == nil && !p.lastSuccess.IsZero(),
+			N:            p.n,
+			PayloadBytes: len(p.payload),
+			Fetches:      p.fetches,
+			NotModified:  p.notModified,
+			LastSuccess:  p.lastSuccess,
+		}
+		if p.lastErr != nil {
+			st.LastError = p.lastErr.Error()
+		}
+		if p.kind != 0 {
+			st.Kind = p.kind.String()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// NewAggregatorHandler returns the aggregator's HTTP API: the same read
+// endpoints a server node exposes (/quantile, /rank, /cdf — identical JSON
+// shapes, so clients need not know which tier they query), plus:
+//
+//	GET  /stats     merged view size and per-peer pull health
+//	GET  /snapshot  the merged view re-exported as a wire payload (ETag'd by
+//	                covered update count), so aggregators compose into trees
+//	POST /pull      force a pull round now; 502 when every peer failed
+func NewAggregatorHandler(a *Aggregator) http.Handler {
+	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
+	mux := http.NewServeMux()
+	registerReadAPI(mux, a)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"n":            a.Count(),
+			"stored":       a.StoredCount(),
+			"contributing": a.ContributingPeers(),
+			"pulls":        a.Pulls(),
+			"peers":        a.Status(),
+		})
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		serveSnapshot(w, r, nonce, a)
+	})
+	mux.HandleFunc("POST /pull", func(w http.ResponseWriter, r *http.Request) {
+		err := a.PullOnce(r.Context())
+		if err != nil && a.ContributingPeers() == 0 {
+			httpError(w, http.StatusBadGateway, "pull failed: %v", err)
+			return
+		}
+		resp := map[string]any{"n": a.Count(), "contributing": a.ContributingPeers()}
+		if err != nil {
+			resp["partial_error"] = err.Error()
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}

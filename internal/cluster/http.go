@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// readView is the slice of the summary API both HTTP tiers serve reads from:
+// the sharded single-node summary and the cluster aggregator both satisfy it.
+type readView interface {
+	Query(phi float64) (float64, bool)
+	EstimateRank(q float64) int
+	CDF(q float64) float64
+	Count() int
+}
+
+// registerReadAPI mounts the shared read endpoints (/quantile, /rank, /cdf)
+// on mux. The JSON shapes are identical on every node of the tier, so a
+// client needs no knowledge of whether it is talking to a single server or to
+// an aggregator.
+func registerReadAPI(mux *http.ServeMux, v readView) {
+	mux.HandleFunc("GET /quantile", func(w http.ResponseWriter, r *http.Request) {
+		handleQuantile(v, w, r)
+	})
+	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
+		handleRank(v, w, r)
+	})
+	mux.HandleFunc("GET /cdf", func(w http.ResponseWriter, r *http.Request) {
+		handleCDF(v, w, r)
+	})
+}
+
+func handleQuantile(s readView, w http.ResponseWriter, r *http.Request) {
+	phis := r.URL.Query()["phi"]
+	if len(phis) == 0 {
+		httpError(w, http.StatusBadRequest, "at least one phi parameter is required")
+		return
+	}
+	type result struct {
+		Phi   float64 `json:"phi"`
+		Value float64 `json:"value"`
+	}
+	results := make([]result, 0, len(phis))
+	for _, raw := range phis {
+		phi, err := strconv.ParseFloat(raw, 64)
+		if err != nil || phi < 0 || phi > 1 {
+			httpError(w, http.StatusBadRequest, "bad phi %q: want a number in [0,1]", raw)
+			return
+		}
+		v, ok := s.Query(phi)
+		if !ok {
+			httpError(w, http.StatusNotFound, "summary is empty")
+			return
+		}
+		results = append(results, result{Phi: phi, Value: v})
+	}
+	writeJSON(w, map[string]any{"results": results, "n": s.Count()})
+}
+
+func handleRank(s readView, w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("q")
+	q, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(q) {
+		httpError(w, http.StatusBadRequest, "bad q %q: want a float64", raw)
+		return
+	}
+	writeJSON(w, map[string]any{"q": q, "rank": s.EstimateRank(q), "n": s.Count()})
+}
+
+func handleCDF(s readView, w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()["q"]
+	if len(qs) == 0 {
+		httpError(w, http.StatusBadRequest, "at least one q parameter is required")
+		return
+	}
+	type point struct {
+		Q float64 `json:"q"`
+		P float64 `json:"p"`
+	}
+	points := make([]point, 0, len(qs))
+	for _, raw := range qs {
+		q, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(q) {
+			httpError(w, http.StatusBadRequest, "bad q %q: want a float64", raw)
+			return
+		}
+		points = append(points, point{Q: q, P: s.CDF(q)})
+	}
+	writeJSON(w, map[string]any{"points": points, "n": s.Count()})
+}
+
+// writeJSON marshals the payload before touching the ResponseWriter, so a
+// payload JSON cannot represent (a NaN that slipped into the summary, say)
+// produces a structured 500 instead of a 200 header with an empty body.
+func writeJSON(w http.ResponseWriter, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		log.Printf("cluster: encoding response: %v", err)
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// snapshotSource is the slice of the snapshot API serveSnapshot needs; the
+// sharded summary and the aggregator both provide it.
+type snapshotSource interface {
+	// SnapshotVersion cheaply reports the covered update count of the
+	// current view; ok is false when no view exists yet.
+	SnapshotVersion() (int64, bool)
+	// SnapshotPayload serializes the current view.
+	SnapshotPayload() ([]byte, int64, error)
+}
+
+// serveSnapshot answers a GET /snapshot request with the ETag/If-None-Match
+// contract shared by the server and aggregator tiers. The ETag mixes the
+// handler's per-boot nonce with the covered update count: the count alone
+// identifies content only within one process lifetime (a node that restarts
+// empty and re-ingests to the same count must not 304 against a pre-restart
+// ETag), and pullers treat the ETag as opaque, so revalidation composes
+// across tiers. The version is checked before serializing, so a 304 costs
+// neither bytes on the wire nor an encode of the view.
+func serveSnapshot(w http.ResponseWriter, r *http.Request, nonce uint64, src snapshotSource) {
+	if v, ok := src.SnapshotVersion(); ok && r.Header.Get("If-None-Match") == snapshotETag(nonce, v) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	payload, n, err := src.SnapshotPayload()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "snapshot unavailable: %v", err)
+		return
+	}
+	w.Header().Set("ETag", snapshotETag(nonce, n))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// snapshotETag formats a per-boot nonce and covered update count as the
+// snapshot ETag.
+func snapshotETag(nonce uint64, n int64) string {
+	return fmt.Sprintf("%q", strconv.FormatUint(nonce, 36)+"-"+strconv.FormatInt(n, 10))
+}
+
+// httpError sends a structured JSON error body with the given status. Every
+// non-2xx response of the tier goes through it, so clients can always parse
+// {"error": ...}.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

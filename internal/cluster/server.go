@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/sharded"
+)
+
+// MaxBodyBytes caps the request body of ingestion endpoints (/update and
+// /merge) at 64 MiB.
+const MaxBodyBytes = 64 << 20
+
+// NewServerHandler returns the HTTP API of one writer node of the
+// distributed tier, serving reads and writes of the given sharded summary:
+//
+//	POST /update    body: whitespace/comma-separated float64s, or — with
+//	                Content-Type: application/json — a JSON array of numbers.
+//	                Either way the whole request is ingested as one batch
+//	                through the summary's bulk UpdateBatch path. A single
+//	                item can also be sent as a ?x= query parameter. NaNs are
+//	                rejected: they have no place in a total order and would
+//	                silently corrupt a comparison-based summary.
+//	GET  /quantile  ?phi=0.5&phi=0.99 -> {"results":[{"phi":0.5,"value":...}],"n":...}
+//	GET  /rank      ?q=1.5            -> {"q":1.5,"rank":...,"n":...}
+//	GET  /cdf       ?q=1&q=2          -> {"points":[{"q":1,"p":...}],"n":...}
+//	GET  /stats                       -> shards, counts, snapshot freshness
+//	GET  /snapshot  the merged view as a binary wire payload
+//	                (internal/encoding format), ETag'd by the update count it
+//	                covers; If-None-Match yields 304 when nothing changed.
+//	                ?fresh=1 forces a snapshot rebuild first (used by tests
+//	                and pull-now tooling; the lock-free default serves the
+//	                published snapshot).
+//	POST /merge     ingest a peer's wire payload: the decoded summary is
+//	                folded into one shard under the COMBINE rule
+//	                (eps_new = max), so nodes can push state to each other.
+//
+// The aggregator (cmd/quantileagg) serves the same read API over the merged
+// view of many such nodes.
+func NewServerHandler[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S]) http.Handler {
+	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		handleUpdate(s, w, r)
+	})
+	registerReadAPI(mux, s)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, map[string]any{
+			"shards":          st.Shards,
+			"count":           st.Count,
+			"snapshot_count":  st.SnapshotCount,
+			"snapshot_stored": st.SnapshotStored,
+			"snapshot_lag":    st.Count - st.SnapshotCount,
+			"refreshes":       st.Refreshes,
+		})
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(s, nonce, w, r)
+	})
+	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
+		handleMerge(s, w, r)
+	})
+	return mux
+}
+
+func handleUpdate[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], w http.ResponseWriter, r *http.Request) {
+	// Parse and validate everything before ingesting anything: a request is
+	// either accepted whole or rejected whole (there is no way to remove
+	// items from a summary, so a partial ingest before a 400 would leave a
+	// retrying client double-counting).
+	var batch []float64
+	for _, raw := range r.URL.Query()["x"] {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) {
+			httpError(w, http.StatusBadRequest, "bad x parameter %q: want a non-NaN float64", raw)
+			return
+		}
+		batch = append(batch, v)
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		return // readBody wrote the response
+	}
+	if len(body) > 0 {
+		var fromBody []float64
+		if isJSONContent(r.Header.Get("Content-Type")) {
+			fromBody, err = parseJSONBatch(body)
+		} else {
+			fromBody, err = parseFloats(string(body))
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		batch = append(batch, fromBody...)
+	}
+	if len(batch) > 0 {
+		s.UpdateBatch(batch)
+	}
+	writeJSON(w, map[string]any{"accepted": len(batch), "n": s.Count()})
+}
+
+func handleSnapshot[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], nonce uint64, w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("fresh"); f == "1" || f == "true" {
+		s.Refresh()
+	}
+	serveSnapshot(w, r, nonce, s)
+}
+
+func handleMerge[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return
+	}
+	dec, err := encoding.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding payload: %v", err)
+		return
+	}
+	other, ok := dec.(S)
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			"payload holds a %T, which this node's summary cannot merge", dec)
+		return
+	}
+	if err := s.MergeSummary(other); err != nil {
+		httpError(w, http.StatusConflict, "merging payload: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"merged": other.Count(), "n": s.Count()})
+}
+
+// readBody drains an ingestion request body under the MaxBodyBytes cap,
+// writing the error response itself when reading fails.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes; split the batch", MaxBodyBytes)
+			return nil, err
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, err
+	}
+	return body, nil
+}
+
+// isJSONContent reports whether a Content-Type header declares JSON. Media
+// types are case-insensitive (RFC 9110) and may carry parameters like
+// "; charset=utf-8".
+func isJSONContent(ct string) bool {
+	mediaType, _, err := mime.ParseMediaType(ct)
+	return err == nil && mediaType == "application/json"
+}
+
+// parseJSONBatch decodes a JSON array of numbers — the batched payload
+// format for producers that already aggregate items (log shippers, metric
+// agents). NaN and infinities are rejected by JSON syntax itself; any other
+// shape (object, nested array, string element) is rejected whole with a
+// structured 400 by the caller.
+func parseJSONBatch(body []byte) ([]float64, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	// Pointers distinguish a JSON null (left nil) from a number: null would
+	// otherwise silently decode to 0 and be ingested.
+	var raw []*float64
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("bad JSON batch: want an array of numbers: %v", err)
+	}
+	// A valid array followed by trailing garbage ("[1,2] oops") must not be
+	// silently half-accepted.
+	if dec.More() {
+		return nil, fmt.Errorf("bad JSON batch: trailing data after the array")
+	}
+	out := make([]float64, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			return nil, fmt.Errorf("bad JSON batch: element %d is null, want a number", i)
+		}
+		out[i] = *p
+	}
+	return out, nil
+}
+
+// parseFloats splits a body on whitespace, commas and newlines.
+func parseFloats(body string) ([]float64, error) {
+	fields := strings.FieldsFunc(body, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ','
+	})
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || math.IsNaN(v) {
+			// Truncate the echoed token: a malformed multi-megabyte body
+			// must not turn into a multi-megabyte error response.
+			if len(f) > 32 {
+				f = f[:32] + "…"
+			}
+			return nil, fmt.Errorf("bad value %q: want a non-NaN float64", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

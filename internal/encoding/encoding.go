@@ -2,9 +2,12 @@
 // quantile summaries, so sketches can be shipped between workers and a
 // coordinator (the distributed aggregation setting of Section 1 of the paper
 // and the "mergeable summaries" line of work it cites) or checkpointed to
-// disk. All four mergeable families are covered: GK, KLL, MRL, and the
-// reservoir — a coordinator can therefore round-trip and merge whichever
-// family its workers run.
+// disk. All four mergeable families are covered — GK, KLL, MRL, and the
+// reservoir — so a coordinator can round-trip and merge whichever family its
+// workers run, and the sliding-window summary round-trips as well (KindWindow)
+// so every facade family can be checkpointed. The generic Encode/Decode pair
+// dispatches on the Kind tag; per-kind functions remain for callers that know
+// what they hold.
 //
 // The format is versioned, little-endian, and self-describing enough to
 // reject foreign payloads: a 4-byte magic, a format version, a summary kind,
@@ -25,6 +28,7 @@ import (
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
+	"quantilelb/internal/window"
 )
 
 // Magic identifies serialized summaries from this package.
@@ -42,7 +46,26 @@ const (
 	KindKLL       Kind = 2
 	KindMRL       Kind = 3
 	KindReservoir Kind = 4
+	KindWindow    Kind = 5
 )
+
+// String returns the short family name used in reports and peer status
+// (e.g. "gk", "kll").
+func (k Kind) String() string {
+	switch k {
+	case KindGK:
+		return "gk"
+	case KindKLL:
+		return "kll"
+	case KindMRL:
+		return "mrl"
+	case KindReservoir:
+		return "reservoir"
+	case KindWindow:
+		return "window"
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
 
 // ErrBadPayload is returned when the payload is not a serialized summary
 // produced by this package.
@@ -84,6 +107,22 @@ func (r *reader) bin(v interface{}) {
 	r.err = binary.Read(r.buf, binary.LittleEndian, v)
 }
 
+// need reports whether at least n more payload bytes remain, poisoning the
+// reader when they do not. Every length-prefixed allocation below is guarded
+// by it so a corrupt payload can declare at most as many elements as it has
+// bytes to back them — without the guard a few flipped length bits would
+// make Decode attempt a multi-gigabyte allocation.
+func (r *reader) need(n int64) bool {
+	if r.err != nil {
+		return false
+	}
+	if int64(r.buf.Len()) < n {
+		r.err = fmt.Errorf("encoding: payload declares %d more bytes but only %d remain", n, r.buf.Len())
+		return false
+	}
+	return true
+}
+
 // EncodeGK serializes a float64 Greenwald–Khanna summary.
 func EncodeGK(s *gk.Summary[float64]) ([]byte, error) {
 	if s == nil {
@@ -93,6 +132,14 @@ func EncodeGK(s *gk.Summary[float64]) ([]byte, error) {
 	w.u32(Magic)
 	w.u16(Version)
 	w.u16(uint16(KindGK))
+	writeGKFields(w, s)
+	return w.buf.Bytes(), w.err
+}
+
+// writeGKFields appends a GK summary's state (accuracy, policy, count,
+// tuples) without the payload header, so it can serve both as the KindGK body
+// and as the per-block record of KindWindow.
+func writeGKFields(w *writer, s *gk.Summary[float64]) {
 	w.f64(s.Epsilon())
 	w.u16(uint16(s.PolicyUsed()))
 	w.i64(int64(s.Count()))
@@ -103,18 +150,11 @@ func EncodeGK(s *gk.Summary[float64]) ([]byte, error) {
 		w.i64(int64(t.G))
 		w.i64(int64(t.Delta))
 	}
-	return w.buf.Bytes(), w.err
 }
 
-// DecodeGK reconstructs a float64 Greenwald–Khanna summary.
-func DecodeGK(payload []byte) (*gk.Summary[float64], error) {
-	r, kind, err := openPayload(payload)
-	if err != nil {
-		return nil, err
-	}
-	if kind != KindGK {
-		return nil, fmt.Errorf("encoding: payload holds kind %d, want GK (%d)", kind, KindGK)
-	}
+// readGKFields reads the record written by writeGKFields and restores the
+// summary.
+func readGKFields(r *reader) (*gk.Summary[float64], error) {
 	eps := r.f64()
 	policy := gk.Policy(r.u16())
 	count := r.i64()
@@ -124,6 +164,9 @@ func DecodeGK(payload []byte) (*gk.Summary[float64], error) {
 	}
 	if count < 0 || numTuples > uint32(count)+1 {
 		return nil, fmt.Errorf("encoding: inconsistent GK payload (n=%d, tuples=%d)", count, numTuples)
+	}
+	if !r.need(int64(numTuples) * 24) {
+		return nil, fmt.Errorf("encoding: truncated GK tuples: %w", r.err)
 	}
 	tuples := make([]gk.Tuple[float64], numTuples)
 	for i := range tuples {
@@ -137,6 +180,18 @@ func DecodeGK(payload []byte) (*gk.Summary[float64], error) {
 		return nil, fmt.Errorf("encoding: %w", err)
 	}
 	return s, nil
+}
+
+// DecodeGK reconstructs a float64 Greenwald–Khanna summary.
+func DecodeGK(payload []byte) (*gk.Summary[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindGK {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want GK (%d)", kind, KindGK)
+	}
+	return readGKFields(r)
 }
 
 // EncodeKLL serializes a float64 KLL sketch.
@@ -191,6 +246,9 @@ func DecodeKLL(payload []byte) (*kll.Sketch[float64], error) {
 		}
 		if int64(sz) > count+1 {
 			return nil, fmt.Errorf("encoding: inconsistent KLL level size %d", sz)
+		}
+		if !r.need(int64(sz) * 8) {
+			return nil, fmt.Errorf("encoding: truncated KLL level: %w", r.err)
 		}
 		level := make([]float64, sz)
 		for j := range level {
@@ -275,6 +333,10 @@ func DecodeMRL(payload []byte) (*mrl.Summary[float64], error) {
 		if int64(numBufs) > count {
 			return nil, fmt.Errorf("encoding: inconsistent MRL level %d buffer count %d", l, numBufs)
 		}
+		// Each serialized buffer occupies at least its 4-byte length prefix.
+		if !r.need(int64(numBufs) * 4) {
+			return nil, fmt.Errorf("encoding: truncated MRL level: %w", r.err)
+		}
 		levels[l] = make([][]float64, numBufs)
 		for b := range levels[l] {
 			sz := r.u32()
@@ -283,6 +345,9 @@ func DecodeMRL(payload []byte) (*mrl.Summary[float64], error) {
 			}
 			if int64(sz) > capacity {
 				return nil, fmt.Errorf("encoding: MRL buffer of %d items exceeds capacity %d", sz, capacity)
+			}
+			if !r.need(int64(sz) * 8) {
+				return nil, fmt.Errorf("encoding: truncated MRL buffer: %w", r.err)
 			}
 			buf := make([]float64, sz)
 			for i := range buf {
@@ -297,6 +362,9 @@ func DecodeMRL(payload []byte) (*mrl.Summary[float64], error) {
 	}
 	if int64(curLen) > capacity {
 		return nil, fmt.Errorf("encoding: MRL partial buffer of %d items exceeds capacity %d", curLen, capacity)
+	}
+	if !r.need(int64(curLen) * 8) {
+		return nil, fmt.Errorf("encoding: truncated MRL payload: %w", r.err)
 	}
 	current := make([]float64, curLen)
 	for i := range current {
@@ -356,6 +424,9 @@ func DecodeReservoir(payload []byte) (*sampling.Reservoir[float64], error) {
 	if capacity < 1 || count < 0 || int64(sampleLen) > capacity || int64(sampleLen) > count {
 		return nil, fmt.Errorf("encoding: inconsistent reservoir payload (capacity=%d, n=%d, sample=%d)", capacity, count, sampleLen)
 	}
+	if !r.need(int64(sampleLen) * 8) {
+		return nil, fmt.Errorf("encoding: truncated reservoir sample: %w", r.err)
+	}
 	sample := make([]float64, sampleLen)
 	for i := range sample {
 		sample[i] = r.f64()
@@ -389,6 +460,135 @@ func readExtremes(r *reader) (mn, mx float64, ok bool) {
 		return r.f64(), r.f64(), true
 	}
 	return 0, 0, false
+}
+
+// EncodeWindow serializes a float64 sliding-window summary: the accuracy and
+// window length, the total items seen, and every live block (stream offset,
+// item count, and the block's own ε/2-accurate GK summary as a nested GK
+// record).
+func EncodeWindow(s *window.Summary[float64]) ([]byte, error) {
+	if s == nil {
+		return nil, errors.New("encoding: nil summary")
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindWindow))
+	w.f64(s.Epsilon())
+	w.i64(int64(s.WindowLen()))
+	w.i64(int64(s.TotalSeen()))
+	blocks := s.ExportBlocks()
+	w.u32(uint32(len(blocks)))
+	for _, b := range blocks {
+		w.i64(int64(b.Start))
+		w.i64(int64(b.Count))
+		writeGKFields(w, b.Summary)
+	}
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeWindow reconstructs a sliding-window summary serialized by
+// EncodeWindow. The decoded summary continues to accept updates; expiry picks
+// up exactly where the encoder's stream position left off.
+func DecodeWindow(payload []byte) (*window.Summary[float64], error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindWindow {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want window (%d)", kind, KindWindow)
+	}
+	eps := r.f64()
+	windowLen := r.i64()
+	totalSeen := r.i64()
+	numBlocks := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated window header: %w", r.err)
+	}
+	if windowLen < 2 || totalSeen < 0 || int64(numBlocks) > totalSeen {
+		return nil, fmt.Errorf("encoding: inconsistent window payload (W=%d, n=%d, blocks=%d)", windowLen, totalSeen, numBlocks)
+	}
+	// Each serialized block occupies at least its two offsets plus a minimal
+	// GK record (eps, policy, count, tuple count): 8+8+8+2+8+4 bytes.
+	if !r.need(int64(numBlocks) * 38) {
+		return nil, fmt.Errorf("encoding: truncated window blocks: %w", r.err)
+	}
+	blocks := make([]window.BlockState[float64], numBlocks)
+	for i := range blocks {
+		start := r.i64()
+		count := r.i64()
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated window block header: %w", r.err)
+		}
+		sum, err := readGKFields(r)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: window block %d: %w", i, err)
+		}
+		blocks[i] = window.BlockState[float64]{Start: int(start), Count: int(count), Summary: sum}
+	}
+	// RestoreOwned: the block summaries were freshly built from the payload
+	// above, so the defensive deep copy of Restore would be pure waste.
+	s, err := window.RestoreOwned(order.Floats[float64](), eps, int(windowLen), int(totalSeen), blocks)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
+}
+
+// Encode serializes any supported float64 summary, dispatching on its
+// concrete type; the payload records the kind so Decode can reverse it
+// without being told what it holds. It is the entry point the distributed
+// tier uses (internal/sharded.SnapshotPayload, internal/cluster).
+func Encode(s any) ([]byte, error) {
+	switch v := s.(type) {
+	case *gk.Summary[float64]:
+		return EncodeGK(v)
+	case *kll.Sketch[float64]:
+		return EncodeKLL(v)
+	case *mrl.Summary[float64]:
+		return EncodeMRL(v)
+	case *sampling.Reservoir[float64]:
+		return EncodeReservoir(v)
+	case *window.Summary[float64]:
+		return EncodeWindow(v)
+	}
+	return nil, fmt.Errorf("encoding: unsupported summary type %T", s)
+}
+
+// Decode reconstructs whichever summary a payload holds, dispatching on the
+// Kind tag. The result is one of *gk.Summary[float64], *kll.Sketch[float64],
+// *mrl.Summary[float64], *sampling.Reservoir[float64], or
+// *window.Summary[float64]; use DetectKind first when the caller needs to
+// know without paying for the full decode.
+func Decode(payload []byte) (any, error) {
+	kind, err := DetectKind(payload)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		dec    any
+		decErr error
+	)
+	switch kind {
+	case KindGK:
+		dec, decErr = DecodeGK(payload)
+	case KindKLL:
+		dec, decErr = DecodeKLL(payload)
+	case KindMRL:
+		dec, decErr = DecodeMRL(payload)
+	case KindReservoir:
+		dec, decErr = DecodeReservoir(payload)
+	case KindWindow:
+		dec, decErr = DecodeWindow(payload)
+	default:
+		return nil, fmt.Errorf("encoding: unknown summary kind %d", kind)
+	}
+	if decErr != nil {
+		// Return an untyped nil: the per-kind decoders return typed nil
+		// pointers on failure, which would make the any non-nil.
+		return nil, decErr
+	}
+	return dec, nil
 }
 
 // DetectKind returns the summary kind stored in a payload without decoding it

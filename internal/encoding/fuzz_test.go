@@ -1,0 +1,105 @@
+package encoding
+
+// FuzzDecode is the decoder-robustness fuzz target run by CI's fuzz smoke
+// job: Decode (and therefore every kind-specific decoder plus the Restore
+// validators behind them) must never panic or over-allocate on corrupt
+// payloads — it either returns a usable summary or an error. The seed corpus
+// holds a valid payload of every kind plus truncations and bit flips of
+// each, the corruption shapes a failing node or a broken transport actually
+// produces.
+
+import (
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/window"
+)
+
+// seedPayloads builds one valid payload per kind, deterministic so the
+// corpus is stable across runs.
+func seedPayloads(tb testing.TB) [][]byte {
+	gkS := gk.NewFloat64(0.02)
+	kllS := kll.NewFloat64(0.02, kll.WithSeed(1))
+	mrlS := mrl.NewFloat64(0.02, 50_000)
+	resS := sampling.NewFloat64(0.1, 0.01, 1)
+	winS := window.NewFloat64(0.1, 200)
+	for i := 0; i < 2_000; i++ {
+		x := float64((i * 7919) % 4001)
+		gkS.Update(x)
+		kllS.Update(x)
+		mrlS.Update(x)
+		resS.Update(x)
+		winS.Update(x)
+	}
+	var out [][]byte
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS} {
+		p, err := Encode(s)
+		if err != nil {
+			tb.Fatalf("building seed corpus: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, p := range seedPayloads(f) {
+		f.Add(p)
+		// Truncations at structurally interesting depths: inside the header,
+		// inside length prefixes, inside element data.
+		for _, cut := range []int{1, 6, 8, 9, 16, 24, len(p) / 2, len(p) - 1} {
+			if cut > 0 && cut < len(p) {
+				f.Add(append([]byte(nil), p[:cut]...))
+			}
+		}
+		// Bit flips sprayed over the payload, hitting magic, version, kind,
+		// counts, and values.
+		for i := 0; i < len(p); i += 1 + len(p)/16 {
+			flipped := append([]byte(nil), p...)
+			flipped[i] ^= 0x80
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a payload at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			if dec != nil {
+				t.Fatalf("Decode returned both a summary and error %v", err)
+			}
+			return
+		}
+		// Whatever survives validation must be a usable summary: queries and
+		// re-encoding must work without panicking, and the re-encoded payload
+		// must decode again (idempotent round trip).
+		type summary interface {
+			Query(float64) (float64, bool)
+			EstimateRank(float64) int
+			Count() int
+			StoredCount() int
+		}
+		s, ok := dec.(summary)
+		if !ok {
+			t.Fatalf("Decode returned non-summary %T", dec)
+		}
+		for _, phi := range []float64{0, 0.5, 1} {
+			s.Query(phi)
+		}
+		s.EstimateRank(0)
+		if s.StoredCount() < 0 || s.Count() < 0 {
+			t.Fatalf("decoded summary has negative counters")
+		}
+		re, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded summary: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-decoding a re-encoded summary: %v", err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package encoding
+
+// Tests for the generic Encode/Decode dispatchers and the KindWindow codec
+// that completes the facade-family coverage.
+
+import (
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/window"
+)
+
+// TestWindowRoundTrip: a sliding-window summary round-trips through the
+// KindWindow payload, answering identically and continuing to expire.
+func TestWindowRoundTrip(t *testing.T) {
+	gen := stream.NewGenerator(9)
+	st := gen.Shuffled(10_000)
+	s := window.NewFloat64(0.05, 1_000)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	payload, err := EncodeWindow(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindWindow {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	restored, err := DecodeWindow(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.TotalSeen() != s.TotalSeen() ||
+		restored.StoredCount() != s.StoredCount() || restored.Blocks() != s.Blocks() {
+		t.Fatalf("restored counters differ")
+	}
+	if restored.Epsilon() != s.Epsilon() || restored.WindowLen() != s.WindowLen() {
+		t.Errorf("restored parameters differ")
+	}
+	for g := 0; g <= 20; g++ {
+		phi := float64(g) / 20
+		want, _ := s.Query(phi)
+		got, _ := restored.Query(phi)
+		if want != got {
+			t.Fatalf("phi=%g: restored answers %g, original %g", phi, got, want)
+		}
+	}
+	// The restored summary must keep ingesting and expiring.
+	for i := 0; i < 2_000; i++ {
+		restored.Update(float64(i))
+	}
+	if err := restored.CheckInvariant(); err != nil {
+		t.Fatalf("restored summary after more updates: %v", err)
+	}
+}
+
+// TestGenericEncodeDecodeAllKinds: every supported family dispatches through
+// Encode and comes back as the same concrete type with the same state.
+func TestGenericEncodeDecodeAllKinds(t *testing.T) {
+	gen := stream.NewGenerator(10)
+	items := gen.Shuffled(5_000).Items()
+
+	gkS := gk.NewFloat64(0.01)
+	kllS := kll.NewFloat64(0.01, kll.WithSeed(1))
+	mrlS := mrl.NewFloat64(0.01, 100_000)
+	resS := sampling.NewFloat64(0.05, 0.01, 1)
+	winS := window.NewFloat64(0.05, 1_000)
+	for _, x := range items {
+		gkS.Update(x)
+		kllS.Update(x)
+		mrlS.Update(x)
+		resS.Update(x)
+		winS.Update(x)
+	}
+
+	cases := []struct {
+		name string
+		sum  any
+		kind Kind
+	}{
+		{"gk", gkS, KindGK},
+		{"kll", kllS, KindKLL},
+		{"mrl", mrlS, KindMRL},
+		{"reservoir", resS, KindReservoir},
+		{"window", winS, KindWindow},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload, err := Encode(tc.sum)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if kind, _ := DetectKind(payload); kind != tc.kind {
+				t.Fatalf("DetectKind = %v, want %v", kind, tc.kind)
+			}
+			dec, err := Decode(payload)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			type counted interface {
+				Count() int
+				Query(float64) (float64, bool)
+			}
+			want := tc.sum.(counted)
+			got, ok := dec.(counted)
+			if !ok {
+				t.Fatalf("decoded %T is not a summary", dec)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("decoded count %d, want %d", got.Count(), want.Count())
+			}
+			wm, _ := want.Query(0.5)
+			gm, _ := got.Query(0.5)
+			if wm != gm {
+				t.Errorf("decoded median %g, want %g", gm, wm)
+			}
+		})
+	}
+}
+
+// TestGenericEncodeRejectsUnsupported: the dispatcher must name the type it
+// cannot handle instead of panicking or silently writing garbage.
+func TestGenericEncodeRejectsUnsupported(t *testing.T) {
+	if _, err := Encode(42); err == nil {
+		t.Error("Encode(int) should fail")
+	}
+	if _, err := Encode(nil); err == nil {
+		t.Error("Encode(nil) should fail")
+	}
+}
+
+// TestKindString pins the names the cluster tier reports in peer status.
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindGK:        "gk",
+		KindKLL:       "kll",
+		KindMRL:       "mrl",
+		KindReservoir: "reservoir",
+		KindWindow:    "window",
+		Kind(99):      "kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint16(k), k.String(), s)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quantilelb/internal/encoding"
 	"quantilelb/internal/summary"
 )
 
@@ -348,6 +349,57 @@ func (s *Sharded[T, S]) Snapshot() (S, int) {
 		sn = s.snap.Load()
 	}
 	return sn.sum, int(sn.n)
+}
+
+// SnapshotPayload serializes the current merged view as a wire payload
+// (internal/encoding format) and returns the number of accepted updates the
+// payload covers. Like Snapshot it is lock-free on the hot path: it reads the
+// published snapshot pointer and never forces a rebuild (except from the
+// initial nil-snapshot state), so writers are never blocked by peers pulling
+// snapshots. The count is monotonic within this process, so it identifies
+// the payload's content for one lifetime — the HTTP tier mixes it with a
+// per-boot nonce to form the /snapshot ETag.
+func (s *Sharded[T, S]) SnapshotPayload() ([]byte, int64, error) {
+	sum, n := s.Snapshot()
+	payload, err := encoding.Encode(sum)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, int64(n), nil
+}
+
+// SnapshotVersion reports the number of accepted updates the published
+// snapshot covers, without serializing anything; ok is false before the
+// first snapshot is built. The count is monotonic within this process, so
+// the /snapshot handler (with its per-boot nonce) uses it to answer
+// If-None-Match revalidation without paying for an encode.
+func (s *Sharded[T, S]) SnapshotVersion() (int64, bool) {
+	sn := s.snap.Load()
+	if sn == nil {
+		return 0, false
+	}
+	return sn.n, true
+}
+
+// MergeSummary folds an independently built summary — typically a peer's
+// decoded snapshot — into one shard, under that shard's lock only. The merged
+// items become visible to queries at the next snapshot rebuild, and the
+// accuracy budget follows the COMBINE rule: eps_new = max(own eps, other's
+// eps). other must be mergeable with the factory's summaries (same structural
+// parameters where the family requires them); the summary's own Merge
+// validates that and its error is returned verbatim. other is not modified,
+// but must not be mutated concurrently by the caller.
+func (s *Sharded[T, S]) MergeSummary(other S) error {
+	n := other.Count()
+	sh := s.pick()
+	sh.mu.Lock()
+	err := sh.sum.Merge(other)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.total.Add(int64(n))
+	return nil
 }
 
 // Stats reports operational counters for monitoring endpoints.

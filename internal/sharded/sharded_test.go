@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"quantilelb/internal/encoding"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mrl"
@@ -294,5 +295,92 @@ func TestAllFactoriesBatched(t *testing.T) {
 	}
 	if s := New(func() *sampling.Reservoir[float64] { return sampling.NewFloat64(0.05, 0.05, 1) }, 2); !s.Batched() {
 		t.Errorf("reservoir shards should use the batch path")
+	}
+}
+
+// TestSnapshotPayloadRoundTrip: the wire export of the merged view must
+// decode to a summary with the same count and answers, and its covered-count
+// must track the published snapshot (the /snapshot ETag contract).
+func TestSnapshotPayloadRoundTrip(t *testing.T) {
+	s := New(gkFactory(0.01), 4)
+	for i := 0; i < 5000; i++ {
+		s.Update(float64(i))
+	}
+	s.Refresh()
+	payload, n, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("SnapshotPayload: %v", err)
+	}
+	if n != 5000 {
+		t.Fatalf("payload covers %d updates, want 5000", n)
+	}
+	dec, err := encoding.Decode(payload)
+	if err != nil {
+		t.Fatalf("decoding payload: %v", err)
+	}
+	g, ok := dec.(*gk.Summary[float64])
+	if !ok {
+		t.Fatalf("payload decodes to %T, want *gk.Summary[float64]", dec)
+	}
+	if g.Count() != 5000 {
+		t.Fatalf("decoded count = %d, want 5000", g.Count())
+	}
+	med, _ := g.Query(0.5)
+	if med < 2400 || med > 2600 {
+		t.Errorf("decoded median = %g, want ~2500", med)
+	}
+
+	// Without new updates the covered-count must not move (ETag stability);
+	// with new updates and a refresh it must.
+	_, n2, _ := s.SnapshotPayload()
+	if n2 != n {
+		t.Errorf("covered count moved without updates: %d -> %d", n, n2)
+	}
+	s.Update(1)
+	s.Refresh()
+	_, n3, _ := s.SnapshotPayload()
+	if n3 != n+1 {
+		t.Errorf("covered count after one more update = %d, want %d", n3, n+1)
+	}
+}
+
+// TestMergeSummary: folding an external summary in must preserve the global
+// count and answer over the union, and reject structurally incompatible
+// summaries without corrupting state.
+func TestMergeSummary(t *testing.T) {
+	s := New(gkFactory(0.01), 4)
+	for i := 0; i < 1000; i++ {
+		s.Update(float64(i))
+	}
+	other := gk.NewFloat64(0.02)
+	for i := 1000; i < 2000; i++ {
+		other.Update(float64(i))
+	}
+	if err := s.MergeSummary(other); err != nil {
+		t.Fatalf("MergeSummary: %v", err)
+	}
+	if s.Count() != 2000 {
+		t.Fatalf("count after merge = %d, want 2000", s.Count())
+	}
+	s.Refresh()
+	if r := s.EstimateRank(2000); r != 2000 {
+		t.Errorf("rank(2000) = %d, want 2000", r)
+	}
+	med, _ := s.Query(0.5)
+	if med < 900 || med > 1100 {
+		t.Errorf("median over the union = %g, want ~1000", med)
+	}
+
+	// Structurally incompatible merge (MRL with different capacity) must
+	// surface the summary's own error and leave the count unchanged.
+	m := New(func() *mrl.Summary[float64] { return mrl.NewFloat64(0.01, 10_000) }, 2)
+	m.Update(1)
+	foreign := mrl.NewFloat64(0.5, 16) // tiny capacity, incompatible
+	foreign.Update(2)
+	if err := m.MergeSummary(foreign); err == nil {
+		t.Fatal("merging an incompatible MRL should fail")
+	}
+	if m.Count() != 1 {
+		t.Errorf("failed merge changed count to %d", m.Count())
 	}
 }

@@ -225,6 +225,84 @@ func (s *Summary[T]) EstimateRank(q T) int {
 	return est
 }
 
+// BlockState is the exported state of one live block, used by the
+// serialization layer (internal/encoding) to round-trip a sliding-window
+// summary. Summary is the block's own GK summary (built with accuracy eps/2);
+// callers must not mutate it.
+type BlockState[T any] struct {
+	// Start is the 0-based stream index of the block's first item.
+	Start int
+	// Count is the number of items the block ingested.
+	Count int
+	// Summary is the block's ε/2-accurate GK summary over those items.
+	Summary *gk.Summary[T]
+}
+
+// ExportBlocks returns the state of every live block in stream order. The
+// returned block summaries are shared with the receiver, not copied; treat
+// them as read-only.
+func (s *Summary[T]) ExportBlocks() []BlockState[T] {
+	out := make([]BlockState[T], len(s.blocks))
+	for i, b := range s.blocks {
+		out[i] = BlockState[T]{Start: b.start, Count: b.count, Summary: b.summary}
+	}
+	return out
+}
+
+// Restore reconstructs a sliding-window summary from previously exported
+// state (accuracy, window length, total items seen, and the live blocks),
+// validating the structural invariants before accepting it. Block summaries
+// are deep-copied, so restoring from a live summary's ExportBlocks never
+// shares mutable GK state with the original; decoders that own freshly
+// built blocks use RestoreOwned to skip the copy.
+func Restore[T any](cmp order.Comparator[T], eps float64, windowLen, totalSeen int, blocks []BlockState[T]) (*Summary[T], error) {
+	copied := make([]BlockState[T], len(blocks))
+	for i, b := range blocks {
+		if b.Summary == nil {
+			return nil, fmt.Errorf("window: restore: block %d has no summary", i)
+		}
+		sum, err := gk.Restore(cmp, b.Summary.Epsilon(), b.Summary.PolicyUsed(), b.Summary.Count(), b.Summary.Tuples())
+		if err != nil {
+			return nil, fmt.Errorf("window: restore: block %d: %w", i, err)
+		}
+		copied[i] = BlockState[T]{Start: b.Start, Count: b.Count, Summary: sum}
+	}
+	return RestoreOwned(cmp, eps, windowLen, totalSeen, copied)
+}
+
+// RestoreOwned is Restore without the defensive deep copy: the caller
+// transfers ownership of the block summaries and must not touch them
+// afterwards. The serialization decoder uses it — its blocks are freshly
+// built from the payload, so copying them again would only double the
+// restore cost.
+func RestoreOwned[T any](cmp order.Comparator[T], eps float64, windowLen, totalSeen int, blocks []BlockState[T]) (*Summary[T], error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("window: restore: eps %v out of (0, 1)", eps)
+	}
+	if windowLen < 2 {
+		return nil, fmt.Errorf("window: restore: window length %d below 2", windowLen)
+	}
+	if totalSeen < 0 {
+		return nil, fmt.Errorf("window: restore: negative item count")
+	}
+	if totalSeen > 0 && len(blocks) == 0 {
+		return nil, fmt.Errorf("window: restore: %d items seen but no live blocks", totalSeen)
+	}
+	s := New(cmp, eps, windowLen)
+	s.n = totalSeen
+	s.blocks = make([]*block[T], len(blocks))
+	for i, b := range blocks {
+		if b.Summary == nil {
+			return nil, fmt.Errorf("window: restore: block %d has no summary", i)
+		}
+		s.blocks[i] = &block[T]{start: b.Start, count: b.Count, summary: b.Summary}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("window: restore: %w", err)
+	}
+	return s, nil
+}
+
 // CheckInvariant validates structural invariants: block boundaries are
 // contiguous, block counts are within the block length, and no fully expired
 // block is retained.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"quantilelb/internal/order"
 	"quantilelb/internal/rank"
 	"quantilelb/internal/stream"
 )
@@ -184,6 +185,148 @@ func TestBeforeWindowFullMatchesPlainSummary(t *testing.T) {
 		if e := oracle.RankError(got, phi); float64(e) > eps*float64(st.Len())+float64(s.BlockLen()) {
 			t.Errorf("phi=%v error %d", phi, e)
 		}
+	}
+}
+
+// TestWorkloadMatrix is the window's workload-matrix coverage: for every
+// generator in internal/stream, the summary is checked against the exact
+// oracle over the window's true content at several checkpoints — before the
+// window fills, right as it fills, and deep into steady-state expiry — and
+// the structural invariant must hold at every checkpoint.
+func TestWorkloadMatrix(t *testing.T) {
+	const (
+		eps       = 0.05
+		windowLen = 2000
+		n         = 7000
+	)
+	gen := stream.NewGenerator(7)
+	for _, name := range stream.WorkloadNames() {
+		t.Run(name, func(t *testing.T) {
+			st, err := gen.ByName(name, n)
+			if err != nil {
+				t.Fatalf("generating %s: %v", name, err)
+			}
+			items := st.Items()
+			s := NewFloat64(eps, windowLen)
+			checkpoints := map[int]bool{
+				windowLen / 2: true, // window partially full
+				windowLen:     true, // exactly full
+				3 * windowLen: true, // steady-state expiry
+				n:             true, // final state
+			}
+			for i, x := range items {
+				s.Update(x)
+				if !checkpoints[i+1] {
+					continue
+				}
+				if err := s.CheckInvariant(); err != nil {
+					t.Fatalf("after %d items: %v", i+1, err)
+				}
+				lo := 0
+				if i+1 > windowLen {
+					lo = i + 1 - windowLen
+				}
+				oracle := rank.Float64Oracle(items[lo : i+1])
+				w := i + 1 - lo
+				// Query guarantee: ε′·W from the block summaries plus one
+				// block of slack from the partially expired oldest block
+				// (≤ εW in total); +1 absorbs rank quantization.
+				queryLimit := eps*float64(w) + float64(s.BlockLen()) + 1
+				for g := 0; g <= 40; g++ {
+					phi := float64(g) / 40
+					got, ok := s.Query(phi)
+					if !ok {
+						t.Fatalf("Query(%g) failed with %d items in window", phi, w)
+					}
+					if e := oracle.RankError(got, phi); float64(e) > queryLimit {
+						t.Errorf("n=%d phi=%g: rank error %d > %.0f", i+1, phi, e, queryLimit)
+					}
+				}
+				// EstimateRank additionally scales the oldest block's
+				// contribution by its expired share, a heuristic worth one
+				// more block of slack.
+				rankLimit := eps*float64(w) + 2*float64(s.BlockLen()) + 1
+				for g := 0; g <= 10; g++ {
+					q := oracle.Quantile(float64(g) / 10)
+					got := s.EstimateRank(q)
+					rlo, rhi := oracle.RankRange(q)
+					errLow, errHigh := float64(rlo-got), float64(got-rhi)
+					if errLow > rankLimit || errHigh > rankLimit {
+						t.Errorf("n=%d EstimateRank(%g) = %d outside [%d, %d] ± %.0f", i+1, q, got, rlo, rhi, rankLimit)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExportRestoreRoundTrip pins the serialization contract used by
+// internal/encoding: an exported-and-restored summary answers exactly like
+// the original and keeps expiring correctly as the stream continues.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	eps := 0.05
+	s := NewFloat64(eps, 500)
+	gen := stream.NewGenerator(11)
+	st := gen.Shuffled(2000)
+	for _, x := range st.Items() {
+		s.Update(x)
+	}
+	r, err := Restore(order.Floats[float64](), eps, s.WindowLen(), s.TotalSeen(), s.ExportBlocks())
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for g := 0; g <= 20; g++ {
+		phi := float64(g) / 20
+		want, _ := s.Query(phi)
+		got, _ := r.Query(phi)
+		if want != got {
+			t.Fatalf("phi=%g: restored answers %g, original %g", phi, got, want)
+		}
+	}
+	// Continue the stream on the restored copy; expiry must pick up where
+	// the original's stream position left off.
+	for i := 0; i < 1000; i++ {
+		r.Update(float64(i))
+		if i%251 == 0 {
+			if err := r.CheckInvariant(); err != nil {
+				t.Fatalf("restored summary after %d more items: %v", i+1, err)
+			}
+		}
+	}
+	if r.Count() != 500 {
+		t.Errorf("restored window count = %d, want 500", r.Count())
+	}
+	// Restore deep-copies block state: mutating the restored copy above must
+	// not have leaked items into the still-live original.
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("original summary corrupted by updates to its restored copy: %v", err)
+	}
+	if s.TotalSeen() != 2000 {
+		t.Errorf("original TotalSeen = %d after mutating the copy, want 2000", s.TotalSeen())
+	}
+}
+
+// TestRestoreRejectsCorruptState: restore must not accept states that break
+// the window invariants.
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	s := NewFloat64(0.1, 100)
+	for i := 0; i < 300; i++ {
+		s.Update(float64(i))
+	}
+	blocks := s.ExportBlocks()
+	if _, err := Restore(order.Floats[float64](), 0.1, 100, s.TotalSeen(), nil); err == nil {
+		t.Error("restore with items seen but no blocks should fail")
+	}
+	if _, err := Restore(order.Floats[float64](), 0.1, 100, s.TotalSeen()+5, blocks); err == nil {
+		t.Error("restore with non-contiguous final block should fail")
+	}
+	if _, err := Restore(order.Floats[float64](), 1.5, 100, s.TotalSeen(), blocks); err == nil {
+		t.Error("restore with eps out of range should fail")
+	}
+	bad := append([]BlockState[float64](nil), blocks...)
+	bad[0].Summary = nil
+	if _, err := Restore(order.Floats[float64](), 0.1, 100, s.TotalSeen(), bad); err == nil {
+		t.Error("restore with a nil block summary should fail")
 	}
 }
 

@@ -194,6 +194,44 @@ func ReservoirFactory(eps, delta float64, seed int64) func() *sampling.Reservoir
 	}
 }
 
+// Snapshot serializes any encodable summary into the compact binary wire
+// payload of internal/encoding, dispatching on its concrete type: GK, KLL,
+// MRL, reservoir, and sliding-window summaries encode directly, and a
+// sharded summary (NewSharded) is refreshed first so the payload covers
+// every accepted update — Snapshot is the checkpoint entry point, where
+// completeness beats the lock-free staleness the serving tier tolerates.
+// The payload is what the distributed tier ships between nodes
+// (quantileserver's GET /snapshot, quantileagg's pulls); RestoreAny
+// reverses it.
+func Snapshot(s Summary) ([]byte, error) {
+	type payloader interface {
+		Refresh()
+		SnapshotPayload() ([]byte, int64, error)
+	}
+	if p, ok := s.(payloader); ok {
+		p.Refresh()
+		payload, _, err := p.SnapshotPayload()
+		return payload, err
+	}
+	return encoding.Encode(s)
+}
+
+// RestoreAny reconstructs whichever summary a wire payload holds, dispatching
+// on the payload's kind tag. The result answers queries and continues to
+// accept updates; type-assert to the concrete type (e.g.
+// *gk.Summary[float64]) when merge or family-specific methods are needed.
+func RestoreAny(payload []byte) (Summary, error) {
+	dec, err := encoding.Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := dec.(Summary)
+	if !ok {
+		return nil, fmt.Errorf("quantilelb: payload decodes to %T, which is not a Summary", dec)
+	}
+	return s, nil
+}
+
 // EncodeGK serializes a GK summary into a compact binary payload that can be
 // shipped to a coordinator or checkpointed; DecodeGK reverses it.
 func EncodeGK(s *gk.Summary[float64]) ([]byte, error) { return encoding.EncodeGK(s) }

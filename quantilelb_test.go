@@ -288,3 +288,57 @@ func TestFacadeMergeGK(t *testing.T) {
 		t.Errorf("merged median rank error %d exceeds eps*N", err)
 	}
 }
+
+// TestFacadeSnapshotRestoreAny: every facade family that the wire format
+// covers round-trips through the generic Snapshot/RestoreAny pair, and a
+// sharded summary snapshots its merged view.
+func TestFacadeSnapshotRestoreAny(t *testing.T) {
+	gen := stream.NewGenerator(21)
+	items := gen.Shuffled(4000).Items()
+	summaries := map[string]quantilelb.Summary{
+		"gk":        quantilelb.NewGK(0.01),
+		"kll":       quantilelb.NewKLL(0.01, 5),
+		"mrl":       quantilelb.NewMRL(0.01, 100000),
+		"reservoir": quantilelb.NewReservoir(0.05, 0.01, 5),
+		"window":    quantilelb.NewSlidingWindow(0.05, 100000),
+	}
+	for name, s := range summaries {
+		feed(s, items)
+		payload, err := quantilelb.Snapshot(s)
+		if err != nil {
+			t.Fatalf("%s: Snapshot: %v", name, err)
+		}
+		restored, err := quantilelb.RestoreAny(payload)
+		if err != nil {
+			t.Fatalf("%s: RestoreAny: %v", name, err)
+		}
+		if restored.Count() != s.Count() {
+			t.Errorf("%s: restored count %d, want %d", name, restored.Count(), s.Count())
+		}
+		want, _ := s.Query(0.5)
+		got, _ := restored.Query(0.5)
+		if want != got {
+			t.Errorf("%s: restored median %g, want %g", name, got, want)
+		}
+	}
+
+	// A sharded summary snapshots its merged view.
+	sh := quantilelb.NewSharded(quantilelb.GKFactory(0.01), 4)
+	feed(sh, items)
+	payload, err := quantilelb.Snapshot(sh)
+	if err != nil {
+		t.Fatalf("sharded: Snapshot: %v", err)
+	}
+	restored, err := quantilelb.RestoreAny(payload)
+	if err != nil {
+		t.Fatalf("sharded: RestoreAny: %v", err)
+	}
+	if restored.Count() != len(items) {
+		t.Errorf("sharded: restored count %d, want %d", restored.Count(), len(items))
+	}
+
+	// Garbage must error, not panic.
+	if _, err := quantilelb.RestoreAny([]byte("garbage")); err == nil {
+		t.Error("RestoreAny on garbage should fail")
+	}
+}
