@@ -1,7 +1,7 @@
 // Command benchdiff is the benchmark-regression gate run by CI: it compares
 // a freshly produced workload-matrix report (cmd/bench) against the
 // committed baseline (the newest BENCH_PR<n>.json at the repository root,
-// currently BENCH_PR3.json) and fails — by
+// currently BENCH_PR4.json) and fails — by
 // exiting non-zero — on accuracy regressions, defined as any family ×
 // workload × mode cell whose measured max rank error exceeds the accuracy
 // the family was configured for. Speed is hardware- and runner-dependent, so
@@ -14,10 +14,18 @@
 // does not break CI while a real regression (error growing by multiples)
 // still does.
 //
+// The keyed-fanout families (store-zipf-*) additionally gate on lifecycle
+// management: any cell that declares a retained-bytes budget must have
+// stayed within it, and the update-mode cells must actually have evicted
+// keys to do so — zero evictions there means the lifecycle path silently
+// stopped running, which is a regression even though nothing overflowed.
+// (Batch mode routes whole batches to one key each, touching too few keys
+// to exceed the budget on small runs, so only the ceiling gates it.)
+//
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
-//	go run ./cmd/benchdiff -baseline BENCH_PR3.json -report /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR4.json -report /tmp/bench-ci.json
 package main
 
 import (
@@ -39,7 +47,7 @@ var randomized = map[string]bool{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR3.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR4.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)
@@ -61,6 +69,7 @@ func main() {
 	}
 
 	failures := gateAccuracy(report, *slack)
+	failures = append(failures, gateBudget(report)...)
 	printSpeedDeltas(baseline, report)
 	printCoverageDrift(baseline, report)
 
@@ -112,6 +121,31 @@ func gateAccuracy(rep *bench.Report, slack float64) []string {
 			failures = append(failures, fmt.Sprintf(
 				"%s/%s/%s: max rank error %d > limit %.0f (eps=%g, n=%d)",
 				c.Family, c.Workload, c.Mode, c.MaxRankError, limit, c.EpsTarget, c.N))
+		}
+	}
+	return failures
+}
+
+// gateBudget returns one failure line per keyed-store cell that exceeded
+// its declared retained-bytes budget, plus one per budgeted update-mode
+// cell that never evicted under it (lifecycle management silently not
+// running; batch mode touches too few keys on small runs to require
+// eviction, so only the ceiling gates it).
+func gateBudget(rep *bench.Report) []string {
+	var failures []string
+	for _, c := range rep.Cells {
+		if c.BudgetBytes <= 0 {
+			continue
+		}
+		if int64(c.RetainedBytes) > c.BudgetBytes {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s/%s: retained %d bytes exceeds budget %d",
+				c.Family, c.Workload, c.Mode, c.RetainedBytes, c.BudgetBytes))
+		}
+		if c.Mode == "update" && c.Evictions == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s/%s: budgeted cell recorded zero evictions (lifecycle not exercised)",
+				c.Family, c.Workload, c.Mode))
 		}
 	}
 	return failures

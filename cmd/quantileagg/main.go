@@ -1,8 +1,10 @@
 // Command quantileagg is the aggregator node of the distributed tier
-// (internal/cluster): it periodically pulls the binary /snapshot of every
+// (internal/cluster): it periodically pulls the binary snapshot of every
 // configured quantileserver peer, merges them under the COMBINE rule
 // (eps_new = max over peers — distribution adds no error), and serves the
-// globally merged read API:
+// globally merged read API.
+//
+// Default (single-stream) mode pulls GET /snapshot of each peer:
 //
 //	GET  /quantile  ?phi=0.5&phi=0.99  global quantiles over all peers
 //	GET  /rank      ?q=1.5             global rank estimate
@@ -12,14 +14,27 @@
 //	                                   payload (aggregators compose into trees)
 //	POST /pull                         force a pull round now
 //
+// With -keyed it pulls GET /store/snapshot (the multi-key container of the
+// keyed store tier) instead and merges *per key* — a key held by several
+// peers gets their summaries COMBINE-merged, a key held by one passes
+// through — serving:
+//
+//	GET  /k/{key}/quantile  per-key global quantiles
+//	GET  /k/{key}/rank      per-key global rank estimate
+//	GET  /k/{key}/cdf       per-key global CDF points
+//	GET  /keys              every key any peer holds
+//	GET  /stats             merged key count + per-peer pull health
+//	GET  /store/snapshot    merged keyed view re-exported as a container
+//	POST /pull              force a pull round now
+//
 // A peer that cannot be reached keeps contributing its last successful
 // snapshot; its error shows up in /stats until it recovers.
 //
 // Example:
 //
 //	quantileserver -addr :8081 & quantileserver -addr :8082 & quantileserver -addr :8083 &
-//	quantileagg -addr :8080 -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
-//	curl -s 'localhost:8080/quantile?phi=0.5'
+//	quantileagg -addr :8080 -keyed -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	curl -s 'localhost:8080/k/checkout.latency/quantile?phi=0.99'
 package main
 
 import (
@@ -39,6 +54,7 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://host:8081,http://host:8082)")
 		interval = flag.Duration("interval", 2*time.Second, "pull interval")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-pull HTTP timeout")
+		keyed    = flag.Bool("keyed", false, "aggregate the keyed store tier (pull /store/snapshot, merge per key)")
 	)
 	flag.Parse()
 
@@ -51,16 +67,29 @@ func main() {
 	if len(urls) == 0 {
 		log.Fatal("quantileagg: -peers is required (comma-separated base URLs)")
 	}
+	client := &http.Client{Timeout: *timeout}
 
-	agg := cluster.NewHTTP(&http.Client{Timeout: *timeout}, urls...)
-	if err := agg.PullOnce(context.Background()); err != nil {
+	var (
+		handler  http.Handler
+		pullOnce func(context.Context) error
+		start    func(time.Duration) func()
+	)
+	if *keyed {
+		agg := cluster.NewKeyedHTTP(client, urls...)
+		handler, pullOnce, start = cluster.NewKeyedAggregatorHandler(agg), agg.PullOnce, agg.Start
+	} else {
+		agg := cluster.NewHTTP(client, urls...)
+		handler, pullOnce, start = cluster.NewAggregatorHandler(agg), agg.PullOnce, agg.Start
+	}
+
+	if err := pullOnce(context.Background()); err != nil {
 		// Partial failures are expected at startup (peers may still be
 		// coming up); the pull loop keeps retrying.
 		log.Printf("quantileagg: initial pull: %v", err)
 	}
-	stop := agg.Start(*interval)
+	stop := start(*interval)
 	defer stop()
 
-	log.Printf("quantileagg listening on %s (%d peers, pull every %s)", *addr, len(urls), *interval)
-	log.Fatal(http.ListenAndServe(*addr, cluster.NewAggregatorHandler(agg)))
+	log.Printf("quantileagg listening on %s (%d peers, keyed=%v, pull every %s)", *addr, len(urls), *keyed, *interval)
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

@@ -1,10 +1,11 @@
-// Command quantileserver exposes a sharded concurrent quantile summary over
-// HTTP — one writer node of the distributed tier in internal/cluster. Every
-// request handler goroutine is a writer or reader of the same summary, with
-// no coordination beyond the sharded ingestion layer itself.
+// Command quantileserver exposes a sharded concurrent quantile summary — and
+// a multi-tenant keyed store of summaries — over HTTP: one writer node of
+// the distributed tier in internal/cluster. Every request handler goroutine
+// is a writer or reader of the same summaries, with no coordination beyond
+// the sharded ingestion layer and the keyed store's lock striping.
 //
-// Endpoints (served by cluster.NewServerHandler; see its doc comment for the
-// full contract):
+// Single-stream endpoints (served by cluster.NewServerHandler; see its doc
+// comment for the full contract):
 //
 //	POST /update    ingest a batch: whitespace/comma-separated float64s, a
 //	                JSON array of numbers (Content-Type: application/json),
@@ -17,16 +18,30 @@
 //	                                      view, ETag'd by update count
 //	POST /merge                        -> ingest a peer's wire payload
 //
+// Keyed endpoints (served by cluster.NewKeyedServerHandler; one summary per
+// metric/tenant key, created lazily, evicted LRU under -store-budget and
+// after -store-ttl idle):
+//
+//	POST /k/{key}/update    ingest a batch into one key (same body formats)
+//	GET  /k/{key}/quantile  per-key quantiles (same JSON shapes as above)
+//	GET  /k/{key}/rank      per-key rank estimate
+//	GET  /k/{key}/cdf       per-key CDF points
+//	GET  /keys              list live keys
+//	GET  /store/stats       key count, retained bytes vs budget, evictions
+//	GET  /store/snapshot    the whole store as one binary container payload
+//	POST /store/merge       ingest a peer's keyed container, merged per key
+//
 // Example session:
 //
 //	quantileserver -addr :8080 -eps 0.01 -shards 16 &
 //	seq 1 100000 | shuf | curl -s --data-binary @- localhost:8080/update
-//	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/update
-//	curl -s 'localhost:8080/quantile?phi=0.5&phi=0.99'
-//	curl -s localhost:8080/snapshot -o node.sketch
+//	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/k/checkout.latency/update
+//	curl -s 'localhost:8080/k/checkout.latency/quantile?phi=0.99'
+//	curl -s localhost:8080/keys
 //
 // Run several of these and point cmd/quantileagg at them to serve globally
-// merged quantiles (README.md has a 3-server quickstart).
+// merged quantiles — with -keyed, merged per key (README.md has
+// quickstarts for both tiers).
 package main
 
 import (
@@ -41,11 +56,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		eps      = flag.Float64("eps", 0.01, "summary accuracy epsilon")
-		shards   = flag.Int("shards", 16, "number of lock-striped shards")
-		refresh  = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
-		interval = flag.Duration("interval", time.Second, "background snapshot refresh interval (0 disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		eps         = flag.Float64("eps", 0.01, "summary accuracy epsilon (single-stream and per-key default)")
+		shards      = flag.Int("shards", 16, "number of lock-striped shards")
+		refresh     = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
+		interval    = flag.Duration("interval", time.Second, "background snapshot refresh interval (0 disables)")
+		storeBudget = flag.Int64("store-budget", 256<<20, "keyed store retained-bytes budget; LRU-evicts beyond it (0 = unbounded)")
+		storeTTL    = flag.Duration("store-ttl", 0, "evict keys idle for this long (0 disables)")
+		storeSweep  = flag.Duration("store-sweep", 10*time.Second, "keyed store janitor interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -56,6 +74,17 @@ func main() {
 		defer stop()
 	}
 
-	log.Printf("quantileserver listening on %s (eps=%g shards=%d)", *addr, *eps, *shards)
-	log.Fatal(http.ListenAndServe(*addr, cluster.NewServerHandler(s)))
+	st := quantilelb.NewStore(quantilelb.StoreConfig{
+		Eps:              *eps,
+		MaxRetainedBytes: *storeBudget,
+		IdleTTL:          *storeTTL,
+	})
+	if *storeSweep > 0 {
+		stop := st.StartJanitor(*storeSweep)
+		defer stop()
+	}
+
+	log.Printf("quantileserver listening on %s (eps=%g shards=%d store-budget=%d)",
+		*addr, *eps, *shards, *storeBudget)
+	log.Fatal(http.ListenAndServe(*addr, cluster.NewStoreServerHandler(s, st)))
 }

@@ -71,3 +71,25 @@ func ExampleEncodeGK() {
 	// answers equal: true
 	// keeps ingesting: 1001
 }
+
+// ExampleNewStore is the keyed-metrics tour: one store, one summary per
+// metric key, created lazily and queried independently — with a per-key
+// accuracy override for the metric that matters most.
+func ExampleNewStore() {
+	st := quantilelb.NewStore(quantilelb.StoreConfig{
+		Eps:          0.02,
+		EpsOverrides: map[string]float64{"checkout.latency": 0.001},
+	})
+	for i := 1; i <= 10_000; i++ {
+		st.Update("checkout.latency", float64(i))
+		st.Update("search.latency", float64(i%100))
+	}
+	p99, _ := st.Query("checkout.latency", 0.99)
+	fmt.Println("keys:", st.Keys())
+	fmt.Println("checkout p99 within 0.1%:", math.Abs(p99-9900) <= 10)
+	fmt.Println("search n:", st.Count("search.latency"))
+	// Output:
+	// keys: [checkout.latency search.latency]
+	// checkout p99 within 0.1%: true
+	// search n: 10000
+}

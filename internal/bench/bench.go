@@ -47,6 +47,12 @@ type refresher interface {
 	Refresh()
 }
 
+// evictioner is implemented by the keyed-store targets; the harness records
+// how many keys lifecycle management evicted during the cell.
+type evictioner interface {
+	Evictions() int
+}
+
 // Family describes one summary family in the matrix.
 type Family struct {
 	// Name identifies the family in the report (e.g. "gk", "sharded-kll").
@@ -59,8 +65,13 @@ type Family struct {
 	BytesPerItem int
 	// EpsTarget is the uniform accuracy the family was configured for, or 0
 	// when the family makes no uniform guarantee (biased: relative error
-	// only; capped: deliberately unsound).
+	// only; capped: deliberately unsound; keyed fanout beyond one key: the
+	// recorded answer is a per-key subsample of the workload).
 	EpsTarget float64
+	// BudgetBytes is the global retained-bytes budget a keyed-store family
+	// runs under (0 for unbudgeted families). cmd/benchdiff gates
+	// RetainedBytes <= BudgetBytes for cells that set it.
+	BudgetBytes int64
 }
 
 // Workload is one column of the matrix: a named, materialized stream.
@@ -90,6 +101,12 @@ type Cell struct {
 	// uniform guarantee (EpsTarget > 0).
 	EpsTarget float64 `json:"eps_target,omitempty"`
 	WithinEps bool    `json:"within_eps,omitempty"`
+	// BudgetBytes and Evictions are only set for keyed-store families:
+	// BudgetBytes echoes the family's global retained-bytes budget (the
+	// benchdiff gate asserts RetainedBytes <= BudgetBytes), and Evictions
+	// counts the keys the store evicted to stay under it.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	Evictions   int   `json:"evictions,omitempty"`
 }
 
 // Report is the machine-readable result of one full matrix run; cmd/bench
@@ -246,6 +263,10 @@ func measure(cfg Config, fam Family, wl Workload, oracle *rank.Oracle[float64], 
 		RetainedItems: s.StoredCount(),
 		RetainedBytes: s.StoredCount() * fam.BytesPerItem,
 		EpsTarget:     fam.EpsTarget,
+		BudgetBytes:   fam.BudgetBytes,
+	}
+	if ev, ok := s.(evictioner); ok {
+		cell.Evictions = ev.Evictions()
 	}
 	worst := 0
 	for i := 0; i <= cfg.Grid; i++ {

@@ -37,7 +37,7 @@ const shardedWidth = 16
 func DefaultFamilies(cfg Config) []Family {
 	eps := cfg.Eps
 	maxN := cfg.N * 2 // headroom: adversarial workload length is quantized
-	return []Family{
+	families := []Family{
 		{
 			Name:         "gk",
 			New:          func() Target { return gk.NewFloat64(eps) },
@@ -127,4 +127,7 @@ func DefaultFamilies(cfg Config) []Family {
 			EpsTarget:    eps,
 		},
 	}
+	// Keyed-fanout families: the multi-tenant store at 1/100/10k keys with
+	// zipf key popularity (see keyed.go).
+	return append(families, keyedFamilies(cfg)...)
 }

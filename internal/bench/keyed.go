@@ -1,0 +1,125 @@
+package bench
+
+// Keyed-fanout families: the multi-tenant store of internal/store driven at
+// 1, 100, and 10 000 keys with zipf-distributed key popularity — the shape
+// of real per-metric/per-tenant deployments, where a few keys are hot and a
+// long tail is cold. The cells record what multi-tenancy costs on the write
+// path (key routing, stripe locking, lazy creation) and what lifecycle
+// management does under a global retained-bytes budget: the 10k-key family
+// runs under a budget deliberately below its unevicted footprint, so its
+// cells prove the store stays within budget by evicting cold keys rather
+// than growing without bound.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quantilelb/internal/store"
+)
+
+// keyedBudgetBytes is the global retained-bytes budget of the 10k-key
+// family: small enough that both the full matrix run and CI's -quick run
+// exceed it without eviction, so every recorded cell shows the budget
+// actually enforced (evictions > 0, retained <= budget).
+const keyedBudgetBytes = 256 << 10
+
+// zipfS and zipfV parameterize the key-popularity distribution; s = 1.1 is
+// the classic web-workload skew (a few hot tenants, a long cold tail).
+const (
+	zipfS = 1.1
+	zipfV = 1
+)
+
+// keyedTarget drives a store through the harness: every update draws a key
+// from the zipf popularity distribution and routes the item to that key's
+// summary. Queries are answered from the hottest key (zipf rank 0) — for
+// the 1-key family that is the whole stream, so the family carries the full
+// uniform guarantee; beyond one key the hot key holds a popularity-weighted
+// subsample and the cell records its error without gating on eps.
+type keyedTarget struct {
+	st   *store.Store
+	keys []string
+	zipf *rand.Zipf
+	n    int
+}
+
+// newKeyedTarget builds a store target with nKeys keys at accuracy eps under
+// the given retained-bytes budget (0 = unbounded).
+func newKeyedTarget(eps float64, nKeys int, seed int64, budget int64) *keyedTarget {
+	t := &keyedTarget{
+		st:   store.New(store.Config{Eps: eps, MaxRetainedBytes: budget}),
+		keys: make([]string, nKeys),
+	}
+	for i := range t.keys {
+		t.keys[i] = fmt.Sprintf("metric-%05d", i)
+	}
+	if nKeys > 1 {
+		// math/rand (v1): rand/v2 has no Zipf generator. Deterministic seed
+		// so cells are comparable across runs.
+		t.zipf = rand.NewZipf(rand.New(rand.NewSource(seed)), zipfS, zipfV, uint64(nKeys-1))
+	}
+	return t
+}
+
+// pick draws the key for the next item (or batch) from the popularity
+// distribution.
+func (t *keyedTarget) pick() string {
+	if t.zipf == nil {
+		return t.keys[0]
+	}
+	return t.keys[t.zipf.Uint64()]
+}
+
+// Update routes one item to a zipf-drawn key.
+func (t *keyedTarget) Update(x float64) {
+	t.st.Update(t.pick(), x)
+	t.n++
+}
+
+// UpdateBatch routes a whole batch to one zipf-drawn key — the shape of a
+// producer flushing a per-metric buffer — through the store's bulk path.
+func (t *keyedTarget) UpdateBatch(xs []float64) {
+	t.st.UpdateBatch(t.pick(), xs)
+	t.n += len(xs)
+}
+
+// Query answers from the hottest key's summary.
+func (t *keyedTarget) Query(phi float64) (float64, bool) {
+	return t.st.Query(t.keys[0], phi)
+}
+
+// Count reports the items routed across all keys.
+func (t *keyedTarget) Count() int { return t.n }
+
+// StoredCount reports the items retained across all keys — the footprint
+// the budget bounds.
+func (t *keyedTarget) StoredCount() int { return t.st.Stats().RetainedItems }
+
+// Evictions reports how many keys lifecycle management evicted.
+func (t *keyedTarget) Evictions() int { return t.st.Evictions() }
+
+// keyedFamilies returns the keyed-fanout families, configured for cfg.Eps.
+func keyedFamilies(cfg Config) []Family {
+	eps := cfg.Eps
+	mk := func(name string, nKeys int, budget int64, epsTarget float64) Family {
+		return Family{
+			Name:         name,
+			New:          func() Target { return newKeyedTarget(eps, nKeys, cfg.Seed, budget) },
+			BytesPerItem: tupleBytes,
+			EpsTarget:    epsTarget,
+			BudgetBytes:  budget,
+		}
+	}
+	return []Family{
+		// One key: the pure overhead of the keyed tier over a bare GK
+		// summary; the single key holds the whole stream, so the uniform
+		// guarantee gates exactly as for "gk".
+		mk("store-zipf-1", 1, 0, eps),
+		// 100 keys, unbudgeted: routing + stripe cost at moderate fanout.
+		// The hot key holds a subsample, so no uniform eps gates.
+		mk("store-zipf-100", 100, 0, 0),
+		// 10k keys under a budget below the unevicted footprint: the
+		// lifecycle cell. benchdiff asserts retained <= budget.
+		mk("store-zipf-10k", 10_000, keyedBudgetBytes, 0),
+	}
+}

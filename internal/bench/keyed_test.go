@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestKeyedFamiliesPresent pins the matrix coverage: the keyed-fanout
+// families exist at the three documented fanouts and only the 10k-key
+// family carries a budget.
+func TestKeyedFamiliesPresent(t *testing.T) {
+	fams := keyedFamilies(DefaultConfig())
+	if len(fams) != 3 {
+		t.Fatalf("got %d keyed families", len(fams))
+	}
+	want := map[string]int64{
+		"store-zipf-1":   0,
+		"store-zipf-100": 0,
+		"store-zipf-10k": keyedBudgetBytes,
+	}
+	for _, f := range fams {
+		budget, ok := want[f.Name]
+		if !ok {
+			t.Errorf("unexpected keyed family %q", f.Name)
+			continue
+		}
+		if f.BudgetBytes != budget {
+			t.Errorf("family %q budget = %d, want %d", f.Name, f.BudgetBytes, budget)
+		}
+	}
+	// The 1-key family gates on the full uniform guarantee; the others are
+	// per-key subsamples and must not.
+	for _, f := range fams {
+		wantEps := f.Name == "store-zipf-1"
+		if (f.EpsTarget > 0) != wantEps {
+			t.Errorf("family %q EpsTarget = %g", f.Name, f.EpsTarget)
+		}
+	}
+}
+
+// TestKeyed10kBudgetEnforced is the acceptance gate of the lifecycle cell:
+// the 10k-key zipf family, driven with a full workload-sized stream, must
+// stay within its global retained-bytes budget by evicting (not by OOMing,
+// not by overshooting), and the harness must record both quantities in the
+// cell.
+func TestKeyed10kBudgetEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 60_000
+	cfg.Repetitions = 1
+	gen := workloadItems(t, cfg)
+
+	var fam Family
+	for _, f := range keyedFamilies(cfg) {
+		if f.Name == "store-zipf-10k" {
+			fam = f
+		}
+	}
+	if fam.New == nil {
+		t.Fatal("store-zipf-10k family missing")
+	}
+	tgt := fam.New()
+	for _, x := range gen {
+		tgt.Update(x)
+	}
+	kt := tgt.(*keyedTarget)
+	stats := kt.st.Stats()
+	if stats.RetainedBytes > keyedBudgetBytes {
+		t.Fatalf("retained %d bytes exceeds budget %d", stats.RetainedBytes, keyedBudgetBytes)
+	}
+	if kt.Evictions() == 0 {
+		t.Fatal("no evictions observed: the budget never bit, so the cell proves nothing")
+	}
+	// The hot key survives LRU (it is touched constantly) and answers.
+	if _, ok := tgt.Query(0.5); !ok {
+		t.Fatal("hot key evicted or empty")
+	}
+
+	// The harness records both quantities in the cell.
+	wl := Workload{Name: "shuffled", Items: gen}
+	cell := measureForTest(cfg, fam, wl)
+	if cell.BudgetBytes != keyedBudgetBytes {
+		t.Errorf("cell budget = %d", cell.BudgetBytes)
+	}
+	if cell.Evictions == 0 {
+		t.Error("cell records no evictions")
+	}
+	if int64(cell.RetainedBytes) > cell.BudgetBytes {
+		t.Errorf("cell retained %d exceeds budget %d", cell.RetainedBytes, cell.BudgetBytes)
+	}
+}
+
+// workloadItems materializes one shuffled stream of cfg.N items.
+func workloadItems(t *testing.T, cfg Config) []float64 {
+	t.Helper()
+	wls, err := Workloads(Config{N: cfg.N, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatalf("workloads: %v", err)
+	}
+	for _, wl := range wls {
+		if wl.Name == "shuffled" {
+			return wl.Items
+		}
+	}
+	t.Fatal("no shuffled workload")
+	return nil
+}
+
+// measureForTest runs one harness cell (the production measure path) with a
+// small grid.
+func measureForTest(cfg Config, fam Family, wl Workload) Cell {
+	cfg.Grid = 50
+	rep := Run(cfg, []Family{fam}, []Workload{wl})
+	return rep.Cells[0]
+}

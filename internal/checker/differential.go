@@ -1,0 +1,163 @@
+package checker
+
+// Differential harness: the one table-driven suite that drives every summary
+// family — and the multi-tenant keyed store — through the full workload
+// matrix against the exact oracle of internal/rank, asserting each family's
+// accuracy bound with documented slack for randomized families. It replaces
+// the scattered per-package accuracy-matrix copies: a family added here is
+// automatically checked on every workload, uniform or biased, single-stream
+// or keyed, instead of growing its own ad-hoc loop.
+
+import (
+	"quantilelb/internal/order"
+	"quantilelb/internal/store"
+	"quantilelb/internal/summary"
+)
+
+// Case is one summary family driven through the differential matrix.
+type Case struct {
+	// Name identifies the family in reports ("gk", "sharded-kll", ...).
+	Name string
+	// New builds a fresh summary for one (case, workload) cell.
+	New func() summary.Summary[float64]
+	// Eps is the accuracy bound to assert; 0 records errors without gating
+	// (the deliberately unsound capped summary).
+	Eps float64
+	// Slack multiplies the allowance for randomized families (KLL, the
+	// reservoir): their guarantee is probabilistic per query, so a strict
+	// eps gate would flake. 0 means 1 (deterministic family).
+	Slack float64
+	// Biased switches the check to the relative-error guarantee of Section
+	// 6.4 instead of the uniform one.
+	Biased bool
+}
+
+// Workload is one named, materialized stream of the differential matrix.
+type Workload struct {
+	// Name identifies the workload ("sorted", "adversarial", ...).
+	Name string
+	// Items is the stream.
+	Items []float64
+}
+
+// DiffResult is one (case, workload) cell of the differential matrix.
+type DiffResult struct {
+	// Case and Workload name the cell.
+	Case, Workload string
+	// Report is the full verification report of the cell.
+	Report Report
+	// Gated reports whether the cell asserts a bound (Eps > 0); Pass is
+	// whether it held (always true for ungated cells).
+	Gated, Pass bool
+}
+
+// refresher is the optional hook of snapshot-serving summaries (the sharded
+// wrapper): the harness forces a rebuild before verifying so buffered items
+// are visible, exactly like the benchmark harness does.
+type refresher interface {
+	Refresh()
+}
+
+// RunDifferential drives every case through every workload and returns one
+// result per cell, in (workload-major, case-minor) order. Each cell builds a
+// fresh summary, ingests the workload item-at-a-time, and verifies `grid`+1
+// quantile queries against the exact oracle: uniform cells with allowance
+// Slack·ε·N, biased cells with the relative-error allowance.
+func RunDifferential(cases []Case, workloads []Workload, grid int) []DiffResult {
+	cmp := order.Floats[float64]()
+	out := make([]DiffResult, 0, len(cases)*len(workloads))
+	for _, wl := range workloads {
+		for _, c := range cases {
+			s := c.New()
+			for _, x := range wl.Items {
+				s.Update(x)
+			}
+			if r, ok := s.(refresher); ok {
+				r.Refresh()
+			}
+			slack := c.Slack
+			if slack <= 0 {
+				slack = 1
+			}
+			var rep Report
+			if c.Biased {
+				rep = VerifyBiased(cmp, s, wl.Items, c.Eps*slack, grid)
+			} else {
+				eps := c.Eps
+				if eps <= 0 {
+					// Record-only cell: verify against a vacuous allowance of
+					// 1 (every query "fails"), keeping the worst-error fields
+					// meaningful while Pass is not gated.
+					eps = 1
+				}
+				rep = VerifyUniform(cmp, s, wl.Items, eps*slack, grid)
+			}
+			res := DiffResult{
+				Case:     c.Name,
+				Workload: wl.Name,
+				Report:   rep,
+				Gated:    c.Eps > 0,
+			}
+			res.Pass = !res.Gated || rep.Passed()
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// KeyedResult is one (key, workload) cell of the keyed differential matrix.
+type KeyedResult struct {
+	// Key and Workload name the cell.
+	Key, Workload string
+	// Eps is the allowance the key was checked against (its store accuracy
+	// times the run's slack).
+	Eps float64
+	// Report verifies the key's answers against its own exact substream.
+	Report Report
+}
+
+// keyAsSummary adapts one store key to the summary interface VerifyUniform
+// drives; Update panics because the harness only reads through it.
+type keyAsSummary struct {
+	st  *store.Store
+	key string
+}
+
+func (k keyAsSummary) Update(float64)                    { panic("checker: keyAsSummary is read-only") }
+func (k keyAsSummary) Query(phi float64) (float64, bool) { return k.st.Query(k.key, phi) }
+func (k keyAsSummary) EstimateRank(q float64) int        { return k.st.EstimateRank(k.key, q) }
+func (k keyAsSummary) Count() int                        { return k.st.Count(k.key) }
+func (k keyAsSummary) StoredItems() []float64            { return k.st.StoredItems(k.key) }
+func (k keyAsSummary) StoredCount() int                  { return k.st.StoredCount(k.key) }
+
+// RunKeyedDifferential drives a multi-tenant store through every workload:
+// each workload's items are partitioned round-robin over the given keys
+// (ingested per key through the store's batched hot path), and every key's
+// answers are then verified against that key's own exact substream with
+// allowance slack·EpsFor(key)·N_key. A fresh store is built per workload
+// from newStore. This is the per-key eps assertion of the keyed tier: the
+// store must deliver each key's configured accuracy — overrides included —
+// simultaneously across all keys.
+func RunKeyedDifferential(newStore func() *store.Store, keys []string, workloads []Workload, grid int, slack float64) []KeyedResult {
+	cmp := order.Floats[float64]()
+	if slack <= 0 {
+		slack = 1
+	}
+	out := make([]KeyedResult, 0, len(keys)*len(workloads))
+	for _, wl := range workloads {
+		st := newStore()
+		parts := make(map[string][]float64, len(keys))
+		for i, x := range wl.Items {
+			k := keys[i%len(keys)]
+			parts[k] = append(parts[k], x)
+		}
+		for _, k := range keys {
+			st.UpdateBatch(k, parts[k])
+		}
+		for _, k := range keys {
+			rep := VerifyUniform(cmp, keyAsSummary{st: st, key: k}, parts[k], st.EpsFor(k)*slack, grid)
+			out = append(out, KeyedResult{Key: k, Workload: wl.Name, Eps: st.EpsFor(k) * slack, Report: rep})
+		}
+	}
+	return out
+}

@@ -42,10 +42,6 @@ import (
 	"time"
 
 	"quantilelb/internal/encoding"
-	"quantilelb/internal/gk"
-	"quantilelb/internal/kll"
-	"quantilelb/internal/mrl"
-	"quantilelb/internal/sampling"
 	"quantilelb/internal/summary"
 )
 
@@ -82,6 +78,9 @@ type HTTPSource struct {
 	// per pull; leave false in production, where the peer's AutoRefresh
 	// bounds staleness.
 	Fresh bool
+	// Path is the snapshot endpoint to pull; empty means "/snapshot" (the
+	// single-stream tier). The keyed tier pulls "/store/snapshot".
+	Path string
 }
 
 // Name returns the peer's base URL.
@@ -89,7 +88,11 @@ func (h *HTTPSource) Name() string { return h.URL }
 
 // Fetch implements Source over GET /snapshot with If-None-Match.
 func (h *HTTPSource) Fetch(ctx context.Context, etag string) ([]byte, string, bool, error) {
-	u := strings.TrimSuffix(h.URL, "/") + "/snapshot"
+	path := h.Path
+	if path == "" {
+		path = "/snapshot"
+	}
+	u := strings.TrimSuffix(h.URL, "/") + path
 	if h.Fresh {
 		u += "?fresh=1"
 	}
@@ -182,6 +185,86 @@ type PeerStatus struct {
 	LastSuccess time.Time `json:"last_success,omitzero"`
 }
 
+// fetchOutcome is the result of one peer fetch within a pull round.
+type fetchOutcome struct {
+	payload     []byte
+	etag        string
+	notModified bool
+	err         error
+}
+
+// fetchRound fetches every peer's snapshot concurrently — with no lock held,
+// so a blackholed peer never makes Status (and GET /stats, the endpoint that
+// diagnoses exactly that incident) wait out the HTTP timeout — then records
+// the outcomes into the peer states under mu. It reports whether any peer
+// shipped a new payload, plus the per-peer fetch errors. The caller must
+// hold its pull-round mutex, which makes this round the only writer of the
+// peer fields read here. Shared by the single-stream Aggregator and the
+// KeyedAggregator.
+func fetchRound(ctx context.Context, peers []*peerState, mu *sync.Mutex) (changed bool, errs []error) {
+	outcomes := make([]fetchOutcome, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peerState) {
+			defer wg.Done()
+			var o fetchOutcome
+			o.payload, o.etag, o.notModified, o.err = p.src.Fetch(ctx, p.etag)
+			outcomes[i] = o
+		}(i, p)
+	}
+	wg.Wait()
+
+	errs = make([]error, 0, len(peers)+1)
+	now := time.Now()
+	mu.Lock()
+	for i, p := range peers {
+		o := outcomes[i]
+		p.fetches++
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", p.src.Name(), o.err))
+			p.lastErr = o.err
+			continue
+		}
+		p.lastErr = nil
+		p.lastSuccess = now
+		if o.notModified {
+			p.notModified++
+			continue
+		}
+		p.payload = o.payload
+		p.etag = o.etag
+		changed = true
+	}
+	mu.Unlock()
+	return changed, errs
+}
+
+// statusLocked builds the per-peer monitoring view; the caller holds the
+// owning aggregator's field mutex.
+func statusLocked(peers []*peerState) []PeerStatus {
+	out := make([]PeerStatus, len(peers))
+	for i, p := range peers {
+		st := PeerStatus{
+			Name:         p.src.Name(),
+			Healthy:      p.lastErr == nil && !p.lastSuccess.IsZero(),
+			N:            p.n,
+			PayloadBytes: len(p.payload),
+			Fetches:      p.fetches,
+			NotModified:  p.notModified,
+			LastSuccess:  p.lastSuccess,
+		}
+		if p.lastErr != nil {
+			st.LastError = p.lastErr.Error()
+		}
+		if p.kind != 0 {
+			st.Kind = p.kind.String()
+		}
+		out[i] = st
+	}
+	return out
+}
+
 // view is the immutable published merged state.
 type view struct {
 	sum   summary.Summary[float64]
@@ -232,52 +315,7 @@ func (a *Aggregator) PullOnce(ctx context.Context) error {
 	defer a.pullMu.Unlock()
 	a.pulls.Add(1)
 
-	// Fetch every peer with no lock held: a blackholed peer must not make
-	// Status (and GET /stats, the endpoint that diagnoses exactly that
-	// incident) wait out the HTTP timeout. Reading peer fields without mu is
-	// safe here because pullMu makes this round the only writer.
-	type outcome struct {
-		payload     []byte
-		etag        string
-		notModified bool
-		err         error
-	}
-	outcomes := make([]outcome, len(a.peers))
-	var wg sync.WaitGroup
-	for i, p := range a.peers {
-		wg.Add(1)
-		go func(i int, p *peerState) {
-			defer wg.Done()
-			var o outcome
-			o.payload, o.etag, o.notModified, o.err = p.src.Fetch(ctx, p.etag)
-			outcomes[i] = o
-		}(i, p)
-	}
-	wg.Wait()
-
-	errs := make([]error, 0, len(a.peers)+1)
-	changed := false
-	now := time.Now()
-	a.mu.Lock()
-	for i, p := range a.peers {
-		o := outcomes[i]
-		p.fetches++
-		if o.err != nil {
-			errs = append(errs, fmt.Errorf("peer %s: %w", p.src.Name(), o.err))
-			p.lastErr = o.err
-			continue
-		}
-		p.lastErr = nil
-		p.lastSuccess = now
-		if o.notModified {
-			p.notModified++
-			continue
-		}
-		p.payload = o.payload
-		p.etag = o.etag
-		changed = true
-	}
-	a.mu.Unlock()
+	changed, errs := fetchRound(ctx, a.peers, &a.mu)
 
 	// Nothing moved (every reachable peer answered 304) and a view is
 	// already published: skip the decode + merge entirely — the whole point
@@ -346,29 +384,13 @@ func (a *Aggregator) rebuild() (*peerState, error) {
 }
 
 // mergeAny folds src into dst when both hold the same mergeable concrete
-// summary type. Every branch preserves the COMBINE budget eps_new = max.
+// summary type, delegating to the shared dispatch of internal/encoding.
+// Every branch preserves the COMBINE budget eps_new = max.
 func mergeAny(dst, src any) error {
-	switch d := dst.(type) {
-	case *gk.Summary[float64]:
-		if s, ok := src.(*gk.Summary[float64]); ok {
-			return d.Merge(s)
-		}
-	case *kll.Sketch[float64]:
-		if s, ok := src.(*kll.Sketch[float64]); ok {
-			return d.Merge(s)
-		}
-	case *mrl.Summary[float64]:
-		if s, ok := src.(*mrl.Summary[float64]); ok {
-			return d.Merge(s)
-		}
-	case *sampling.Reservoir[float64]:
-		if s, ok := src.(*sampling.Reservoir[float64]); ok {
-			return d.Merge(s)
-		}
-	default:
-		return fmt.Errorf("cluster: summary type %T is not mergeable", dst)
+	if err := encoding.MergeAny(dst, src); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
-	return fmt.Errorf("cluster: cannot merge %T into %T; peers must run the same family", src, dst)
+	return nil
 }
 
 // Start launches a background pull loop with the given interval and returns
@@ -510,26 +532,7 @@ func (a *Aggregator) SnapshotPayload() ([]byte, int64, error) {
 func (a *Aggregator) Status() []PeerStatus {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]PeerStatus, len(a.peers))
-	for i, p := range a.peers {
-		st := PeerStatus{
-			Name:         p.src.Name(),
-			Healthy:      p.lastErr == nil && !p.lastSuccess.IsZero(),
-			N:            p.n,
-			PayloadBytes: len(p.payload),
-			Fetches:      p.fetches,
-			NotModified:  p.notModified,
-			LastSuccess:  p.lastSuccess,
-		}
-		if p.lastErr != nil {
-			st.LastError = p.lastErr.Error()
-		}
-		if p.kind != 0 {
-			st.Kind = p.kind.String()
-		}
-		out[i] = st
-	}
-	return out
+	return statusLocked(a.peers)
 }
 
 // NewAggregatorHandler returns the aggregator's HTTP API: the same read

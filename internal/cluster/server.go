@@ -50,6 +50,13 @@ const MaxBodyBytes = 64 << 20
 func NewServerHandler[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S]) http.Handler {
 	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
 	mux := http.NewServeMux()
+	registerServerAPI(mux, s, nonce)
+	return mux
+}
+
+// registerServerAPI mounts the single-stream writer-node endpoints on mux;
+// NewServerHandler and NewStoreServerHandler both build on it.
+func registerServerAPI[S sharded.Mergeable[float64, S]](mux *http.ServeMux, s *sharded.Sharded[float64, S], nonce uint64) {
 	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
 		handleUpdate(s, w, r)
 	})
@@ -71,26 +78,39 @@ func NewServerHandler[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float6
 	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
 		handleMerge(s, w, r)
 	})
-	return mux
 }
 
 func handleUpdate[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], w http.ResponseWriter, r *http.Request) {
-	// Parse and validate everything before ingesting anything: a request is
-	// either accepted whole or rejected whole (there is no way to remove
-	// items from a summary, so a partial ingest before a 400 would leave a
-	// retrying client double-counting).
+	batch, ok := parseUpdateRequest(w, r)
+	if !ok {
+		return // parseUpdateRequest wrote the response
+	}
+	if len(batch) > 0 {
+		s.UpdateBatch(batch)
+	}
+	writeJSON(w, map[string]any{"accepted": len(batch), "n": s.Count()})
+}
+
+// parseUpdateRequest parses an ingestion request (the ?x= parameters plus a
+// whitespace/comma-separated or JSON-array body) into one batch, writing the
+// error response itself when the request is malformed. Everything is parsed
+// and validated before anything is ingested: a request is either accepted
+// whole or rejected whole (there is no way to remove items from a summary,
+// so a partial ingest before a 400 would leave a retrying client
+// double-counting). Shared by the single-stream and keyed update endpoints.
+func parseUpdateRequest(w http.ResponseWriter, r *http.Request) ([]float64, bool) {
 	var batch []float64
 	for _, raw := range r.URL.Query()["x"] {
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil || math.IsNaN(v) {
 			httpError(w, http.StatusBadRequest, "bad x parameter %q: want a non-NaN float64", raw)
-			return
+			return nil, false
 		}
 		batch = append(batch, v)
 	}
 	body, err := readBody(w, r)
 	if err != nil {
-		return // readBody wrote the response
+		return nil, false // readBody wrote the response
 	}
 	if len(body) > 0 {
 		var fromBody []float64
@@ -101,14 +121,11 @@ func handleUpdate[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S
 		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, false
 		}
 		batch = append(batch, fromBody...)
 	}
-	if len(batch) > 0 {
-		s.UpdateBatch(batch)
-	}
-	writeJSON(w, map[string]any{"accepted": len(batch), "n": s.Count()})
+	return batch, true
 }
 
 func handleSnapshot[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], nonce uint64, w http.ResponseWriter, r *http.Request) {

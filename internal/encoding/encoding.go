@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"quantilelb/internal/gk"
@@ -47,6 +48,7 @@ const (
 	KindMRL       Kind = 3
 	KindReservoir Kind = 4
 	KindWindow    Kind = 5
+	KindStore     Kind = 6
 )
 
 // String returns the short family name used in reports and peer status
@@ -63,6 +65,8 @@ func (k Kind) String() string {
 		return "reservoir"
 	case KindWindow:
 		return "window"
+	case KindStore:
+		return "store"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -105,6 +109,19 @@ func (r *reader) bin(v interface{}) {
 		return
 	}
 	r.err = binary.Read(r.buf, binary.LittleEndian, v)
+}
+
+// bytes reads exactly n raw bytes; the caller must have guarded n with need.
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r.buf, out); err != nil {
+		r.err = err
+		return nil
+	}
+	return out
 }
 
 // need reports whether at least n more payload bytes remain, poisoning the
@@ -580,6 +597,8 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeReservoir(payload)
 	case KindWindow:
 		dec, decErr = DecodeWindow(payload)
+	case KindStore:
+		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
 	default:
 		return nil, fmt.Errorf("encoding: unknown summary kind %d", kind)
 	}

@@ -1,0 +1,130 @@
+package encoding
+
+// FuzzStoreDecode is the KindStore-container twin of FuzzDecode, run by CI's
+// fuzz smoke job: DecodeStore (and the nested per-summary decoders behind
+// it) must never panic or over-allocate on corrupt containers — truncations,
+// bit flips, duplicated keys, and length-prefix lies are exactly what a
+// failing node or broken transport ships. The seed corpus is built from
+// round-trip payloads of multi-key stores holding every encodable family.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/window"
+)
+
+// storeSeedPayloads builds deterministic KindStore containers: one holding a
+// key per encodable family, one single-key, one empty.
+func storeSeedPayloads(tb testing.TB) [][]byte {
+	gkS := gk.NewFloat64(0.02)
+	kllS := kll.NewFloat64(0.02, kll.WithSeed(1))
+	mrlS := mrl.NewFloat64(0.02, 50_000)
+	resS := sampling.NewFloat64(0.1, 0.01, 1)
+	winS := window.NewFloat64(0.1, 200)
+	for i := 0; i < 1_500; i++ {
+		x := float64((i * 6007) % 3001)
+		gkS.Update(x)
+		kllS.Update(x)
+		mrlS.Update(x)
+		resS.Update(x)
+		winS.Update(x)
+	}
+	var entries []KeyedPayload
+	for key, s := range map[string]any{
+		"m.gk": gkS, "m.kll": kllS, "m.mrl": mrlS, "m.res": resS, "m.win": winS,
+	} {
+		p, err := Encode(s)
+		if err != nil {
+			tb.Fatalf("building store seed corpus: %v", err)
+		}
+		entries = append(entries, KeyedPayload{Key: key, Payload: p})
+	}
+	full, err := EncodeStore(entries)
+	if err != nil {
+		tb.Fatalf("building store seed corpus: %v", err)
+	}
+	single, err := EncodeStore(entries[:1])
+	if err != nil {
+		tb.Fatalf("building store seed corpus: %v", err)
+	}
+	empty, err := EncodeStore(nil)
+	if err != nil {
+		tb.Fatalf("building store seed corpus: %v", err)
+	}
+	return [][]byte{full, single, empty}
+}
+
+func FuzzStoreDecode(f *testing.F) {
+	for _, p := range storeSeedPayloads(f) {
+		f.Add(p)
+		// Truncations at structurally interesting depths: header, record
+		// count, inside key bytes, inside nested payloads.
+		for _, cut := range []int{1, 8, 12, 16, 20, len(p) / 4, len(p) / 2, len(p) - 1} {
+			if cut > 0 && cut < len(p) {
+				f.Add(append([]byte(nil), p[:cut]...))
+			}
+		}
+		// Bit flips sprayed over the payload: magic, kind, record count, key
+		// lengths, payload lengths, nested headers, values.
+		for i := 0; i < len(p); i += 1 + len(p)/24 {
+			flipped := append([]byte(nil), p...)
+			flipped[i] ^= 0x80
+			f.Add(flipped)
+		}
+		// A duplicated-key container: replay the first record's bytes as a
+		// second record and bump the count, which DecodeStore must reject.
+		if len(p) > 12 {
+			dup := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint32(dup[8:12], binary.LittleEndian.Uint32(p[8:12])+1)
+			dup = append(dup, p[12:]...)
+			f.Add(dup)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a container"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := DecodeStore(data)
+		if err != nil {
+			if records != nil {
+				t.Fatalf("DecodeStore returned both records and error %v", err)
+			}
+			return
+		}
+		// Whatever survives validation must round-trip: distinct keys, every
+		// nested payload either decodes to a usable summary or errors
+		// cleanly, and re-encoding the records succeeds.
+		seen := make(map[string]bool, len(records))
+		for _, rec := range records {
+			if seen[rec.Key] {
+				t.Fatalf("DecodeStore let duplicate key %q through", rec.Key)
+			}
+			seen[rec.Key] = true
+			dec, err := Decode(rec.Payload)
+			if err != nil {
+				continue // corrupt nested payload rejected cleanly: fine
+			}
+			type summary interface {
+				Query(float64) (float64, bool)
+				Count() int
+				StoredCount() int
+			}
+			s, ok := dec.(summary)
+			if !ok {
+				t.Fatalf("nested decode returned non-summary %T", dec)
+			}
+			s.Query(0.5)
+			if s.Count() < 0 || s.StoredCount() < 0 {
+				t.Fatalf("nested summary has negative counters")
+			}
+		}
+		if _, err := EncodeStore(records); err != nil {
+			t.Fatalf("re-encoding decoded records: %v", err)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package encoding
+
+// KindStore is the multi-key container format of the keyed store tier
+// (internal/store): a payload holding any number of (key, nested summary
+// payload) records, so a whole multi-tenant store snapshots and restores as
+// one wire object and the keyed aggregator can merge stores per key across
+// peers. Nested payloads are ordinary single-summary payloads of this
+// package (any kind except KindStore itself — the container does not nest),
+// so every family a store can hold round-trips through it unchanged.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+)
+
+// MaxStoreKeyBytes bounds the serialized length of one store key. The HTTP
+// tier enforces a tighter limit; the wire format rejects anything beyond this
+// so a corrupt length prefix cannot demand a huge allocation.
+const MaxStoreKeyBytes = 4096
+
+// KeyedPayload is one record of a KindStore container: a store key and the
+// wire payload of the summary held under it.
+type KeyedPayload struct {
+	// Key is the store key (per-metric / per-tenant identifier).
+	Key string
+	// Payload is a single-summary payload of this package (never KindStore).
+	Payload []byte
+}
+
+// EncodeStore serializes keyed summary payloads as one KindStore container.
+// Records are written in ascending key order regardless of input order, so
+// equal stores produce byte-identical payloads. Duplicate keys, keys longer
+// than MaxStoreKeyBytes, and nested payloads that are not themselves valid
+// single-summary payloads are rejected.
+func EncodeStore(entries []KeyedPayload) ([]byte, error) {
+	sorted := make([]KeyedPayload, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	seen := make(map[string]bool, len(sorted))
+	for _, e := range sorted {
+		if len(e.Key) > MaxStoreKeyBytes {
+			return nil, fmt.Errorf("encoding: store key of %d bytes exceeds %d", len(e.Key), MaxStoreKeyBytes)
+		}
+		if seen[e.Key] {
+			return nil, fmt.Errorf("encoding: duplicate store key %q", e.Key)
+		}
+		seen[e.Key] = true
+		kind, err := DetectKind(e.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: store key %q: invalid nested payload: %w", e.Key, err)
+		}
+		if kind == KindStore {
+			return nil, fmt.Errorf("encoding: store key %q: KindStore containers do not nest", e.Key)
+		}
+	}
+	w := &writer{}
+	w.u32(Magic)
+	w.u16(Version)
+	w.u16(uint16(KindStore))
+	w.u32(uint32(len(sorted)))
+	for _, e := range sorted {
+		w.u32(uint32(len(e.Key)))
+		if w.err == nil {
+			_, w.err = w.buf.WriteString(e.Key)
+		}
+		w.u32(uint32(len(e.Payload)))
+		if w.err == nil {
+			_, w.err = w.buf.Write(e.Payload)
+		}
+	}
+	return w.buf.Bytes(), w.err
+}
+
+// DecodeStore reads a KindStore container back into its records, in the
+// ascending key order EncodeStore wrote them. Each nested payload is
+// validated to open as a single-summary payload (magic, version, non-store
+// kind); fully decoding the nested summaries is the caller's job, so a store
+// restore can skip keys it does not want. Duplicate keys are rejected — a
+// keyed merge must never silently drop one of two states for the same key.
+func DecodeStore(payload []byte) ([]KeyedPayload, error) {
+	r, kind, err := openPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindStore {
+		return nil, fmt.Errorf("encoding: payload holds kind %d, want store (%d)", kind, KindStore)
+	}
+	numKeys := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("encoding: truncated store header: %w", r.err)
+	}
+	// Each record occupies at least its two length prefixes.
+	if !r.need(int64(numKeys) * 8) {
+		return nil, fmt.Errorf("encoding: truncated store records: %w", r.err)
+	}
+	out := make([]KeyedPayload, 0, numKeys)
+	seen := make(map[string]bool, numKeys)
+	for i := uint32(0); i < numKeys; i++ {
+		keyLen := r.u32()
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated store record %d: %w", i, r.err)
+		}
+		if keyLen > MaxStoreKeyBytes {
+			return nil, fmt.Errorf("encoding: store record %d declares a %d-byte key (max %d)", i, keyLen, MaxStoreKeyBytes)
+		}
+		if !r.need(int64(keyLen)) {
+			return nil, fmt.Errorf("encoding: truncated store key: %w", r.err)
+		}
+		key := string(r.bytes(int(keyLen)))
+		if seen[key] {
+			return nil, fmt.Errorf("encoding: duplicate store key %q", key)
+		}
+		seen[key] = true
+		payloadLen := r.u32()
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated store record %q: %w", key, r.err)
+		}
+		if !r.need(int64(payloadLen)) {
+			return nil, fmt.Errorf("encoding: truncated store payload for key %q: %w", key, r.err)
+		}
+		nested := r.bytes(int(payloadLen))
+		if r.err != nil {
+			return nil, fmt.Errorf("encoding: truncated store payload for key %q: %w", key, r.err)
+		}
+		nestedKind, err := DetectKind(nested)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: store key %q: invalid nested payload: %w", key, err)
+		}
+		if nestedKind == KindStore {
+			return nil, fmt.Errorf("encoding: store key %q: KindStore containers do not nest", key)
+		}
+		out = append(out, KeyedPayload{Key: key, Payload: nested})
+	}
+	return out, nil
+}
+
+// ErrNotMergeable is wrapped by MergeAny when the destination family has no
+// merge operation (the sliding-window summary) or the two sides hold
+// different families.
+var ErrNotMergeable = errors.New("encoding: summaries are not mergeable")
+
+// CheckMergeable reports whether MergeAny(dst, src) would succeed, without
+// mutating either side. It covers every failure MergeAny can produce:
+// mismatched or non-mergeable families, a KLL k mismatch, and an MRL
+// buffer-capacity mismatch (an empty src merges into anything of its own
+// family, mirroring the Merge implementations). The keyed store uses it to
+// validate a whole container against its current state before applying
+// anything, so a bad record rejects the container whole instead of after a
+// partial merge.
+func CheckMergeable(dst, src any) error {
+	switch d := dst.(type) {
+	case *gk.Summary[float64]:
+		if _, ok := src.(*gk.Summary[float64]); ok {
+			return nil
+		}
+	case *kll.Sketch[float64]:
+		if s, ok := src.(*kll.Sketch[float64]); ok {
+			if s.Count() > 0 && s.K() != d.K() {
+				return fmt.Errorf("%w: kll k mismatch (%d vs %d)", ErrNotMergeable, d.K(), s.K())
+			}
+			return nil
+		}
+	case *mrl.Summary[float64]:
+		if s, ok := src.(*mrl.Summary[float64]); ok {
+			if s.Count() > 0 && s.BufferCapacity() != d.BufferCapacity() {
+				return fmt.Errorf("%w: mrl buffer capacity mismatch (%d vs %d)", ErrNotMergeable, d.BufferCapacity(), s.BufferCapacity())
+			}
+			return nil
+		}
+	case *sampling.Reservoir[float64]:
+		if _, ok := src.(*sampling.Reservoir[float64]); ok {
+			return nil
+		}
+	default:
+		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
+	}
+	return fmt.Errorf("%w: cannot merge %T into %T; both sides must hold the same family", ErrNotMergeable, src, dst)
+}
+
+// MergeAny folds src into dst when both hold the same mergeable concrete
+// float64 summary family (GK, KLL, MRL, or the reservoir). Every branch
+// preserves the COMBINE budget eps_new = max(eps_dst, eps_src). It is the
+// single merge-dispatch point shared by the cluster aggregator and the keyed
+// store, so a new family becomes mergeable everywhere by extending it here.
+func MergeAny(dst, src any) error {
+	switch d := dst.(type) {
+	case *gk.Summary[float64]:
+		if s, ok := src.(*gk.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *kll.Sketch[float64]:
+		if s, ok := src.(*kll.Sketch[float64]); ok {
+			return d.Merge(s)
+		}
+	case *mrl.Summary[float64]:
+		if s, ok := src.(*mrl.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *sampling.Reservoir[float64]:
+		if s, ok := src.(*sampling.Reservoir[float64]); ok {
+			return d.Merge(s)
+		}
+	default:
+		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
+	}
+	return fmt.Errorf("%w: cannot merge %T into %T; both sides must hold the same family", ErrNotMergeable, src, dst)
+}

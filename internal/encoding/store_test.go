@@ -1,0 +1,175 @@
+package encoding
+
+import (
+	"strings"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+)
+
+func buildStorePayload(t testing.TB) []byte {
+	t.Helper()
+	gkS := gk.NewFloat64(0.02)
+	kllS := kll.NewFloat64(0.02, kll.WithSeed(7))
+	for i := 0; i < 3_000; i++ {
+		gkS.Update(float64(i % 503))
+		kllS.Update(float64(i % 769))
+	}
+	gkP, err := Encode(gkS)
+	if err != nil {
+		t.Fatalf("encode gk: %v", err)
+	}
+	kllP, err := Encode(kllS)
+	if err != nil {
+		t.Fatalf("encode kll: %v", err)
+	}
+	p, err := EncodeStore([]KeyedPayload{
+		{Key: "lat.db", Payload: kllP},
+		{Key: "lat.api", Payload: gkP},
+	})
+	if err != nil {
+		t.Fatalf("EncodeStore: %v", err)
+	}
+	return p
+}
+
+func TestStoreContainerRoundTrip(t *testing.T) {
+	p := buildStorePayload(t)
+	kind, err := DetectKind(p)
+	if err != nil || kind != KindStore {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	if kind.String() != "store" {
+		t.Fatalf("Kind.String = %q", kind.String())
+	}
+	records, err := DecodeStore(p)
+	if err != nil {
+		t.Fatalf("DecodeStore: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records", len(records))
+	}
+	// EncodeStore sorts by key for deterministic output.
+	if records[0].Key != "lat.api" || records[1].Key != "lat.db" {
+		t.Fatalf("keys out of order: %q, %q", records[0].Key, records[1].Key)
+	}
+	for _, rec := range records {
+		dec, err := Decode(rec.Payload)
+		if err != nil {
+			t.Fatalf("nested decode of %q: %v", rec.Key, err)
+		}
+		type counter interface{ Count() int }
+		if dec.(counter).Count() != 3_000 {
+			t.Fatalf("key %q restored count %d", rec.Key, dec.(counter).Count())
+		}
+	}
+	// Re-encoding the records reproduces the payload byte-for-byte.
+	re, err := EncodeStore(records)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(re) != string(p) {
+		t.Fatal("round trip is not byte-identical")
+	}
+}
+
+func TestStoreContainerEmpty(t *testing.T) {
+	p, err := EncodeStore(nil)
+	if err != nil {
+		t.Fatalf("EncodeStore(nil): %v", err)
+	}
+	records, err := DecodeStore(p)
+	if err != nil || len(records) != 0 {
+		t.Fatalf("empty container: %v records, err %v", records, err)
+	}
+}
+
+func TestStoreContainerRejectsAbuse(t *testing.T) {
+	gkP, _ := Encode(gk.NewFloat64(0.1))
+	cases := []struct {
+		name    string
+		entries []KeyedPayload
+		wantErr string
+	}{
+		{"duplicate keys", []KeyedPayload{{Key: "a", Payload: gkP}, {Key: "a", Payload: gkP}}, "duplicate"},
+		{"oversized key", []KeyedPayload{{Key: strings.Repeat("x", MaxStoreKeyBytes+1), Payload: gkP}}, "exceeds"},
+		{"garbage nested payload", []KeyedPayload{{Key: "a", Payload: []byte("nope")}}, "invalid nested"},
+		{"nested container", []KeyedPayload{{Key: "a", Payload: mustStore(gkP)}}, "do not nest"},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeStore(tc.entries); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Decode paths: a single-summary payload is not a store container, and
+	// Decode refuses containers with a pointer at DecodeStore.
+	if _, err := DecodeStore(gkP); err == nil {
+		t.Error("DecodeStore should reject a single-summary payload")
+	}
+	if _, err := Decode(buildStorePayload(t)); err == nil || !strings.Contains(err.Error(), "DecodeStore") {
+		t.Errorf("Decode of a container should point at DecodeStore: %v", err)
+	}
+}
+
+func mustStore(nested []byte) []byte {
+	p, err := EncodeStore([]KeyedPayload{{Key: "inner", Payload: nested}})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestCheckMergeable(t *testing.T) {
+	gkA, gkB := gk.NewFloat64(0.05), gk.NewFloat64(0.01)
+	kllA := kll.NewFloat64(0.02, kll.WithSeed(1))
+	kllB := kll.NewFloat64(0.002, kll.WithSeed(2)) // different k
+	kllB.Update(1)
+	if err := CheckMergeable(gkA, gkB); err != nil {
+		t.Errorf("gk+gk (differing eps): %v", err)
+	}
+	if err := CheckMergeable(gkA, kllA); err == nil {
+		t.Error("gk+kll should be rejected")
+	}
+	if err := CheckMergeable(kllA, kllB); err == nil {
+		t.Error("kll k mismatch with items should be rejected")
+	}
+	// An empty src merges into anything of its family, mirroring Merge.
+	if err := CheckMergeable(kllA, kll.NewFloat64(0.002, kll.WithSeed(3))); err != nil {
+		t.Errorf("empty kll src: %v", err)
+	}
+	mrlA, mrlB := mrl.NewFloat64(0.02, 10_000), mrl.NewFloat64(0.002, 10_000)
+	mrlB.Update(1)
+	if err := CheckMergeable(mrlA, mrlB); err == nil {
+		t.Error("mrl capacity mismatch with items should be rejected")
+	}
+	if err := CheckMergeable(42, gkA); err == nil {
+		t.Error("non-summary destination should be rejected")
+	}
+	// CheckMergeable's verdict must agree with MergeAny's outcome on the
+	// cases above that it accepts.
+	if err := MergeAny(gkA, gkB); err != nil {
+		t.Errorf("MergeAny disagreed with CheckMergeable: %v", err)
+	}
+}
+
+func TestMergeAny(t *testing.T) {
+	a, b := gk.NewFloat64(0.05), gk.NewFloat64(0.05)
+	for i := 0; i < 100; i++ {
+		a.Update(float64(i))
+		b.Update(float64(i + 100))
+	}
+	if err := MergeAny(a, b); err != nil {
+		t.Fatalf("gk+gk: %v", err)
+	}
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if err := MergeAny(a, kll.NewFloat64(0.05, kll.WithSeed(1))); err == nil {
+		t.Fatal("gk+kll should fail")
+	}
+	if err := MergeAny(42, a); err == nil {
+		t.Fatal("non-summary destination should fail")
+	}
+}

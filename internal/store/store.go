@@ -1,0 +1,800 @@
+// Package store is the multi-tenant keyed tier of the repository: a sharded
+// registry mapping string keys (per-metric, per-endpoint, per-customer
+// streams) to independent quantile summaries, with lazy per-key creation
+// from a configurable factory, per-key accuracy overrides, and lifecycle
+// management under a global retained-bytes budget.
+//
+// Every tier below this one (facade → sharded → cluster) manages exactly one
+// logical stream; this is how GK/KLL-style sketches are actually operated at
+// scale (the mergeable-summaries deployments referenced in Section 1.2 of
+// Cormode & Veselý, PODS 2020): thousands of concurrent summaries with churn.
+// The paper's lower bound applies per key — each key's summary must retain
+// Ω((1/ε)·log εN) items for its own substream — so a bounded-memory store
+// over unbounded keys *must* evict; the store makes that explicit with an
+// LRU policy under a byte budget plus an optional idle TTL, rather than
+// letting the process OOM.
+//
+// Concurrency. Keys are spread over lock-striped map shards; each key's
+// summary has its own mutex, so the stripe lock is held only for map access
+// and a slow bulk ingest on one key never blocks its neighbours. Eviction
+// marks an entry dead under its own lock before unlinking it, and writers
+// re-check that flag after locking, so an update can never land silently in
+// an evicted summary: it either reaches a live entry or retries against the
+// freshly recreated key. Updates on keys that are never evicted are
+// therefore never lost; items held by a key at the moment it is evicted are
+// dropped by design (that is what eviction means).
+//
+// Wire format. A whole store snapshots into one KindStore container payload
+// (internal/encoding) of per-key nested payloads; MergePayload folds such a
+// container back in per key under the COMBINE rule, which is what the keyed
+// aggregation tier (internal/cluster, cmd/quantileagg) builds on.
+package store
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/summary"
+)
+
+// Summary is the per-key summary contract: the float64-specialized summary
+// interface every family in this repository satisfies.
+type Summary = summary.Summary[float64]
+
+// batchUpdater is the optional bulk-ingest fast path (GK, KLL, MRL, and the
+// reservoir all provide it); UpdateBatch routes through it when present.
+type batchUpdater interface {
+	UpdateBatch(xs []float64)
+}
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	// DefaultShards is the default number of lock-striped key shards.
+	DefaultShards = 16
+	// DefaultEps is the default per-key accuracy.
+	DefaultEps = 0.01
+	// DefaultBytesPerItem is the default per-retained-item byte estimate used
+	// for budget accounting (a GK tuple: value + G + Delta = 24 bytes).
+	DefaultBytesPerItem = 24
+)
+
+// Config parameterizes a Store. The zero value is usable: GK summaries at
+// DefaultEps, DefaultShards stripes, no budget, no TTL.
+type Config struct {
+	// Shards is the number of lock-striped key shards (default DefaultShards).
+	Shards int
+	// Eps is the accuracy new keys are created with (default DefaultEps).
+	Eps float64
+	// EpsOverrides maps specific keys to their own accuracy, overriding Eps —
+	// a hot latency metric can run at 0.001 while the long tail runs at 0.01.
+	EpsOverrides map[string]float64
+	// Factory builds the summary for a new key at the key's accuracy; nil
+	// means Greenwald–Khanna. Factories returning KLL/MRL/reservoir summaries
+	// get the batched ingest path automatically.
+	Factory func(eps float64) Summary
+	// BytesPerItem is the estimated memory cost of one retained item, used
+	// for budget accounting (default DefaultBytesPerItem).
+	BytesPerItem int
+	// MaxRetainedBytes is the global budget over all keys' retained items
+	// (StoredCount × BytesPerItem); exceeding it evicts least-recently-used
+	// keys until back under. 0 disables budget eviction.
+	MaxRetainedBytes int64
+	// MaxKeys bounds the number of live keys; exceeding it evicts LRU keys.
+	// 0 disables the bound.
+	MaxKeys int
+	// IdleTTL evicts keys untouched (no update or query) for this long when
+	// Sweep or the janitor runs. 0 disables idle eviction.
+	IdleTTL time.Duration
+}
+
+// entry is one key's state. The summary is guarded by mu; lastAccess is
+// atomic so the eviction scan can rank entries without taking every lock.
+type entry struct {
+	mu       sync.Mutex
+	sum      Summary
+	batch    batchUpdater // nil when sum has no bulk path
+	eps      float64
+	dead     bool  // set under mu when evicted or deleted
+	retained int64 // bytes accounted to the global counter, under mu
+
+	lastAccess atomic.Int64 // unix nanos of the last update or query
+}
+
+// stripe is one lock-striped shard of the key map.
+type stripe struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// Store is a sharded, multi-tenant registry of keyed quantile summaries.
+// All methods are safe for concurrent use by any number of goroutines.
+type Store struct {
+	cfg     Config
+	stripes []*stripe
+	seed    maphash.Seed
+	now     func() time.Time // test hook
+
+	retained  atomic.Int64 // bytes accounted over all live entries
+	keys      atomic.Int64
+	updates   atomic.Int64 // items accepted (updates, batches, merges)
+	mutations atomic.Int64 // content version: updates, creates, evictions, merges
+	creates   atomic.Int64
+
+	evictionsLRU  atomic.Int64
+	evictionsIdle atomic.Int64
+
+	evictMu sync.Mutex // serializes eviction sweeps
+}
+
+// New returns a Store for the given configuration, applying the documented
+// defaults for zero fields. It panics when Shards is negative.
+func New(cfg Config) *Store {
+	if cfg.Shards < 0 {
+		panic("store: Shards must be non-negative")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = DefaultEps
+	}
+	if cfg.Factory == nil {
+		cfg.Factory = func(eps float64) Summary { return gk.NewFloat64(eps) }
+	}
+	if cfg.BytesPerItem <= 0 {
+		cfg.BytesPerItem = DefaultBytesPerItem
+	}
+	s := &Store{
+		cfg:     cfg,
+		stripes: make([]*stripe, cfg.Shards),
+		seed:    maphash.MakeSeed(),
+		now:     time.Now,
+	}
+	for i := range s.stripes {
+		s.stripes[i] = &stripe{entries: make(map[string]*entry)}
+	}
+	return s
+}
+
+// stripeFor hashes a key onto its stripe.
+func (s *Store) stripeFor(key string) *stripe {
+	if len(s.stripes) == 1 {
+		return s.stripes[0]
+	}
+	return s.stripes[maphash.String(s.seed, key)%uint64(len(s.stripes))]
+}
+
+// EpsFor returns the accuracy a summary for key is (or would be) created
+// with: the per-key override when present, the default otherwise.
+func (s *Store) EpsFor(key string) float64 {
+	if eps, ok := s.cfg.EpsOverrides[key]; ok && eps > 0 {
+		return eps
+	}
+	return s.cfg.Eps
+}
+
+// get returns the live entry for key, or nil.
+func (s *Store) get(key string) *entry {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	e := st.entries[key]
+	st.mu.Unlock()
+	return e
+}
+
+// getOrCreate returns the live entry for key, creating it from the factory
+// on first use. The returned entry may have died by the time the caller
+// locks it; callers must re-check entry.dead under entry.mu and retry.
+func (s *Store) getOrCreate(key string) *entry {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if e := st.entries[key]; e != nil {
+		st.mu.Unlock()
+		return e
+	}
+	eps := s.EpsFor(key)
+	e := &entry{sum: s.cfg.Factory(eps), eps: eps}
+	e.batch, _ = e.sum.(batchUpdater)
+	e.lastAccess.Store(s.now().UnixNano())
+	st.entries[key] = e
+	st.mu.Unlock()
+	s.keys.Add(1)
+	s.creates.Add(1)
+	s.mutations.Add(1)
+	return e
+}
+
+// settleLocked re-derives the entry's retained-bytes accounting from its
+// summary and returns the delta to apply to the global counter. Caller holds
+// e.mu.
+func (s *Store) settleLocked(e *entry) int64 {
+	nb := int64(e.sum.StoredCount()) * int64(s.cfg.BytesPerItem)
+	delta := nb - e.retained
+	e.retained = nb
+	return delta
+}
+
+// touch refreshes the entry's LRU clock.
+func (s *Store) touch(e *entry) {
+	e.lastAccess.Store(s.now().UnixNano())
+}
+
+// Update ingests one item into key's summary, creating the key on first use.
+func (s *Store) Update(key string, x float64) {
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue // evicted between lookup and lock: retry on a fresh entry
+		}
+		e.sum.Update(x)
+		delta := s.settleLocked(e)
+		e.mu.Unlock()
+		s.touch(e)
+		s.account(delta)
+		s.updates.Add(1)
+		s.mutations.Add(1)
+		s.maybeEvict()
+		return
+	}
+}
+
+// UpdateBatch ingests a batch of items into key's summary in one lock
+// acquisition, through the summary's bulk UpdateBatch fast path when it has
+// one — the preferred write path for producers that already aggregate items
+// per metric (log shippers, per-endpoint buffers).
+func (s *Store) UpdateBatch(key string, xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		if e.batch != nil {
+			e.batch.UpdateBatch(xs)
+		} else {
+			for _, x := range xs {
+				e.sum.Update(x)
+			}
+		}
+		delta := s.settleLocked(e)
+		e.mu.Unlock()
+		s.touch(e)
+		s.account(delta)
+		s.updates.Add(int64(len(xs)))
+		s.mutations.Add(1)
+		s.maybeEvict()
+		return
+	}
+}
+
+// account applies a retained-bytes delta to the global counter.
+func (s *Store) account(delta int64) {
+	if delta != 0 {
+		s.retained.Add(delta)
+	}
+}
+
+// Query returns an approximate ϕ-quantile of key's substream; false when the
+// key does not exist or holds no items. Queries refresh the key's LRU clock.
+func (s *Store) Query(key string, phi float64) (float64, bool) {
+	e := s.get(key)
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return 0, false
+	}
+	v, ok := e.sum.Query(phi)
+	e.mu.Unlock()
+	s.touch(e)
+	return v, ok
+}
+
+// EstimateRank estimates the number of items ≤ q in key's substream; 0 when
+// the key does not exist.
+func (s *Store) EstimateRank(key string, q float64) int {
+	e := s.get(key)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return 0
+	}
+	r := e.sum.EstimateRank(q)
+	e.mu.Unlock()
+	s.touch(e)
+	return r
+}
+
+// CDF returns the estimated fraction of key's items ≤ q, clamped to [0, 1];
+// 0 when the key does not exist or is empty.
+func (s *Store) CDF(key string, q float64) float64 {
+	e := s.get(key)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return 0
+	}
+	n := e.sum.Count()
+	r := e.sum.EstimateRank(q)
+	e.mu.Unlock()
+	s.touch(e)
+	if n == 0 {
+		return 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r > n {
+		r = n
+	}
+	return float64(r) / float64(n)
+}
+
+// Count returns the number of items ingested under key (0 when absent).
+func (s *Store) Count(key string) int {
+	e := s.get(key)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	n := e.sum.Count()
+	e.mu.Unlock()
+	return n
+}
+
+// StoredItems returns the items key's summary currently retains, in
+// non-decreasing order; nil when the key does not exist.
+func (s *Store) StoredItems(key string) []float64 {
+	e := s.get(key)
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	items := e.sum.StoredItems()
+	e.mu.Unlock()
+	return items
+}
+
+// StoredCount returns the number of items key's summary retains (the paper's
+// space measure, per key); 0 when absent.
+func (s *Store) StoredCount(key string) int {
+	e := s.get(key)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	n := e.sum.StoredCount()
+	e.mu.Unlock()
+	return n
+}
+
+// Has reports whether key currently exists in the store.
+func (s *Store) Has(key string) bool { return s.get(key) != nil }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return int(s.keys.Load()) }
+
+// Keys returns every live key in ascending order.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, s.keys.Load())
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for k := range st.entries {
+			out = append(out, k)
+		}
+		st.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes key and its summary, reporting whether it existed. A
+// deleted key recreates cleanly (empty, from the factory) on its next
+// update.
+func (s *Store) Delete(key string) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	e := st.entries[key]
+	if e == nil {
+		st.mu.Unlock()
+		return false
+	}
+	delete(st.entries, key)
+	st.mu.Unlock()
+	s.reap(e)
+	return true
+}
+
+// reap finalizes an entry that has been unlinked from its stripe: marks it
+// dead so in-flight writers retry, and returns its retained bytes to the
+// global budget. Must be called exactly once per unlinked entry, by the
+// goroutine that unlinked it.
+func (s *Store) reap(e *entry) {
+	e.mu.Lock()
+	e.dead = true
+	freed := e.retained
+	e.retained = 0
+	e.mu.Unlock()
+	s.account(-freed)
+	s.keys.Add(-1)
+	s.mutations.Add(1)
+}
+
+// overBudget reports whether either global limit is currently exceeded.
+func (s *Store) overBudget() bool {
+	if s.cfg.MaxRetainedBytes > 0 && s.retained.Load() > s.cfg.MaxRetainedBytes {
+		return true
+	}
+	if s.cfg.MaxKeys > 0 && int(s.keys.Load()) > s.cfg.MaxKeys {
+		return true
+	}
+	return false
+}
+
+// maybeEvict runs a budget-enforcement sweep when a limit is exceeded and no
+// other sweep is in flight (writers never queue behind each other's sweeps).
+func (s *Store) maybeEvict() {
+	if !s.overBudget() {
+		return
+	}
+	if !s.evictMu.TryLock() {
+		return
+	}
+	s.enforceBudgetLocked()
+	s.evictMu.Unlock()
+}
+
+// candidate is one entry of the eviction scan.
+type candidate struct {
+	key        string
+	e          *entry
+	lastAccess int64
+}
+
+// scan snapshots every live entry with its LRU clock.
+func (s *Store) scan() []candidate {
+	out := make([]candidate, 0, s.keys.Load())
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for k, e := range st.entries {
+			out = append(out, candidate{key: k, e: e, lastAccess: e.lastAccess.Load()})
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// evictEntry unlinks a scanned candidate if it is still the live entry for
+// its key, reporting whether it evicted. Caller holds evictMu.
+func (s *Store) evictEntry(c candidate) bool {
+	st := s.stripeFor(c.key)
+	st.mu.Lock()
+	if st.entries[c.key] != c.e {
+		st.mu.Unlock()
+		return false // deleted or already replaced since the scan
+	}
+	delete(st.entries, c.key)
+	st.mu.Unlock()
+	s.reap(c.e)
+	return true
+}
+
+// underHysteresis reports whether a budget sweep has freed enough: it aims
+// 10% below each exceeded limit, so the next few writes do not immediately
+// trigger another full O(keys) scan (the sweep itself still only starts when
+// a limit is actually exceeded).
+func (s *Store) underHysteresis() bool {
+	if s.cfg.MaxRetainedBytes > 0 && s.retained.Load() > s.cfg.MaxRetainedBytes-s.cfg.MaxRetainedBytes/10 {
+		return false
+	}
+	if s.cfg.MaxKeys > 0 && int(s.keys.Load()) > s.cfg.MaxKeys-s.cfg.MaxKeys/10 {
+		return false
+	}
+	return true
+}
+
+// enforceBudgetLocked evicts least-recently-used entries until both global
+// limits hold with hysteresis headroom. Caller holds evictMu.
+func (s *Store) enforceBudgetLocked() {
+	if !s.overBudget() {
+		return
+	}
+	cands := s.scan()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastAccess < cands[j].lastAccess })
+	for _, c := range cands {
+		if s.underHysteresis() {
+			return
+		}
+		if s.evictEntry(c) {
+			s.evictionsLRU.Add(1)
+		}
+	}
+}
+
+// EvictIdle evicts every key untouched for at least ttl, returning how many
+// it evicted. It is what Sweep and the janitor use with Config.IdleTTL, and
+// can be called directly with any ttl.
+func (s *Store) EvictIdle(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := s.now().Add(-ttl).UnixNano()
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	evicted := 0
+	for _, c := range s.scan() {
+		if c.lastAccess >= cutoff {
+			continue
+		}
+		if s.evictEntry(c) {
+			s.evictionsIdle.Add(1)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Sweep runs one full lifecycle pass — idle-TTL eviction (when configured)
+// followed by budget enforcement — and returns the number of keys evicted.
+// The janitor calls it on a timer; tests and operators can call it directly.
+func (s *Store) Sweep() int {
+	evicted := s.EvictIdle(s.cfg.IdleTTL)
+	before := s.evictionsLRU.Load()
+	s.evictMu.Lock()
+	s.enforceBudgetLocked()
+	s.evictMu.Unlock()
+	return evicted + int(s.evictionsLRU.Load()-before)
+}
+
+// StartJanitor runs Sweep every interval in a background goroutine until the
+// returned stop function is called.
+func (s *Store) StartJanitor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// SnapshotPayload serializes every live key's summary into one KindStore
+// container payload (internal/encoding) and returns the store's content
+// version, which the HTTP tier mixes with a per-boot nonce to form the
+// snapshot ETag. Keys are encoded under their own locks one at a time, so a
+// snapshot taken under concurrent writes is a per-key-consistent (not
+// globally atomic) view — the same staleness contract the sharded tier
+// serves reads with. Snapshotting requires every key's family to be
+// encodable (GK, KLL, MRL, reservoir, window).
+func (s *Store) SnapshotPayload() ([]byte, int64, error) {
+	version := s.mutations.Load()
+	keys := s.Keys()
+	entries := make([]encoding.KeyedPayload, 0, len(keys))
+	for _, key := range keys {
+		e := s.get(key)
+		if e == nil {
+			continue // evicted since the key scan
+		}
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		payload, err := encoding.Encode(e.sum)
+		e.mu.Unlock()
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: encoding key %q: %w", key, err)
+		}
+		entries = append(entries, encoding.KeyedPayload{Key: key, Payload: payload})
+	}
+	payload, err := encoding.EncodeStore(entries)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, version, nil
+}
+
+// SnapshotVersion cheaply reports the store's content version for ETag
+// revalidation; ok is always true (an empty store is a valid, versioned
+// snapshot).
+func (s *Store) SnapshotVersion() (int64, bool) {
+	return s.mutations.Load(), true
+}
+
+// MergePayload folds a KindStore container into the store: each record's
+// summary is merged into the same key under the COMBINE rule (eps_new = max)
+// when the key exists, and adopted as the key's summary when it does not —
+// so restoring onto an empty store reproduces the snapshotted state exactly,
+// and merging two stores unions their key sets. The container is accepted
+// whole or rejected whole: every nested payload is decoded and checked for
+// mergeability against the store's current state before anything is applied
+// (a retrying client must never double-merge the keys that happened to
+// precede a bad record). A concurrent mutation racing the apply phase can
+// still abort mid-way — the error says which key, and the count of keys
+// applied is returned. Returns the number of keys applied.
+func (s *Store) MergePayload(payload []byte) (int, error) {
+	records, err := encoding.DecodeStore(payload)
+	if err != nil {
+		return 0, err
+	}
+	type decoded struct {
+		key string
+		sum Summary
+	}
+	decs := make([]decoded, 0, len(records))
+	for _, rec := range records {
+		dec, err := encoding.Decode(rec.Payload)
+		if err != nil {
+			return 0, fmt.Errorf("store: decoding key %q: %w", rec.Key, err)
+		}
+		sum, ok := dec.(Summary)
+		if !ok {
+			return 0, fmt.Errorf("store: key %q decodes to %T, which is not a summary", rec.Key, dec)
+		}
+		if err := s.checkMergeable(rec.Key, sum); err != nil {
+			return 0, fmt.Errorf("store: key %q: %w", rec.Key, err)
+		}
+		decs = append(decs, decoded{key: rec.Key, sum: sum})
+	}
+	for i, d := range decs {
+		if err := s.adoptOrMerge(d.key, d.sum); err != nil {
+			return i, fmt.Errorf("store: merging key %q: %w", d.key, err)
+		}
+	}
+	s.maybeEvict()
+	return len(decs), nil
+}
+
+// checkMergeable verifies, without mutating anything, that sum can merge
+// into key's current summary (vacuously true when the key is absent — it
+// would be adopted).
+func (s *Store) checkMergeable(key string, sum Summary) error {
+	e := s.get(key)
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return nil
+	}
+	return encoding.CheckMergeable(e.sum, sum)
+}
+
+// adoptOrMerge installs sum as key's summary when the key is absent, and
+// folds it into the existing summary otherwise. The caller must not reuse
+// sum afterwards.
+func (s *Store) adoptOrMerge(key string, sum Summary) error {
+	n := int64(sum.Count())
+	for {
+		st := s.stripeFor(key)
+		st.mu.Lock()
+		e := st.entries[key]
+		if e == nil {
+			e = &entry{sum: sum, eps: s.EpsFor(key)}
+			if ep, ok := sum.(summary.Epsiloned); ok {
+				e.eps = ep.Epsilon()
+			}
+			e.batch, _ = sum.(batchUpdater)
+			e.lastAccess.Store(s.now().UnixNano())
+			// Settle accounting before the entry becomes visible: once the
+			// stripe lock drops, a concurrent budget sweep may reap it, and
+			// settling afterwards would re-inflate the global counter for a
+			// dead entry that is never reaped again.
+			nb := int64(sum.StoredCount()) * int64(s.cfg.BytesPerItem)
+			e.retained = nb
+			st.entries[key] = e
+			st.mu.Unlock()
+			s.keys.Add(1)
+			s.creates.Add(1)
+			// Safe in either order against a racing reap: reap frees exactly
+			// the nb recorded above, so the global counter nets to zero.
+			s.account(nb)
+			s.updates.Add(n)
+			s.mutations.Add(1)
+			return nil
+		}
+		st.mu.Unlock()
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		err := encoding.MergeAny(e.sum, sum)
+		var delta int64
+		if err == nil {
+			delta = s.settleLocked(e)
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		s.touch(e)
+		s.account(delta)
+		s.updates.Add(n)
+		s.mutations.Add(1)
+		return nil
+	}
+}
+
+// Restore builds a new store from a configuration and a KindStore container
+// payload, adopting every snapshotted key.
+func Restore(cfg Config, payload []byte) (*Store, error) {
+	s := New(cfg)
+	if _, err := s.MergePayload(payload); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats is a point-in-time view of the store's operational counters.
+type Stats struct {
+	// Keys is the number of live keys.
+	Keys int
+	// RetainedItems is the total number of items retained across all keys;
+	// RetainedBytes is the budget-accounted estimate (items × BytesPerItem).
+	RetainedItems int
+	RetainedBytes int64
+	// MaxRetainedBytes echoes the configured budget (0 = unbounded).
+	MaxRetainedBytes int64
+	// Updates is the number of items accepted (including merged-in items);
+	// Creates the number of key creations (including recreations).
+	Updates int64
+	Creates int64
+	// EvictionsLRU and EvictionsIdle count keys evicted by the budget sweep
+	// and by the idle TTL respectively.
+	EvictionsLRU  int64
+	EvictionsIdle int64
+	// Mutations is the content version served as the snapshot ETag basis.
+	Mutations int64
+}
+
+// Stats returns the operational counters for monitoring endpoints.
+func (s *Store) Stats() Stats {
+	retained := s.retained.Load()
+	return Stats{
+		Keys:             int(s.keys.Load()),
+		RetainedItems:    int(retained / int64(s.cfg.BytesPerItem)),
+		RetainedBytes:    retained,
+		MaxRetainedBytes: s.cfg.MaxRetainedBytes,
+		Updates:          s.updates.Load(),
+		Creates:          s.creates.Load(),
+		EvictionsLRU:     s.evictionsLRU.Load(),
+		EvictionsIdle:    s.evictionsIdle.Load(),
+		Mutations:        s.mutations.Load(),
+	}
+}
+
+// Evictions returns the total number of keys evicted by either policy (the
+// quantity the keyed benchmark family records).
+func (s *Store) Evictions() int {
+	return int(s.evictionsLRU.Load() + s.evictionsIdle.Load())
+}

@@ -1,0 +1,387 @@
+package store
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quantilelb/internal/kll"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+func TestUpdateQueryPerKey(t *testing.T) {
+	s := New(Config{Eps: 0.01})
+	gen := stream.NewGenerator(1)
+	a := gen.Shuffled(20_000).Items()
+	b := gen.Uniform(20_000).Items()
+	for _, x := range a {
+		s.Update("a", x)
+	}
+	s.UpdateBatch("b", b)
+
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if s.Count("a") != len(a) || s.Count("b") != len(b) {
+		t.Fatalf("counts: a=%d b=%d", s.Count("a"), s.Count("b"))
+	}
+	for key, items := range map[string][]float64{"a": a, "b": b} {
+		oracle := rank.Float64Oracle(items)
+		for _, phi := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			got, ok := s.Query(key, phi)
+			if !ok {
+				t.Fatalf("Query(%q, %g) empty", key, phi)
+			}
+			if e := oracle.RankError(got, phi); float64(e) > 0.01*float64(len(items))+1 {
+				t.Errorf("key %q phi %g: rank error %d exceeds eps bound", key, phi, e)
+			}
+		}
+	}
+	// Missing keys answer empty, not panic.
+	if _, ok := s.Query("missing", 0.5); ok {
+		t.Error("missing key should answer !ok")
+	}
+	if s.EstimateRank("missing", 1) != 0 || s.CDF("missing", 1) != 0 || s.Count("missing") != 0 {
+		t.Error("missing key should answer zeroes")
+	}
+	if s.StoredItems("missing") != nil || s.StoredCount("missing") != 0 {
+		t.Error("missing key should have no stored items")
+	}
+}
+
+func TestEpsOverrides(t *testing.T) {
+	s := New(Config{
+		Eps:          0.05,
+		EpsOverrides: map[string]float64{"hot": 0.005},
+	})
+	if got := s.EpsFor("hot"); got != 0.005 {
+		t.Fatalf("EpsFor(hot) = %g", got)
+	}
+	if got := s.EpsFor("cold"); got != 0.05 {
+		t.Fatalf("EpsFor(cold) = %g", got)
+	}
+	gen := stream.NewGenerator(2)
+	items := gen.Shuffled(50_000).Items()
+	for _, x := range items {
+		s.Update("hot", x)
+		s.Update("cold", x)
+	}
+	// The finer key must retain more items than the coarse one.
+	if s.StoredCount("hot") <= s.StoredCount("cold") {
+		t.Errorf("hot (eps=0.005) retains %d items, cold (eps=0.05) retains %d; want hot > cold",
+			s.StoredCount("hot"), s.StoredCount("cold"))
+	}
+	oracle := rank.Float64Oracle(items)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := s.Query("hot", phi)
+		if e := oracle.RankError(got, phi); float64(e) > 0.005*float64(len(items))+1 {
+			t.Errorf("hot key phi %g: error %d exceeds its override bound", phi, e)
+		}
+	}
+}
+
+func TestDeleteAndRecreate(t *testing.T) {
+	s := New(Config{})
+	s.Update("k", 1)
+	s.Update("k", 2)
+	if !s.Delete("k") {
+		t.Fatal("Delete should report the key existed")
+	}
+	if s.Delete("k") {
+		t.Fatal("second Delete should report absence")
+	}
+	if s.Has("k") || s.Len() != 0 {
+		t.Fatal("key should be gone")
+	}
+	if got := s.Stats().RetainedBytes; got != 0 {
+		t.Fatalf("retained bytes after delete = %d, want 0", got)
+	}
+	s.Update("k", 7)
+	if s.Count("k") != 1 {
+		t.Fatalf("recreated key count = %d, want 1", s.Count("k"))
+	}
+	if v, ok := s.Query("k", 0.5); !ok || v != 7 {
+		t.Fatalf("recreated key query = %v, %v", v, ok)
+	}
+}
+
+func TestBudgetEvictionLRU(t *testing.T) {
+	bpi := DefaultBytesPerItem
+	// Budget fits roughly 3 keys of ~32 retained items each.
+	s := New(Config{Eps: 0.01, MaxRetainedBytes: int64(3 * 32 * bpi)})
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { return clock }
+
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+	for _, k := range keys {
+		clock = clock.Add(time.Second)
+		for i := 0; i < 32; i++ {
+			s.Update(k, float64(i))
+		}
+	}
+	st := s.Stats()
+	if st.RetainedBytes > st.MaxRetainedBytes {
+		t.Fatalf("retained %d exceeds budget %d after eviction", st.RetainedBytes, st.MaxRetainedBytes)
+	}
+	if st.EvictionsLRU == 0 {
+		t.Fatal("expected LRU evictions")
+	}
+	// The most recently written key must have survived; the oldest must not.
+	if !s.Has("k5") {
+		t.Error("most recent key k5 should survive")
+	}
+	if s.Has("k0") {
+		t.Error("least recent key k0 should be evicted")
+	}
+	// An evicted key recreates cleanly.
+	s.Update("k0", 42)
+	if s.Count("k0") != 1 {
+		t.Errorf("recreated evicted key count = %d, want 1", s.Count("k0"))
+	}
+}
+
+func TestMaxKeysEviction(t *testing.T) {
+	s := New(Config{MaxKeys: 4})
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { return clock }
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(time.Second)
+		s.Update(string(rune('a'+i)), float64(i))
+	}
+	if got := s.Len(); got > 4 {
+		t.Fatalf("Len = %d, want <= 4", got)
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("expected evictions")
+	}
+}
+
+func TestIdleTTLEviction(t *testing.T) {
+	s := New(Config{IdleTTL: time.Minute})
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { return clock }
+	s.Update("stale", 1)
+	clock = clock.Add(30 * time.Second)
+	s.Update("fresh", 2)
+	clock = clock.Add(45 * time.Second) // stale: 75s idle; fresh: 45s idle
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d, want 1", n)
+	}
+	if s.Has("stale") || !s.Has("fresh") {
+		t.Fatalf("stale should be evicted, fresh kept; has(stale)=%v has(fresh)=%v", s.Has("stale"), s.Has("fresh"))
+	}
+	if s.Stats().EvictionsIdle != 1 {
+		t.Fatalf("EvictionsIdle = %d", s.Stats().EvictionsIdle)
+	}
+	// Queries also refresh the clock.
+	clock = clock.Add(50 * time.Second)
+	s.Query("fresh", 0.5)
+	clock = clock.Add(20 * time.Second) // fresh queried 20s ago
+	if n := s.EvictIdle(time.Minute); n != 0 {
+		t.Fatalf("queried key evicted after %d evictions", n)
+	}
+}
+
+func TestJanitorSweeps(t *testing.T) {
+	s := New(Config{MaxKeys: 1})
+	var mu sync.Mutex
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	s.Update("a", 1)
+	mu.Lock()
+	clock = clock.Add(time.Second)
+	mu.Unlock()
+	s.Update("b", 2)
+	stop := s.StartJanitor(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Len() > 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Len() > 1 {
+		t.Fatalf("janitor did not enforce MaxKeys; Len = %d", s.Len())
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New(Config{Eps: 0.02})
+	gen := stream.NewGenerator(3)
+	data := map[string][]float64{
+		"lat.api":   gen.Shuffled(10_000).Items(),
+		"lat.db":    gen.Uniform(5_000).Items(),
+		"lat.cache": gen.Sorted(2_000).Items(),
+	}
+	for k, items := range data {
+		s.UpdateBatch(k, items)
+	}
+	payload, version, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("SnapshotPayload: %v", err)
+	}
+	if v, ok := s.SnapshotVersion(); !ok || v < version {
+		t.Fatalf("SnapshotVersion = %d, %v (payload version %d)", v, ok, version)
+	}
+
+	r, err := Restore(Config{Eps: 0.02}, payload)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.Len() != len(data) {
+		t.Fatalf("restored Len = %d, want %d", r.Len(), len(data))
+	}
+	for k, items := range data {
+		if r.Count(k) != len(items) {
+			t.Errorf("key %q: restored count %d, want %d", k, r.Count(k), len(items))
+		}
+		oracle := rank.Float64Oracle(items)
+		for _, phi := range []float64{0.1, 0.5, 0.95} {
+			got, ok := r.Query(k, phi)
+			if !ok {
+				t.Fatalf("restored key %q empty", k)
+			}
+			if e := oracle.RankError(got, phi); float64(e) > 0.02*float64(len(items))+1 {
+				t.Errorf("restored key %q phi %g: error %d exceeds eps", k, phi, e)
+			}
+		}
+		// Restored keys keep accepting updates.
+		r.Update(k, math.Pi)
+		if r.Count(k) != len(items)+1 {
+			t.Errorf("restored key %q does not accept updates", k)
+		}
+	}
+}
+
+func TestMergePayloadCombinesPerKey(t *testing.T) {
+	mk := func(key string, items []float64) []byte {
+		s := New(Config{Eps: 0.02})
+		s.UpdateBatch(key, items)
+		p, _, err := s.SnapshotPayload()
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		return p
+	}
+	gen := stream.NewGenerator(4)
+	a := gen.Shuffled(8_000).Items()
+	b := gen.Uniform(8_000).Items()
+
+	dst := New(Config{Eps: 0.02})
+	if n, err := dst.MergePayload(mk("shared", a)); err != nil || n != 1 {
+		t.Fatalf("first merge: n=%d err=%v", n, err)
+	}
+	if n, err := dst.MergePayload(mk("shared", b)); err != nil || n != 1 {
+		t.Fatalf("second merge: n=%d err=%v", n, err)
+	}
+	union := append(append([]float64{}, a...), b...)
+	if dst.Count("shared") != len(union) {
+		t.Fatalf("merged count = %d, want %d", dst.Count("shared"), len(union))
+	}
+	oracle := rank.Float64Oracle(union)
+	for _, phi := range []float64{0.05, 0.5, 0.95} {
+		got, _ := dst.Query("shared", phi)
+		// COMBINE: eps_new = max(eps_a, eps_b) = 0.02.
+		if e := oracle.RankError(got, phi); float64(e) > 0.02*float64(len(union))+1 {
+			t.Errorf("merged phi %g: error %d exceeds COMBINE bound", phi, e)
+		}
+	}
+}
+
+func TestMergePayloadFamilyMismatchRejectsWhole(t *testing.T) {
+	gkStore := New(Config{Eps: 0.05})
+	gkStore.Update("k", 1)
+	kllStore := New(Config{
+		Eps:     0.05,
+		Factory: func(eps float64) Summary { return kll.NewFloat64(eps, kll.WithSeed(1)) },
+	})
+	// The container holds a perfectly mergeable new key *before* the
+	// conflicting one: nothing at all may be applied, or a retrying client
+	// would double-merge the good key.
+	kllStore.Update("aaa-fresh", 7)
+	kllStore.Update("k", 2)
+	p, _, err := kllStore.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	n, err := gkStore.MergePayload(p)
+	if err == nil {
+		t.Fatal("merging a KLL payload into a GK key should fail")
+	}
+	if !strings.Contains(err.Error(), `"k"`) {
+		t.Errorf("error should name the key: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("MergePayload applied %d keys before failing, want 0", n)
+	}
+	if gkStore.Has("aaa-fresh") {
+		t.Error("rejected container must not have created its earlier keys")
+	}
+	if gkStore.Count("k") != 1 {
+		t.Errorf("existing key mutated by rejected container: count %d", gkStore.Count("k"))
+	}
+}
+
+func TestMergePayloadRejectsGarbage(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.MergePayload([]byte("junk")); err == nil {
+		t.Fatal("garbage payload should be rejected")
+	}
+	if s.Len() != 0 {
+		t.Fatal("rejected payload must not create keys")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(Config{Eps: 0.05})
+	s.UpdateBatch("a", []float64{1, 2, 3})
+	s.Update("b", 4)
+	st := s.Stats()
+	if st.Keys != 2 || st.Updates != 4 || st.Creates != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantBytes := int64((s.StoredCount("a") + s.StoredCount("b")) * DefaultBytesPerItem)
+	if st.RetainedBytes != wantBytes {
+		t.Fatalf("RetainedBytes = %d, want %d", st.RetainedBytes, wantBytes)
+	}
+	if st.RetainedItems != s.StoredCount("a")+s.StoredCount("b") {
+		t.Fatalf("RetainedItems = %d", st.RetainedItems)
+	}
+}
+
+func TestKLLFactoryBatchesAndSnapshots(t *testing.T) {
+	var seed int64
+	s := New(Config{
+		Eps: 0.02,
+		Factory: func(eps float64) Summary {
+			seed++
+			return kll.NewFloat64(eps, kll.WithSeed(seed))
+		},
+	})
+	gen := stream.NewGenerator(5)
+	items := gen.Shuffled(30_000).Items()
+	s.UpdateBatch("k", items)
+	oracle := rank.Float64Oracle(items)
+	got, _ := s.Query("k", 0.5)
+	// Randomized family: allow 3x slack like the CI gate does.
+	if e := oracle.RankError(got, 0.5); float64(e) > 3*0.02*float64(len(items))+1 {
+		t.Errorf("KLL median error %d exceeds slacked bound", e)
+	}
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r, err := Restore(Config{Eps: 0.02}, payload)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Count("k") != len(items) {
+		t.Fatalf("restored KLL count = %d", r.Count("k"))
+	}
+}

@@ -1,0 +1,199 @@
+package store
+
+// The concurrency torture suite: N goroutines mixing updates, queries,
+// snapshots, deletes, and eviction sweeps over overlapping keys, run under
+// CI's -race job. The correctness contract it pins down is the one the
+// package documents: updates on keys that are never evicted are never lost
+// (exact counts survive arbitrary interleaving), and evicted or deleted keys
+// recreate cleanly from the factory.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTortureStableKeysLoseNothing(t *testing.T) {
+	// No budget and no TTL: only explicit Delete removes keys. Stable keys
+	// are never deleted, so their final counts must be exact; victim keys
+	// are deleted concurrently with writes and must always recreate cleanly.
+	s := New(Config{Eps: 0.05, Shards: 4})
+	const (
+		writers        = 8
+		opsPerWriter   = 2_000
+		stableKeyCount = 5
+		victimKeyCount = 3
+	)
+	stable := make([]string, stableKeyCount)
+	for i := range stable {
+		stable[i] = fmt.Sprintf("stable-%d", i)
+	}
+	victims := make([]string, victimKeyCount)
+	for i := range victims {
+		victims[i] = fmt.Sprintf("victim-%d", i)
+	}
+	var sent [stableKeyCount]atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				ki := (w + i) % stableKeyCount
+				switch i % 4 {
+				case 0, 1:
+					s.Update(stable[ki], float64(i))
+					sent[ki].Add(1)
+				case 2:
+					s.UpdateBatch(stable[ki], []float64{1, 2, 3})
+					sent[ki].Add(3)
+				case 3:
+					s.Update(victims[(w+i)%victimKeyCount], float64(i))
+				}
+			}
+		}(w)
+	}
+	// Readers, snapshotters, and a deleter churning the victim keys.
+	stopCh := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(3)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			for _, k := range stable {
+				s.Query(k, 0.5)
+				s.EstimateRank(k, 1)
+				s.CDF(k, 2)
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			if _, _, err := s.SnapshotPayload(); err != nil {
+				t.Errorf("snapshot under load: %v", err)
+				return
+			}
+			s.Keys()
+			s.Stats()
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			s.Delete(victims[i%victimKeyCount])
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stopCh)
+	aux.Wait()
+
+	for i, k := range stable {
+		if got, want := int64(s.Count(k)), sent[i].Load(); got != want {
+			t.Errorf("stable key %q lost updates: count %d, want %d", k, got, want)
+		}
+	}
+	// Victim keys recreate cleanly: a fresh update must land on a working,
+	// queryable summary regardless of what the deleter did.
+	for _, k := range victims {
+		s.Delete(k)
+		s.Update(k, 42)
+		if s.Count(k) != 1 {
+			t.Errorf("victim key %q did not recreate cleanly: count %d", k, s.Count(k))
+		}
+		if v, ok := s.Query(k, 0.5); !ok || v != 42 {
+			t.Errorf("victim key %q query after recreate = %v, %v", k, v, ok)
+		}
+	}
+	// Accounting stayed consistent: retained bytes match the live summaries.
+	var wantBytes int64
+	for _, k := range s.Keys() {
+		wantBytes += int64(s.StoredCount(k)) * DefaultBytesPerItem
+	}
+	if got := s.Stats().RetainedBytes; got != wantBytes {
+		t.Errorf("retained accounting drifted: %d, recomputed %d", got, wantBytes)
+	}
+}
+
+func TestTortureUnderBudgetEviction(t *testing.T) {
+	// A tight budget with many keys: the store must stay within the budget
+	// (after its own sweeps), never panic or deadlock, keep every invariant
+	// the race detector can see, and keep answering queries; evicted keys
+	// must keep recreating.
+	budget := int64(64 * 32 * DefaultBytesPerItem)
+	s := New(Config{Eps: 0.02, Shards: 8, MaxRetainedBytes: budget})
+	const (
+		writers      = 8
+		opsPerWriter = 4_000
+		keySpace     = 256
+	)
+	keys := make([]string, keySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k-%03d", i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				k := keys[(w*31+i)%keySpace]
+				if i%8 == 0 {
+					s.UpdateBatch(k, []float64{float64(i), float64(i + 1)})
+				} else {
+					s.Update(k, float64(i%97))
+				}
+				if i%16 == 0 {
+					s.Query(k, 0.9)
+				}
+				if i%512 == 0 {
+					s.Sweep()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Sweep()
+
+	st := s.Stats()
+	if st.RetainedBytes > budget {
+		t.Errorf("retained %d exceeds budget %d after final sweep", st.RetainedBytes, budget)
+	}
+	if st.EvictionsLRU == 0 {
+		t.Error("expected evictions under a tight budget")
+	}
+	// Every live key is queryable; every evicted key recreates.
+	for _, k := range keys {
+		s.Update(k, 1)
+		if s.Count(k) < 1 {
+			t.Fatalf("key %q unusable after eviction churn", k)
+		}
+	}
+	// Global update counter saw every accepted item: each writer issued
+	// opsPerWriter ops of which 1/8 were 2-item batches, plus the keySpace
+	// post-churn updates.
+	wantUpdates := int64(writers*opsPerWriter+writers*opsPerWriter/8) + int64(keySpace)
+	if st2 := s.Stats(); st2.Updates != wantUpdates {
+		t.Errorf("Updates = %d, want %d", st2.Updates, wantUpdates)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/sharded"
+	"quantilelb/internal/store"
 	"quantilelb/internal/summary"
 	"quantilelb/internal/universe"
 	"quantilelb/internal/window"
@@ -192,6 +193,50 @@ func ReservoirFactory(eps, delta float64, seed int64) func() *sampling.Reservoir
 	return func() *sampling.Reservoir[float64] {
 		return sampling.NewFloat64(eps, delta, seed+next.Add(1))
 	}
+}
+
+// Store is the multi-tenant keyed tier (internal/store): a sharded registry
+// mapping string keys — per-metric, per-endpoint, per-customer streams — to
+// independent summaries created lazily from a factory, with per-key accuracy
+// overrides and LRU/idle-TTL eviction under a global retained-bytes budget.
+// Build one with NewStore.
+type Store = store.Store
+
+// StoreConfig parameterizes NewStore; the zero value gives GK summaries at
+// eps = 0.01 with no eviction. See the field docs on the aliased type.
+type StoreConfig = store.Config
+
+// StoreSummary is the per-key summary interface a StoreConfig factory
+// returns; every summary constructor in this package (NewGK, NewKLL, ...)
+// produces one.
+type StoreSummary = store.Summary
+
+// NewStore returns a multi-tenant keyed store: Update(key, x) routes each
+// metric/tenant stream into its own summary (created on first use), and
+// Query(key, phi) answers per-key quantiles with that key's accuracy.
+//
+//	st := quantilelb.NewStore(quantilelb.StoreConfig{
+//		Eps:              0.01,
+//		EpsOverrides:     map[string]float64{"checkout.latency": 0.001},
+//		MaxRetainedBytes: 64 << 20, // evict LRU keys beyond 64 MiB
+//	})
+//	st.Update("checkout.latency", 41.5)
+//	p99, _ := st.Query("checkout.latency", 0.99)
+func NewStore(cfg StoreConfig) *Store { return store.New(cfg) }
+
+// SnapshotStore serializes every key of a store into one multi-key container
+// payload (the KindStore wire format of internal/encoding, documented in
+// DESIGN.md); RestoreStore reverses it and (*Store).MergePayload folds it
+// into an existing store per key under the COMBINE rule.
+func SnapshotStore(st *Store) ([]byte, error) {
+	payload, _, err := st.SnapshotPayload()
+	return payload, err
+}
+
+// RestoreStore builds a store from a configuration and a container payload
+// produced by SnapshotStore, adopting every snapshotted key.
+func RestoreStore(cfg StoreConfig, payload []byte) (*Store, error) {
+	return store.Restore(cfg, payload)
 }
 
 // Snapshot serializes any encodable summary into the compact binary wire

@@ -342,3 +342,46 @@ func TestFacadeSnapshotRestoreAny(t *testing.T) {
 		t.Error("RestoreAny on garbage should fail")
 	}
 }
+
+func TestFacadeStore(t *testing.T) {
+	gen := stream.NewGenerator(9)
+	st := quantilelb.NewStore(quantilelb.StoreConfig{Eps: 0.02})
+	data := map[string][]float64{
+		"api": gen.Shuffled(10_000).Items(),
+		"db":  gen.Uniform(5_000).Items(),
+	}
+	for k, items := range data {
+		st.UpdateBatch(k, items)
+	}
+	for k, items := range data {
+		oracle := rank.Float64Oracle(items)
+		for _, phi := range []float64{0.1, 0.5, 0.99} {
+			got, ok := st.Query(k, phi)
+			if !ok {
+				t.Fatalf("key %q empty", k)
+			}
+			if e := oracle.RankError(got, phi); float64(e) > 0.02*float64(len(items))+1 {
+				t.Errorf("key %q phi %g: rank error %d exceeds eps", k, phi, e)
+			}
+		}
+	}
+
+	payload, err := quantilelb.SnapshotStore(st)
+	if err != nil {
+		t.Fatalf("SnapshotStore: %v", err)
+	}
+	restored, err := quantilelb.RestoreStore(quantilelb.StoreConfig{Eps: 0.02}, payload)
+	if err != nil {
+		t.Fatalf("RestoreStore: %v", err)
+	}
+	if restored.Len() != 2 || restored.Count("api") != 10_000 {
+		t.Fatalf("restored store: len=%d api=%d", restored.Len(), restored.Count("api"))
+	}
+	// Merging the snapshot back doubles per-key counts (COMBINE per key).
+	if _, err := st.MergePayload(payload); err != nil {
+		t.Fatalf("MergePayload: %v", err)
+	}
+	if st.Count("db") != 10_000 {
+		t.Fatalf("merged db count = %d, want 10000", st.Count("db"))
+	}
+}
