@@ -1,6 +1,7 @@
 // Command bench runs the workload benchmark matrix of internal/bench —
 // every summary family (GK, greedy GK, KLL, MRL, reservoir, biased, capped,
-// and the sharded variants) against every workload (sorted, reverse,
+// the sharded and cluster variants, the keyed-store fanout families, and
+// the weighted-ingestion families) against every workload (sorted, reverse,
 // shuffled, zipf, duplicates, drift, and the paper's adversarial stream), in
 // both item-at-a-time and batched ingestion modes — and writes the
 // machine-readable report that records the repository's performance

@@ -9,7 +9,9 @@
 //
 //	POST /update    ingest a batch: whitespace/comma-separated float64s, a
 //	                JSON array of numbers (Content-Type: application/json),
-//	                or single items as ?x= query parameters
+//	                a weighted JSON array of {"v": value, "w": count}
+//	                objects (each value counts w times; error ≤ ε·W), or
+//	                single items as ?x= query parameters
 //	GET  /quantile  ?phi=0.5&phi=0.99  -> {"results":[{"phi":0.5,"value":...},...]}
 //	GET  /rank      ?q=1.5             -> {"q":1.5,"rank":...,"n":...}
 //	GET  /cdf       ?q=1&q=2&q=3       -> {"points":[{"q":1,"p":...},...]}
@@ -22,7 +24,8 @@
 // metric/tenant key, created lazily, evicted LRU under -store-budget and
 // after -store-ttl idle):
 //
-//	POST /k/{key}/update    ingest a batch into one key (same body formats)
+//	POST /k/{key}/update    ingest a batch into one key (same body formats,
+//	                        weighted {v,w} batches included)
 //	GET  /k/{key}/quantile  per-key quantiles (same JSON shapes as above)
 //	GET  /k/{key}/rank      per-key rank estimate
 //	GET  /k/{key}/cdf       per-key CDF points

@@ -93,3 +93,26 @@ func ExampleNewStore() {
 	// checkout p99 within 0.1%: true
 	// search n: 10000
 }
+
+// ExampleUpdateWeighted ingests pre-counted observations: an item of weight
+// w counts as w stream items, so a histogram bucket or an importance weight
+// ingests in one call instead of w. GK, KLL, MRL, and the reservoir take the
+// native o(w) path; other families fall back to guarded expansion.
+func ExampleUpdateWeighted() {
+	s := quantilelb.NewGK(0.01)
+	// A pre-aggregated latency histogram: value -> observation count.
+	for v, count := range map[float64]int64{10: 700, 50: 250, 250: 50} {
+		if err := quantilelb.UpdateWeighted(s, v, count); err != nil {
+			panic(err)
+		}
+	}
+	p50, _ := s.Query(0.50)
+	p99, _ := s.Query(0.99)
+	fmt.Println("total weight:", s.Count())
+	fmt.Println("p50:", p50)
+	fmt.Println("p99:", p99)
+	// Output:
+	// total weight: 1000
+	// p50: 10
+	// p99: 250
+}

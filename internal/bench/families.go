@@ -14,12 +14,16 @@ import (
 	"quantilelb/internal/window"
 )
 
-// Bytes-per-retained-item estimates. GK-lineage summaries (gk, biased,
-// capped) store (value, G, Delta) tuples — one float64 plus two ints = 24
+// Bytes-per-retained-item estimates. GK summaries (and everything stacked
+// on them: sharded-gk, cluster, window blocks, the keyed store's default
+// factory) store (value, G, Delta, Wt) tuples — one float64 plus three ints
+// = 32 bytes since the weighted-input extension; the biased and capped
+// summaries keep the original three-field (value, G, Delta) tuple at 24
 // bytes; buffer-based summaries (kll, mrl, reservoir) store bare float64s.
 const (
-	tupleBytes = 24
-	itemBytes  = 8
+	gkTupleBytes = 32
+	tupleBytes   = 24
+	itemBytes    = 8
 )
 
 // cappedCapacity deliberately undercuts the GK bound so the matrix records
@@ -41,13 +45,13 @@ func DefaultFamilies(cfg Config) []Family {
 		{
 			Name:         "gk",
 			New:          func() Target { return gk.NewFloat64(eps) },
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			EpsTarget:    eps,
 		},
 		{
 			Name:         "gk-greedy",
 			New:          func() Target { return gk.NewWithPolicy(order.Floats[float64](), eps, gk.PolicyGreedy) },
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			EpsTarget:    eps,
 		},
 		{
@@ -93,7 +97,7 @@ func DefaultFamilies(cfg Config) []Family {
 			New: func() Target {
 				return sharded.New(func() *gk.Summary[float64] { return gk.NewFloat64(eps) }, shardedWidth)
 			},
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			EpsTarget:    eps,
 		},
 		{
@@ -103,13 +107,13 @@ func DefaultFamilies(cfg Config) []Family {
 			// every other family, while the ingest path still pays the
 			// block/bucket bookkeeping of the sliding-window reduction.
 			New:          func() Target { return window.NewFloat64(eps, maxN) },
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			EpsTarget:    eps,
 		},
 		{
 			Name:         "cluster-gk",
 			New:          func() Target { return newClusterTarget(eps) },
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			// COMBINE keeps eps_new = max over the nodes' equal eps, so the
 			// merged global view carries the same uniform guarantee as one
 			// node.
@@ -129,5 +133,8 @@ func DefaultFamilies(cfg Config) []Family {
 	}
 	// Keyed-fanout families: the multi-tenant store at 1/100/10k keys with
 	// zipf key popularity (see keyed.go).
-	return append(families, keyedFamilies(cfg)...)
+	families = append(families, keyedFamilies(cfg)...)
+	// Weighted-ingestion families: the weighted write path under constant
+	// and zipf-distributed weights (see weighted.go).
+	return append(families, weightedFamilies(cfg)...)
 }

@@ -105,7 +105,7 @@ func keyedFamilies(cfg Config) []Family {
 		return Family{
 			Name:         name,
 			New:          func() Target { return newKeyedTarget(eps, nKeys, cfg.Seed, budget) },
-			BytesPerItem: tupleBytes,
+			BytesPerItem: gkTupleBytes,
 			EpsTarget:    epsTarget,
 			BudgetBytes:  budget,
 		}

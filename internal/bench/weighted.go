@@ -1,0 +1,117 @@
+package bench
+
+// Weighted-ingestion families: the weighted write path measured in the same
+// matrix as everything else. Two shapes:
+//
+//   - Constant weight (weighted-gk, weighted-kll): every item carries the
+//     same weight, so the weighted quantiles coincide with the plain ones
+//     and the cell's rank error against the unweighted oracle remains a
+//     valid accuracy gate — while the ingest path exercises heavy tuples,
+//     high compactor levels, and total-weight thresholds throughout.
+//   - Zipf-distributed weights (weighted-zipf): the realistic pre-counted
+//     shape (a few huge counts, a long tail of small ones). Skewed weights
+//     reshape the distribution, so the cell records its error without
+//     gating on eps; the weighted differential suite (internal/checker)
+//     carries the ε·W assertion for skewed weights against the weighted
+//     oracle.
+
+import (
+	"math/rand"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+)
+
+// weightedConstFactor is the constant per-item weight of the weighted-gk and
+// weighted-kll families: every cell ingests 16× its nominal item count in
+// total weight.
+const weightedConstFactor = 16
+
+// weightedZipf parameterize the weighted-zipf family's weight distribution
+// (zipf s=1.2 over 1..2^16: mostly 1s, occasionally tens of thousands).
+const (
+	weightedZipfS   = 1.2
+	weightedZipfMax = 1 << 16
+)
+
+// weightedIngester is the native weighted surface the wrappers drive.
+type weightedIngester interface {
+	WeightedUpdate(x float64, w int64)
+	WeightedUpdateBatch(xs []float64, ws []int64)
+	Query(phi float64) (float64, bool)
+	Count() int
+	StoredCount() int
+}
+
+// weightedTarget adapts a natively weighted summary to the harness: Update
+// routes through WeightedUpdate with the next weight from draw, UpdateBatch
+// through WeightedUpdateBatch with a drawn weight column.
+type weightedTarget struct {
+	inner weightedIngester
+	draw  func() int64
+	ws    []int64 // batch scratch
+}
+
+// Update ingests one item at its drawn weight.
+func (t *weightedTarget) Update(x float64) { t.inner.WeightedUpdate(x, t.draw()) }
+
+// UpdateBatch ingests a batch with a freshly drawn weight per element.
+func (t *weightedTarget) UpdateBatch(xs []float64) {
+	t.ws = t.ws[:0]
+	for range xs {
+		t.ws = append(t.ws, t.draw())
+	}
+	t.inner.WeightedUpdateBatch(xs, t.ws)
+}
+
+// Query, Count, and StoredCount delegate to the wrapped summary.
+func (t *weightedTarget) Query(phi float64) (float64, bool) { return t.inner.Query(phi) }
+func (t *weightedTarget) Count() int                        { return t.inner.Count() }
+func (t *weightedTarget) StoredCount() int                  { return t.inner.StoredCount() }
+
+// constWeight returns a draw function yielding the constant w.
+func constWeight(w int64) func() int64 {
+	return func() int64 { return w }
+}
+
+// zipfWeight returns a deterministic zipf weight source.
+func zipfWeight(seed int64) func() int64 {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), weightedZipfS, 1, weightedZipfMax-1)
+	return func() int64 { return int64(z.Uint64()) + 1 }
+}
+
+// weightedFamilies returns the weighted-ingestion families for cfg.Eps.
+func weightedFamilies(cfg Config) []Family {
+	eps := cfg.Eps
+	return []Family{
+		{
+			Name: "weighted-gk",
+			New: func() Target {
+				return &weightedTarget{inner: gk.NewFloat64(eps), draw: constWeight(weightedConstFactor)}
+			},
+			BytesPerItem: gkTupleBytes,
+			// Constant weights leave quantiles unchanged, so the plain-oracle
+			// gate applies at the configured eps.
+			EpsTarget: eps,
+		},
+		{
+			Name: "weighted-kll",
+			New: func() Target {
+				return &weightedTarget{inner: kll.NewFloat64(eps, kll.WithSeed(cfg.Seed)), draw: constWeight(weightedConstFactor)}
+			},
+			BytesPerItem: itemBytes,
+			// Randomized, like the kll family: benchdiff applies its slack.
+			EpsTarget: eps,
+		},
+		{
+			Name: "weighted-zipf",
+			New: func() Target {
+				return &weightedTarget{inner: gk.NewFloat64(eps), draw: zipfWeight(cfg.Seed)}
+			},
+			BytesPerItem: gkTupleBytes,
+			// Skewed weights reshape the distribution relative to the
+			// unweighted oracle: record-only (the weighted differential
+			// suite gates this shape against the weighted oracle).
+		},
+	}
+}

@@ -1,0 +1,156 @@
+package checker
+
+// Weighted differential harness: the weighted twin of RunDifferential. Every
+// weighted-capable family is driven through a matrix of weighted workloads —
+// items paired with positive integer weights — and verified against the
+// exact weighted oracle of internal/rank: each ϕ-quantile answer must have
+// weighted rank within ±ε·W of ⌊ϕW⌋ where W is the total weight, the
+// guarantee the weighted GK generalization (Assadi et al., PAPERS.md)
+// carries over from the unit-weight setting, and weighted rank estimates
+// must land within the same allowance.
+
+import (
+	"quantilelb/internal/rank"
+)
+
+// WeightedTarget is what a weighted cell drives: a summary's native weighted
+// ingest plus its query surface. Every natively weighted family (GK both
+// policies, KLL, MRL, the reservoir), the sharded wrapper over one, and the
+// per-key adapters of the keyed store satisfy it.
+type WeightedTarget interface {
+	WeightedUpdate(x float64, w int64)
+	Query(phi float64) (float64, bool)
+	EstimateRank(q float64) int
+	Count() int
+	StoredCount() int
+}
+
+// WeightedWorkload is one named, materialized weighted stream: parallel
+// items and positive integer weights.
+type WeightedWorkload struct {
+	// Name identifies the workload ("uniform-weights", "weighted-adversarial", ...).
+	Name string
+	// Items is the stream; Weights carries one positive weight per item.
+	Items   []float64
+	Weights []int64
+}
+
+// TotalWeight returns W = Σ weights, the expanded length of the workload.
+func (w WeightedWorkload) TotalWeight() int64 {
+	var total int64
+	for _, wt := range w.Weights {
+		total += wt
+	}
+	return total
+}
+
+// WeightedCase is one weighted-capable summary family of the matrix.
+type WeightedCase struct {
+	// Name identifies the family in reports ("weighted-gk", ...).
+	Name string
+	// New builds a fresh weighted target for one cell; totalW is the
+	// workload's total weight, for families that must declare the expanded
+	// stream length up front (MRL).
+	New func(totalW int64) WeightedTarget
+	// Eps is the accuracy bound to assert against ε·W.
+	Eps float64
+	// Slack multiplies the allowance for randomized families, as in Case.
+	Slack float64
+}
+
+// VerifyWeightedUniform checks the weighted uniform guarantee of a summary
+// that ingested the given weighted stream: `grid`+1 evenly spaced quantile
+// queries, each answer's weighted rank within ±ε·W of its target, plus a
+// weighted rank-estimation sweep over the distinct items under the same
+// allowance (folded into the same Report; a rank estimate off by more than
+// the allowance counts as a failure). Report.N carries the total weight W.
+func VerifyWeightedUniform(s WeightedTarget, items []float64, weights []int64, eps float64, grid int) Report {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.Float64WeightedOracle(items, weights)
+	totalW := oracle.TotalWeight()
+	rep := Report{N: int(totalW), Eps: eps, StoredItems: s.StoredCount()}
+	if totalW == 0 {
+		return rep
+	}
+	allowance := eps * float64(totalW)
+	totalErr := int64(0)
+	for i := 0; i <= grid; i++ {
+		phi := float64(i) / float64(grid)
+		got, ok := s.Query(phi)
+		if !ok {
+			rep.Failures++
+			continue
+		}
+		rep.QueriesChecked++
+		e := oracle.RankError(got, phi)
+		totalErr += e
+		if int(e) > rep.WorstRankError {
+			rep.WorstRankError = int(e)
+			rep.WorstPhi = phi
+		}
+		if float64(e) > allowance+1e-9 {
+			rep.Failures++
+		}
+	}
+	if rep.QueriesChecked > 0 {
+		rep.MeanRankError = float64(totalErr) / float64(rep.QueriesChecked)
+	}
+	// Weighted rank estimation: sample the stream's own items as queries.
+	step := len(items) / grid
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(items); i += step {
+		q := items[i]
+		est := int64(s.EstimateRank(q))
+		exact := oracle.RankLE(q)
+		e := est - exact
+		if e < 0 {
+			e = -e
+		}
+		if int(e) > rep.WorstRankError {
+			rep.WorstRankError = int(e)
+		}
+		if float64(e) > allowance+1e-9 {
+			rep.Failures++
+		}
+	}
+	return rep
+}
+
+// RunWeightedDifferential drives every weighted case through every weighted
+// workload and returns one result per cell, in (workload-major, case-minor)
+// order, mirroring RunDifferential. Each cell builds a fresh target, ingests
+// the workload pair-at-a-time through WeightedUpdate, and verifies it with
+// VerifyWeightedUniform at allowance Slack·ε·W.
+func RunWeightedDifferential(cases []WeightedCase, workloads []WeightedWorkload, grid int) []DiffResult {
+	out := make([]DiffResult, 0, len(cases)*len(workloads))
+	for _, wl := range workloads {
+		totalW := wl.TotalWeight()
+		for _, c := range cases {
+			s := c.New(totalW)
+			for i, x := range wl.Items {
+				s.WeightedUpdate(x, wl.Weights[i])
+			}
+			if r, ok := s.(refresher); ok {
+				r.Refresh()
+			}
+			slack := c.Slack
+			if slack <= 0 {
+				slack = 1
+			}
+			rep := VerifyWeightedUniform(s, wl.Items, wl.Weights, c.Eps*slack, grid)
+			res := DiffResult{
+				Case:     c.Name,
+				Workload: wl.Name,
+				Report:   rep,
+				Gated:    c.Eps > 0,
+			}
+			res.Pass = !res.Gated || rep.Passed()
+			out = append(out, res)
+		}
+	}
+	return out
+}

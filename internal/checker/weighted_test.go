@@ -1,0 +1,184 @@
+package checker_test
+
+// The weighted differential suite: every weighted-capable family — the four
+// natively weighted summaries, the sharded wrapper, and the keyed store —
+// driven through weighted workload columns (uniform, skewed, heavy-hitter
+// weight patterns over the generator streams, plus a weighted variant of the
+// paper's adversarial stream) against the exact weighted oracle. Each gated
+// cell must answer every quantile and rank query within ±ε·W of the
+// weight-expanded ground truth.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"quantilelb/internal/bench"
+	"quantilelb/internal/checker"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/order"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/sharded"
+	"quantilelb/internal/store"
+	"quantilelb/internal/stream"
+)
+
+const (
+	wdiffN    = 12_000
+	wdiffEps  = 0.02
+	wdiffGrid = 100
+)
+
+// weightsFor derives a deterministic weight column for a stream: a named
+// pattern, independent of any RNG so cells are reproducible byte-for-byte.
+func weightsFor(n int, pattern string) []int64 {
+	ws := make([]int64, n)
+	for i := range ws {
+		switch pattern {
+		case "unit":
+			ws[i] = 1
+		case "uniform":
+			ws[i] = int64(i%16) + 1
+		case "skewed":
+			// Mostly light with a power-of-two ladder of heavy items.
+			ws[i] = int64(i%4) + 1
+			if i%127 == 0 {
+				ws[i] <<= 8 // ×256
+			}
+		case "heavy-hitter":
+			ws[i] = 1
+		default:
+			panic("unknown weight pattern " + pattern)
+		}
+	}
+	if pattern == "heavy-hitter" {
+		// One item carries a third of the total weight: the regime where a
+		// summary that mishandles runs fails loudest.
+		ws[n/2] = int64(n) / 2
+	}
+	return ws
+}
+
+// wdiffWorkloads materializes the weighted matrix: shuffled and zipf item
+// streams under each weight pattern, plus the paper's adversarial stream
+// carrying cycling weights (the weighted variant of the lower-bound input).
+func wdiffWorkloads(t testing.TB) []checker.WeightedWorkload {
+	t.Helper()
+	gen := stream.NewGenerator(99)
+	var out []checker.WeightedWorkload
+	for _, streamName := range []string{"shuffled", "zipf"} {
+		st, err := gen.ByName(streamName, wdiffN)
+		if err != nil {
+			t.Fatalf("workload %s: %v", streamName, err)
+		}
+		for _, pattern := range []string{"unit", "uniform", "skewed", "heavy-hitter"} {
+			out = append(out, checker.WeightedWorkload{
+				Name:    streamName + "/" + pattern,
+				Items:   st.Items(),
+				Weights: weightsFor(len(st.Items()), pattern),
+			})
+		}
+	}
+	adv, err := bench.AdversarialWorkload(wdiffN)
+	if err != nil {
+		t.Fatalf("adversarial workload: %v", err)
+	}
+	out = append(out, checker.WeightedWorkload{
+		Name:    "weighted-adversarial",
+		Items:   adv.Items,
+		Weights: weightsFor(len(adv.Items), "uniform"),
+	})
+	return out
+}
+
+// storeKeyTarget adapts one key of a multi-tenant store to the weighted
+// harness, so the keyed tier's weighted path is checked by the same suite.
+type storeKeyTarget struct {
+	t   *testing.T
+	st  *store.Store
+	key string
+}
+
+func (k storeKeyTarget) WeightedUpdate(x float64, w int64) {
+	if err := k.st.WeightedUpdate(k.key, x, w); err != nil {
+		k.t.Fatalf("store weighted update: %v", err)
+	}
+}
+func (k storeKeyTarget) Query(phi float64) (float64, bool) { return k.st.Query(k.key, phi) }
+func (k storeKeyTarget) EstimateRank(q float64) int        { return k.st.EstimateRank(k.key, q) }
+func (k storeKeyTarget) Count() int                        { return k.st.Count(k.key) }
+func (k storeKeyTarget) StoredCount() int                  { return k.st.StoredCount(k.key) }
+
+// wdiffCases is the weighted family table: deterministic families gate at
+// their exact ε·W, randomized families at the same documented slack as the
+// unweighted matrix.
+func wdiffCases(t *testing.T) []checker.WeightedCase {
+	var kllSeed, resSeed atomic.Int64
+	return []checker.WeightedCase{
+		{Name: "gk", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget { return gk.NewFloat64(wdiffEps) }},
+		{Name: "gk-greedy", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget {
+				return gk.NewWithPolicy(order.Floats[float64](), wdiffEps, gk.PolicyGreedy)
+			}},
+		{Name: "kll", Eps: wdiffEps, Slack: randomizedSlack,
+			New: func(int64) checker.WeightedTarget {
+				return kll.NewFloat64(wdiffEps, kll.WithSeed(500+kllSeed.Add(1)))
+			}},
+		{Name: "mrl", Eps: wdiffEps,
+			// MRL needs the expanded stream length declared up front: the
+			// workload's total weight.
+			New: func(totalW int64) checker.WeightedTarget {
+				return mrl.NewFloat64(wdiffEps, int(totalW))
+			}},
+		{Name: "reservoir", Eps: wdiffEps, Slack: randomizedSlack,
+			New: func(int64) checker.WeightedTarget {
+				return sampling.NewFloat64(wdiffEps, 0.01, 600+resSeed.Add(1))
+			}},
+		{Name: "sharded-gk", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget {
+				return sharded.New(func() *gk.Summary[float64] { return gk.NewFloat64(wdiffEps) }, 8)
+			}},
+		{Name: "store-gk", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget {
+				return storeKeyTarget{t: t, st: store.New(store.Config{Eps: wdiffEps}), key: "metric"}
+			}},
+	}
+}
+
+// TestWeightedDifferentialAllFamilies is the weighted acceptance suite: one
+// table, every weighted-capable family, every weighted workload — including
+// the weighted adversarial stream — each cell's observed max weighted-rank
+// error within Slack·ε·W.
+func TestWeightedDifferentialAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full weighted differential matrix")
+	}
+	workloads := wdiffWorkloads(t)
+	cases := wdiffCases(t)
+	results := checker.RunWeightedDifferential(cases, workloads, wdiffGrid)
+	if want := len(cases) * len(workloads); len(results) != want {
+		t.Fatalf("got %d cells, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if r.Gated && !r.Pass {
+			t.Errorf("%s/%s: %s", r.Case, r.Workload, r.Report)
+		}
+	}
+}
+
+// TestWeightedDifferentialLogTable records the weighted matrix in verbose
+// runs: the table EXPERIMENTS.md's W-series is regenerated from.
+func TestWeightedDifferentialLogTable(t *testing.T) {
+	if testing.Short() || !testing.Verbose() {
+		t.Skip("table dump only under -v")
+	}
+	results := checker.RunWeightedDifferential(wdiffCases(t), wdiffWorkloads(t), wdiffGrid)
+	t.Logf("%-12s %-24s %10s %12s %12s %8s", "family", "workload", "W", "worst_err", "allowance", "stored")
+	for _, r := range results {
+		t.Logf("%-12s %-24s %10d %12d %12.1f %8d",
+			r.Case, r.Workload, r.Report.N, r.Report.WorstRankError,
+			r.Report.Eps*float64(r.Report.N), r.Report.StoredItems)
+	}
+}

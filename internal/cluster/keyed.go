@@ -62,7 +62,8 @@ func requestKey(w http.ResponseWriter, r *http.Request) (string, bool) {
 // writer node, serving the given store:
 //
 //	POST /k/{key}/update    ingest a batch into one key (same body formats
-//	                        as POST /update: floats, JSON array, ?x=)
+//	                        as POST /update: floats, JSON array, weighted
+//	                        {v,w} JSON array, ?x=)
 //	GET  /k/{key}/quantile  per-key quantiles, same JSON shape as /quantile
 //	GET  /k/{key}/rank      per-key rank estimate
 //	GET  /k/{key}/cdf       per-key CDF points
@@ -104,14 +105,32 @@ func registerKeyedAPI(mux *http.ServeMux, st *store.Store, nonce uint64) {
 		if !ok {
 			return
 		}
-		batch, ok := parseUpdateRequest(w, r)
+		batch, weights, ok := parseUpdateRequest(w, r)
 		if !ok {
 			return
 		}
-		if len(batch) > 0 {
+		resp := map[string]any{"key": key, "accepted": len(batch)}
+		if weights != nil {
+			if len(batch) > 0 {
+				if err := st.WeightedUpdateBatch(key, batch, weights); err != nil {
+					// Weights passed wire validation, so this is the store's
+					// own contract (e.g. the expansion-fallback guard of a
+					// family without a native weighted path): still a client
+					// problem, reported structurally.
+					httpError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+			}
+			var total int64
+			for _, wt := range weights {
+				total += wt
+			}
+			resp["weight"] = total
+		} else if len(batch) > 0 {
 			st.UpdateBatch(key, batch)
 		}
-		writeJSON(w, map[string]any{"key": key, "accepted": len(batch), "n": st.Count(key)})
+		resp["n"] = st.Count(key)
+		writeJSON(w, resp)
 	})
 	forKey := func(serve func(readView, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {

@@ -35,8 +35,10 @@ import (
 // Magic identifies serialized summaries from this package.
 const Magic = uint32(0x51534d31) // "QSM1"
 
-// Version is the current format version.
-const Version = uint16(1)
+// Version is the current format version. Version 2 added the per-tuple run
+// weight to the GK record (weighted-input support); payloads written by
+// version 1 are rejected rather than silently misread.
+const Version = uint16(2)
 
 // Kind identifies the summary type inside a payload.
 type Kind uint16
@@ -154,8 +156,9 @@ func EncodeGK(s *gk.Summary[float64]) ([]byte, error) {
 }
 
 // writeGKFields appends a GK summary's state (accuracy, policy, count,
-// tuples) without the payload header, so it can serve both as the KindGK body
-// and as the per-block record of KindWindow.
+// tuples — each with its weighted-run length) without the payload header, so
+// it can serve both as the KindGK body and as the per-block record of
+// KindWindow.
 func writeGKFields(w *writer, s *gk.Summary[float64]) {
 	w.f64(s.Epsilon())
 	w.u16(uint16(s.PolicyUsed()))
@@ -166,6 +169,7 @@ func writeGKFields(w *writer, s *gk.Summary[float64]) {
 		w.f64(t.V)
 		w.i64(int64(t.G))
 		w.i64(int64(t.Delta))
+		w.i64(int64(t.Wt))
 	}
 }
 
@@ -182,12 +186,12 @@ func readGKFields(r *reader) (*gk.Summary[float64], error) {
 	if count < 0 || numTuples > uint32(count)+1 {
 		return nil, fmt.Errorf("encoding: inconsistent GK payload (n=%d, tuples=%d)", count, numTuples)
 	}
-	if !r.need(int64(numTuples) * 24) {
+	if !r.need(int64(numTuples) * 32) {
 		return nil, fmt.Errorf("encoding: truncated GK tuples: %w", r.err)
 	}
 	tuples := make([]gk.Tuple[float64], numTuples)
 	for i := range tuples {
-		tuples[i] = gk.Tuple[float64]{V: r.f64(), G: int(r.i64()), Delta: int(r.i64())}
+		tuples[i] = gk.Tuple[float64]{V: r.f64(), G: int(r.i64()), Delta: int(r.i64()), Wt: int(r.i64())}
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("encoding: truncated GK tuples: %w", r.err)

@@ -18,8 +18,11 @@ import (
 	"quantilelb/internal/window"
 )
 
-// seedPayloads builds one valid payload per kind, deterministic so the
-// corpus is stable across runs.
+// seedPayloads builds one valid payload per kind — plus one per natively
+// weighted family built through the weighted ingest path, so the corpus also
+// covers heavy-run GK tuples (wt > 1), high compactor levels, and
+// weight-expanded buffers — deterministic so the corpus is stable across
+// runs.
 func seedPayloads(tb testing.TB) [][]byte {
 	gkS := gk.NewFloat64(0.02)
 	kllS := kll.NewFloat64(0.02, kll.WithSeed(1))
@@ -34,8 +37,23 @@ func seedPayloads(tb testing.TB) [][]byte {
 		resS.Update(x)
 		winS.Update(x)
 	}
+	wgkS := gk.NewFloat64(0.02)
+	wkllS := kll.NewFloat64(0.02, kll.WithSeed(2))
+	wmrlS := mrl.NewFloat64(0.02, 1<<20)
+	wresS := sampling.NewFloat64(0.1, 0.01, 2)
+	for i := 0; i < 500; i++ {
+		x := float64((i * 6151) % 997)
+		w := int64(i%37 + 1)
+		if i%97 == 0 {
+			w <<= 10 // heavy runs: high KLL levels, whole MRL buffers
+		}
+		wgkS.WeightedUpdate(x, w)
+		wkllS.WeightedUpdate(x, w)
+		wmrlS.WeightedUpdate(x, w)
+		wresS.WeightedUpdate(x, w)
+	}
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

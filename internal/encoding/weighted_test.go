@@ -1,0 +1,131 @@
+package encoding
+
+// Weighted round-trip coverage for format version 2: the GK record carries
+// each tuple's run weight, so a weighted summary must decode to identical
+// answers and keep merging; the other weighted families round-trip through
+// their unchanged bodies (their weighted state is ordinary level/buffer/
+// sample state).
+
+import (
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/sampling"
+)
+
+func TestWeightedGKRoundTrip(t *testing.T) {
+	s := gk.NewFloat64(0.02)
+	for i := 0; i < 1_000; i++ {
+		w := int64(i%23 + 1)
+		if i%101 == 0 {
+			w *= 4096
+		}
+		s.WeightedUpdate(float64((i*5407)%1009), w)
+	}
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeGK(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() {
+		t.Fatalf("restored Count = %d, want %d", restored.Count(), s.Count())
+	}
+	rt, st := restored.Tuples(), s.Tuples()
+	for i := range st {
+		if rt[i] != st[i] {
+			t.Fatalf("tuple %d differs after round trip: %+v vs %+v", i, rt[i], st[i])
+		}
+	}
+	for g := 0; g <= 40; g++ {
+		phi := float64(g) / 40
+		want, _ := s.Query(phi)
+		got, _ := restored.Query(phi)
+		if want != got {
+			t.Fatalf("phi=%g: restored answers %g, original %g", phi, got, want)
+		}
+	}
+	// The restored summary keeps accepting weighted updates and merging.
+	restored.WeightedUpdate(3.25, 1<<20)
+	if err := restored.CheckInvariant(); err != nil {
+		t.Fatalf("restored summary after weighted update: %v", err)
+	}
+	other := gk.NewFloat64(0.02)
+	other.WeightedUpdate(7.5, 512)
+	if err := restored.Merge(other); err != nil {
+		t.Fatalf("merging into restored summary: %v", err)
+	}
+}
+
+func TestWeightedGKCorruptRunWeightRejected(t *testing.T) {
+	s := gk.NewFloat64(0.05)
+	s.WeightedUpdate(1, 10)
+	s.WeightedUpdate(2, 20)
+	s.WeightedUpdate(3, 30)
+	payload, err := EncodeGK(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last i64 of the payload is the final tuple's run weight; a run
+	// weight above the tuple's g violates the weighted invariant and must be
+	// rejected by Restore's validation.
+	corrupt := append([]byte(nil), payload...)
+	corrupt[len(corrupt)-8] = 0xFF
+	if _, err := DecodeGK(corrupt); err == nil {
+		t.Fatal("DecodeGK accepted a corrupt run weight")
+	}
+}
+
+func TestWeightedFamiliesRoundTrip(t *testing.T) {
+	kllS := kll.NewFloat64(0.02, kll.WithSeed(9))
+	mrlS := mrl.NewFloat64(0.02, 1<<21)
+	resS := sampling.NewFloat64(0.05, 0.01, 9)
+	for i := 0; i < 800; i++ {
+		x := float64((i * 2713) % 503)
+		w := int64(i%19 + 1)
+		if i%89 == 0 {
+			w *= 2048
+		}
+		kllS.WeightedUpdate(x, w)
+		mrlS.WeightedUpdate(x, w)
+		resS.WeightedUpdate(x, w)
+	}
+	for _, tc := range []struct {
+		name string
+		s    any
+	}{
+		{"kll", kllS},
+		{"mrl", mrlS},
+		{"reservoir", resS},
+	} {
+		payload, err := Encode(tc.s)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		dec, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		type counted interface {
+			Count() int
+			Query(float64) (float64, bool)
+		}
+		orig := tc.s.(counted)
+		got := dec.(counted)
+		if got.Count() != orig.Count() {
+			t.Fatalf("%s: restored Count = %d, want %d", tc.name, got.Count(), orig.Count())
+		}
+		for g := 0; g <= 20; g++ {
+			phi := float64(g) / 20
+			want, _ := orig.Query(phi)
+			have, _ := got.Query(phi)
+			if want != have {
+				t.Fatalf("%s: phi=%g: restored answers %g, original %g", tc.name, phi, have, want)
+			}
+		}
+	}
+}

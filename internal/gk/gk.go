@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"quantilelb/internal/order"
 )
@@ -60,10 +61,22 @@ func (p Policy) String() string {
 
 // Tuple is one entry of the summary: a stored item v together with
 // G = rmin(v) − rmin(previous stored item) and Delta = rmax(v) − rmin(v).
+//
+// Wt is the weighted extension (Assadi, Joshi, Prabhu & Shah, "Generalizing
+// Greenwald-Khanna Streaming Quantile Summaries for Weighted Inputs"): the
+// number of equal-value copies of v known to occupy the top of the tuple's
+// g-mass, i.e. Wt consecutive expanded ranks ending at the true rank of v.
+// Unit-weight inserts carry Wt = 1, recovering classic GK exactly; a
+// weighted insert of (x, w) carries Wt = w. Compression and COMBINE only
+// ever grow G around an intact run, so 1 ≤ Wt ≤ G always holds, and the
+// capacity invariant relaxes to g + Δ ≤ ⌊2εn⌋ + (Wt − 1): a heavy run may
+// exceed the classic capacity by exactly the weight it carries, because its
+// copies answer any query landing inside the run with zero error.
 type Tuple[T any] struct {
 	V     T
 	G     int
 	Delta int
+	Wt    int
 }
 
 // Summary is a Greenwald–Khanna quantile summary over items of type T.
@@ -146,8 +159,115 @@ func (s *Summary[T]) threshold() int {
 // Update inserts one stream item.
 func (s *Summary[T]) Update(x T) {
 	s.n++
-	s.insert(x)
+	s.insert(x, 1)
 	s.sinceCompress++
+	if s.sinceCompress >= s.compressEvery {
+		s.Compress()
+		s.sinceCompress = 0
+	}
+}
+
+// WeightedUpdate inserts one stream item carrying an integer weight w ≥ 1,
+// equivalent to w repeated Updates of x but in one O(S) insertion: the whole
+// run becomes a single tuple (x, g = w, Δ as for a unit insert, Wt = w), per
+// the weighted GK generalization of Assadi et al. Count afterwards reports
+// the total weight W and every query answers over the weight-expanded
+// multiset within ±εW. It panics if w is not positive.
+func (s *Summary[T]) WeightedUpdate(x T, w int64) {
+	checkWeight(w)
+	s.n += int(w)
+	s.insert(x, int(w))
+	s.sinceCompress++
+	if s.sinceCompress >= s.compressEvery {
+		s.Compress()
+		s.sinceCompress = 0
+	}
+}
+
+// checkWeight panics unless w is positive and representable as int — the
+// summary's counters are ints, so on a 32-bit platform a wire-legal weight
+// up to 2^32 must fail loudly rather than truncate into a corrupt tuple.
+func checkWeight(w int64) {
+	if w <= 0 {
+		panic("gk: weight must be positive")
+	}
+	if int64(int(w)) != w {
+		panic("gk: weight overflows int on this platform")
+	}
+}
+
+// WeightedUpdateBatch inserts a batch of weighted stream items in one pass:
+// the weighted analogue of UpdateBatch (one sort of the batch, one merge
+// scan over the tuple list), equivalent to calling WeightedUpdate per pair.
+// len(ws) must equal len(xs); it panics on a length mismatch or a
+// non-positive weight.
+func (s *Summary[T]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if len(xs) != len(ws) {
+		panic("gk: WeightedUpdateBatch: items and weights differ in length")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	runs := make([]Tuple[T], len(xs))
+	var total int64
+	for i, x := range xs {
+		checkWeight(ws[i])
+		runs[i] = Tuple[T]{V: x, G: int(ws[i]), Wt: int(ws[i])}
+		total += ws[i]
+	}
+	if int64(int(total)) != total {
+		panic("gk: batch total weight overflows int on this platform")
+	}
+	sort.SliceStable(runs, func(i, j int) bool { return s.cmp(runs[i].V, runs[j].V) < 0 })
+	s.n += int(total)
+	interior := s.interiorDelta()
+	for i := range runs {
+		runs[i].Delta = interior
+	}
+	s.mergeRuns(runs)
+}
+
+// interiorDelta returns the uncertainty a fresh interior tuple carries,
+// ⌊2εn⌋ − 1 clamped at 0; n must already include the fresh weight.
+func (s *Summary[T]) interiorDelta() int {
+	d := s.threshold() - 1
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// mergeRuns merges fresh run tuples — sorted by value, deltas already set
+// to the interior uncertainty — into the tuple list with a single scan,
+// applies the shared extremes fix-up, and advances the compression schedule
+// by the number of fresh tuples. Both batch ingest paths (unit-weight and
+// weighted) share it.
+func (s *Summary[T]) mergeRuns(runs []Tuple[T]) {
+	merged := make([]Tuple[T], 0, len(s.tuples)+len(runs))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(runs) {
+		if j >= len(runs) || (i < len(s.tuples) && s.cmp(s.tuples[i].V, runs[j].V) <= 0) {
+			merged = append(merged, s.tuples[i])
+			i++
+		} else {
+			merged = append(merged, runs[j])
+			j++
+		}
+	}
+	// The smallest and largest tuples have exactly known ranks: a batch item
+	// that became the new global minimum or maximum carries Delta 0, exactly
+	// as in the single-item insert path. When the summary was empty every
+	// batch item has an exact rank, so all deltas are 0.
+	if len(s.tuples) == 0 {
+		for k := range merged {
+			merged[k].Delta = 0
+		}
+	} else {
+		merged[0].Delta = 0
+		merged[len(merged)-1].Delta = 0
+	}
+	s.tuples = merged
+	s.sinceCompress += len(runs)
 	if s.sinceCompress >= s.compressEvery {
 		s.Compress()
 		s.sinceCompress = 0
@@ -168,43 +288,17 @@ func (s *Summary[T]) UpdateBatch(xs []T) {
 	copy(batch, xs)
 	order.Sort(s.cmp, batch)
 	s.n += len(batch)
-	p := s.threshold()
-	interior := p - 1
-	if interior < 0 {
-		interior = 0
+	interior := s.interiorDelta()
+	runs := make([]Tuple[T], len(batch))
+	for i, x := range batch {
+		runs[i] = Tuple[T]{V: x, G: 1, Delta: interior, Wt: 1}
 	}
-	merged := make([]Tuple[T], 0, len(s.tuples)+len(batch))
-	i, j := 0, 0
-	for i < len(s.tuples) || j < len(batch) {
-		if j >= len(batch) || (i < len(s.tuples) && s.cmp(s.tuples[i].V, batch[j]) <= 0) {
-			merged = append(merged, s.tuples[i])
-			i++
-		} else {
-			merged = append(merged, Tuple[T]{V: batch[j], G: 1, Delta: interior})
-			j++
-		}
-	}
-	// The smallest and largest tuples have exactly known ranks: a batch item
-	// that became the new global minimum or maximum carries Delta 0, exactly
-	// as in the single-item insert path. When the summary was empty every
-	// batch item has an exact rank, so all deltas are 0.
-	if len(s.tuples) == 0 {
-		for k := range merged {
-			merged[k].Delta = 0
-		}
-	} else {
-		merged[0].Delta = 0
-		merged[len(merged)-1].Delta = 0
-	}
-	s.tuples = merged
-	s.sinceCompress += len(batch)
-	if s.sinceCompress >= s.compressEvery {
-		s.Compress()
-		s.sinceCompress = 0
-	}
+	s.mergeRuns(runs)
 }
 
-func (s *Summary[T]) insert(x T) {
+// insert places a run of w equal copies of x as one tuple. The caller has
+// already added w to n.
+func (s *Summary[T]) insert(x T, w int) {
 	// Locate the first tuple whose value is >= x (insertion point).
 	idx := 0
 	for idx < len(s.tuples) && s.cmp(s.tuples[idx].V, x) < 0 {
@@ -221,7 +315,7 @@ func (s *Summary[T]) insert(x T) {
 			delta = 0
 		}
 	}
-	t := Tuple[T]{V: x, G: 1, Delta: delta}
+	t := Tuple[T]{V: x, G: w, Delta: delta, Wt: w}
 	s.tuples = append(s.tuples, Tuple[T]{})
 	copy(s.tuples[idx+1:], s.tuples[idx:])
 	s.tuples[idx] = t
@@ -294,9 +388,15 @@ func (s *Summary[T]) Query(phi float64) (T, bool) {
 	if target > s.n {
 		target = s.n
 	}
-	// Classic GK query: return the predecessor of the first tuple whose rmax
-	// exceeds target + εn. Its rmax is at most target + εn and, by the
-	// capacity invariant, its rmin is at least target − εn.
+	// Classic GK query, generalized for weighted runs: find the first tuple
+	// whose rmax exceeds target + εn. Its predecessor answers when that
+	// predecessor's rmin is within the allowance — for unit-weight summaries
+	// the capacity invariant g + Δ ≤ 2εn makes this always true, recovering
+	// the classic rule. When it is not, the stopping tuple must be a heavy
+	// weighted run (only Wt > 1 lets g + Δ exceed the classic capacity): its
+	// Wt equal copies occupy consecutive expanded ranks reaching down past
+	// target + εn − Δ, so the run itself covers a rank within ±εn of the
+	// target and is the correct answer.
 	slack := s.eps * float64(s.n)
 	rmin := 0
 	for i := 0; i < len(s.tuples); i++ {
@@ -305,6 +405,9 @@ func (s *Summary[T]) Query(phi float64) (T, bool) {
 		if float64(rmax) > float64(target)+slack {
 			if i == 0 {
 				return s.tuples[0].V, true
+			}
+			if prevRmin := rmin - s.tuples[i].G; float64(prevRmin) < float64(target)-slack {
+				return s.tuples[i].V, true
 			}
 			return s.tuples[i-1].V, true
 		}
@@ -340,7 +443,12 @@ func (s *Summary[T]) EstimateRank(q T) int {
 	}
 	upper := s.n
 	if nextIdx >= 0 {
-		upper = lastRmin + s.tuples[nextIdx].G + s.tuples[nextIdx].Delta - 1
+		// The successor's Wt trailing copies are all > q, so they cannot be
+		// counted; for unit weights this is the classic −1.
+		upper = lastRmin + s.tuples[nextIdx].G + s.tuples[nextIdx].Delta - s.tuples[nextIdx].Wt
+		if upper < lastRmin {
+			upper = lastRmin
+		}
 	}
 	return (lastRmin + upper) / 2
 }
@@ -375,9 +483,11 @@ func (s *Summary[T]) RankBounds(i int) (rmin, rmax int, err error) {
 	return rmin, rmin + s.tuples[i].Delta, nil
 }
 
-// CheckInvariant verifies the GK invariant g_i + Δ_i ≤ max(⌊2εn⌋, 1) for every
-// tuple and that tuples are sorted. It returns a descriptive error when the
-// invariant is violated; tests use it as a structural oracle.
+// CheckInvariant verifies the GK invariant g_i + Δ_i ≤ max(⌊2εn⌋, 1) + (Wt_i
+// − 1) for every tuple — the classic capacity bound for unit-weight tuples,
+// relaxed by exactly the run weight for weighted tuples — together with
+// 1 ≤ Wt_i ≤ g_i and that tuples are sorted. It returns a descriptive error
+// when the invariant is violated; tests use it as a structural oracle.
 func (s *Summary[T]) CheckInvariant() error {
 	p := s.threshold()
 	if p < 1 {
@@ -391,8 +501,11 @@ func (s *Summary[T]) CheckInvariant() error {
 		if t.Delta < 0 {
 			return fmt.Errorf("gk: tuple %d has negative delta", i)
 		}
-		if t.G+t.Delta > p {
-			return fmt.Errorf("gk: tuple %d violates capacity: g+delta=%d > %d", i, t.G+t.Delta, p)
+		if t.Wt < 1 || t.Wt > t.G {
+			return fmt.Errorf("gk: tuple %d has run weight %d outside [1, g=%d]", i, t.Wt, t.G)
+		}
+		if t.G+t.Delta > p+t.Wt-1 {
+			return fmt.Errorf("gk: tuple %d violates capacity: g+delta=%d > %d (wt=%d)", i, t.G+t.Delta, p+t.Wt-1, t.Wt)
 		}
 		if i > 0 && s.cmp(s.tuples[i-1].V, t.V) > 0 {
 			return fmt.Errorf("gk: tuples out of order at %d", i)
@@ -485,25 +598,36 @@ func (s *Summary[T]) Merge(other *Summary[T]) error {
 	merged := make([]Tuple[T], 0, len(a)+len(b))
 	prevRmin := 0 // rmin of the previously emitted merged tuple
 	i, j := 0, 0
-	emit := func(v T, rmin, rmax int) {
-		merged = append(merged, Tuple[T]{V: v, G: rmin - prevRmin, Delta: rmax - rmin})
+	// Each emitted tuple keeps its source tuple's run weight: the Wt equal
+	// copies still top the (only enlarged) g-mass of the combined stream, so
+	// the weighted capacity invariant survives COMBINE.
+	emit := func(v T, rmin, rmax, wt int) {
+		g := rmin - prevRmin
+		if wt > g {
+			wt = g // ties across the two summaries can interleave a run
+		}
+		merged = append(merged, Tuple[T]{V: v, G: g, Delta: rmax - rmin, Wt: wt})
 		prevRmin = rmin
 	}
 	for i < len(a) || j < len(b) {
 		takeA := j >= len(b) || (i < len(a) && s.cmp(a[i].V, b[j].V) <= 0)
 		if takeA {
 			// Predecessor in b is b[j-1] (all emitted), successor is b[j].
+			// The successor's Wt trailing equal copies certainly sit above
+			// the emitted item (ties break b-above-a consistently), so they
+			// are excluded from its rmax contribution; for unit weights this
+			// is the classic −1.
 			rmin := aRmin[i]
 			rmax := aRmax[i]
 			if j > 0 {
 				rmin += bRmin[j-1]
 			}
 			if j < len(b) {
-				rmax += bRmax[j] - 1
+				rmax += bRmax[j] - b[j].Wt
 			} else {
 				rmax += other.n
 			}
-			emit(a[i].V, rmin, rmax)
+			emit(a[i].V, rmin, rmax, a[i].Wt)
 			i++
 		} else {
 			rmin := bRmin[j]
@@ -512,11 +636,11 @@ func (s *Summary[T]) Merge(other *Summary[T]) error {
 				rmin += aRmin[i-1]
 			}
 			if i < len(a) {
-				rmax += aRmax[i] - 1
+				rmax += aRmax[i] - a[i].Wt
 			} else {
 				rmax += s.n
 			}
-			emit(b[j].V, rmin, rmax)
+			emit(b[j].V, rmin, rmax, b[j].Wt)
 			j++
 		}
 	}
@@ -577,6 +701,7 @@ func (s *Summary[T]) Prune(b int) {
 			V:     s.tuples[idx].V,
 			G:     rmins[idx] - prevRmin,
 			Delta: rmaxs[idx] - rmins[idx],
+			Wt:    s.tuples[idx].Wt, // the kept tuple's run survives intact
 		}
 		prevRmin = rmins[idx]
 	}

@@ -1,0 +1,203 @@
+package gk
+
+// Weighted-input coverage: WeightedUpdate must be semantically equivalent to
+// weight expansion — answers within ±ε·W of the exact weighted oracle, the
+// structural invariant (in its weighted relaxation) intact throughout — on
+// uniform, skewed, and heavy-hitter weight patterns, through both policies,
+// the batch path, merging, and serialization-relevant accessors.
+
+import (
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+)
+
+// weightedStream builds a deterministic weighted stream: values from a
+// shuffled range with ties, weights from the named pattern.
+func weightedStream(n int, pattern string, seed int64) (items []float64, weights []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	items = make([]float64, n)
+	weights = make([]int64, n)
+	for i := range items {
+		items[i] = float64(rng.Intn(n / 2)) // ~2 copies per value on average
+		switch pattern {
+		case "unit":
+			weights[i] = 1
+		case "uniform":
+			weights[i] = int64(1 + rng.Intn(16))
+		case "skewed":
+			// Mostly light, occasionally 3 orders of magnitude heavier.
+			weights[i] = int64(1 + rng.Intn(4))
+			if rng.Intn(50) == 0 {
+				weights[i] *= 1000
+			}
+		case "heavy-hitter":
+			weights[i] = 1
+		default:
+			panic("unknown weight pattern " + pattern)
+		}
+	}
+	if pattern == "heavy-hitter" {
+		// One item carries roughly a third of the total weight, forcing the
+		// heavy-run branch of the query rule.
+		weights[n/3] = int64(n)
+	}
+	return items, weights
+}
+
+func checkWeightedAccuracy(t *testing.T, s *Summary[float64], items []float64, weights []int64, eps float64, label string) {
+	t.Helper()
+	oracle := rank.Float64WeightedOracle(items, weights)
+	if int64(s.Count()) != oracle.TotalWeight() {
+		t.Fatalf("%s: Count = %d, want total weight %d", label, s.Count(), oracle.TotalWeight())
+	}
+	allowance := eps * float64(oracle.TotalWeight())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("%s: Query(%g) on non-empty summary failed", label, phi)
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance+1 {
+			t.Errorf("%s: phi=%g: weighted rank error %d exceeds allowance %.1f", label, phi, e, allowance)
+		}
+	}
+	// Weighted rank estimation: within ±εW on a grid of query points.
+	for q := 0.0; q < float64(len(items)/2); q += float64(len(items)) / 40 {
+		est := int64(s.EstimateRank(q))
+		exact := oracle.RankLE(q)
+		if d := est - exact; d > int64(allowance)+1 || d < -int64(allowance)-1 {
+			t.Errorf("%s: EstimateRank(%g) = %d, exact %d, allowance %.1f", label, q, est, exact, allowance)
+		}
+	}
+}
+
+func TestWeightedUpdateWithinEps(t *testing.T) {
+	const n, eps = 4000, 0.02
+	for _, pattern := range []string{"unit", "uniform", "skewed", "heavy-hitter"} {
+		for _, policy := range []Policy{PolicyBands, PolicyGreedy} {
+			items, weights := weightedStream(n, pattern, 11)
+			s := NewWithPolicy(order.Floats[float64](), eps, policy)
+			for i, x := range items {
+				s.WeightedUpdate(x, weights[i])
+				if i%500 == 0 {
+					if err := s.CheckInvariant(); err != nil {
+						t.Fatalf("%s/%s after %d weighted updates: %v", pattern, policy, i+1, err)
+					}
+				}
+			}
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("%s/%s final invariant: %v", pattern, policy, err)
+			}
+			checkWeightedAccuracy(t, s, items, weights, eps, pattern+"/"+policy.String())
+		}
+	}
+}
+
+func TestWeightedUpdateMatchesExpansion(t *testing.T) {
+	// With unit weights WeightedUpdate must be byte-identical to Update; with
+	// small weights its answers must stay within the same ε·W envelope the
+	// expanded item-at-a-time run satisfies.
+	const eps = 0.05
+	a := NewFloat64(eps)
+	b := NewFloat64(eps)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		x := float64(rng.Intn(500))
+		a.Update(x)
+		b.WeightedUpdate(x, 1)
+	}
+	if a.Count() != b.Count() || a.StoredCount() != b.StoredCount() {
+		t.Fatalf("unit-weight WeightedUpdate diverged: n %d vs %d, stored %d vs %d",
+			a.Count(), b.Count(), a.StoredCount(), b.StoredCount())
+	}
+	at, bt := a.Tuples(), b.Tuples()
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, at[i], bt[i])
+		}
+	}
+}
+
+func TestWeightedUpdateBatchWithinEps(t *testing.T) {
+	const n, eps = 4000, 0.02
+	items, weights := weightedStream(n, "uniform", 17)
+	s := NewFloat64(eps)
+	for i := 0; i < n; i += 97 {
+		end := i + 97
+		if end > n {
+			end = n
+		}
+		s.WeightedUpdateBatch(items[i:end], weights[i:end])
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("after batch ending at %d: %v", end, err)
+		}
+	}
+	checkWeightedAccuracy(t, s, items, weights, eps, "batch")
+	// Empty batch is a no-op.
+	before := s.Count()
+	s.WeightedUpdateBatch(nil, nil)
+	if s.Count() != before {
+		t.Error("empty weighted batch changed the count")
+	}
+}
+
+func TestWeightedMergeWithinEps(t *testing.T) {
+	const n, eps = 3000, 0.02
+	items, weights := weightedStream(n, "skewed", 23)
+	a := NewFloat64(eps)
+	b := NewFloat64(eps)
+	for i, x := range items {
+		if i%2 == 0 {
+			a.WeightedUpdate(x, weights[i])
+		} else {
+			b.WeightedUpdate(x, weights[i])
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatalf("post-merge invariant: %v", err)
+	}
+	checkWeightedAccuracy(t, a, items, weights, eps, "merged")
+}
+
+func TestWeightedRestoreRoundTrip(t *testing.T) {
+	const eps = 0.05
+	s := NewFloat64(eps)
+	items, weights := weightedStream(1500, "heavy-hitter", 5)
+	for i, x := range items {
+		s.WeightedUpdate(x, weights[i])
+	}
+	restored, err := Restore(order.Floats[float64](), s.Epsilon(), s.PolicyUsed(), s.Count(), s.Tuples())
+	if err != nil {
+		t.Fatalf("restore of a weighted summary: %v", err)
+	}
+	for g := 0; g <= 20; g++ {
+		phi := float64(g) / 20
+		want, _ := s.Query(phi)
+		got, _ := restored.Query(phi)
+		if want != got {
+			t.Fatalf("phi=%g: restored answers %g, original %g", phi, got, want)
+		}
+	}
+}
+
+func TestWeightedUpdatePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	s := NewFloat64(0.1)
+	assertPanics("zero weight", func() { s.WeightedUpdate(1, 0) })
+	assertPanics("negative weight", func() { s.WeightedUpdate(1, -3) })
+	assertPanics("batch length mismatch", func() { s.WeightedUpdateBatch([]float64{1, 2}, []int64{1}) })
+	assertPanics("batch bad weight", func() { s.WeightedUpdateBatch([]float64{1}, []int64{0}) })
+}

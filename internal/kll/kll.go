@@ -158,6 +158,65 @@ func (s *Sketch[T]) UpdateBatch(xs []T) {
 	s.compress()
 }
 
+// WeightedUpdate processes one item carrying an integer weight w ≥ 1,
+// equivalent to w repeated Updates of x. Compactor level h holds items of
+// weight 2^h, so the weight is placed by its binary decomposition: one copy
+// of x lands on every level whose bit is set in w — O(log w) appends instead
+// of w, the standard weighted extension of compactor sketches. Weight is
+// conserved exactly (CheckInvariant's total-weight identity still holds),
+// and Count afterwards reports the total weight W. It panics if w is not
+// positive.
+func (s *Sketch[T]) WeightedUpdate(x T, w int64) {
+	if w <= 0 {
+		panic("kll: weight must be positive")
+	}
+	s.placeWeighted(x, w)
+	s.compress()
+}
+
+// WeightedUpdateBatch processes a batch of weighted items in one pass: every
+// pair is placed by its binary decomposition and the compaction cascade runs
+// once for the whole batch, mirroring UpdateBatch. len(ws) must equal
+// len(xs); it panics on a length mismatch or a non-positive weight.
+func (s *Sketch[T]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if len(xs) != len(ws) {
+		panic("kll: WeightedUpdateBatch: items and weights differ in length")
+	}
+	for i, x := range xs {
+		if ws[i] <= 0 {
+			panic("kll: weight must be positive")
+		}
+		s.placeWeighted(x, ws[i])
+	}
+	s.compress()
+}
+
+// placeWeighted updates the extremes and appends x to the compactor level of
+// every set bit of w, without compressing. The sketch's counter is an int,
+// so a weight that does not fit one (32-bit platforms) fails loudly rather
+// than truncating.
+func (s *Sketch[T]) placeWeighted(x T, w int64) {
+	if int64(int(w)) != w {
+		panic("kll: weight overflows int on this platform")
+	}
+	if !s.hasMin || s.cmp(x, s.min) < 0 {
+		s.min, s.hasMin = x, true
+	}
+	if !s.hasMax || s.cmp(x, s.max) > 0 {
+		s.max, s.hasMax = x, true
+	}
+	s.n += int(w)
+	for h := 0; w > 0; h++ {
+		if w&1 == 1 {
+			for len(s.compactors) <= h {
+				s.compactors = append(s.compactors, nil)
+			}
+			s.compactors[h] = append(s.compactors[h], x)
+		}
+		w >>= 1
+	}
+}
+
 // compress compacts any level exceeding its capacity.
 func (s *Sketch[T]) compress() {
 	for h := 0; h < len(s.compactors); h++ {

@@ -1,0 +1,108 @@
+package kll
+
+// Weighted-input coverage: the binary level decomposition must conserve
+// weight exactly, keep the compactor invariants, and answer within the
+// randomized slack of ε·W against the exact weighted oracle.
+
+import (
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/rank"
+)
+
+func TestWeightedUpdateWithinEps(t *testing.T) {
+	const n, eps, slack = 4000, 0.02, 3.0
+	rng := rand.New(rand.NewSource(19))
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	for i := range items {
+		items[i] = float64(rng.Intn(n / 2))
+		weights[i] = int64(1 + rng.Intn(30))
+		if rng.Intn(100) == 0 {
+			weights[i] = int64(1) << uint(10+rng.Intn(10)) // up to 2^19
+		}
+	}
+	s := NewFloat64(eps, WithSeed(7))
+	for i, x := range items {
+		s.WeightedUpdate(x, weights[i])
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after weighted ingest: %v", err)
+	}
+	oracle := rank.Float64WeightedOracle(items, weights)
+	if int64(s.Count()) != oracle.TotalWeight() {
+		t.Fatalf("Count = %d, want total weight %d", s.Count(), oracle.TotalWeight())
+	}
+	allowance := slack * eps * float64(oracle.TotalWeight())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%g) failed", phi)
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance+1 {
+			t.Errorf("phi=%g: weighted rank error %d exceeds allowance %.1f", phi, e, allowance)
+		}
+	}
+}
+
+func TestWeightedUpdateBatchMatchesSequential(t *testing.T) {
+	// Same seed, same pairs: the batch path must land every item on the same
+	// levels (only the cascade timing differs), so counts and invariants
+	// agree and answers stay within the shared guarantee.
+	const n, eps = 2000, 0.05
+	rng := rand.New(rand.NewSource(23))
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	for i := range items {
+		items[i] = rng.Float64() * 1000
+		weights[i] = int64(1 + rng.Intn(9))
+	}
+	s := NewFloat64(eps, WithSeed(4))
+	s.WeightedUpdateBatch(items, weights)
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after weighted batch: %v", err)
+	}
+	var want int64
+	for _, w := range weights {
+		want += w
+	}
+	if int64(s.Count()) != want {
+		t.Fatalf("Count = %d, want %d", s.Count(), want)
+	}
+}
+
+func TestWeightedUpdateMergesWithUnweighted(t *testing.T) {
+	const eps = 0.05
+	a := NewFloat64(eps, WithSeed(1))
+	b := NewFloat64(eps, WithSeed(2))
+	for i := 0; i < 1000; i++ {
+		a.WeightedUpdate(float64(i), 5)
+		b.Update(float64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatalf("post-merge invariant: %v", err)
+	}
+	if want := 1000*5 + 1000; a.Count() != want {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), want)
+	}
+}
+
+func TestWeightedUpdatePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	s := NewFloat64(0.1, WithSeed(1))
+	assertPanics("zero weight", func() { s.WeightedUpdate(1, 0) })
+	assertPanics("negative weight", func() { s.WeightedUpdate(1, -1) })
+	assertPanics("batch length mismatch", func() { s.WeightedUpdateBatch([]float64{1}, nil) })
+}

@@ -159,6 +159,69 @@ func (s *Summary[T]) UpdateBatch(xs []T) {
 	s.current = append(s.current, xs[i:]...)
 }
 
+// WeightedUpdate processes one item carrying an integer weight w ≥ 1,
+// equivalent to w repeated Updates of x: the weight-expanded buffer
+// collapse. A run of w copies decomposes into ⌊w/k⌋ full buffers of the
+// per-buffer capacity k — all-equal, hence already sorted, and pushed
+// directly at the level given by the binary decomposition of the buffer
+// count (a buffer at level l carries weight k·2^l) — plus a remainder of
+// w mod k copies through the ordinary level-0 buffer. Cost is O(k·log(w/k) +
+// k) per weighted item instead of O(w). As with every MRL ingest, the error
+// guarantee assumes the declared maximum stream length covers the total
+// weight W. It panics if w is not positive.
+func (s *Summary[T]) WeightedUpdate(x T, w int64) {
+	if w <= 0 {
+		panic("mrl: weight must be positive")
+	}
+	if int64(int(w)) != w {
+		// The summary's counter is an int: fail loudly on 32-bit platforms
+		// rather than truncate into a corrupt weight balance.
+		panic("mrl: weight overflows int on this platform")
+	}
+	if !s.hasMin || s.cmp(x, s.min) < 0 {
+		s.min, s.hasMin = x, true
+	}
+	if !s.hasMax || s.cmp(x, s.max) > 0 {
+		s.max, s.hasMax = x, true
+	}
+	s.n += int(w)
+	k := int64(s.capacity)
+	q, rem := w/k, int(w%k)
+	for l := 0; q > 0; l++ {
+		if q&1 == 1 {
+			buf := make([]T, k)
+			for i := range buf {
+				buf[i] = x
+			}
+			s.pushBuffer(l, buf)
+		}
+		q >>= 1
+	}
+	for i := 0; i < rem; i++ {
+		s.current = append(s.current, x)
+		if len(s.current) >= s.capacity {
+			buf := s.current
+			s.current = nil
+			order.Sort(s.cmp, buf)
+			s.pushBuffer(0, buf)
+		}
+	}
+}
+
+// WeightedUpdateBatch processes a batch of weighted items, equivalent to
+// calling WeightedUpdate per pair (each weighted item is already ingested in
+// sublinear time, so there is no extra batch-level saving to exploit).
+// len(ws) must equal len(xs); it panics on a length mismatch or a
+// non-positive weight.
+func (s *Summary[T]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if len(xs) != len(ws) {
+		panic("mrl: WeightedUpdateBatch: items and weights differ in length")
+	}
+	for i, x := range xs {
+		s.WeightedUpdate(x, ws[i])
+	}
+}
+
 // pushBuffer adds a full sorted buffer at the given level, collapsing pairs of
 // buffers upward while a level holds two buffers.
 func (s *Summary[T]) pushBuffer(level int, buf []T) {

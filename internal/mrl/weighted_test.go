@@ -1,0 +1,101 @@
+package mrl
+
+// Weighted-input coverage: the weight-expanded buffer collapse must conserve
+// weight, keep the buffer invariants, and answer within ε·W against the
+// exact weighted oracle (MRL is deterministic, so no slack).
+
+import (
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/rank"
+)
+
+func TestWeightedUpdateWithinEps(t *testing.T) {
+	const n, eps = 3000, 0.02
+	rng := rand.New(rand.NewSource(29))
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	var totalW int64
+	for i := range items {
+		items[i] = float64(rng.Intn(n / 2))
+		weights[i] = int64(1 + rng.Intn(40))
+		if rng.Intn(200) == 0 {
+			weights[i] = 5000 // several capacities' worth in one item
+		}
+		totalW += weights[i]
+	}
+	s := NewFloat64(eps, int(totalW))
+	for i, x := range items {
+		s.WeightedUpdate(x, weights[i])
+		if i%500 == 0 {
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("invariant after %d weighted updates: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("final invariant: %v", err)
+	}
+	oracle := rank.Float64WeightedOracle(items, weights)
+	if int64(s.Count()) != oracle.TotalWeight() {
+		t.Fatalf("Count = %d, want total weight %d", s.Count(), oracle.TotalWeight())
+	}
+	allowance := eps * float64(oracle.TotalWeight())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%g) failed", phi)
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance+1 {
+			t.Errorf("phi=%g: weighted rank error %d exceeds allowance %.1f", phi, e, allowance)
+		}
+	}
+}
+
+func TestWeightedUpdateBatchAgreesWithSequential(t *testing.T) {
+	// MRL is deterministic: the batch path must produce exactly the answers
+	// of the pairwise path.
+	const n, eps = 1000, 0.05
+	rng := rand.New(rand.NewSource(31))
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	var totalW int64
+	for i := range items {
+		items[i] = rng.Float64() * 100
+		weights[i] = int64(1 + rng.Intn(20))
+		totalW += weights[i]
+	}
+	a := NewFloat64(eps, int(totalW))
+	b := NewFloat64(eps, int(totalW))
+	a.WeightedUpdateBatch(items, weights)
+	for i, x := range items {
+		b.WeightedUpdate(x, weights[i])
+	}
+	if a.Count() != b.Count() || a.StoredCount() != b.StoredCount() {
+		t.Fatalf("batch diverged: n %d vs %d, stored %d vs %d", a.Count(), b.Count(), a.StoredCount(), b.StoredCount())
+	}
+	for g := 0; g <= 50; g++ {
+		phi := float64(g) / 50
+		av, _ := a.Query(phi)
+		bv, _ := b.Query(phi)
+		if av != bv {
+			t.Fatalf("phi=%g: batch answers %g, sequential %g", phi, av, bv)
+		}
+	}
+}
+
+func TestWeightedUpdatePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	s := NewFloat64(0.1, 1000)
+	assertPanics("zero weight", func() { s.WeightedUpdate(1, 0) })
+	assertPanics("batch length mismatch", func() { s.WeightedUpdateBatch([]float64{1}, nil) })
+}

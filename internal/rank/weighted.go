@@ -1,0 +1,164 @@
+package rank
+
+// Weighted ground truth: the exact weighted-rank oracle the weighted
+// differential harness (internal/checker) and the weighted benchmark cells
+// compare summaries against. A weighted stream of pairs (x_i, w_i) with
+// positive integer weights is semantically the expansion in which x_i occurs
+// w_i times; the weighted rank of q is the total weight of items ≤ q, and
+// the weighted ϕ-quantile is the item at expanded rank ⌊ϕW⌋ where
+// W = Σ w_i. An ε-approximate weighted summary must answer every ϕ-quantile
+// within ±ε·W expanded ranks — the guarantee Assadi, Joshi, Prabhu & Shah
+// ("Generalizing Greenwald-Khanna Streaming Quantile Summaries for Weighted
+// Inputs", see PAPERS.md) carry over from the unit-weight setting.
+
+import (
+	"sort"
+
+	"quantilelb/internal/order"
+)
+
+// WeightedOracle answers exact weighted rank and quantile queries over a
+// fixed multiset of (item, weight) pairs. Construction sorts a copy of the
+// pairs by item and accumulates prefix weights; queries are O(log n) in the
+// number of distinct positions.
+type WeightedOracle[T any] struct {
+	cmp    order.Comparator[T]
+	sorted []T
+	// cumw[i] is the total weight of sorted[0..i] — the expanded rank of the
+	// last copy of sorted[i].
+	cumw   []int64
+	totalW int64
+}
+
+// NewWeightedOracle builds an oracle over parallel item/weight slices (which
+// are copied; weights must be positive and the slices equally long — the
+// constructor panics otherwise, as this is ground truth for tests).
+func NewWeightedOracle[T any](cmp order.Comparator[T], items []T, weights []int64) *WeightedOracle[T] {
+	if len(items) != len(weights) {
+		panic("rank: NewWeightedOracle: items and weights differ in length")
+	}
+	type pair struct {
+		x T
+		w int64
+	}
+	pairs := make([]pair, len(items))
+	for i, x := range items {
+		if weights[i] <= 0 {
+			panic("rank: NewWeightedOracle: non-positive weight")
+		}
+		pairs[i] = pair{x: x, w: weights[i]}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return cmp(pairs[i].x, pairs[j].x) < 0 })
+	o := &WeightedOracle[T]{
+		cmp:    cmp,
+		sorted: make([]T, len(pairs)),
+		cumw:   make([]int64, len(pairs)),
+	}
+	for i, p := range pairs {
+		o.sorted[i] = p.x
+		o.totalW += p.w
+		o.cumw[i] = o.totalW
+	}
+	return o
+}
+
+// TotalWeight returns W, the sum of all weights (the expanded stream length).
+func (o *WeightedOracle[T]) TotalWeight() int64 { return o.totalW }
+
+// Len returns the number of weighted pairs (not the expanded length).
+func (o *WeightedOracle[T]) Len() int { return len(o.sorted) }
+
+// RankLE returns the total weight of items ≤ x — the weighted analogue of
+// Oracle.RankLE, and the quantity a weighted EstimateRank approximates.
+func (o *WeightedOracle[T]) RankLE(x T) int64 {
+	i := order.CountLE(o.cmp, o.sorted, x)
+	if i == 0 {
+		return 0
+	}
+	return o.cumw[i-1]
+}
+
+// RankRange returns the inclusive range of expanded ranks occupied by the
+// copies of x: [lo, hi]. When x does not occur, lo = hi+1 would be vacuous,
+// so both collapse to the insertion rank (the expanded rank x's copies would
+// start at), mirroring Oracle.RankRange.
+func (o *WeightedOracle[T]) RankRange(x T) (lo, hi int64) {
+	lt := order.CountLT(o.cmp, o.sorted, x)
+	le := order.CountLE(o.cmp, o.sorted, x)
+	var before int64
+	if lt > 0 {
+		before = o.cumw[lt-1]
+	}
+	if le > lt {
+		return before + 1, o.cumw[le-1]
+	}
+	return before + 1, before + 1
+}
+
+// Select returns the item at expanded rank k (1-based), clamped to [1, W].
+func (o *WeightedOracle[T]) Select(k int64) T {
+	if len(o.sorted) == 0 {
+		panic("rank: Select on empty weighted oracle")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > o.totalW {
+		k = o.totalW
+	}
+	// Binary search the first position whose cumulative weight reaches k.
+	lo, hi := 0, len(o.cumw)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.cumw[mid] >= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return o.sorted[lo]
+}
+
+// Quantile returns the exact weighted ϕ-quantile: the item at expanded rank
+// ⌊ϕW⌋ (clamped to at least 1).
+func (o *WeightedOracle[T]) Quantile(phi float64) T {
+	return o.Select(WeightedQuantileRank(o.totalW, phi))
+}
+
+// WeightedQuantileRank returns the target expanded rank ⌊ϕW⌋ clamped to
+// [1, W], the weighted analogue of QuantileRank.
+func WeightedQuantileRank(totalW int64, phi float64) int64 {
+	if totalW <= 0 {
+		return 0
+	}
+	k := int64(phi * float64(totalW))
+	if k < 1 {
+		k = 1
+	}
+	if k > totalW {
+		k = totalW
+	}
+	return k
+}
+
+// RankError returns the absolute expanded-rank error of candidate when used
+// to answer the weighted ϕ-quantile query: the distance from the closest
+// expanded rank occupied by candidate to the target rank ⌊ϕW⌋.
+func (o *WeightedOracle[T]) RankError(candidate T, phi float64) int64 {
+	target := WeightedQuantileRank(o.totalW, phi)
+	lo, hi := o.RankRange(candidate)
+	switch {
+	case target < lo:
+		return lo - target
+	case target > hi:
+		return target - hi
+	default:
+		return 0
+	}
+}
+
+// Float64WeightedOracle is a convenience constructor for the common float64
+// case.
+func Float64WeightedOracle(items []float64, weights []int64) *WeightedOracle[float64] {
+	return NewWeightedOracle(order.Floats[float64](), items, weights)
+}

@@ -1,0 +1,94 @@
+package rank
+
+// The weighted oracle is itself ground truth, so it is tested against the
+// one thing more trustworthy than it: the plain Oracle over the explicitly
+// weight-expanded stream.
+
+import (
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/order"
+)
+
+// expand materializes the weight-expanded stream.
+func expand(items []float64, weights []int64) []float64 {
+	var out []float64
+	for i, x := range items {
+		for j := int64(0); j < weights[i]; j++ {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestWeightedOracleMatchesExpandedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]float64, 500)
+	weights := make([]int64, 500)
+	for i := range items {
+		items[i] = float64(rng.Intn(90)) // plenty of ties
+		weights[i] = int64(1 + rng.Intn(12))
+	}
+	w := Float64WeightedOracle(items, weights)
+	plain := Float64Oracle(expand(items, weights))
+
+	if got, want := w.TotalWeight(), int64(plain.Len()); got != want {
+		t.Fatalf("TotalWeight = %d, want %d", got, want)
+	}
+	for q := -1.0; q <= 91; q += 0.5 {
+		if got, want := w.RankLE(q), int64(plain.RankLE(q)); got != want {
+			t.Fatalf("RankLE(%g) = %d, want %d", q, got, want)
+		}
+		lo, hi := w.RankRange(q)
+		plo, phi := plain.RankRange(q)
+		if lo != int64(plo) || hi != int64(phi) {
+			t.Fatalf("RankRange(%g) = [%d,%d], want [%d,%d]", q, lo, hi, plo, phi)
+		}
+	}
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		if got, want := w.Quantile(phi), plain.Quantile(phi); got != want {
+			t.Fatalf("Quantile(%g) = %g, want %g", phi, got, want)
+		}
+		for _, cand := range []float64{0, 13, 45.5, 89} {
+			if got, want := w.RankError(cand, phi), int64(plain.RankError(cand, phi)); got != want {
+				t.Fatalf("RankError(%g, %g) = %d, want %d", cand, phi, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightedOracleSelectClamps(t *testing.T) {
+	o := NewWeightedOracle(order.Floats[float64](), []float64{3, 1, 2}, []int64{2, 1, 4})
+	// Expanded: 1 2 2 2 2 3 3 (W = 7).
+	if got := o.Select(-5); got != 1 {
+		t.Errorf("Select(-5) = %g, want 1", got)
+	}
+	if got := o.Select(99); got != 3 {
+		t.Errorf("Select(99) = %g, want 3", got)
+	}
+	if got := o.Select(5); got != 2 {
+		t.Errorf("Select(5) = %g, want 2", got)
+	}
+	if got := WeightedQuantileRank(0, 0.5); got != 0 {
+		t.Errorf("WeightedQuantileRank(0, .5) = %d, want 0", got)
+	}
+}
+
+func TestWeightedOraclePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("length mismatch", func() {
+		NewWeightedOracle(order.Floats[float64](), []float64{1}, nil)
+	})
+	assertPanics("non-positive weight", func() {
+		NewWeightedOracle(order.Floats[float64](), []float64{1}, []int64{0})
+	})
+}

@@ -118,6 +118,108 @@ func (r *Reservoir[T]) UpdateBatch(xs []T) {
 	}
 }
 
+// WeightedUpdate processes one item carrying an integer weight w ≥ 1,
+// equivalent to w repeated Updates of x: the sample stays a uniform random
+// sample of the weight-expanded stream, so the DKW guarantee applies with
+// the total weight W in place of the stream length. The equal copies
+// commute, so only how many acceptances occur and which slots they overwrite
+// matter; the gaps between acceptances are drawn in closed form (the
+// exponential-jump idea of Efraimidis–Spirakis weighted sampling, realized
+// here through the log-Gamma form of Algorithm R's skip distribution), which
+// makes a heavy item cost O(capacity·log w) expected work instead of O(w).
+// It panics if w is not positive.
+func (r *Reservoir[T]) WeightedUpdate(x T, w int64) {
+	if w <= 0 {
+		panic("sampling: weight must be positive")
+	}
+	if int64(int(w)) != w {
+		// The reservoir's counter is an int: fail loudly on 32-bit platforms
+		// rather than truncate the stream position.
+		panic("sampling: weight overflows int on this platform")
+	}
+	if !r.hasMin || r.cmp(x, r.min) < 0 {
+		r.min, r.hasMin = x, true
+	}
+	if !r.hasMax || r.cmp(x, r.max) > 0 {
+		r.max, r.hasMax = x, true
+	}
+	// Fill phase: copies enter the sample directly until it is full.
+	for w > 0 && len(r.sample) < r.capacity {
+		r.sample = append(r.sample, x)
+		r.n++
+		w--
+	}
+	// Steady phase: copy number i (stream position) is accepted with
+	// probability capacity/i and overwrites a uniformly random slot, exactly
+	// as in Update; the skip to the next acceptance is drawn directly.
+	for w > 0 {
+		s := r.skip(w)
+		if s > w {
+			r.n += int(w)
+			return
+		}
+		r.n += int(s)
+		w -= s
+		r.sample[r.rng.Intn(r.capacity)] = x
+	}
+}
+
+// WeightedUpdateBatch processes a batch of weighted items, equivalent to
+// calling WeightedUpdate per pair. len(ws) must equal len(xs); it panics on
+// a length mismatch or a non-positive weight.
+func (r *Reservoir[T]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if len(xs) != len(ws) {
+		panic("sampling: WeightedUpdateBatch: items and weights differ in length")
+	}
+	for i, x := range xs {
+		r.WeightedUpdate(x, ws[i])
+	}
+}
+
+// skip draws the number of copies consumed up to and including the next
+// Algorithm R acceptance, given m copies remain after stream position r.n:
+// copies r.n+1 … r.n+s−1 are rejected and copy r.n+s accepted, where copy i
+// is accepted independently with probability capacity/i. Returns m+1 when
+// all m remaining copies are rejected. The survival function telescopes into
+// a ratio of Gamma functions —
+//
+//	P(skip > s) = Π_{i=n+1}^{n+s} (i−c)/i
+//	            = exp(lnΓ(n+s+1−c) − lnΓ(n+1−c) + lnΓ(n+1) − lnΓ(n+s+1))
+//
+// — so the skip is found by inverting one uniform draw with a binary search
+// over the monotone log-survival, O(log m) per acceptance.
+func (r *Reservoir[T]) skip(m int64) int64 {
+	n := float64(r.n)
+	c := float64(r.capacity)
+	base := lgamma(n+1-c) - lgamma(n+1)
+	logSurvival := func(s int64) float64 {
+		fs := float64(s)
+		return lgamma(n+fs+1-c) - lgamma(n+fs+1) - base
+	}
+	logU := math.Log(r.rng.Float64())
+	if logSurvival(m) >= logU {
+		return m + 1 // every remaining copy rejected
+	}
+	// Smallest s in [1, m] with log P(skip > s) < log u.
+	lo, hi := int64(1), m
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if logSurvival(mid) < logU {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// lgamma is math.Lgamma without the sign result (all arguments here are
+// positive, where Γ is positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
 // Merge folds another reservoir into the receiver so that the result is
 // (approximately) a uniform random sample of the union of the two input
 // streams, using weighted draws without replacement: each next sample slot is

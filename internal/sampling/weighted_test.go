@@ -1,0 +1,139 @@
+package sampling
+
+// Weighted-input coverage: WeightedUpdate must keep the reservoir a uniform
+// sample of the weight-expanded stream. The skip-based steady phase is
+// distribution-equivalent to Algorithm R, so the DKW sizing applies with the
+// total weight W as the stream length.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+)
+
+func TestWeightedUpdateWithinEps(t *testing.T) {
+	const n, eps, slack = 3000, 0.05, 3.0
+	rng := rand.New(rand.NewSource(37))
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	for i := range items {
+		items[i] = float64(rng.Intn(500))
+		weights[i] = int64(1 + rng.Intn(50))
+		if rng.Intn(150) == 0 {
+			weights[i] = 100_000 // heavy item: must occupy many slots
+		}
+	}
+	r := NewFloat64(eps, 0.01, 41)
+	for i, x := range items {
+		r.WeightedUpdate(x, weights[i])
+	}
+	oracle := rank.Float64WeightedOracle(items, weights)
+	if int64(r.Count()) != oracle.TotalWeight() {
+		t.Fatalf("Count = %d, want total weight %d", r.Count(), oracle.TotalWeight())
+	}
+	allowance := slack * eps * float64(oracle.TotalWeight())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, ok := r.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%g) failed", phi)
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance+1 {
+			t.Errorf("phi=%g: weighted rank error %d exceeds allowance %.1f", phi, e, allowance)
+		}
+	}
+}
+
+// TestWeightedHeavyItemOccupancy pins the statistical point that separates
+// expanded-stream sampling from distinct-item weighted sampling: an item
+// carrying half the total weight must end up in roughly half the sample
+// slots, or quantile answers over the weighted distribution would be wrong.
+func TestWeightedHeavyItemOccupancy(t *testing.T) {
+	const capacity = 2000
+	r := New(order.Floats[float64](), capacity, 43)
+	// 100k light items of weight 1, then one item carrying another 100k.
+	for i := 0; i < 100_000; i++ {
+		r.Update(float64(i))
+	}
+	r.WeightedUpdate(-1, 100_000)
+	occupancy := 0
+	for _, x := range r.Sample() {
+		if x == -1 {
+			occupancy++
+		}
+	}
+	frac := float64(occupancy) / capacity
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("heavy item occupies %.1f%% of the sample, want ~50%%", 100*frac)
+	}
+}
+
+// TestWeightedSkipMatchesPerCopyRates compares the skip-based acceptance
+// count against the exact per-copy simulation over many trials: the two must
+// agree in expectation, or the closed-form inversion drifted from
+// Algorithm R's acceptance probabilities.
+func TestWeightedSkipMatchesPerCopyRates(t *testing.T) {
+	const capacity, pre, w, trials = 50, 400, 1200, 300
+	var skipTotal, exactTotal float64
+	for trial := 0; trial < trials; trial++ {
+		r := New(order.Floats[float64](), capacity, int64(trial+1))
+		for i := 0; i < pre; i++ {
+			r.Update(float64(i))
+		}
+		r.WeightedUpdate(-1, w)
+		for _, x := range r.Sample() {
+			if x == -1 {
+				skipTotal++
+			}
+		}
+		e := New(order.Floats[float64](), capacity, int64(trial+1_000_003))
+		for i := 0; i < pre; i++ {
+			e.Update(float64(i))
+		}
+		for i := 0; i < w; i++ {
+			e.Update(-1)
+		}
+		for _, x := range e.Sample() {
+			if x == -1 {
+				exactTotal++
+			}
+		}
+	}
+	skipMean := skipTotal / trials
+	exactMean := exactTotal / trials
+	// Means over 300 trials of a [0, 50]-bounded count: ±1.5 slots is ~4
+	// standard errors of headroom.
+	if math.Abs(skipMean-exactMean) > 1.5 {
+		t.Fatalf("skip path places %.2f heavy slots on average, per-copy simulation %.2f", skipMean, exactMean)
+	}
+}
+
+func TestWeightedRestoreRoundTrip(t *testing.T) {
+	r := NewFloat64(0.05, 0.01, 47)
+	r.WeightedUpdate(1.5, 10)
+	r.WeightedUpdate(2.5, 100_000)
+	restored, err := Restore(order.Floats[float64](), r.Capacity(), r.Count(), r.Sample(), 1.5, 2.5, true)
+	if err != nil {
+		t.Fatalf("restore of a weighted reservoir: %v", err)
+	}
+	if restored.Count() != r.Count() {
+		t.Fatalf("restored Count = %d, want %d", restored.Count(), r.Count())
+	}
+}
+
+func TestWeightedUpdatePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewFloat64(0.1, 0.01, 1)
+	assertPanics("zero weight", func() { r.WeightedUpdate(1, 0) })
+	assertPanics("batch length mismatch", func() { r.WeightedUpdateBatch([]float64{1}, nil) })
+}

@@ -54,6 +54,14 @@ type batchUpdater[T any] interface {
 	UpdateBatch(xs []T)
 }
 
+// weightedUpdater is the optional native weighted-ingest path (see
+// summary.WeightedUpdater); every mergeable family in this repository — GK,
+// KLL, MRL, and the reservoir — provides it.
+type weightedUpdater[T any] interface {
+	WeightedUpdate(x T, w int64)
+	WeightedUpdateBatch(xs []T, ws []int64)
+}
+
 // Option configures a Sharded summary.
 type Option func(*config)
 
@@ -111,6 +119,7 @@ type Sharded[T any, S Mergeable[T, S]] struct {
 	bufSize  int
 	refresh  int64
 	batching bool // S implements batchUpdater[T]
+	weighted bool // S implements weightedUpdater[T]
 
 	total     atomic.Int64 // accepted updates, including still-buffered ones
 	snap      atomic.Pointer[snapshot[T, S]]
@@ -141,6 +150,7 @@ func New[T any, S Mergeable[T, S]](factory func() S, shards int, opts ...Option)
 		s.shards[i] = &shard[T, S]{sum: factory()}
 	}
 	_, s.batching = any(s.shards[0].sum).(batchUpdater[T])
+	_, s.weighted = any(s.shards[0].sum).(weightedUpdater[T])
 	return s
 }
 
@@ -218,6 +228,55 @@ func (s *Sharded[T, S]) UpdateBatch(xs []T) {
 	s.applyLocked(sh, xs)
 	sh.mu.Unlock()
 	s.total.Add(int64(len(xs)))
+}
+
+// Weighted reports whether the underlying summary provides a native weighted
+// ingest path (every mergeable family in this repository does). When false,
+// WeightedUpdate and WeightedUpdateBatch panic; use the expansion fallback
+// at a higher layer instead.
+func (s *Sharded[T, S]) Weighted() bool { return s.weighted }
+
+// WeightedUpdate ingests one item carrying an integer weight w ≥ 1 into one
+// shard, equivalent to w repeated Updates of x (Count afterwards reports the
+// total weight). Weighted items bypass the write buffer and reach the shard
+// summary's native weighted path directly, under one lock acquisition. It
+// panics when w is not positive or the summary family has no native weighted
+// path (see Weighted).
+func (s *Sharded[T, S]) WeightedUpdate(x T, w int64) {
+	if !s.weighted {
+		panic("sharded: summary family has no native weighted path")
+	}
+	sh := s.pick()
+	sh.mu.Lock()
+	any(sh.sum).(weightedUpdater[T]).WeightedUpdate(x, w)
+	sh.mu.Unlock()
+	s.total.Add(w)
+}
+
+// WeightedUpdateBatch ingests a batch of weighted items through a single
+// shard under one lock acquisition — the weighted twin of UpdateBatch, and
+// the path the HTTP tier's {v,w} JSON batches take. len(ws) must equal
+// len(xs); it panics on a length mismatch, a non-positive weight, or a
+// family without a native weighted path.
+func (s *Sharded[T, S]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if !s.weighted {
+		panic("sharded: summary family has no native weighted path")
+	}
+	if len(xs) != len(ws) {
+		panic("sharded: WeightedUpdateBatch: items and weights differ in length")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	var total int64
+	for _, w := range ws {
+		total += w
+	}
+	sh := s.pick()
+	sh.mu.Lock()
+	any(sh.sum).(weightedUpdater[T]).WeightedUpdateBatch(xs, ws)
+	sh.mu.Unlock()
+	s.total.Add(total)
 }
 
 // refreshLocked rebuilds the snapshot. Caller holds mergeMu.

@@ -1,0 +1,136 @@
+package sharded
+
+// Weighted ingestion through the concurrent layer: mixed weighted/unweighted
+// writers against concurrent readers (the -race smoke CI runs), with the
+// merged snapshot checked against the exact weighted oracle.
+
+import (
+	"sync"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/rank"
+)
+
+func TestWeightedReporting(t *testing.T) {
+	s := New(func() *gk.Summary[float64] { return gk.NewFloat64(0.05) }, 4)
+	if !s.Weighted() {
+		t.Fatal("GK-backed sharded summary must report a native weighted path")
+	}
+}
+
+func TestWeightedUpdateCountsWeight(t *testing.T) {
+	s := New(func() *gk.Summary[float64] { return gk.NewFloat64(0.05) }, 4)
+	s.WeightedUpdate(1.5, 10)
+	s.WeightedUpdateBatch([]float64{2.5, 3.5}, []int64{20, 30})
+	if s.Count() != 60 {
+		t.Fatalf("Count = %d, want total weight 60", s.Count())
+	}
+	s.Refresh()
+	// The merged snapshot answers within ±ε·W (the exact midpoint depends on
+	// which shards the three weighted updates landed on).
+	if r := s.EstimateRank(2.0); r < 10-3 || r > 10+3 {
+		t.Errorf("rank(2.0) = %d, want 10 ± εW = 3", r)
+	}
+}
+
+// TestWeightedConcurrentIngestion is the weighted-path race smoke: weighted
+// writers, unweighted writers, and weighted-batch writers all racing
+// readers, then the merged result verified against the weighted oracle.
+func TestWeightedConcurrentIngestion(t *testing.T) {
+	const (
+		eps         = 0.02
+		writers     = 4
+		perWriter   = 2_000
+		batchSize   = 50
+		unitPerGoro = 2_000
+	)
+	s := New(func() *gk.Summary[float64] { return gk.NewFloat64(eps) }, 8)
+
+	var mu sync.Mutex
+	var allItems []float64
+	var allWeights []int64
+	record := func(items []float64, weights []int64) {
+		mu.Lock()
+		allItems = append(allItems, items...)
+		allWeights = append(allWeights, weights...)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		// Weighted item-at-a-time writers.
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := make([]float64, perWriter)
+			weights := make([]int64, perWriter)
+			for i := range items {
+				items[i] = float64((g*perWriter + i) % 1000)
+				weights[i] = int64(i%9 + 1)
+				s.WeightedUpdate(items[i], weights[i])
+			}
+			record(items, weights)
+		}(g)
+		// Weighted batch writers.
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := make([]float64, perWriter)
+			weights := make([]int64, perWriter)
+			for i := range items {
+				items[i] = float64((g*perWriter+i)%1000) + 0.5
+				weights[i] = int64(i%5 + 1)
+			}
+			for i := 0; i < perWriter; i += batchSize {
+				end := i + batchSize
+				if end > perWriter {
+					end = perWriter
+				}
+				s.WeightedUpdateBatch(items[i:end], weights[i:end])
+			}
+			record(items, weights)
+		}(g)
+		// Unweighted writers sharing the same summary.
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := make([]float64, unitPerGoro)
+			weights := make([]int64, unitPerGoro)
+			for i := range items {
+				items[i] = float64((g*unitPerGoro + i) % 1000)
+				weights[i] = 1
+				s.Update(items[i])
+			}
+			record(items, weights)
+		}(g)
+		// Readers racing the writers.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Query(0.5)
+				s.EstimateRank(500)
+				s.CDF(250)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Refresh()
+
+	oracle := rank.Float64WeightedOracle(allItems, allWeights)
+	if int64(s.Count()) != oracle.TotalWeight() {
+		t.Fatalf("Count = %d, want total weight %d", s.Count(), oracle.TotalWeight())
+	}
+	allowance := eps * float64(oracle.TotalWeight())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%g) failed", phi)
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance+1 {
+			t.Errorf("phi=%g: weighted rank error %d exceeds allowance %.1f", phi, e, allowance)
+		}
+	}
+}

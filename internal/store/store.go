@@ -53,6 +53,15 @@ type batchUpdater interface {
 	UpdateBatch(xs []float64)
 }
 
+// weightedUpdater is the optional native weighted-ingest path (see
+// summary.WeightedUpdater); WeightedUpdate and WeightedUpdateBatch route
+// through it when the key's family has one, and fall back to the guarded
+// weight expansion otherwise.
+type weightedUpdater interface {
+	WeightedUpdate(x float64, w int64)
+	WeightedUpdateBatch(xs []float64, ws []int64)
+}
+
 // Defaults applied by New when the corresponding Config field is zero.
 const (
 	// DefaultShards is the default number of lock-striped key shards.
@@ -60,8 +69,9 @@ const (
 	// DefaultEps is the default per-key accuracy.
 	DefaultEps = 0.01
 	// DefaultBytesPerItem is the default per-retained-item byte estimate used
-	// for budget accounting (a GK tuple: value + G + Delta = 24 bytes).
-	DefaultBytesPerItem = 24
+	// for budget accounting (a GK tuple: value + G + Delta + Wt = 32 bytes
+	// since the weighted-input extension added the run weight).
+	DefaultBytesPerItem = 32
 )
 
 // Config parameterizes a Store. The zero value is usable: GK summaries at
@@ -98,7 +108,8 @@ type Config struct {
 type entry struct {
 	mu       sync.Mutex
 	sum      Summary
-	batch    batchUpdater // nil when sum has no bulk path
+	batch    batchUpdater    // nil when sum has no bulk path
+	weighted weightedUpdater // nil when sum has no native weighted path
 	eps      float64
 	dead     bool  // set under mu when evicted or deleted
 	retained int64 // bytes accounted to the global counter, under mu
@@ -201,6 +212,7 @@ func (s *Store) getOrCreate(key string) *entry {
 	eps := s.EpsFor(key)
 	e := &entry{sum: s.cfg.Factory(eps), eps: eps}
 	e.batch, _ = e.sum.(batchUpdater)
+	e.weighted, _ = e.sum.(weightedUpdater)
 	e.lastAccess.Store(s.now().UnixNano())
 	st.entries[key] = e
 	st.mu.Unlock()
@@ -276,6 +288,77 @@ func (s *Store) UpdateBatch(key string, xs []float64) {
 		s.mutations.Add(1)
 		s.maybeEvict()
 		return
+	}
+}
+
+// WeightedUpdate ingests one item carrying an integer weight w ≥ 1 into
+// key's summary, equivalent to w repeated Updates but through the family's
+// native weighted path when it has one (GK, KLL, MRL, reservoir) and the
+// guarded weight-expansion fallback otherwise. Count(key) afterwards reports
+// the key's total weight. It returns an error — and ingests nothing — when w
+// is not positive, or when the key's family has no native path and w exceeds
+// summary.MaxExpansionWeight.
+func (s *Store) WeightedUpdate(key string, x float64, w int64) error {
+	return s.WeightedUpdateBatch(key, []float64{x}, []int64{w})
+}
+
+// WeightedUpdateBatch ingests a batch of weighted items into key's summary
+// in one lock acquisition — the weighted twin of UpdateBatch, and the path
+// the keyed HTTP tier's {v,w} JSON batches take. The batch is validated
+// before anything is ingested (all-or-nothing, matching the HTTP tier's
+// retry contract): it returns an error on a length mismatch, a non-positive
+// weight, or — for keys whose family lacks a native weighted path — a batch
+// whose total weight exceeds the expansion-fallback guard
+// (summary.MaxExpansionWeight bounds the synchronous per-call expansion
+// work done under the key's lock, so it caps the batch total, not each
+// element separately).
+func (s *Store) WeightedUpdateBatch(key string, xs []float64, ws []int64) error {
+	if len(xs) != len(ws) {
+		return fmt.Errorf("store: weighted batch: %d items but %d weights", len(xs), len(ws))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	var total int64
+	for _, w := range ws {
+		if w <= 0 {
+			return fmt.Errorf("store: weight %d is not positive", w)
+		}
+		total += w
+	}
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		if e.weighted == nil {
+			// Expansion fallback: guard before ingesting anything, so the
+			// batch stays all-or-nothing — and guard the batch *total*: the
+			// cap exists to bound the synchronous expansion work done under
+			// this entry's lock, which a long batch of individually-legal
+			// weights would otherwise defeat.
+			if total > summary.MaxExpansionWeight {
+				eps := e.eps
+				e.mu.Unlock()
+				return fmt.Errorf("store: key %q (family without native weighted path, eps=%g): batch total weight %d exceeds the expansion-fallback cap %d", key, eps, total, int64(summary.MaxExpansionWeight))
+			}
+			for i, x := range xs {
+				// The total guard above makes ExpandWeighted infallible here.
+				_ = summary.ExpandWeighted[float64](e.sum, x, ws[i])
+			}
+		} else {
+			e.weighted.WeightedUpdateBatch(xs, ws)
+		}
+		delta := s.settleLocked(e)
+		e.mu.Unlock()
+		s.touch(e)
+		s.account(delta)
+		s.updates.Add(total)
+		s.mutations.Add(1)
+		s.maybeEvict()
+		return nil
 	}
 }
 
@@ -704,6 +787,7 @@ func (s *Store) adoptOrMerge(key string, sum Summary) error {
 				e.eps = ep.Epsilon()
 			}
 			e.batch, _ = sum.(batchUpdater)
+			e.weighted, _ = sum.(weightedUpdater)
 			e.lastAccess.Store(s.now().UnixNano())
 			// Settle accounting before the entry becomes visible: once the
 			// stripe lock drops, a concurrent budget sweep may reap it, and

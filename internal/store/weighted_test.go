@@ -1,0 +1,151 @@
+package store
+
+// Weighted ingestion through the keyed tier: the native path per key, the
+// guarded expansion fallback for families without one, validation of the
+// all-or-nothing batch contract, and a concurrent weighted smoke for the
+// -race CI job.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"quantilelb/internal/capped"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/summary"
+)
+
+func TestWeightedUpdateNativePath(t *testing.T) {
+	s := New(Config{Eps: 0.02})
+	if err := s.WeightedUpdate("m", 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WeightedUpdateBatch("m", []float64{20, 30}, []int64{1, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count("m"); n != 10 {
+		t.Fatalf("Count = %d, want total weight 10", n)
+	}
+	if r := s.EstimateRank("m", 10); r != 3 {
+		t.Errorf("rank(10) = %d, want 3", r)
+	}
+	if v, _ := s.Query("m", 0.9); v != 30 {
+		t.Errorf("p90 = %g, want 30 (weight 6 of 10)", v)
+	}
+}
+
+func TestWeightedUpdateValidation(t *testing.T) {
+	s := New(Config{Eps: 0.02})
+	if err := s.WeightedUpdateBatch("m", []float64{1, 2}, []int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := s.WeightedUpdateBatch("m", []float64{1, 2}, []int64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := s.WeightedUpdate("m", 1, -5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if n := s.Count("m"); n != 0 {
+		t.Fatalf("rejected weighted batches ingested %d", n)
+	}
+	if err := s.WeightedUpdateBatch("m", nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestWeightedExpansionFallback(t *testing.T) {
+	s := New(Config{
+		Eps: 0.05,
+		// The capped strawman has no native weighted path.
+		Factory: func(eps float64) Summary { return capped.NewFloat64(64) },
+	})
+	if err := s.WeightedUpdate("m", 1.5, 100); err != nil {
+		t.Fatalf("in-guard expansion: %v", err)
+	}
+	if n := s.Count("m"); n != 100 {
+		t.Fatalf("expanded Count = %d, want 100", n)
+	}
+	// Beyond the guard: rejected whole, before ingesting anything.
+	err := s.WeightedUpdateBatch("m", []float64{1, 2}, []int64{1, summary.MaxExpansionWeight + 1})
+	if err == nil {
+		t.Fatal("beyond-guard expansion accepted")
+	}
+	if n := s.Count("m"); n != 100 {
+		t.Fatalf("rejected expansion changed Count to %d", n)
+	}
+	// The guard bounds the batch *total*, not each element: individually
+	// legal weights must not smuggle unbounded synchronous expansion work
+	// under the entry lock.
+	err = s.WeightedUpdateBatch("m", []float64{1, 2}, []int64{summary.MaxExpansionWeight / 2, summary.MaxExpansionWeight/2 + 2})
+	if err == nil {
+		t.Fatal("batch with over-cap total weight accepted by the expansion fallback")
+	}
+	if n := s.Count("m"); n != 100 {
+		t.Fatalf("rejected over-total expansion changed Count to %d", n)
+	}
+}
+
+func TestWeightedKLLFactory(t *testing.T) {
+	s := New(Config{
+		Eps:     0.02,
+		Factory: func(eps float64) Summary { return kll.NewFloat64(eps, kll.WithSeed(11)) },
+	})
+	if err := s.WeightedUpdateBatch("m", []float64{1, 2, 3}, []int64{100, 200, 300}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count("m"); n != 600 {
+		t.Fatalf("Count = %d, want 600", n)
+	}
+}
+
+// TestWeightedConcurrentKeyedIngestion is the keyed weighted -race smoke:
+// weighted writers over many keys racing queries and sweeps, with per-key
+// total weight conserved for never-evicted keys.
+func TestWeightedConcurrentKeyedIngestion(t *testing.T) {
+	const (
+		keys      = 16
+		writers   = 8
+		perWriter = 400
+	)
+	s := New(Config{Eps: 0.05})
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("k%02d", (g+i)%keys)
+				if err := s.WeightedUpdate(key, float64(i), int64(i%7+1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("k%02d", (g+i)%keys)
+				s.Query(key, 0.5)
+				s.EstimateRank(key, float64(i%100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for k := 0; k < keys; k++ {
+		total += int64(s.Count(fmt.Sprintf("k%02d", k)))
+	}
+	var want int64
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perWriter; i++ {
+			want += int64(i%7 + 1)
+		}
+	}
+	if total != want {
+		t.Fatalf("total weight over all keys = %d, want %d (weighted updates lost)", total, want)
+	}
+	if s.Stats().Updates != want {
+		t.Errorf("Stats.Updates = %d, want %d", s.Stats().Updates, want)
+	}
+}

@@ -9,7 +9,11 @@
 // quantile queries by returning one of the stored items.
 package summary
 
-import "quantilelb/internal/order"
+import (
+	"fmt"
+
+	"quantilelb/internal/order"
+)
 
 // Quantile is the minimal interface of a streaming quantile summary.
 type Quantile[T any] interface {
@@ -47,6 +51,53 @@ type Summary[T any] interface {
 	Quantile[T]
 	RankEstimator[T]
 	Inspectable[T]
+}
+
+// WeightedUpdater is implemented by summaries that ingest weighted items
+// natively. WeightedUpdate(x, w) is semantically equivalent to w repeated
+// calls of Update(x) — the summary afterwards answers queries over the
+// weight-expanded multiset, with rank error at most ε·W where W is the total
+// weight ingested — but a native implementation achieves it in o(w) time
+// (GK inserts one tuple carrying the whole run, KLL and MRL place the weight
+// by its binary decomposition, the reservoir draws closed-form skips).
+//
+// Under this equivalence Count reports the total weight W, Query(ϕ) answers
+// the weighted ϕ-quantile, and EstimateRank(q) estimates the total weight of
+// items ≤ q. Weights must be positive; implementations panic on w ≤ 0
+// exactly as constructors panic on an invalid ε (the HTTP tier validates
+// weights before they reach the library). Families without a native path use
+// the ExpandWeighted fallback instead.
+type WeightedUpdater[T any] interface {
+	// WeightedUpdate processes one item carrying an integer weight w ≥ 1.
+	WeightedUpdate(x T, w int64)
+	// WeightedUpdateBatch processes a batch of items with their parallel
+	// weights slice (len(ws) must equal len(xs)).
+	WeightedUpdateBatch(xs []T, ws []int64)
+}
+
+// MaxExpansionWeight bounds the per-item weight ExpandWeighted accepts. The
+// fallback costs O(w) work and O(w) stream positions, so an unbounded weight
+// would let a single request stall the process; native implementations are
+// sublinear in w and accept any positive weight.
+const MaxExpansionWeight = 1 << 16
+
+// ExpandWeighted ingests (x, w) into any summary by repeating Update w
+// times: the documented fallback for families without a native weighted path
+// (biased, capped, window, offline; qdigest counts natively over its own
+// fixed universe outside this plumbing). It returns an error — rather
+// than looping unboundedly — when w is non-positive or exceeds
+// MaxExpansionWeight, the overflow guard for the expansion.
+func ExpandWeighted[T any](s Quantile[T], x T, w int64) error {
+	if w <= 0 {
+		return fmt.Errorf("summary: weight %d is not positive", w)
+	}
+	if w > MaxExpansionWeight {
+		return fmt.Errorf("summary: weight %d exceeds the expansion-fallback cap %d (use a natively weighted family)", w, MaxExpansionWeight)
+	}
+	for i := int64(0); i < w; i++ {
+		s.Update(x)
+	}
+	return nil
 }
 
 // Mergeable is implemented by summaries that support merging a same-typed

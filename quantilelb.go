@@ -8,6 +8,10 @@
 //   - streaming quantile summaries (Greenwald–Khanna and its greedy variant,
 //     MRL, KLL, reservoir sampling, biased/relative-error quantiles, and the
 //     deliberately space-capped strawman),
+//   - weighted ingestion (UpdateWeighted, WeightedUpdater): pre-counted or
+//     importance-weighted observations ingest in o(w) per item on GK, KLL,
+//     MRL, and the reservoir, with rank error at most ε·W over the total
+//     weight W,
 //   - applications built on them (equi-depth histograms, CDF estimation,
 //     Kolmogorov–Smirnov tests),
 //   - a concurrent sharded ingestion layer (NewSharded) that spreads writes
@@ -82,7 +86,47 @@ var (
 	_ summary.Mergeable[*kll.Sketch[float64]]         = (*kll.Sketch[float64])(nil)
 	_ summary.Mergeable[*mrl.Summary[float64]]        = (*mrl.Summary[float64])(nil)
 	_ summary.Mergeable[*sampling.Reservoir[float64]] = (*sampling.Reservoir[float64])(nil)
+
+	// compile-time weighted-capability checks: every mergeable family and the
+	// sharded wrapper ingest weighted items natively.
+	_ WeightedUpdater = (*gk.Summary[float64])(nil)
+	_ WeightedUpdater = (*kll.Sketch[float64])(nil)
+	_ WeightedUpdater = (*mrl.Summary[float64])(nil)
+	_ WeightedUpdater = (*sampling.Reservoir[float64])(nil)
+	_ WeightedUpdater = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 )
+
+// WeightedUpdater is the weighted-ingestion interface implemented natively
+// by GK, KLL, MRL, the reservoir, and the sharded wrapper over any of them.
+// WeightedUpdate(x, w) is semantically equivalent to w repeated Update(x)
+// calls — afterwards Count reports the total weight W, Query answers
+// weighted quantiles within ±ε·W, and EstimateRank estimates the total
+// weight of items ≤ q — but runs in o(w) time, so pre-counted histogram
+// buckets and importance-weighted observations ingest at full speed. Weights
+// must be positive integers; the methods panic on w ≤ 0 (use UpdateWeighted
+// for an error-returning entry point that also covers non-native families).
+type WeightedUpdater interface {
+	// WeightedUpdate ingests one item carrying integer weight w ≥ 1.
+	WeightedUpdate(x float64, w int64)
+	// WeightedUpdateBatch ingests parallel item/weight slices in one pass.
+	WeightedUpdateBatch(xs []float64, ws []int64)
+}
+
+// UpdateWeighted ingests (x, w) into any summary: through the native
+// weighted path when s implements WeightedUpdater, and through the
+// documented weight-expansion fallback otherwise (w repeated Updates,
+// guarded so a weight beyond summary.MaxExpansionWeight = 65536 returns an
+// error instead of stalling). It returns an error for non-positive weights.
+func UpdateWeighted(s Summary, x float64, w int64) error {
+	if w <= 0 {
+		return fmt.Errorf("quantilelb: weight %d is not positive", w)
+	}
+	if wu, ok := s.(WeightedUpdater); ok {
+		wu.WeightedUpdate(x, w)
+		return nil
+	}
+	return summary.ExpandWeighted[float64](lift(s), x, w)
+}
 
 // NewGK returns a Greenwald–Khanna summary with accuracy eps, the
 // deterministic comparison-based summary whose O((1/ε)·log εN) space the

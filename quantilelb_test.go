@@ -385,3 +385,36 @@ func TestFacadeStore(t *testing.T) {
 		t.Fatalf("merged db count = %d, want 10000", st.Count("db"))
 	}
 }
+
+func TestFacadeUpdateWeighted(t *testing.T) {
+	// Native path: GK.
+	gkS := quantilelb.NewGK(0.05)
+	if err := quantilelb.UpdateWeighted(gkS, 5, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := quantilelb.UpdateWeighted(gkS, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	if gkS.Count() != 100 {
+		t.Fatalf("GK weighted count = %d, want 100", gkS.Count())
+	}
+	if v, _ := gkS.Query(0.7); v != 10 {
+		t.Errorf("p70 = %g, want 10", v)
+	}
+
+	// Fallback path: the capped strawman has no native weighted support and
+	// rides the guarded expansion.
+	capped := quantilelb.NewCapped(64)
+	if err := quantilelb.UpdateWeighted(capped, 1.5, 10); err != nil {
+		t.Fatalf("in-guard fallback: %v", err)
+	}
+	if capped.Count() != 10 {
+		t.Fatalf("fallback count = %d, want 10", capped.Count())
+	}
+	if err := quantilelb.UpdateWeighted(capped, 1.5, 1<<20); err == nil {
+		t.Error("beyond-guard fallback accepted")
+	}
+	if err := quantilelb.UpdateWeighted(gkS, 1, 0); err == nil {
+		t.Error("non-positive weight accepted")
+	}
+}
