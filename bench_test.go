@@ -67,6 +67,10 @@ func BenchmarkBiasedUpdateShuffled(b *testing.B) {
 	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewBiased(0.01) }, "shuffled")
 }
 
+func BenchmarkMLQUpdateShuffled(b *testing.B) {
+	benchmarkUpdate(b, func() quantilelb.Summary { return quantilelb.NewMLQ(0.01) }, "shuffled")
+}
+
 func benchmarkQuery(b *testing.B, mk func() quantilelb.Summary) {
 	gen := stream.NewGenerator(2)
 	st := gen.Uniform(200_000)
@@ -297,6 +301,18 @@ func BenchmarkMRLUpdateBatch(b *testing.B) {
 // BenchmarkReservoirUpdateBatch: the tight-loop Algorithm R batch path.
 func BenchmarkReservoirUpdateBatch(b *testing.B) {
 	benchmarkUpdateBatch(b, func() batchTarget { return quantilelb.NewReservoir(0.01, 0.01, 1) }, 1024)
+}
+
+// BenchmarkMLQUpdateBatch: bulk appends into the cache-resident sorted-block
+// buffer, with the cascade amortized over whole blocks. Compare against
+// BenchmarkMLQUpdateShuffled and the gk update numbers — this path is the
+// reason the family exists.
+func BenchmarkMLQUpdateBatch(b *testing.B) {
+	for _, batch := range []int{256, 1024, 8192} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchmarkUpdateBatch(b, func() batchTarget { return quantilelb.NewMLQ(0.01) }, batch)
+		})
+	}
 }
 
 // Sweep GK update cost across eps to expose the space/time trade-off.

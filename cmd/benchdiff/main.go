@@ -1,7 +1,7 @@
 // Command benchdiff is the benchmark-regression gate run by CI: it compares
 // a freshly produced workload-matrix report (cmd/bench) against the
 // committed baseline (the newest BENCH_PR<n>.json at the repository root,
-// currently BENCH_PR5.json) and fails — by
+// currently BENCH_PR6.json) and fails — by
 // exiting non-zero — on accuracy regressions, defined as any family ×
 // workload × mode cell whose measured max rank error exceeds the accuracy
 // the family was configured for. Speed is hardware- and runner-dependent, so
@@ -25,7 +25,7 @@
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
-//	go run ./cmd/benchdiff -baseline BENCH_PR5.json -report /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR6.json -report /tmp/bench-ci.json
 package main
 
 import (
@@ -48,7 +48,7 @@ var randomized = map[string]bool{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR5.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR6.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)

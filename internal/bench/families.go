@@ -7,6 +7,7 @@ import (
 	"quantilelb/internal/capped"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
@@ -21,9 +22,10 @@ import (
 // summaries keep the original three-field (value, G, Delta) tuple at 24
 // bytes; buffer-based summaries (kll, mrl, reservoir) store bare float64s.
 const (
-	gkTupleBytes = 32
-	tupleBytes   = 24
-	itemBytes    = 8
+	gkTupleBytes  = 32
+	tupleBytes    = 24
+	itemBytes     = 8
+	mlqEntryBytes = 32 // mlq.Entry: (value, W, Rmin, Rmax)
 )
 
 // cappedCapacity deliberately undercuts the GK bound so the matrix records
@@ -67,6 +69,16 @@ func DefaultFamilies(cfg Config) []Family {
 			Name:         "mrl",
 			New:          func() Target { return mrl.NewFloat64(eps, maxN) },
 			BytesPerItem: itemBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name: "mlq",
+			// The cache-resident multi-level summary: a sorted-block buffer
+			// absorbing updates, flushed through a binary-counter cascade of
+			// merge+compress steps. The buffer keeps the hot ingest path in
+			// L2 and amortizes comparison work across whole blocks.
+			New:          func() Target { return mlq.NewFloat64(eps) },
+			BytesPerItem: mlqEntryBytes,
 			EpsTarget:    eps,
 		},
 		{
@@ -118,6 +130,14 @@ func DefaultFamilies(cfg Config) []Family {
 			// merged global view carries the same uniform guarantee as one
 			// node.
 			EpsTarget: eps,
+		},
+		{
+			Name: "sharded-mlq",
+			New: func() Target {
+				return sharded.New(func() *mlq.Summary { return mlq.NewFloat64(eps) }, shardedWidth)
+			},
+			BytesPerItem: mlqEntryBytes,
+			EpsTarget:    eps,
 		},
 		{
 			Name: "sharded-kll",

@@ -3,7 +3,8 @@ package bench
 // Weighted-ingestion families: the weighted write path measured in the same
 // matrix as everything else. Two shapes:
 //
-//   - Constant weight (weighted-gk, weighted-kll): every item carries the
+//   - Constant weight (weighted-gk, weighted-kll, weighted-mlq): every item
+//     carries the
 //     same weight, so the weighted quantiles coincide with the plain ones
 //     and the cell's rank error against the unweighted oracle remains a
 //     valid accuracy gate — while the ingest path exercises heavy tuples,
@@ -20,6 +21,7 @@ import (
 
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 )
 
 // weightedConstFactor is the constant per-item weight of the weighted-gk and
@@ -101,6 +103,16 @@ func weightedFamilies(cfg Config) []Family {
 			},
 			BytesPerItem: itemBytes,
 			// Randomized, like the kll family: benchdiff applies its slack.
+			EpsTarget: eps,
+		},
+		{
+			Name: "weighted-mlq",
+			New: func() Target {
+				return &weightedTarget{inner: mlq.NewFloat64(eps), draw: constWeight(weightedConstFactor)}
+			},
+			BytesPerItem: mlqEntryBytes,
+			// Deterministic family under constant weights: the plain-oracle
+			// gate applies at the configured eps.
 			EpsTarget: eps,
 		},
 		{

@@ -19,6 +19,7 @@ import (
 	"quantilelb/internal/checker"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
@@ -82,6 +83,8 @@ func diffCases() []checker.Case {
 			}},
 		{Name: "mrl", Eps: diffEps,
 			New: func() summary.Summary[float64] { return mrl.NewFloat64(diffEps, maxN) }},
+		{Name: "mlq", Eps: diffEps,
+			New: func() summary.Summary[float64] { return mlq.NewFloat64(diffEps) }},
 		{Name: "reservoir", Eps: diffEps, Slack: randomizedSlack,
 			New: func() summary.Summary[float64] {
 				return sampling.NewFloat64(diffEps, 0.01, 200+resSeed.Add(1))
@@ -96,6 +99,10 @@ func diffCases() []checker.Case {
 		{Name: "sharded-gk", Eps: diffEps,
 			New: func() summary.Summary[float64] {
 				return sharded.New(func() *gk.Summary[float64] { return gk.NewFloat64(diffEps) }, 8)
+			}},
+		{Name: "sharded-mlq", Eps: diffEps,
+			New: func() summary.Summary[float64] {
+				return sharded.New(func() *mlq.Summary { return mlq.NewFloat64(diffEps) }, 8)
 			}},
 		{Name: "capped-64", Eps: 0, // record-only: deliberately unsound
 			New: func() summary.Summary[float64] { return capped.NewFloat64(64) }},

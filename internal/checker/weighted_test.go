@@ -16,6 +16,7 @@ import (
 	"quantilelb/internal/checker"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
@@ -132,6 +133,8 @@ func wdiffCases(t *testing.T) []checker.WeightedCase {
 			New: func(totalW int64) checker.WeightedTarget {
 				return mrl.NewFloat64(wdiffEps, int(totalW))
 			}},
+		{Name: "mlq", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget { return mlq.NewFloat64(wdiffEps) }},
 		{Name: "reservoir", Eps: wdiffEps, Slack: randomizedSlack,
 			New: func(int64) checker.WeightedTarget {
 				return sampling.NewFloat64(wdiffEps, 0.01, 600+resSeed.Add(1))

@@ -20,6 +20,7 @@ import (
 	"quantilelb/internal/encoding"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/rank"
 	"quantilelb/internal/sharded"
 )
@@ -229,6 +230,80 @@ func TestAggregatorPeerFailure(t *testing.T) {
 	}
 	if statuses[1].LastError == "" {
 		t.Error("dead peer has no recorded error")
+	}
+}
+
+// TestClusterMLQNodesEndToEnd runs the same 3-node + aggregator topology
+// with every node holding a sharded mlq summary: the binary snapshots travel
+// as KindMLQ payloads, the aggregator's COMBINE goes through mlq.Merge, and
+// the merged view must stay within the shared eps — on the shuffled stream
+// and on the paper's adversarial one. This is the wire-level proof that the
+// new family participates in the distributed tier, not just the in-process
+// ones. Unlike the GK topology above, every node runs the same eps: mlq
+// summaries must agree on the block size b to merge, exactly as KLL
+// summaries must agree on k.
+func TestClusterMLQNodesEndToEnd(t *testing.T) {
+	const mlqEps = 0.02
+	cfg := bench.DefaultConfig()
+	cfg.N = 12_000
+	workloads, err := bench.Workloads(cfg)
+	if err != nil {
+		t.Fatalf("building workloads: %v", err)
+	}
+	for _, wl := range workloads {
+		if wl.Name != "shuffled" && wl.Name != "adversarial-cv" {
+			continue
+		}
+		t.Run(wl.Name, func(t *testing.T) {
+			urls := make([]string, len(nodeEps))
+			sources := make([]cluster.Source, len(nodeEps))
+			for i := range nodeEps {
+				s := sharded.New(func() *mlq.Summary { return mlq.NewFloat64(mlqEps) }, 4)
+				srv := httptest.NewServer(cluster.NewServerHandler(s))
+				t.Cleanup(srv.Close)
+				urls[i] = srv.URL
+				sources[i] = &cluster.HTTPSource{URL: srv.URL, Fresh: true}
+			}
+			const batchSize = 500
+			for i, next := 0, 0; i < len(wl.Items); i += batchSize {
+				end := min(i+batchSize, len(wl.Items))
+				postBatch(t, urls[next], wl.Items[i:end])
+				next = (next + 1) % len(urls)
+			}
+			agg := cluster.New(sources...)
+			if err := agg.PullOnce(context.Background()); err != nil {
+				t.Fatalf("PullOnce: %v", err)
+			}
+			n := len(wl.Items)
+			if agg.Count() != n {
+				t.Fatalf("aggregator covers %d items, want %d", agg.Count(), n)
+			}
+			oracle := rank.Float64Oracle(wl.Items)
+			limit := mlqEps*float64(n) + 1
+			for i := 0; i <= 100; i++ {
+				phi := float64(i) / 100
+				v, ok := agg.Query(phi)
+				if !ok {
+					t.Fatalf("Query(%g) on a non-empty aggregator", phi)
+				}
+				if e := oracle.RankError(v, phi); float64(e) > limit {
+					t.Errorf("phi=%g: rank error %d exceeds eps budget %.0f", phi, e, limit)
+				}
+			}
+			// The re-exported global snapshot is itself a KindMLQ payload:
+			// aggregators of mlq nodes can feed higher aggregators.
+			p, _, err := agg.SnapshotPayload()
+			if err != nil {
+				t.Fatalf("aggregator snapshot: %v", err)
+			}
+			dec, err := encoding.Decode(p)
+			if err != nil {
+				t.Fatalf("decoding aggregator snapshot: %v", err)
+			}
+			if _, ok := dec.(*mlq.Summary); !ok {
+				t.Fatalf("aggregator re-exports %T, want *mlq.Summary", dec)
+			}
+		})
 	}
 }
 

@@ -2,9 +2,10 @@
 // quantile summaries, so sketches can be shipped between workers and a
 // coordinator (the distributed aggregation setting of Section 1 of the paper
 // and the "mergeable summaries" line of work it cites) or checkpointed to
-// disk. All four mergeable families are covered — GK, KLL, MRL, and the
-// reservoir — so a coordinator can round-trip and merge whichever family its
-// workers run, and the sliding-window summary round-trips as well (KindWindow)
+// disk. All five mergeable families are covered — GK, KLL, MRL, the
+// reservoir, and the multi-level MLQ summary — so a coordinator can
+// round-trip and merge whichever family its workers run, and the
+// sliding-window summary round-trips as well (KindWindow)
 // so every facade family can be checkpointed. The generic Encode/Decode pair
 // dispatches on the Kind tag; per-kind functions remain for callers that know
 // what they hold.
@@ -26,6 +27,7 @@ import (
 
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
@@ -51,6 +53,7 @@ const (
 	KindReservoir Kind = 4
 	KindWindow    Kind = 5
 	KindStore     Kind = 6
+	KindMLQ       Kind = 7
 )
 
 // String returns the short family name used in reports and peer status
@@ -69,6 +72,8 @@ func (k Kind) String() string {
 		return "window"
 	case KindStore:
 		return "store"
+	case KindMLQ:
+		return "mlq"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -572,15 +577,17 @@ func Encode(s any) ([]byte, error) {
 		return EncodeReservoir(v)
 	case *window.Summary[float64]:
 		return EncodeWindow(v)
+	case *mlq.Summary:
+		return EncodeMLQ(v)
 	}
 	return nil, fmt.Errorf("encoding: unsupported summary type %T", s)
 }
 
 // Decode reconstructs whichever summary a payload holds, dispatching on the
 // Kind tag. The result is one of *gk.Summary[float64], *kll.Sketch[float64],
-// *mrl.Summary[float64], *sampling.Reservoir[float64], or
-// *window.Summary[float64]; use DetectKind first when the caller needs to
-// know without paying for the full decode.
+// *mrl.Summary[float64], *sampling.Reservoir[float64],
+// *window.Summary[float64], or *mlq.Summary; use DetectKind first when the
+// caller needs to know without paying for the full decode.
 func Decode(payload []byte) (any, error) {
 	kind, err := DetectKind(payload)
 	if err != nil {
@@ -601,6 +608,8 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeReservoir(payload)
 	case KindWindow:
 		dec, decErr = DecodeWindow(payload)
+	case KindMLQ:
+		dec, decErr = DecodeMLQ(payload)
 	case KindStore:
 		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
 	default:

@@ -13,6 +13,7 @@ import (
 
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/window"
@@ -52,8 +53,28 @@ func seedPayloads(tb testing.TB) [][]byte {
 		wmrlS.WeightedUpdate(x, w)
 		wresS.WeightedUpdate(x, w)
 	}
+	// MLQ corpus shapes: empty, a single-level summary (one flush), a deep
+	// cascade (tiny block, many levels), and a weighted payload with a
+	// populated weighted buffer.
+	mlqEmpty := mlq.NewFloat64(0.02)
+	mlqSingle := mlq.NewFloat64(0.02)
+	for i := 0; i < mlqSingle.BlockSize(); i++ {
+		mlqSingle.Update(float64((i * 7919) % 4001))
+	}
+	mlqDeep := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+	for i := 0; i < 5_000; i++ {
+		mlqDeep.Update(float64((i * 6151) % 997))
+	}
+	wmlqS := mlq.NewFloat64(0.02)
+	for i := 0; i < 500; i++ {
+		w := int64(i%37 + 1)
+		if i%97 == 0 {
+			w <<= 10
+		}
+		wmlqS.WeightedUpdate(float64((i*7457)%1009), w)
+	}
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

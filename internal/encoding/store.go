@@ -15,6 +15,7 @@ import (
 
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/sampling"
 )
@@ -147,9 +148,10 @@ var ErrNotMergeable = errors.New("encoding: summaries are not mergeable")
 
 // CheckMergeable reports whether MergeAny(dst, src) would succeed, without
 // mutating either side. It covers every failure MergeAny can produce:
-// mismatched or non-mergeable families, a KLL k mismatch, and an MRL
-// buffer-capacity mismatch (an empty src merges into anything of its own
-// family, mirroring the Merge implementations). The keyed store uses it to
+// mismatched or non-mergeable families, a KLL k mismatch, an MRL
+// buffer-capacity mismatch, and an MLQ block-size mismatch (an empty src
+// merges into anything of its own family, mirroring the Merge
+// implementations). The keyed store uses it to
 // validate a whole container against its current state before applying
 // anything, so a bad record rejects the container whole instead of after a
 // partial merge.
@@ -177,6 +179,13 @@ func CheckMergeable(dst, src any) error {
 		if _, ok := src.(*sampling.Reservoir[float64]); ok {
 			return nil
 		}
+	case *mlq.Summary:
+		if s, ok := src.(*mlq.Summary); ok {
+			if s.Count() > 0 && s.BlockSize() != d.BlockSize() {
+				return fmt.Errorf("%w: mlq block size mismatch (%d vs %d)", ErrNotMergeable, d.BlockSize(), s.BlockSize())
+			}
+			return nil
+		}
 	default:
 		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
 	}
@@ -184,7 +193,7 @@ func CheckMergeable(dst, src any) error {
 }
 
 // MergeAny folds src into dst when both hold the same mergeable concrete
-// float64 summary family (GK, KLL, MRL, or the reservoir). Every branch
+// float64 summary family (GK, KLL, MRL, the reservoir, or MLQ). Every branch
 // preserves the COMBINE budget eps_new = max(eps_dst, eps_src). It is the
 // single merge-dispatch point shared by the cluster aggregator and the keyed
 // store, so a new family becomes mergeable everywhere by extending it here.
@@ -204,6 +213,10 @@ func MergeAny(dst, src any) error {
 		}
 	case *sampling.Reservoir[float64]:
 		if s, ok := src.(*sampling.Reservoir[float64]); ok {
+			return d.Merge(s)
+		}
+	case *mlq.Summary:
+		if s, ok := src.(*mlq.Summary); ok {
 			return d.Merge(s)
 		}
 	default:

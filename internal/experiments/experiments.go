@@ -22,6 +22,7 @@ import (
 	"quantilelb/internal/core"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/rank"
@@ -503,6 +504,7 @@ func Compare(eps float64, n int, workloads []string, seed int64) (*Table, []Comp
 			{"gk-bands", gk.NewWithPolicy(cmp, eps, gk.PolicyBands)},
 			{"gk-greedy", gk.NewWithPolicy(cmp, eps, gk.PolicyGreedy)},
 			{"mrl", mrl.New(cmp, eps, n)},
+			{"mlq", mlq.NewFloat64(eps)},
 			{"kll", kll.New(cmp, kll.KForEpsilon(eps), kll.WithSeed(seed))},
 			{"reservoir", sampling.New(cmp, sampling.SizeForAccuracy(eps, 0.05), seed)},
 			{"biased", biased.New(cmp, eps)},
@@ -542,7 +544,7 @@ func Compare(eps float64, n int, workloads []string, seed int64) (*Table, []Comp
 		}
 	}
 	t.Notes = append(t.Notes,
-		"randomized summaries (kll, reservoir) and the capped strawman carry no deterministic worst-case guarantee; deterministic summaries (gk, mrl, biased) must pass on every workload")
+		"randomized summaries (kll, reservoir) and the capped strawman carry no deterministic worst-case guarantee; deterministic summaries (gk, mrl, mlq, biased) must pass on every workload")
 	return t, rows, nil
 }
 

@@ -176,15 +176,15 @@ func TestCompareSmall(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compare: %v", err)
 	}
-	if len(rows) != 14 {
-		t.Errorf("expected 2 workloads x 7 summaries = 14 rows, got %d", len(rows))
+	if len(rows) != 16 {
+		t.Errorf("expected 2 workloads x 8 summaries = 16 rows, got %d", len(rows))
 	}
 	if len(tab.Rows) != len(rows) {
 		t.Errorf("table and row slice disagree")
 	}
 	for _, r := range rows {
 		// Deterministic uniform-error summaries must pass.
-		if r.Summary == "gk-bands" || r.Summary == "gk-greedy" || r.Summary == "mrl" || r.Summary == "biased" {
+		if r.Summary == "gk-bands" || r.Summary == "gk-greedy" || r.Summary == "mrl" || r.Summary == "mlq" || r.Summary == "biased" {
 			if !r.Passed {
 				t.Errorf("%s on %s should pass the uniform check (worst err %d, allowed %v)",
 					r.Summary, r.Workload, r.WorstError, r.Allowed)

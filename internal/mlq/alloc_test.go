@@ -1,0 +1,71 @@
+package mlq_test
+
+// The zero-allocation guard for the hot path: once the cascade has deepened
+// to cover the measurement window, a steady-state buffer flush — sort, exact
+// summary, merge, compress, carry — must not allocate at all. Allocation
+// here would mean a scratch slice escaped reuse and the L2-residency story
+// is fiction.
+
+import (
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/mlq"
+)
+
+// TestFlushZeroAllocs pins the steady-state flush at 0 allocs/op. The
+// warm-up runs exactly 2^k flushes so every level the measured flushes touch
+// already exists (a flush allocates only when it deepens the cascade for
+// the first time, and the next deepening is another 2^k flushes away —
+// far beyond the measurement window).
+func TestFlushZeroAllocs(t *testing.T) {
+	const b = 256
+	s := mlq.NewFloat64(0.01, mlq.WithBlockSize(b))
+	r := rand.New(rand.NewSource(1))
+	batch := make([]float64, b)
+	fill := func() {
+		for i := range batch {
+			batch[i] = r.Float64()
+		}
+	}
+	// Warm up: 256 flushes occupy levels 0..8; the next new level appears at
+	// flush 512, beyond the 100 measured runs.
+	for f := 0; f < 256; f++ {
+		fill()
+		s.UpdateBatch(batch)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		s.UpdateBatch(batch) // exactly one full buffer: one flush
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state flush allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWeightedFlushZeroAllocs covers the weighted buffer's flush path the
+// same way.
+func TestWeightedFlushZeroAllocs(t *testing.T) {
+	const b = 256
+	s := mlq.NewFloat64(0.01, mlq.WithBlockSize(b))
+	r := rand.New(rand.NewSource(2))
+	vs := make([]float64, b)
+	ws := make([]int64, b)
+	fill := func() {
+		for i := range vs {
+			vs[i] = r.Float64()
+			ws[i] = 1 + r.Int63n(4)
+		}
+	}
+	for f := 0; f < 256; f++ {
+		fill()
+		s.WeightedUpdateBatch(vs, ws)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		s.WeightedUpdateBatch(vs, ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state weighted flush allocates %v allocs/op, want 0", allocs)
+	}
+}

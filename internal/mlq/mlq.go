@@ -1,0 +1,786 @@
+// Package mlq implements a multi-level quantile summary: a cache-resident
+// ingestion core in front of a binary-counter cascade of per-level compressed
+// summaries.
+//
+// Items land in a fixed-capacity block buffer of b slots sized so that
+// b·sizeof(entry) fits in a typical L2 cache. A full buffer is sorted in
+// place (amortized O(log b) comparisons per item over a contiguous array) and
+// folded into an exact rank summary, which then carries through the level
+// chain exactly like a binary-counter increment: an empty level adopts the
+// carry, an occupied level is MERGEd with it (rank bounds add, so the merged
+// error is the max of the inputs) and COMPRESSed back to at most b+1 entries
+// (adding at most 1/b rank error) before carrying one level up. A summary
+// resting at level l has therefore been compressed at most l times, so its
+// accumulated error is at most l/b; with b chosen as ⌈L/ε⌉ for a horizon of
+// L levels, every level stays within the ε target. Past the horizon — after
+// more than 2^(L-1) buffer flushes — the top level keeps merging without
+// compressing: the ε guarantee is preserved at the cost of space growing
+// beyond b+1 entries, which matches the paper's lower bound that retained
+// space must grow with log(εn).
+//
+// Flushes are allocation-free in the steady state: the sort is in place, and
+// the exact-summary, merge, and compress passes all write into scratch
+// slices owned by the Summary that are reused flush after flush (the same
+// role a sync.Pool would play, without the per-flush pool traffic). Queries
+// fold the levels and the live buffer into a cached merged view that is
+// invalidated by updates, so read-heavy phases pay the fold once.
+//
+// This is the MERGE/COMPRESS design of Greenwald–Khanna's multi-level
+// variant as adapted by Karnin–Lang–Liberty and the TensorFlow/XGBoost
+// weighted sketches; see DESIGN.md for the eps accounting in this codebase's
+// conventions.
+package mlq
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Entry is one retained item of a level summary with its weighted rank
+// bounds: Rmin lower-bounds the total weight of stream items strictly less
+// than V, Rmax upper-bounds the total weight of items ≤ V, and W is the
+// weight of the equal-to-V run this entry still carries. For an exact
+// summary Rmax−Rmin = W; merging adds bounds pairwise and compression only
+// drops whole entries, so bounds stay valid without ever being rewritten.
+type Entry struct {
+	V    float64
+	W    int64
+	Rmin int64
+	Rmax int64
+}
+
+// WeightedValue is one buffered, not-yet-flushed item with its weight; the
+// encoding layer serializes the buffer as a slice of these.
+type WeightedValue struct {
+	V float64
+	W int64
+}
+
+// LevelState is the exported snapshot of one cascade level, used by the
+// encoding layer and by Restore.
+type LevelState struct {
+	// Eps is the accumulated additive rank error of this level's summary,
+	// as a fraction of the level's total weight.
+	Eps float64
+	// Entries are the level's retained entries in increasing V order.
+	Entries []Entry
+}
+
+const (
+	// minBlock floors the buffer size so tiny ε targets still amortize the
+	// sort; maxBlock caps it near 256 KiB of entries (8 KiB · 32 B) so the
+	// working set of a flush stays L2-resident.
+	minBlock = 64
+	maxBlock = 1 << 13
+
+	// defaultMaxLevels is the default compression horizon L: the cascade
+	// compresses through the first L levels (covering about b·2^(L-1)
+	// items) and merges without compressing beyond it.
+	defaultMaxLevels = 16
+)
+
+// Summary is a multi-level quantile summary over float64 items. It is a
+// first-class family: it implements the repository's Summary, Mergeable,
+// Epsiloned, and WeightedUpdater interfaces. Like the other families it is
+// not safe for concurrent use; wrap it in internal/sharded for that.
+type Summary struct {
+	epsTarget float64
+	b         int // block size: buffer capacity and per-level entry bound (≤ b+1)
+	maxLevels int // compression horizon L
+	n         int64
+
+	buf  []float64       // unit-weight buffered items, unordered until flush
+	wbuf []WeightedValue // weighted buffered items, unordered until flush
+
+	levels []levelSummary
+
+	// flush scratch, reused so the steady-state flush path allocates nothing
+	carry  []Entry
+	merged []Entry
+
+	// cached merged view of levels+buffer for the read path
+	view        []Entry
+	viewScratch []Entry
+	viewEps     float64
+	viewValid   bool
+}
+
+type levelSummary struct {
+	eps     float64
+	entries []Entry
+}
+
+// Option configures a Summary at construction.
+type Option func(*options)
+
+type options struct {
+	blockSize int
+	maxLevels int
+}
+
+// WithBlockSize overrides the derived buffer/level size b. Shrinking b below
+// ⌈L/ε⌉ weakens the ε guarantee to L/b; tests use small blocks to exercise
+// deep cascades cheaply.
+func WithBlockSize(b int) Option {
+	return func(o *options) { o.blockSize = b }
+}
+
+// WithMaxLevels overrides the compression horizon L (default 16).
+func WithMaxLevels(l int) Option {
+	return func(o *options) { o.maxLevels = l }
+}
+
+// NewFloat64 returns a multi-level summary with rank error at most eps·W
+// within the compression horizon. It panics when eps is outside (0, 1),
+// matching the other families' constructors.
+func NewFloat64(eps float64, opts ...Option) *Summary {
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("mlq: epsilon %v out of range (0,1)", eps))
+	}
+	o := options{maxLevels: defaultMaxLevels}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.maxLevels < 2 {
+		o.maxLevels = 2
+	}
+	b := o.blockSize
+	if b == 0 {
+		// b = ⌈L/ε⌉ makes the horizon's worst case L/b ≤ ε. When that
+		// exceeds the L2 cap, shrink the horizon instead of the guarantee:
+		// fewer compressed levels, same ε, earlier switch to merge-only.
+		b = int(math.Ceil(float64(o.maxLevels) / eps))
+		if b > maxBlock {
+			if l := int(eps * float64(maxBlock)); l >= 2 {
+				b = maxBlock
+				o.maxLevels = l
+			} else {
+				// ε so small that even a two-level horizon overflows the
+				// cache target: keep correctness, give up residency.
+				o.maxLevels = 2
+				b = int(math.Ceil(2 / eps))
+			}
+		}
+	}
+	if b < minBlock {
+		b = minBlock
+	}
+	return &Summary{
+		epsTarget: eps,
+		b:         b,
+		maxLevels: o.maxLevels,
+		buf:       make([]float64, 0, b),
+	}
+}
+
+// Epsilon returns the effective accuracy target: the construction-time ε,
+// raised if a Prune weakened a level beyond it.
+func (s *Summary) Epsilon() float64 {
+	eps := s.epsTarget
+	for i := range s.levels {
+		if len(s.levels[i].entries) > 0 && s.levels[i].eps > eps {
+			eps = s.levels[i].eps
+		}
+	}
+	return eps
+}
+
+// BlockSize returns the buffer capacity / per-level entry bound b.
+func (s *Summary) BlockSize() int { return s.b }
+
+// MaxLevels returns the compression horizon L.
+func (s *Summary) MaxLevels() int { return s.maxLevels }
+
+// Count returns the total weight ingested (the number of items for
+// unit-weight streams).
+func (s *Summary) Count() int { return int(s.n) }
+
+// Update processes the next stream item.
+func (s *Summary) Update(x float64) {
+	s.buf = append(s.buf, x)
+	s.n++
+	s.viewValid = false
+	if len(s.buf)+len(s.wbuf) >= s.b {
+		s.flush()
+	}
+}
+
+// UpdateBatch processes a batch of items, filling the block buffer in bulk
+// so the per-item cost is an append plus an amortized share of the sorted
+// flush.
+func (s *Summary) UpdateBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	s.viewValid = false
+	for len(xs) > 0 {
+		free := s.b - len(s.buf) - len(s.wbuf)
+		if free <= 0 {
+			s.flush()
+			continue
+		}
+		take := min(free, len(xs))
+		s.buf = append(s.buf, xs[:take]...)
+		s.n += int64(take)
+		xs = xs[take:]
+		if len(s.buf)+len(s.wbuf) >= s.b {
+			s.flush()
+		}
+	}
+}
+
+// WeightedUpdate processes one item carrying weight w. It panics when
+// w ≤ 0, matching the WeightedUpdater contract.
+func (s *Summary) WeightedUpdate(x float64, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("mlq: weight %d is not positive", w))
+	}
+	if w == 1 {
+		s.Update(x)
+		return
+	}
+	s.wbuf = append(s.wbuf, WeightedValue{V: x, W: w})
+	s.n += w
+	s.viewValid = false
+	if len(s.buf)+len(s.wbuf) >= s.b {
+		s.flush()
+	}
+}
+
+// WeightedUpdateBatch processes parallel item and weight slices. It panics
+// when the lengths differ or any weight is ≤ 0.
+func (s *Summary) WeightedUpdateBatch(xs []float64, ws []int64) {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("mlq: %d items with %d weights", len(xs), len(ws)))
+	}
+	for i, x := range xs {
+		s.WeightedUpdate(x, ws[i])
+	}
+}
+
+// flush folds the buffered items into the level cascade. It is the only hot
+// mutation path and allocates nothing once every scratch slice and touched
+// level has reached steady-state capacity.
+func (s *Summary) flush() {
+	if len(s.buf) == 0 && len(s.wbuf) == 0 {
+		return
+	}
+	slices.Sort(s.buf)
+	sortWeighted(s.wbuf)
+	s.carry = buildExact(s.carry[:0], s.buf, s.wbuf)
+	s.buf = s.buf[:0]
+	s.wbuf = s.wbuf[:0]
+	s.cascade(0, 0)
+	s.viewValid = false
+}
+
+// cascade carries s.carry (a summary with accumulated error eps) into the
+// level chain starting at level l, performing binary-counter addition:
+// MERGE with each occupied level (error = max), COMPRESS to b+1 entries
+// (error += 1/b) and continue, until an empty level adopts the carry. At the
+// horizon the top level absorbs the carry by merge alone.
+func (s *Summary) cascade(l int, eps float64) {
+	for {
+		for l >= len(s.levels) {
+			s.levels = append(s.levels, levelSummary{})
+		}
+		lv := &s.levels[l]
+		if len(lv.entries) == 0 {
+			lv.entries = append(lv.entries[:0], s.carry...)
+			lv.eps = eps
+			return
+		}
+		s.merged = mergeEntries(s.merged[:0], lv.entries, s.carry)
+		eps = math.Max(eps, lv.eps)
+		if l == s.maxLevels-1 {
+			// Past the horizon: keep the merged summary here without
+			// compressing. ε is preserved; space may exceed b+1.
+			lv.entries = append(lv.entries[:0], s.merged...)
+			lv.eps = eps
+			return
+		}
+		lv.entries = lv.entries[:0]
+		lv.eps = 0
+		if len(s.merged) > s.b+1 {
+			s.carry = compress(s.carry[:0], s.merged, s.b)
+			eps += 1 / float64(s.b)
+		} else {
+			s.carry = append(s.carry[:0], s.merged...)
+		}
+		l++
+	}
+}
+
+// sortWeighted sorts the weighted buffer by value without allocating.
+func sortWeighted(ws []WeightedValue) {
+	slices.SortFunc(ws, func(a, b WeightedValue) int {
+		switch {
+		case a.V < b.V:
+			return -1
+		case a.V > b.V:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// buildExact merges the sorted unit buffer and sorted weighted buffer into
+// an exact summary in dst: equal values coalesce into one entry, and every
+// entry has Rmin = weight strictly below it, Rmax = Rmin + W.
+func buildExact(dst []Entry, buf []float64, wbuf []WeightedValue) []Entry {
+	var cum int64
+	i, j := 0, 0
+	for i < len(buf) || j < len(wbuf) {
+		var v float64
+		if j >= len(wbuf) || (i < len(buf) && buf[i] <= wbuf[j].V) {
+			v = buf[i]
+		} else {
+			v = wbuf[j].V
+		}
+		var w int64
+		for i < len(buf) && buf[i] == v {
+			w++
+			i++
+		}
+		for j < len(wbuf) && wbuf[j].V == v {
+			w += wbuf[j].W
+			j++
+		}
+		dst = append(dst, Entry{V: v, W: w, Rmin: cum, Rmax: cum + w})
+		cum += w
+	}
+	return dst
+}
+
+// totalWeight returns the total weight a summary covers; by construction
+// the last entry's Rmax is exact.
+func totalWeight(es []Entry) int64 {
+	if len(es) == 0 {
+		return 0
+	}
+	return es[len(es)-1].Rmax
+}
+
+// mergeEntries is MERGE: the two-pointer combination of two summaries whose
+// rank bounds add. An x-entry at value v gains from y a lower bound of its
+// predecessor's Rmin+W (all of the predecessor's items are < v) and an upper
+// bound of its successor's Rmax−W (the successor's own items are > v); equal
+// values coalesce with both bound pairs summing. No error is introduced, so
+// the merged summary's ε is the max of the inputs'.
+func mergeEntries(dst, x, y []Entry) []Entry {
+	wx, wy := totalWeight(x), totalWeight(y)
+	i, j := 0, 0
+	for i < len(x) || j < len(y) {
+		switch {
+		case j >= len(y) || (i < len(x) && x[i].V < y[j].V):
+			e := x[i]
+			var lo int64
+			hi := wy
+			if j > 0 {
+				lo = y[j-1].Rmin + y[j-1].W
+			}
+			if j < len(y) {
+				hi = y[j].Rmax - y[j].W
+			}
+			e.Rmin += lo
+			e.Rmax += hi
+			dst = append(dst, e)
+			i++
+		case i >= len(x) || y[j].V < x[i].V:
+			e := y[j]
+			var lo int64
+			hi := wx
+			if i > 0 {
+				lo = x[i-1].Rmin + x[i-1].W
+			}
+			if i < len(x) {
+				hi = x[i].Rmax - x[i].W
+			}
+			e.Rmin += lo
+			e.Rmax += hi
+			dst = append(dst, e)
+			j++
+		default:
+			dst = append(dst, Entry{
+				V:    x[i].V,
+				W:    x[i].W + y[j].W,
+				Rmin: x[i].Rmin + y[j].Rmin,
+				Rmax: x[i].Rmax + y[j].Rmax,
+			})
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// compress is COMPRESS: keep at most b+1 entries of src, chosen as in
+// gk.Prune — for each target rank k·W/b keep the entry whose rank-interval
+// midpoint is nearest (midpoints are non-decreasing, so a single forward
+// pass suffices), and always keep the first and last entries so the true
+// extremes survive. Surviving entries keep their bounds unchanged; the
+// summary's error grows by at most 1/b.
+func compress(dst, src []Entry, b int) []Entry {
+	if len(src) <= b+1 {
+		return append(dst, src...)
+	}
+	w := float64(totalWeight(src))
+	last := len(src) - 1
+	dst = append(dst, src[0])
+	idx, prev := 0, 0
+	for k := 1; k < b; k++ {
+		t := float64(k) * w / float64(b)
+		for idx+1 < last && midDist(src[idx+1], t) <= midDist(src[idx], t) {
+			idx++
+		}
+		if idx > prev {
+			dst = append(dst, src[idx])
+			prev = idx
+		}
+	}
+	dst = append(dst, src[last])
+	return dst
+}
+
+func midDist(e Entry, t float64) float64 {
+	return math.Abs(float64(e.Rmin+e.Rmax)/2 - t)
+}
+
+// ensureView folds the live buffer (as an exact summary) and every occupied
+// level into the cached merged view. Sorting the buffer in place is
+// physically visible but logically neutral: the buffer is an unordered
+// multiset until it flushes.
+func (s *Summary) ensureView() {
+	if s.viewValid {
+		return
+	}
+	slices.Sort(s.buf)
+	sortWeighted(s.wbuf)
+	cur := buildExact(s.view[:0], s.buf, s.wbuf)
+	alt := s.viewScratch[:0]
+	eps := 0.0
+	for i := range s.levels {
+		lv := &s.levels[i]
+		if len(lv.entries) == 0 {
+			continue
+		}
+		if lv.eps > eps {
+			eps = lv.eps
+		}
+		alt = mergeEntries(alt[:0], cur, lv.entries)
+		cur, alt = alt, cur
+	}
+	s.view, s.viewScratch = cur, alt
+	s.viewEps = eps
+	s.viewValid = true
+}
+
+// Query returns an approximate ϕ-quantile: the retained item whose rank
+// interval is closest to the target rank ⌊ϕN⌋ (clamped to [1, N]), the same
+// convention as the other families. The boolean is false when empty.
+func (s *Summary) Query(phi float64) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	s.ensureView()
+	t := int64(math.Floor(phi * float64(s.n)))
+	if t < 1 {
+		t = 1
+	}
+	if t > s.n {
+		t = s.n
+	}
+	view := s.view
+	// An entry's W equal-valued items occupy a contiguous run of true ranks
+	// somewhere inside (Rmin, Rmax]; answering it for target t is off by at
+	// most the distance from t to the worst-case placement of that run. The
+	// entry's own weight is not uncertainty — a heavy run answers every
+	// target inside it exactly — so the bound subtracts W from both sides.
+	best, bestErr := 0, int64(math.MaxInt64)
+	for i := range view {
+		e := &view[i]
+		if e.Rmin+1-t >= bestErr {
+			// Rmin is non-decreasing and errBound ≥ Rmin+1−t from here on.
+			break
+		}
+		err := max64(t-(e.Rmin+e.W), (e.Rmax-e.W+1)-t)
+		if err < 0 {
+			err = 0
+		}
+		if err < bestErr {
+			best, bestErr = i, err
+		}
+	}
+	return view[best].V, true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EstimateRank estimates the total weight of stream items ≤ q as the
+// midpoint of the merged view's bounds around q.
+func (s *Summary) EstimateRank(q float64) int {
+	if s.n == 0 {
+		return 0
+	}
+	s.ensureView()
+	view := s.view
+	// e = last entry with V ≤ q, f = first entry with V > q.
+	f := sort.Search(len(view), func(i int) bool { return view[i].V > q })
+	var lo, hi int64
+	hi = s.n
+	if f > 0 {
+		lo = view[f-1].Rmin + view[f-1].W
+	}
+	if f < len(view) {
+		hi = view[f].Rmax - view[f].W
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return int((lo + hi + 1) / 2)
+}
+
+// StoredItems returns every retained item — buffered values plus every
+// level's entries — in non-decreasing order. The slice is owned by the
+// caller.
+func (s *Summary) StoredItems() []float64 {
+	out := make([]float64, 0, s.StoredCount())
+	out = append(out, s.buf...)
+	for _, p := range s.wbuf {
+		out = append(out, p.V)
+	}
+	for i := range s.levels {
+		for _, e := range s.levels[i].entries {
+			out = append(out, e.V)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// StoredCount returns the number of retained items without materializing
+// them.
+func (s *Summary) StoredCount() int {
+	c := len(s.buf) + len(s.wbuf)
+	for i := range s.levels {
+		c += len(s.levels[i].entries)
+	}
+	return c
+}
+
+// Merge is COMBINE: it folds other into s without modifying other. Both
+// buffers flush, then other's level summaries carry into s's cascade level
+// by level, so the result's error is the max of the inputs' plus any
+// compressions the carries trigger. Summaries must agree on the block size
+// b, like KLL summaries must agree on k.
+func (s *Summary) Merge(other *Summary) error {
+	if other == nil || other.n == 0 {
+		// An empty source merges into anything of its own family, mirroring
+		// the other families' Merge implementations (and CheckMergeable).
+		return nil
+	}
+	if other == s {
+		return fmt.Errorf("mlq: cannot merge a summary into itself")
+	}
+	if other.b != s.b {
+		return fmt.Errorf("mlq: cannot merge block size %d into %d", other.b, s.b)
+	}
+	s.flush()
+	// Ingest other's buffered items through the normal buffered path.
+	for _, v := range other.buf {
+		s.Update(v)
+	}
+	for _, p := range other.wbuf {
+		s.WeightedUpdate(p.V, p.W)
+	}
+	s.flush()
+	for l := range other.levels {
+		lv := &other.levels[l]
+		if len(lv.entries) == 0 {
+			continue
+		}
+		s.carry = append(s.carry[:0], lv.entries...)
+		start := l
+		if start > s.maxLevels-1 {
+			start = s.maxLevels - 1
+		}
+		s.cascade(start, lv.eps)
+		s.n += totalWeight(lv.entries)
+	}
+	// Materialize the merged view before returning: a freshly merged summary
+	// is the read path of snapshot fan-in (sharded, cluster), where multiple
+	// goroutines query the result concurrently. Leaving the view valid makes
+	// Query/EstimateRank pure reads until the next update.
+	s.viewValid = false
+	s.ensureView()
+	return nil
+}
+
+// Prune flattens the cascade into a single summary of at most k+1 entries,
+// adding at most 1/k rank error on top of the current maximum level error.
+// It mirrors gk.Prune: a one-shot space/accuracy trade for snapshots.
+func (s *Summary) Prune(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("mlq: prune size %d is not positive", k))
+	}
+	s.flush()
+	s.ensureView()
+	eps := s.viewEps
+	flat := append([]Entry(nil), s.view...)
+	if len(flat) > k+1 {
+		flat = compress(make([]Entry, 0, k+1), flat, k)
+		eps += 1 / float64(k)
+	}
+	for i := range s.levels {
+		s.levels[i].entries = s.levels[i].entries[:0]
+		s.levels[i].eps = 0
+	}
+	if len(s.levels) == 0 {
+		s.levels = append(s.levels, levelSummary{})
+	}
+	s.levels[0].entries = append(s.levels[0].entries[:0], flat...)
+	s.levels[0].eps = eps
+	if eps > s.epsTarget {
+		s.epsTarget = eps
+	}
+	s.viewValid = false
+}
+
+// Buffered returns the buffered, not-yet-flushed items with their weights,
+// for the encoding layer. Unit items carry W=1.
+func (s *Summary) Buffered() []WeightedValue {
+	out := make([]WeightedValue, 0, len(s.buf)+len(s.wbuf))
+	for _, v := range s.buf {
+		out = append(out, WeightedValue{V: v, W: 1})
+	}
+	out = append(out, s.wbuf...)
+	return out
+}
+
+// Levels returns a snapshot of every cascade level (including empty ones up
+// to the deepest ever occupied), for the encoding layer.
+func (s *Summary) Levels() []LevelState {
+	out := make([]LevelState, len(s.levels))
+	for i := range s.levels {
+		out[i] = LevelState{
+			Eps:     s.levels[i].eps,
+			Entries: append([]Entry(nil), s.levels[i].entries...),
+		}
+	}
+	return out
+}
+
+// CheckInvariant verifies the structural invariants of every level: entries
+// strictly increasing in V, rank bounds non-decreasing and consistent
+// (Rmin₀ = 0, Rmax−Rmin ≥ W ≥ 1, last Rmax = level weight), and total
+// weight conservation across levels plus the buffer. It returns nil when
+// the summary is consistent.
+func (s *Summary) CheckInvariant() error {
+	total := int64(len(s.buf))
+	for _, p := range s.wbuf {
+		if p.W <= 0 {
+			return fmt.Errorf("mlq: buffered weight %d is not positive", p.W)
+		}
+		total += p.W
+	}
+	for l := range s.levels {
+		lv := &s.levels[l]
+		if len(lv.entries) == 0 {
+			continue
+		}
+		if lv.eps < 0 || math.IsNaN(lv.eps) || math.IsInf(lv.eps, 0) {
+			return fmt.Errorf("mlq: level %d has invalid eps %v", l, lv.eps)
+		}
+		if lv.entries[0].Rmin != 0 {
+			return fmt.Errorf("mlq: level %d first Rmin = %d, want 0", l, lv.entries[0].Rmin)
+		}
+		for i, e := range lv.entries {
+			if e.W < 1 {
+				return fmt.Errorf("mlq: level %d entry %d weight %d < 1", l, i, e.W)
+			}
+			if e.Rmax-e.Rmin < e.W {
+				return fmt.Errorf("mlq: level %d entry %d bounds [%d,%d] narrower than weight %d", l, i, e.Rmin, e.Rmax, e.W)
+			}
+			if i > 0 {
+				prev := lv.entries[i-1]
+				if !(prev.V < e.V) {
+					return fmt.Errorf("mlq: level %d entries %d,%d not strictly increasing (%v, %v)", l, i-1, i, prev.V, e.V)
+				}
+				if e.Rmin < prev.Rmin || e.Rmax < prev.Rmax {
+					return fmt.Errorf("mlq: level %d rank bounds decrease at entry %d", l, i)
+				}
+			}
+		}
+		total += totalWeight(lv.entries)
+	}
+	if total != s.n {
+		return fmt.Errorf("mlq: retained weight %d does not conserve count %d", total, s.n)
+	}
+	return nil
+}
+
+// Restore rebuilds a summary from decoded state, validating it the way the
+// other families' Restore functions do: it rejects out-of-range parameters,
+// unsorted or inconsistent levels, and weight totals that do not conserve.
+func Restore(eps float64, b, maxLevels int, buffered []WeightedValue, levels []LevelState) (*Summary, error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("mlq: restore epsilon %v out of range (0,1)", eps)
+	}
+	if b < 2 || b > 1<<26 {
+		return nil, fmt.Errorf("mlq: restore block size %d out of range", b)
+	}
+	if maxLevels < 2 || maxLevels > 64 {
+		return nil, fmt.Errorf("mlq: restore horizon %d out of range [2,64]", maxLevels)
+	}
+	if len(levels) > 64 {
+		return nil, fmt.Errorf("mlq: restore has %d levels, cap is 64", len(levels))
+	}
+	if len(buffered) > b {
+		return nil, fmt.Errorf("mlq: restore buffer holds %d items, capacity is %d", len(buffered), b)
+	}
+	s := &Summary{
+		epsTarget: eps,
+		b:         b,
+		maxLevels: maxLevels,
+		buf:       make([]float64, 0, b),
+	}
+	for _, p := range buffered {
+		if p.W <= 0 {
+			return nil, fmt.Errorf("mlq: restore buffered weight %d is not positive", p.W)
+		}
+		if p.W == 1 {
+			s.buf = append(s.buf, p.V)
+		} else {
+			s.wbuf = append(s.wbuf, p)
+		}
+		s.n += p.W
+	}
+	for l, lv := range levels {
+		if len(lv.Entries) == 0 {
+			s.levels = append(s.levels, levelSummary{})
+			continue
+		}
+		// Below the horizon a level never exceeds b+1 entries; only the top
+		// level may grow past it (merge-only regime). Reject anything else.
+		if l < maxLevels-1 && len(lv.Entries) > b+1 {
+			return nil, fmt.Errorf("mlq: restore level %d holds %d entries, cap is %d", l, len(lv.Entries), b+1)
+		}
+		s.levels = append(s.levels, levelSummary{
+			eps:     lv.Eps,
+			entries: append([]Entry(nil), lv.Entries...),
+		})
+		s.n += totalWeight(lv.Entries)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,349 @@
+package mlq_test
+
+// Property tests for the multi-level summary's core invariants, run across
+// the full workload matrix including the paper's adversarial stream: after
+// every flush each level holds at most b+1 entries and its accumulated eps
+// stays within the construction target, and rank answers stay within eps·n
+// of the exact oracle. The cross-family accuracy matrix in internal/checker
+// gates mlq alongside the other families; these tests pin the
+// family-specific contracts (cascade shape, batch/update equivalence,
+// merge, prune, restore round-trips).
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/bench"
+	"quantilelb/internal/mlq"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+)
+
+const (
+	testN   = 30_000
+	testEps = 0.02
+)
+
+// matrixWorkloads returns the six generator streams plus the paper's
+// adversarial lower-bound stream, the same matrix the checker suite uses.
+func matrixWorkloads(t testing.TB) []bench.Workload {
+	t.Helper()
+	gen := stream.NewGenerator(7)
+	var out []bench.Workload
+	for _, name := range []string{"sorted", "reverse", "shuffled", "zipf", "duplicates", "drift"} {
+		st, err := gen.ByName(name, testN)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out = append(out, bench.Workload{Name: st.Name(), Items: st.Items()})
+	}
+	adv, err := bench.AdversarialWorkload(testN)
+	if err != nil {
+		t.Fatalf("adversarial workload: %v", err)
+	}
+	out = append(out, adv)
+	return out
+}
+
+// assertLevels checks the per-level structural properties the design
+// guarantees below the horizon: at most b+1 entries per level and
+// accumulated eps within the target.
+func assertLevels(t *testing.T, s *mlq.Summary, epsTarget float64) {
+	t.Helper()
+	for l, lv := range s.Levels() {
+		if len(lv.Entries) > s.BlockSize()+1 {
+			t.Fatalf("level %d holds %d entries, cap is b+1 = %d", l, len(lv.Entries), s.BlockSize()+1)
+		}
+		if lv.Eps > epsTarget+1e-12 {
+			t.Fatalf("level %d accumulated eps %v exceeds target %v", l, lv.Eps, epsTarget)
+		}
+	}
+}
+
+// TestInvariantsAfterEveryFlush ingests every workload item by item and
+// verifies the flush invariants each time the buffer drains, plus the full
+// structural invariant periodically and at the end.
+func TestInvariantsAfterEveryFlush(t *testing.T) {
+	for _, w := range matrixWorkloads(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			s := mlq.NewFloat64(testEps)
+			buffered := 0
+			for i, x := range w.Items {
+				s.Update(x)
+				buffered++
+				if buffered == s.BlockSize() { // a flush just happened
+					buffered = 0
+					assertLevels(t, s, testEps)
+				}
+				if (i+1)%5000 == 0 {
+					if err := s.CheckInvariant(); err != nil {
+						t.Fatalf("after %d items: %v", i+1, err)
+					}
+				}
+			}
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("final invariant: %v", err)
+			}
+			assertLevels(t, s, testEps)
+			if s.Count() != len(w.Items) {
+				t.Fatalf("Count = %d, want %d", s.Count(), len(w.Items))
+			}
+		})
+	}
+}
+
+// TestRankAccuracyAcrossWorkloads gates the end-to-end guarantee: on every
+// workload, every grid quantile's answer is within eps·n ranks of exact.
+func TestRankAccuracyAcrossWorkloads(t *testing.T) {
+	const grid = 200
+	for _, w := range matrixWorkloads(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			s := mlq.NewFloat64(testEps)
+			s.UpdateBatch(w.Items)
+			oracle := rank.Float64Oracle(w.Items)
+			bound := int(testEps * float64(len(w.Items)))
+			worst := 0
+			for g := 0; g <= grid; g++ {
+				phi := float64(g) / grid
+				got, ok := s.Query(phi)
+				if !ok {
+					t.Fatalf("Query(%v) empty on %d items", phi, s.Count())
+				}
+				if err := oracle.RankError(got, phi); err > worst {
+					worst = err
+				}
+			}
+			if worst > bound {
+				t.Fatalf("worst rank error %d exceeds eps·n = %d", worst, bound)
+			}
+		})
+	}
+}
+
+// TestEstimateRankAccuracy checks the Estimating Rank surface: estimates of
+// arbitrary query points stay within eps·n of the true ≤-count.
+func TestEstimateRankAccuracy(t *testing.T) {
+	for _, w := range matrixWorkloads(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			s := mlq.NewFloat64(testEps)
+			s.UpdateBatch(w.Items)
+			oracle := rank.Float64Oracle(w.Items)
+			bound := int(testEps*float64(len(w.Items))) + 1
+			for _, q := range oracle.EvenlySpacedQuantiles(101) {
+				got := s.EstimateRank(q)
+				want := oracle.RankLE(q)
+				if d := got - want; d > bound || d < -bound {
+					t.Fatalf("EstimateRank(%v) = %d, want %d ± %d", q, got, want, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSequential pins determinism: feeding a stream through
+// UpdateBatch produces exactly the answers of item-by-item Update.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, w := range matrixWorkloads(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			one := mlq.NewFloat64(testEps)
+			two := mlq.NewFloat64(testEps)
+			for _, x := range w.Items {
+				one.Update(x)
+			}
+			// Uneven chunks so batch boundaries cross flush boundaries.
+			items := w.Items
+			for len(items) > 0 {
+				n := min(777, len(items))
+				two.UpdateBatch(items[:n])
+				items = items[n:]
+			}
+			if one.Count() != two.Count() || one.StoredCount() != two.StoredCount() {
+				t.Fatalf("count/stored diverge: (%d,%d) vs (%d,%d)",
+					one.Count(), one.StoredCount(), two.Count(), two.StoredCount())
+			}
+			for g := 0; g <= 100; g++ {
+				phi := float64(g) / 100
+				a, _ := one.Query(phi)
+				b, _ := two.Query(phi)
+				if a != b {
+					t.Fatalf("Query(%v): update path %v, batch path %v", phi, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestDeepCascade uses a deliberately tiny block so the stream drives the
+// cascade through many levels (and past a small horizon), checking that the
+// structure stays consistent and the error tracks the level-depth bound
+// l/b rather than diverging.
+func TestDeepCascade(t *testing.T) {
+	const b, levels = 64, 6
+	s := mlq.NewFloat64(0.1, mlq.WithBlockSize(b), mlq.WithMaxLevels(levels))
+	gen := stream.NewGenerator(11)
+	items := gen.Shuffled(testN).Items()
+	s.UpdateBatch(items)
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for l, lv := range s.Levels() {
+		if l < levels-1 && len(lv.Entries) > b+1 {
+			t.Fatalf("level %d holds %d entries, cap is %d", l, len(lv.Entries), b+1)
+		}
+	}
+	// Past the horizon the guarantee is maxLevels/b plus the exact buffer.
+	bound := int(math.Ceil(float64(levels) / float64(b) * float64(len(items))))
+	oracle := rank.Float64Oracle(items)
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, _ := s.Query(phi)
+		if err := oracle.RankError(got, phi); err > bound {
+			t.Fatalf("deep cascade rank error %d at phi=%v exceeds %d", err, phi, bound)
+		}
+	}
+}
+
+// TestMerge splits every workload across three summaries, COMBINEs them and
+// asserts the merged answers still meet eps·n, the mergeability property of
+// Section 1.2.
+func TestMerge(t *testing.T) {
+	for _, w := range matrixWorkloads(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			parts := []*mlq.Summary{
+				mlq.NewFloat64(testEps), mlq.NewFloat64(testEps), mlq.NewFloat64(testEps),
+			}
+			for i, x := range w.Items {
+				parts[i%3].Update(x)
+			}
+			total := parts[0]
+			for _, p := range parts[1:] {
+				if err := total.Merge(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if total.Count() != len(w.Items) {
+				t.Fatalf("merged Count = %d, want %d", total.Count(), len(w.Items))
+			}
+			if err := total.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			oracle := rank.Float64Oracle(w.Items)
+			bound := int(testEps * float64(len(w.Items)))
+			for g := 0; g <= 100; g++ {
+				phi := float64(g) / 100
+				got, _ := total.Query(phi)
+				if err := oracle.RankError(got, phi); err > bound {
+					t.Fatalf("merged rank error %d at phi=%v exceeds %d", err, phi, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRejectsMismatchedBlocks mirrors the KLL k-compatibility rule.
+func TestMergeRejectsMismatchedBlocks(t *testing.T) {
+	a := mlq.NewFloat64(testEps)
+	b := mlq.NewFloat64(testEps, mlq.WithBlockSize(a.BlockSize()*2))
+	// An empty source merges regardless of parameters, like the other
+	// families; a non-empty mismatched source must be rejected.
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging an empty mismatched source errored: %v", err)
+	}
+	b.Update(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched block sizes did not error")
+	}
+	a.Update(2)
+	if err := a.Merge(a); err == nil {
+		t.Fatal("merging a summary into itself did not error")
+	}
+}
+
+// TestPrune flattens the cascade to k+1 entries and checks both the size and
+// the documented eps + 1/k degradation.
+func TestPrune(t *testing.T) {
+	const k = 100
+	gen := stream.NewGenerator(13)
+	items := gen.Shuffled(testN).Items()
+	s := mlq.NewFloat64(testEps)
+	s.UpdateBatch(items)
+	s.Prune(k)
+	if got := s.StoredCount(); got > k+1 {
+		t.Fatalf("StoredCount after Prune(%d) = %d, want ≤ %d", k, got, k+1)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := rank.Float64Oracle(items)
+	bound := int((testEps + 1.0/k) * float64(len(items)))
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		got, _ := s.Query(phi)
+		if err := oracle.RankError(got, phi); err > bound {
+			t.Fatalf("pruned rank error %d at phi=%v exceeds %d", err, phi, bound)
+		}
+	}
+	// Updates after a prune keep working.
+	s.UpdateBatch(items[:5000])
+	if s.Count() != len(items)+5000 {
+		t.Fatalf("Count after post-prune updates = %d", s.Count())
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoredItemsSorted checks the Inspectable contract: the retained item
+// array comes back in non-decreasing order with StoredCount agreeing.
+func TestStoredItemsSorted(t *testing.T) {
+	s := mlq.NewFloat64(testEps)
+	gen := stream.NewGenerator(17)
+	s.UpdateBatch(gen.Shuffled(testN).Items())
+	items := s.StoredItems()
+	if len(items) != s.StoredCount() {
+		t.Fatalf("len(StoredItems) = %d, StoredCount = %d", len(items), s.StoredCount())
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i] < items[i-1] {
+			t.Fatalf("StoredItems not sorted at %d", i)
+		}
+	}
+}
+
+// TestSpaceWithinBound sanity-checks the space claim: retained entries stay
+// within a constant multiple of (1/eps)·log²(eps·n).
+func TestSpaceWithinBound(t *testing.T) {
+	s := mlq.NewFloat64(testEps)
+	gen := stream.NewGenerator(19)
+	n := 200_000
+	s.UpdateBatch(gen.Shuffled(n).Items())
+	lg := math.Log2(testEps * float64(n))
+	bound := int(4.0 / testEps * lg * lg)
+	if got := s.StoredCount(); got > bound {
+		t.Fatalf("StoredCount = %d exceeds O((1/eps)·log²(eps·n)) bound %d", got, bound)
+	}
+}
+
+// TestConstructorValidation pins the constructor and update contracts.
+func TestConstructorValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFloat64(%v) did not panic", eps)
+				}
+			}()
+			mlq.NewFloat64(eps)
+		}()
+	}
+	s := mlq.NewFloat64(0.5)
+	if s.BlockSize() < 2 {
+		t.Fatalf("BlockSize = %d", s.BlockSize())
+	}
+	if _, ok := s.Query(0.5); ok {
+		t.Fatal("empty summary answered a query")
+	}
+	if got := s.EstimateRank(1); got != 0 {
+		t.Fatalf("empty EstimateRank = %d", got)
+	}
+}

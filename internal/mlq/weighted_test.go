@@ -1,0 +1,179 @@
+package mlq_test
+
+// Weighted-ingestion contract tests: native WeightedUpdate answers agree
+// with the weight-expanded multiset within eps·W across the workload matrix
+// and weight patterns, Count reports total weight, and non-positive weights
+// panic. The cross-family weighted differential in internal/checker gates
+// the same guarantee against the shared weighted oracle.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"quantilelb/internal/mlq"
+)
+
+const (
+	wN   = 12_000
+	wEps = 0.02
+)
+
+// weightPattern draws a weight for item index i, mirroring the checker's
+// weighted patterns.
+type weightPattern struct {
+	name string
+	draw func(r *rand.Rand, i int) int64
+}
+
+func weightPatterns() []weightPattern {
+	return []weightPattern{
+		{"unit", func(*rand.Rand, int) int64 { return 1 }},
+		{"uniform", func(r *rand.Rand, _ int) int64 { return 1 + r.Int63n(64) }},
+		{"skewed", func(r *rand.Rand, _ int) int64 { return 1 << r.Int63n(10) }},
+		{"heavy-hitter", func(r *rand.Rand, i int) int64 {
+			if i%500 == 0 {
+				return 10_000
+			}
+			return 1
+		}},
+	}
+}
+
+// weightedRankError returns the distance from the target rank t to the run
+// of weighted ranks occupied by v in the (v, w) multiset.
+func weightedRankError(vs []float64, ws []int64, v float64, t int64) int64 {
+	type pair struct {
+		v float64
+		w int64
+	}
+	ps := make([]pair, len(vs))
+	for i := range vs {
+		ps[i] = pair{vs[i], ws[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	var less, le int64
+	seen := false
+	for _, p := range ps {
+		if p.v < v {
+			less += p.w
+		}
+		if p.v <= v {
+			le += p.w
+		}
+		if p.v == v {
+			seen = true
+		}
+	}
+	if !seen {
+		return int64(1) << 62 // not a stream item: effectively infinite error
+	}
+	lo, hi := less+1, le
+	switch {
+	case t < lo:
+		return lo - t
+	case t > hi:
+		return t - hi
+	default:
+		return 0
+	}
+}
+
+// TestWeightedAccuracy drives every workload through every weight pattern
+// and asserts rank answers within eps·W of the weight-expanded truth.
+func TestWeightedAccuracy(t *testing.T) {
+	for _, w := range matrixWorkloads(t) {
+		items := w.Items[:min(len(w.Items), wN)]
+		for _, pat := range weightPatterns() {
+			t.Run(w.Name+"/"+pat.name, func(t *testing.T) {
+				r := rand.New(rand.NewSource(99))
+				ws := make([]int64, len(items))
+				var total int64
+				for i := range items {
+					ws[i] = pat.draw(r, i)
+					total += ws[i]
+				}
+				s := mlq.NewFloat64(wEps)
+				s.WeightedUpdateBatch(items, ws)
+				if int64(s.Count()) != total {
+					t.Fatalf("Count = %d, want total weight %d", s.Count(), total)
+				}
+				if err := s.CheckInvariant(); err != nil {
+					t.Fatal(err)
+				}
+				bound := int64(wEps * float64(total))
+				for g := 0; g <= 100; g++ {
+					phi := float64(g) / 100
+					got, ok := s.Query(phi)
+					if !ok {
+						t.Fatal("empty answer")
+					}
+					tgt := int64(phi * float64(total))
+					if tgt < 1 {
+						tgt = 1
+					}
+					if tgt > total {
+						tgt = total
+					}
+					if err := weightedRankError(items, ws, got, tgt); err > bound {
+						t.Fatalf("phi=%v: weighted rank error %d exceeds eps·W = %d", phi, err, bound)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWeightedMatchesExpanded pins the semantic equivalence directly:
+// WeightedUpdate(x, w) answers exactly like w repeated Updates for a
+// deterministic summary fed the same logical multiset in the same order.
+func TestWeightedMatchesExpanded(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	native := mlq.NewFloat64(0.05)
+	expanded := mlq.NewFloat64(0.05)
+	for i := 0; i < 2000; i++ {
+		v := r.NormFloat64()
+		w := 1 + r.Int63n(8)
+		native.WeightedUpdate(v, w)
+		for k := int64(0); k < w; k++ {
+			expanded.Update(v)
+		}
+	}
+	if native.Count() != expanded.Count() {
+		t.Fatalf("counts diverge: %d vs %d", native.Count(), expanded.Count())
+	}
+	// The two ingestion orders batch differently, so retained entries may
+	// differ; the answers must agree within the shared eps bound.
+	total := float64(native.Count())
+	for g := 0; g <= 100; g++ {
+		phi := float64(g) / 100
+		a, _ := native.Query(phi)
+		b, _ := expanded.Query(phi)
+		if d := float64(native.EstimateRank(a) - expanded.EstimateRank(b)); d > 2*0.05*total || d < -2*0.05*total {
+			t.Fatalf("phi=%v: native %v vs expanded %v rank gap %v", phi, a, b, d)
+		}
+	}
+}
+
+// TestWeightedPanics pins the WeightedUpdater error contract.
+func TestWeightedPanics(t *testing.T) {
+	s := mlq.NewFloat64(0.05)
+	for _, w := range []int64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedUpdate(x, %d) did not panic", w)
+				}
+			}()
+			s.WeightedUpdate(1, w)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched WeightedUpdateBatch lengths did not panic")
+			}
+		}()
+		s.WeightedUpdateBatch([]float64{1, 2}, []int64{1})
+	}()
+}

@@ -1,0 +1,116 @@
+package sharded
+
+// Torture coverage for the cache-resident multi-level family behind the
+// sharded wrapper: mlq's flush path mutates per-summary scratch buffers in
+// place (that is what makes its steady state allocation-free), so it must
+// only ever run under the owning shard's lock. This test hammers concurrent
+// UpdateBatch/WeightedUpdate writers against snapshot readers and is the
+// cell the CI mlq -race job exists for.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quantilelb/internal/mlq"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/summary"
+)
+
+func mlqFactory(eps float64) func() *mlq.Summary {
+	return func() *mlq.Summary { return mlq.NewFloat64(eps) }
+}
+
+// The sharded wrapper over mlq must satisfy the full summary interface.
+var _ summary.Summary[float64] = (*Sharded[float64, *mlq.Summary])(nil)
+
+// TestMLQConcurrentBatchIngestion drives many writers through the batched
+// ingest path of mlq shards while readers pull merged snapshots. Afterwards
+// the merged view must hold every item and answer within the factory eps
+// (COMBINE keeps eps_new = max over equal-eps shards). Run under -race: the
+// mutable flush scratch makes mlq the family most likely to expose a
+// locking hole in the wrapper.
+func TestMLQConcurrentBatchIngestion(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+		eps       = 0.02
+	)
+	s := New(mlqFactory(eps), 8, WithRefreshEvery(5000), WithWriteBuffer(64))
+	all := make([][]float64, writers)
+	for w := range all {
+		rng := rand.New(rand.NewSource(int64(w + 101)))
+		items := make([]float64, perWriter)
+		for i := range items {
+			items[i] = float64(w) + rng.Float64()
+		}
+		all[w] = items
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int, items []float64) {
+			defer wg.Done()
+			switch w % 3 {
+			case 0: // batched, the fast path the buffer exists for
+				for i := 0; i < len(items); i += 128 {
+					end := i + 128
+					if end > len(items) {
+						end = len(items)
+					}
+					s.UpdateBatch(items[i:end])
+				}
+			case 1: // item-at-a-time
+				for _, x := range items {
+					s.Update(x)
+				}
+			default: // weighted, through the same buffered flush machinery
+				for _, x := range items {
+					s.WeightedUpdate(x, 1)
+				}
+			}
+		}(w, all[w])
+	}
+	readDone := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readDone:
+					return
+				default:
+					s.Query(0.5)
+					s.EstimateRank(4)
+					s.CDF(2.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readDone)
+	readers.Wait()
+	s.Refresh()
+
+	n := writers * perWriter
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d (lost items under concurrency)", s.Count(), n)
+	}
+	var flat []float64
+	for _, items := range all {
+		flat = append(flat, items...)
+	}
+	oracle := rank.Float64Oracle(flat)
+	bound := eps*float64(n) + 2
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed after ingestion")
+		}
+		if err := oracle.RankError(got, phi); float64(err) > bound {
+			t.Errorf("phi=%v rank error %d exceeds eps*N=%v", phi, err, bound)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/rank"
 	"quantilelb/internal/stream"
 )
@@ -383,5 +384,57 @@ func TestKLLFactoryBatchesAndSnapshots(t *testing.T) {
 	}
 	if r.Count("k") != len(items) {
 		t.Fatalf("restored KLL count = %d", r.Count("k"))
+	}
+}
+
+// TestMLQFactoryBatchesAndSnapshots runs a per-key mlq factory through the
+// store: the batched and native weighted ingest paths must both be picked up
+// (mlq implements both optional interfaces), the deterministic eps gate
+// holds without slack, and a snapshot payload restores and keeps merging.
+func TestMLQFactoryBatchesAndSnapshots(t *testing.T) {
+	const eps = 0.02
+	s := New(Config{
+		Eps:     eps,
+		Factory: func(eps float64) Summary { return mlq.NewFloat64(eps) },
+	})
+	gen := stream.NewGenerator(6)
+	items := gen.Shuffled(30_000).Items()
+	s.UpdateBatch("k", items)
+	// Weighted writes route through mlq's native weighted buffer, not the
+	// guarded expansion: a heavy run far beyond the expansion cap must land.
+	if err := s.WeightedUpdate("w", 42.5, 1<<20); err != nil {
+		t.Fatalf("weighted update: %v", err)
+	}
+	if s.Count("w") != 1<<20 {
+		t.Fatalf("weighted count = %d, want %d", s.Count("w"), 1<<20)
+	}
+	oracle := rank.Float64Oracle(items)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, ok := s.Query("k", phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		// Deterministic family: the exact eps bound, no slack.
+		if e := oracle.RankError(got, phi); float64(e) > eps*float64(len(items))+1 {
+			t.Errorf("mlq phi %g error %d exceeds eps bound", phi, e)
+		}
+	}
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r, err := Restore(Config{Eps: eps}, payload)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Count("k") != len(items) || r.Count("w") != 1<<20 {
+		t.Fatalf("restored counts = %d/%d", r.Count("k"), r.Count("w"))
+	}
+	// A restored store keeps merging mlq payloads per key.
+	if _, err := r.MergePayload(payload); err != nil {
+		t.Fatalf("merge restored payload: %v", err)
+	}
+	if r.Count("k") != 2*len(items) {
+		t.Fatalf("count after self-merge = %d", r.Count("k"))
 	}
 }

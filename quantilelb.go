@@ -6,12 +6,13 @@
 // needs most often:
 //
 //   - streaming quantile summaries (Greenwald–Khanna and its greedy variant,
-//     MRL, KLL, reservoir sampling, biased/relative-error quantiles, and the
-//     deliberately space-capped strawman),
+//     MRL, KLL, the multi-level block-buffer summary MLQ, reservoir sampling,
+//     biased/relative-error quantiles, and the deliberately space-capped
+//     strawman),
 //   - weighted ingestion (UpdateWeighted, WeightedUpdater): pre-counted or
 //     importance-weighted observations ingest in o(w) per item on GK, KLL,
-//     MRL, and the reservoir, with rank error at most ε·W over the total
-//     weight W,
+//     MRL, MLQ, and the reservoir, with rank error at most ε·W over the
+//     total weight W,
 //   - applications built on them (equi-depth histograms, CDF estimation,
 //     Kolmogorov–Smirnov tests),
 //   - a concurrent sharded ingestion layer (NewSharded) that spreads writes
@@ -40,6 +41,7 @@ import (
 	"quantilelb/internal/histogram"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/ks"
+	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
 	"quantilelb/internal/sampling"
@@ -79,6 +81,7 @@ var (
 	_ Summary = (*biased.Summary[float64])(nil)
 	_ Summary = (*capped.Summary[float64])(nil)
 	_ Summary = (*window.Summary[float64])(nil)
+	_ Summary = (*mlq.Summary)(nil)
 	_ Summary = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 
 	// compile-time mergeability checks: every factory NewSharded accepts.
@@ -86,6 +89,7 @@ var (
 	_ summary.Mergeable[*kll.Sketch[float64]]         = (*kll.Sketch[float64])(nil)
 	_ summary.Mergeable[*mrl.Summary[float64]]        = (*mrl.Summary[float64])(nil)
 	_ summary.Mergeable[*sampling.Reservoir[float64]] = (*sampling.Reservoir[float64])(nil)
+	_ summary.Mergeable[*mlq.Summary]                 = (*mlq.Summary)(nil)
 
 	// compile-time weighted-capability checks: every mergeable family and the
 	// sharded wrapper ingest weighted items natively.
@@ -93,6 +97,7 @@ var (
 	_ WeightedUpdater = (*kll.Sketch[float64])(nil)
 	_ WeightedUpdater = (*mrl.Summary[float64])(nil)
 	_ WeightedUpdater = (*sampling.Reservoir[float64])(nil)
+	_ WeightedUpdater = (*mlq.Summary)(nil)
 	_ WeightedUpdater = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 )
 
@@ -150,6 +155,13 @@ func NewMRL(eps float64, maxN int) *mrl.Summary[float64] {
 func NewKLL(eps float64, seed int64) *kll.Sketch[float64] {
 	return kll.NewFloat64(eps, kll.WithSeed(seed))
 }
+
+// NewMLQ returns a multi-level quantile summary with accuracy eps: a
+// cache-resident block buffer in front of a MERGE/COMPRESS level cascade
+// (internal/mlq), the batch-ingestion-optimized deterministic family. Its
+// flush path is allocation-free in the steady state and its retained space
+// is O((1/ε)·log²(εN)); see DESIGN.md for the eps accounting.
+func NewMLQ(eps float64) *mlq.Summary { return mlq.NewFloat64(eps) }
 
 // NewReservoir returns a reservoir-sampling estimator sized (via the DKW
 // inequality) for accuracy eps with failure probability delta.
@@ -227,6 +239,14 @@ func KLLFactory(eps float64, seed int64) func() *kll.Sketch[float64] {
 // combined stream of at most maxN items, for use with NewSharded.
 func MRLFactory(eps float64, maxN int) func() *mrl.Summary[float64] {
 	return func() *mrl.Summary[float64] { return mrl.NewFloat64(eps, maxN) }
+}
+
+// MLQFactory returns a factory of multi-level summaries with accuracy eps,
+// for use with NewSharded. Shards produce identical deterministic summaries,
+// and sharded's Batched path feeds whole write buffers straight into the
+// block-buffer flush, so this is the highest-throughput sharded backend.
+func MLQFactory(eps float64) func() *mlq.Summary {
+	return func() *mlq.Summary { return mlq.NewFloat64(eps) }
 }
 
 // ReservoirFactory returns a factory of reservoir samplers sized for
@@ -352,6 +372,12 @@ func EncodeReservoir(s *sampling.Reservoir[float64]) ([]byte, error) {
 func DecodeReservoir(payload []byte) (*sampling.Reservoir[float64], error) {
 	return encoding.DecodeReservoir(payload)
 }
+
+// EncodeMLQ serializes a multi-level summary; DecodeMLQ reverses it.
+func EncodeMLQ(s *mlq.Summary) ([]byte, error) { return encoding.EncodeMLQ(s) }
+
+// DecodeMLQ reconstructs a multi-level summary serialized by EncodeMLQ.
+func DecodeMLQ(payload []byte) (*mlq.Summary, error) { return encoding.DecodeMLQ(payload) }
 
 // adapter lifts the public Summary interface to the internal generic one
 // (the method sets are identical).
