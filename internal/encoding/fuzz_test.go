@@ -9,6 +9,7 @@ package encoding
 // produces.
 
 import (
+	"math"
 	"testing"
 
 	"quantilelb/internal/gk"
@@ -54,8 +55,11 @@ func seedPayloads(tb testing.TB) [][]byte {
 		wresS.WeightedUpdate(x, w)
 	}
 	// MLQ corpus shapes: empty, a single-level summary (one flush), a deep
-	// cascade (tiny block, many levels), and a weighted payload with a
-	// populated weighted buffer.
+	// cascade (tiny block, many levels), a weighted payload with a populated
+	// weighted buffer, a NaN-bearing payload (valid under the NaN-first
+	// total order — the fuzz body's queries would hang if the decoder ever
+	// regressed to IEEE comparison), and a pruned payload whose oversized
+	// flattened level sits at the top of the cascade.
 	mlqEmpty := mlq.NewFloat64(0.02)
 	mlqSingle := mlq.NewFloat64(0.02)
 	for i := 0; i < mlqSingle.BlockSize(); i++ {
@@ -73,8 +77,22 @@ func seedPayloads(tb testing.TB) [][]byte {
 		}
 		wmlqS.WeightedUpdate(float64((i*7457)%1009), w)
 	}
+	nanmlqS := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+	for i := 0; i < 300; i++ {
+		if i%7 == 0 {
+			nanmlqS.Update(math.NaN())
+		} else {
+			nanmlqS.Update(float64((i * 7919) % 4001))
+		}
+	}
+	nanmlqS.WeightedUpdate(math.NaN(), 5)
+	prunedmlqS := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+	for i := 0; i < 20_000; i++ {
+		prunedmlqS.Update(float64((i * 6151) % 997))
+	}
+	prunedmlqS.Prune(500)
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

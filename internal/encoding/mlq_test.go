@@ -8,6 +8,7 @@ package encoding
 // KindStore container hardening.
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -103,6 +104,78 @@ func TestMLQRoundTripEmptyAndDeep(t *testing.T) {
 	}
 }
 
+// TestMLQNaNRoundTrip round-trips a NaN-bearing summary: mlq orders values
+// under the NaN-first total order (like the other families), so NaN payloads
+// are valid — and the restored summary must answer queries rather than hang
+// in the buffer-fold path.
+func TestMLQNaNRoundTrip(t *testing.T) {
+	s := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+	for i := 0; i < 2_000; i++ {
+		if i%17 == 0 {
+			s.Update(math.NaN())
+		} else {
+			s.Update(float64(i % 311))
+		}
+	}
+	s.WeightedUpdate(math.NaN(), 9) // a NaN in the weighted buffer too
+	payload, err := EncodeMLQ(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeMLQ(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.StoredCount() != s.StoredCount() {
+		t.Fatalf("restored counts differ: %d/%d vs %d/%d",
+			restored.Count(), restored.StoredCount(), s.Count(), s.StoredCount())
+	}
+	if err := restored.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range []float64{0, 0.1, 0.5, 1} {
+		a, _ := s.Query(phi)
+		b, _ := restored.Query(phi)
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Errorf("phi=%v: original %v, restored %v", phi, a, b)
+		}
+	}
+	if a, b := s.EstimateRank(math.NaN()), restored.EstimateRank(math.NaN()); a != b {
+		t.Errorf("EstimateRank(NaN) diverges after restore: %d vs %d", a, b)
+	}
+}
+
+// TestMLQPrunedRoundTrip encodes pruned summaries at both edge sizes: k far
+// above b (the flattened summary exceeds b+1 entries, so it must sit on the
+// top level, the one level Restore allows past the cap) and k = 1 (the +1/k
+// degradation saturates and the recorded eps must stay inside (0,1)).
+func TestMLQPrunedRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 500} {
+		s := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+		for i := 0; i < 20_000; i++ {
+			s.Update(float64((i * 6151) % 997))
+		}
+		s.Prune(k)
+		payload, err := EncodeMLQ(s)
+		if err != nil {
+			t.Fatalf("Prune(%d): encode: %v", k, err)
+		}
+		restored, err := DecodeMLQ(payload)
+		if err != nil {
+			t.Fatalf("Prune(%d): decode: %v", k, err)
+		}
+		if restored.Count() != s.Count() || restored.StoredCount() != s.StoredCount() {
+			t.Fatalf("Prune(%d): restored counts differ", k)
+		}
+		if restored.Epsilon() >= 1 {
+			t.Fatalf("Prune(%d): restored eps %v escaped (0,1)", k, restored.Epsilon())
+		}
+		if err := restored.CheckInvariant(); err != nil {
+			t.Fatalf("Prune(%d): %v", k, err)
+		}
+	}
+}
+
 // mlqPayload hand-writes an MLQ payload so tests can express states the
 // encoder itself refuses to produce.
 type mlqLevel struct {
@@ -183,6 +256,18 @@ func TestMLQDecodeRejections(t *testing.T) {
 				{V: 1, W: 2, Rmin: 0, Rmax: 1}, {V: 2, W: 1, Rmin: 1, Rmax: 2},
 			}}}),
 			"narrower"},
+		// NaN equals NaN in the total order, so a repeated NaN entry is a
+		// duplicate, and NaN after a finite value is out of order.
+		{"duplicate NaN values in a level",
+			mlqPayload(0.1, 8, 4, 2, nil, []mlqLevel{{eps: 0, entries: []mlq.Entry{
+				{V: math.NaN(), W: 1, Rmin: 0, Rmax: 1}, {V: math.NaN(), W: 1, Rmin: 1, Rmax: 2},
+			}}}),
+			"strictly increasing"},
+		{"NaN after a finite value",
+			mlqPayload(0.1, 8, 4, 2, nil, []mlqLevel{{eps: 0, entries: []mlq.Entry{
+				{V: 1, W: 1, Rmin: 0, Rmax: 1}, {V: math.NaN(), W: 1, Rmin: 1, Rmax: 2},
+			}}}),
+			"strictly increasing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -198,5 +283,32 @@ func TestMLQDecodeRejections(t *testing.T) {
 	// The weight-conservation case must also trip through generic Decode.
 	if _, err := Decode(mlqPayload(0.1, 8, 4, 99, nil, nil)); err == nil {
 		t.Fatal("generic Decode accepted a non-conserving MLQ payload")
+	}
+}
+
+// TestMLQDecodeNaNPayloadUsable decodes the exact shape a hostile peer could
+// ship — a NaN buffered value plus a single-entry NaN level, which the
+// strictly-increasing check alone never inspects — and requires the result
+// to answer queries. Before mlq adopted the NaN-first total order this
+// payload decoded fine and the first Query/EstimateRank spun forever in the
+// buffer fold, a remote DoS on the snapshot-merge tier; the test's own
+// -timeout is the hang detector.
+func TestMLQDecodeNaNPayloadUsable(t *testing.T) {
+	nan := math.NaN()
+	payload := mlqPayload(0.1, 8, 4, 5,
+		[]mlq.WeightedValue{{V: nan, W: 2}, {V: 3, W: 1}},
+		[]mlqLevel{{eps: 0, entries: []mlq.Entry{{V: nan, W: 2, Rmin: 0, Rmax: 2}}}})
+	s, err := DecodeMLQ(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Query(0); !ok || !math.IsNaN(v) {
+		t.Fatalf("Query(0) = %v, %v; want NaN", v, ok)
+	}
+	if got := s.EstimateRank(nan); got != 4 {
+		t.Fatalf("EstimateRank(NaN) = %d, want 4", got)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -313,18 +313,35 @@ func (s *Summary) cascade(l int, eps float64) {
 	}
 }
 
+// cmpFloat is the NaN-aware total order every value comparison in this
+// package goes through: NaN sorts before all other values and equals itself,
+// the same order as order.Floats (and as slices.Sort on float64 slices). The
+// summaries require a total order; under IEEE comparison NaN != NaN, which
+// would stall buildExact's run-coalescing cursors and break mergeEntries'
+// three-way split, so raw <, >, == on values must not appear outside this
+// function.
+func cmpFloat(a, b float64) int {
+	aNaN := a != a
+	bNaN := b != b
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // sortWeighted sorts the weighted buffer by value without allocating.
 func sortWeighted(ws []WeightedValue) {
-	slices.SortFunc(ws, func(a, b WeightedValue) int {
-		switch {
-		case a.V < b.V:
-			return -1
-		case a.V > b.V:
-			return 1
-		default:
-			return 0
-		}
-	})
+	slices.SortFunc(ws, func(a, b WeightedValue) int { return cmpFloat(a.V, b.V) })
 }
 
 // buildExact merges the sorted unit buffer and sorted weighted buffer into
@@ -335,17 +352,17 @@ func buildExact(dst []Entry, buf []float64, wbuf []WeightedValue) []Entry {
 	i, j := 0, 0
 	for i < len(buf) || j < len(wbuf) {
 		var v float64
-		if j >= len(wbuf) || (i < len(buf) && buf[i] <= wbuf[j].V) {
+		if j >= len(wbuf) || (i < len(buf) && cmpFloat(buf[i], wbuf[j].V) <= 0) {
 			v = buf[i]
 		} else {
 			v = wbuf[j].V
 		}
 		var w int64
-		for i < len(buf) && buf[i] == v {
+		for i < len(buf) && cmpFloat(buf[i], v) == 0 {
 			w++
 			i++
 		}
-		for j < len(wbuf) && wbuf[j].V == v {
+		for j < len(wbuf) && cmpFloat(wbuf[j].V, v) == 0 {
 			w += wbuf[j].W
 			j++
 		}
@@ -375,7 +392,7 @@ func mergeEntries(dst, x, y []Entry) []Entry {
 	i, j := 0, 0
 	for i < len(x) || j < len(y) {
 		switch {
-		case j >= len(y) || (i < len(x) && x[i].V < y[j].V):
+		case j >= len(y) || (i < len(x) && cmpFloat(x[i].V, y[j].V) < 0):
 			e := x[i]
 			var lo int64
 			hi := wy
@@ -389,7 +406,7 @@ func mergeEntries(dst, x, y []Entry) []Entry {
 			e.Rmax += hi
 			dst = append(dst, e)
 			i++
-		case i >= len(x) || y[j].V < x[i].V:
+		case i >= len(x) || cmpFloat(y[j].V, x[i].V) < 0:
 			e := y[j]
 			var lo int64
 			hi := wx
@@ -532,8 +549,9 @@ func (s *Summary) EstimateRank(q float64) int {
 	}
 	s.ensureView()
 	view := s.view
-	// e = last entry with V ≤ q, f = first entry with V > q.
-	f := sort.Search(len(view), func(i int) bool { return view[i].V > q })
+	// e = last entry with V ≤ q, f = first entry with V > q (total order, so
+	// q = NaN resolves to the weight of the NaN run rather than to n).
+	f := sort.Search(len(view), func(i int) bool { return cmpFloat(view[i].V, q) > 0 })
 	var lo, hi int64
 	hi = s.n
 	if f > 0 {
@@ -627,6 +645,13 @@ func (s *Summary) Merge(other *Summary) error {
 // Prune flattens the cascade into a single summary of at most k+1 entries,
 // adding at most 1/k rank error on top of the current maximum level error.
 // It mirrors gk.Prune: a one-shot space/accuracy trade for snapshots.
+//
+// The flattened summary lands on the top level, the one level Restore
+// permits to exceed b+1 entries (the merge-only regime), so a prune to
+// k > b — or a flatten of an already-oversized top level — still round-trips
+// through EncodeMLQ/DecodeMLQ. The degraded error is capped just below 1: an
+// error fraction of 1 is vacuous anyway (every answer is trivially within
+// total weight), and Restore rejects epsilons outside (0,1).
 func (s *Summary) Prune(k int) {
 	if k < 1 {
 		panic(fmt.Sprintf("mlq: prune size %d is not positive", k))
@@ -639,15 +664,21 @@ func (s *Summary) Prune(k int) {
 		flat = compress(make([]Entry, 0, k+1), flat, k)
 		eps += 1 / float64(k)
 	}
+	if eps >= 1 {
+		eps = math.Nextafter(1, 0)
+	}
 	for i := range s.levels {
 		s.levels[i].entries = s.levels[i].entries[:0]
 		s.levels[i].eps = 0
 	}
-	if len(s.levels) == 0 {
-		s.levels = append(s.levels, levelSummary{})
+	if len(flat) > 0 {
+		for len(s.levels) < s.maxLevels {
+			s.levels = append(s.levels, levelSummary{})
+		}
+		top := &s.levels[s.maxLevels-1]
+		top.entries = append(top.entries[:0], flat...)
+		top.eps = eps
 	}
-	s.levels[0].entries = append(s.levels[0].entries[:0], flat...)
-	s.levels[0].eps = eps
 	if eps > s.epsTarget {
 		s.epsTarget = eps
 	}
@@ -711,7 +742,7 @@ func (s *Summary) CheckInvariant() error {
 			}
 			if i > 0 {
 				prev := lv.entries[i-1]
-				if !(prev.V < e.V) {
+				if !(cmpFloat(prev.V, e.V) < 0) {
 					return fmt.Errorf("mlq: level %d entries %d,%d not strictly increasing (%v, %v)", l, i-1, i, prev.V, e.V)
 				}
 				if e.Rmin < prev.Rmin || e.Rmax < prev.Rmax {

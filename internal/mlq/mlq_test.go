@@ -293,6 +293,50 @@ func TestPrune(t *testing.T) {
 	}
 }
 
+// TestPruneEdgeSizes pins the Prune edge cases that interact with the
+// restore validator: a prune to k > b leaves more than b+1 entries, which
+// must land on the top level (the only level Restore allows past b+1), and a
+// tiny k saturates the +1/k degradation, which must stay below 1 so the
+// summary remains encodable.
+func TestPruneEdgeSizes(t *testing.T) {
+	build := func() *mlq.Summary {
+		s := mlq.NewFloat64(0.05, mlq.WithBlockSize(64))
+		for i := 0; i < 20_000; i++ {
+			s.Update(float64((i * 6151) % 997))
+		}
+		return s
+	}
+	s := build()
+	s.Prune(500)
+	if got := s.StoredCount(); got > 501 || got <= s.BlockSize()+1 {
+		t.Fatalf("StoredCount after Prune(500) = %d, want in (%d, 501]", got, s.BlockSize()+1)
+	}
+	lvls := s.Levels()
+	for l, lv := range lvls[:len(lvls)-1] {
+		if len(lv.Entries) > s.BlockSize()+1 {
+			t.Fatalf("sub-horizon level %d holds %d entries after prune, cap is %d", l, len(lv.Entries), s.BlockSize()+1)
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	s = build()
+	s.Prune(1)
+	if got := s.StoredCount(); got > 2 {
+		t.Fatalf("StoredCount after Prune(1) = %d, want ≤ 2", got)
+	}
+	if eps := s.Epsilon(); eps >= 1 {
+		t.Fatalf("Epsilon after Prune(1) = %v, want < 1", eps)
+	}
+	// Both shapes keep accepting updates.
+	for i := 0; i < 5_000; i++ {
+		s.Update(float64(i % 311))
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestStoredItemsSorted checks the Inspectable contract: the retained item
 // array comes back in non-decreasing order with StoredCount agreeing.
 func TestStoredItemsSorted(t *testing.T) {

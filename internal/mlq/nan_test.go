@@ -1,0 +1,106 @@
+package mlq_test
+
+// NaN handling: the summary compares values under the same NaN-first total
+// order as order.Floats, so NaN is a legal stream item here exactly as in
+// the other families (only the cluster HTTP boundary rejects it). These
+// tests pin the failure shape a partial order would reintroduce: under raw
+// IEEE comparison NaN != NaN, which stalls buildExact's run-coalescing
+// cursors — Update(NaN) then looped forever appending zero-weight entries on
+// the first flush, and a NaN-bearing decoded payload hung on its first
+// query.
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/mlq"
+	"quantilelb/internal/rank"
+)
+
+// nanStream interleaves NaNs (unit and weighted) into a finite stream,
+// returning the summary and the expanded item multiset for the oracle.
+func nanStream(eps float64) (*mlq.Summary, []float64) {
+	s := mlq.NewFloat64(eps, mlq.WithBlockSize(64))
+	var items []float64
+	for i := 0; i < 4_000; i++ {
+		v := float64((i * 6151) % 997)
+		if i%13 == 0 {
+			v = math.NaN()
+		}
+		if i%29 == 0 {
+			w := int64(i%5 + 2)
+			s.WeightedUpdate(v, w)
+			for k := int64(0); k < w; k++ {
+				items = append(items, v)
+			}
+		} else {
+			s.Update(v)
+			items = append(items, v)
+		}
+	}
+	return s, items
+}
+
+// TestNaNIngestion streams NaNs through enough flushes to cascade several
+// levels deep, then checks the structural invariants and rank accuracy
+// against the NaN-aware exact oracle.
+func TestNaNIngestion(t *testing.T) {
+	const eps = 0.05
+	s, items := nanStream(eps)
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != len(items) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(items))
+	}
+	oracle := rank.Float64Oracle(items)
+	bound := int(eps*float64(len(items))) + 1
+	for g := 0; g <= 20; g++ {
+		phi := float64(g) / 20
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%v) reported empty", phi)
+		}
+		if err := oracle.RankError(got, phi); err > bound {
+			t.Fatalf("rank error %d at phi=%v exceeds %d", err, phi, bound)
+		}
+	}
+	// NaN sorts before everything, so the lowest quantile is NaN and
+	// EstimateRank(NaN) is the weight of the NaN run.
+	if lo, _ := s.Query(0); !math.IsNaN(lo) {
+		t.Fatalf("Query(0) = %v, want NaN", lo)
+	}
+	nanW := 0
+	for _, v := range items {
+		if math.IsNaN(v) {
+			nanW++
+		}
+	}
+	if got := s.EstimateRank(math.NaN()); got < nanW-bound || got > nanW+bound {
+		t.Fatalf("EstimateRank(NaN) = %d, want %d ± %d", got, nanW, bound)
+	}
+}
+
+// TestNaNMergeAndPrune drives COMBINE and PRUNE over NaN-bearing summaries:
+// both must terminate, conserve weight, and keep the NaN run at the bottom
+// of the order.
+func TestNaNMergeAndPrune(t *testing.T) {
+	a, itemsA := nanStream(0.05)
+	b, itemsB := nanStream(0.05)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != len(itemsA)+len(itemsB) {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), len(itemsA)+len(itemsB))
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	a.Prune(32)
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if lo, _ := a.Query(0); !math.IsNaN(lo) {
+		t.Fatalf("Query(0) after merge+prune = %v, want NaN", lo)
+	}
+}
