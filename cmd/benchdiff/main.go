@@ -1,12 +1,16 @@
 // Command benchdiff is the benchmark-regression gate run by CI: it compares
 // a freshly produced workload-matrix report (cmd/bench) against the
 // committed baseline (the newest BENCH_PR<n>.json at the repository root,
-// currently BENCH_PR6.json) and fails — by
+// currently BENCH_PR7.json) and fails — by
 // exiting non-zero — on accuracy regressions, defined as any family ×
 // workload × mode cell whose measured max rank error exceeds the accuracy
 // the family was configured for. Speed is hardware- and runner-dependent, so
 // ns/op deltas against the baseline are printed as advisory output only;
-// accuracy is a mathematical guarantee, so it gates.
+// accuracy is a mathematical guarantee, so it gates. Families carrying a
+// high-tail relative guarantee (the req lineage) are additionally gated on
+// their tail-error column: the worst error-to-budget ratio at
+// ϕ ∈ {0.999, 0.9999, 1} must stay within the configured relative eps, and
+// the harness-recorded WithinRelEps verdict must hold.
 //
 // Randomized families (KLL, the reservoir, and their sharded variants) carry
 // a per-query constant failure probability; their cells only fail the gate
@@ -25,7 +29,7 @@
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
-//	go run ./cmd/benchdiff -baseline BENCH_PR6.json -report /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR7.json -report /tmp/bench-ci.json
 package main
 
 import (
@@ -48,7 +52,7 @@ var randomized = map[string]bool{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR6.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR7.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)
@@ -70,6 +74,7 @@ func main() {
 	}
 
 	failures := gateAccuracy(report, *slack)
+	failures = append(failures, gateTail(report)...)
 	failures = append(failures, gateBudget(report)...)
 	printSpeedDeltas(baseline, report)
 	printCoverageDrift(baseline, report)
@@ -122,6 +127,32 @@ func gateAccuracy(rep *bench.Report, slack float64) []string {
 			failures = append(failures, fmt.Sprintf(
 				"%s/%s/%s: max rank error %d > limit %.0f (eps=%g, n=%d)",
 				c.Family, c.Workload, c.Mode, c.MaxRankError, limit, c.EpsTarget, c.N))
+		}
+	}
+	return failures
+}
+
+// gateTail returns one failure line per relative-guarantee cell whose
+// tail-error column escaped the configured relative eps, or whose
+// whole-grid relative verdict (WithinRelEps, recorded by the harness with
+// the error measured in N−t+1 budget units, one item of rank-rounding
+// forgiven) failed. The req lineage is deterministic, so no eps multiplier
+// applies: the tail is exactly what the tier exists for.
+func gateTail(rep *bench.Report) []string {
+	var failures []string
+	for _, c := range rep.Cells {
+		if c.RelEpsTarget <= 0 {
+			continue
+		}
+		if c.TailRelError > c.RelEpsTarget+1e-9 {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s/%s: tail relative error %.4f×budget > rel eps %g (n=%d)",
+				c.Family, c.Workload, c.Mode, c.TailRelError, c.RelEpsTarget, c.N))
+		}
+		if !c.WithinRelEps {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s/%s: relative-guarantee verdict failed (rel eps %g, n=%d)",
+				c.Family, c.Workload, c.Mode, c.RelEpsTarget, c.N))
 		}
 	}
 	return failures

@@ -2,8 +2,8 @@
 // package under internal/ (or any command under cmd/) lacks a package-level
 // doc comment, or when an exported top-level declaration of the public
 // facade package (the repository root), of the shared interface package
-// internal/summary, or of the multi-level ingestion core internal/mlq is
-// undocumented.
+// internal/summary, of the multi-level ingestion core internal/mlq, or of
+// the relative-error tail tier internal/req is undocumented.
 //
 // The rule matches the repository's documentation contract (DESIGN.md):
 // every package states which paper section or related-work result it
@@ -11,9 +11,10 @@
 // internal/summary is held to the facade bar because its interfaces
 // (Quantile, Mergeable, WeightedUpdater, …) are the contracts every summary
 // package implements — an undocumented method there is an undocumented
-// obligation everywhere. internal/mlq is held to it because its exported
-// surface (Entry rank bounds, LevelState, Restore) is the wire contract the
-// encoding layer and its fuzz corpus build on.
+// obligation everywhere. internal/mlq and internal/req are held to it
+// because their exported surfaces (Entry rank bounds, LevelState/Buffered
+// state, Restore) are the wire contracts the encoding layer and its fuzz
+// corpus build on.
 //
 // Usage (from the repository root):
 //
@@ -51,7 +52,7 @@ func main() {
 	}
 	// Exported-symbol coverage: the public facade and the shared interface
 	// package every summary implements.
-	for _, dir := range []string{".", "internal/summary", "internal/mlq"} {
+	for _, dir := range []string{".", "internal/summary", "internal/mlq", "internal/req"} {
 		v, err := checkExportedDocs(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)

@@ -72,6 +72,12 @@ type Family struct {
 	// runs under (0 for unbudgeted families). cmd/benchdiff gates
 	// RetainedBytes <= BudgetBytes for cells that set it.
 	BudgetBytes int64
+	// RelEpsTarget is the high-tail relative accuracy the family guarantees
+	// (internal/req lineage): rank error at most RelEpsTarget·(N−t+1) at
+	// target rank t. 0 for families with no relative guarantee. Cells of
+	// such families additionally record the tail-error column and
+	// cmd/benchdiff gates it.
+	RelEpsTarget float64
 }
 
 // Workload is one column of the matrix: a named, materialized stream.
@@ -101,6 +107,17 @@ type Cell struct {
 	// uniform guarantee (EpsTarget > 0).
 	EpsTarget float64 `json:"eps_target,omitempty"`
 	WithinEps bool    `json:"within_eps,omitempty"`
+	// RelEpsTarget, TailRelError, and WithinRelEps are only set for families
+	// with a high-tail relative guarantee (internal/req lineage):
+	// TailRelError is the worst error-to-budget ratio observed at
+	// ϕ ∈ {0.999, 0.9999, 1} (budget N−t+1, so the ratio is comparable to
+	// eps; one item of rank-rounding error is forgiven before dividing,
+	// matching the uniform gate's +1), and WithinRelEps is whether the
+	// worst ratio over the whole grid plus the tail column stayed within
+	// RelEpsTarget.
+	RelEpsTarget float64 `json:"rel_eps_target,omitempty"`
+	TailRelError float64 `json:"tail_rel_error,omitempty"`
+	WithinRelEps bool    `json:"within_rel_eps,omitempty"`
 	// BudgetBytes and Evictions are only set for keyed-store families:
 	// BudgetBytes echoes the family's global retained-bytes budget (the
 	// benchdiff gate asserts RetainedBytes <= BudgetBytes), and Evictions
@@ -284,5 +301,56 @@ func measure(cfg Config, fam Family, wl Workload, oracle *rank.Oracle[float64], 
 	if fam.EpsTarget > 0 {
 		cell.WithinEps = float64(worst) <= fam.EpsTarget*float64(n)+1
 	}
+	if fam.RelEpsTarget > 0 {
+		measureRelative(&cell, fam, s, wl, cfg.Grid)
+	}
 	return cell
+}
+
+// tailPhis is the tail column recorded for relative-guarantee families; 1.0
+// is included because the high-tail budget there is a single item, making the
+// cell an exactness assertion on the stream maximum.
+var tailPhis = [3]float64{0.999, 0.9999, 1}
+
+// measureRelative records the tail-error column of a relative-guarantee
+// cell: each answer's rank error is divided by the high-tail budget
+// (N−t+1 at target rank t), swept over the uniform grid plus the tail
+// column, and gated at RelEpsTarget with no eps slack (the families
+// carrying the guarantee are deterministic). One item of absolute error is
+// forgiven before dividing, mirroring the uniform gate's +1: it absorbs the
+// rank-rounding quantization between the summary's query grid and the
+// oracle's (the weighted wrapper quantizes ranks in weight units, the
+// item oracle in items), which would otherwise dominate the budget at the
+// extreme tail where N−t+1 is a handful of items.
+func measureRelative(cell *Cell, fam Family, s Target, wl Workload, grid int) {
+	oracle := rank.NewRelativeOracle(wl.Items)
+	cell.RelEpsTarget = fam.RelEpsTarget
+	worstRatio := 0.0
+	for i := 0; i <= grid+len(tailPhis); i++ {
+		var phi float64
+		if i <= grid {
+			phi = float64(i) / float64(grid)
+		} else {
+			phi = tailPhis[i-grid-1]
+		}
+		got, ok := s.Query(phi)
+		if !ok {
+			continue
+		}
+		var ratio float64
+		if budget := oracle.TopRank(phi); budget > 0 {
+			if err := oracle.RankError(got, phi) - 1; err > 0 {
+				ratio = float64(err) / float64(budget)
+			}
+		}
+		if ratio > worstRatio {
+			worstRatio = ratio
+		}
+		for _, tp := range tailPhis {
+			if phi == tp && ratio > cell.TailRelError {
+				cell.TailRelError = ratio
+			}
+		}
+	}
+	cell.WithinRelEps = worstRatio <= fam.RelEpsTarget+1e-9
 }

@@ -10,6 +10,7 @@ import (
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
+	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/sharded"
 	"quantilelb/internal/window"
@@ -26,6 +27,7 @@ const (
 	tupleBytes    = 24
 	itemBytes     = 8
 	mlqEntryBytes = 32 // mlq.Entry: (value, W, Rmin, Rmax)
+	reqEntryBytes = 32 // req.Entry: (value, W, Rmin, Rmax)
 )
 
 // cappedCapacity deliberately undercuts the GK bound so the matrix records
@@ -138,6 +140,31 @@ func DefaultFamilies(cfg Config) []Family {
 			},
 			BytesPerItem: mlqEntryBytes,
 			EpsTarget:    eps,
+		},
+		{
+			Name: "req",
+			// The mergeable relative-error tail summary: a single sorted
+			// entry list whose compaction certifies every dropped entry
+			// against a from-the-top budget, so p99.9+ answers stay accurate
+			// (and the maximum exact) at any stream length. The uniform gate
+			// applies too — the high-tail guarantee implies ε·N everywhere —
+			// and the cell records the tail-error column benchdiff gates.
+			New:          func() Target { return req.NewFloat64(eps) },
+			BytesPerItem: reqEntryBytes,
+			EpsTarget:    eps,
+			RelEpsTarget: eps,
+		},
+		{
+			Name: "sharded-req",
+			New: func() Target {
+				return sharded.New(func() *req.Summary { return req.NewFloat64(eps) }, shardedWidth)
+			},
+			BytesPerItem: reqEntryBytes,
+			// COMBINE keeps eps_new = max over the shards' equal eps, and
+			// req's gap budgets are additive across merge inputs, so the
+			// merged view carries the same relative guarantee as one shard.
+			EpsTarget:    eps,
+			RelEpsTarget: eps,
 		},
 		{
 			Name: "sharded-kll",

@@ -22,6 +22,7 @@ import (
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
+	"quantilelb/internal/req"
 )
 
 // weightedConstFactor is the constant per-item weight of the weighted-gk and
@@ -114,6 +115,18 @@ func weightedFamilies(cfg Config) []Family {
 			// Deterministic family under constant weights: the plain-oracle
 			// gate applies at the configured eps.
 			EpsTarget: eps,
+		},
+		{
+			Name: "weighted-req",
+			New: func() Target {
+				return &weightedTarget{inner: req.NewFloat64(eps), draw: constWeight(weightedConstFactor)}
+			},
+			BytesPerItem: reqEntryBytes,
+			// Constant weights leave quantiles unchanged, so both the uniform
+			// and the high-tail relative gate apply against the plain oracle
+			// while the ingest path exercises the weighted fold.
+			EpsTarget:    eps,
+			RelEpsTarget: eps,
 		},
 		{
 			Name: "weighted-zipf",

@@ -1,0 +1,306 @@
+package checker
+
+// Relative differential harness: the tail-focused twin of RunDifferential.
+// Where the uniform harness allows every query the same ±εN, the relative
+// harness measures each answer's error in BUDGET UNITS against
+// rank.RelativeOracle — ε·(N−t+1) for high-tail families (internal/req),
+// ε·⌊ϕN⌋ for low-tail ones (internal/biased) — and gates the worst observed
+// ratio at ε directly, with no slack unless a case declares one. A tail
+// column records the ratio at ϕ ∈ {0.999, 0.9999} separately: those are the
+// queries uniform summaries are useless for, and the budgets there shrink
+// below one item, so the column doubles as an exactness assertion.
+
+import (
+	"fmt"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/store"
+	"quantilelb/internal/summary"
+)
+
+// TailPhis are the tail quantiles every relative cell reports separately:
+// the p99.9/p99.99 SLO queries the relative-error tier exists for.
+var TailPhis = [2]float64{0.999, 0.9999}
+
+// RelativeReport summarizes the relative-error verification of one summary
+// against one stream. Errors are in budget units (error ≤ Eps passes), so
+// reports are comparable across quantiles and stream lengths.
+type RelativeReport struct {
+	// N is the stream length (total weight for weighted streams).
+	N int
+	// Eps is the relative accuracy the summary was checked against.
+	Eps float64
+	// QueriesChecked is the number of quantile queries issued.
+	QueriesChecked int
+	// WorstRelError is the largest error-to-budget ratio observed.
+	WorstRelError float64
+	// WorstPhi is the query at which the worst ratio occurred.
+	WorstPhi float64
+	// WorstRankError is the largest absolute rank error observed, in items.
+	WorstRankError int
+	// TailRelError holds the error-to-budget ratio at TailPhis, the
+	// tail-focused column of the matrix.
+	TailRelError [2]float64
+	// Failures is the number of queries whose ratio exceeded the allowance.
+	Failures int
+	// StoredItems is the number of items the summary held when checked.
+	StoredItems int
+}
+
+// Passed reports whether no query exceeded its allowance.
+func (r RelativeReport) Passed() bool { return r.Failures == 0 }
+
+// String renders a one-line human-readable description.
+func (r RelativeReport) String() string {
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s: %d queries, worst %.4f×budget (at phi=%.4f, %d items), tail %.4f/%.4f, eps %.4f, stored %d",
+		status, r.QueriesChecked, r.WorstRelError, r.WorstPhi, r.WorstRankError,
+		r.TailRelError[0], r.TailRelError[1], r.Eps, r.StoredItems)
+}
+
+// relativeGrid returns the ϕ values one relative verification sweeps: a
+// uniform grid, a geometric from-the-top grid (top rank 1, 2, 4, ... so
+// every budget scale in the accurate tail is exercised), its from-the-bottom
+// mirror for low-tail families, and the TailPhis column.
+func relativeGrid(n, grid int) []float64 {
+	phis := make([]float64, 0, grid+64)
+	for i := 0; i <= grid; i++ {
+		phis = append(phis, float64(i)/float64(grid))
+	}
+	for r := 1; r < n; r *= 2 {
+		phis = append(phis, float64(n-r)/float64(n)) // top rank r+1-ish
+		phis = append(phis, float64(r)/float64(n))   // bottom rank r
+	}
+	phis = append(phis, TailPhis[0], TailPhis[1])
+	return phis
+}
+
+// verifyRelativeQueries is the shared sweep: budget(phi) returns the
+// query's budget in items (high- or low-tail convention), answer issues the
+// query, oracleErr returns its absolute rank error.
+func verifyRelativeQueries(rep *RelativeReport, n int, grid int, eps, slackAdd float64,
+	budget func(phi float64) float64,
+	answer func(phi float64) (float64, bool),
+	oracleErr func(candidate float64, phi float64) int64,
+) {
+	for _, phi := range relativeGrid(n, grid) {
+		got, ok := answer(phi)
+		if !ok {
+			rep.Failures++
+			continue
+		}
+		rep.QueriesChecked++
+		e := oracleErr(got, phi)
+		b := budget(phi)
+		if b <= 0 {
+			b = 1
+		}
+		ratio := float64(e) / b
+		if ratio > rep.WorstRelError {
+			rep.WorstRelError = ratio
+			rep.WorstPhi = phi
+		}
+		if int(e) > rep.WorstRankError {
+			rep.WorstRankError = int(e)
+		}
+		for i, tp := range TailPhis {
+			if phi == tp && ratio > rep.TailRelError[i] {
+				rep.TailRelError[i] = ratio
+			}
+		}
+		if float64(e) > eps*b+slackAdd+1e-9 {
+			rep.Failures++
+		}
+	}
+}
+
+// VerifyRelative checks the high-tail relative guarantee of a summary on
+// the given data: every answer's rank error at most ε·(N−t+1) (+slackAdd
+// items), swept over `grid`+1 uniform queries plus geometric tail grids and
+// the TailPhis column. slackAdd is 0 for the strict gate internal/req is
+// held to.
+func VerifyRelative(s summary.Summary[float64], data []float64, eps float64, grid int, slackAdd float64) RelativeReport {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.NewRelativeOracle(data)
+	n := oracle.Len()
+	rep := RelativeReport{N: n, Eps: eps, StoredItems: s.StoredCount()}
+	if n == 0 {
+		return rep
+	}
+	verifyRelativeQueries(&rep, n, grid, eps, slackAdd,
+		func(phi float64) float64 { return float64(oracle.TopRank(phi)) },
+		s.Query,
+		func(c float64, phi float64) int64 { return int64(oracle.RankError(c, phi)) },
+	)
+	return rep
+}
+
+// VerifyLowTailRelative checks the low-tail (biased) relative guarantee:
+// every answer's rank error at most ε·⌊ϕN⌋ (+slackAdd items). The biased
+// family's documented allowance carries a small additive slack for integer
+// rounding at rank 1; pass it here rather than weakening the gate globally.
+func VerifyLowTailRelative(s summary.Summary[float64], data []float64, eps float64, grid int, slackAdd float64) RelativeReport {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.NewRelativeOracle(data)
+	n := oracle.Len()
+	rep := RelativeReport{N: n, Eps: eps, StoredItems: s.StoredCount()}
+	if n == 0 {
+		return rep
+	}
+	verifyRelativeQueries(&rep, n, grid, eps, slackAdd,
+		func(phi float64) float64 { return float64(rank.QuantileRank(n, phi)) },
+		s.Query,
+		func(c float64, phi float64) int64 { return int64(oracle.RankError(c, phi)) },
+	)
+	return rep
+}
+
+// VerifyWeightedRelative checks the weighted high-tail relative guarantee:
+// every answer's weighted rank error at most ε·(W−t+1) (+slackAdd), with
+// budgets in weight units against the exact weighted relative oracle.
+// Report.N carries the total weight W.
+func VerifyWeightedRelative(s WeightedTarget, items []float64, weights []int64, eps float64, grid int, slackAdd float64) RelativeReport {
+	if grid < 1 {
+		grid = 1
+	}
+	oracle := rank.NewRelativeWeightedOracle(items, weights)
+	totalW := oracle.TotalWeight()
+	rep := RelativeReport{N: int(totalW), Eps: eps, StoredItems: s.StoredCount()}
+	if totalW == 0 {
+		return rep
+	}
+	verifyRelativeQueries(&rep, int(totalW), grid, eps, slackAdd,
+		func(phi float64) float64 { return float64(oracle.TopRank(phi)) },
+		s.Query,
+		oracle.RankError,
+	)
+	return rep
+}
+
+// RelativeCase is one family driven through the relative differential
+// matrix.
+type RelativeCase struct {
+	// Name identifies the family in reports ("req", "sharded-req", ...).
+	Name string
+	// New builds a fresh summary for one (case, workload) cell.
+	New func() summary.Summary[float64]
+	// Eps is the relative accuracy bound to assert.
+	Eps float64
+	// LowTail switches the budget convention to ε·⌊ϕN⌋ (the biased family);
+	// the default is the high-tail ε·(N−t+1) convention of internal/req.
+	LowTail bool
+	// SlackAdd is an additive allowance in items, 0 for the strict gate.
+	// The biased family's documented guarantee carries +2 for integer
+	// rounding at the lowest ranks; req cases leave it 0.
+	SlackAdd float64
+}
+
+// RelativeResult is one (case, workload) cell of the relative matrix.
+type RelativeResult struct {
+	// Case and Workload name the cell.
+	Case, Workload string
+	// Report is the full relative verification report of the cell.
+	Report RelativeReport
+	// Pass is whether the cell's gate held.
+	Pass bool
+}
+
+// RunRelativeDifferential drives every case through every workload and
+// returns one result per cell, in (workload-major, case-minor) order. Each
+// cell builds a fresh summary, ingests the workload item-at-a-time, and
+// verifies the relative guarantee in the case's budget convention at exact
+// ε (plus the case's declared additive slack only).
+func RunRelativeDifferential(cases []RelativeCase, workloads []Workload, grid int) []RelativeResult {
+	out := make([]RelativeResult, 0, len(cases)*len(workloads))
+	for _, wl := range workloads {
+		for _, c := range cases {
+			s := c.New()
+			for _, x := range wl.Items {
+				s.Update(x)
+			}
+			if r, ok := s.(refresher); ok {
+				r.Refresh()
+			}
+			var rep RelativeReport
+			if c.LowTail {
+				rep = VerifyLowTailRelative(s, wl.Items, c.Eps, grid, c.SlackAdd)
+			} else {
+				rep = VerifyRelative(s, wl.Items, c.Eps, grid, c.SlackAdd)
+			}
+			out = append(out, RelativeResult{
+				Case:     c.Name,
+				Workload: wl.Name,
+				Report:   rep,
+				Pass:     rep.Passed(),
+			})
+		}
+	}
+	return out
+}
+
+// RunKeyedRelativeDifferential drives a multi-tenant store through every
+// workload under the high-tail relative gate: each workload's items are
+// partitioned round-robin over the given keys (ingested per key through the
+// store's batched hot path), and every key's answers are verified against
+// that key's own exact substream at exactly EpsFor(key) — the keyed tier
+// must deliver the relative guarantee per key, simultaneously across keys.
+func RunKeyedRelativeDifferential(newStore func() *store.Store, keys []string, workloads []Workload, grid int) []RelativeResult {
+	out := make([]RelativeResult, 0, len(keys)*len(workloads))
+	for _, wl := range workloads {
+		st := newStore()
+		parts := make(map[string][]float64, len(keys))
+		for i, x := range wl.Items {
+			k := keys[i%len(keys)]
+			parts[k] = append(parts[k], x)
+		}
+		for _, k := range keys {
+			st.UpdateBatch(k, parts[k])
+		}
+		for _, k := range keys {
+			rep := VerifyRelative(keyAsSummary{st: st, key: k}, parts[k], st.EpsFor(k), grid, 0)
+			out = append(out, RelativeResult{
+				Case:     "key:" + k,
+				Workload: wl.Name,
+				Report:   rep,
+				Pass:     rep.Passed(),
+			})
+		}
+	}
+	return out
+}
+
+// RunWeightedRelativeDifferential drives every weighted case through every
+// weighted workload under the weighted high-tail relative gate, mirroring
+// RunWeightedDifferential: each cell builds a fresh target, ingests the
+// workload pair-at-a-time through WeightedUpdate, and verifies it with
+// VerifyWeightedRelative at exact ε.
+func RunWeightedRelativeDifferential(cases []WeightedCase, workloads []WeightedWorkload, grid int) []RelativeResult {
+	out := make([]RelativeResult, 0, len(cases)*len(workloads))
+	for _, wl := range workloads {
+		totalW := wl.TotalWeight()
+		for _, c := range cases {
+			s := c.New(totalW)
+			for i, x := range wl.Items {
+				s.WeightedUpdate(x, wl.Weights[i])
+			}
+			if r, ok := s.(refresher); ok {
+				r.Refresh()
+			}
+			rep := VerifyWeightedRelative(s, wl.Items, wl.Weights, c.Eps, grid, 0)
+			out = append(out, RelativeResult{
+				Case:     c.Name,
+				Workload: wl.Name,
+				Report:   rep,
+				Pass:     rep.Passed(),
+			})
+		}
+	}
+	return out
+}

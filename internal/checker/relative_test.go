@@ -1,0 +1,205 @@
+package checker_test
+
+// The relative differential suite: the tail tier (req high-tail, biased
+// low-tail) driven through the full workload matrix — plain, sharded,
+// keyed, and weighted — against rank.RelativeOracle, with the req cells
+// gated at EXACT eps, no slack: max relative rank error ≤ ε at every ϕ
+// including the tail column ϕ ∈ {0.999, 0.9999}, where the budget shrinks
+// below one item and the gate degenerates to an exactness assertion. A
+// uniform family is also driven through the same gate and must FAIL it
+// somewhere: that is the matrix's teeth — uniform ε·N error is useless in
+// the tail, which is why the relative tier exists.
+
+import (
+	"testing"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/checker"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/req"
+	"quantilelb/internal/sharded"
+	"quantilelb/internal/store"
+	"quantilelb/internal/summary"
+)
+
+// relCases is the relative family table: req plain and sharded at the
+// strict high-tail gate, biased at its documented low-tail allowance
+// (ε·(1+2ε) multiplicative — the compress/query slack its GK-style
+// invariant carries — plus 2 items for integer rounding at rank 1).
+func relCases() []checker.RelativeCase {
+	return []checker.RelativeCase{
+		{Name: "req", Eps: diffEps,
+			New: func() summary.Summary[float64] { return req.NewFloat64(diffEps) }},
+		{Name: "sharded-req", Eps: diffEps,
+			New: func() summary.Summary[float64] {
+				return sharded.New(func() *req.Summary { return req.NewFloat64(diffEps) }, 8)
+			}},
+		{Name: "biased", Eps: diffEps * (1 + 2*diffEps), LowTail: true, SlackAdd: 2,
+			New: func() summary.Summary[float64] { return biased.NewFloat64(diffEps) }},
+	}
+}
+
+// TestRelativeDifferentialAllWorkloads is the suite: req plain and sharded
+// plus low-tail biased, every workload including the paper's adversarial
+// stream, every cell gated.
+func TestRelativeDifferentialAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full relative differential matrix")
+	}
+	workloads := diffWorkloads(t)
+	results := checker.RunRelativeDifferential(relCases(), workloads, diffGrid)
+	wantCells := len(relCases()) * len(workloads)
+	if len(results) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(results), wantCells)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s/%s: %s", r.Case, r.Workload, r.Report)
+		}
+		// The tail column is the point of the tier: for req cells the
+		// budget at phi=0.9999 is ε·(N/10⁴+1) ≈ 0.08 items, so any ratio
+		// within eps means the answer was exact.
+		if r.Case != "biased" {
+			for i, tail := range r.Report.TailRelError {
+				if tail > diffEps {
+					t.Errorf("%s/%s: tail column phi=%v relative error %v exceeds eps %v",
+						r.Case, r.Workload, checker.TailPhis[i], tail, diffEps)
+				}
+			}
+		}
+	}
+}
+
+// TestRelativeDifferentialKeyedStore drives the multi-tenant store with a
+// req per-key factory through the same matrix: each workload partitioned
+// over five keys (two carrying accuracy overrides), every key verified
+// against its own exact substream at exactly its configured eps, no slack.
+func TestRelativeDifferentialKeyedStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("keyed relative differential matrix")
+	}
+	keys := []string{"k0", "k1", "k2", "fine", "coarse"}
+	newStore := func() *store.Store {
+		return store.New(store.Config{
+			Eps: diffEps,
+			EpsOverrides: map[string]float64{
+				"fine":   0.005,
+				"coarse": 0.05,
+			},
+			Factory: func(eps float64) store.Summary { return req.NewFloat64(eps) },
+		})
+	}
+	workloads := diffWorkloads(t)
+	results := checker.RunKeyedRelativeDifferential(newStore, keys, workloads, diffGrid)
+	if len(results) != len(keys)*len(workloads) {
+		t.Fatalf("got %d cells, want %d", len(results), len(keys)*len(workloads))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s on %s: %s", r.Case, r.Workload, r.Report)
+		}
+	}
+}
+
+// TestRelativeDifferentialWeighted drives req's native weighted ingest
+// through the weighted workload columns (including the heavy-hitter pattern
+// and the weighted adversarial stream) under the weighted high-tail gate at
+// exact eps: rank error ≤ ε·(W−t+1) in weight units.
+func TestRelativeDifferentialWeighted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("weighted relative differential matrix")
+	}
+	cases := []checker.WeightedCase{
+		{Name: "weighted-req", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget { return req.NewFloat64(wdiffEps) }},
+		{Name: "weighted-sharded-req", Eps: wdiffEps,
+			New: func(int64) checker.WeightedTarget {
+				return sharded.New(func() *req.Summary { return req.NewFloat64(wdiffEps) }, 8)
+			}},
+	}
+	workloads := wdiffWorkloads(t)
+	results := checker.RunWeightedRelativeDifferential(cases, workloads, wdiffGrid)
+	if len(results) != len(cases)*len(workloads) {
+		t.Fatalf("got %d cells, want %d", len(results), len(cases)*len(workloads))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s/%s: %s", r.Case, r.Workload, r.Report)
+		}
+	}
+}
+
+// TestUniformFamilyFailsRelativeGate pins the matrix's teeth: a uniform
+// summary at the same eps must violate the high-tail relative gate on some
+// workload. If GK ever passed everywhere, the gate would no longer be
+// distinguishing relative from uniform accuracy.
+func TestUniformFamilyFailsRelativeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relative matrix teeth")
+	}
+	failed := false
+	for _, wl := range diffWorkloads(t) {
+		s := gk.NewFloat64(diffEps)
+		for _, x := range wl.Items {
+			s.Update(x)
+		}
+		rep := checker.VerifyRelative(s, wl.Items, diffEps, diffGrid, 0)
+		if !rep.Passed() {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("gk passed the strict relative gate on every workload; the relative matrix has lost its teeth")
+	}
+}
+
+// TestVerifyRelativeSemantics pins the verifier itself on a hand-built
+// case: an exact summary reports zero worst error and passes; the report
+// carries the tail column.
+func TestVerifyRelativeSemantics(t *testing.T) {
+	items := make([]float64, 20_000)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	s := req.NewFloat64(0.01)
+	s.UpdateBatch(items)
+	rep := checker.VerifyRelative(s, items, 0.01, 100, 0)
+	if !rep.Passed() {
+		t.Fatalf("req on its own stream failed: %s", rep)
+	}
+	if rep.WorstRelError > 0.01 {
+		t.Fatalf("worst relative error %v over eps", rep.WorstRelError)
+	}
+	if rep.N != len(items) || rep.QueriesChecked == 0 {
+		t.Fatalf("malformed report: %s", rep)
+	}
+	// Empty data: a zero report that still passes.
+	empty := checker.VerifyRelative(req.NewFloat64(0.1), nil, 0.1, 100, 0)
+	if !empty.Passed() || empty.N != 0 || empty.QueriesChecked != 0 {
+		t.Fatalf("empty-stream report malformed: %s", empty)
+	}
+}
+
+// TestRelativeDifferentialLogTable dumps the T-series table recorded in
+// EXPERIMENTS.md: the tail column (error in ε·(N−t+1) budget units at
+// ϕ ∈ {0.999, 0.9999}) for the relative tier next to a uniform family at
+// the same eps, whose tail ratios blow up exactly as the teeth test
+// demands. Run with -v to see the table.
+func TestRelativeDifferentialLogTable(t *testing.T) {
+	if testing.Short() || !testing.Verbose() {
+		t.Skip("table dump only under -v")
+	}
+	cases := append(relCases(), checker.RelativeCase{
+		Name: "gk-uniform", Eps: diffEps,
+		New: func() summary.Summary[float64] { return gk.NewFloat64(diffEps) },
+	})
+	results := checker.RunRelativeDifferential(cases, diffWorkloads(t), diffGrid)
+	t.Logf("%-12s %-16s %8s %12s %12s %12s %8s %6s",
+		"family", "workload", "N", "tail@.999", "tail@.9999", "worst", "stored", "pass")
+	for _, r := range results {
+		t.Logf("%-12s %-16s %8d %12.4f %12.4f %12.4f %8d %6v",
+			r.Case, r.Workload, r.Report.N, r.Report.TailRelError[0], r.Report.TailRelError[1],
+			r.Report.WorstRelError, r.Report.StoredItems, r.Pass)
+	}
+}

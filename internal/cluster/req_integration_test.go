@@ -1,0 +1,101 @@
+package cluster_test
+
+// TestClusterREQNodesEndToEnd runs the 3-node + aggregator topology with
+// every node holding a sharded relative-error summary: the binary snapshots
+// travel as KindREQ payloads, the aggregator's COMBINE goes through
+// req.Merge, and the merged view must hold the HIGH-TAIL relative guarantee
+// at the max per-node eps — checked against rank.RelativeOracle at exact eps
+// with no slack, including ϕ ∈ {0.999, 0.9999, 1}, where the budget shrinks
+// below one item. Unlike mlq (which must agree on block size) and KLL (on
+// k), req's merge is a free COMBINE, so the nodes deliberately run the
+// heterogeneous nodeEps and the merged budget is their max.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"quantilelb/internal/bench"
+	"quantilelb/internal/cluster"
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/req"
+	"quantilelb/internal/sharded"
+)
+
+func TestClusterREQNodesEndToEnd(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.N = 12_000
+	workloads, err := bench.Workloads(cfg)
+	if err != nil {
+		t.Fatalf("building workloads: %v", err)
+	}
+	for _, wl := range workloads {
+		if wl.Name != "shuffled" && wl.Name != "adversarial-cv" {
+			continue
+		}
+		t.Run(wl.Name, func(t *testing.T) {
+			urls := make([]string, len(nodeEps))
+			sources := make([]cluster.Source, len(nodeEps))
+			for i, eps := range nodeEps {
+				eps := eps
+				s := sharded.New(func() *req.Summary { return req.NewFloat64(eps) }, 4)
+				srv := httptest.NewServer(cluster.NewServerHandler(s))
+				t.Cleanup(srv.Close)
+				urls[i] = srv.URL
+				sources[i] = &cluster.HTTPSource{URL: srv.URL, Fresh: true}
+			}
+			const batchSize = 500
+			for i, next := 0, 0; i < len(wl.Items); i += batchSize {
+				end := min(i+batchSize, len(wl.Items))
+				postBatch(t, urls[next], wl.Items[i:end])
+				next = (next + 1) % len(urls)
+			}
+			agg := cluster.New(sources...)
+			if err := agg.PullOnce(context.Background()); err != nil {
+				t.Fatalf("PullOnce: %v", err)
+			}
+			n := len(wl.Items)
+			if agg.Count() != n {
+				t.Fatalf("aggregator covers %d items, want %d", agg.Count(), n)
+			}
+			// The strict relative gate: budget ε·(N−t+1) at the max per-node
+			// eps, no slack. The TopRank(1)=1 query forces the globally merged
+			// view to return the exact overall maximum.
+			oracle := rank.NewRelativeOracle(wl.Items)
+			phis := make([]float64, 0, 104)
+			for i := 0; i <= 100; i++ {
+				phis = append(phis, float64(i)/100)
+			}
+			phis = append(phis, 0.999, 0.9999)
+			for _, phi := range phis {
+				v, ok := agg.Query(phi)
+				if !ok {
+					t.Fatalf("Query(%g) on a non-empty aggregator", phi)
+				}
+				budget := maxEps * float64(oracle.TopRank(phi))
+				if e := oracle.RankError(v, phi); float64(e) > budget+1e-9 {
+					t.Errorf("phi=%g: rank error %d exceeds relative budget %v", phi, e, budget)
+				}
+			}
+			// The re-exported global snapshot is itself a KindREQ payload at
+			// the COMBINE eps: aggregators of req nodes feed higher
+			// aggregators without losing the tail guarantee.
+			p, _, err := agg.SnapshotPayload()
+			if err != nil {
+				t.Fatalf("aggregator snapshot: %v", err)
+			}
+			dec, err := encoding.Decode(p)
+			if err != nil {
+				t.Fatalf("decoding aggregator snapshot: %v", err)
+			}
+			global, ok := dec.(*req.Summary)
+			if !ok {
+				t.Fatalf("aggregator re-exports %T, want *req.Summary", dec)
+			}
+			if global.Epsilon() != maxEps {
+				t.Errorf("merged eps = %g, want max over nodes = %g", global.Epsilon(), maxEps)
+			}
+		})
+	}
+}

@@ -2,8 +2,9 @@
 // quantile summaries, so sketches can be shipped between workers and a
 // coordinator (the distributed aggregation setting of Section 1 of the paper
 // and the "mergeable summaries" line of work it cites) or checkpointed to
-// disk. All five mergeable families are covered — GK, KLL, MRL, the
-// reservoir, and the multi-level MLQ summary — so a coordinator can
+// disk. All mergeable families are covered — GK, KLL, MRL, the
+// reservoir, the multi-level MLQ summary, and the relative-error REQ
+// summary — so a coordinator can
 // round-trip and merge whichever family its workers run, and the
 // sliding-window summary round-trips as well (KindWindow)
 // so every facade family can be checkpointed. The generic Encode/Decode pair
@@ -30,6 +31,7 @@ import (
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
+	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/window"
 )
@@ -54,6 +56,7 @@ const (
 	KindWindow    Kind = 5
 	KindStore     Kind = 6
 	KindMLQ       Kind = 7
+	KindREQ       Kind = 8
 )
 
 // String returns the short family name used in reports and peer status
@@ -74,6 +77,8 @@ func (k Kind) String() string {
 		return "store"
 	case KindMLQ:
 		return "mlq"
+	case KindREQ:
+		return "req"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -579,6 +584,8 @@ func Encode(s any) ([]byte, error) {
 		return EncodeWindow(v)
 	case *mlq.Summary:
 		return EncodeMLQ(v)
+	case *req.Summary:
+		return EncodeREQ(v)
 	}
 	return nil, fmt.Errorf("encoding: unsupported summary type %T", s)
 }
@@ -586,8 +593,8 @@ func Encode(s any) ([]byte, error) {
 // Decode reconstructs whichever summary a payload holds, dispatching on the
 // Kind tag. The result is one of *gk.Summary[float64], *kll.Sketch[float64],
 // *mrl.Summary[float64], *sampling.Reservoir[float64],
-// *window.Summary[float64], or *mlq.Summary; use DetectKind first when the
-// caller needs to know without paying for the full decode.
+// *window.Summary[float64], *mlq.Summary, or *req.Summary; use DetectKind
+// first when the caller needs to know without paying for the full decode.
 func Decode(payload []byte) (any, error) {
 	kind, err := DetectKind(payload)
 	if err != nil {
@@ -610,6 +617,8 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeWindow(payload)
 	case KindMLQ:
 		dec, decErr = DecodeMLQ(payload)
+	case KindREQ:
+		dec, decErr = DecodeREQ(payload)
 	case KindStore:
 		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
 	default:

@@ -16,6 +16,7 @@ import (
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
+	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/window"
 )
@@ -91,8 +92,47 @@ func seedPayloads(tb testing.TB) [][]byte {
 		prunedmlqS.Update(float64((i * 6151) % 997))
 	}
 	prunedmlqS.Prune(500)
+	// REQ corpus shapes: empty, a folded summary with a partial buffer, a
+	// weighted payload, a NaN-bearing payload (valid under the NaN-first
+	// total order), a merged payload (merged entry lists carry widened rank
+	// bounds the ingest path alone never produces), and a pruned payload
+	// (degraded eps, absolute-fallback entry shapes).
+	reqEmpty := req.NewFloat64(0.02)
+	reqFolded := req.NewFloat64(0.02)
+	for i := 0; i < 5_000; i++ {
+		reqFolded.Update(float64((i * 7919) % 4001))
+	}
+	wreqS := req.NewFloat64(0.02)
+	for i := 0; i < 500; i++ {
+		w := int64(i%37 + 1)
+		if i%97 == 0 {
+			w <<= 10
+		}
+		wreqS.WeightedUpdate(float64((i*7457)%1009), w)
+	}
+	nanreqS := req.NewFloat64(0.05)
+	for i := 0; i < 300; i++ {
+		if i%7 == 0 {
+			nanreqS.Update(math.NaN())
+		} else {
+			nanreqS.Update(float64((i * 7919) % 4001))
+		}
+	}
+	nanreqS.WeightedUpdate(math.NaN(), 5)
+	mergedreqS := req.NewFloat64(0.02)
+	for i := 0; i < 4_000; i++ {
+		mergedreqS.Update(float64((i * 6151) % 997))
+	}
+	if err := mergedreqS.Merge(reqFolded); err != nil {
+		tb.Fatalf("building merged req seed: %v", err)
+	}
+	prunedreqS := req.NewFloat64(0.02)
+	for i := 0; i < 20_000; i++ {
+		prunedreqS.Update(float64((i * 6151) % 997))
+	}
+	prunedreqS.Prune(50)
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS, reqEmpty, reqFolded, wreqS, nanreqS, mergedreqS, prunedreqS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

@@ -17,6 +17,7 @@ import (
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
+	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
 )
 
@@ -186,6 +187,13 @@ func CheckMergeable(dst, src any) error {
 			}
 			return nil
 		}
+	case *req.Summary:
+		// req merge is a free COMBINE: no structural parameter must match
+		// (compaction re-certifies gaps from scratch), so any two req
+		// summaries merge.
+		if _, ok := src.(*req.Summary); ok {
+			return nil
+		}
 	default:
 		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
 	}
@@ -193,7 +201,7 @@ func CheckMergeable(dst, src any) error {
 }
 
 // MergeAny folds src into dst when both hold the same mergeable concrete
-// float64 summary family (GK, KLL, MRL, the reservoir, or MLQ). Every branch
+// float64 summary family (GK, KLL, MRL, the reservoir, MLQ, or REQ). Every branch
 // preserves the COMBINE budget eps_new = max(eps_dst, eps_src). It is the
 // single merge-dispatch point shared by the cluster aggregator and the keyed
 // store, so a new family becomes mergeable everywhere by extending it here.
@@ -217,6 +225,10 @@ func MergeAny(dst, src any) error {
 		}
 	case *mlq.Summary:
 		if s, ok := src.(*mlq.Summary); ok {
+			return d.Merge(s)
+		}
+	case *req.Summary:
+		if s, ok := src.(*req.Summary); ok {
 			return d.Merge(s)
 		}
 	default:

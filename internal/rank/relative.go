@@ -1,0 +1,99 @@
+package rank
+
+// Relative-rank ground truth: the oracle the relative-error tier
+// (internal/req high-tail, internal/biased low-tail) is verified against.
+// Where the uniform guarantee allows every query the same ±εN, a
+// relative-error summary's allowance scales with how deep into its accurate
+// tail the query sits — ε·(N−t+1) items for a high-tail (p99.9/p99.99 SLO)
+// summary at target rank t, ε·t items for a low-tail (biased) one. The
+// RelativeOracle reports each answer's error in budget units, so "≤ ε with
+// no slack" is the pass criterion at every ϕ simultaneously.
+
+import "quantilelb/internal/order"
+
+// RelativeOracle answers exact relative-rank queries over a fixed multiset
+// of float64 items. It wraps Oracle under the NaN-first total order of
+// order.Floats — the same order internal/req and internal/mlq compare by —
+// so NaN-bearing streams verify like any other.
+type RelativeOracle struct {
+	*Oracle[float64]
+}
+
+// NewRelativeOracle builds a relative-rank oracle over items (which are
+// copied and sorted, NaN-aware).
+func NewRelativeOracle(items []float64) *RelativeOracle {
+	return &RelativeOracle{Oracle: NewOracle(order.Floats[float64](), items)}
+}
+
+// TopRank returns the from-the-top target rank N−⌊ϕN⌋+1 of the ϕ-quantile:
+// 1 for the maximum, N for the minimum. This is the budget unit of the
+// high-tail relative guarantee.
+func (o *RelativeOracle) TopRank(phi float64) int {
+	n := o.Len()
+	if n == 0 {
+		return 0
+	}
+	return n - QuantileRank(n, phi) + 1
+}
+
+// HighTailError returns candidate's rank error for the ϕ-quantile query in
+// high-tail budget units: |rank error| / (N−⌊ϕN⌋+1). A summary with the
+// high-tail relative guarantee (internal/req) must keep this at most ε for
+// every ϕ — which forces exactness at the extreme tail, where the budget
+// unit shrinks to a fraction of one item.
+func (o *RelativeOracle) HighTailError(candidate float64, phi float64) float64 {
+	r := o.TopRank(phi)
+	if r <= 0 {
+		return 0
+	}
+	return float64(o.RankError(candidate, phi)) / float64(r)
+}
+
+// LowTailError returns candidate's rank error for the ϕ-quantile query in
+// low-tail budget units: |rank error| / ⌊ϕN⌋. This is the convention of the
+// biased (CKMS-style) guarantee, accurate at low quantiles.
+func (o *RelativeOracle) LowTailError(candidate float64, phi float64) float64 {
+	n := o.Len()
+	if n == 0 {
+		return 0
+	}
+	t := QuantileRank(n, phi)
+	if t <= 0 {
+		return 0
+	}
+	return float64(o.RankError(candidate, phi)) / float64(t)
+}
+
+// RelativeWeightedOracle is the weighted twin of RelativeOracle: exact
+// relative-rank ground truth over a weighted multiset, with budgets in
+// weight units.
+type RelativeWeightedOracle struct {
+	*WeightedOracle[float64]
+}
+
+// NewRelativeWeightedOracle builds a weighted relative-rank oracle over
+// parallel item and positive-weight slices (NaN-aware). It panics on
+// malformed input exactly as NewWeightedOracle does.
+func NewRelativeWeightedOracle(items []float64, weights []int64) *RelativeWeightedOracle {
+	return &RelativeWeightedOracle{WeightedOracle: NewWeightedOracle(order.Floats[float64](), items, weights)}
+}
+
+// TopRank returns the from-the-top weighted target rank W−⌊ϕW⌋+1 of the
+// ϕ-quantile, the budget unit of the weighted high-tail guarantee.
+func (o *RelativeWeightedOracle) TopRank(phi float64) int64 {
+	w := o.TotalWeight()
+	if w == 0 {
+		return 0
+	}
+	return w - WeightedQuantileRank(w, phi) + 1
+}
+
+// HighTailError returns candidate's weighted rank error for the ϕ-quantile
+// query in high-tail budget units: |rank error| / (W−⌊ϕW⌋+1).
+func (o *RelativeWeightedOracle) HighTailError(candidate float64, phi float64) float64 {
+	r := o.TopRank(phi)
+	if r <= 0 {
+		return 0
+	}
+	return float64(o.RankError(candidate, phi)) / float64(r)
+}

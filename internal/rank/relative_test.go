@@ -1,0 +1,122 @@
+package rank_test
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/rank"
+)
+
+func TestRelativeOracleTopRank(t *testing.T) {
+	items := make([]float64, 1000)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	o := rank.NewRelativeOracle(items)
+	cases := []struct {
+		phi  float64
+		want int
+	}{
+		{1.0, 1},       // the maximum: budget unit 1
+		{0.999, 2},     // target rank 999
+		{0.5, 501},     // the median
+		{0.0, 1000},    // the minimum (target rank clamps to 1)
+		{0.0005, 1000}, // sub-one targets clamp to rank 1
+	}
+	for _, c := range cases {
+		if got := o.TopRank(c.phi); got != c.want {
+			t.Fatalf("TopRank(%v) = %d, want %d", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestRelativeOracleHighTailError(t *testing.T) {
+	items := make([]float64, 1000)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	o := rank.NewRelativeOracle(items)
+	// The exact maximum has zero error at phi=1.
+	if e := o.HighTailError(999, 1.0); e != 0 {
+		t.Fatalf("exact max: HighTailError = %v, want 0", e)
+	}
+	// Answering phi=1 (top rank 1) one item low costs a full budget unit.
+	if e := o.HighTailError(998, 1.0); e != 1 {
+		t.Fatalf("off-by-one at the max: HighTailError = %v, want 1", e)
+	}
+	// The same one-item miss at phi=0.999 (top rank 2) costs half a unit.
+	if e := o.HighTailError(997, 0.999); e != 0.5 {
+		t.Fatalf("off-by-one at phi=0.999: HighTailError = %v, want 0.5", e)
+	}
+	// Deep in the body the same absolute miss is nearly free.
+	if e := o.HighTailError(489, 0.5); e >= 0.05 {
+		t.Fatalf("10-item miss at the median: HighTailError = %v, want < 0.05", e)
+	}
+}
+
+func TestRelativeOracleLowTailError(t *testing.T) {
+	items := make([]float64, 1000)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	o := rank.NewRelativeOracle(items)
+	// The low-tail convention is the mirror image: rank-1 misses are the
+	// expensive ones.
+	if e := o.LowTailError(0, 0.0005); e != 0 {
+		t.Fatalf("exact min: LowTailError = %v, want 0", e)
+	}
+	if e := o.LowTailError(1, 0.0005); e != 1 {
+		t.Fatalf("off-by-one at the min: LowTailError = %v, want 1", e)
+	}
+	if e := o.LowTailError(989, 0.99); e >= 0.05 {
+		t.Fatalf("1-item miss at phi=0.99: LowTailError = %v, want < 0.05", e)
+	}
+}
+
+func TestRelativeOracleNaNAware(t *testing.T) {
+	// NaN sorts first under the total order, so it is the minimum; the
+	// oracle must agree with the summaries' comparator rather than hang or
+	// misrank.
+	items := []float64{3, math.NaN(), 1, 2, math.NaN()}
+	o := rank.NewRelativeOracle(items)
+	if got := o.TopRank(1.0); got != 1 {
+		t.Fatalf("TopRank(1) = %d, want 1", got)
+	}
+	if e := o.HighTailError(3, 1.0); e != 0 {
+		t.Fatalf("max of NaN stream: HighTailError = %v, want 0", e)
+	}
+	if e := o.LowTailError(math.NaN(), 0.2); e != 0 {
+		t.Fatalf("NaN run at the bottom: LowTailError = %v, want 0", e)
+	}
+}
+
+func TestRelativeOracleEmpty(t *testing.T) {
+	o := rank.NewRelativeOracle(nil)
+	if o.TopRank(0.5) != 0 {
+		t.Fatal("TopRank on empty oracle must be 0")
+	}
+	if o.HighTailError(1, 0.5) != 0 || o.LowTailError(1, 0.5) != 0 {
+		t.Fatal("errors on empty oracle must be 0")
+	}
+}
+
+func TestRelativeWeightedOracle(t *testing.T) {
+	items := []float64{10, 20, 30}
+	weights := []int64{5, 3, 2} // total weight 10; 30 occupies ranks 9-10
+	o := rank.NewRelativeWeightedOracle(items, weights)
+	if got := o.TopRank(1.0); got != 1 {
+		t.Fatalf("TopRank(1) = %d, want 1", got)
+	}
+	if e := o.HighTailError(30, 1.0); e != 0 {
+		t.Fatalf("exact weighted max: HighTailError = %v, want 0", e)
+	}
+	// Answering phi=1 (weighted top rank 1) with 20 misses by one weight
+	// unit (20's last rank is 8, target 10 → error 2, budget 1).
+	if e := o.HighTailError(20, 1.0); e != 2 {
+		t.Fatalf("weighted off-by-two at the max: HighTailError = %v, want 2", e)
+	}
+	// phi=0.85 targets rank 8, which 20 covers exactly.
+	if e := o.HighTailError(20, 0.85); e != 0 {
+		t.Fatalf("weighted in-run answer: HighTailError = %v, want 0", e)
+	}
+}

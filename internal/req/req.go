@@ -1,0 +1,757 @@
+// Package req implements a mergeable relative-error quantile summary in the
+// style of the ReqSketch of Cormode–Mishra–Ross–Veselý ("Theory meets
+// Practice at the Median", PAPERS.md): rank error that scales with the
+// distance from the top of the stream, so p99.9/p99.99 tail queries stay
+// sharp where a uniform ε·N summary is useless.
+//
+// The guarantee is high-rank accuracy (the HRA mode of the ReqSketch
+// family): for every target rank t ∈ [1, N] the answered item's rank is off
+// by at most ε·(N−t+1) — the budget is the rank measured from the TOP of the
+// stream, so the maximum is always exact, the p99.99 answer is off by at
+// most ε·(N/10⁴), and the median still enjoys the uniform ε·N bound (which
+// the relative guarantee implies everywhere, so req also passes the uniform
+// differential matrix).
+//
+// Where the randomized ReqSketch stacks relative-compactors whose protected
+// "sections" shield the tail from compaction, this summary is deterministic:
+// it keeps one sorted list of entries carrying certified rank intervals
+// (the Entry machinery of internal/mlq — Rmin/Rmax bounds that merging adds
+// pairwise and compression never rewrites) and makes the section idea
+// explicit in two rules enforced by every compaction pass:
+//
+//   - an airtight top section: every entry whose rank interval reaches into
+//     the top K = ⌈4/ε⌉+64 ranks is never dropped. Entries are born exact
+//     (buffers fold in via an exact merge), and exact regions stay exact
+//     under MERGE, so the top section answers the extreme tail with zero
+//     error — which the integer granularity of the tail demands: at
+//     ϕ = 0.9999 and N = 30000 the budget is ε·2 < 1 item.
+//   - a relative gap budget below it: an entry may be dropped only if the
+//     certified uncertainty span this opens between its kept neighbours is
+//     at most 2δ·r, where r is the from-the-top rank at the upper end of the
+//     gap and δ = ε/2. A query landing in the gap answers with error at most
+//     half the span ≤ δ·r, inside the ε·r budget with factor-2 margin.
+//
+// Allowed gaps double as the rank falls away from the top, so the summary
+// retains O((1/ε)·log(εN)) entries plus the K exact top entries — the
+// relative-error analogue of the paper's Ω((1/ε)·log(εN)) lower-bound shape
+// for the uniform problem.
+//
+// Merging is a free COMBINE: rank bounds add pairwise, so both the gap
+// budget and the airtight top are preserved additively (each input
+// contributes gaps within 2δ of its own from-the-top ranks, and
+// from-the-top ranks add across inputs), the merged error target is
+// max(ε_a, ε_b), and no structural parameter has to match — any two req
+// summaries merge, unlike KLL's k or mlq's block size. Compaction after the
+// merge re-certifies every gap against the merged budget from scratch, so
+// merge error does not accumulate with merge depth.
+package req
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Entry is one retained item with its certified rank interval, identical in
+// meaning to mlq.Entry: Rmin lower-bounds the total weight of stream items
+// strictly less than V, Rmax upper-bounds the total weight of items ≤ V, and
+// W is the weight of the equal-to-V run the entry carries. Exact entries
+// have Rmax−Rmin = W; merging adds bounds pairwise and compaction only drops
+// whole entries, so bounds stay valid without ever being rewritten.
+type Entry struct {
+	V    float64
+	W    int64
+	Rmin int64
+	Rmax int64
+}
+
+// WeightedValue is one buffered, not-yet-folded item with its weight; the
+// encoding layer serializes the buffer as a slice of these.
+type WeightedValue struct {
+	V float64
+	W int64
+}
+
+const (
+	// minBuffer floors the ingest buffer so tiny ε targets still amortize
+	// the sort; maxBuffer caps the flush working set near 256 KiB of
+	// entries, mirroring mlq's cache-residency target.
+	minBuffer = 64
+	maxBuffer = 1 << 13
+
+	// airtightSlack pads the exact top section beyond the 4/ε the error
+	// argument needs, absorbing the boundary raggedness COMBINE merges can
+	// introduce at the section's lower edge.
+	airtightSlack = 64
+)
+
+// Summary is a mergeable relative-error quantile summary over float64 items.
+// It implements the repository's Summary, Mergeable, Epsiloned, and
+// WeightedUpdater interfaces. Like the other families it is not safe for
+// concurrent use; wrap it in internal/sharded for that.
+type Summary struct {
+	epsTarget float64
+	delta     float64 // per-gap budget ε/2
+	airtight  int64   // exact top-section depth K = ⌈4/ε⌉ + airtightSlack
+	b         int     // ingest buffer capacity
+	n         int64
+
+	buf  []float64       // unit-weight buffered items, unordered until folded
+	wbuf []WeightedValue // weighted buffered items, unordered until folded
+
+	entries []Entry // the compacted summary, ascending in V
+
+	// fold/compact scratch, reused across flushes
+	carry  []Entry
+	merged []Entry
+	keep   []Entry
+
+	// cached merged view of entries+buffer for the read path
+	view        []Entry
+	viewScratch []Entry
+	viewValid   bool
+}
+
+// NewFloat64 returns a relative-error summary with rank error at most
+// ε·(N−t+1) for every target rank t. It panics when eps is outside (0, 1),
+// matching the other families' constructors.
+func NewFloat64(eps float64) *Summary {
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("req: epsilon %v out of range (0,1)", eps))
+	}
+	s := &Summary{}
+	s.setEps(eps)
+	b := int(s.airtight)
+	if b < minBuffer {
+		b = minBuffer
+	}
+	if b > maxBuffer {
+		b = maxBuffer
+	}
+	s.b = b
+	s.buf = make([]float64, 0, b)
+	return s
+}
+
+// setEps installs an error target and the derived gap budget and airtight
+// depth. Called at construction and when Merge or Prune degrade the target.
+func (s *Summary) setEps(eps float64) {
+	s.epsTarget = eps
+	s.delta = eps / 2
+	s.airtight = int64(math.Ceil(4/eps)) + airtightSlack
+}
+
+// Epsilon returns the effective accuracy target: the construction-time ε,
+// raised if a Merge or Prune degraded it.
+func (s *Summary) Epsilon() float64 { return s.epsTarget }
+
+// BufferSize returns the ingest buffer capacity.
+func (s *Summary) BufferSize() int { return s.b }
+
+// Count returns the total weight ingested (the number of items for
+// unit-weight streams).
+func (s *Summary) Count() int { return int(s.n) }
+
+// Update processes the next stream item.
+func (s *Summary) Update(x float64) {
+	s.buf = append(s.buf, x)
+	s.n++
+	s.viewValid = false
+	if len(s.buf)+len(s.wbuf) >= s.b {
+		s.fold()
+	}
+}
+
+// UpdateBatch processes a batch of items, filling the ingest buffer in bulk
+// so the per-item cost is an append plus an amortized share of the sorted
+// fold.
+func (s *Summary) UpdateBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	s.viewValid = false
+	for len(xs) > 0 {
+		free := s.b - len(s.buf) - len(s.wbuf)
+		if free <= 0 {
+			s.fold()
+			continue
+		}
+		take := min(free, len(xs))
+		s.buf = append(s.buf, xs[:take]...)
+		s.n += int64(take)
+		xs = xs[take:]
+		if len(s.buf)+len(s.wbuf) >= s.b {
+			s.fold()
+		}
+	}
+}
+
+// WeightedUpdate processes one item carrying weight w. It panics when
+// w ≤ 0, matching the WeightedUpdater contract.
+func (s *Summary) WeightedUpdate(x float64, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("req: weight %d is not positive", w))
+	}
+	if w == 1 {
+		s.Update(x)
+		return
+	}
+	s.wbuf = append(s.wbuf, WeightedValue{V: x, W: w})
+	s.n += w
+	s.viewValid = false
+	if len(s.buf)+len(s.wbuf) >= s.b {
+		s.fold()
+	}
+}
+
+// WeightedUpdateBatch processes parallel item and weight slices. It panics
+// when the lengths differ or any weight is ≤ 0.
+func (s *Summary) WeightedUpdateBatch(xs []float64, ws []int64) {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("req: %d items with %d weights", len(xs), len(ws)))
+	}
+	for i, x := range xs {
+		s.WeightedUpdate(x, ws[i])
+	}
+}
+
+// fold sorts the buffered items into an exact summary, merges it into the
+// entries list (an exact merge: no error is introduced), and compacts the
+// result under the gap budget.
+func (s *Summary) fold() {
+	if len(s.buf) == 0 && len(s.wbuf) == 0 {
+		return
+	}
+	slices.Sort(s.buf)
+	sortWeighted(s.wbuf)
+	s.carry = buildExact(s.carry[:0], s.buf, s.wbuf)
+	s.buf = s.buf[:0]
+	s.wbuf = s.wbuf[:0]
+	if len(s.entries) == 0 {
+		s.entries = append(s.entries[:0], s.carry...)
+	} else {
+		s.merged = mergeEntries(s.merged[:0], s.entries, s.carry)
+		s.compact(s.merged, s.delta, s.airtight)
+	}
+	s.viewValid = false
+}
+
+// compact rebuilds s.entries from src, dropping every entry the two keep
+// rules allow. It walks from the top so each drop is certified against the
+// entry's final kept successor: an entry whose rank interval reaches into
+// the top K ranks is always kept, and below the section an entry is dropped
+// only when the certified uncertainty span it opens between its neighbours
+// fits the relative gap budget 2δ·r at the gap's upper end. The first and
+// last entries (the exact extremes) are always kept. Surviving entries keep
+// their bounds unchanged, so compaction never compounds error — it only
+// opens gaps it has certified.
+func (s *Summary) compact(src []Entry, delta float64, airtight int64) {
+	if len(src) <= 2 {
+		s.entries = append(s.entries[:0], src...)
+		return
+	}
+	n := totalWeight(src)
+	last := len(src) - 1
+	s.keep = append(s.keep[:0], src[last])
+	f := &src[last] // kept successor of the candidate under consideration
+	for i := last - 1; i >= 1; i-- {
+		e := &src[i]
+		if n-e.Rmin <= airtight {
+			// The entry's interval reaches the exact top section: keep.
+			s.keep = append(s.keep, *e)
+			f = e
+			continue
+		}
+		d := &src[i-1]
+		span := (f.Rmax - f.W + 1) - (d.Rmin + d.W)
+		if span > 0 {
+			rtop := n - (f.Rmax - f.W)
+			if rtop < 1 {
+				rtop = 1
+			}
+			if float64(span) > 2*delta*float64(rtop) {
+				s.keep = append(s.keep, *e)
+				f = e
+				continue
+			}
+		}
+		// Dropped: the next candidate below is checked against the same f,
+		// so the eventually-kept adjacent pair has had its full combined
+		// span certified.
+	}
+	s.keep = append(s.keep, src[0])
+	s.entries = s.entries[:0]
+	for i := len(s.keep) - 1; i >= 0; i-- {
+		s.entries = append(s.entries, s.keep[i])
+	}
+}
+
+// cmpFloat is the NaN-aware total order every value comparison in this
+// package goes through: NaN sorts before all other values and equals itself,
+// the same order as order.Floats (and as slices.Sort on float64 slices).
+// Raw <, >, == on values must not appear outside this function — under IEEE
+// comparison NaN != NaN, which stalls buildExact's run-coalescing cursors
+// and breaks mergeEntries' three-way split (the PR6 mlq lesson).
+func cmpFloat(a, b float64) int {
+	aNaN := a != a
+	bNaN := b != b
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortWeighted sorts the weighted buffer by value without allocating.
+func sortWeighted(ws []WeightedValue) {
+	slices.SortFunc(ws, func(a, b WeightedValue) int { return cmpFloat(a.V, b.V) })
+}
+
+// buildExact merges the sorted unit buffer and sorted weighted buffer into
+// an exact summary in dst: equal values coalesce into one entry, and every
+// entry has Rmin = weight strictly below it, Rmax = Rmin + W.
+func buildExact(dst []Entry, buf []float64, wbuf []WeightedValue) []Entry {
+	var cum int64
+	i, j := 0, 0
+	for i < len(buf) || j < len(wbuf) {
+		var v float64
+		if j >= len(wbuf) || (i < len(buf) && cmpFloat(buf[i], wbuf[j].V) <= 0) {
+			v = buf[i]
+		} else {
+			v = wbuf[j].V
+		}
+		var w int64
+		for i < len(buf) && cmpFloat(buf[i], v) == 0 {
+			w++
+			i++
+		}
+		for j < len(wbuf) && cmpFloat(wbuf[j].V, v) == 0 {
+			w += wbuf[j].W
+			j++
+		}
+		dst = append(dst, Entry{V: v, W: w, Rmin: cum, Rmax: cum + w})
+		cum += w
+	}
+	return dst
+}
+
+// totalWeight returns the total weight a summary covers; by construction
+// the last entry's Rmax is exact.
+func totalWeight(es []Entry) int64 {
+	if len(es) == 0 {
+		return 0
+	}
+	return es[len(es)-1].Rmax
+}
+
+// mergeEntries is MERGE: the two-pointer combination of two summaries whose
+// rank bounds add. An x-entry at value v gains from y a lower bound of its
+// predecessor's Rmin+W (all of the predecessor's items are < v) and an upper
+// bound of its successor's Rmax−W (the successor's own items are > v); equal
+// values coalesce with both bound pairs summing. No error is introduced, so
+// exact regions of both inputs stay exact in the result.
+func mergeEntries(dst, x, y []Entry) []Entry {
+	wx, wy := totalWeight(x), totalWeight(y)
+	i, j := 0, 0
+	for i < len(x) || j < len(y) {
+		switch {
+		case j >= len(y) || (i < len(x) && cmpFloat(x[i].V, y[j].V) < 0):
+			e := x[i]
+			var lo int64
+			hi := wy
+			if j > 0 {
+				lo = y[j-1].Rmin + y[j-1].W
+			}
+			if j < len(y) {
+				hi = y[j].Rmax - y[j].W
+			}
+			e.Rmin += lo
+			e.Rmax += hi
+			dst = append(dst, e)
+			i++
+		case i >= len(x) || cmpFloat(y[j].V, x[i].V) < 0:
+			e := y[j]
+			var lo int64
+			hi := wx
+			if i > 0 {
+				lo = x[i-1].Rmin + x[i-1].W
+			}
+			if i < len(x) {
+				hi = x[i].Rmax - x[i].W
+			}
+			e.Rmin += lo
+			e.Rmax += hi
+			dst = append(dst, e)
+			j++
+		default:
+			dst = append(dst, Entry{
+				V:    x[i].V,
+				W:    x[i].W + y[j].W,
+				Rmin: x[i].Rmin + y[j].Rmin,
+				Rmax: x[i].Rmax + y[j].Rmax,
+			})
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// ensureView folds the live buffer (as an exact summary) and the entries
+// list into the cached merged view. Sorting the buffer in place is
+// physically visible but logically neutral: the buffer is an unordered
+// multiset until it folds.
+func (s *Summary) ensureView() {
+	if s.viewValid {
+		return
+	}
+	slices.Sort(s.buf)
+	sortWeighted(s.wbuf)
+	cur := buildExact(s.view[:0], s.buf, s.wbuf)
+	alt := s.viewScratch[:0]
+	if len(s.entries) > 0 {
+		if len(cur) == 0 {
+			cur = append(cur, s.entries...)
+		} else {
+			alt = mergeEntries(alt, cur, s.entries)
+			cur, alt = alt, cur
+		}
+	}
+	s.view, s.viewScratch = cur, alt
+	s.viewValid = true
+}
+
+// Query returns an approximate ϕ-quantile: the retained item whose rank
+// interval is closest to the target rank ⌊ϕN⌋ (clamped to [1, N]), the same
+// convention as the other families. The boolean is false when empty. The
+// answered rank is within ε·(N−t+1) of the target t — exact at the maximum,
+// relative in the tail, and within the uniform ε·N everywhere.
+func (s *Summary) Query(phi float64) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	s.ensureView()
+	t := int64(math.Floor(phi * float64(s.n)))
+	if t < 1 {
+		t = 1
+	}
+	if t > s.n {
+		t = s.n
+	}
+	view := s.view
+	// An entry's W equal-valued items occupy a contiguous run of true ranks
+	// somewhere inside (Rmin, Rmax]; answering it for target t is off by at
+	// most the distance from t to the worst-case placement of that run. The
+	// entry's own weight is not uncertainty — a heavy run answers every
+	// target inside it exactly — so the bound subtracts W from both sides.
+	best, bestErr := 0, int64(math.MaxInt64)
+	for i := range view {
+		e := &view[i]
+		if e.Rmin+1-t >= bestErr {
+			// Rmin is non-decreasing and errBound ≥ Rmin+1−t from here on.
+			break
+		}
+		err := max64(t-(e.Rmin+e.W), (e.Rmax-e.W+1)-t)
+		if err < 0 {
+			err = 0
+		}
+		if err < bestErr {
+			best, bestErr = i, err
+		}
+	}
+	return view[best].V, true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EstimateRank estimates the total weight of stream items ≤ q as the
+// midpoint of the merged view's bounds around q.
+func (s *Summary) EstimateRank(q float64) int {
+	if s.n == 0 {
+		return 0
+	}
+	s.ensureView()
+	view := s.view
+	// e = last entry with V ≤ q, f = first entry with V > q (total order, so
+	// q = NaN resolves to the weight of the NaN run rather than to n).
+	f := sort.Search(len(view), func(i int) bool { return cmpFloat(view[i].V, q) > 0 })
+	var lo, hi int64
+	hi = s.n
+	if f > 0 {
+		lo = view[f-1].Rmin + view[f-1].W
+	}
+	if f < len(view) {
+		hi = view[f].Rmax - view[f].W
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return int((lo + hi + 1) / 2)
+}
+
+// StoredItems returns every retained item — buffered values plus the
+// entries list — in non-decreasing order. The slice is owned by the caller.
+func (s *Summary) StoredItems() []float64 {
+	out := make([]float64, 0, s.StoredCount())
+	out = append(out, s.buf...)
+	for _, p := range s.wbuf {
+		out = append(out, p.V)
+	}
+	for i := range s.entries {
+		out = append(out, s.entries[i].V)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// StoredCount returns the number of retained items without materializing
+// them.
+func (s *Summary) StoredCount() int {
+	return len(s.buf) + len(s.wbuf) + len(s.entries)
+}
+
+// Merge is COMBINE: it folds other into s without modifying other. Rank
+// bounds add pairwise, so the relative gap budget and the airtight top are
+// both preserved (see the package comment), the merged target is
+// max(ε_s, ε_other), and — unlike KLL's k or mlq's block size — no
+// structural parameter has to match: any two req summaries merge.
+func (s *Summary) Merge(other *Summary) error {
+	if other == nil || other.n == 0 {
+		// An empty source merges into anything of its own family, mirroring
+		// the other families' Merge implementations (and CheckMergeable).
+		return nil
+	}
+	if other == s {
+		return fmt.Errorf("req: cannot merge a summary into itself")
+	}
+	s.fold()
+	// Ingest other's buffered items through the normal buffered path.
+	for _, v := range other.buf {
+		s.Update(v)
+	}
+	for _, p := range other.wbuf {
+		s.WeightedUpdate(p.V, p.W)
+	}
+	s.fold()
+	if len(other.entries) > 0 {
+		if other.epsTarget > s.epsTarget {
+			s.setEps(other.epsTarget)
+		}
+		if len(s.entries) == 0 {
+			s.entries = append(s.entries[:0], other.entries...)
+		} else {
+			s.merged = mergeEntries(s.merged[:0], s.entries, other.entries)
+			s.compact(s.merged, s.delta, s.airtight)
+		}
+		s.n += totalWeight(other.entries)
+	} else if other.epsTarget > s.epsTarget {
+		s.setEps(other.epsTarget)
+	}
+	// Materialize the merged view before returning: a freshly merged summary
+	// is the read path of snapshot fan-in (sharded, cluster), where multiple
+	// goroutines query the result concurrently. Leaving the view valid makes
+	// Query/EstimateRank pure reads until the next update.
+	s.viewValid = false
+	s.ensureView()
+	return nil
+}
+
+// Prune shrinks the summary toward at most k+1 entries by re-compacting
+// under a doubled gap budget until it fits, degrading the effective ε to the
+// loosest budget used (Epsilon reports it). The relative guarantee survives
+// at the degraded ε as long as doubling suffices; below the ~log₂(εN)
+// entries the relative shape fundamentally needs, Prune falls back to an
+// absolute mlq-style compression to honour the size contract, and the
+// reported ε saturates just below 1 (vacuous, and still inside Restore's
+// (0,1) range). It mirrors gk.Prune: a one-shot space/accuracy trade for
+// snapshots.
+func (s *Summary) Prune(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("req: prune size %d is not positive", k))
+	}
+	s.fold()
+	if len(s.entries) <= k+1 {
+		return
+	}
+	d := s.delta
+	for len(s.entries) > k+1 && d < 0.5 {
+		d *= 2
+		if d > 0.5 {
+			d = 0.5
+		}
+		airtight := int64(math.Ceil(1 / (2 * d)))
+		src := append(s.merged[:0], s.entries...)
+		s.merged = src
+		s.compact(src, d, airtight)
+	}
+	eps := 2 * d
+	if eps >= 1 {
+		eps = math.Nextafter(1, 0)
+	}
+	if len(s.entries) > k+1 {
+		// Absolute fallback: keep k+1 entries at evenly spaced rank targets.
+		src := append(s.merged[:0], s.entries...)
+		s.merged = src
+		s.entries = compressAbsolute(s.entries[:0], src, k)
+		eps = math.Nextafter(1, 0)
+	}
+	if eps > s.epsTarget {
+		s.setEps(eps)
+	}
+	s.viewValid = false
+}
+
+// compressAbsolute keeps at most k+1 entries of src, chosen as in gk.Prune:
+// for each target rank i·W/k keep the entry whose rank-interval midpoint is
+// nearest, always keeping the first and last entries so the true extremes
+// survive. Bounds are unchanged; the uniform error grows to about 1/k.
+func compressAbsolute(dst, src []Entry, k int) []Entry {
+	if len(src) <= k+1 {
+		return append(dst, src...)
+	}
+	w := float64(totalWeight(src))
+	last := len(src) - 1
+	dst = append(dst, src[0])
+	idx, prev := 0, 0
+	for i := 1; i < k; i++ {
+		t := float64(i) * w / float64(k)
+		for idx+1 < last && midDist(src[idx+1], t) <= midDist(src[idx], t) {
+			idx++
+		}
+		if idx > prev {
+			dst = append(dst, src[idx])
+			prev = idx
+		}
+	}
+	dst = append(dst, src[last])
+	return dst
+}
+
+func midDist(e Entry, t float64) float64 {
+	return math.Abs(float64(e.Rmin+e.Rmax)/2 - t)
+}
+
+// Buffered returns the buffered, not-yet-folded items with their weights,
+// for the encoding layer. Unit items carry W=1.
+func (s *Summary) Buffered() []WeightedValue {
+	out := make([]WeightedValue, 0, len(s.buf)+len(s.wbuf))
+	for _, v := range s.buf {
+		out = append(out, WeightedValue{V: v, W: 1})
+	}
+	out = append(out, s.wbuf...)
+	return out
+}
+
+// Entries returns a copy of the compacted entries list in ascending order,
+// for the encoding layer.
+func (s *Summary) Entries() []Entry {
+	return append([]Entry(nil), s.entries...)
+}
+
+// CheckInvariant verifies the structural invariants of the summary: entries
+// strictly increasing in V under the NaN-first total order, rank bounds
+// non-decreasing and consistent (Rmin₀ = 0, Rmax−Rmin ≥ W ≥ 1), both
+// extremes exact (first entry Rmax = W; last entry Rmin+W = Rmax = entries
+// weight — the anchor of the from-the-top budget), and total weight
+// conservation across entries plus the buffer. The relative gap budget is
+// deliberately not re-checked here: COMBINE merges are allowed to carry
+// gaps certified against the pre-merge totals, and the differential suite
+// gates the end-to-end relative error instead. It returns nil when the
+// summary is consistent.
+func (s *Summary) CheckInvariant() error {
+	total := int64(len(s.buf))
+	for _, p := range s.wbuf {
+		if p.W <= 0 {
+			return fmt.Errorf("req: buffered weight %d is not positive", p.W)
+		}
+		total += p.W
+	}
+	if len(s.entries) > 0 {
+		es := s.entries
+		if es[0].Rmin != 0 {
+			return fmt.Errorf("req: first Rmin = %d, want 0", es[0].Rmin)
+		}
+		if es[0].Rmax != es[0].W {
+			return fmt.Errorf("req: first entry bounds [%d,%d] not exact for weight %d", es[0].Rmin, es[0].Rmax, es[0].W)
+		}
+		for i, e := range es {
+			if e.W < 1 {
+				return fmt.Errorf("req: entry %d weight %d < 1", i, e.W)
+			}
+			if e.Rmax-e.Rmin < e.W {
+				return fmt.Errorf("req: entry %d bounds [%d,%d] narrower than weight %d", i, e.Rmin, e.Rmax, e.W)
+			}
+			if i > 0 {
+				prev := es[i-1]
+				if !(cmpFloat(prev.V, e.V) < 0) {
+					return fmt.Errorf("req: entries %d,%d not strictly increasing (%v, %v)", i-1, i, prev.V, e.V)
+				}
+				if e.Rmin < prev.Rmin || e.Rmax < prev.Rmax {
+					return fmt.Errorf("req: rank bounds decrease at entry %d", i)
+				}
+			}
+		}
+		top := es[len(es)-1]
+		if top.Rmin+top.W != top.Rmax {
+			return fmt.Errorf("req: last entry bounds [%d,%d] not exact for weight %d", top.Rmin, top.Rmax, top.W)
+		}
+		total += top.Rmax
+	}
+	if total != s.n {
+		return fmt.Errorf("req: retained weight %d does not conserve count %d", total, s.n)
+	}
+	return nil
+}
+
+// Restore rebuilds a summary from decoded state, validating it the way the
+// other families' Restore functions do: it rejects out-of-range parameters,
+// unsorted or inconsistent entries, and weight totals that do not conserve.
+func Restore(eps float64, b int, buffered []WeightedValue, entries []Entry) (*Summary, error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("req: restore epsilon %v out of range (0,1)", eps)
+	}
+	if b < 2 || b > 1<<26 {
+		return nil, fmt.Errorf("req: restore buffer size %d out of range", b)
+	}
+	if len(buffered) > b {
+		return nil, fmt.Errorf("req: restore buffer holds %d items, capacity is %d", len(buffered), b)
+	}
+	s := &Summary{}
+	s.setEps(eps)
+	s.b = b
+	s.buf = make([]float64, 0, b)
+	for _, p := range buffered {
+		if p.W <= 0 {
+			return nil, fmt.Errorf("req: restore buffered weight %d is not positive", p.W)
+		}
+		if p.W == 1 {
+			s.buf = append(s.buf, p.V)
+		} else {
+			s.wbuf = append(s.wbuf, p)
+		}
+		s.n += p.W
+	}
+	if len(entries) > 0 {
+		s.entries = append([]Entry(nil), entries...)
+		s.n += totalWeight(s.entries)
+	}
+	if err := s.CheckInvariant(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

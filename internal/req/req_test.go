@@ -1,0 +1,585 @@
+package req_test
+
+// Property tests for the relative-error summary: every workload in the
+// repository's matrix (including the paper's adversarial stream) is checked
+// against the exact rank oracle under the STRICT relative gate — rank error
+// at target t at most ε·(N−t+1), no slack — plus the family contracts the
+// other summaries pin in their own packages: batch/update equivalence,
+// weighted ingest vs the weighted oracle, NaN streams under the total
+// order, COMBINE merge semantics, Prune degradation, and structural
+// invariants after every operation. The cross-family accuracy matrix lives
+// in internal/checker; these tests are the package-local teeth.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantilelb/internal/bench"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/req"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+)
+
+// Compile-time interface conformance, mirroring the facade's checks.
+var (
+	_ summary.Summary[float64]         = (*req.Summary)(nil)
+	_ summary.Mergeable[*req.Summary]  = (*req.Summary)(nil)
+	_ summary.WeightedUpdater[float64] = (*req.Summary)(nil)
+	_ summary.Epsiloned                = (*req.Summary)(nil)
+)
+
+const (
+	testN   = 30_000
+	testEps = 0.02
+)
+
+// tailPhis are the quantiles the relative guarantee exists for: at
+// N = 30000 and ε = 0.02 the 0.9999 budget is under one item, so the tail
+// must be answered exactly.
+var tailPhis = []float64{0.9, 0.99, 0.999, 0.9999, 1.0}
+
+func testWorkloads(t testing.TB) []stream.Stream {
+	t.Helper()
+	gen := stream.NewGenerator(42)
+	var out []stream.Stream
+	for _, name := range []string{"sorted", "reverse", "shuffled", "zipf", "duplicates", "drift"} {
+		st, err := gen.ByName(name, testN)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out = append(out, *st)
+	}
+	adv, err := bench.AdversarialWorkload(testN)
+	if err != nil {
+		t.Fatalf("adversarial workload: %v", err)
+	}
+	out = append(out, *stream.New(adv.Name, adv.Items))
+	return out
+}
+
+// relBudget is the relative allowance at target rank t out of n: ε·(n−t+1).
+func relBudget(eps float64, n, t int) float64 {
+	return eps * float64(n-t+1)
+}
+
+// assertRelative drives a grid of quantile queries (dense in the tail) and
+// asserts the strict relative gate against the oracle.
+func assertRelative(t *testing.T, s *req.Summary, items []float64, eps float64) {
+	t.Helper()
+	oracle := rank.Float64Oracle(items)
+	n := oracle.Len()
+	phis := make([]float64, 0, 300)
+	for i := 0; i <= 200; i++ {
+		phis = append(phis, float64(i)/200)
+	}
+	// Geometric tail grid: from-the-top rank 1, 2, 4, ... so the strictest
+	// budgets are all exercised.
+	for r := 1; r < n; r *= 2 {
+		phis = append(phis, float64(n-r)/float64(n))
+	}
+	phis = append(phis, tailPhis...)
+	for _, phi := range phis {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%v) on non-empty summary returned !ok", phi)
+		}
+		e := oracle.RankError(got, phi)
+		target := rank.QuantileRank(n, phi)
+		if float64(e) > relBudget(eps, n, target) {
+			t.Fatalf("phi=%v target=%d: rank error %d exceeds relative budget %.2f",
+				phi, target, e, relBudget(eps, n, target))
+		}
+	}
+}
+
+func TestRelativeAccuracyAcrossWorkloads(t *testing.T) {
+	for _, wl := range testWorkloads(t) {
+		wl := wl
+		t.Run(wl.Name(), func(t *testing.T) {
+			s := req.NewFloat64(testEps)
+			for _, x := range wl.Items() {
+				s.Update(x)
+			}
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("invariant after ingest: %v", err)
+			}
+			if s.Count() != wl.Len() {
+				t.Fatalf("Count = %d, want %d", s.Count(), wl.Len())
+			}
+			assertRelative(t, s, wl.Items(), testEps)
+		})
+	}
+}
+
+func TestExactBelowBufferCapacity(t *testing.T) {
+	s := req.NewFloat64(0.05)
+	items := make([]float64, 0, 50)
+	for i := 0; i < 50; i++ {
+		x := float64((i * 37) % 23)
+		items = append(items, x)
+		s.Update(x)
+	}
+	oracle := rank.Float64Oracle(items)
+	for i := 0; i <= 100; i++ {
+		phi := float64(i) / 100
+		got, _ := s.Query(phi)
+		if e := oracle.RankError(got, phi); e != 0 {
+			t.Fatalf("phi=%v: buffered-only summary answered with rank error %d, want exact", phi, e)
+		}
+	}
+	for _, q := range items {
+		if est, exact := s.EstimateRank(q), oracle.RankLE(q); est != exact {
+			t.Fatalf("EstimateRank(%v) = %d, want exact %d", q, est, exact)
+		}
+	}
+}
+
+func TestUpdateBatchMatchesUpdate(t *testing.T) {
+	items := stream.NewGenerator(7).Shuffled(20_000).Items()
+	one := req.NewFloat64(testEps)
+	batch := req.NewFloat64(testEps)
+	for _, x := range items {
+		one.Update(x)
+	}
+	for i := 0; i < len(items); i += 997 {
+		batch.UpdateBatch(items[i:min(i+997, len(items))])
+	}
+	if one.Count() != batch.Count() {
+		t.Fatalf("counts diverge: %d vs %d", one.Count(), batch.Count())
+	}
+	for i := 0; i <= 400; i++ {
+		phi := float64(i) / 400
+		a, _ := one.Query(phi)
+		b, _ := batch.Query(phi)
+		if a != b {
+			t.Fatalf("phi=%v: update path answered %v, batch path %v", phi, a, b)
+		}
+	}
+}
+
+func TestWeightedRelativeAccuracy(t *testing.T) {
+	gen := rand.New(rand.NewSource(11))
+	n := 4_000
+	items := make([]float64, n)
+	weights := make([]int64, n)
+	var totalW int64
+	for i := range items {
+		items[i] = gen.NormFloat64() * 100
+		weights[i] = int64(gen.Intn(50) + 1)
+		if i%211 == 0 {
+			weights[i] <<= 12 // heavy runs
+		}
+		totalW += weights[i]
+	}
+	s := req.NewFloat64(testEps)
+	s.WeightedUpdateBatch(items, weights)
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after weighted ingest: %v", err)
+	}
+	if int64(s.Count()) != totalW {
+		t.Fatalf("Count = %d, want total weight %d", s.Count(), totalW)
+	}
+	oracle := rank.Float64WeightedOracle(items, weights)
+	for i := 0; i <= 200; i++ {
+		phi := float64(i) / 200
+		got, _ := s.Query(phi)
+		e := oracle.RankError(got, phi)
+		target := rank.WeightedQuantileRank(totalW, phi)
+		budget := testEps * float64(totalW-target+1)
+		if float64(e) > budget {
+			t.Fatalf("phi=%v: weighted rank error %d exceeds relative budget %.2f", phi, e, budget)
+		}
+	}
+	for _, phi := range tailPhis {
+		got, _ := s.Query(phi)
+		e := oracle.RankError(got, phi)
+		target := rank.WeightedQuantileRank(totalW, phi)
+		if float64(e) > testEps*float64(totalW-target+1) {
+			t.Fatalf("tail phi=%v: weighted rank error %d over budget", phi, e)
+		}
+	}
+}
+
+func TestNaNStream(t *testing.T) {
+	s := req.NewFloat64(0.05)
+	items := make([]float64, 0, 5_000)
+	for i := 0; i < 5_000; i++ {
+		x := float64((i * 7919) % 4001)
+		if i%11 == 0 {
+			x = math.NaN()
+		}
+		items = append(items, x)
+		s.Update(x)
+	}
+	s.WeightedUpdate(math.NaN(), 7)
+	items = append(items, math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN())
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("invariant with NaNs: %v", err)
+	}
+	// The NaN-aware oracle sorts NaN first, same as the summary's total
+	// order; queries must stay within the relative budget and must not hang.
+	assertRelative(t, s, items, 0.05)
+	if est := s.EstimateRank(math.NaN()); est <= 0 {
+		t.Fatalf("EstimateRank(NaN) = %d, want the NaN run's weight", est)
+	}
+}
+
+func TestMergePreservesRelativeGuarantee(t *testing.T) {
+	for _, parts := range []int{2, 8, 16} {
+		for _, wl := range testWorkloads(t) {
+			items := wl.Items()
+			shards := make([]*req.Summary, parts)
+			for i := range shards {
+				shards[i] = req.NewFloat64(testEps)
+			}
+			for i, x := range items {
+				shards[i%parts].Update(x)
+			}
+			dst := shards[0]
+			for _, src := range shards[1:] {
+				if err := dst.Merge(src); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+			}
+			if dst.Count() != len(items) {
+				t.Fatalf("merged count %d, want %d", dst.Count(), len(items))
+			}
+			if err := dst.CheckInvariant(); err != nil {
+				t.Fatalf("invariant after %d-way merge (%s): %v", parts, wl.Name(), err)
+			}
+			t.Run(wl.Name(), func(t *testing.T) {
+				assertRelative(t, dst, items, testEps)
+			})
+		}
+	}
+}
+
+func TestMergeTreeDepth(t *testing.T) {
+	// A 64-leaf binary merge tree: the worst realistic fan-in shape for the
+	// cluster tier. Error must not accumulate with depth.
+	items := stream.NewGenerator(3).Shuffled(32_768).Items()
+	leaves := make([]*req.Summary, 64)
+	for i := range leaves {
+		leaves[i] = req.NewFloat64(testEps)
+	}
+	for i, x := range items {
+		leaves[i%len(leaves)].Update(x)
+	}
+	for len(leaves) > 1 {
+		next := leaves[:0]
+		for i := 0; i+1 < len(leaves); i += 2 {
+			if err := leaves[i].Merge(leaves[i+1]); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			next = append(next, leaves[i])
+		}
+		leaves = next
+	}
+	root := leaves[0]
+	if root.Count() != len(items) {
+		t.Fatalf("root count %d, want %d", root.Count(), len(items))
+	}
+	assertRelative(t, root, items, testEps)
+}
+
+func TestMergeEpsIsMax(t *testing.T) {
+	a := req.NewFloat64(0.01)
+	b := req.NewFloat64(0.05)
+	for i := 0; i < 1_000; i++ {
+		a.Update(float64(i))
+		b.Update(float64(-i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got := a.Epsilon(); got != 0.05 {
+		t.Fatalf("merged Epsilon = %v, want max input 0.05", got)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	s := req.NewFloat64(testEps)
+	s.Update(1)
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must error")
+	}
+	if err := s.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if err := s.Merge(req.NewFloat64(0.5)); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+	if got := s.Epsilon(); got != testEps {
+		t.Fatalf("empty merge changed Epsilon to %v", got)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("edge-case merges changed count to %d", s.Count())
+	}
+	// Merging into an empty destination adopts the source wholesale.
+	empty := req.NewFloat64(testEps)
+	if err := empty.Merge(s); err != nil {
+		t.Fatalf("merge into empty: %v", err)
+	}
+	if empty.Count() != 1 {
+		t.Fatalf("merge into empty lost items: count %d", empty.Count())
+	}
+}
+
+func TestPrune(t *testing.T) {
+	items := stream.NewGenerator(5).Shuffled(50_000).Items()
+	oracle := rank.Float64Oracle(items)
+	for _, k := range []int{5, 50, 500} {
+		s := req.NewFloat64(0.01)
+		s.UpdateBatch(items)
+		before := s.Epsilon()
+		s.Prune(k)
+		if got := s.StoredCount(); got > k+1 {
+			t.Fatalf("Prune(%d) left %d entries, want at most %d", k, got, k+1)
+		}
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("invariant after Prune(%d): %v", k, err)
+		}
+		if s.Epsilon() < before {
+			t.Fatalf("Prune(%d) tightened Epsilon from %v to %v", k, before, s.Epsilon())
+		}
+		if !(s.Epsilon() < 1) {
+			t.Fatalf("Prune(%d) pushed Epsilon to %v, outside (0,1)", k, s.Epsilon())
+		}
+		if s.Count() != len(items) {
+			t.Fatalf("Prune(%d) changed count to %d", k, s.Count())
+		}
+		// The exact extremes always survive a prune.
+		if got, _ := s.Query(1); got != oracle.Select(len(items)) {
+			t.Fatalf("Prune(%d) lost the maximum: Query(1) = %v", k, got)
+		}
+		if got, _ := s.Query(0); got != oracle.Select(1) {
+			t.Fatalf("Prune(%d) lost the minimum: Query(0) = %v", k, got)
+		}
+		// The degraded guarantee still holds at the degraded ε.
+		eps := s.Epsilon()
+		for i := 0; i <= 100; i++ {
+			phi := float64(i) / 100
+			got, _ := s.Query(phi)
+			e := oracle.RankError(got, phi)
+			if float64(e) > eps*float64(len(items))+1 {
+				t.Fatalf("Prune(%d) phi=%v: error %d over degraded uniform budget", k, phi, e)
+			}
+		}
+	}
+}
+
+func TestPruneNoOpWhenSmall(t *testing.T) {
+	s := req.NewFloat64(0.1)
+	for i := 0; i < 30; i++ {
+		s.Update(float64(i))
+	}
+	s.Prune(100)
+	if got := s.Epsilon(); got != 0.1 {
+		t.Fatalf("no-op prune degraded Epsilon to %v", got)
+	}
+	if got, _ := s.Query(0.5); got != 14 && got != 15 {
+		t.Fatalf("no-op prune broke queries: Query(0.5) = %v", got)
+	}
+}
+
+func TestRetainedSpaceIsLogarithmic(t *testing.T) {
+	// The compaction rules admit O((1/ε)·log(εN) + K) entries; a regression
+	// here (for example a broken drop rule) shows up as linear growth.
+	s := req.NewFloat64(0.01)
+	items := stream.NewGenerator(9).Shuffled(200_000).Items()
+	s.UpdateBatch(items)
+	if got := s.StoredCount(); got > 8_000 {
+		t.Fatalf("retained %d items at N=200k, eps=0.01 — compaction is not engaging", got)
+	}
+	if got := s.StoredCount(); got < 100 {
+		t.Fatalf("retained only %d items — suspiciously aggressive compaction", got)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	build := func(name string) *req.Summary {
+		s := req.NewFloat64(testEps)
+		switch name {
+		case "empty":
+		case "buffered":
+			for i := 0; i < 10; i++ {
+				s.Update(float64(i))
+			}
+			s.WeightedUpdate(3.5, 9)
+		case "folded":
+			s.UpdateBatch(stream.NewGenerator(1).Shuffled(10_000).Items())
+		case "merged":
+			s.UpdateBatch(stream.NewGenerator(1).Shuffled(5_000).Items())
+			o := req.NewFloat64(0.05)
+			o.UpdateBatch(stream.NewGenerator(2).Zipf(5_000, 1.5, 1).Items())
+			if err := s.Merge(o); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		case "pruned":
+			s.UpdateBatch(stream.NewGenerator(1).Shuffled(20_000).Items())
+			s.Prune(100)
+		case "nan":
+			for i := 0; i < 3_000; i++ {
+				if i%13 == 0 {
+					s.Update(math.NaN())
+				} else {
+					s.Update(float64(i % 701))
+				}
+			}
+		}
+		return s
+	}
+	for _, name := range []string{"empty", "buffered", "folded", "merged", "pruned", "nan"} {
+		s := build(name)
+		r, err := req.Restore(s.Epsilon(), s.BufferSize(), s.Buffered(), s.Entries())
+		if err != nil {
+			t.Fatalf("%s: Restore: %v", name, err)
+		}
+		if r.Count() != s.Count() {
+			t.Fatalf("%s: restored count %d, want %d", name, r.Count(), s.Count())
+		}
+		if err := r.CheckInvariant(); err != nil {
+			t.Fatalf("%s: restored invariant: %v", name, err)
+		}
+		for i := 0; i <= 100; i++ {
+			phi := float64(i) / 100
+			a, aok := s.Query(phi)
+			b, bok := r.Query(phi)
+			if aok != bok || (aok && cmpNaN(a, b) != 0) {
+				t.Fatalf("%s: phi=%v: original answered %v/%v, restored %v/%v", name, phi, a, aok, b, bok)
+			}
+		}
+	}
+}
+
+func cmpNaN(a, b float64) int {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return 0
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	}
+	return 2
+}
+
+func TestRestoreRejections(t *testing.T) {
+	good := req.NewFloat64(testEps)
+	good.UpdateBatch(stream.NewGenerator(4).Shuffled(5_000).Items())
+	entries := good.Entries()
+	cases := []struct {
+		name    string
+		eps     float64
+		b       int
+		buf     []req.WeightedValue
+		entries []req.Entry
+	}{
+		{"eps-zero", 0, 64, nil, entries},
+		{"eps-one", 1, 64, nil, entries},
+		{"buffer-size", testEps, 1, nil, entries},
+		{"buffer-overflow", testEps, 2, []req.WeightedValue{{V: 1, W: 1}, {V: 2, W: 1}, {V: 3, W: 1}}, nil},
+		{"non-positive-weight", testEps, 64, []req.WeightedValue{{V: 1, W: 0}}, nil},
+		{"unsorted", testEps, 64, nil, []req.Entry{
+			{V: 5, W: 1, Rmin: 0, Rmax: 1},
+			{V: 2, W: 1, Rmin: 1, Rmax: 2},
+		}},
+		{"first-not-exact", testEps, 64, nil, []req.Entry{
+			{V: 1, W: 1, Rmin: 0, Rmax: 3},
+			{V: 2, W: 1, Rmin: 2, Rmax: 3},
+		}},
+		{"last-not-exact", testEps, 64, nil, []req.Entry{
+			{V: 1, W: 1, Rmin: 0, Rmax: 1},
+			{V: 2, W: 1, Rmin: 1, Rmax: 3},
+		}},
+		{"bounds-narrow", testEps, 64, nil, []req.Entry{
+			{V: 1, W: 3, Rmin: 0, Rmax: 1},
+		}},
+		{"rmin-nonzero", testEps, 64, nil, []req.Entry{
+			{V: 1, W: 1, Rmin: 2, Rmax: 3},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := req.Restore(c.eps, c.b, c.buf, c.entries); err == nil {
+			t.Fatalf("%s: Restore accepted an invalid state", c.name)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("eps=0", func() { req.NewFloat64(0) })
+	expectPanic("eps=1", func() { req.NewFloat64(1) })
+	expectPanic("eps<0", func() { req.NewFloat64(-0.5) })
+	s := req.NewFloat64(0.1)
+	expectPanic("weight=0", func() { s.WeightedUpdate(1, 0) })
+	expectPanic("weight<0", func() { s.WeightedUpdate(1, -3) })
+	expectPanic("batch-mismatch", func() { s.WeightedUpdateBatch([]float64{1, 2}, []int64{1}) })
+	expectPanic("prune<1", func() { s.Prune(0) })
+}
+
+func TestInvariantUnderRandomOps(t *testing.T) {
+	// A deterministic op-fuzz: random interleavings of every mutation the
+	// summary supports, with the structural invariant asserted throughout.
+	gen := rand.New(rand.NewSource(99))
+	s := req.NewFloat64(0.05)
+	var n int64
+	for op := 0; op < 4_000; op++ {
+		switch gen.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			s.Update(gen.NormFloat64() * 1000)
+			n++
+		case 5:
+			xs := make([]float64, gen.Intn(300))
+			for i := range xs {
+				xs[i] = gen.Float64() * 100
+			}
+			s.UpdateBatch(xs)
+			n += int64(len(xs))
+		case 6:
+			w := int64(gen.Intn(1000) + 1)
+			s.WeightedUpdate(gen.Float64(), w)
+			n += w
+		case 7:
+			o := req.NewFloat64([]float64{0.02, 0.05, 0.2}[gen.Intn(3)])
+			cnt := gen.Intn(500)
+			for i := 0; i < cnt; i++ {
+				o.Update(gen.NormFloat64())
+			}
+			if err := s.Merge(o); err != nil {
+				t.Fatalf("op %d merge: %v", op, err)
+			}
+			n += int64(cnt)
+		case 8:
+			if gen.Intn(10) == 0 {
+				s.Prune(gen.Intn(200) + 10)
+			}
+		case 9:
+			s.Query(gen.Float64())
+			s.EstimateRank(gen.NormFloat64() * 1000)
+		}
+		if op%97 == 0 {
+			if err := s.CheckInvariant(); err != nil {
+				t.Fatalf("op %d: invariant: %v", op, err)
+			}
+			if int64(s.Count()) != n {
+				t.Fatalf("op %d: count %d, want %d", op, s.Count(), n)
+			}
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatalf("final invariant: %v", err)
+	}
+}

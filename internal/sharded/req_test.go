@@ -1,0 +1,120 @@
+package sharded
+
+// Torture coverage for the relative-error tail family behind the sharded
+// wrapper: req's fold path mutates per-summary scratch buffers in place and
+// its Merge materializes the cached read view, so both must only ever run
+// under the owning shard's lock (the PR6 lesson, re-pinned here for the new
+// family). This test hammers concurrent UpdateBatch/WeightedUpdate writers
+// against snapshot readers and is the cell the CI req -race job exists for —
+// with the accuracy gate checked in the HIGH-TAIL relative convention, since
+// uniform accuracy is not what req is for.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/req"
+	"quantilelb/internal/summary"
+)
+
+func reqFactory(eps float64) func() *req.Summary {
+	return func() *req.Summary { return req.NewFloat64(eps) }
+}
+
+// The sharded wrapper over req must satisfy the full summary interface.
+var _ summary.Summary[float64] = (*Sharded[float64, *req.Summary])(nil)
+
+// TestREQConcurrentBatchIngestion drives many writers through the batched
+// ingest path of req shards while readers pull merged snapshots. Afterwards
+// the merged view must hold every item and answer tail queries within the
+// relative budget ε·(N−t+1)+2 (COMBINE keeps eps_new = max over equal-eps
+// shards; the +2 covers the write-buffer items a final Refresh flushes in a
+// different order than a serial ingest would). Run under -race: the mutable
+// fold scratch and the cached view make req as likely as mlq to expose a
+// locking hole in the wrapper.
+func TestREQConcurrentBatchIngestion(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+		eps       = 0.02
+	)
+	s := New(reqFactory(eps), 8, WithRefreshEvery(5000), WithWriteBuffer(64))
+	all := make([][]float64, writers)
+	for w := range all {
+		rng := rand.New(rand.NewSource(int64(w + 211)))
+		items := make([]float64, perWriter)
+		for i := range items {
+			items[i] = float64(w) + rng.Float64()
+		}
+		all[w] = items
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int, items []float64) {
+			defer wg.Done()
+			switch w % 3 {
+			case 0: // batched, the fast path the buffer exists for
+				for i := 0; i < len(items); i += 128 {
+					end := i + 128
+					if end > len(items) {
+						end = len(items)
+					}
+					s.UpdateBatch(items[i:end])
+				}
+			case 1: // item-at-a-time
+				for _, x := range items {
+					s.Update(x)
+				}
+			default: // weighted, through the same buffered flush machinery
+				for _, x := range items {
+					s.WeightedUpdate(x, 1)
+				}
+			}
+		}(w, all[w])
+	}
+	readDone := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readDone:
+					return
+				default:
+					s.Query(0.999)
+					s.EstimateRank(4)
+					s.CDF(2.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readDone)
+	readers.Wait()
+	s.Refresh()
+
+	n := writers * perWriter
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d (lost items under concurrency)", s.Count(), n)
+	}
+	var flat []float64
+	for _, items := range all {
+		flat = append(flat, items...)
+	}
+	oracle := rank.NewRelativeOracle(flat)
+	for _, phi := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed after ingestion")
+		}
+		budget := eps*float64(oracle.TopRank(phi)) + 2
+		if err := oracle.RankError(got, phi); float64(err) > budget {
+			t.Errorf("phi=%v rank error %d exceeds relative budget %v", phi, err, budget)
+		}
+	}
+}

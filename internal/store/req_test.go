@@ -1,0 +1,192 @@
+package store
+
+// Per-key coverage for the relative-error tail family: the store's factory
+// hook must hand each key its own req summary at that key's eps, pick up
+// req's batched and native weighted ingest paths, snapshot/restore/merge it
+// through the KindREQ wire format, and survive the concurrency torture the
+// other families are held to — run under CI's req -race job.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/req"
+	"quantilelb/internal/stream"
+)
+
+// TestREQFactoryBatchesAndSnapshots runs a per-key req factory through the
+// store: batched and native weighted ingest must both be picked up, the
+// high-tail relative gate holds at exact eps, and a snapshot payload restores
+// and keeps merging (req's free COMBINE).
+func TestREQFactoryBatchesAndSnapshots(t *testing.T) {
+	const eps = 0.02
+	s := New(Config{
+		Eps:     eps,
+		Factory: func(eps float64) Summary { return req.NewFloat64(eps) },
+	})
+	gen := stream.NewGenerator(8)
+	items := gen.Shuffled(30_000).Items()
+	s.UpdateBatch("k", items)
+	// Weighted writes route through req's native weighted buffer, not the
+	// guarded expansion: a heavy run far beyond the expansion cap must land.
+	if err := s.WeightedUpdate("w", 42.5, 1<<20); err != nil {
+		t.Fatalf("weighted update: %v", err)
+	}
+	if s.Count("w") != 1<<20 {
+		t.Fatalf("weighted count = %d, want %d", s.Count("w"), 1<<20)
+	}
+	oracle := rank.NewRelativeOracle(items)
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		got, ok := s.Query("k", phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		// Deterministic family: the exact relative budget, no slack.
+		budget := eps * float64(oracle.TopRank(phi))
+		if e := oracle.RankError(got, phi); float64(e) > budget+1e-9 {
+			t.Errorf("req phi %g error %d exceeds relative budget %v", phi, e, budget)
+		}
+	}
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r, err := Restore(Config{Eps: eps}, payload)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Count("k") != len(items) || r.Count("w") != 1<<20 {
+		t.Fatalf("restored counts = %d/%d", r.Count("k"), r.Count("w"))
+	}
+	// A restored store keeps merging req payloads per key.
+	if _, err := r.MergePayload(payload); err != nil {
+		t.Fatalf("merge restored payload: %v", err)
+	}
+	if r.Count("k") != 2*len(items) {
+		t.Fatalf("count after self-merge = %d", r.Count("k"))
+	}
+	// The tail stays accurate after the self-merge: the doubled stream is the
+	// same multiset twice, so the exact maximum is unchanged and req's
+	// merge-preserved exact top must still return it at phi=1.
+	wantMax := oracle.Select(len(items))
+	if got, ok := r.Query("k", 1); !ok || got != wantMax {
+		t.Errorf("max after self-merge = %v, %v; want %v", got, ok, wantMax)
+	}
+}
+
+// TestREQFactoryTortureStableKeys is the store torture cell for the req
+// factory: concurrent writers over stable and victim keys, snapshotters and a
+// deleter churning alongside, exact counts on keys never deleted, and a
+// high-tail accuracy spot check on one key whose substream is recorded.
+func TestREQFactoryTortureStableKeys(t *testing.T) {
+	s := New(Config{
+		Eps:     0.05,
+		Shards:  4,
+		Factory: func(eps float64) Summary { return req.NewFloat64(eps) },
+	})
+	const (
+		writers        = 8
+		opsPerWriter   = 2_000
+		stableKeyCount = 5
+		victimKeyCount = 3
+	)
+	stable := make([]string, stableKeyCount)
+	for i := range stable {
+		stable[i] = fmt.Sprintf("stable-%d", i)
+	}
+	victims := make([]string, victimKeyCount)
+	for i := range victims {
+		victims[i] = fmt.Sprintf("victim-%d", i)
+	}
+	var sent [stableKeyCount]atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				ki := (w + i) % stableKeyCount
+				switch i % 4 {
+				case 0, 1:
+					s.Update(stable[ki], float64(i))
+					sent[ki].Add(1)
+				case 2:
+					s.UpdateBatch(stable[ki], []float64{1, 2, 3})
+					sent[ki].Add(3)
+				case 3:
+					s.Update(victims[(w+i)%victimKeyCount], float64(i))
+				}
+			}
+		}(w)
+	}
+	stopCh := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(3)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			for _, k := range stable {
+				s.Query(k, 0.999) // the tail query req serves
+				s.EstimateRank(k, 1)
+				s.CDF(k, 2)
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			if _, _, err := s.SnapshotPayload(); err != nil {
+				t.Errorf("snapshot under load: %v", err)
+				return
+			}
+			s.Keys()
+			s.Stats()
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			s.Delete(victims[i%victimKeyCount])
+		}
+	}()
+
+	wg.Wait()
+	close(stopCh)
+	aux.Wait()
+
+	for i, k := range stable {
+		if got, want := int64(s.Count(k)), sent[i].Load(); got != want {
+			t.Errorf("stable key %q lost updates: count %d, want %d", k, got, want)
+		}
+	}
+	// Victim keys recreate cleanly onto fresh req summaries.
+	for _, k := range victims {
+		s.Delete(k)
+		s.Update(k, 42)
+		if s.Count(k) != 1 {
+			t.Errorf("victim key %q did not recreate cleanly: count %d", k, s.Count(k))
+		}
+		if v, ok := s.Query(k, 1); !ok || v != 42 {
+			t.Errorf("victim key %q query after recreate = %v, %v", k, v, ok)
+		}
+	}
+}

@@ -6,9 +6,9 @@
 // needs most often:
 //
 //   - streaming quantile summaries (Greenwald–Khanna and its greedy variant,
-//     MRL, KLL, the multi-level block-buffer summary MLQ, reservoir sampling,
-//     biased/relative-error quantiles, and the deliberately space-capped
-//     strawman),
+//     MRL, KLL, the multi-level block-buffer summary MLQ, the mergeable
+//     relative-error tail summary REQ, reservoir sampling, biased
+//     low-quantile summaries, and the deliberately space-capped strawman),
 //   - weighted ingestion (UpdateWeighted, WeightedUpdater): pre-counted or
 //     importance-weighted observations ingest in o(w) per item on GK, KLL,
 //     MRL, MLQ, and the reservoir, with rank error at most ε·W over the
@@ -44,6 +44,7 @@ import (
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/order"
+	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
 	"quantilelb/internal/sharded"
 	"quantilelb/internal/store"
@@ -82,6 +83,7 @@ var (
 	_ Summary = (*capped.Summary[float64])(nil)
 	_ Summary = (*window.Summary[float64])(nil)
 	_ Summary = (*mlq.Summary)(nil)
+	_ Summary = (*req.Summary)(nil)
 	_ Summary = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 
 	// compile-time mergeability checks: every factory NewSharded accepts.
@@ -90,6 +92,7 @@ var (
 	_ summary.Mergeable[*mrl.Summary[float64]]        = (*mrl.Summary[float64])(nil)
 	_ summary.Mergeable[*sampling.Reservoir[float64]] = (*sampling.Reservoir[float64])(nil)
 	_ summary.Mergeable[*mlq.Summary]                 = (*mlq.Summary)(nil)
+	_ summary.Mergeable[*req.Summary]                 = (*req.Summary)(nil)
 
 	// compile-time weighted-capability checks: every mergeable family and the
 	// sharded wrapper ingest weighted items natively.
@@ -98,6 +101,7 @@ var (
 	_ WeightedUpdater = (*mrl.Summary[float64])(nil)
 	_ WeightedUpdater = (*sampling.Reservoir[float64])(nil)
 	_ WeightedUpdater = (*mlq.Summary)(nil)
+	_ WeightedUpdater = (*req.Summary)(nil)
 	_ WeightedUpdater = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 )
 
@@ -162,6 +166,15 @@ func NewKLL(eps float64, seed int64) *kll.Sketch[float64] {
 // flush path is allocation-free in the steady state and its retained space
 // is O((1/ε)·log²(εN)); see DESIGN.md for the eps accounting.
 func NewMLQ(eps float64) *mlq.Summary { return mlq.NewFloat64(eps) }
+
+// NewREQ returns a mergeable relative-error quantile summary with high-tail
+// accuracy eps (internal/req): rank error at most ε·(N−t+1) at target rank t,
+// so p99.9/p99.99 answers stay accurate — and the overall maximum exact — no
+// matter how long the stream runs, in O((1/ε)·log(εN)) retained items. Use it
+// when tail latency SLOs matter; use NewBiased for accuracy at LOW quantiles
+// instead. Its Merge is a free COMBINE (any two req summaries merge,
+// eps_new = max), so it runs under the sharded, keyed, and cluster tiers.
+func NewREQ(eps float64) *req.Summary { return req.NewFloat64(eps) }
 
 // NewReservoir returns a reservoir-sampling estimator sized (via the DKW
 // inequality) for accuracy eps with failure probability delta.
@@ -247,6 +260,14 @@ func MRLFactory(eps float64, maxN int) func() *mrl.Summary[float64] {
 // block-buffer flush, so this is the highest-throughput sharded backend.
 func MLQFactory(eps float64) func() *mlq.Summary {
 	return func() *mlq.Summary { return mlq.NewFloat64(eps) }
+}
+
+// REQFactory returns a factory of relative-error summaries with high-tail
+// accuracy eps, for use with NewSharded: the sharded wrapper then serves
+// p99.9+ queries at relative accuracy under concurrent writers, since req's
+// COMBINE merge keeps eps_new = max across shards.
+func REQFactory(eps float64) func() *req.Summary {
+	return func() *req.Summary { return req.NewFloat64(eps) }
 }
 
 // ReservoirFactory returns a factory of reservoir samplers sized for
@@ -378,6 +399,12 @@ func EncodeMLQ(s *mlq.Summary) ([]byte, error) { return encoding.EncodeMLQ(s) }
 
 // DecodeMLQ reconstructs a multi-level summary serialized by EncodeMLQ.
 func DecodeMLQ(payload []byte) (*mlq.Summary, error) { return encoding.DecodeMLQ(payload) }
+
+// EncodeREQ serializes a relative-error summary; DecodeREQ reverses it.
+func EncodeREQ(s *req.Summary) ([]byte, error) { return encoding.EncodeREQ(s) }
+
+// DecodeREQ reconstructs a relative-error summary serialized by EncodeREQ.
+func DecodeREQ(payload []byte) (*req.Summary, error) { return encoding.DecodeREQ(payload) }
 
 // adapter lifts the public Summary interface to the internal generic one
 // (the method sets are identical).
