@@ -5,7 +5,11 @@
 // shuffled, zipf, duplicates, drift, and the paper's adversarial stream), in
 // both item-at-a-time and batched ingestion modes — and writes the
 // machine-readable report that records the repository's performance
-// trajectory.
+// trajectory. The report also carries the agg-fanin-100 family: one keyed
+// aggregator pulling 100 keyed-store leaf servers over real HTTP, measured
+// in full-snapshot versus incremental-delta mode on idle-heavy and hot-all
+// churn (bytes/sec on the wire plus merge staleness; cmd/benchdiff gates the
+// delta-mode bandwidth at half of full mode on idle-heavy).
 //
 // Usage:
 //
@@ -31,8 +35,9 @@ import (
 func main() {
 	cfg := bench.DefaultConfig()
 	var (
-		out   = flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
-		quick = flag.Bool("quick", false, "single repetition, small n (smoke test)")
+		out     = flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+		quick   = flag.Bool("quick", false, "single repetition, small n (smoke test)")
+		noFanin = flag.Bool("no-fanin", false, "skip the agg-fanin-100 HTTP fan-in cells")
 	)
 	flag.IntVar(&cfg.N, "n", cfg.N, "items per workload")
 	flag.Float64Var(&cfg.Eps, "eps", cfg.Eps, "accuracy target for every family")
@@ -57,6 +62,15 @@ func main() {
 
 	rep := bench.Run(cfg, families, workloads)
 
+	if !*noFanin {
+		fmt.Fprintf(os.Stderr, "bench: running %s (full vs delta snapshot pulls over HTTP)\n", bench.FaninFamily)
+		faninCells, err := bench.RunFanin(cfg)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rep.Cells = append(rep.Cells, faninCells...)
+	}
+
 	payload, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatalf("bench: marshal: %v", err)
@@ -76,5 +90,17 @@ func main() {
 		}
 		fmt.Printf("%-12s %-8s %12.1f %14.0f %10d %12.5f\n",
 			c.Family, c.Mode, c.NsPerOp, c.ItemsPerSec, c.RetainedItems, c.MaxRankErrorFrac)
+	}
+	printedFaninHeader := false
+	for _, c := range rep.Cells {
+		if c.Family != bench.FaninFamily {
+			continue
+		}
+		if !printedFaninHeader {
+			fmt.Printf("\n%-14s %-12s %-8s %12s %14s %14s\n", "family", "workload", "mode", "wire_bytes", "wire_B/s", "staleness_ms")
+			printedFaninHeader = true
+		}
+		fmt.Printf("%-14s %-12s %-8s %12d %14.0f %14.1f\n",
+			c.Family, c.Workload, c.Mode, c.WireBytes, c.WireBytesPerSec, c.MergeStalenessMs)
 	}
 }

@@ -1,7 +1,7 @@
 // Command benchdiff is the benchmark-regression gate run by CI: it compares
 // a freshly produced workload-matrix report (cmd/bench) against the
 // committed baseline (the newest BENCH_PR<n>.json at the repository root,
-// currently BENCH_PR7.json) and fails — by
+// currently BENCH_PR8.json) and fails — by
 // exiting non-zero — on accuracy regressions, defined as any family ×
 // workload × mode cell whose measured max rank error exceeds the accuracy
 // the family was configured for. Speed is hardware- and runner-dependent, so
@@ -26,10 +26,16 @@
 // (Batch mode routes whole batches to one key each, touching too few keys
 // to exceed the budget on small runs, so only the ceiling gates it.)
 //
+// The aggregation fan-in family (agg-fanin-100) gates on bandwidth: on the
+// idle-heavy churn regime, delta-mode pulls must move at most half the
+// bytes/sec of full-snapshot pulls — the whole point of incremental
+// snapshots — and must actually have been answered with delta payloads
+// (zero delta fetches means the negotiation silently fell back to full).
+//
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
-//	go run ./cmd/benchdiff -baseline BENCH_PR7.json -report /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR8.json -report /tmp/bench-ci.json
 package main
 
 import (
@@ -52,7 +58,7 @@ var randomized = map[string]bool{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR7.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR8.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)
@@ -76,6 +82,7 @@ func main() {
 	failures := gateAccuracy(report, *slack)
 	failures = append(failures, gateTail(report)...)
 	failures = append(failures, gateBudget(report)...)
+	failures = append(failures, gateFanin(report)...)
 	printSpeedDeltas(baseline, report)
 	printCoverageDrift(baseline, report)
 
@@ -183,6 +190,45 @@ func gateBudget(rep *bench.Report) []string {
 	return failures
 }
 
+// gateFanin gates the delta-snapshot bandwidth claim of the agg-fanin-100
+// family: on the idle-heavy churn regime (the steady state of a large
+// fleet, where most leaves revalidate 304 and the changed ones move small
+// diffs), delta-mode pulls must transfer at most half the bytes/sec of
+// full-snapshot pulls, and must actually have used delta payloads — zero
+// delta fetches means the negotiation silently degraded to full snapshots,
+// which this gate must not reward. Reports without fan-in cells (e.g. a
+// -no-fanin run) pass vacuously.
+func gateFanin(rep *bench.Report) []string {
+	byMode := make(map[string]bench.Cell)
+	for _, c := range rep.Cells {
+		if c.Family == bench.FaninFamily && c.Workload == "idle-heavy" {
+			byMode[c.Mode] = c
+		}
+	}
+	full, haveFull := byMode["full"]
+	delta, haveDelta := byMode["delta"]
+	if !haveFull && !haveDelta {
+		return nil
+	}
+	var failures []string
+	if !haveFull || !haveDelta {
+		return append(failures, fmt.Sprintf(
+			"%s/idle-heavy: need both full and delta cells to gate bandwidth (have full=%v delta=%v)",
+			bench.FaninFamily, haveFull, haveDelta))
+	}
+	if delta.DeltaFetches == 0 {
+		failures = append(failures, fmt.Sprintf(
+			"%s/idle-heavy/delta: zero delta fetches (negotiation silently degraded to full snapshots)",
+			bench.FaninFamily))
+	}
+	if delta.WireBytesPerSec > 0.5*full.WireBytesPerSec {
+		failures = append(failures, fmt.Sprintf(
+			"%s/idle-heavy: delta mode moved %.0f B/s > half of full mode's %.0f B/s (deltas not saving bandwidth)",
+			bench.FaninFamily, delta.WireBytesPerSec, full.WireBytesPerSec))
+	}
+	return failures
+}
+
 func gatedCells(rep *bench.Report) int {
 	n := 0
 	for _, c := range rep.Cells {
@@ -213,8 +259,8 @@ func printSpeedDeltas(baseline, report *bench.Report) {
 	fmt.Printf("  %-14s %-12s %-8s %12s %12s %8s\n", "family", "workload", "mode", "base", "now", "delta")
 	for _, c := range report.Cells {
 		b, ok := base[cellKey{c.Family, c.Workload, c.Mode}]
-		if !ok {
-			continue
+		if !ok || b.NsPerOp <= 0 {
+			continue // fan-in cells record wire rates, not per-item ingest time
 		}
 		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		fmt.Printf("  %-14s %-12s %-8s %12.1f %12.1f %+7.1f%%\n",

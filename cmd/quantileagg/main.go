@@ -2,44 +2,60 @@
 // (internal/cluster): it periodically pulls the binary snapshot of every
 // configured quantileserver peer, merges them under the COMBINE rule
 // (eps_new = max over peers — distribution adds no error), and serves the
-// globally merged read API.
+// globally merged read API. Every route below is also available under the
+// versioned /v1/ prefix, which new clients should prefer.
 //
-// Default (single-stream) mode pulls GET /snapshot of each peer:
+// Default (single-stream) mode pulls GET /v1/snapshot of each peer, with
+// incremental delta snapshots negotiated by default (-delta=false forces
+// full payloads):
 //
 //	GET  /quantile  ?phi=0.5&phi=0.99  global quantiles over all peers
 //	GET  /rank      ?q=1.5             global rank estimate
 //	GET  /cdf       ?q=1&q=2           global CDF points
 //	GET  /stats                        merged-view size + per-peer pull health
+//	                                   (wire bytes, delta fetches, tree state)
 //	GET  /snapshot                     merged view re-exported as a wire
 //	                                   payload (aggregators compose into trees)
 //	POST /pull                         force a pull round now
 //
-// With -keyed it pulls GET /store/snapshot (the multi-key container of the
-// keyed store tier) instead and merges *per key* — a key held by several
+// With -keyed it pulls GET /v1/store/snapshot (the multi-key container of
+// the keyed store tier) instead and merges *per key* — a key held by several
 // peers gets their summaries COMBINE-merged, a key held by one passes
-// through — serving:
+// through — serving /k/{key}/quantile, /k/{key}/rank, /k/{key}/cdf, /keys,
+// /stats, /store/snapshot, and POST /pull.
 //
-//	GET  /k/{key}/quantile  per-key global quantiles
-//	GET  /k/{key}/rank      per-key global rank estimate
-//	GET  /k/{key}/cdf       per-key global CDF points
-//	GET  /keys              every key any peer holds
-//	GET  /stats             merged key count + per-peer pull health
-//	GET  /store/snapshot    merged keyed view re-exported as a container
-//	POST /pull              force a pull round now
+// Tree mode (-tree-height ≥ 2) turns the aggregator into a combiner in a
+// hierarchical aggregation tree: children are validated against the
+// per-level error budget eps/height, the merged view is pruned before
+// re-export, and -round-timeout sheds slow children to stale serving (see
+// internal/cluster/tree.go for the error accounting). A height-2 tree:
+//
+//	quantileserver -addr :8081 -eps 0.01 &   # leaves at eps/height = 0.02/2
+//	quantileserver -addr :8082 -eps 0.01 &
+//	quantileagg -addr :8080 -tree-eps 0.02 -tree-height 2 -tree-level 2 \
+//	    -peers http://localhost:8081,http://localhost:8082
+//
+// Children that cannot be pulled (NAT, strict firewalls) can push instead:
+// name them in -children and have each child run with -parent and -name, and
+// they will POST their snapshots to this combiner's
+// /v1/child/{name}/snapshot route every -interval.
 //
 // A peer that cannot be reached keeps contributing its last successful
 // snapshot; its error shows up in /stats until it recovers.
 //
-// Example:
+// Example (flat, keyed):
 //
 //	quantileserver -addr :8081 & quantileserver -addr :8082 & quantileserver -addr :8083 &
 //	quantileagg -addr :8080 -keyed -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
-//	curl -s 'localhost:8080/k/checkout.latency/quantile?phi=0.99'
+//	curl -s 'localhost:8080/v1/k/checkout.latency/quantile?phi=0.99'
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -52,20 +68,36 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		peers    = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://host:8081,http://host:8082)")
-		interval = flag.Duration("interval", 2*time.Second, "pull interval")
+		interval = flag.Duration("interval", 2*time.Second, "pull interval (and push interval with -parent)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-pull HTTP timeout")
-		keyed    = flag.Bool("keyed", false, "aggregate the keyed store tier (pull /store/snapshot, merge per key)")
+		keyed    = flag.Bool("keyed", false, "aggregate the keyed store tier (pull /v1/store/snapshot, merge per key)")
+		delta    = flag.Bool("delta", true, "negotiate incremental delta snapshots on pulls")
+
+		treeEps      = flag.Float64("tree-eps", 0, "end-to-end error budget of the aggregation tree (0 = flat aggregation)")
+		treeHeight   = flag.Int("tree-height", 0, "tree height, counting leaf servers as level 1")
+		treeLevel    = flag.Int("tree-level", 0, "this combiner's level, 2..height (defaults to height: the root)")
+		roundTimeout = flag.Duration("round-timeout", 0, "tree mode: shed children that miss this per-round deadline (0 = no deadline)")
+
+		children = flag.String("children", "", "tree mode: comma-separated names of push-fed children (they POST /v1/child/{name}/snapshot)")
+		parent   = flag.String("parent", "", "push this combiner's merged snapshot to a parent combiner's base URL every -interval")
+		name     = flag.String("name", "", "child name to push under (required with -parent)")
 	)
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*peers, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
+	urls := splitList(*peers)
+	childNames := splitList(*children)
+	treeMode := *treeHeight != 0 || *treeEps != 0 || *treeLevel != 0
+	if len(urls) == 0 && len(childNames) == 0 {
+		log.Fatal("quantileagg: -peers (or tree-mode -children) is required")
 	}
-	if len(urls) == 0 {
-		log.Fatal("quantileagg: -peers is required (comma-separated base URLs)")
+	if *parent != "" && *name == "" {
+		log.Fatal("quantileagg: -parent requires -name")
+	}
+	if treeMode && *keyed {
+		log.Fatal("quantileagg: -keyed and -tree-* are mutually exclusive (trees aggregate the single-stream tier)")
+	}
+	if !treeMode && len(childNames) > 0 {
+		log.Fatal("quantileagg: -children requires tree mode (-tree-eps and -tree-height)")
 	}
 	client := &http.Client{Timeout: *timeout}
 
@@ -73,13 +105,49 @@ func main() {
 		handler  http.Handler
 		pullOnce func(context.Context) error
 		start    func(time.Duration) func()
+		snapshot func() []byte
 	)
-	if *keyed {
-		agg := cluster.NewKeyedHTTP(client, urls...)
+	switch {
+	case treeMode:
+		if *treeLevel == 0 {
+			*treeLevel = *treeHeight
+		}
+		cfg := cluster.TreeConfig{
+			Eps:          *treeEps,
+			Height:       *treeHeight,
+			Level:        *treeLevel,
+			RoundTimeout: *roundTimeout,
+		}
+		var srcs []cluster.Source
+		for _, u := range urls {
+			srcs = append(srcs, &cluster.HTTPSource{URL: u, Client: client, Delta: *delta})
+		}
+		push := make([]*cluster.PushSource, len(childNames))
+		for i, n := range childNames {
+			push[i] = cluster.NewPushSource(n)
+			srcs = append(srcs, push[i])
+		}
+		agg, err := cluster.NewTree(cfg, srcs...)
+		if err != nil {
+			log.Fatalf("quantileagg: %v", err)
+		}
+		handler, pullOnce, start = cluster.NewTreeAggregatorHandler(agg, push...), agg.PullOnce, agg.Start
+		snapshot = func() []byte { p, _, _ := agg.SnapshotPayload(); return p }
+	case *keyed:
+		srcs := make([]cluster.Source, len(urls))
+		for i, u := range urls {
+			srcs[i] = &cluster.HTTPSource{URL: u, Client: client, Path: "/v1/store/snapshot", Delta: *delta}
+		}
+		agg := cluster.NewKeyed(srcs...)
 		handler, pullOnce, start = cluster.NewKeyedAggregatorHandler(agg), agg.PullOnce, agg.Start
-	} else {
-		agg := cluster.NewHTTP(client, urls...)
+	default:
+		srcs := make([]cluster.Source, len(urls))
+		for i, u := range urls {
+			srcs[i] = &cluster.HTTPSource{URL: u, Client: client, Delta: *delta}
+		}
+		agg := cluster.New(srcs...)
 		handler, pullOnce, start = cluster.NewAggregatorHandler(agg), agg.PullOnce, agg.Start
+		snapshot = func() []byte { p, _, _ := agg.SnapshotPayload(); return p }
 	}
 
 	if err := pullOnce(context.Background()); err != nil {
@@ -90,6 +158,49 @@ func main() {
 	stop := start(*interval)
 	defer stop()
 
-	log.Printf("quantileagg listening on %s (%d peers, keyed=%v, pull every %s)", *addr, len(urls), *keyed, *interval)
+	if *parent != "" {
+		if snapshot == nil {
+			log.Fatal("quantileagg: -parent is not supported with -keyed")
+		}
+		go pushLoop(client, *parent, *name, *interval, snapshot)
+	}
+
+	log.Printf("quantileagg listening on %s (%d peers, %d push children, keyed=%v, tree=%v, delta=%v, pull every %s)",
+		*addr, len(urls), len(childNames), *keyed, treeMode, *delta, *interval)
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pushLoop POSTs the merged snapshot to the parent combiner's push route
+// every interval, skipping rounds where the local view is still empty.
+// Push replaces the parent's retained copy (idempotent), so re-pushing an
+// unchanged snapshot is wasteful but harmless.
+func pushLoop(client *http.Client, parentURL, childName string, interval time.Duration, snapshot func() []byte) {
+	url := fmt.Sprintf("%s/v1/child/%s/snapshot", strings.TrimRight(parentURL, "/"), childName)
+	for range time.Tick(interval) {
+		payload := snapshot()
+		if payload == nil {
+			continue
+		}
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			log.Printf("quantileagg: pushing to parent: %v", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			log.Printf("quantileagg: parent rejected push: %s: %s", resp.Status, body)
+		}
+		resp.Body.Close()
+	}
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testConfig is a small, janitor-free node configuration for handler tests.
+func testConfig() nodeConfig {
+	return nodeConfig{
+		eps:     0.02,
+		shards:  2,
+		refresh: 64,
+		seed:    1,
+		maxN:    1 << 20,
+	}
+}
+
+// TestEveryFamilyServesHTTP boots each -family's full handler (sharded
+// summary + keyed store), ingests through the /v1/ API, and checks that a
+// median query answers sanely — pinning that internal/req and friends are
+// reachable via the HTTP default factories, not just as library code.
+func TestEveryFamilyServesHTTP(t *testing.T) {
+	for name, buildFamily := range families {
+		t.Run(name, func(t *testing.T) {
+			handler, stop := buildFamily(testConfig())
+			defer stop()
+			srv := httptest.NewServer(handler)
+			defer srv.Close()
+
+			var batch strings.Builder
+			for i := 1; i <= 2000; i++ {
+				batch.WriteString(strconv.Itoa(i))
+				batch.WriteByte(' ')
+			}
+			resp, err := http.Post(srv.URL+"/v1/update", "text/plain", strings.NewReader(batch.String()))
+			if err != nil {
+				t.Fatalf("update: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("update status = %d", resp.StatusCode)
+			}
+
+			resp, err = http.Get(srv.URL + "/v1/quantile?phi=0.5&fresh=1")
+			if err != nil {
+				t.Fatalf("quantile: %v", err)
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Results []struct {
+					Phi   float64 `json:"phi"`
+					Value float64 `json:"value"`
+				} `json:"results"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("decoding quantile response: %v", err)
+			}
+			if len(out.Results) != 1 {
+				t.Fatalf("results = %+v", out.Results)
+			}
+			// The median of 1..2000 sits at 1000; allow generous slack so the
+			// randomized families stay deterministic-pass under the fixed seed.
+			if v := out.Results[0].Value; v < 800 || v > 1200 {
+				t.Fatalf("family %s median = %v, want ~1000", name, v)
+			}
+
+			// The keyed store must run the same family: ingest one key and
+			// query it back.
+			resp, err = http.Post(srv.URL+"/v1/k/latency/update", "text/plain",
+				strings.NewReader("1 2 3 4 5 6 7 8 9 10"))
+			if err != nil {
+				t.Fatalf("keyed update: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("keyed update status = %d", resp.StatusCode)
+			}
+			resp, err = http.Get(srv.URL + "/v1/k/latency/quantile?phi=0.5")
+			if err != nil {
+				t.Fatalf("keyed quantile: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("keyed quantile status = %d", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestFamilyNamesSorted pins the supported family set — the -family contract
+// documented in README.md — and its deterministic ordering in error text.
+func TestFamilyNamesSorted(t *testing.T) {
+	got := familyNames()
+	want := []string{"gk", "kll", "mlq", "mrl", "req", "reservoir"}
+	if len(got) != len(want) {
+		t.Fatalf("familyNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("familyNames() = %v, want %v", got, want)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("familyNames() not sorted: %v", got)
+	}
+}
+
+// TestUnknownFamilyRejected pins that an unknown -family value is absent from
+// the registry (main turns that into the structured startup error).
+func TestUnknownFamilyRejected(t *testing.T) {
+	if _, ok := families["tdigest"]; ok {
+		t.Fatal("families should not contain tdigest")
+	}
+	if _, ok := families["gk"]; !ok {
+		t.Fatal("families must contain gk")
+	}
+}

@@ -4,8 +4,16 @@
 // is a writer or reader of the same summaries, with no coordination beyond
 // the sharded ingestion layer and the keyed store's lock striping.
 //
+// The summary family is selected with -family (gk, kll, mrl, mlq, req,
+// reservoir); it applies to both the single-stream summary and the keyed
+// store's per-key factory. Pick req for sharp high tails (p99.9+), mlq for
+// the fastest ingest, gk for the deterministic baseline; README.md has the
+// full choosing guide. Unknown family names fail startup with a structured
+// error on stderr.
+//
 // Single-stream endpoints (served by cluster.NewServerHandler; see its doc
-// comment for the full contract):
+// comment for the full contract — every route below is also available under
+// the versioned /v1/ prefix, which new clients should prefer):
 //
 //	POST /update    ingest a batch: whitespace/comma-separated float64s, a
 //	                JSON array of numbers (Content-Type: application/json),
@@ -17,7 +25,9 @@
 //	GET  /cdf       ?q=1&q=2&q=3       -> {"points":[{"q":1,"p":...},...]}
 //	GET  /stats                        -> shards, counts, snapshot freshness
 //	GET  /snapshot                     -> binary wire payload of the merged
-//	                                      view, ETag'd by update count
+//	                                      view, ETag'd by content hash;
+//	                                      ?mode=delta&base=<etag> negotiates
+//	                                      an incremental KindDelta payload
 //	POST /merge                        -> ingest a peer's wire payload
 //
 // Keyed endpoints (served by cluster.NewKeyedServerHandler; one summary per
@@ -36,30 +46,127 @@
 //
 // Example session:
 //
-//	quantileserver -addr :8080 -eps 0.01 -shards 16 &
-//	seq 1 100000 | shuf | curl -s --data-binary @- localhost:8080/update
-//	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/k/checkout.latency/update
-//	curl -s 'localhost:8080/k/checkout.latency/quantile?phi=0.99'
-//	curl -s localhost:8080/keys
+//	quantileserver -addr :8080 -family req -eps 0.01 -shards 16 &
+//	seq 1 100000 | shuf | curl -s --data-binary @- localhost:8080/v1/update
+//	curl -s -H 'Content-Type: application/json' -d '[1.5,2.5,3.5]' localhost:8080/v1/k/checkout.latency/update
+//	curl -s 'localhost:8080/v1/k/checkout.latency/quantile?phi=0.99'
+//	curl -s localhost:8080/v1/keys
 //
 // Run several of these and point cmd/quantileagg at them to serve globally
-// merged quantiles — with -keyed, merged per key (README.md has
-// quickstarts for both tiers).
+// merged quantiles — flat, per key with -keyed, or as an aggregation tree
+// with the -tree-* flags (README.md has quickstarts for all three tiers).
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"sort"
 	"time"
 
 	quantilelb "quantilelb"
 	"quantilelb/internal/cluster"
+	"quantilelb/internal/sharded"
+	"quantilelb/internal/store"
 )
+
+// nodeConfig carries the flag values every family build shares.
+type nodeConfig struct {
+	eps         float64
+	shards      int
+	refresh     int
+	interval    time.Duration
+	storeBudget int64
+	storeTTL    time.Duration
+	storeSweep  time.Duration
+	seed        int64
+	maxN        int
+}
+
+// build assembles the writer node for one concrete summary type: the
+// sharded single-stream summary, the keyed store with a matching per-key
+// factory, and the combined HTTP handler. The returned stop function shuts
+// down the background refresher and janitor.
+func build[S sharded.Mergeable[float64, S]](cfg nodeConfig, factory func() S, perKey func(eps float64) store.Summary) (http.Handler, func()) {
+	s := quantilelb.NewSharded(factory, cfg.shards, quantilelb.WithRefreshEvery(cfg.refresh))
+	var stops []func()
+	if cfg.interval > 0 {
+		stops = append(stops, s.AutoRefresh(cfg.interval))
+	}
+	st := quantilelb.NewStore(quantilelb.StoreConfig{
+		Eps:              cfg.eps,
+		Factory:          perKey,
+		MaxRetainedBytes: cfg.storeBudget,
+		IdleTTL:          cfg.storeTTL,
+	})
+	if cfg.storeSweep > 0 {
+		stops = append(stops, st.StartJanitor(cfg.storeSweep))
+	}
+	return cluster.NewStoreServerHandler(s, st), func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// families maps each -family name to its node builder. Reservoir sampling is
+// configured at (eps, delta=0.01): a randomized sketch, included for
+// completeness — the comparison-based families are the paper's subject.
+var families = map[string]func(nodeConfig) (http.Handler, func()){
+	"gk": func(c nodeConfig) (http.Handler, func()) {
+		return build(c, quantilelb.GKFactory(c.eps), nil)
+	},
+	"kll": func(c nodeConfig) (http.Handler, func()) {
+		f := quantilelb.KLLFactory(c.eps, c.seed)
+		return build(c, f, func(float64) store.Summary { return f() })
+	},
+	"mrl": func(c nodeConfig) (http.Handler, func()) {
+		return build(c, quantilelb.MRLFactory(c.eps, c.maxN),
+			func(eps float64) store.Summary { return quantilelb.MRLFactory(eps, c.maxN)() })
+	},
+	"mlq": func(c nodeConfig) (http.Handler, func()) {
+		return build(c, quantilelb.MLQFactory(c.eps),
+			func(eps float64) store.Summary { return quantilelb.MLQFactory(eps)() })
+	},
+	"req": func(c nodeConfig) (http.Handler, func()) {
+		return build(c, quantilelb.REQFactory(c.eps),
+			func(eps float64) store.Summary { return quantilelb.REQFactory(eps)() })
+	},
+	"reservoir": func(c nodeConfig) (http.Handler, func()) {
+		f := quantilelb.ReservoirFactory(c.eps, 0.01, c.seed)
+		return build(c, f, func(float64) store.Summary { return f() })
+	},
+}
+
+// familyNames returns the supported -family values in sorted order.
+func familyNames() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// startupError prints a structured JSON error (the same envelope shape the
+// HTTP tier uses for 400s) to stderr and exits non-zero, so orchestrators
+// parsing process output see machine-readable failures.
+func startupError(format string, args ...any) {
+	msg, _ := json.Marshal(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  "bad_request",
+	})
+	fmt.Fprintln(os.Stderr, string(msg))
+	os.Exit(2)
+}
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		family      = flag.String("family", "gk", "summary family: gk, kll, mlq, mrl, req, or reservoir")
 		eps         = flag.Float64("eps", 0.01, "summary accuracy epsilon (single-stream and per-key default)")
 		shards      = flag.Int("shards", 16, "number of lock-striped shards")
 		refresh     = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
@@ -67,27 +174,33 @@ func main() {
 		storeBudget = flag.Int64("store-budget", 256<<20, "keyed store retained-bytes budget; LRU-evicts beyond it (0 = unbounded)")
 		storeTTL    = flag.Duration("store-ttl", 0, "evict keys idle for this long (0 disables)")
 		storeSweep  = flag.Duration("store-sweep", 10*time.Second, "keyed store janitor interval (0 disables)")
+		seed        = flag.Int64("seed", 1, "RNG seed for the randomized families (kll, reservoir)")
+		maxN        = flag.Int("max-n", 100_000_000, "stream-length bound for the mrl family")
 	)
 	flag.Parse()
 
-	s := quantilelb.NewSharded(quantilelb.GKFactory(*eps), *shards,
-		quantilelb.WithRefreshEvery(*refresh))
-	if *interval > 0 {
-		stop := s.AutoRefresh(*interval)
-		defer stop()
+	buildFamily, ok := families[*family]
+	if !ok {
+		startupError("unknown summary family %q: want one of %v", *family, familyNames())
+	}
+	if !(*eps > 0 && *eps < 1) {
+		startupError("eps %v must be in (0, 1)", *eps)
 	}
 
-	st := quantilelb.NewStore(quantilelb.StoreConfig{
-		Eps:              *eps,
-		MaxRetainedBytes: *storeBudget,
-		IdleTTL:          *storeTTL,
+	handler, stop := buildFamily(nodeConfig{
+		eps:         *eps,
+		shards:      *shards,
+		refresh:     *refresh,
+		interval:    *interval,
+		storeBudget: *storeBudget,
+		storeTTL:    *storeTTL,
+		storeSweep:  *storeSweep,
+		seed:        *seed,
+		maxN:        *maxN,
 	})
-	if *storeSweep > 0 {
-		stop := st.StartJanitor(*storeSweep)
-		defer stop()
-	}
+	defer stop()
 
-	log.Printf("quantileserver listening on %s (eps=%g shards=%d store-budget=%d)",
-		*addr, *eps, *shards, *storeBudget)
-	log.Fatal(http.ListenAndServe(*addr, cluster.NewStoreServerHandler(s, st)))
+	log.Printf("quantileserver listening on %s (family=%s eps=%g shards=%d store-budget=%d)",
+		*addr, *family, *eps, *shards, *storeBudget)
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

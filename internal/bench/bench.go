@@ -124,6 +124,19 @@ type Cell struct {
 	// counts the keys the store evicted to stay under it.
 	BudgetBytes int64 `json:"budget_bytes,omitempty"`
 	Evictions   int   `json:"evictions,omitempty"`
+	// WireBytes, WireBytesPerSec, MergeStalenessMs, and DeltaFetches are only
+	// set by the aggregation fan-in cells (RunFanin): the snapshot bytes the
+	// aggregator received over HTTP across the measured pull rounds (after a
+	// warm-up round paid for the initial full payloads), their per-second
+	// rate over the measured wall time, the mean wall time of one pull round
+	// in milliseconds (the merge staleness a change suffers once a round
+	// begins), and how many fetches were answered with incremental KindDelta
+	// payloads. cmd/benchdiff gates the delta-vs-full bandwidth ratio on
+	// these columns.
+	WireBytes        int64   `json:"wire_bytes,omitempty"`
+	WireBytesPerSec  float64 `json:"wire_bytes_per_sec,omitempty"`
+	MergeStalenessMs float64 `json:"merge_staleness_ms,omitempty"`
+	DeltaFetches     int     `json:"delta_fetches,omitempty"`
 }
 
 // Report is the machine-readable result of one full matrix run; cmd/bench

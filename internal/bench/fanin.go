@@ -1,0 +1,227 @@
+package bench
+
+// The aggregation fan-in benchmark: 100 leaf keyed-store servers behind real
+// HTTP, pulled by one keyed aggregator, measured in full-snapshot mode
+// versus incremental-delta mode on two churn regimes. The matrix families
+// measure what a summary costs to build; this family measures what the
+// distributed tier costs to keep merged — the bandwidth of repeated
+// snapshot pulls, which delta snapshots exist to cut, and the staleness of
+// a pull round, which bounds how far the merged view can lag a leaf.
+//
+// The leaves are keyed stores (one GK summary per metric key) because the
+// KindStore container has the byte-level locality incremental snapshots
+// are built for: per-key sub-payloads are encoded from the live,
+// incrementally evolving summaries in sorted key order, so the keys a churn
+// round did not touch re-encode byte-identically and the delta diff copies
+// them wholesale. A single-stream sharded leaf is the opposite extreme —
+// its snapshot is rebuilt by re-merging shards into a fresh summary, which
+// relays out nearly every byte even for small churn, so delta negotiation
+// there correctly degrades to full payloads (the negotiation's size check
+// handles it); the store tier is where deltas genuinely pay.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	quantilelb "quantilelb"
+	"quantilelb/internal/cluster"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/store"
+)
+
+// FaninFamily is the family name of the fan-in cells; cmd/benchdiff keys its
+// bandwidth gate on it.
+const FaninFamily = "agg-fanin-100"
+
+const (
+	// faninLeaves is the fan-in: one aggregator over this many leaf servers.
+	faninLeaves = 100
+	// faninKeys is the number of metric keys each leaf store holds; every
+	// leaf holds the same key set, so the aggregator merges each key across
+	// all 100 leaves.
+	faninKeys = 20
+	// faninRounds is how many measured pull rounds each cell runs (after one
+	// unmeasured warm-up round that pays for the initial full payloads).
+	faninRounds = 6
+	// faninHotIdle is how many leaves change between rounds on the idle-heavy
+	// workload; the rest revalidate 304. hot-all churns every leaf.
+	faninHotIdle = 5
+)
+
+// faninWorkloads are the churn regimes: idle-heavy models the steady state
+// of a large fleet (a few leaves advance one hot key per pull interval,
+// most answer 304), where delta mode should cut the transferred bytes by
+// well over the gated 2×; hot-all churns every key of every leaf every
+// round, the worst case for delta savings (every sub-payload changes, so a
+// delta can copy almost nothing).
+var faninWorkloads = []struct {
+	name    string
+	hot     int
+	hotKeys int
+}{
+	{"idle-heavy", faninHotIdle, 1},
+	{"hot-all", faninLeaves, faninKeys},
+}
+
+// faninLeaf is one leaf server: the keyed store (for direct ingest) and its
+// HTTP server.
+type faninLeaf struct {
+	st  *store.Store
+	srv *httptest.Server
+}
+
+// RunFanin measures the agg-fanin-100 family: for each churn regime and
+// each snapshot mode (full, delta) it boots 100 keyed-store leaf servers
+// over HTTP, seeds faninKeys metric keys on each with cfg.N items spread
+// evenly, then runs faninRounds churn+pull rounds and records the
+// aggregator-side wire bytes, their per-second rate, the mean round wall
+// time (merge staleness), and the accuracy of the final per-key merged
+// views against the exact oracle of each key's union stream. Cell.N is the
+// per-key union count (the population one merged answer covers); the rank
+// error columns report the worst key.
+func RunFanin(cfg Config) ([]Cell, error) {
+	var cells []Cell
+	for _, wl := range faninWorkloads {
+		for _, mode := range []string{"full", "delta"} {
+			cell, err := runFaninCell(cfg, wl.name, wl.hot, wl.hotKeys, mode == "delta")
+			if err != nil {
+				return nil, fmt.Errorf("bench: fan-in cell %s/%s: %w", wl.name, mode, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func faninKeyName(k int) string { return fmt.Sprintf("metric.%02d", k) }
+
+func runFaninCell(cfg Config, workload string, hotLeaves, hotKeys int, delta bool) (Cell, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	leaves := make([]*faninLeaf, faninLeaves)
+	urls := make([]string, faninLeaves)
+	for i := range leaves {
+		st := quantilelb.NewStore(quantilelb.StoreConfig{Eps: cfg.Eps})
+		srv := httptest.NewServer(cluster.NewKeyedServerHandler(st))
+		defer srv.Close()
+		leaves[i] = &faninLeaf{st: st, srv: srv}
+		urls[i] = srv.URL
+	}
+
+	// Seed every leaf's keys with an even share of cfg.N items, tracking the
+	// exact per-key union streams for the final accuracy sweep.
+	perKey := cfg.N / (faninLeaves * faninKeys)
+	if perKey < 5 {
+		perKey = 5
+	}
+	byKey := make([][]float64, faninKeys)
+	batch := make([]float64, perKey)
+	for _, leaf := range leaves {
+		for k := 0; k < faninKeys; k++ {
+			for j := range batch {
+				batch[j] = rng.Float64() * 1000
+			}
+			leaf.st.UpdateBatch(faninKeyName(k), batch)
+			byKey[k] = append(byKey[k], batch...)
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	srcs := make([]cluster.Source, faninLeaves)
+	for i, u := range urls {
+		srcs[i] = &cluster.HTTPSource{URL: u, Client: client, Path: "/v1/store/snapshot", Delta: delta}
+	}
+	agg := cluster.NewKeyed(srcs...)
+
+	// Warm-up round: every leaf transfers its full container once and the
+	// aggregator retains the bases deltas will be computed against. The
+	// measured rounds then see only churn traffic, which is the steady state
+	// the modes differ on.
+	if err := agg.PullOnce(context.Background()); err != nil {
+		return Cell{}, fmt.Errorf("warm-up pull: %w", err)
+	}
+	warmWire := wireTotal(agg.Status())
+
+	// Churn + pull rounds. The hot set rotates so delta bases keep aging
+	// realistically instead of one leaf absorbing all the churn.
+	churn := perKey / 2
+	if churn < 5 {
+		churn = 5
+	}
+	churnBatch := make([]float64, churn)
+	var elapsed time.Duration
+	for round := 0; round < faninRounds; round++ {
+		for h := 0; h < hotLeaves; h++ {
+			leaf := leaves[(round*hotLeaves+h)%faninLeaves]
+			for hk := 0; hk < hotKeys; hk++ {
+				k := (round + hk) % faninKeys
+				for j := range churnBatch {
+					churnBatch[j] = rng.Float64() * 1000
+				}
+				leaf.st.UpdateBatch(faninKeyName(k), churnBatch)
+				byKey[k] = append(byKey[k], churnBatch...)
+			}
+		}
+		start := time.Now()
+		if err := agg.PullOnce(context.Background()); err != nil {
+			return Cell{}, fmt.Errorf("round %d pull: %w", round, err)
+		}
+		elapsed += time.Since(start)
+	}
+
+	status := agg.Status()
+	wire := wireTotal(status) - warmWire
+	deltaFetches := 0
+	for _, ps := range status {
+		deltaFetches += ps.DeltaFetches
+	}
+
+	// Accuracy of the merged per-key views: every key's answers must stay
+	// within eps of its union stream's exact oracle (COMBINE adds no error,
+	// so the budget is the per-leaf eps unchanged). N and the error columns
+	// report the per-key population, worst key.
+	worst, n := 0, 0
+	for k := 0; k < faninKeys; k++ {
+		oracle := rank.Float64Oracle(byKey[k])
+		if len(byKey[k]) > n {
+			n = len(byKey[k])
+		}
+		for i := 0; i <= cfg.Grid; i++ {
+			phi := float64(i) / float64(cfg.Grid)
+			got, ok := agg.Query(faninKeyName(k), phi)
+			if !ok {
+				return Cell{}, fmt.Errorf("key %s: merged view answered not-ok", faninKeyName(k))
+			}
+			if e := oracle.RankError(got, phi); e > worst {
+				worst = e
+			}
+		}
+	}
+
+	return Cell{
+		Family:           FaninFamily,
+		Workload:         workload,
+		Mode:             map[bool]string{false: "full", true: "delta"}[delta],
+		N:                n,
+		EpsTarget:        cfg.Eps,
+		MaxRankError:     worst,
+		MaxRankErrorFrac: float64(worst) / float64(n),
+		WithinEps:        float64(worst) <= cfg.Eps*float64(n)+1,
+		WireBytes:        wire,
+		WireBytesPerSec:  float64(wire) / elapsed.Seconds(),
+		MergeStalenessMs: float64(elapsed.Milliseconds()) / float64(faninRounds),
+		DeltaFetches:     deltaFetches,
+	}, nil
+}
+
+// wireTotal sums the snapshot bytes every peer has transferred so far.
+func wireTotal(status []cluster.PeerStatus) int64 {
+	var total int64
+	for _, ps := range status {
+		total += ps.WireBytes
+	}
+	return total
+}

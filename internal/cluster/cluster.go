@@ -34,8 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -78,23 +78,40 @@ type HTTPSource struct {
 	// per pull; leave false in production, where the peer's AutoRefresh
 	// bounds staleness.
 	Fresh bool
-	// Path is the snapshot endpoint to pull; empty means "/snapshot" (the
-	// single-stream tier). The keyed tier pulls "/store/snapshot".
+	// Path is the snapshot endpoint to pull; empty means "/v1/snapshot"
+	// (the single-stream tier). The keyed tier pulls "/v1/store/snapshot".
 	Path string
+	// Delta negotiates incremental snapshots: revalidation fetches ask for
+	// ?mode=delta&base=<etag>, and the peer answers with a KindDelta payload
+	// when it still holds the base and the delta saves bytes (falling back
+	// to the full payload otherwise). The aggregator's pull loop applies the
+	// delta to the peer's retained payload; a base mismatch simply forces a
+	// full refetch on the next round, so Delta is purely a bandwidth
+	// optimization.
+	Delta bool
 }
 
 // Name returns the peer's base URL.
 func (h *HTTPSource) Name() string { return h.URL }
 
-// Fetch implements Source over GET /snapshot with If-None-Match.
+// Fetch implements Source over GET /v1/snapshot with If-None-Match (and
+// delta negotiation when Delta is set).
 func (h *HTTPSource) Fetch(ctx context.Context, etag string) ([]byte, string, bool, error) {
 	path := h.Path
 	if path == "" {
-		path = "/snapshot"
+		path = "/v1/snapshot"
 	}
 	u := strings.TrimSuffix(h.URL, "/") + path
+	params := url.Values{}
 	if h.Fresh {
-		u += "?fresh=1"
+		params.Set("fresh", "1")
+	}
+	if h.Delta && etag != "" {
+		params.Set("mode", "delta")
+		params.Set("base", etag)
+	}
+	if len(params) > 0 {
+		u += "?" + params.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -153,15 +170,17 @@ func (s *SummarySource) Fetch(context.Context, string) ([]byte, string, bool, er
 // write additionally holds Aggregator.mu, so Status can copy a consistent
 // view without waiting out a round's network fetches.
 type peerState struct {
-	src         Source
-	etag        string
-	payload     []byte
-	kind        encoding.Kind
-	n           int
-	lastErr     error
-	lastSuccess time.Time
-	fetches     int
-	notModified int
+	src          Source
+	etag         string
+	payload      []byte
+	kind         encoding.Kind
+	n            int
+	lastErr      error
+	lastSuccess  time.Time
+	fetches      int
+	notModified  int
+	deltaFetches int   // fetches answered with a KindDelta payload
+	wireBytes    int64 // total snapshot bytes received (deltas at delta size)
 }
 
 // PeerStatus is a point-in-time view of one peer for monitoring.
@@ -181,6 +200,11 @@ type PeerStatus struct {
 	// Fetches counts pull attempts; NotModified counts those answered 304.
 	Fetches     int `json:"fetches"`
 	NotModified int `json:"not_modified"`
+	// DeltaFetches counts fetches answered with an incremental KindDelta
+	// payload; WireBytes totals the snapshot bytes actually received
+	// (deltas counted at delta size — the bandwidth the tier paid).
+	DeltaFetches int   `json:"delta_fetches,omitempty"`
+	WireBytes    int64 `json:"wire_bytes"`
 	// LastSuccess is the time of the last successful pull (zero if never).
 	LastSuccess time.Time `json:"last_success,omitzero"`
 }
@@ -232,6 +256,25 @@ func fetchRound(ctx context.Context, peers []*peerState, mu *sync.Mutex) (change
 			p.notModified++
 			continue
 		}
+		p.wireBytes += int64(len(o.payload))
+		if encoding.IsDelta(o.payload) {
+			// An incremental snapshot: reconstruct the full payload against
+			// the peer's retained base. ApplyDelta verifies both content
+			// hashes, so a stale or wrong base can never splice a corrupt
+			// payload into the merge — it clears the peer's state instead,
+			// forcing a full refetch next round.
+			p.deltaFetches++
+			full, err := encoding.ApplyDelta(p.payload, o.payload)
+			if err != nil {
+				err = fmt.Errorf("applying delta snapshot: %w", err)
+				errs = append(errs, fmt.Errorf("peer %s: %w", p.src.Name(), err))
+				p.lastErr = err
+				p.payload = nil
+				p.etag = ""
+				continue
+			}
+			o.payload = full
+		}
 		p.payload = o.payload
 		p.etag = o.etag
 		changed = true
@@ -252,6 +295,8 @@ func statusLocked(peers []*peerState) []PeerStatus {
 			PayloadBytes: len(p.payload),
 			Fetches:      p.fetches,
 			NotModified:  p.notModified,
+			DeltaFetches: p.deltaFetches,
+			WireBytes:    p.wireBytes,
 			LastSuccess:  p.lastSuccess,
 		}
 		if p.lastErr != nil {
@@ -267,20 +312,24 @@ func statusLocked(peers []*peerState) []PeerStatus {
 
 // view is the immutable published merged state.
 type view struct {
-	sum   summary.Summary[float64]
-	n     int
-	peers int // number of peers contributing a payload
+	sum     summary.Summary[float64]
+	n       int
+	peers   int   // number of peers contributing a payload
+	version int64 // strictly monotonic rebuild counter, the ETag basis
 }
 
 // Aggregator merges the snapshots of many Sources into one logical summary
 // and serves the read API from the merged view. All read methods are safe
 // for concurrent use and never block on a pull in flight.
 type Aggregator struct {
-	peers  []*peerState
-	pullMu sync.Mutex // serializes pull rounds; never held while reading
-	mu     sync.Mutex // guards peerState fields; held only for field access
-	view   atomic.Pointer[view]
-	pulls  atomic.Int64
+	peers    []*peerState
+	pullMu   sync.Mutex // serializes pull rounds; never held while reading
+	mu       sync.Mutex // guards peerState fields; held only for field access
+	view     atomic.Pointer[view]
+	pulls    atomic.Int64
+	rebuilds atomic.Int64
+	tree     *TreeConfig  // non-nil for combiners (see tree.go)
+	sheds    atomic.Int64 // rounds that hit the tree's RoundTimeout
 }
 
 // New returns an aggregator over the given sources. The merged view is empty
@@ -315,7 +364,18 @@ func (a *Aggregator) PullOnce(ctx context.Context) error {
 	defer a.pullMu.Unlock()
 	a.pulls.Add(1)
 
+	// Backpressure: a combiner bounds its round so one slow child cannot
+	// stall the whole level — children past the deadline are shed to stale
+	// serving and the shed counter ticks.
+	if a.tree != nil && a.tree.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.tree.RoundTimeout)
+		defer cancel()
+	}
 	changed, errs := fetchRound(ctx, a.peers, &a.mu)
+	if a.tree != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		a.sheds.Add(1)
+	}
 
 	// Nothing moved (every reachable peer answered 304) and a view is
 	// already published: skip the decode + merge entirely — the whole point
@@ -361,6 +421,14 @@ func (a *Aggregator) rebuild() (*peerState, error) {
 		if !ok {
 			return p, fmt.Errorf("peer %s: payload kind %v is not a quantile summary", p.src.Name(), kind)
 		}
+		if a.tree != nil {
+			// Per-level budget: a child that spent more than its level allows
+			// would silently void the tree's end-to-end guarantee — reject it
+			// like a corrupt payload (dropped and refetched, peer unhealthy).
+			if err := a.tree.validateChild(p.src.Name(), dec); err != nil {
+				return p, err
+			}
+		}
 		a.mu.Lock()
 		p.kind = kind
 		p.n = sum.Count()
@@ -375,11 +443,20 @@ func (a *Aggregator) rebuild() (*peerState, error) {
 		}
 	}
 	if merged == nil {
-		a.view.Store(&view{})
+		a.view.Store(&view{version: a.rebuilds.Add(1)})
 		return nil, nil
 	}
+	if a.tree != nil {
+		// Spend this level's eps/h: prune the merged view to ⌈h/eps⌉+1
+		// retained entries so the payload shipped upward is O(h/eps)
+		// regardless of fan-in. The view is decoded fresh every rebuild, so
+		// the degradation never compounds across rounds.
+		if pr, ok := merged.(pruner); ok {
+			pr.Prune(a.tree.pruneK())
+		}
+	}
 	sum := merged.(summary.Summary[float64])
-	a.view.Store(&view{sum: sum, n: sum.Count(), peers: contributing})
+	a.view.Store(&view{sum: sum, n: sum.Count(), peers: contributing, version: a.rebuilds.Add(1)})
 	return nil, nil
 }
 
@@ -501,14 +578,17 @@ func (a *Aggregator) ContributingPeers() int { return a.load().peers }
 // Pulls returns the number of pull rounds performed.
 func (a *Aggregator) Pulls() int { return int(a.pulls.Load()) }
 
-// SnapshotVersion reports the covered update count of the merged view
-// without serializing it; ok is false before the first successful rebuild.
+// SnapshotVersion reports the merged view's rebuild version without
+// serializing it; ok is false before the first successful rebuild. The
+// version is a change detector (the content-hash ETag is derived from the
+// payload itself): it ticks on every rebuild, so a rebuild that changed the
+// content at an unchanged count can never serve a stale cached snapshot.
 func (a *Aggregator) SnapshotVersion() (int64, bool) {
 	v := a.load()
 	if v.sum == nil {
 		return 0, false
 	}
-	return int64(v.n), true
+	return v.version, true
 }
 
 // SnapshotPayload re-exports the merged view as a wire payload, so
@@ -523,7 +603,7 @@ func (a *Aggregator) SnapshotPayload() ([]byte, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return payload, int64(v.n), nil
+	return payload, v.version, nil
 }
 
 // Status reports the per-peer pull state for monitoring. It never waits on
@@ -541,25 +621,46 @@ func (a *Aggregator) Status() []PeerStatus {
 //
 //	GET  /stats     merged view size and per-peer pull health
 //	GET  /snapshot  the merged view re-exported as a wire payload (ETag'd by
-//	                covered update count), so aggregators compose into trees
+//	                a content hash, deltas served against recent bases), so
+//	                aggregators compose into trees
 //	POST /pull      force a pull round now; 502 when every peer failed
+//
+// Every route is also mounted under the versioned /v1/ prefix. Combiners
+// with pushing children use NewTreeAggregatorHandler instead, which adds the
+// POST /v1/child/{name}/snapshot route on top of this surface.
 func NewAggregatorHandler(a *Aggregator) http.Handler {
-	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
 	mux := http.NewServeMux()
+	registerAggregatorAPI(mux, a)
+	return mux
+}
+
+// registerAggregatorAPI mounts the aggregator surface on mux; shared by
+// NewAggregatorHandler and NewTreeAggregatorHandler.
+func registerAggregatorAPI(mux *http.ServeMux, a *Aggregator) {
+	snaps := &snapCache{}
 	registerReadAPI(mux, a)
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
+	handleBoth(mux, "GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		stats := map[string]any{
 			"n":            a.Count(),
 			"stored":       a.StoredCount(),
 			"contributing": a.ContributingPeers(),
 			"pulls":        a.Pulls(),
 			"peers":        a.Status(),
-		})
+		}
+		if cfg := a.Tree(); cfg != nil {
+			stats["tree"] = map[string]any{
+				"eps":    cfg.Eps,
+				"height": cfg.Height,
+				"level":  cfg.Level,
+				"sheds":  a.Sheds(),
+			}
+		}
+		writeJSON(w, stats)
 	})
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		serveSnapshot(w, r, nonce, a)
+	handleBoth(mux, "GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		serveSnapshot(w, r, snaps, a)
 	})
-	mux.HandleFunc("POST /pull", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "POST /pull", func(w http.ResponseWriter, r *http.Request) {
 		err := a.PullOnce(r.Context())
 		if err != nil && a.ContributingPeers() == 0 {
 			httpError(w, http.StatusBadGateway, "pull failed: %v", err)
@@ -571,5 +672,4 @@ func NewAggregatorHandler(a *Aggregator) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	return mux
 }

@@ -7,7 +7,29 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+
+	"quantilelb/internal/encoding"
 )
+
+// APIVersionPrefix is the path prefix of the versioned HTTP surface. Every
+// route of the cluster tier is mounted twice: once under its legacy
+// unversioned path (PR3/PR4 clients) and once under /v1/ — the two serve
+// byte-identical responses (pinned by TestV1RouteEquivalence), so clients can
+// migrate route by route.
+const APIVersionPrefix = "/v1"
+
+// handleBoth mounts one handler under both the legacy unversioned pattern
+// and its /v1/ alias. pattern must be a "METHOD /path" ServeMux pattern.
+func handleBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, h)
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("cluster: route pattern without a method: " + pattern)
+	}
+	mux.HandleFunc(method+" "+APIVersionPrefix+path, h)
+}
 
 // readView is the slice of the summary API both HTTP tiers serve reads from:
 // the sharded single-node summary and the cluster aggregator both satisfy it.
@@ -23,13 +45,13 @@ type readView interface {
 // client needs no knowledge of whether it is talking to a single server or to
 // an aggregator.
 func registerReadAPI(mux *http.ServeMux, v readView) {
-	mux.HandleFunc("GET /quantile", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /quantile", func(w http.ResponseWriter, r *http.Request) {
 		handleQuantile(v, w, r)
 	})
-	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /rank", func(w http.ResponseWriter, r *http.Request) {
 		handleRank(v, w, r)
 	})
-	mux.HandleFunc("GET /cdf", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /cdf", func(w http.ResponseWriter, r *http.Request) {
 		handleCDF(v, w, r)
 	})
 }
@@ -117,40 +139,164 @@ type snapshotSource interface {
 	SnapshotPayload() ([]byte, int64, error)
 }
 
-// serveSnapshot answers a GET /snapshot request with the ETag/If-None-Match
-// contract shared by the server and aggregator tiers. The ETag mixes the
-// handler's per-boot nonce with the covered update count: the count alone
-// identifies content only within one process lifetime (a node that restarts
-// empty and re-ingests to the same count must not 304 against a pre-restart
-// ETag), and pullers treat the ETag as opaque, so revalidation composes
-// across tiers. The version is checked before serializing, so a 304 costs
-// neither bytes on the wire nor an encode of the view.
-func serveSnapshot(w http.ResponseWriter, r *http.Request, nonce uint64, src snapshotSource) {
-	if v, ok := src.SnapshotVersion(); ok && r.Header.Get("If-None-Match") == snapshotETag(nonce, v) {
-		w.WriteHeader(http.StatusNotModified)
+// snapHistoryLen bounds the per-handler ring of recent snapshot payloads a
+// handler retains as delta bases. A puller is normally at most one version
+// behind, so a short ring covers the realistic base set; a base that has
+// rotated out simply falls back to a full payload.
+const snapHistoryLen = 8
+
+// snapEntry is one retained (ETag, payload) pair of the delta-base ring.
+type snapEntry struct {
+	etag    string
+	payload []byte
+}
+
+// snapCache is the per-handler snapshot state behind serveSnapshot: the
+// current serialized payload keyed by the source's cheap version counter
+// (so 304s and repeat GETs never re-encode an unchanged view), its
+// content-derived ETag, and a ring of recent payloads that can serve as
+// delta bases. Replacing the old per-boot nonce ETag with a content hash
+// fixes a real defect: a restarted node with identical state used to
+// invalidate every puller's cached ETag, forcing a full refetch of
+// unchanged bytes; hashing the payload makes the ETag a pure function of
+// content, so revalidation survives restarts (and the same hash is the
+// base identity of the KindDelta format — see internal/encoding).
+type snapCache struct {
+	mu      sync.Mutex
+	valid   bool
+	version int64
+	payload []byte
+	etag    string
+	history [snapHistoryLen]snapEntry
+	next    int
+}
+
+// current returns the up-to-date payload and its content ETag, re-encoding
+// only when the source's version moved since the last call.
+func (c *snapCache) current(src snapshotSource) ([]byte, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := src.SnapshotVersion(); ok && c.valid && v == c.version {
+		return c.payload, c.etag, nil
+	}
+	payload, v, err := src.SnapshotPayload()
+	if err != nil {
+		return nil, "", err
+	}
+	etag := contentETag(payload)
+	c.valid, c.version, c.payload, c.etag = true, v, payload, etag
+	c.remember(etag, payload)
+	return payload, etag, nil
+}
+
+// remember records a payload in the delta-base ring (idempotent per ETag).
+// Caller holds mu.
+func (c *snapCache) remember(etag string, payload []byte) {
+	for _, e := range c.history {
+		if e.etag == etag {
+			return
+		}
+	}
+	c.history[c.next] = snapEntry{etag: etag, payload: payload}
+	c.next = (c.next + 1) % snapHistoryLen
+}
+
+// base returns the retained payload whose content ETag matches, if any.
+func (c *snapCache) base(etag string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.history {
+		if e.payload != nil && e.etag == etag {
+			return e.payload, true
+		}
+	}
+	return nil, false
+}
+
+// contentETag derives a snapshot ETag from payload bytes alone: two
+// byte-identical snapshots carry the same ETag across processes and
+// restarts, and the quoted hash doubles as the delta-base name a client
+// echoes in ?base=.
+func contentETag(payload []byte) string {
+	return `"` + strconv.FormatUint(encoding.PayloadHash(payload), 36) + `"`
+}
+
+// serveSnapshot answers GET /v1/snapshot (and its legacy alias) with the
+// shared snapshot contract of the server and aggregator tiers:
+//
+//   - If-None-Match revalidation against the content-derived ETag (304 ships
+//     no bytes; because the ETag hashes the payload, it also survives node
+//     restarts with identical state).
+//   - ?mode=delta&base=<etag>: when the named base is still in the handler's
+//     history ring and the delta is smaller than the full payload, the
+//     response is a KindDelta container (Delta-Base header set) the client
+//     applies to its retained base via encoding.ApplyDelta. Unknown bases,
+//     oversized payloads, and deltas that would not save bytes all fall back
+//     to the full payload — mode=delta is a bandwidth hint, never a
+//     correctness requirement.
+//   - ?mode=full (or no mode) serves the complete payload.
+func serveSnapshot(w http.ResponseWriter, r *http.Request, c *snapCache, src snapshotSource) {
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != "delta" && mode != "full" {
+		httpError(w, http.StatusBadRequest, "bad mode %q: want delta or full", mode)
 		return
 	}
-	payload, n, err := src.SnapshotPayload()
+	payload, etag, err := c.current(src)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "snapshot unavailable: %v", err)
 		return
 	}
-	w.Header().Set("ETag", snapshotETag(nonce, n))
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if base := r.URL.Query().Get("base"); mode != "full" && base != "" && base != etag {
+		if basePayload, ok := c.base(base); ok && len(payload) <= encoding.MaxDeltaInputBytes && len(basePayload) <= encoding.MaxDeltaInputBytes {
+			if delta, err := encoding.EncodeDelta(basePayload, payload); err == nil && len(delta) < len(payload) {
+				w.Header().Set("Delta-Base", base)
+				w.Write(delta)
+				return
+			}
+		}
+	}
 	w.Write(payload)
 }
 
-// snapshotETag formats a per-boot nonce and covered update count as the
-// snapshot ETag.
-func snapshotETag(nonce uint64, n int64) string {
-	return fmt.Sprintf("%q", strconv.FormatUint(nonce, 36)+"-"+strconv.FormatInt(n, 10))
+// errorCode maps an HTTP status to the machine-readable "code" field of the
+// error envelope; the set is closed so clients can switch on it.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
 }
 
-// httpError sends a structured JSON error body with the given status. Every
-// non-2xx response of the tier goes through it, so clients can always parse
-// {"error": ...}.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError sends the tier's structured JSON error envelope with the given
+// status. Every non-2xx response of every cluster handler goes through it,
+// so clients can always parse {"error": <human message>, "code": <machine
+// code>} — the "error" string predates the "code" field and is kept
+// verbatim for legacy clients.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  errorCode(status),
+	})
 }

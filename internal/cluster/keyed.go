@@ -12,7 +12,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"sort"
 	"sync"
@@ -76,12 +75,13 @@ func requestKey(w http.ResponseWriter, r *http.Request) (string, bool) {
 //
 // Keys are opaque strings up to MaxKeyBytes (URL-escaped in paths). A query
 // on a key that does not exist answers 404 exactly like an empty
-// single-stream summary. Use NewStoreServerHandler to serve the keyed API
+// single-stream summary. Every route is also mounted under the versioned
+// /v1/ prefix (GET /v1/k/{key}/quantile, GET /v1/store/snapshot, …) serving
+// identical responses. Use NewStoreServerHandler to serve the keyed API
 // next to a single-stream summary on one mux (what cmd/quantileserver does).
 func NewKeyedServerHandler(st *store.Store) http.Handler {
-	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
 	mux := http.NewServeMux()
-	registerKeyedAPI(mux, st, nonce)
+	registerKeyedAPI(mux, st)
 	return mux
 }
 
@@ -91,16 +91,17 @@ func NewKeyedServerHandler(st *store.Store) http.Handler {
 // mux. The two APIs are disjoint by path, so clients of either tier work
 // unchanged.
 func NewStoreServerHandler[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], st *store.Store) http.Handler {
-	nonce := rand.Uint64()
 	mux := http.NewServeMux()
-	registerServerAPI(mux, s, nonce)
-	registerKeyedAPI(mux, st, nonce)
+	registerServerAPI(mux, s)
+	registerKeyedAPI(mux, st)
 	return mux
 }
 
-// registerKeyedAPI mounts the keyed endpoints on mux.
-func registerKeyedAPI(mux *http.ServeMux, st *store.Store, nonce uint64) {
-	mux.HandleFunc("POST /k/{key}/update", func(w http.ResponseWriter, r *http.Request) {
+// registerKeyedAPI mounts the keyed endpoints on mux, each under both its
+// legacy path and its /v1/ alias.
+func registerKeyedAPI(mux *http.ServeMux, st *store.Store) {
+	snaps := &snapCache{}
+	handleBoth(mux, "POST /k/{key}/update", func(w http.ResponseWriter, r *http.Request) {
 		key, ok := requestKey(w, r)
 		if !ok {
 			return
@@ -141,20 +142,20 @@ func registerKeyedAPI(mux *http.ServeMux, st *store.Store, nonce uint64) {
 			serve(keyView{st: st, key: key}, w, r)
 		}
 	}
-	mux.HandleFunc("GET /k/{key}/quantile", forKey(handleQuantile))
-	mux.HandleFunc("GET /k/{key}/rank", forKey(handleRank))
-	mux.HandleFunc("GET /k/{key}/cdf", forKey(handleCDF))
-	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /k/{key}/quantile", forKey(handleQuantile))
+	handleBoth(mux, "GET /k/{key}/rank", forKey(handleRank))
+	handleBoth(mux, "GET /k/{key}/cdf", forKey(handleCDF))
+	handleBoth(mux, "GET /keys", func(w http.ResponseWriter, r *http.Request) {
 		keys := st.Keys()
 		writeJSON(w, map[string]any{"keys": keys, "count": len(keys)})
 	})
-	mux.HandleFunc("GET /store/stats", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /store/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, storeStatsPayload(st.Stats()))
 	})
-	mux.HandleFunc("GET /store/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		serveSnapshot(w, r, nonce, st)
+	handleBoth(mux, "GET /store/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		serveSnapshot(w, r, snaps, st)
 	})
-	mux.HandleFunc("POST /store/merge", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "POST /store/merge", func(w http.ResponseWriter, r *http.Request) {
 		body, err := readBody(w, r)
 		if err != nil {
 			return
@@ -219,13 +220,13 @@ func NewKeyed(sources ...Source) *KeyedAggregator {
 	return a
 }
 
-// NewKeyedHTTP returns a keyed aggregator pulling GET /store/snapshot from
-// each peer base URL with the given client (nil for a shared 10s-timeout
-// default).
+// NewKeyedHTTP returns a keyed aggregator pulling GET /v1/store/snapshot
+// from each peer base URL with the given client (nil for a shared
+// 10s-timeout default).
 func NewKeyedHTTP(client *http.Client, peerURLs ...string) *KeyedAggregator {
 	srcs := make([]Source, len(peerURLs))
 	for i, u := range peerURLs {
-		srcs[i] = &HTTPSource{URL: u, Client: client, Path: "/store/snapshot"}
+		srcs[i] = &HTTPSource{URL: u, Client: client, Path: "/v1/store/snapshot"}
 	}
 	return NewKeyed(srcs...)
 }
@@ -473,8 +474,10 @@ func (v aggKeyView) Count() int                        { return v.a.Count(v.key)
 //	GET  /store/snapshot  the merged view re-exported as a KindStore
 //	                      container (keyed aggregators compose into trees)
 //	POST /pull            force a pull round now; 502 when every peer failed
+//
+// Every route is also mounted under the versioned /v1/ prefix.
 func NewKeyedAggregatorHandler(a *KeyedAggregator) http.Handler {
-	nonce := rand.Uint64()
+	snaps := &snapCache{}
 	mux := http.NewServeMux()
 	forKey := func(serve func(readView, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -485,14 +488,14 @@ func NewKeyedAggregatorHandler(a *KeyedAggregator) http.Handler {
 			serve(aggKeyView{a: a, key: key}, w, r)
 		}
 	}
-	mux.HandleFunc("GET /k/{key}/quantile", forKey(handleQuantile))
-	mux.HandleFunc("GET /k/{key}/rank", forKey(handleRank))
-	mux.HandleFunc("GET /k/{key}/cdf", forKey(handleCDF))
-	mux.HandleFunc("GET /keys", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /k/{key}/quantile", forKey(handleQuantile))
+	handleBoth(mux, "GET /k/{key}/rank", forKey(handleRank))
+	handleBoth(mux, "GET /k/{key}/cdf", forKey(handleCDF))
+	handleBoth(mux, "GET /keys", func(w http.ResponseWriter, r *http.Request) {
 		keys := a.Keys()
 		writeJSON(w, map[string]any{"keys": keys, "count": len(keys)})
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{
 			"keys":         len(a.Keys()),
 			"n":            a.TotalCount(),
@@ -501,10 +504,10 @@ func NewKeyedAggregatorHandler(a *KeyedAggregator) http.Handler {
 			"peers":        a.Status(),
 		})
 	})
-	mux.HandleFunc("GET /store/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		serveSnapshot(w, r, nonce, a)
+	handleBoth(mux, "GET /store/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		serveSnapshot(w, r, snaps, a)
 	})
-	mux.HandleFunc("POST /pull", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "POST /pull", func(w http.ResponseWriter, r *http.Request) {
 		err := a.PullOnce(r.Context())
 		if err != nil && a.ContributingPeers() == 0 {
 			httpError(w, http.StatusBadGateway, "pull failed: %v", err)

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand/v2"
 	"mime"
 	"net/http"
 	"strconv"
@@ -49,32 +48,40 @@ const MaxItemWeight = int64(1) << 32
 //	GET  /cdf       ?q=1&q=2          -> {"points":[{"q":1,"p":...}],"n":...}
 //	GET  /stats                       -> shards, counts, snapshot freshness
 //	GET  /snapshot  the merged view as a binary wire payload
-//	                (internal/encoding format), ETag'd by the update count it
-//	                covers; If-None-Match yields 304 when nothing changed.
+//	                (internal/encoding format), ETag'd by a content hash of
+//	                the payload (so revalidation survives restarts);
+//	                If-None-Match yields 304 when nothing changed.
 //	                ?fresh=1 forces a snapshot rebuild first (used by tests
 //	                and pull-now tooling; the lock-free default serves the
-//	                published snapshot).
+//	                published snapshot). ?mode=delta&base=<etag> asks for an
+//	                incremental KindDelta payload against a recently served
+//	                snapshot; see serveSnapshot.
 //	POST /merge     ingest a peer's wire payload: the decoded summary is
 //	                folded into one shard under the COMBINE rule
 //	                (eps_new = max), so nodes can push state to each other.
 //
+// Every route is also mounted under the versioned /v1/ prefix
+// (GET /v1/snapshot, POST /v1/merge, …) serving identical responses; new
+// clients should use /v1/, the unversioned paths are legacy aliases.
+//
 // The aggregator (cmd/quantileagg) serves the same read API over the merged
 // view of many such nodes.
 func NewServerHandler[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S]) http.Handler {
-	nonce := rand.Uint64() // per-boot ETag component, see serveSnapshot
 	mux := http.NewServeMux()
-	registerServerAPI(mux, s, nonce)
+	registerServerAPI(mux, s)
 	return mux
 }
 
-// registerServerAPI mounts the single-stream writer-node endpoints on mux;
-// NewServerHandler and NewStoreServerHandler both build on it.
-func registerServerAPI[S sharded.Mergeable[float64, S]](mux *http.ServeMux, s *sharded.Sharded[float64, S], nonce uint64) {
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+// registerServerAPI mounts the single-stream writer-node endpoints on mux,
+// each under both its legacy path and its /v1/ alias; NewServerHandler and
+// NewStoreServerHandler both build on it.
+func registerServerAPI[S sharded.Mergeable[float64, S]](mux *http.ServeMux, s *sharded.Sharded[float64, S]) {
+	snaps := &snapCache{}
+	handleBoth(mux, "POST /update", func(w http.ResponseWriter, r *http.Request) {
 		handleUpdate(s, w, r)
 	})
 	registerReadAPI(mux, s)
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		writeJSON(w, map[string]any{
 			"shards":          st.Shards,
@@ -85,10 +92,10 @@ func registerServerAPI[S sharded.Mergeable[float64, S]](mux *http.ServeMux, s *s
 			"refreshes":       st.Refreshes,
 		})
 	})
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		handleSnapshot(s, nonce, w, r)
+	handleBoth(mux, "GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(s, snaps, w, r)
 	})
-	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "POST /merge", func(w http.ResponseWriter, r *http.Request) {
 		handleMerge(s, w, r)
 	})
 }
@@ -249,11 +256,11 @@ func parseJSONWeightedBatch(body []byte) ([]float64, []int64, error) {
 	return vals, weights, nil
 }
 
-func handleSnapshot[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], nonce uint64, w http.ResponseWriter, r *http.Request) {
+func handleSnapshot[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], snaps *snapCache, w http.ResponseWriter, r *http.Request) {
 	if f := r.URL.Query().Get("fresh"); f == "1" || f == "true" {
 		s.Refresh()
 	}
-	serveSnapshot(w, r, nonce, s)
+	serveSnapshot(w, r, snaps, s)
 }
 
 func handleMerge[S sharded.Mergeable[float64, S]](s *sharded.Sharded[float64, S], w http.ResponseWriter, r *http.Request) {

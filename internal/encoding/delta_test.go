@@ -1,0 +1,329 @@
+package encoding
+
+// Property tests of the KindDelta codec: for every family kind, the full
+// base payload plus the delta base→head reconstructs the full head payload
+// byte for byte (so the decoded summary answers every quantile identically
+// to a direct decode of the head), across the workload shapes the matrix
+// exercises, and hostile/degenerate deltas are rejected rather than applied.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/mlq"
+	"quantilelb/internal/mrl"
+	"quantilelb/internal/req"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/window"
+)
+
+// deltaFamily builds one summary kind incrementally: New yields a fresh
+// summary, Ingest advances it, and Encode serializes it.
+type deltaFamily struct {
+	name   string
+	new    func() any
+	ingest func(s any, items []float64)
+}
+
+func deltaFamilies() []deltaFamily {
+	return []deltaFamily{
+		{"gk", func() any { return gk.NewFloat64(0.02) },
+			func(s any, items []float64) { s.(*gk.Summary[float64]).UpdateBatch(items) }},
+		{"kll", func() any { return kll.NewFloat64(0.02, kll.WithSeed(7)) },
+			func(s any, items []float64) { s.(*kll.Sketch[float64]).UpdateBatch(items) }},
+		{"mrl", func() any { return mrl.NewFloat64(0.02, 200_000) },
+			func(s any, items []float64) { s.(*mrl.Summary[float64]).UpdateBatch(items) }},
+		{"reservoir", func() any { return sampling.NewFloat64(0.05, 0.05, 11) },
+			func(s any, items []float64) { s.(*sampling.Reservoir[float64]).UpdateBatch(items) }},
+		{"window", func() any { return window.NewFloat64(0.02, 4096) },
+			func(s any, items []float64) {
+				w := s.(*window.Summary[float64])
+				for _, x := range items {
+					w.Update(x)
+				}
+			}},
+		{"mlq", func() any { return mlq.NewFloat64(0.02) },
+			func(s any, items []float64) { s.(*mlq.Summary).UpdateBatch(items) }},
+		{"req", func() any { return req.NewFloat64(0.02) },
+			func(s any, items []float64) { s.(*req.Summary).UpdateBatch(items) }},
+	}
+}
+
+// deltaWorkloads are the stream shapes the round trip is proven over: the
+// incremental-ingest regime the cluster tier actually ships deltas for.
+func deltaWorkloads(t *testing.T, n int) []*stream.Stream {
+	t.Helper()
+	gen := stream.NewGenerator(42)
+	out := []*stream.Stream{gen.Shuffled(n), gen.Sorted(n), gen.Duplicates(n, 17), gen.Drift(n)}
+	return out
+}
+
+// TestDeltaRoundTripAllKinds: full(base) + delta(base→head) == full(head),
+// byte for byte, for every family kind and workload; and the reconstruction
+// decodes to a summary whose quantile answers match a direct decode of head.
+func TestDeltaRoundTripAllKinds(t *testing.T) {
+	const n = 6000
+	for _, fam := range deltaFamilies() {
+		for _, wl := range deltaWorkloads(t, n) {
+			t.Run(fmt.Sprintf("%s/%s", fam.name, wl.Name()), func(t *testing.T) {
+				s := fam.new()
+				items := wl.Items()
+				fam.ingest(s, items[:n*3/4])
+				base, err := Encode(s)
+				if err != nil {
+					t.Fatalf("encoding base: %v", err)
+				}
+				fam.ingest(s, items[n*3/4:])
+				head, err := Encode(s)
+				if err != nil {
+					t.Fatalf("encoding head: %v", err)
+				}
+
+				delta, err := EncodeDelta(base, head)
+				if err != nil {
+					t.Fatalf("EncodeDelta: %v", err)
+				}
+				if kind, err := DetectKind(delta); err != nil || kind != KindDelta {
+					t.Fatalf("DetectKind(delta) = %v, %v", kind, err)
+				}
+				hdr, err := DecodeDeltaHeader(delta)
+				if err != nil {
+					t.Fatalf("DecodeDeltaHeader: %v", err)
+				}
+				if hdr.BaseHash != PayloadHash(base) || hdr.HeadHash != PayloadHash(head) || hdr.HeadLen != len(head) {
+					t.Fatalf("header %+v does not describe base/head", hdr)
+				}
+
+				rebuilt, err := ApplyDelta(base, delta)
+				if err != nil {
+					t.Fatalf("ApplyDelta: %v", err)
+				}
+				if !bytes.Equal(rebuilt, head) {
+					t.Fatalf("reconstruction differs from head (%d vs %d bytes)", len(rebuilt), len(head))
+				}
+
+				// Byte equality already implies identical answers; decode both
+				// anyway so a regression in Decode's handling of reconstructed
+				// payloads cannot hide behind the equality check.
+				a, err := Decode(rebuilt)
+				if err != nil {
+					t.Fatalf("decoding reconstruction: %v", err)
+				}
+				b, err := Decode(head)
+				if err != nil {
+					t.Fatalf("decoding head: %v", err)
+				}
+				qa := a.(summary.Summary[float64])
+				qb := b.(summary.Summary[float64])
+				for _, phi := range []float64{0, 0.25, 0.5, 0.9, 0.999, 1} {
+					va, oka := qa.Query(phi)
+					vb, okb := qb.Query(phi)
+					if oka != okb || va != vb {
+						t.Errorf("phi=%v: reconstructed answers %v,%v vs head %v,%v", phi, va, oka, vb, okb)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaRoundTripMutatedStates covers the states incremental ingest alone
+// does not reach: NaN-bearing streams, merged summaries, and pruned
+// summaries — the snapshot lineage a combiner actually re-exports.
+func TestDeltaRoundTripMutatedStates(t *testing.T) {
+	gen := stream.NewGenerator(9)
+	items := gen.Shuffled(4000).Items()
+
+	cases := []struct {
+		name string
+		base func() any
+		head func(base any) any
+	}{
+		{"mlq-nan", func() any {
+			s := mlq.NewFloat64(0.02)
+			s.UpdateBatch(items[:3000])
+			s.Update(math.NaN())
+			return s
+		}, func(b any) any {
+			s := b.(*mlq.Summary)
+			s.UpdateBatch(items[3000:])
+			s.Update(math.NaN())
+			return s
+		}},
+		{"req-pruned", func() any {
+			s := req.NewFloat64(0.02)
+			s.UpdateBatch(items[:3000])
+			return s
+		}, func(b any) any {
+			s := b.(*req.Summary)
+			s.UpdateBatch(items[3000:])
+			s.Prune(64)
+			return s
+		}},
+		{"gk-merged", func() any {
+			s := gk.NewFloat64(0.02)
+			s.UpdateBatch(items[:2000])
+			return s
+		}, func(b any) any {
+			s := b.(*gk.Summary[float64])
+			other := gk.NewFloat64(0.02)
+			other.UpdateBatch(items[2000:])
+			if err := s.Merge(other); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.base()
+			base, err := Encode(s)
+			if err != nil {
+				t.Fatalf("encoding base: %v", err)
+			}
+			head, err := Encode(tc.head(s))
+			if err != nil {
+				t.Fatalf("encoding head: %v", err)
+			}
+			delta, err := EncodeDelta(base, head)
+			if err != nil {
+				t.Fatalf("EncodeDelta: %v", err)
+			}
+			rebuilt, err := ApplyDelta(base, delta)
+			if err != nil {
+				t.Fatalf("ApplyDelta: %v", err)
+			}
+			if !bytes.Equal(rebuilt, head) {
+				t.Fatalf("reconstruction differs from head")
+			}
+		})
+	}
+}
+
+// TestDeltaStoreContainer: the codec is family-agnostic, so whole KindStore
+// containers (the keyed tier's snapshot) delta the same way.
+func TestDeltaStoreContainer(t *testing.T) {
+	gen := stream.NewGenerator(3)
+	items := gen.Shuffled(2000).Items()
+	mk := func(n int) []byte {
+		g := gk.NewFloat64(0.05)
+		g.UpdateBatch(items[:n])
+		p1, err := EncodeGK(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := EncodeStore([]KeyedPayload{{Key: "a", Payload: p1}, {Key: "b", Payload: p1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+	base, head := mk(1500), mk(2000)
+	delta, err := EncodeDelta(base, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ApplyDelta(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, head) {
+		t.Fatal("store container delta reconstruction differs")
+	}
+}
+
+// TestDeltaSavesBytesOnIncrementalIngest pins the reason the format exists:
+// a small ingest round on a large summary must delta to a fraction of the
+// full payload.
+func TestDeltaSavesBytesOnIncrementalIngest(t *testing.T) {
+	gen := stream.NewGenerator(12)
+	items := gen.Shuffled(60_000).Items()
+	s := mlq.NewFloat64(0.005)
+	s.UpdateBatch(items[:59_000])
+	base, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UpdateBatch(items[59_000:59_200])
+	head, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := EncodeDelta(base, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(head)/2 {
+		t.Fatalf("delta of a 200-item round is %d bytes vs %d full — not incremental", len(delta), len(head))
+	}
+	if rebuilt, err := ApplyDelta(base, delta); err != nil || !bytes.Equal(rebuilt, head) {
+		t.Fatalf("reconstruction failed: %v", err)
+	}
+}
+
+// TestDeltaRejections: hostile and stale inputs must error, never
+// reconstruct silently wrong bytes.
+func TestDeltaRejections(t *testing.T) {
+	gen := stream.NewGenerator(8)
+	s := gk.NewFloat64(0.05)
+	s.UpdateBatch(gen.Shuffled(3000).Items())
+	base, _ := EncodeGK(s)
+	s.UpdateBatch(gen.Shuffled(500).Items())
+	head, _ := EncodeGK(s)
+	delta, err := EncodeDelta(base, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong base", func(t *testing.T) {
+		other := gk.NewFloat64(0.05)
+		other.UpdateBatch(gen.Shuffled(100).Items())
+		wrong, _ := EncodeGK(other)
+		if _, err := ApplyDelta(wrong, delta); err != ErrDeltaBaseMismatch {
+			t.Fatalf("ApplyDelta(wrong base) = %v, want ErrDeltaBaseMismatch", err)
+		}
+	})
+	t.Run("not a delta", func(t *testing.T) {
+		if _, err := ApplyDelta(base, head); err == nil {
+			t.Fatal("ApplyDelta accepted a full payload as a delta")
+		}
+	})
+	t.Run("decode refuses containers", func(t *testing.T) {
+		if _, err := Decode(delta); err == nil {
+			t.Fatal("Decode accepted a KindDelta container")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(delta); cut += 7 {
+			if _, err := ApplyDelta(base, delta[:cut]); err == nil {
+				t.Fatalf("ApplyDelta accepted a delta truncated to %d bytes", cut)
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		for i := 8; i < len(delta); i += 11 {
+			mut := bytes.Clone(delta)
+			mut[i] ^= 0x40
+			out, err := ApplyDelta(base, mut)
+			if err == nil && !bytes.Equal(out, head) {
+				t.Fatalf("bit flip at %d reconstructed wrong bytes without error", i)
+			}
+		}
+	})
+	t.Run("oversized head declaration", func(t *testing.T) {
+		mut := bytes.Clone(delta)
+		// headLen lives at offset 8 (header) + 16 (hashes).
+		for i := 24; i < 28; i++ {
+			mut[i] = 0xff
+		}
+		if _, err := ApplyDelta(base, mut); err == nil {
+			t.Fatal("ApplyDelta accepted a delta declaring a 4GiB payload")
+		}
+	})
+}

@@ -57,6 +57,7 @@ const (
 	KindStore     Kind = 6
 	KindMLQ       Kind = 7
 	KindREQ       Kind = 8
+	KindDelta     Kind = 9
 )
 
 // String returns the short family name used in reports and peer status
@@ -79,6 +80,8 @@ func (k Kind) String() string {
 		return "mlq"
 	case KindREQ:
 		return "req"
+	case KindDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -103,6 +106,14 @@ func (w *writer) bin(v interface{}) {
 		return
 	}
 	w.err = binary.Write(&w.buf, binary.LittleEndian, v)
+}
+
+// raw appends bytes verbatim (delta literals); errors are sticky like bin's.
+func (w *writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.buf.Write(b)
 }
 
 type reader struct {
@@ -621,6 +632,8 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeREQ(payload)
 	case KindStore:
 		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
+	case KindDelta:
+		return nil, errors.New("encoding: payload is a KindDelta container, not a full summary; use ApplyDelta with its base payload first")
 	default:
 		return nil, fmt.Errorf("encoding: unknown summary kind %d", kind)
 	}

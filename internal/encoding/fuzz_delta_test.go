@@ -1,0 +1,127 @@
+package encoding
+
+// FuzzDeltaDecode is the delta-robustness fuzz target run by CI's fuzz smoke
+// job: ApplyDelta (and DecodeDeltaHeader) must never panic or over-allocate on
+// a corrupt or hostile delta — they either reconstruct a payload that
+// hash-verifies against the delta's declared head, or return an error. The
+// seed corpus holds real (base, delta) pairs from the snapshot lineages a
+// combiner actually re-exports: plain incremental ingest, a NaN-bearing mlq
+// stream, a pruned req summary, and a merged gk pair — plus truncations and
+// bit flips of each.
+
+import (
+	"math"
+	"testing"
+
+	"quantilelb/internal/gk"
+	"quantilelb/internal/mlq"
+	"quantilelb/internal/req"
+	"quantilelb/internal/stream"
+)
+
+// deltaSeedPairs builds deterministic (base, delta) seed pairs covering the
+// mutated states the property tests pin: NaN, pruned, and merged summaries.
+func deltaSeedPairs(tb testing.TB) [][2][]byte {
+	tb.Helper()
+	gen := stream.NewGenerator(21)
+	items := gen.Shuffled(3000).Items()
+
+	encode := func(s any) []byte {
+		p, err := Encode(s)
+		if err != nil {
+			tb.Fatalf("encoding seed summary: %v", err)
+		}
+		return p
+	}
+	pair := func(base, head []byte) [2][]byte {
+		d, err := EncodeDelta(base, head)
+		if err != nil {
+			tb.Fatalf("encoding seed delta: %v", err)
+		}
+		return [2][]byte{base, d}
+	}
+
+	var pairs [][2][]byte
+
+	// Plain incremental ingest.
+	g := gk.NewFloat64(0.02)
+	g.UpdateBatch(items[:2000])
+	gBase := encode(g)
+	g.UpdateBatch(items[2000:])
+	pairs = append(pairs, pair(gBase, encode(g)))
+
+	// NaN-bearing mlq stream (NaN-first total order on the wire).
+	m := mlq.NewFloat64(0.02)
+	m.UpdateBatch(items[:2000])
+	m.Update(math.NaN())
+	mBase := encode(m)
+	m.UpdateBatch(items[2000:])
+	m.Update(math.NaN())
+	pairs = append(pairs, pair(mBase, encode(m)))
+
+	// Pruned req summary (degraded-eps state).
+	r := req.NewFloat64(0.02)
+	r.UpdateBatch(items[:2000])
+	rBase := encode(r)
+	r.UpdateBatch(items[2000:])
+	r.Prune(64)
+	pairs = append(pairs, pair(rBase, encode(r)))
+
+	// Merged gk pair (COMBINE output as head).
+	a := gk.NewFloat64(0.02)
+	a.UpdateBatch(items[:1500])
+	aBase := encode(a)
+	b := gk.NewFloat64(0.02)
+	b.UpdateBatch(items[1500:])
+	if err := a.Merge(b); err != nil {
+		tb.Fatalf("merging seed summaries: %v", err)
+	}
+	pairs = append(pairs, pair(aBase, encode(a)))
+
+	return pairs
+}
+
+func FuzzDeltaDecode(f *testing.F) {
+	for _, p := range deltaSeedPairs(f) {
+		base, delta := p[0], p[1]
+		f.Add(base, delta)
+		// Full payload offered as a delta: must be rejected, never applied.
+		f.Add(base, base)
+		// Truncations and bit flips of the valid delta.
+		for _, cut := range []int{0, 1, 7, len(delta) / 2, len(delta) - 1} {
+			if cut <= len(delta) {
+				f.Add(base, delta[:cut])
+			}
+		}
+		for i := 0; i < len(delta); i += 13 {
+			mut := append([]byte(nil), delta...)
+			mut[i] ^= 0x20
+			f.Add(base, mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, base, delta []byte) {
+		hdr, hdrErr := DecodeDeltaHeader(delta)
+		out, err := ApplyDelta(base, delta)
+		if err != nil {
+			return
+		}
+		// A successful application implies a well-formed header, a verified
+		// base, and a reconstruction that matches every declared property.
+		if hdrErr != nil {
+			t.Fatalf("ApplyDelta succeeded but DecodeDeltaHeader failed: %v", hdrErr)
+		}
+		if hdr.BaseHash != PayloadHash(base) {
+			t.Fatalf("applied delta with base hash %x against base hashing %x", hdr.BaseHash, PayloadHash(base))
+		}
+		if len(out) != hdr.HeadLen {
+			t.Fatalf("reconstructed %d bytes, header declares %d", len(out), hdr.HeadLen)
+		}
+		if PayloadHash(out) != hdr.HeadHash {
+			t.Fatalf("reconstruction hashes to %x, header declares %x", PayloadHash(out), hdr.HeadHash)
+		}
+		if !IsDelta(delta) {
+			t.Fatal("ApplyDelta succeeded on a payload IsDelta rejects")
+		}
+	})
+}

@@ -671,8 +671,12 @@ func (s *Store) StartJanitor(interval time.Duration) (stop func()) {
 
 // SnapshotPayload serializes every live key's summary into one KindStore
 // container payload (internal/encoding) and returns the store's content
-// version, which the HTTP tier mixes with a per-boot nonce to form the
-// snapshot ETag. Keys are encoded under their own locks one at a time, so a
+// version, which the HTTP tier uses as a cheap change detector (the
+// snapshot ETag itself is a content hash of the payload). Keys are encoded
+// in sorted order from the live summaries, so the sub-payloads of keys a
+// mutation did not touch re-encode byte-identically — the locality the
+// KindDelta incremental snapshots of the cluster tier diff against.
+// Keys are encoded under their own locks one at a time, so a
 // snapshot taken under concurrent writes is a per-key-consistent (not
 // globally atomic) view — the same staleness contract the sharded tier
 // serves reads with. Snapshotting requires every key's family to be
