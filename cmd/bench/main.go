@@ -35,9 +35,11 @@ import (
 func main() {
 	cfg := bench.DefaultConfig()
 	var (
-		out     = flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
-		quick   = flag.Bool("quick", false, "single repetition, small n (smoke test)")
-		noFanin = flag.Bool("no-fanin", false, "skip the agg-fanin-100 HTTP fan-in cells")
+		out       = flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+		quick     = flag.Bool("quick", false, "single repetition, small n (smoke test)")
+		noFanin   = flag.Bool("no-fanin", false, "skip the agg-fanin-100 HTTP fan-in cells")
+		noMillion = flag.Bool("no-million", false, "skip the store-zipf-1M tenancy cell")
+		keys      = flag.Int("keys", bench.MillionKeys, "live-key count of the store-zipf-1M cell")
 	)
 	flag.IntVar(&cfg.N, "n", cfg.N, "items per workload")
 	flag.Float64Var(&cfg.Eps, "eps", cfg.Eps, "accuracy target for every family")
@@ -50,6 +52,9 @@ func main() {
 	if *quick {
 		cfg.N = 20_000
 		cfg.Repetitions = 1
+		if *keys == bench.MillionKeys {
+			*keys = 50_000
+		}
 	}
 
 	workloads, err := bench.Workloads(cfg)
@@ -69,6 +74,16 @@ func main() {
 			log.Fatalf("bench: %v", err)
 		}
 		rep.Cells = append(rep.Cells, faninCells...)
+	}
+
+	if !*noMillion {
+		fmt.Fprintf(os.Stderr, "bench: running %s (%d keys, persistent store + crash-recovery reopen)\n",
+			bench.MillionFamily, *keys)
+		millionCell, err := bench.RunMillion(cfg, *keys)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rep.Cells = append(rep.Cells, millionCell)
 	}
 
 	payload, err := json.MarshalIndent(rep, "", "  ")
@@ -102,5 +117,14 @@ func main() {
 		}
 		fmt.Printf("%-14s %-12s %-8s %12d %14.0f %14.1f\n",
 			c.Family, c.Workload, c.Mode, c.WireBytes, c.WireBytesPerSec, c.MergeStalenessMs)
+	}
+	for _, c := range rep.Cells {
+		if c.Family != bench.MillionFamily {
+			continue
+		}
+		fmt.Printf("\n%-14s %10s %14s %12s %10s %10s %12s\n",
+			"family", "keys", "items/sec", "bytes/key", "buffered", "promoted", "recovery_ms")
+		fmt.Printf("%-14s %10d %14.0f %12.1f %10d %10d %12.1f\n",
+			c.Family, c.LiveKeys, c.ItemsPerSec, c.BytesPerKey, c.BufferedKeys, c.PromotedKeys, c.RecoveryMs)
 	}
 }

@@ -32,16 +32,26 @@
 // snapshots — and must actually have been answered with delta payloads
 // (zero delta fetches means the negotiation silently fell back to full).
 //
+// The million-key tenancy cell (store-zipf-1M) gates on the cold-key floor:
+// the mean retained bytes per live key must stay at or below a quarter of
+// the per-key GK floor 32·ceil((1/2ε)·log2(2εn̄+2)) bytes (n̄ = mean items
+// per key) — the cost of giving every key a fully provisioned sketch, which
+// adaptive promotion exists to avoid. It also requires both promotion stages
+// to be live (buffered and promoted keys both nonzero, accuracy within eps
+// on the hottest promoted key) and the crash-recovery reopen to have been
+// measured.
+//
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go run ./cmd/bench -quick -label ci -out /tmp/bench-ci.json
-//	go run ./cmd/benchdiff -baseline BENCH_PR8.json -report /tmp/bench-ci.json
+//	go run ./cmd/benchdiff -baseline BENCH_PR9.json -report /tmp/bench-ci.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"quantilelb/internal/bench"
@@ -58,7 +68,7 @@ var randomized = map[string]bool{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR8.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR9.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)
@@ -83,6 +93,7 @@ func main() {
 	failures = append(failures, gateTail(report)...)
 	failures = append(failures, gateBudget(report)...)
 	failures = append(failures, gateFanin(report)...)
+	failures = append(failures, gateMillion(report)...)
 	printSpeedDeltas(baseline, report)
 	printCoverageDrift(baseline, report)
 
@@ -225,6 +236,59 @@ func gateFanin(rep *bench.Report) []string {
 		failures = append(failures, fmt.Sprintf(
 			"%s/idle-heavy: delta mode moved %.0f B/s > half of full mode's %.0f B/s (deltas not saving bandwidth)",
 			bench.FaninFamily, delta.WireBytesPerSec, full.WireBytesPerSec))
+	}
+	return failures
+}
+
+// gkFloorBytesPerKey is the per-key cost of the naive million-tenant design:
+// one fully provisioned GK summary per key, 32 bytes per retained tuple,
+// ceil((1/2ε)·log2(2εn+2)) tuples at stream length n — the deterministic
+// space bound of Greenwald–Khanna, which the per-key lower bound of Cormode
+// & Veselý (PODS 2020) says no comparison-based mergeable summary can beat
+// by more than constants. The cold tail has to duck UNDER this floor by not
+// being a sketch at all, which is exactly what adaptive promotion does.
+func gkFloorBytesPerKey(eps, meanItems float64) float64 {
+	if eps <= 0 || meanItems <= 0 {
+		return 0
+	}
+	return 32 * math.Ceil((1/(2*eps))*math.Log2(2*eps*meanItems+2))
+}
+
+// gateMillion gates the million-key tenancy cell: mean bytes per live key at
+// or below a quarter of the per-key GK floor, both promotion stages live,
+// the hottest (promoted) key within its configured eps on its own routed
+// stream, and a measured crash-recovery reopen. Reports without the cell
+// (a -no-million run) pass vacuously; coverage drift surfaces the omission.
+func gateMillion(rep *bench.Report) []string {
+	var failures []string
+	for _, c := range rep.Cells {
+		if c.Family != bench.MillionFamily {
+			continue
+		}
+		if c.LiveKeys <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: cell recorded no live keys", c.Family))
+			continue
+		}
+		floor := gkFloorBytesPerKey(rep.Eps, float64(c.N)/float64(c.LiveKeys))
+		if limit := 0.25 * floor; c.BytesPerKey > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f bytes/key > %.1f (0.25× the %.0f-byte GK floor at %d keys) — cold tail not cheap",
+				c.Family, c.BytesPerKey, limit, floor, c.LiveKeys))
+		}
+		if c.BufferedKeys == 0 || c.PromotedKeys == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: promotion stages not both live (buffered=%d promoted=%d)",
+				c.Family, c.BufferedKeys, c.PromotedKeys))
+		}
+		if c.MaxRankErrorFrac > rep.Eps+1e-9 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: hot-key rank error %.4f of its stream > eps %g",
+				c.Family, c.MaxRankErrorFrac, rep.Eps))
+		}
+		if c.RecoveryMs <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: crash-recovery reopen not measured", c.Family))
+		}
 	}
 	return failures
 }

@@ -4,12 +4,17 @@
 // is a writer or reader of the same summaries, with no coordination beyond
 // the sharded ingestion layer and the keyed store's lock striping.
 //
-// The summary family is selected with -family (gk, kll, mrl, mlq, req,
-// reservoir); it applies to both the single-stream summary and the keyed
-// store's per-key factory. Pick req for sharp high tails (p99.9+), mlq for
-// the fastest ingest, gk for the deterministic baseline; README.md has the
-// full choosing guide. Unknown family names fail startup with a structured
-// error on stderr.
+// The summary family is selected with -family (biased, gk, kll, mrl, mlq,
+// req, reservoir); it applies to both the single-stream summary and the keyed
+// store's per-key factory. Pick req for sharp high tails (p99.9+), biased for
+// relative error at low ranks, mlq for the fastest ingest, gk for the
+// deterministic baseline; README.md has the full choosing guide. Unknown
+// family names fail startup with a structured error on stderr.
+//
+// With -store-dir the keyed store is crash-safe: it checkpoints atomically
+// every -store-checkpoint and appends each update to a write-ahead log that
+// is replayed on restart (disable with -store-no-wal; -store-wal-sync trades
+// throughput for fsync'd durability).
 //
 // Single-stream endpoints (served by cluster.NewServerHandler; see its doc
 // comment for the full contract — every route below is also available under
@@ -75,15 +80,20 @@ import (
 
 // nodeConfig carries the flag values every family build shares.
 type nodeConfig struct {
-	eps         float64
-	shards      int
-	refresh     int
-	interval    time.Duration
-	storeBudget int64
-	storeTTL    time.Duration
-	storeSweep  time.Duration
-	seed        int64
-	maxN        int
+	eps             float64
+	shards          int
+	refresh         int
+	interval        time.Duration
+	storeBudget     int64
+	storeTTL        time.Duration
+	storeSweep      time.Duration
+	storePromote    int
+	storeDir        string
+	storeCheckpoint time.Duration
+	storeNoWAL      bool
+	storeWALSync    int
+	seed            int64
+	maxN            int
 }
 
 // build assembles the writer node for one concrete summary type: the
@@ -96,18 +106,46 @@ func build[S sharded.Mergeable[float64, S]](cfg nodeConfig, factory func() S, pe
 	if cfg.interval > 0 {
 		stops = append(stops, s.AutoRefresh(cfg.interval))
 	}
-	st := quantilelb.NewStore(quantilelb.StoreConfig{
+	st, err := quantilelb.OpenStore(quantilelb.StoreConfig{
 		Eps:              cfg.eps,
 		Factory:          perKey,
 		MaxRetainedBytes: cfg.storeBudget,
 		IdleTTL:          cfg.storeTTL,
+		PromoteItems:     cfg.storePromote,
+		Dir:              cfg.storeDir,
+		DisableWAL:       cfg.storeNoWAL,
+		WALSyncEvery:     cfg.storeWALSync,
 	})
+	if err != nil {
+		startupError("opening keyed store in %q: %v", cfg.storeDir, err)
+	}
 	if cfg.storeSweep > 0 {
 		stops = append(stops, st.StartJanitor(cfg.storeSweep))
+	}
+	if cfg.storeDir != "" && cfg.storeCheckpoint > 0 {
+		tick := time.NewTicker(cfg.storeCheckpoint)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					if err := st.Checkpoint(); err != nil {
+						log.Printf("store checkpoint: %v", err)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+		stops = append(stops, func() { tick.Stop(); close(done) })
 	}
 	return cluster.NewStoreServerHandler(s, st), func() {
 		for _, stop := range stops {
 			stop()
+		}
+		// Final checkpoint + WAL close; a no-op without -store-dir.
+		if err := st.Close(); err != nil {
+			log.Printf("store close: %v", err)
 		}
 	}
 }
@@ -139,6 +177,10 @@ var families = map[string]func(nodeConfig) (http.Handler, func()){
 		f := quantilelb.ReservoirFactory(c.eps, 0.01, c.seed)
 		return build(c, f, func(float64) store.Summary { return f() })
 	},
+	"biased": func(c nodeConfig) (http.Handler, func()) {
+		return build(c, quantilelb.BiasedFactory(c.eps),
+			func(eps float64) store.Summary { return quantilelb.NewBiased(eps) })
+	},
 }
 
 // familyNames returns the supported -family values in sorted order.
@@ -165,17 +207,22 @@ func startupError(format string, args ...any) {
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		family      = flag.String("family", "gk", "summary family: gk, kll, mlq, mrl, req, or reservoir")
-		eps         = flag.Float64("eps", 0.01, "summary accuracy epsilon (single-stream and per-key default)")
-		shards      = flag.Int("shards", 16, "number of lock-striped shards")
-		refresh     = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
-		interval    = flag.Duration("interval", time.Second, "background snapshot refresh interval (0 disables)")
-		storeBudget = flag.Int64("store-budget", 256<<20, "keyed store retained-bytes budget; LRU-evicts beyond it (0 = unbounded)")
-		storeTTL    = flag.Duration("store-ttl", 0, "evict keys idle for this long (0 disables)")
-		storeSweep  = flag.Duration("store-sweep", 10*time.Second, "keyed store janitor interval (0 disables)")
-		seed        = flag.Int64("seed", 1, "RNG seed for the randomized families (kll, reservoir)")
-		maxN        = flag.Int("max-n", 100_000_000, "stream-length bound for the mrl family")
+		addr            = flag.String("addr", ":8080", "listen address")
+		family          = flag.String("family", "gk", "summary family: biased, gk, kll, mlq, mrl, req, or reservoir")
+		eps             = flag.Float64("eps", 0.01, "summary accuracy epsilon (single-stream and per-key default)")
+		shards          = flag.Int("shards", 16, "number of lock-striped shards")
+		refresh         = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
+		interval        = flag.Duration("interval", time.Second, "background snapshot refresh interval (0 disables)")
+		storeBudget     = flag.Int64("store-budget", 256<<20, "keyed store retained-bytes budget; LRU-evicts beyond it (0 = unbounded)")
+		storeTTL        = flag.Duration("store-ttl", 0, "evict keys idle for this long (0 disables)")
+		storeSweep      = flag.Duration("store-sweep", 10*time.Second, "keyed store janitor interval (0 disables)")
+		storePromote    = flag.Int("store-promote", 0, "exact-buffer items before a key promotes to a sketch (0 = default 128, negative disables buffering)")
+		storeDir        = flag.String("store-dir", "", "keyed store persistence directory: checkpoint + write-ahead log (empty = in-memory only)")
+		storeCheckpoint = flag.Duration("store-checkpoint", time.Minute, "checkpoint interval when -store-dir is set (0 = checkpoint only on shutdown)")
+		storeNoWAL      = flag.Bool("store-no-wal", false, "persist checkpoints only, skipping the per-update write-ahead log")
+		storeWALSync    = flag.Int("store-wal-sync", 0, "fsync the WAL every N records (0 = rely on OS page cache)")
+		seed            = flag.Int64("seed", 1, "RNG seed for the randomized families (kll, reservoir)")
+		maxN            = flag.Int("max-n", 100_000_000, "stream-length bound for the mrl family")
 	)
 	flag.Parse()
 
@@ -188,15 +235,20 @@ func main() {
 	}
 
 	handler, stop := buildFamily(nodeConfig{
-		eps:         *eps,
-		shards:      *shards,
-		refresh:     *refresh,
-		interval:    *interval,
-		storeBudget: *storeBudget,
-		storeTTL:    *storeTTL,
-		storeSweep:  *storeSweep,
-		seed:        *seed,
-		maxN:        *maxN,
+		eps:             *eps,
+		shards:          *shards,
+		refresh:         *refresh,
+		interval:        *interval,
+		storeBudget:     *storeBudget,
+		storeTTL:        *storeTTL,
+		storeSweep:      *storeSweep,
+		storePromote:    *storePromote,
+		storeDir:        *storeDir,
+		storeCheckpoint: *storeCheckpoint,
+		storeNoWAL:      *storeNoWAL,
+		storeWALSync:    *storeWALSync,
+		seed:            *seed,
+		maxN:            *maxN,
 	})
 	defer stop()
 

@@ -145,8 +145,10 @@ func TestWeightedKeyedFallbackGuard(t *testing.T) {
 	st := quantilelb.NewStore(quantilelb.StoreConfig{
 		Eps: 0.05,
 		// The capacity-capped strawman has no WeightedUpdate: forces the
-		// expansion fallback.
-		Factory: func(eps float64) store.Summary { return quantilelb.NewCapped(64) },
+		// expansion fallback. Buffering is disabled because a buffered key's
+		// exact buffer would serve any weight natively.
+		PromoteItems: -1,
+		Factory:      func(eps float64) store.Summary { return quantilelb.NewCapped(64) },
 	})
 	h := cluster.NewKeyedServerHandler(st)
 

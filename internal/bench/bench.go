@@ -53,6 +53,15 @@ type evictioner interface {
 	Evictions() int
 }
 
+// retainedByteser is the optional capacity-aware footprint a target can
+// report (the keyed-store targets surface store.Stats().RetainedBytes, which
+// counts slice capacities via summary.Sized). Targets without it fall back to
+// the flat StoredCount × BytesPerItem estimate — the same fallback the store
+// itself documents for non-Sized summaries.
+type retainedByteser interface {
+	RetainedBytes() int64
+}
+
 // Family describes one summary family in the matrix.
 type Family struct {
 	// Name identifies the family in the report (e.g. "gk", "sharded-kll").
@@ -137,6 +146,20 @@ type Cell struct {
 	WireBytesPerSec  float64 `json:"wire_bytes_per_sec,omitempty"`
 	MergeStalenessMs float64 `json:"merge_staleness_ms,omitempty"`
 	DeltaFetches     int     `json:"delta_fetches,omitempty"`
+	// LiveKeys through RecoveryMs are only set by the million-key tenancy
+	// cell (RunMillion): the live key count at measurement, the mean
+	// budget-accounted bytes per live key (cmd/benchdiff gates it against
+	// the per-key GK-floor cost — adaptive promotion is what keeps the long
+	// cold tail far below it), the split of keys still in the pre-promotion
+	// exact-buffer stage versus promoted to sketches, the promoted fraction,
+	// and the wall time of a crash-recovery reopen (checkpoint load + WAL
+	// replay) in milliseconds.
+	LiveKeys      int     `json:"live_keys,omitempty"`
+	BytesPerKey   float64 `json:"bytes_per_key,omitempty"`
+	BufferedKeys  int     `json:"buffered_keys,omitempty"`
+	PromotedKeys  int     `json:"promoted_keys,omitempty"`
+	PromotionRate float64 `json:"promotion_rate,omitempty"`
+	RecoveryMs    float64 `json:"recovery_ms,omitempty"`
 }
 
 // Report is the machine-readable result of one full matrix run; cmd/bench
@@ -294,6 +317,9 @@ func measure(cfg Config, fam Family, wl Workload, oracle *rank.Oracle[float64], 
 		RetainedBytes: s.StoredCount() * fam.BytesPerItem,
 		EpsTarget:     fam.EpsTarget,
 		BudgetBytes:   fam.BudgetBytes,
+	}
+	if rb, ok := s.(retainedByteser); ok {
+		cell.RetainedBytes = int(rb.RetainedBytes())
 	}
 	if ev, ok := s.(evictioner); ok {
 		cell.Evictions = ev.Evictions()

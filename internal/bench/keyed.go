@@ -46,8 +46,13 @@ type keyedTarget struct {
 // newKeyedTarget builds a store target with nKeys keys at accuracy eps under
 // the given retained-bytes budget (0 = unbounded).
 func newKeyedTarget(eps float64, nKeys int, seed int64, budget int64) *keyedTarget {
+	// PromoteItems: -1 keeps every key a fully provisioned sketch from its
+	// first item — the cost model these families have always measured, and
+	// what makes the 10k-key family exceed its budget and prove eviction
+	// runs. Adaptive promotion (cold keys as cheap exact buffers) is
+	// measured by the store-zipf-1M cell instead.
 	t := &keyedTarget{
-		st:   store.New(store.Config{Eps: eps, MaxRetainedBytes: budget}),
+		st:   store.New(store.Config{Eps: eps, MaxRetainedBytes: budget, PromoteItems: -1}),
 		keys: make([]string, nKeys),
 	}
 	for i := range t.keys {
@@ -97,6 +102,11 @@ func (t *keyedTarget) StoredCount() int { return t.st.Stats().RetainedItems }
 
 // Evictions reports how many keys lifecycle management evicted.
 func (t *keyedTarget) Evictions() int { return t.st.Evictions() }
+
+// RetainedBytes reports the store's real budget-accounted footprint, so the
+// recorded cells (and the benchdiff budget gate) use the same capacity-aware
+// metric the store enforces MaxRetainedBytes against.
+func (t *keyedTarget) RetainedBytes() int64 { return t.st.Stats().RetainedBytes }
 
 // keyedFamilies returns the keyed-fanout families, configured for cfg.Eps.
 func keyedFamilies(cfg Config) []Family {

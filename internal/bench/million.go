@@ -1,0 +1,151 @@
+package bench
+
+// The million-key tenancy benchmark: one persistent keyed store driven to
+// MillionKeys live keys with zipf-distributed popularity — the shape of a
+// real per-metric/per-tenant fleet, where a handful of tenants are hot and
+// the overwhelming majority hold a few items each. The cell records what the
+// cold tail actually costs: with adaptive promotion every cold key is a tiny
+// exact buffer instead of a fully provisioned sketch, so the mean bytes per
+// live key must sit far below the per-key GK floor of
+// 32·ceil((1/2ε)·log2(2εn̄+2)) bytes (n̄ = mean items per key) — cmd/benchdiff
+// gates bytes/key at a quarter of that floor. The cell also records the
+// promotion split (both stages must be live) and the wall time of a
+// crash-recovery reopen: the run checkpoints mid-stream, keeps ingesting
+// into the WAL, then abandons the store without closing it and measures a
+// cold Open over the same directory — checkpoint load plus WAL replay.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/store"
+)
+
+// MillionFamily is the family name of the million-key tenancy cell;
+// cmd/benchdiff keys its bytes-per-key and recovery gates on it.
+const MillionFamily = "store-zipf-1M"
+
+// MillionKeys is the live-key count of the full run; cmd/bench scales it
+// down under -quick.
+const MillionKeys = 1_000_000
+
+// millionStreamFactor is how many zipf-drawn items follow the key-creating
+// pass, per key: total ingest is keys·(1+millionStreamFactor) items.
+const millionStreamFactor = 2
+
+// RunMillion measures the store-zipf-1M cell over nKeys live keys: every key
+// is touched once (the creation pass that builds the full cold tail), then
+// nKeys·millionStreamFactor more items are routed by zipf popularity, with a
+// checkpoint taken halfway through the zipf stream so the recovery reopen
+// replays a real WAL tail. Accuracy is measured on the hottest key (zipf
+// rank 0, promoted to a sketch early on) against the exact oracle of its own
+// routed stream, normalized by that stream's length.
+func RunMillion(cfg Config, nKeys int) (Cell, error) {
+	dir, err := os.MkdirTemp("", "bench-million-")
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: million temp dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(store.Config{Eps: cfg.Eps, Dir: dir})
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: million open: %w", err)
+	}
+
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("metric-%07d", i)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rand.New(rand.NewSource(cfg.Seed+1)), zipfS, zipfV, uint64(nKeys-1))
+
+	// Creation pass: one item per key, building the full cold tail. Then the
+	// first half of the zipf stream, a checkpoint, and the second half — so
+	// the abandoned store leaves behind both a populated checkpoint and a
+	// live WAL tail for the recovery reopen to replay.
+	var hot []float64
+	ingest := func(key string, x float64) {
+		st.Update(key, x)
+		if key == keys[0] {
+			hot = append(hot, x)
+		}
+	}
+	extra := nKeys * millionStreamFactor
+	total := nKeys + extra
+	start := time.Now()
+	for _, k := range keys {
+		ingest(k, rng.Float64()*1000)
+	}
+	for i := 0; i < extra/2; i++ {
+		ingest(keys[zipf.Uint64()], rng.Float64()*1000)
+	}
+	if err := st.Checkpoint(); err != nil {
+		return Cell{}, fmt.Errorf("bench: million checkpoint: %w", err)
+	}
+	for i := extra / 2; i < extra; i++ {
+		ingest(keys[zipf.Uint64()], rng.Float64()*1000)
+	}
+	elapsed := time.Since(start)
+
+	stats := st.Stats()
+	cell := Cell{
+		Family:        MillionFamily,
+		Workload:      "zipf",
+		Mode:          "update",
+		N:             total,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(total),
+		ItemsPerSec:   float64(total) / elapsed.Seconds(),
+		RetainedItems: stats.RetainedItems,
+		RetainedBytes: int(stats.RetainedBytes),
+		LiveKeys:      stats.Keys,
+		BytesPerKey:   float64(stats.RetainedBytes) / float64(stats.Keys),
+		BufferedKeys:  stats.BufferedKeys,
+		PromotedKeys:  stats.PromotedKeys,
+		PromotionRate: float64(stats.PromotedKeys) / float64(stats.Keys),
+	}
+	if stats.Keys != nKeys {
+		return Cell{}, fmt.Errorf("bench: million live keys = %d, want %d", stats.Keys, nKeys)
+	}
+
+	// Accuracy of the hottest key against the oracle of its own routed
+	// stream; the fraction is normalized by that stream's length (not by
+	// cell.N, which counts all keys' items).
+	oracle := rank.Float64Oracle(hot)
+	worst := 0
+	for i := 0; i <= cfg.Grid; i++ {
+		phi := float64(i) / float64(cfg.Grid)
+		got, ok := st.Query(keys[0], phi)
+		if !ok {
+			return Cell{}, fmt.Errorf("bench: million hot key answered not-ok")
+		}
+		if e := oracle.RankError(got, phi); e > worst {
+			worst = e
+		}
+	}
+	cell.MaxRankError = worst
+	cell.MaxRankErrorFrac = float64(worst) / float64(len(hot))
+
+	// Crash-recovery reopen: abandon the live store without Close (its final
+	// checkpoint must NOT run — the measured Open has to pay for the WAL
+	// tail) and cold-open the directory. Drop the abandoned store first so
+	// the two stores' footprints do not overlap at full scale.
+	st = nil
+	runtime.GC()
+	recoverStart := time.Now()
+	st2, err := store.Open(store.Config{Eps: cfg.Eps, Dir: dir})
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: million recovery open: %w", err)
+	}
+	cell.RecoveryMs = float64(time.Since(recoverStart).Microseconds()) / 1000
+	if got := st2.Len(); got != nKeys {
+		return Cell{}, fmt.Errorf("bench: recovery restored %d keys, want %d", got, nKeys)
+	}
+	if err := st2.Close(); err != nil {
+		return Cell{}, fmt.Errorf("bench: million recovered close: %w", err)
+	}
+	return cell, nil
+}

@@ -1,0 +1,142 @@
+package biased
+
+import (
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"quantilelb/internal/order"
+)
+
+// rankBoundsAll returns, for every tuple, its deterministic rank bounds
+// [rmin_i, rmax_i] in one pass (rmin is the prefix sum of g, rmax adds Delta).
+func (s *Summary[T]) rankBoundsAll() (rmins, rmaxs []int) {
+	rmins = make([]int, len(s.tuples))
+	rmaxs = make([]int, len(s.tuples))
+	run := 0
+	for i, t := range s.tuples {
+		run += t.G
+		rmins[i] = run
+		rmaxs[i] = run + t.Delta
+	}
+	return rmins, rmaxs
+}
+
+// raiseEps loosens the summary to a larger relative accuracy parameter and
+// refreshes the compression schedule accordingly.
+func (s *Summary[T]) raiseEps(eps float64) {
+	if eps <= s.eps {
+		return
+	}
+	s.eps = eps
+	every := int(1 / (2 * eps))
+	if every < 1 {
+		every = 1
+	}
+	s.compressEvery = every
+}
+
+// Merge folds another biased summary into the receiver using the MERGE
+// (COMBINE) operation of the GK lineage: the two tuple lists are merged in
+// sorted order and each kept item's rank bounds are recomputed as the sum of
+// its own bounds and the bounds contributed by its predecessor/successor in
+// the other summary. Because both inputs keep low-rank tuples nearly exact,
+// the combined gaps at rank r stay within 2·eps_new·r, so the relative
+// guarantee survives with eps_new = max(eps_a, eps_b) — the same COMBINE rule
+// every family in this repository follows.
+//
+// The argument is read but never modified.
+func (s *Summary[T]) Merge(other *Summary[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	s.raiseEps(other.eps)
+	if s.n == 0 {
+		s.tuples = other.Tuples()
+		s.n = other.n
+		return nil
+	}
+	aRmin, aRmax := s.rankBoundsAll()
+	bRmin, bRmax := other.rankBoundsAll()
+	a, b := s.tuples, other.tuples
+	merged := make([]Tuple[T], 0, len(a)+len(b))
+	prevRmin := 0 // rmin of the previously emitted merged tuple
+	i, j := 0, 0
+	emit := func(v T, rmin, rmax int) {
+		merged = append(merged, Tuple[T]{V: v, G: rmin - prevRmin, Delta: rmax - rmin})
+		prevRmin = rmin
+	}
+	for i < len(a) || j < len(b) {
+		takeA := j >= len(b) || (i < len(a) && s.cmp(a[i].V, b[j].V) <= 0)
+		if takeA {
+			// Predecessor in b is b[j-1] (all emitted), successor is b[j]; the
+			// successor itself certainly sits above the emitted item, hence −1.
+			rmin := aRmin[i]
+			rmax := aRmax[i]
+			if j > 0 {
+				rmin += bRmin[j-1]
+			}
+			if j < len(b) {
+				rmax += bRmax[j] - 1
+			} else {
+				rmax += other.n
+			}
+			emit(a[i].V, rmin, rmax)
+			i++
+		} else {
+			rmin := bRmin[j]
+			rmax := bRmax[j]
+			if i > 0 {
+				rmin += aRmin[i-1]
+			}
+			if i < len(a) {
+				rmax += aRmax[i] - 1
+			} else {
+				rmax += s.n
+			}
+			emit(b[j].V, rmin, rmax)
+			j++
+		}
+	}
+	s.tuples = merged
+	s.n += other.n
+	// The extreme tuples are the exact minimum and maximum of the combined
+	// stream; pin Delta = 0 explicitly so CheckInvariant never depends on the
+	// arithmetic above deriving it.
+	s.tuples[0].Delta = 0
+	s.tuples[len(s.tuples)-1].Delta = 0
+	s.Compress()
+	return nil
+}
+
+// Restore reconstructs a biased summary from previously exported state,
+// validating the structural invariants before accepting it. It is used by the
+// serialization layer.
+func Restore[T any](cmp order.Comparator[T], eps float64, count int, tuples []Tuple[T]) (*Summary[T], error) {
+	if !(eps > 0 && eps < 1) {
+		return nil, errors.New("biased: restore: eps must be in (0, 1)")
+	}
+	if count < 0 {
+		return nil, errors.New("biased: restore: negative item count")
+	}
+	s := New(cmp, eps)
+	s.n = count
+	s.tuples = make([]Tuple[T], len(tuples))
+	copy(s.tuples, tuples)
+	if err := s.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("biased: restore: %w", err)
+	}
+	return s, nil
+}
+
+// RestoreFloat64 is Restore specialized to float64 items, the form the wire
+// decoder uses.
+func RestoreFloat64(eps float64, count int, tuples []Tuple[float64]) (*Summary[float64], error) {
+	return Restore(order.Floats[float64](), eps, count, tuples)
+}
+
+// RetainedBytes reports the heap bytes retained by the tuple array, counting
+// allocated capacity (summary.Sized): for float64 items a tuple is 24 bytes.
+func (s *Summary[T]) RetainedBytes() int {
+	return cap(s.tuples) * int(unsafe.Sizeof(Tuple[T]{}))
+}

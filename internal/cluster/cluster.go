@@ -63,9 +63,23 @@ type Source interface {
 // every future pull for every peer.
 var defaultPullClient = &http.Client{Timeout: 10 * time.Second}
 
+// Adaptive delta suppression (see HTTPSource.Delta): after
+// deltaSuppressAfter consecutive delta-eligible fetches answered with a full
+// payload, the source stops asking for deltas for deltaReprobeEvery fetches,
+// then probes again. A peer whose snapshot layout shuffles every refresh
+// (so its deltas never save bytes and it always falls back to full) thus
+// stops paying the per-fetch delta-computation cost after a few rounds,
+// while a peer that starts producing profitable deltas again is rediscovered
+// within a probe cycle.
+const (
+	deltaSuppressAfter = 3
+	deltaReprobeEvery  = 32
+)
+
 // HTTPSource pulls GET {URL}/snapshot from a quantileserver (or another
 // aggregator — the tier composes into trees, since aggregators re-export
-// /snapshot).
+// /snapshot). An HTTPSource carries per-peer negotiation state and must not
+// be copied after first use.
 type HTTPSource struct {
 	// URL is the peer's base URL, e.g. "http://10.0.0.7:8080".
 	URL string
@@ -87,8 +101,55 @@ type HTTPSource struct {
 	// to the full payload otherwise). The aggregator's pull loop applies the
 	// delta to the peer's retained payload; a base mismatch simply forces a
 	// full refetch on the next round, so Delta is purely a bandwidth
-	// optimization.
+	// optimization. Negotiation is adaptive: a peer that keeps falling back
+	// to full payloads (e.g. one whose snapshot layout changes on every
+	// refresh, making every delta as large as the full) is asked for deltas
+	// only every deltaReprobeEvery fetches instead of every round, so
+	// unprofitable peers do not pay the delta-computation cost forever.
 	Delta bool
+
+	// mu guards the adaptive-suppression state below.
+	mu sync.Mutex
+	// consecFulls counts consecutive delta-requesting fetches the peer
+	// answered with a full payload (its "delta would not save bytes"
+	// fallback); at deltaSuppressAfter the source suppresses negotiation.
+	consecFulls int
+	// suppressRemaining is the countdown of fetches left in the current
+	// suppression window; while positive, fetches do not ask for deltas.
+	suppressRemaining int
+}
+
+// shouldAskDelta consumes one step of the suppression state machine and
+// reports whether this fetch should negotiate a delta.
+func (h *HTTPSource) shouldAskDelta() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.suppressRemaining > 0 {
+		h.suppressRemaining--
+		if h.suppressRemaining == 0 {
+			// The next eligible fetch is the re-probe; a single further full
+			// answer re-suppresses immediately.
+			h.consecFulls = deltaSuppressAfter - 1
+		}
+		return false
+	}
+	return true
+}
+
+// recordDeltaOutcome feeds the answer to a delta-negotiated fetch back into
+// the suppression state machine.
+func (h *HTTPSource) recordDeltaOutcome(gotDelta bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if gotDelta {
+		h.consecFulls = 0
+		return
+	}
+	h.consecFulls++
+	if h.consecFulls >= deltaSuppressAfter {
+		h.consecFulls = 0
+		h.suppressRemaining = deltaReprobeEvery
+	}
 }
 
 // Name returns the peer's base URL.
@@ -106,7 +167,9 @@ func (h *HTTPSource) Fetch(ctx context.Context, etag string) ([]byte, string, bo
 	if h.Fresh {
 		params.Set("fresh", "1")
 	}
-	if h.Delta && etag != "" {
+	askedDelta := false
+	if h.Delta && etag != "" && h.shouldAskDelta() {
+		askedDelta = true
 		params.Set("mode", "delta")
 		params.Set("base", etag)
 	}
@@ -139,6 +202,9 @@ func (h *HTTPSource) Fetch(ctx context.Context, etag string) ([]byte, string, bo
 		}
 		if len(payload) > MaxBodyBytes {
 			return nil, "", false, fmt.Errorf("snapshot exceeds %d bytes", MaxBodyBytes)
+		}
+		if askedDelta {
+			h.recordDeltaOutcome(encoding.IsDelta(payload))
 		}
 		return payload, resp.Header.Get("ETag"), false, nil
 	}

@@ -176,10 +176,17 @@ func storeStatsPayload(st store.Stats) map[string]any {
 		"retained_items":     st.RetainedItems,
 		"retained_bytes":     st.RetainedBytes,
 		"max_retained_bytes": st.MaxRetainedBytes,
+		"buffered_keys":      st.BufferedKeys,
+		"promoted_keys":      st.PromotedKeys,
+		"promotions":         st.Promotions,
 		"updates":            st.Updates,
 		"creates":            st.Creates,
 		"evictions_lru":      st.EvictionsLRU,
 		"evictions_idle":     st.EvictionsIdle,
+		"checkpoints":        st.Checkpoints,
+		"wal_records":        st.WALRecords,
+		"wal_replayed":       st.WALReplayed,
+		"last_checkpoint_ns": st.LastCheckpointUnix,
 	}
 }
 
@@ -286,9 +293,15 @@ func (a *KeyedAggregator) rebuild() (*peerState, error) {
 			}
 			peerN += sum.Count()
 			if existing, ok := merged[rec.Key]; ok {
-				if err := mergeAny(existing, sum); err != nil {
-					return p, fmt.Errorf("peer %s: key %q: %w", p.src.Name(), rec.Key, err)
+				// MergeAdopting handles the cross-stage case: when the
+				// existing entry is a cold key's exact buffer and the incoming
+				// record is a sketch, the sketch absorbs the buffer and takes
+				// the slot.
+				res, err := encoding.MergeAdopting(existing, sum)
+				if err != nil {
+					return p, fmt.Errorf("peer %s: key %q: cluster: %w", p.src.Name(), rec.Key, err)
 				}
+				merged[rec.Key] = res.(summary.Summary[float64])
 			} else {
 				merged[rec.Key] = sum
 			}

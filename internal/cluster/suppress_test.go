@@ -1,0 +1,125 @@
+package cluster
+
+// Adaptive delta-suppression tests: a peer whose snapshot re-lays-out on
+// every refresh makes every delta as large as the full payload, so its
+// server falls back to full responses — the source must stop asking for
+// deltas after a few rounds instead of making the peer compute an
+// unprofitable delta per pull forever.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"quantilelb/internal/encoding"
+	"quantilelb/internal/gk"
+)
+
+func TestHTTPSourceSuppressesUnprofitableDeltas(t *testing.T) {
+	// A peer that always has new content and never serves a delta (the
+	// fallback shape of a snapshot whose layout shuffles every refresh).
+	var serves atomic.Int64
+	var deltaRequests atomic.Int64
+	sum := gk.NewFloat64(0.05)
+	for i := 0; i < 2_000; i++ {
+		sum.Update(float64(i % 211))
+	}
+	payload, err := encoding.Encode(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("mode") == "delta" {
+			deltaRequests.Add(1)
+		}
+		n := serves.Add(1)
+		w.Header().Set("ETag", `"v`+strconv.FormatInt(n, 10)+`"`)
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	src := &HTTPSource{URL: srv.URL, Client: srv.Client(), Delta: true}
+	const rounds = 50
+	etag := ""
+	var wireBytes int64
+	for i := 0; i < rounds; i++ {
+		p, newETag, notModified, err := src.Fetch(context.Background(), etag)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if notModified {
+			t.Fatalf("fetch %d unexpectedly 304", i)
+		}
+		wireBytes += int64(len(p))
+		etag = newETag
+	}
+
+	// Round 1 has no ETag, so negotiation starts at round 2. Three full
+	// answers (rounds 2–4) suppress; one re-probe fires after the
+	// 32-round window and is itself answered full, re-suppressing. Every
+	// other round must not have asked for a delta.
+	if got := deltaRequests.Load(); got != 4 {
+		t.Fatalf("delta-mode requests = %d over %d rounds, want exactly 4 (3 before suppression + 1 re-probe)", got, rounds)
+	}
+	// The wire carried exactly the full payloads — no delta overhead, no
+	// extra bytes for the failed negotiation.
+	if want := int64(rounds * len(payload)); wireBytes != want {
+		t.Fatalf("wire bytes = %d, want %d (full payload per round)", wireBytes, want)
+	}
+}
+
+func TestHTTPSourceKeepsProfitableDeltas(t *testing.T) {
+	// A peer that honors delta negotiation must keep being asked: profitable
+	// deltas never trip the suppression.
+	base := gk.NewFloat64(0.05)
+	for i := 0; i < 2_000; i++ {
+		base.Update(float64(i % 211))
+	}
+	full, err := encoding.Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var version atomic.Int64
+	var deltaRequests, deltaServes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v := version.Add(1)
+		w.Header().Set("ETag", `"v`+strconv.FormatInt(v, 10)+`"`)
+		if r.URL.Query().Get("mode") == "delta" {
+			deltaRequests.Add(1)
+			// A real peer diffs against the client's base; a same-base delta
+			// (a tiny header-only payload) is enough to exercise the
+			// negotiation bookkeeping.
+			d, err := encoding.EncodeDelta(full, full)
+			if err == nil && len(d) < len(full) {
+				deltaServes.Add(1)
+				w.Write(d)
+				return
+			}
+		}
+		w.Write(full)
+	}))
+	defer srv.Close()
+
+	src := &HTTPSource{URL: srv.URL, Client: srv.Client(), Delta: true}
+	etag := ""
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		p, newETag, _, err := src.Fetch(context.Background(), etag)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if i > 0 && !encoding.IsDelta(p) {
+			t.Fatalf("fetch %d: expected a delta payload", i)
+		}
+		etag = newETag
+	}
+	if got := deltaRequests.Load(); got != rounds-1 {
+		t.Fatalf("delta-mode requests = %d, want %d (every revalidation round)", got, rounds-1)
+	}
+	if deltaServes.Load() != deltaRequests.Load() {
+		t.Fatalf("server fell back on %d of %d delta requests", deltaRequests.Load()-deltaServes.Load(), deltaRequests.Load())
+	}
+}

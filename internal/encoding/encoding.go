@@ -26,6 +26,8 @@ import (
 	"io"
 	"math"
 
+	"quantilelb/internal/biased"
+	"quantilelb/internal/exact"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -58,6 +60,8 @@ const (
 	KindMLQ       Kind = 7
 	KindREQ       Kind = 8
 	KindDelta     Kind = 9
+	KindExact     Kind = 10
+	KindBiased    Kind = 11
 )
 
 // String returns the short family name used in reports and peer status
@@ -82,6 +86,10 @@ func (k Kind) String() string {
 		return "req"
 	case KindDelta:
 		return "delta"
+	case KindExact:
+		return "exact"
+	case KindBiased:
+		return "biased"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -597,6 +605,10 @@ func Encode(s any) ([]byte, error) {
 		return EncodeMLQ(v)
 	case *req.Summary:
 		return EncodeREQ(v)
+	case *exact.Buffer:
+		return EncodeExact(v)
+	case *biased.Summary[float64]:
+		return EncodeBiased(v)
 	}
 	return nil, fmt.Errorf("encoding: unsupported summary type %T", s)
 }
@@ -630,6 +642,10 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeMLQ(payload)
 	case KindREQ:
 		dec, decErr = DecodeREQ(payload)
+	case KindExact:
+		dec, decErr = DecodeExact(payload)
+	case KindBiased:
+		dec, decErr = DecodeBiased(payload)
 	case KindStore:
 		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
 	case KindDelta:

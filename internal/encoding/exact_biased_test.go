@@ -1,0 +1,255 @@
+package encoding
+
+// Wire-format tests for the two kinds added with the multi-tenant store's
+// cold-key stage: KindExact (the pre-promotion exact buffer) and KindBiased
+// (the relative-error summary), plus the cross-stage merge dispatch
+// (MergeAny replaying exact items into sketches, MergeAdopting replacing an
+// exact destination with the absorbing sketch).
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quantilelb/internal/biased"
+	"quantilelb/internal/exact"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/kll"
+	"quantilelb/internal/rank"
+)
+
+func TestExactRoundTrip(t *testing.T) {
+	cases := map[string]func() *exact.Buffer{
+		"empty": exact.New,
+		"unit": func() *exact.Buffer {
+			b := exact.New()
+			for i := 0; i < 50; i++ {
+				b.Update(float64((i * 7919) % 97))
+			}
+			return b
+		},
+		"weighted": func() *exact.Buffer {
+			b := exact.New()
+			for i := 0; i < 50; i++ {
+				b.WeightedUpdate(float64(i%13), int64(i%7+1))
+			}
+			return b
+		},
+		"nan": func() *exact.Buffer {
+			b := exact.New()
+			b.Update(math.NaN())
+			b.Update(2)
+			b.WeightedUpdate(math.NaN(), 3)
+			return b
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			payload, err := Encode(b) // generic dispatch must route the buffer
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if kind, err := DetectKind(payload); err != nil || kind != KindExact {
+				t.Fatalf("DetectKind = %v, %v", kind, err)
+			}
+			dec, err := Decode(payload)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			r, ok := dec.(*exact.Buffer)
+			if !ok {
+				t.Fatalf("Decode returned %T", dec)
+			}
+			if r.Count() != b.Count() || r.StoredCount() != b.StoredCount() {
+				t.Fatalf("counts = %d/%d, want %d/%d", r.Count(), r.StoredCount(), b.Count(), b.StoredCount())
+			}
+			for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				gv, gok := b.Query(phi)
+				rv, rok := r.Query(phi)
+				if gok != rok || (gok && gv != rv && !(math.IsNaN(gv) && math.IsNaN(rv))) {
+					t.Fatalf("phi=%g: restored %v,%v vs original %v,%v", phi, rv, rok, gv, gok)
+				}
+			}
+		})
+	}
+}
+
+func TestBiasedRoundTrip(t *testing.T) {
+	s := biased.NewFloat64(0.05)
+	for i := 0; i < 10_000; i++ {
+		s.Update(float64((i * 7919) % 4001))
+	}
+	payload, err := Encode(s)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if kind, err := DetectKind(payload); err != nil || kind != KindBiased {
+		t.Fatalf("DetectKind = %v, %v", kind, err)
+	}
+	dec, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	r, ok := dec.(*biased.Summary[float64])
+	if !ok {
+		t.Fatalf("Decode returned %T", dec)
+	}
+	if r.Count() != s.Count() || r.Epsilon() != s.Epsilon() || r.StoredCount() != s.StoredCount() {
+		t.Fatalf("restored count/eps/stored = %d/%g/%d", r.Count(), r.Epsilon(), r.StoredCount())
+	}
+	if err := r.CheckInvariant(); err != nil {
+		t.Fatalf("restored invariant: %v", err)
+	}
+	for _, q := range []float64{100, 2000, 3999} {
+		if got, want := r.EstimateRank(q), s.EstimateRank(q); got != want {
+			t.Errorf("rank(%g) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestExactBiasedRejectCorruption(t *testing.T) {
+	b := exact.New()
+	for i := 0; i < 20; i++ {
+		b.WeightedUpdate(float64(i), 2)
+	}
+	pExact, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := biased.NewFloat64(0.1)
+	for i := 0; i < 1_000; i++ {
+		s.Update(float64(i % 101))
+	}
+	pBiased, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string][]byte{"exact": pExact, "biased": pBiased} {
+		t.Run(name, func(t *testing.T) {
+			for cut := 1; cut < len(p); cut += 1 + len(p)/23 {
+				if _, err := Decode(p[:cut]); err == nil {
+					t.Fatalf("truncation at %d accepted", cut)
+				}
+			}
+			// Wrong-kind dispatch errors cleanly in both directions.
+			if _, err := DecodeExact(pBiased); err == nil || !strings.Contains(err.Error(), "want exact") {
+				t.Errorf("DecodeExact on biased payload: %v", err)
+			}
+			if _, err := DecodeBiased(pExact); err == nil || !strings.Contains(err.Error(), "want biased") {
+				t.Errorf("DecodeBiased on exact payload: %v", err)
+			}
+		})
+	}
+	if _, err := EncodeExact(nil); err == nil {
+		t.Error("EncodeExact(nil) accepted")
+	}
+	if _, err := EncodeBiased(nil); err == nil {
+		t.Error("EncodeBiased(nil) accepted")
+	}
+}
+
+func TestMergeAnyReplaysExactIntoSketch(t *testing.T) {
+	items := make([]float64, 0, 2_000)
+	dst := gk.NewFloat64(0.02)
+	for i := 0; i < 2_000; i++ {
+		x := float64((i * 6151) % 997)
+		dst.Update(x)
+		items = append(items, x)
+	}
+	src := exact.New()
+	for i := 0; i < 64; i++ {
+		x := float64(i)
+		src.WeightedUpdate(x, 3)
+		items = append(items, x, x, x)
+	}
+	if err := CheckMergeable(dst, src); err != nil {
+		t.Fatalf("CheckMergeable(sketch, exact): %v", err)
+	}
+	if err := MergeAny(dst, src); err != nil {
+		t.Fatalf("MergeAny: %v", err)
+	}
+	if dst.Count() != len(items) {
+		t.Fatalf("count = %d, want %d", dst.Count(), len(items))
+	}
+	oracle := rank.Float64Oracle(items)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := dst.Query(phi)
+		if e := oracle.RankError(got, phi); float64(e) > 0.02*float64(len(items))+1 {
+			t.Errorf("phi=%g rank error %d exceeds eps after replay", phi, e)
+		}
+	}
+}
+
+func TestMergeAdoptingReplacesExactDst(t *testing.T) {
+	dst := exact.New()
+	for i := 0; i < 10; i++ {
+		dst.Update(float64(i))
+	}
+	src := kll.NewFloat64(0.02, kll.WithSeed(3))
+	for i := 0; i < 5_000; i++ {
+		src.Update(float64((i * 7919) % 4001))
+	}
+	if err := CheckMergeable(dst, src); err != nil {
+		t.Fatalf("CheckMergeable(exact, sketch): %v", err)
+	}
+	merged, err := MergeAdopting(dst, src)
+	if err != nil {
+		t.Fatalf("MergeAdopting: %v", err)
+	}
+	if merged != any(src) {
+		t.Fatalf("MergeAdopting returned %T, want the absorbing sketch", merged)
+	}
+	if src.Count() != 5_010 {
+		t.Fatalf("absorbed count = %d, want 5010", src.Count())
+	}
+
+	// Exact + exact merges in place and stays exact.
+	a, b := exact.New(), exact.New()
+	a.Update(1)
+	b.WeightedUpdate(2, 4)
+	merged, err = MergeAdopting(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != any(a) {
+		t.Fatalf("exact+exact adopted %T, want the receiver", merged)
+	}
+	if a.Count() != 5 {
+		t.Fatalf("exact union count = %d, want 5", a.Count())
+	}
+
+	// MergeAny refuses an exact destination, pointing at MergeAdopting.
+	if err := MergeAny(exact.New(), src); err == nil {
+		t.Fatal("MergeAny with an exact destination should error")
+	}
+}
+
+func TestBiasedMergeDispatch(t *testing.T) {
+	a := biased.NewFloat64(0.05)
+	b := biased.NewFloat64(0.1)
+	for i := 0; i < 3_000; i++ {
+		a.Update(float64(i % 251))
+		b.Update(float64(i % 757))
+	}
+	if err := CheckMergeable(a, b); err != nil {
+		t.Fatalf("CheckMergeable(biased, biased): %v", err)
+	}
+	if err := MergeAny(a, b); err != nil {
+		t.Fatalf("MergeAny: %v", err)
+	}
+	if a.Count() != 6_000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	// COMBINE degrades to the coarser accuracy.
+	if a.Epsilon() != 0.1 {
+		t.Fatalf("merged eps = %g, want 0.1", a.Epsilon())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatalf("merged invariant: %v", err)
+	}
+	// Cross-family stays rejected.
+	if err := CheckMergeable(biased.NewFloat64(0.1), gk.NewFloat64(0.1)); err == nil {
+		t.Fatal("biased×gk accepted")
+	}
+}

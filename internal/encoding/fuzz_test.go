@@ -12,6 +12,8 @@ import (
 	"math"
 	"testing"
 
+	"quantilelb/internal/biased"
+	"quantilelb/internal/exact"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -131,8 +133,38 @@ func seedPayloads(tb testing.TB) [][]byte {
 		prunedreqS.Update(float64((i * 6151) % 997))
 	}
 	prunedreqS.Prune(50)
+	// Exact-buffer corpus shapes (the store's cold-key stage): empty, unit
+	// representation, weighted representation with coalesced runs, and a
+	// NaN-bearing weighted buffer.
+	exactEmpty := exact.New()
+	exactUnit := exact.New()
+	for i := 0; i < 60; i++ {
+		exactUnit.Update(float64((i * 7919) % 97))
+	}
+	exactWeighted := exact.New()
+	for i := 0; i < 60; i++ {
+		exactWeighted.WeightedUpdate(float64(i%13), int64(i%7+1))
+	}
+	exactNaN := exact.New()
+	exactNaN.Update(math.NaN())
+	exactNaN.Update(1)
+	exactNaN.WeightedUpdate(math.NaN(), 5)
+	// Biased-summary corpus shapes: small ingest-only, a compressed long
+	// stream, and a merged summary (merged tuple lists carry rank bounds the
+	// ingest path alone never produces).
+	biasedS := biased.NewFloat64(0.05)
+	for i := 0; i < 5_000; i++ {
+		biasedS.Update(float64((i * 7919) % 4001))
+	}
+	mergedbiasedS := biased.NewFloat64(0.05)
+	for i := 0; i < 2_000; i++ {
+		mergedbiasedS.Update(float64((i * 6151) % 997))
+	}
+	if err := mergedbiasedS.Merge(biasedS); err != nil {
+		tb.Fatalf("building merged biased seed: %v", err)
+	}
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS, reqEmpty, reqFolded, wreqS, nanreqS, mergedreqS, prunedreqS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS, reqEmpty, reqFolded, wreqS, nanreqS, mergedreqS, prunedreqS, exactEmpty, exactUnit, exactWeighted, exactNaN, biasedS, mergedbiasedS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"sort"
 
+	"quantilelb/internal/biased"
+	"quantilelb/internal/exact"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/mrl"
 	"quantilelb/internal/req"
 	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
 )
 
 // MaxStoreKeyBytes bounds the serialized length of one store key. The HTTP
@@ -157,6 +160,22 @@ var ErrNotMergeable = errors.New("encoding: summaries are not mergeable")
 // anything, so a bad record rejects the container whole instead of after a
 // partial merge.
 func CheckMergeable(dst, src any) error {
+	// Cross-stage pairs involving the exact buffer: a buffered key merges with
+	// anything that can ingest items. src exact → its items replay into dst;
+	// dst exact + src sketch → the buffer's items replay into src, which then
+	// replaces dst (callers must use MergeAdopting for that direction).
+	if _, ok := src.(*exact.Buffer); ok {
+		if _, ok := dst.(updater); ok {
+			return nil
+		}
+		return fmt.Errorf("%w: cannot replay exact items into %T", ErrNotMergeable, dst)
+	}
+	if _, ok := dst.(*exact.Buffer); ok {
+		if _, ok := src.(updater); ok {
+			return nil
+		}
+		return fmt.Errorf("%w: cannot replay exact items into %T", ErrNotMergeable, src)
+	}
 	switch d := dst.(type) {
 	case *gk.Summary[float64]:
 		if _, ok := src.(*gk.Summary[float64]); ok {
@@ -194,10 +213,70 @@ func CheckMergeable(dst, src any) error {
 		if _, ok := src.(*req.Summary); ok {
 			return nil
 		}
+	case *biased.Summary[float64]:
+		if _, ok := src.(*biased.Summary[float64]); ok {
+			return nil
+		}
 	default:
 		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
 	}
 	return fmt.Errorf("%w: cannot merge %T into %T; both sides must hold the same family", ErrNotMergeable, src, dst)
+}
+
+// updater is the minimal ingest interface every float64 summary implements;
+// replayExact uses it as the universal fallback target.
+type updater interface{ Update(float64) }
+
+// weightedUpdater matches the native weighted-ingest path (summary.WeightedUpdater
+// specialized to float64) without importing the generic interface here.
+type weightedUpdater interface{ WeightedUpdate(float64, int64) }
+
+// replayExact feeds every retained (value, weight) slot of an exact buffer
+// into dst: through dst's native weighted path when it has one, and through
+// the documented weight-expansion fallback otherwise (guarded by
+// summary.MaxExpansionWeight so a corrupt weight cannot stall the process).
+func replayExact(b *exact.Buffer, dst any) error {
+	if wu, ok := dst.(weightedUpdater); ok {
+		b.Each(func(v float64, w int64) { wu.WeightedUpdate(v, w) })
+		return nil
+	}
+	u, ok := dst.(updater)
+	if !ok {
+		return fmt.Errorf("%w: cannot replay exact items into %T", ErrNotMergeable, dst)
+	}
+	var err error
+	b.Each(func(v float64, w int64) {
+		if err != nil {
+			return
+		}
+		if w > summary.MaxExpansionWeight {
+			err = fmt.Errorf("encoding: exact slot weight %d exceeds the expansion cap %d for %T", w, summary.MaxExpansionWeight, dst)
+			return
+		}
+		for i := int64(0); i < w; i++ {
+			u.Update(v)
+		}
+	})
+	return err
+}
+
+// MergeAdopting merges src into dst and returns the summary that now holds
+// the union. In the common case that is dst (MergeAny semantics). When dst is
+// an exact buffer and src is a sketch, the buffer's items replay into src and
+// src is returned — the cross-stage promotion path of keyed merges; the
+// caller must own src (e.g. have freshly decoded it) and must adopt the
+// returned summary in dst's place.
+func MergeAdopting(dst, src any) (any, error) {
+	if d, ok := dst.(*exact.Buffer); ok {
+		if s, ok := src.(*exact.Buffer); ok {
+			return d, d.Merge(s)
+		}
+		if err := replayExact(d, src); err != nil {
+			return nil, err
+		}
+		return src, nil
+	}
+	return dst, MergeAny(dst, src)
 }
 
 // MergeAny folds src into dst when both hold the same mergeable concrete
@@ -206,6 +285,13 @@ func CheckMergeable(dst, src any) error {
 // single merge-dispatch point shared by the cluster aggregator and the keyed
 // store, so a new family becomes mergeable everywhere by extending it here.
 func MergeAny(dst, src any) error {
+	if s, ok := src.(*exact.Buffer); ok {
+		if _, isExact := dst.(*exact.Buffer); !isExact {
+			// A buffered key's exact items replay into the sketch dst through
+			// its native ingest path — lossless for src, eps unchanged for dst.
+			return replayExact(s, dst)
+		}
+	}
 	switch d := dst.(type) {
 	case *gk.Summary[float64]:
 		if s, ok := src.(*gk.Summary[float64]); ok {
@@ -231,6 +317,15 @@ func MergeAny(dst, src any) error {
 		if s, ok := src.(*req.Summary); ok {
 			return d.Merge(s)
 		}
+	case *biased.Summary[float64]:
+		if s, ok := src.(*biased.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *exact.Buffer:
+		if s, ok := src.(*exact.Buffer); ok {
+			return d.Merge(s)
+		}
+		return fmt.Errorf("%w: cannot merge %T into an exact buffer in place; use MergeAdopting", ErrNotMergeable, src)
 	default:
 		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
 	}

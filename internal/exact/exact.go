@@ -1,0 +1,256 @@
+// Package exact implements a tiny exact quantile buffer: a sorted sample of
+// every item (or weighted value run) it has ingested, answering quantile and
+// rank queries with zero error in O(items) space.
+//
+// It exists for the cold-tenant regime the lower bound of Cormode & Veselý
+// (PODS 2020) makes expensive: the Ω((1/ε)·log εN) floor applies per key, so
+// a million mostly-cold tenants would each pay the full sketch allocation for
+// a handful of observations. The multi-tenant store starts every key as an
+// exact Buffer — 8 bytes per retained item, exact answers — and promotes it
+// to the configured sketch family only once the buffer outgrows the sketch's
+// own floor (see store.Config.PromoteItems). Until then the key is strictly
+// cheaper AND strictly more accurate than any summary, which is the
+// observation that makes million-key tenancy affordable.
+package exact
+
+import (
+	"errors"
+
+	"quantilelb/internal/order"
+)
+
+// Buffer is an exact sorted-sample quantile summary over float64 items.
+// The zero value is not usable; call New.
+type Buffer struct {
+	cmp order.Comparator[float64]
+	// vals is sorted non-decreasing (NaNs first, per order.Floats). While wts
+	// is nil every element carries unit weight and duplicates occupy separate
+	// slots; once a weighted update arrives, wts is materialized parallel to
+	// vals and equal values coalesce into one slot with summed weight.
+	vals []float64
+	wts  []int64
+	n    int64 // total weight ingested
+}
+
+// New returns an empty exact buffer.
+func New() *Buffer {
+	return &Buffer{cmp: order.Floats[float64]()}
+}
+
+// Count returns the total weight ingested.
+func (b *Buffer) Count() int { return int(b.n) }
+
+// StoredCount returns the number of retained slots (the paper's space
+// measure: one stored item per slot regardless of its weight).
+func (b *Buffer) StoredCount() int { return len(b.vals) }
+
+// StoredItems returns the retained items in non-decreasing order.
+func (b *Buffer) StoredItems() []float64 {
+	out := make([]float64, len(b.vals))
+	copy(out, b.vals)
+	return out
+}
+
+// Update ingests one item.
+func (b *Buffer) Update(x float64) {
+	b.n++
+	if b.wts == nil {
+		b.vals = order.InsertSorted(b.cmp, b.vals, x)
+		return
+	}
+	b.insertWeighted(x, 1)
+}
+
+// UpdateBatch ingests a batch of items in one pass: the batch is sorted once
+// and merged into the retained array, so large batches cost
+// O((k + items)·log k) instead of k binary-search insertions.
+func (b *Buffer) UpdateBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	b.n += int64(len(xs))
+	sorted := order.Sorted(b.cmp, xs)
+	if b.wts == nil {
+		b.vals = order.Merge(b.cmp, b.vals, sorted)
+		return
+	}
+	for _, x := range sorted {
+		b.insertWeighted(x, 1)
+	}
+}
+
+// WeightedUpdate ingests one item carrying integer weight w ≥ 1 in O(log k)
+// time: equal values coalesce into one slot, so pre-counted histogram buckets
+// cost one slot each. It panics on w ≤ 0, matching the other families.
+func (b *Buffer) WeightedUpdate(x float64, w int64) {
+	if w <= 0 {
+		panic("exact: weight must be positive")
+	}
+	b.materializeWeights()
+	b.n += w
+	b.insertWeighted(x, w)
+}
+
+// WeightedUpdateBatch ingests parallel item/weight slices.
+func (b *Buffer) WeightedUpdateBatch(xs []float64, ws []int64) {
+	if len(xs) != len(ws) {
+		panic("exact: mismatched batch lengths")
+	}
+	for i, x := range xs {
+		b.WeightedUpdate(x, ws[i])
+	}
+}
+
+// materializeWeights switches the buffer to weighted representation,
+// coalescing duplicate values into single slots.
+func (b *Buffer) materializeWeights() {
+	if b.wts != nil {
+		return
+	}
+	vals := make([]float64, 0, len(b.vals))
+	wts := make([]int64, 0, len(b.vals))
+	for i, v := range b.vals {
+		if i > 0 && b.cmp(vals[len(vals)-1], v) == 0 {
+			wts[len(wts)-1]++
+			continue
+		}
+		vals = append(vals, v)
+		wts = append(wts, 1)
+	}
+	b.vals, b.wts = vals, wts
+}
+
+// insertWeighted adds weight w at value x in the weighted representation.
+func (b *Buffer) insertWeighted(x float64, w int64) {
+	i := order.SearchFirstGE(b.cmp, b.vals, x)
+	if i < len(b.vals) && b.cmp(b.vals[i], x) == 0 {
+		b.wts[i] += w
+		return
+	}
+	b.vals = append(b.vals, 0)
+	copy(b.vals[i+1:], b.vals[i:])
+	b.vals[i] = x
+	b.wts = append(b.wts, 0)
+	copy(b.wts[i+1:], b.wts[i:])
+	b.wts[i] = w
+}
+
+// Query returns the exact (weighted) ϕ-quantile; false when empty.
+func (b *Buffer) Query(phi float64) (float64, bool) {
+	if len(b.vals) == 0 {
+		return 0, false
+	}
+	if phi <= 0 {
+		return b.vals[0], true
+	}
+	if phi >= 1 {
+		return b.vals[len(b.vals)-1], true
+	}
+	target := int64(phi * float64(b.n))
+	if target < 1 {
+		target = 1
+	}
+	if b.wts == nil {
+		return b.vals[target-1], true
+	}
+	run := int64(0)
+	for i, w := range b.wts {
+		run += w
+		if run >= target {
+			return b.vals[i], true
+		}
+	}
+	return b.vals[len(b.vals)-1], true
+}
+
+// EstimateRank returns the exact total weight of items ≤ q.
+func (b *Buffer) EstimateRank(q float64) int {
+	i := order.CountLE(b.cmp, b.vals, q)
+	if b.wts == nil {
+		return i
+	}
+	run := int64(0)
+	for j := 0; j < i; j++ {
+		run += b.wts[j]
+	}
+	return int(run)
+}
+
+// Merge folds another exact buffer into the receiver: the union stays exact.
+// The argument is read but never modified.
+func (b *Buffer) Merge(other *Buffer) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if b.wts == nil && other.wts == nil {
+		b.vals = order.Merge(b.cmp, b.vals, other.vals)
+		b.n += other.n
+		return nil
+	}
+	b.materializeWeights()
+	other.Each(func(v float64, w int64) {
+		b.insertWeighted(v, w)
+	})
+	b.n += other.n
+	return nil
+}
+
+// Each calls fn for every retained slot in non-decreasing value order with
+// its weight — the replay hook promotion and cross-stage merges use to feed
+// the buffered items into a sketch's native weighted path.
+func (b *Buffer) Each(fn func(v float64, w int64)) {
+	for i, v := range b.vals {
+		w := int64(1)
+		if b.wts != nil {
+			w = b.wts[i]
+		}
+		fn(v, w)
+	}
+}
+
+// Values returns the retained values slice (not a copy; treat as read-only).
+func (b *Buffer) Values() []float64 { return b.vals }
+
+// Weights returns the parallel weights, or nil when every value carries unit
+// weight (not a copy; treat as read-only).
+func (b *Buffer) Weights() []int64 { return b.wts }
+
+// RetainedBytes reports the heap bytes retained by the value and weight
+// arrays, counting allocated capacity (summary.Sized): 8 bytes per unit slot,
+// 16 once weights are materialized.
+func (b *Buffer) RetainedBytes() int {
+	return cap(b.vals)*8 + cap(b.wts)*8
+}
+
+// Restore reconstructs a buffer from exported state: sorted values, optional
+// parallel weights (nil for all-unit), and the total weight n. It validates
+// ordering and weight positivity, the invariants the wire decoder relies on.
+func Restore(vals []float64, wts []int64, n int64) (*Buffer, error) {
+	b := New()
+	if wts != nil && len(wts) != len(vals) {
+		return nil, errors.New("exact: restore: weights length mismatch")
+	}
+	if !order.IsSorted(b.cmp, vals) {
+		return nil, errors.New("exact: restore: values not sorted")
+	}
+	total := int64(0)
+	if wts == nil {
+		total = int64(len(vals))
+	} else {
+		for _, w := range wts {
+			if w <= 0 {
+				return nil, errors.New("exact: restore: non-positive weight")
+			}
+			total += w
+		}
+	}
+	if n != total {
+		return nil, errors.New("exact: restore: count does not match weights")
+	}
+	b.vals = append([]float64(nil), vals...)
+	if wts != nil {
+		b.wts = append([]int64(nil), wts...)
+	}
+	b.n = n
+	return b, nil
+}

@@ -1,0 +1,10 @@
+package gk
+
+import "unsafe"
+
+// RetainedBytes reports the heap bytes retained by the tuple array, counting
+// allocated capacity. It implements the summary.Sized accounting contract the
+// multi-tenant store budgets with; for float64 items a tuple is 32 bytes.
+func (s *Summary[T]) RetainedBytes() int {
+	return cap(s.tuples) * int(unsafe.Sizeof(Tuple[T]{}))
+}

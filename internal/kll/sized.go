@@ -1,0 +1,16 @@
+package kll
+
+import "unsafe"
+
+// RetainedBytes reports the heap bytes retained across all compactor levels,
+// counting allocated capacity (summary.Sized). KLL stores bare items, so for
+// float64 streams this is ~8 bytes per retained slot — a quarter of the
+// 32-byte flat estimate the store would otherwise charge.
+func (s *Sketch[T]) RetainedBytes() int {
+	itemSize := int(unsafe.Sizeof(*new(T)))
+	total := 0
+	for _, c := range s.compactors {
+		total += cap(c) * itemSize
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+package mlq
+
+// RetainedBytes reports the heap bytes retained by the block buffer, the
+// weighted buffer, the per-level entry arrays, and the reusable flush/view
+// scratch, counting allocated capacity (summary.Sized). The block buffer is
+// preallocated to b = ⌈L/ε⌉ slots, so a freshly created summary already
+// retains kilobytes before its first item — which is exactly what the store's
+// budget must see.
+func (s *Summary) RetainedBytes() int {
+	const entryBytes = 32    // Entry: V float64 + W, Rmin, Rmax int64
+	const weightedBytes = 16 // WeightedValue: V float64 + W int64
+	total := cap(s.buf)*8 + cap(s.wbuf)*weightedBytes
+	for _, lv := range s.levels {
+		total += cap(lv.entries) * entryBytes
+	}
+	total += (cap(s.carry) + cap(s.merged) + cap(s.view) + cap(s.viewScratch)) * entryBytes
+	return total
+}

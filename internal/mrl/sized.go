@@ -1,0 +1,17 @@
+package mrl
+
+import "unsafe"
+
+// RetainedBytes reports the heap bytes retained by the level buffers and the
+// partially filled current buffer, counting allocated capacity
+// (summary.Sized). MRL stores bare items: ~8 bytes per slot on float64.
+func (s *Summary[T]) RetainedBytes() int {
+	itemSize := int(unsafe.Sizeof(*new(T)))
+	total := cap(s.current) * itemSize
+	for _, bufs := range s.levels {
+		for _, buf := range bufs {
+			total += cap(buf) * itemSize
+		}
+	}
+	return total
+}

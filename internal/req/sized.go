@@ -1,0 +1,16 @@
+package req
+
+// RetainedBytes reports the heap bytes retained by the ingest buffers, the
+// compacted entry array, and the reusable fold/view scratch, counting
+// allocated capacity (summary.Sized). The ingest buffer is preallocated to
+// b ≈ ⌈4/ε⌉ + slack floats, so a small key retains far more than
+// StoredCount()×32 — the flat estimate the store used to charge — and the
+// budget accounting must see the real footprint.
+func (s *Summary) RetainedBytes() int {
+	const entryBytes = 32    // Entry: V float64 + W, Rmin, Rmax int64
+	const weightedBytes = 16 // WeightedValue: V float64 + W int64
+	total := cap(s.buf)*8 + cap(s.wbuf)*weightedBytes
+	total += (cap(s.entries) + cap(s.carry) + cap(s.merged) + cap(s.keep) +
+		cap(s.view) + cap(s.viewScratch)) * entryBytes
+	return total
+}

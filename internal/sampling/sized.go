@@ -1,0 +1,10 @@
+package sampling
+
+import "unsafe"
+
+// RetainedBytes reports the heap bytes retained by the sample array, counting
+// allocated capacity (summary.Sized). The reservoir stores bare items: ~8
+// bytes per slot on float64 streams.
+func (r *Reservoir[T]) RetainedBytes() int {
+	return cap(r.sample) * int(unsafe.Sizeof(*new(T)))
+}

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Crash-safe persistence for the keyed store.
+//
+// Two files under Config.Dir:
+//
+//   - store.ckpt — one KindStore container payload (the same bytes
+//     SnapshotPayload produces), replaced atomically on every Checkpoint:
+//     written to store.ckpt.tmp, fsynced, renamed over the old checkpoint,
+//     directory fsynced. A reader therefore always sees either the previous
+//     complete checkpoint or the new complete checkpoint, never a torn one.
+//
+//   - store.wal — an append-only log of every mutation accepted since the
+//     last checkpoint. Each record is length- and checksum-framed:
+//
+//     u32 bodyLen | u32 fnv1a(body) | body
+//     body: u8 op | u32 keyLen | key |
+//     op=update:   u32 n | n × f64 values
+//     op=weighted: u32 n | n × f64 values | n × i64 weights
+//     op=delete:   (nothing)
+//
+//     Open replays the checkpoint, then the WAL in order, stopping at the
+//     first record whose frame is short or whose checksum mismatches (the
+//     torn tail of a crash mid-append) and truncating the file there. A
+//     record is appended — one write syscall, so it reaches the kernel's
+//     page cache and survives SIGKILL — before the update is applied in
+//     memory, and both happen under a shared persistMu read-lock, so
+//     Checkpoint (which write-locks) can never snapshot state whose WAL
+//     records it then truncates away: every acked update is either in the
+//     checkpoint or in the WAL that survives it.
+const (
+	checkpointFile = "store.ckpt"
+	walFile        = "store.wal"
+
+	walOpUpdate   = 1
+	walOpWeighted = 2
+	walOpDelete   = 3
+
+	// maxWALBody rejects absurd frame lengths during replay so a corrupt
+	// length prefix cannot drive a multi-gigabyte allocation. It bounds one
+	// record's body: op + key (≤ MaxStoreKeyBytes from the container format)
+	// + a batch; batches beyond the budget are split by the writer.
+	maxWALBody = 1 << 26 // 64 MiB
+)
+
+// walWriter appends framed records to the open WAL file. mu serializes
+// appends (and the offset); Store.persistMu coordinates with Checkpoint.
+type walWriter struct {
+	mu        sync.Mutex
+	f         *os.File
+	syncEvery int
+	sinceSync int
+	scratch   []byte
+}
+
+// Open builds a Store like New and, when cfg.Dir is non-empty, makes it
+// persistent: it creates the directory, replays the checkpoint and WAL left
+// by the previous process (tolerating a torn WAL tail), and — unless
+// cfg.DisableWAL — begins logging every subsequent mutation. The returned
+// store answers queries over everything the dead process had acked.
+func Open(cfg Config) (*Store, error) {
+	s := New(cfg)
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", cfg.Dir, err)
+	}
+	s.dir = cfg.Dir
+	ckptPath := filepath.Join(cfg.Dir, checkpointFile)
+	if payload, err := os.ReadFile(ckptPath); err == nil {
+		if len(payload) > 0 {
+			if _, err := s.MergePayload(payload); err != nil {
+				return nil, fmt.Errorf("store: replaying checkpoint %s: %w", ckptPath, err)
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading checkpoint: %w", err)
+	}
+	walPath := filepath.Join(cfg.Dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	replayed, goodEnd, err := s.replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: replaying WAL: %w", err)
+	}
+	s.walReplayed.Store(replayed)
+	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > goodEnd {
+		// Torn tail from a crash mid-append: drop it so the next replay does
+		// not stop early and so new records frame cleanly.
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking WAL: %w", err)
+	}
+	if cfg.DisableWAL {
+		f.Close()
+	} else {
+		s.wal = &walWriter{f: f, syncEvery: cfg.WALSyncEvery}
+	}
+	return s, nil
+}
+
+// replayWAL applies every intact record from the start of f, returning the
+// number of records applied and the file offset just past the last intact
+// record. Framing damage (short frame, checksum mismatch, oversized length)
+// ends the replay without error — that is the expected shape of a crash —
+// while body-level damage inside an intact frame is a real error.
+func (s *Store) replayWAL(f *os.File) (replayed int64, goodEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	header := make([]byte, 8)
+	var body []byte
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			return replayed, goodEnd, nil // clean EOF or torn header
+		}
+		bodyLen := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if bodyLen == 0 || bodyLen > maxWALBody {
+			return replayed, goodEnd, nil // corrupt length prefix
+		}
+		if cap(body) < int(bodyLen) {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := io.ReadFull(f, body); err != nil {
+			return replayed, goodEnd, nil // torn body
+		}
+		h := fnv.New32a()
+		h.Write(body)
+		if h.Sum32() != sum {
+			return replayed, goodEnd, nil // bit rot or torn overwrite
+		}
+		if err := s.applyWALRecord(body); err != nil {
+			return replayed, goodEnd, err
+		}
+		replayed++
+		goodEnd += int64(8 + bodyLen)
+	}
+}
+
+// applyWALRecord decodes one verified record body and applies it through the
+// non-logging ingestion paths.
+func (s *Store) applyWALRecord(body []byte) error {
+	if len(body) < 5 {
+		return errors.New("record body too short")
+	}
+	op := body[0]
+	keyLen := binary.LittleEndian.Uint32(body[1:5])
+	rest := body[5:]
+	if uint64(keyLen) > uint64(len(rest)) {
+		return errors.New("record key overruns body")
+	}
+	key := string(rest[:keyLen])
+	rest = rest[keyLen:]
+	switch op {
+	case walOpDelete:
+		if len(rest) != 0 {
+			return errors.New("delete record has trailing bytes")
+		}
+		s.deleteNoLog(key)
+		return nil
+	case walOpUpdate, walOpWeighted:
+		if len(rest) < 4 {
+			return errors.New("record value count missing")
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		rest = rest[4:]
+		per := uint64(8)
+		if op == walOpWeighted {
+			per = 16
+		}
+		if uint64(n)*per != uint64(len(rest)) {
+			return errors.New("record values overrun body")
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+		}
+		if op == walOpUpdate {
+			s.updateBatchNoLog(key, xs)
+			return nil
+		}
+		ws := make([]int64, n)
+		var total int64
+		base := int(n) * 8
+		for i := range ws {
+			ws[i] = int64(binary.LittleEndian.Uint64(rest[base+i*8:]))
+			if ws[i] <= 0 {
+				return errors.New("record has non-positive weight")
+			}
+			total += ws[i]
+		}
+		return s.weightedUpdateBatchNoLog(key, xs, ws, total)
+	default:
+		return fmt.Errorf("unknown record op %d", op)
+	}
+}
+
+// append frames and writes one record body in a single write syscall. WAL
+// write failures are deliberately non-fatal to ingestion (availability over
+// durability): the record count simply stops advancing, which monitoring
+// sees as WALRecords flatlining against Updates.
+func (w *walWriter) append(s *Store, body []byte) {
+	h := fnv.New32a()
+	h.Write(body)
+	w.mu.Lock()
+	buf := w.scratch[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, h.Sum32())
+	buf = append(buf, body...)
+	w.scratch = buf[:0]
+	if _, err := w.f.Write(buf); err == nil {
+		s.walRecords.Add(1)
+		if w.syncEvery > 0 {
+			w.sinceSync++
+			if w.sinceSync >= w.syncEvery {
+				w.sinceSync = 0
+				w.f.Sync()
+			}
+		}
+	}
+	w.mu.Unlock()
+}
+
+// appendUpdate logs an unweighted (ws == nil) or weighted batch for key.
+func (w *walWriter) appendUpdate(s *Store, key string, xs []float64, ws []int64) {
+	op := byte(walOpUpdate)
+	size := 5 + len(key) + 4 + len(xs)*8
+	if ws != nil {
+		op = walOpWeighted
+		size += len(ws) * 8
+	}
+	body := make([]byte, 0, size)
+	body = append(body, op)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(key)))
+	body = append(body, key...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(xs)))
+	for _, x := range xs {
+		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(x))
+	}
+	for _, wt := range ws {
+		body = binary.LittleEndian.AppendUint64(body, uint64(wt))
+	}
+	w.append(s, body)
+}
+
+// appendDelete logs a key deletion.
+func (w *walWriter) appendDelete(s *Store, key string) {
+	body := make([]byte, 0, 5+len(key))
+	body = append(body, walOpDelete)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(key)))
+	body = append(body, key...)
+	w.append(s, body)
+}
+
+// Checkpoint atomically persists the store's full state to Dir/store.ckpt
+// (write-temp + fsync + rename + directory fsync) and truncates the WAL,
+// whose records are now redundant. It blocks ingestion for the duration (the
+// persistMu write lock), which is what makes the truncation safe: no update
+// can slip between the snapshot and the truncate. Returns an error on a
+// non-persistent store.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return errors.New("store: Checkpoint on a store without persistence (use Open with Config.Dir)")
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		return fmt.Errorf("store: checkpoint snapshot: %w", err)
+	}
+	ckptPath := filepath.Join(s.dir, checkpointFile)
+	tmpPath := ckptPath + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint temp: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpPath, ckptPath); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: publishing checkpoint: %w", err)
+	}
+	if dir, err := os.Open(s.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	if s.wal != nil {
+		s.wal.mu.Lock()
+		if err := s.wal.f.Truncate(0); err == nil {
+			s.wal.f.Seek(0, io.SeekStart)
+		}
+		s.wal.sinceSync = 0
+		s.wal.mu.Unlock()
+	}
+	s.checkpoints.Add(1)
+	s.lastCheckpoint.Store(s.now().UnixNano())
+	return nil
+}
+
+// Close checkpoints a persistent store one last time and closes the WAL; it
+// is a no-op on a non-persistent store. The store must not be used after
+// Close.
+func (s *Store) Close() error {
+	if s.dir == "" {
+		return nil
+	}
+	err := s.Checkpoint()
+	if s.wal != nil {
+		s.wal.mu.Lock()
+		if cerr := s.wal.f.Close(); err == nil {
+			err = cerr
+		}
+		s.wal.mu.Unlock()
+		s.wal = nil
+	}
+	return err
+}
+
+// Persistent reports whether the store was built with Open and a Config.Dir
+// (and therefore supports Checkpoint/Close).
+func (s *Store) Persistent() bool { return s.dir != "" }

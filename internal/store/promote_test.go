@@ -1,0 +1,220 @@
+package store
+
+// Adaptive-promotion tests: the exact/sketch boundary property (exact
+// answers strictly below PromoteItems, eps-bounded answers above, counts
+// preserved across snapshot/restore on both sides), cross-stage merging, and
+// the capacity-aware budget accounting that lets a req-backed store evict at
+// the right key count.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"quantilelb/internal/rank"
+	"quantilelb/internal/req"
+	"quantilelb/internal/stream"
+)
+
+func TestPromotionBoundaryProperty(t *testing.T) {
+	const (
+		threshold = 64
+		eps       = 0.05
+	)
+	gen := stream.NewGenerator(71)
+	for _, n := range []int{1, 2, threshold / 2, threshold - 1, threshold, threshold + 1, 2 * threshold, 10 * threshold} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			s := New(Config{Eps: eps, PromoteItems: threshold})
+			items := gen.Shuffled(n).Items()
+			for _, x := range items {
+				s.Update("k", x)
+			}
+			wantBuffered := n < threshold
+			if got := s.Buffered("k"); got != wantBuffered {
+				t.Fatalf("Buffered = %v at n=%d (threshold %d)", got, n, threshold)
+			}
+			st := s.Stats()
+			if wantBuffered && (st.BufferedKeys != 1 || st.Promotions != 0) {
+				t.Fatalf("stats below threshold: %+v", st)
+			}
+			if !wantBuffered && (st.PromotedKeys != 1 || st.Promotions != 1) {
+				t.Fatalf("stats above threshold: %+v", st)
+			}
+			check := func(s *Store, label string) {
+				sorted := append([]float64(nil), items...)
+				sort.Float64s(sorted)
+				oracle := rank.Float64Oracle(items)
+				for _, phi := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+					got, ok := s.Query("k", phi)
+					if !ok {
+						t.Fatalf("%s: empty at phi=%g", label, phi)
+					}
+					if wantBuffered {
+						// Exact stage: the true weighted quantile, rank error 0.
+						if e := oracle.RankError(got, phi); e != 0 {
+							t.Errorf("%s: buffered key phi=%g answered with rank error %d, want exact", label, phi, e)
+						}
+					} else if e := oracle.RankError(got, phi); float64(e) > eps*float64(n)+1 {
+						t.Errorf("%s: promoted key phi=%g rank error %d exceeds eps bound", label, phi, e)
+					}
+				}
+				if s.Count("k") != n {
+					t.Errorf("%s: count = %d, want %d", label, s.Count("k"), n)
+				}
+			}
+			check(s, "live")
+
+			// The property survives the wire: a buffered key round-trips as
+			// its exact items and stays exact; a promoted key stays in bound.
+			payload, _, err := s.SnapshotPayload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Restore(Config{Eps: eps, PromoteItems: threshold}, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Buffered("k"); got != wantBuffered {
+				t.Fatalf("restored Buffered = %v, want %v", got, wantBuffered)
+			}
+			check(r, "restored")
+		})
+	}
+}
+
+func TestPromotionAcrossRestoreThreshold(t *testing.T) {
+	// A buffered key snapshotted below the threshold keeps growing after
+	// restore and still promotes at the boundary.
+	s := New(Config{Eps: 0.05, PromoteItems: 32})
+	for i := 0; i < 20; i++ {
+		s.Update("k", float64(i))
+	}
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(Config{Eps: 0.05, PromoteItems: 32}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Buffered("k") {
+		t.Fatal("restored key should still be buffered")
+	}
+	for i := 20; i < 40; i++ {
+		r.Update("k", float64(i))
+	}
+	if r.Buffered("k") {
+		t.Fatal("restored key should have promoted past the threshold")
+	}
+	if r.Count("k") != 40 {
+		t.Fatalf("count = %d, want 40", r.Count("k"))
+	}
+}
+
+func TestCrossStageMergeBothDirections(t *testing.T) {
+	const eps = 0.05
+	gen := stream.NewGenerator(72)
+	big := gen.Shuffled(5_000).Items()
+	small := []float64{1, 2, 3}
+
+	mk := func(items []float64) []byte {
+		s := New(Config{Eps: eps, PromoteItems: 64})
+		s.UpdateBatch("k", items)
+		p, _, err := s.SnapshotPayload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Exact record into a promoted key: replayed, count adds up.
+	dst := New(Config{Eps: eps, PromoteItems: 64})
+	dst.UpdateBatch("k", big)
+	if dst.Buffered("k") {
+		t.Fatal("setup: dst should be promoted")
+	}
+	if _, err := dst.MergePayload(mk(small)); err != nil {
+		t.Fatalf("exact→sketch merge: %v", err)
+	}
+	if dst.Count("k") != len(big)+len(small) {
+		t.Fatalf("exact→sketch count = %d", dst.Count("k"))
+	}
+
+	// Sketch record into a buffered key: the buffer is absorbed, the key
+	// comes out promoted, and nothing is lost.
+	dst2 := New(Config{Eps: eps, PromoteItems: 64})
+	dst2.UpdateBatch("k", small)
+	if !dst2.Buffered("k") {
+		t.Fatal("setup: dst2 should be buffered")
+	}
+	if _, err := dst2.MergePayload(mk(big)); err != nil {
+		t.Fatalf("sketch→exact merge: %v", err)
+	}
+	if dst2.Buffered("k") {
+		t.Fatal("key should be promoted after absorbing a sketch")
+	}
+	if dst2.Count("k") != len(big)+len(small) {
+		t.Fatalf("sketch→exact count = %d", dst2.Count("k"))
+	}
+	if dst2.Stats().Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1 (cross-stage)", dst2.Stats().Promotions)
+	}
+	union := append(append([]float64(nil), big...), small...)
+	oracle := rank.Float64Oracle(union)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, _ := dst2.Query("k", phi)
+		if e := oracle.RankError(got, phi); float64(e) > eps*float64(len(union))+1 {
+			t.Errorf("merged phi=%g rank error %d exceeds eps", phi, e)
+		}
+	}
+}
+
+// TestBudgetEvictsAtRealFootprint pins the byte-accounting bugfix: req
+// preallocates its ingest buffers, so a req-backed key's real cost is
+// thousands of bytes even when it holds a handful of items. Under the old
+// flat StoredCount×BytesPerItem estimate the store believed dozens of such
+// keys fit any budget; with summary.Sized accounting it must start evicting
+// at the key count the budget actually affords.
+func TestBudgetEvictsAtRealFootprint(t *testing.T) {
+	const eps = 0.01
+	reqFactory := func(eps float64) Summary { return req.NewFloat64(eps) }
+
+	// Measure the real per-key footprint of a lightly-loaded req key.
+	probe := New(Config{Eps: eps, PromoteItems: -1, Factory: reqFactory})
+	probe.UpdateBatch("p", []float64{1, 2, 3, 4})
+	perKey := probe.Stats().RetainedBytes
+	if perKey < 1024 {
+		t.Fatalf("req per-key footprint = %d, expected preallocation in the KBs (did Sized accounting regress?)", perKey)
+	}
+	flatPerKey := int64(probe.StoredCount("p") * DefaultBytesPerItem)
+	if flatPerKey*8 > perKey {
+		t.Fatalf("flat estimate %d is not meaningfully below the real footprint %d; test has no teeth", flatPerKey, perKey)
+	}
+
+	const fits = 6
+	budget := perKey * fits
+	s := New(Config{Eps: eps, PromoteItems: -1, Factory: reqFactory, MaxRetainedBytes: budget})
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { return clock }
+	const total = 4 * fits
+	for i := 0; i < total; i++ {
+		clock = clock.Add(time.Second)
+		s.UpdateBatch(fmt.Sprintf("k-%02d", i), []float64{1, 2, 3, 4})
+	}
+	st := s.Stats()
+	if st.EvictionsLRU == 0 {
+		t.Fatalf("no evictions: store believes %d req keys fit a %d-byte budget (flat-estimate bug)", total, budget)
+	}
+	if st.RetainedBytes > budget {
+		t.Fatalf("retained %d exceeds budget %d after sweeps", st.RetainedBytes, budget)
+	}
+	// The surviving key count is what the budget actually affords (the sweep
+	// aims for 10% headroom below the budget, so allow exactly that slack).
+	if st.Keys > fits {
+		t.Errorf("store kept %d req keys in a budget that fits %d", st.Keys, fits)
+	}
+	if st.Keys < fits/2 {
+		t.Errorf("store over-evicted to %d keys (budget fits %d)", st.Keys, fits)
+	}
+}

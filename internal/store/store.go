@@ -7,27 +7,56 @@
 // Every tier below this one (facade → sharded → cluster) manages exactly one
 // logical stream; this is how GK/KLL-style sketches are actually operated at
 // scale (the mergeable-summaries deployments referenced in Section 1.2 of
-// Cormode & Veselý, PODS 2020): thousands of concurrent summaries with churn.
+// Cormode & Veselý, PODS 2020): millions of concurrent summaries with churn.
 // The paper's lower bound applies per key — each key's summary must retain
 // Ω((1/ε)·log εN) items for its own substream — so a bounded-memory store
 // over unbounded keys *must* evict; the store makes that explicit with an
 // LRU policy under a byte budget plus an optional idle TTL, rather than
 // letting the process OOM.
 //
-// Concurrency. Keys are spread over lock-striped map shards; each key's
-// summary has its own mutex, so the stripe lock is held only for map access
-// and a slow bulk ingest on one key never blocks its neighbours. Eviction
-// marks an entry dead under its own lock before unlinking it, and writers
-// re-check that flag after locking, so an update can never land silently in
-// an evicted summary: it either reaches a live entry or retries against the
+// Cold keys and adaptive promotion. Because the lower bound is per key, a
+// node serving a million mostly-cold tenants would pay the full sketch floor
+// for keys that have seen a handful of items. New keys therefore start as a
+// tiny exact sorted-sample buffer (internal/exact): 8 bytes per item, exact
+// answers. Only once a key's buffer reaches Config.PromoteItems items is it
+// promoted to the configured sketch family — replayed through the family's
+// native ingest path under the key's lock, so the promotion is invisible to
+// concurrent readers and writers. A buffered key snapshots as its exact items
+// (KindExact) and merges with sketch state in either direction.
+//
+// Slab storage. Per-key state lives in per-stripe slabs of fixed-size slot
+// arrays rather than one heap object per key: the key index maps to a slot id
+// and evicted slots are recycled through a free list. A slot reuse bumps the
+// slot's generation counter, and every writer re-checks (generation, dead)
+// under the slot lock after acquiring it, so a stale handle can never land an
+// update in a recycled slot (the ABA hazard of slab recycling). At the
+// million-key scale this removes two heap objects and a pointer per key and
+// keeps the GC's mark phase off the per-key metadata.
+//
+// Concurrency. Keys are spread over lock-striped index shards; each slot has
+// its own mutex, so the stripe lock is held only for index access and a slow
+// bulk ingest on one key never blocks its neighbours. Eviction marks a slot
+// dead under its lock before recycling it, and writers re-check that flag
+// (and the generation) after locking, so an update can never land silently in
+// an evicted summary: it either reaches a live slot or retries against the
 // freshly recreated key. Updates on keys that are never evicted are
 // therefore never lost; items held by a key at the moment it is evicted are
 // dropped by design (that is what eviction means).
 //
-// Wire format. A whole store snapshots into one KindStore container payload
-// (internal/encoding) of per-key nested payloads; MergePayload folds such a
-// container back in per key under the COMBINE rule, which is what the keyed
-// aggregation tier (internal/cluster, cmd/quantileagg) builds on.
+// Budget accounting. Families that implement summary.Sized report their real
+// retained footprint — including preallocated ingest buffers — and the store
+// budgets with it; families that do not fall back to the documented flat
+// estimate StoredCount × Config.BytesPerItem. Accounting is settled under the
+// key's lock on every mutation, so MaxRetainedBytes tracks reality per
+// family instead of assuming every family costs a 32-byte GK tuple per item.
+//
+// Wire format and persistence. A whole store snapshots into one KindStore
+// container payload (internal/encoding) of per-key nested payloads;
+// MergePayload folds such a container back in per key under the COMBINE rule,
+// which is what the keyed aggregation tier (internal/cluster, cmd/quantileagg)
+// builds on. Open adds crash safety on top: the same container checkpointed
+// atomically to disk (write-temp + fsync + rename) plus an optional
+// append-only update WAL replayed on open — see persist.go.
 package store
 
 import (
@@ -39,6 +68,7 @@ import (
 	"time"
 
 	"quantilelb/internal/encoding"
+	"quantilelb/internal/exact"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/summary"
 )
@@ -69,13 +99,26 @@ const (
 	// DefaultEps is the default per-key accuracy.
 	DefaultEps = 0.01
 	// DefaultBytesPerItem is the default per-retained-item byte estimate used
-	// for budget accounting (a GK tuple: value + G + Delta + Wt = 32 bytes
-	// since the weighted-input extension added the run weight).
+	// for budget accounting of families that do not implement summary.Sized
+	// (a GK tuple: value + G + Delta + Wt = 32 bytes).
 	DefaultBytesPerItem = 32
+	// DefaultPromoteItems is the default buffer size at which a cold key
+	// promotes from its exact sorted-sample buffer to the configured sketch
+	// family: large enough that the sketch's own floor is cheaper past it,
+	// small enough that per-update insertion stays a sub-microsecond memmove.
+	DefaultPromoteItems = 128
+)
+
+// slab sizing: slots are allocated in fixed arrays of slabSize so slot
+// addresses stay stable for the life of the store (handles hold pointers).
+const (
+	slabBits = 10
+	slabSize = 1 << slabBits
 )
 
 // Config parameterizes a Store. The zero value is usable: GK summaries at
-// DefaultEps, DefaultShards stripes, no budget, no TTL.
+// DefaultEps, DefaultShards stripes, adaptive promotion at
+// DefaultPromoteItems, no budget, no TTL, no persistence.
 type Config struct {
 	// Shards is the number of lock-striped key shards (default DefaultShards).
 	Shards int
@@ -84,16 +127,23 @@ type Config struct {
 	// EpsOverrides maps specific keys to their own accuracy, overriding Eps —
 	// a hot latency metric can run at 0.001 while the long tail runs at 0.01.
 	EpsOverrides map[string]float64
-	// Factory builds the summary for a new key at the key's accuracy; nil
-	// means Greenwald–Khanna. Factories returning KLL/MRL/reservoir summaries
-	// get the batched ingest path automatically.
+	// Factory builds the summary for a promoted key at the key's accuracy;
+	// nil means Greenwald–Khanna. Factories returning KLL/MRL/reservoir
+	// summaries get the batched ingest path automatically.
 	Factory func(eps float64) Summary
+	// PromoteItems is the exact-buffer size at which a key promotes to the
+	// sketch family built by Factory. 0 applies DefaultPromoteItems; a
+	// negative value disables buffering entirely, so every key starts as a
+	// factory sketch (the pre-promotion behaviour, useful as a cost floor).
+	PromoteItems int
 	// BytesPerItem is the estimated memory cost of one retained item, used
-	// for budget accounting (default DefaultBytesPerItem).
+	// for budget accounting of families without summary.Sized (default
+	// DefaultBytesPerItem). Families implementing Sized are accounted from
+	// their reported footprint and ignore this estimate.
 	BytesPerItem int
-	// MaxRetainedBytes is the global budget over all keys' retained items
-	// (StoredCount × BytesPerItem); exceeding it evicts least-recently-used
-	// keys until back under. 0 disables budget eviction.
+	// MaxRetainedBytes is the global budget over all keys' retained summary
+	// bytes; exceeding it evicts least-recently-used keys until back under.
+	// 0 disables budget eviction.
 	MaxRetainedBytes int64
 	// MaxKeys bounds the number of live keys; exceeding it evicts LRU keys.
 	// 0 disables the bound.
@@ -101,50 +151,132 @@ type Config struct {
 	// IdleTTL evicts keys untouched (no update or query) for this long when
 	// Sweep or the janitor runs. 0 disables idle eviction.
 	IdleTTL time.Duration
+	// Dir enables crash-safe persistence when non-empty and the store is
+	// built with Open: checkpoints are written atomically to Dir/store.ckpt
+	// and — unless DisableWAL is set — every update is appended to
+	// Dir/store.wal and replayed on the next Open. New ignores this field.
+	Dir string
+	// DisableWAL turns off the update WAL under Dir: only explicit
+	// Checkpoint calls persist state, so updates since the last checkpoint
+	// are lost on a crash (a valid trade for ingest-heavy nodes that
+	// checkpoint on a timer).
+	DisableWAL bool
+	// WALSyncEvery fsyncs the WAL after every Nth appended record. 0 never
+	// fsyncs explicitly: records still reach the kernel's page cache on
+	// every append (surviving process death, e.g. SIGKILL), but not
+	// necessarily an OS crash or power loss.
+	WALSyncEvery int
 }
 
-// entry is one key's state. The summary is guarded by mu; lastAccess is
-// atomic so the eviction scan can rank entries without taking every lock.
-type entry struct {
-	mu       sync.Mutex
+// slot is one key's state, embedded in a stripe slab. The summary is guarded
+// by mu; lastAccess is atomic so the eviction scan can rank slots without
+// taking every lock.
+type slot struct {
+	mu  sync.Mutex
+	gen uint32 // bumped on (re)allocation; handles re-check it to defeat ABA
+
 	sum      Summary
+	sized    summary.Sized   // nil when sum has no exact footprint report
 	batch    batchUpdater    // nil when sum has no bulk path
 	weighted weightedUpdater // nil when sum has no native weighted path
 	eps      float64
+	buffered bool  // true while sum is the pre-promotion exact buffer
 	dead     bool  // set under mu when evicted or deleted
 	retained int64 // bytes accounted to the global counter, under mu
+	items    int64 // StoredCount accounted to the global counter, under mu
 
 	lastAccess atomic.Int64 // unix nanos of the last update or query
 }
 
-// stripe is one lock-striped shard of the key map.
+// install points the slot at a summary and refreshes the cached capability
+// interfaces. Caller holds sl.mu.
+func (sl *slot) install(sum Summary, buffered bool) {
+	sl.sum = sum
+	sl.buffered = buffered
+	sl.sized, _ = sum.(summary.Sized)
+	sl.batch, _ = sum.(batchUpdater)
+	sl.weighted, _ = sum.(weightedUpdater)
+}
+
+// handle identifies one allocation of a slot: the slot pointer plus the
+// generation observed at lookup. Writers must re-check the generation (and
+// the dead flag) under sl.mu before touching the summary.
+type handle struct {
+	sl  *slot
+	gen uint32
+}
+
+// valid reports whether the handle still refers to the allocation it was
+// created for. Caller holds h.sl.mu.
+func (h handle) valid() bool { return !h.sl.dead && h.sl.gen == h.gen }
+
+// stripe is one lock-striped shard: a key index into slab-backed slots plus
+// the recycling free list. mu guards index, slabs, free, and gen bumps.
 type stripe struct {
-	mu      sync.Mutex
-	entries map[string]*entry
+	mu    sync.Mutex
+	index map[string]uint32
+	slabs [][]slot
+	free  []uint32
+}
+
+func (st *stripe) slotAt(id uint32) *slot {
+	return &st.slabs[id>>slabBits][id&(slabSize-1)]
+}
+
+// alloc returns a free slot id, growing the slab arena when the free list is
+// empty. Caller holds st.mu.
+func (st *stripe) alloc() uint32 {
+	if n := len(st.free); n > 0 {
+		id := st.free[n-1]
+		st.free = st.free[:n-1]
+		return id
+	}
+	last := len(st.slabs) - 1
+	if last < 0 || len(st.slabs[last]) == slabSize {
+		st.slabs = append(st.slabs, make([]slot, 0, slabSize))
+		last++
+	}
+	st.slabs[last] = append(st.slabs[last], slot{})
+	return uint32(last)<<slabBits | uint32(len(st.slabs[last])-1)
 }
 
 // Store is a sharded, multi-tenant registry of keyed quantile summaries.
 // All methods are safe for concurrent use by any number of goroutines.
 type Store struct {
-	cfg     Config
-	stripes []*stripe
-	seed    maphash.Seed
-	now     func() time.Time // test hook
+	cfg          Config
+	promoteItems int // resolved Config.PromoteItems; ≤ 0 disables buffering
+	stripes      []*stripe
+	seed         maphash.Seed
+	now          func() time.Time // test hook
 
-	retained  atomic.Int64 // bytes accounted over all live entries
-	keys      atomic.Int64
-	updates   atomic.Int64 // items accepted (updates, batches, merges)
-	mutations atomic.Int64 // content version: updates, creates, evictions, merges
-	creates   atomic.Int64
+	retained      atomic.Int64 // bytes accounted over all live slots
+	retainedItems atomic.Int64 // stored items accounted over all live slots
+	keys          atomic.Int64
+	updates       atomic.Int64 // items accepted (updates, batches, merges)
+	mutations     atomic.Int64 // content version: updates, creates, evictions, merges
+	creates       atomic.Int64
+
+	bufferedKeys atomic.Int64 // live keys still in the exact-buffer stage
+	promotions   atomic.Int64 // lifetime buffer→sketch promotions
 
 	evictionsLRU  atomic.Int64
 	evictionsIdle atomic.Int64
 
 	evictMu sync.Mutex // serializes eviction sweeps
+
+	// persistence (nil/zero unless built with Open and a Config.Dir)
+	dir            string
+	wal            *walWriter
+	persistMu      sync.RWMutex // writers RLock around log+apply; Checkpoint Locks
+	checkpoints    atomic.Int64
+	walRecords     atomic.Int64
+	walReplayed    atomic.Int64
+	lastCheckpoint atomic.Int64 // unix nanos of the last completed checkpoint
 }
 
 // New returns a Store for the given configuration, applying the documented
-// defaults for zero fields. It panics when Shards is negative.
+// defaults for zero fields. It panics when Shards is negative. Config.Dir is
+// ignored — use Open for a persistent store.
 func New(cfg Config) *Store {
 	if cfg.Shards < 0 {
 		panic("store: Shards must be non-negative")
@@ -161,14 +293,19 @@ func New(cfg Config) *Store {
 	if cfg.BytesPerItem <= 0 {
 		cfg.BytesPerItem = DefaultBytesPerItem
 	}
+	promote := cfg.PromoteItems
+	if promote == 0 {
+		promote = DefaultPromoteItems
+	}
 	s := &Store{
-		cfg:     cfg,
-		stripes: make([]*stripe, cfg.Shards),
-		seed:    maphash.MakeSeed(),
-		now:     time.Now,
+		cfg:          cfg,
+		promoteItems: promote,
+		stripes:      make([]*stripe, cfg.Shards),
+		seed:         maphash.MakeSeed(),
+		now:          time.Now,
 	}
 	for i := range s.stripes {
-		s.stripes[i] = &stripe{entries: make(map[string]*entry)}
+		s.stripes[i] = &stripe{index: make(map[string]uint32)}
 	}
 	return s
 }
@@ -190,67 +327,154 @@ func (s *Store) EpsFor(key string) float64 {
 	return s.cfg.Eps
 }
 
-// get returns the live entry for key, or nil.
-func (s *Store) get(key string) *entry {
+// get returns a handle to the live slot for key, or a nil-slot handle.
+func (s *Store) get(key string) handle {
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	e := st.entries[key]
+	id, ok := st.index[key]
+	if !ok {
+		st.mu.Unlock()
+		return handle{}
+	}
+	sl := st.slotAt(id)
+	h := handle{sl: sl, gen: sl.gen}
 	st.mu.Unlock()
-	return e
+	return h
 }
 
-// getOrCreate returns the live entry for key, creating it from the factory
-// on first use. The returned entry may have died by the time the caller
-// locks it; callers must re-check entry.dead under entry.mu and retry.
-func (s *Store) getOrCreate(key string) *entry {
+// newSummaryLocked builds the starting summary for a fresh key: an exact
+// buffer in the adaptive-promotion default, the factory sketch when
+// buffering is disabled.
+func (s *Store) newSummary(eps float64) (Summary, bool) {
+	if s.promoteItems > 0 {
+		return exact.New(), true
+	}
+	return s.cfg.Factory(eps), false
+}
+
+// getOrCreate returns a handle to the live slot for key, creating it on
+// first use. The slot may have died (or been recycled) by the time the
+// caller locks it; callers must re-check handle.valid under sl.mu and retry.
+func (s *Store) getOrCreate(key string) handle {
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	if e := st.entries[key]; e != nil {
+	if id, ok := st.index[key]; ok {
+		sl := st.slotAt(id)
+		h := handle{sl: sl, gen: sl.gen}
 		st.mu.Unlock()
-		return e
+		return h
 	}
 	eps := s.EpsFor(key)
-	e := &entry{sum: s.cfg.Factory(eps), eps: eps}
-	e.batch, _ = e.sum.(batchUpdater)
-	e.weighted, _ = e.sum.(weightedUpdater)
-	e.lastAccess.Store(s.now().UnixNano())
-	st.entries[key] = e
+	sum, buffered := s.newSummary(eps)
+	id := st.alloc()
+	sl := st.slotAt(id)
+	sl.mu.Lock()
+	sl.gen++
+	sl.dead = false
+	sl.eps = eps
+	sl.install(sum, buffered)
+	// Settle accounting before the slot becomes visible: once the stripe
+	// lock drops, a concurrent budget sweep may reap it, and settling
+	// afterwards would re-inflate the global counters for a dead slot that
+	// is never reaped again.
+	sl.items = int64(sum.StoredCount())
+	sl.retained = s.footprint(sl)
+	nb, ni := sl.retained, sl.items
+	sl.lastAccess.Store(s.now().UnixNano())
+	h := handle{sl: sl, gen: sl.gen}
+	sl.mu.Unlock()
+	st.index[key] = id
 	st.mu.Unlock()
 	s.keys.Add(1)
 	s.creates.Add(1)
 	s.mutations.Add(1)
-	return e
+	if buffered {
+		s.bufferedKeys.Add(1)
+	}
+	// Safe in either order against a racing reap: reap frees exactly the
+	// bytes recorded above, so the global counters net to zero.
+	s.account(nb, ni)
+	return h
 }
 
-// settleLocked re-derives the entry's retained-bytes accounting from its
-// summary and returns the delta to apply to the global counter. Caller holds
-// e.mu.
-func (s *Store) settleLocked(e *entry) int64 {
-	nb := int64(e.sum.StoredCount()) * int64(s.cfg.BytesPerItem)
-	delta := nb - e.retained
-	e.retained = nb
-	return delta
+// footprint returns the budget-accounted byte cost of the slot's summary:
+// its reported footprint when the family implements summary.Sized, the flat
+// per-item estimate otherwise. Caller holds sl.mu.
+func (s *Store) footprint(sl *slot) int64 {
+	if sl.sized != nil {
+		return int64(sl.sized.RetainedBytes())
+	}
+	return int64(sl.sum.StoredCount()) * int64(s.cfg.BytesPerItem)
 }
 
-// touch refreshes the entry's LRU clock.
-func (s *Store) touch(e *entry) {
-	e.lastAccess.Store(s.now().UnixNano())
+// settleLocked re-derives the slot's retained-bytes and retained-items
+// accounting from its summary and returns the deltas to apply to the global
+// counters. Caller holds sl.mu.
+func (s *Store) settleLocked(sl *slot) (bytesDelta, itemsDelta int64) {
+	nb := s.footprint(sl)
+	ni := int64(sl.sum.StoredCount())
+	bytesDelta = nb - sl.retained
+	itemsDelta = ni - sl.items
+	sl.retained = nb
+	sl.items = ni
+	return bytesDelta, itemsDelta
+}
+
+// maybePromoteLocked promotes a buffered key to the configured sketch family
+// once its exact buffer has reached the promotion threshold: the buffer's
+// items replay through the family's native ingest path and the slot swaps
+// summaries in place, invisible to concurrent readers (they serialize on
+// sl.mu). Caller holds sl.mu and must settle accounting afterwards.
+func (s *Store) maybePromoteLocked(sl *slot) {
+	if !sl.buffered || s.promoteItems <= 0 {
+		return
+	}
+	buf, ok := sl.sum.(*exact.Buffer)
+	if !ok || buf.StoredCount() < s.promoteItems {
+		return
+	}
+	fresh := s.cfg.Factory(sl.eps)
+	if err := encoding.MergeAny(fresh, buf); err != nil {
+		// The only failure mode is a replay the target family cannot absorb
+		// (e.g. a single slot weight beyond the expansion cap of a family
+		// without a native weighted path). Keep buffering: exact answers and
+		// linear cost beat losing data.
+		return
+	}
+	sl.install(fresh, false)
+	s.promotions.Add(1)
+	s.bufferedKeys.Add(-1)
+}
+
+// touch refreshes the slot's LRU clock.
+func (s *Store) touch(h handle) {
+	h.sl.lastAccess.Store(s.now().UnixNano())
 }
 
 // Update ingests one item into key's summary, creating the key on first use.
 func (s *Store) Update(key string, x float64) {
+	if s.wal != nil {
+		s.persistMu.RLock()
+		defer s.persistMu.RUnlock()
+		s.wal.appendUpdate(s, key, []float64{x}, nil)
+	}
+	s.updateNoLog(key, x)
+}
+
+func (s *Store) updateNoLog(key string, x float64) {
 	for {
-		e := s.getOrCreate(key)
-		e.mu.Lock()
-		if e.dead {
-			e.mu.Unlock()
-			continue // evicted between lookup and lock: retry on a fresh entry
+		h := s.getOrCreate(key)
+		h.sl.mu.Lock()
+		if !h.valid() {
+			h.sl.mu.Unlock()
+			continue // evicted between lookup and lock: retry on a fresh slot
 		}
-		e.sum.Update(x)
-		delta := s.settleLocked(e)
-		e.mu.Unlock()
-		s.touch(e)
-		s.account(delta)
+		h.sl.sum.Update(x)
+		s.maybePromoteLocked(h.sl)
+		db, di := s.settleLocked(h.sl)
+		h.sl.mu.Unlock()
+		s.touch(h)
+		s.account(db, di)
 		s.updates.Add(1)
 		s.mutations.Add(1)
 		s.maybeEvict()
@@ -266,24 +490,34 @@ func (s *Store) UpdateBatch(key string, xs []float64) {
 	if len(xs) == 0 {
 		return
 	}
+	if s.wal != nil {
+		s.persistMu.RLock()
+		defer s.persistMu.RUnlock()
+		s.wal.appendUpdate(s, key, xs, nil)
+	}
+	s.updateBatchNoLog(key, xs)
+}
+
+func (s *Store) updateBatchNoLog(key string, xs []float64) {
 	for {
-		e := s.getOrCreate(key)
-		e.mu.Lock()
-		if e.dead {
-			e.mu.Unlock()
+		h := s.getOrCreate(key)
+		h.sl.mu.Lock()
+		if !h.valid() {
+			h.sl.mu.Unlock()
 			continue
 		}
-		if e.batch != nil {
-			e.batch.UpdateBatch(xs)
+		if h.sl.batch != nil {
+			h.sl.batch.UpdateBatch(xs)
 		} else {
 			for _, x := range xs {
-				e.sum.Update(x)
+				h.sl.sum.Update(x)
 			}
 		}
-		delta := s.settleLocked(e)
-		e.mu.Unlock()
-		s.touch(e)
-		s.account(delta)
+		s.maybePromoteLocked(h.sl)
+		db, di := s.settleLocked(h.sl)
+		h.sl.mu.Unlock()
+		s.touch(h)
+		s.account(db, di)
 		s.updates.Add(int64(len(xs)))
 		s.mutations.Add(1)
 		s.maybeEvict()
@@ -293,11 +527,11 @@ func (s *Store) UpdateBatch(key string, xs []float64) {
 
 // WeightedUpdate ingests one item carrying an integer weight w ≥ 1 into
 // key's summary, equivalent to w repeated Updates but through the family's
-// native weighted path when it has one (GK, KLL, MRL, reservoir) and the
-// guarded weight-expansion fallback otherwise. Count(key) afterwards reports
-// the key's total weight. It returns an error — and ingests nothing — when w
-// is not positive, or when the key's family has no native path and w exceeds
-// summary.MaxExpansionWeight.
+// native weighted path when it has one (GK, KLL, MRL, reservoir, the exact
+// buffer) and the guarded weight-expansion fallback otherwise. Count(key)
+// afterwards reports the key's total weight. It returns an error — and
+// ingests nothing — when w is not positive, or when the key's family has no
+// native path and w exceeds summary.MaxExpansionWeight.
 func (s *Store) WeightedUpdate(key string, x float64, w int64) error {
 	return s.WeightedUpdateBatch(key, []float64{x}, []int64{w})
 }
@@ -326,35 +560,45 @@ func (s *Store) WeightedUpdateBatch(key string, xs []float64, ws []int64) error 
 		}
 		total += w
 	}
+	if s.wal != nil {
+		s.persistMu.RLock()
+		defer s.persistMu.RUnlock()
+		s.wal.appendUpdate(s, key, xs, ws)
+	}
+	return s.weightedUpdateBatchNoLog(key, xs, ws, total)
+}
+
+func (s *Store) weightedUpdateBatchNoLog(key string, xs []float64, ws []int64, total int64) error {
 	for {
-		e := s.getOrCreate(key)
-		e.mu.Lock()
-		if e.dead {
-			e.mu.Unlock()
+		h := s.getOrCreate(key)
+		h.sl.mu.Lock()
+		if !h.valid() {
+			h.sl.mu.Unlock()
 			continue
 		}
-		if e.weighted == nil {
+		if h.sl.weighted == nil {
 			// Expansion fallback: guard before ingesting anything, so the
 			// batch stays all-or-nothing — and guard the batch *total*: the
 			// cap exists to bound the synchronous expansion work done under
-			// this entry's lock, which a long batch of individually-legal
+			// this slot's lock, which a long batch of individually-legal
 			// weights would otherwise defeat.
 			if total > summary.MaxExpansionWeight {
-				eps := e.eps
-				e.mu.Unlock()
+				eps := h.sl.eps
+				h.sl.mu.Unlock()
 				return fmt.Errorf("store: key %q (family without native weighted path, eps=%g): batch total weight %d exceeds the expansion-fallback cap %d", key, eps, total, int64(summary.MaxExpansionWeight))
 			}
 			for i, x := range xs {
 				// The total guard above makes ExpandWeighted infallible here.
-				_ = summary.ExpandWeighted[float64](e.sum, x, ws[i])
+				_ = summary.ExpandWeighted[float64](h.sl.sum, x, ws[i])
 			}
 		} else {
-			e.weighted.WeightedUpdateBatch(xs, ws)
+			h.sl.weighted.WeightedUpdateBatch(xs, ws)
 		}
-		delta := s.settleLocked(e)
-		e.mu.Unlock()
-		s.touch(e)
-		s.account(delta)
+		s.maybePromoteLocked(h.sl)
+		db, di := s.settleLocked(h.sl)
+		h.sl.mu.Unlock()
+		s.touch(h)
+		s.account(db, di)
 		s.updates.Add(total)
 		s.mutations.Add(1)
 		s.maybeEvict()
@@ -362,65 +606,70 @@ func (s *Store) WeightedUpdateBatch(key string, xs []float64, ws []int64) error 
 	}
 }
 
-// account applies a retained-bytes delta to the global counter.
-func (s *Store) account(delta int64) {
-	if delta != 0 {
-		s.retained.Add(delta)
+// account applies retained-bytes and retained-items deltas to the global
+// counters.
+func (s *Store) account(bytesDelta, itemsDelta int64) {
+	if bytesDelta != 0 {
+		s.retained.Add(bytesDelta)
+	}
+	if itemsDelta != 0 {
+		s.retainedItems.Add(itemsDelta)
 	}
 }
 
-// Query returns an approximate ϕ-quantile of key's substream; false when the
-// key does not exist or holds no items. Queries refresh the key's LRU clock.
+// Query returns an approximate ϕ-quantile of key's substream (exact while
+// the key is still in its buffered stage); false when the key does not exist
+// or holds no items. Queries refresh the key's LRU clock.
 func (s *Store) Query(key string, phi float64) (float64, bool) {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return 0, false
 	}
-	e.mu.Lock()
-	if e.dead {
-		e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
 		return 0, false
 	}
-	v, ok := e.sum.Query(phi)
-	e.mu.Unlock()
-	s.touch(e)
+	v, ok := h.sl.sum.Query(phi)
+	h.sl.mu.Unlock()
+	s.touch(h)
 	return v, ok
 }
 
 // EstimateRank estimates the number of items ≤ q in key's substream; 0 when
 // the key does not exist.
 func (s *Store) EstimateRank(key string, q float64) int {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return 0
 	}
-	e.mu.Lock()
-	if e.dead {
-		e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
 		return 0
 	}
-	r := e.sum.EstimateRank(q)
-	e.mu.Unlock()
-	s.touch(e)
+	r := h.sl.sum.EstimateRank(q)
+	h.sl.mu.Unlock()
+	s.touch(h)
 	return r
 }
 
 // CDF returns the estimated fraction of key's items ≤ q, clamped to [0, 1];
 // 0 when the key does not exist or is empty.
 func (s *Store) CDF(key string, q float64) float64 {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return 0
 	}
-	e.mu.Lock()
-	if e.dead {
-		e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
 		return 0
 	}
-	n := e.sum.Count()
-	r := e.sum.EstimateRank(q)
-	e.mu.Unlock()
-	s.touch(e)
+	n := h.sl.sum.Count()
+	r := h.sl.sum.EstimateRank(q)
+	h.sl.mu.Unlock()
+	s.touch(h)
 	if n == 0 {
 		return 0
 	}
@@ -435,44 +684,69 @@ func (s *Store) CDF(key string, q float64) float64 {
 
 // Count returns the number of items ingested under key (0 when absent).
 func (s *Store) Count(key string) int {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return 0
 	}
-	e.mu.Lock()
-	n := e.sum.Count()
-	e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
+		return 0
+	}
+	n := h.sl.sum.Count()
+	h.sl.mu.Unlock()
 	return n
 }
 
 // StoredItems returns the items key's summary currently retains, in
 // non-decreasing order; nil when the key does not exist.
 func (s *Store) StoredItems(key string) []float64 {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return nil
 	}
-	e.mu.Lock()
-	items := e.sum.StoredItems()
-	e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
+		return nil
+	}
+	items := h.sl.sum.StoredItems()
+	h.sl.mu.Unlock()
 	return items
 }
 
 // StoredCount returns the number of items key's summary retains (the paper's
 // space measure, per key); 0 when absent.
 func (s *Store) StoredCount(key string) int {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return 0
 	}
-	e.mu.Lock()
-	n := e.sum.StoredCount()
-	e.mu.Unlock()
+	h.sl.mu.Lock()
+	if !h.valid() {
+		h.sl.mu.Unlock()
+		return 0
+	}
+	n := h.sl.sum.StoredCount()
+	h.sl.mu.Unlock()
 	return n
 }
 
+// Buffered reports whether key currently exists and is still in its
+// pre-promotion exact-buffer stage (answering queries exactly).
+func (s *Store) Buffered(key string) bool {
+	h := s.get(key)
+	if h.sl == nil {
+		return false
+	}
+	h.sl.mu.Lock()
+	b := h.valid() && h.sl.buffered
+	h.sl.mu.Unlock()
+	return b
+}
+
 // Has reports whether key currently exists in the store.
-func (s *Store) Has(key string) bool { return s.get(key) != nil }
+func (s *Store) Has(key string) bool { return s.get(key).sl != nil }
 
 // Len returns the number of live keys.
 func (s *Store) Len() int { return int(s.keys.Load()) }
@@ -482,7 +756,7 @@ func (s *Store) Keys() []string {
 	out := make([]string, 0, s.keys.Load())
 	for _, st := range s.stripes {
 		st.mu.Lock()
-		for k := range st.entries {
+		for k := range st.index {
 			out = append(out, k)
 		}
 		st.mu.Unlock()
@@ -495,32 +769,57 @@ func (s *Store) Keys() []string {
 // deleted key recreates cleanly (empty, from the factory) on its next
 // update.
 func (s *Store) Delete(key string) bool {
+	if s.wal != nil {
+		s.persistMu.RLock()
+		defer s.persistMu.RUnlock()
+		s.wal.appendDelete(s, key)
+	}
+	return s.deleteNoLog(key)
+}
+
+func (s *Store) deleteNoLog(key string) bool {
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	e := st.entries[key]
-	if e == nil {
+	id, ok := st.index[key]
+	if !ok {
 		st.mu.Unlock()
 		return false
 	}
-	delete(st.entries, key)
+	delete(st.index, key)
 	st.mu.Unlock()
-	s.reap(e)
+	s.reap(st, id)
 	return true
 }
 
-// reap finalizes an entry that has been unlinked from its stripe: marks it
-// dead so in-flight writers retry, and returns its retained bytes to the
-// global budget. Must be called exactly once per unlinked entry, by the
-// goroutine that unlinked it.
-func (s *Store) reap(e *entry) {
-	e.mu.Lock()
-	e.dead = true
-	freed := e.retained
-	e.retained = 0
-	e.mu.Unlock()
-	s.account(-freed)
+// reap finalizes a slot that has been unlinked from its stripe's index:
+// marks it dead so in-flight writers retry, returns its retained bytes to
+// the global budget, and recycles the slot id onto the free list. Must be
+// called exactly once per unlinked slot, by the goroutine that unlinked it.
+func (s *Store) reap(st *stripe, id uint32) {
+	sl := st.slotAt(id)
+	sl.mu.Lock()
+	sl.dead = true
+	freedB, freedI := sl.retained, sl.items
+	wasBuffered := sl.buffered
+	sl.retained = 0
+	sl.items = 0
+	sl.sum = nil
+	sl.sized = nil
+	sl.batch = nil
+	sl.weighted = nil
+	sl.buffered = false
+	sl.mu.Unlock()
+	s.account(-freedB, -freedI)
 	s.keys.Add(-1)
+	if wasBuffered {
+		s.bufferedKeys.Add(-1)
+	}
 	s.mutations.Add(1)
+	// Recycle only after the slot is fully dead: a stale handle that locks
+	// the slot from here on sees dead (or, once reallocated, a bumped gen).
+	st.mu.Lock()
+	st.free = append(st.free, id)
+	st.mu.Unlock()
 }
 
 // overBudget reports whether either global limit is currently exceeded.
@@ -547,38 +846,41 @@ func (s *Store) maybeEvict() {
 	s.evictMu.Unlock()
 }
 
-// candidate is one entry of the eviction scan.
+// candidate is one slot of the eviction scan.
 type candidate struct {
 	key        string
-	e          *entry
+	st         *stripe
+	id         uint32
+	gen        uint32
 	lastAccess int64
 }
 
-// scan snapshots every live entry with its LRU clock.
+// scan snapshots every live slot with its LRU clock.
 func (s *Store) scan() []candidate {
 	out := make([]candidate, 0, s.keys.Load())
 	for _, st := range s.stripes {
 		st.mu.Lock()
-		for k, e := range st.entries {
-			out = append(out, candidate{key: k, e: e, lastAccess: e.lastAccess.Load()})
+		for k, id := range st.index {
+			sl := st.slotAt(id)
+			out = append(out, candidate{key: k, st: st, id: id, gen: sl.gen, lastAccess: sl.lastAccess.Load()})
 		}
 		st.mu.Unlock()
 	}
 	return out
 }
 
-// evictEntry unlinks a scanned candidate if it is still the live entry for
+// evictEntry unlinks a scanned candidate if it is still the live slot for
 // its key, reporting whether it evicted. Caller holds evictMu.
 func (s *Store) evictEntry(c candidate) bool {
-	st := s.stripeFor(c.key)
-	st.mu.Lock()
-	if st.entries[c.key] != c.e {
-		st.mu.Unlock()
-		return false // deleted or already replaced since the scan
+	c.st.mu.Lock()
+	id, ok := c.st.index[c.key]
+	if !ok || id != c.id || c.st.slotAt(id).gen != c.gen {
+		c.st.mu.Unlock()
+		return false // deleted or already recycled since the scan
 	}
-	delete(st.entries, c.key)
-	st.mu.Unlock()
-	s.reap(c.e)
+	delete(c.st.index, c.key)
+	c.st.mu.Unlock()
+	s.reap(c.st, c.id)
 	return true
 }
 
@@ -596,7 +898,7 @@ func (s *Store) underHysteresis() bool {
 	return true
 }
 
-// enforceBudgetLocked evicts least-recently-used entries until both global
+// enforceBudgetLocked evicts least-recently-used slots until both global
 // limits hold with hysteresis headroom. Caller holds evictMu.
 func (s *Store) enforceBudgetLocked() {
 	if !s.overBudget() {
@@ -676,27 +978,27 @@ func (s *Store) StartJanitor(interval time.Duration) (stop func()) {
 // in sorted order from the live summaries, so the sub-payloads of keys a
 // mutation did not touch re-encode byte-identically — the locality the
 // KindDelta incremental snapshots of the cluster tier diff against.
-// Keys are encoded under their own locks one at a time, so a
-// snapshot taken under concurrent writes is a per-key-consistent (not
-// globally atomic) view — the same staleness contract the sharded tier
-// serves reads with. Snapshotting requires every key's family to be
-// encodable (GK, KLL, MRL, reservoir, window).
+// A key still in its buffered stage encodes as its exact items (KindExact),
+// so restore and merge reproduce it losslessly. Keys are encoded under their
+// own locks one at a time, so a snapshot taken under concurrent writes is a
+// per-key-consistent (not globally atomic) view — the same staleness
+// contract the sharded tier serves reads with.
 func (s *Store) SnapshotPayload() ([]byte, int64, error) {
 	version := s.mutations.Load()
 	keys := s.Keys()
 	entries := make([]encoding.KeyedPayload, 0, len(keys))
 	for _, key := range keys {
-		e := s.get(key)
-		if e == nil {
+		h := s.get(key)
+		if h.sl == nil {
 			continue // evicted since the key scan
 		}
-		e.mu.Lock()
-		if e.dead {
-			e.mu.Unlock()
+		h.sl.mu.Lock()
+		if !h.valid() {
+			h.sl.mu.Unlock()
 			continue
 		}
-		payload, err := encoding.Encode(e.sum)
-		e.mu.Unlock()
+		payload, err := encoding.Encode(h.sl.sum)
+		h.sl.mu.Unlock()
 		if err != nil {
 			return nil, 0, fmt.Errorf("store: encoding key %q: %w", key, err)
 		}
@@ -720,13 +1022,19 @@ func (s *Store) SnapshotVersion() (int64, bool) {
 // summary is merged into the same key under the COMBINE rule (eps_new = max)
 // when the key exists, and adopted as the key's summary when it does not —
 // so restoring onto an empty store reproduces the snapshotted state exactly,
-// and merging two stores unions their key sets. The container is accepted
-// whole or rejected whole: every nested payload is decoded and checked for
+// and merging two stores unions their key sets. Buffered keys participate in
+// both directions: an exact record replays into an existing sketch, and a
+// sketch record arriving at a buffered key absorbs the buffer and takes its
+// place (a cross-stage promotion). The container is accepted whole or
+// rejected whole: every nested payload is decoded and checked for
 // mergeability against the store's current state before anything is applied
 // (a retrying client must never double-merge the keys that happened to
 // precede a bad record). A concurrent mutation racing the apply phase can
 // still abort mid-way — the error says which key, and the count of keys
 // applied is returned. Returns the number of keys applied.
+//
+// Merges are not WAL-logged; a persistent store should Checkpoint after
+// applying large containers.
 func (s *Store) MergePayload(payload []byte) (int, error) {
 	records, err := encoding.DecodeStore(payload)
 	if err != nil {
@@ -764,69 +1072,94 @@ func (s *Store) MergePayload(payload []byte) (int, error) {
 // into key's current summary (vacuously true when the key is absent — it
 // would be adopted).
 func (s *Store) checkMergeable(key string, sum Summary) error {
-	e := s.get(key)
-	if e == nil {
+	h := s.get(key)
+	if h.sl == nil {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.dead {
+	h.sl.mu.Lock()
+	defer h.sl.mu.Unlock()
+	if !h.valid() {
 		return nil
 	}
-	return encoding.CheckMergeable(e.sum, sum)
+	return encoding.CheckMergeable(h.sl.sum, sum)
 }
 
 // adoptOrMerge installs sum as key's summary when the key is absent, and
-// folds it into the existing summary otherwise. The caller must not reuse
-// sum afterwards.
+// folds it into the existing summary otherwise (adopting the merge result
+// when a cross-stage merge replaces the key's exact buffer with a sketch).
+// The caller must not reuse sum afterwards.
 func (s *Store) adoptOrMerge(key string, sum Summary) error {
 	n := int64(sum.Count())
 	for {
 		st := s.stripeFor(key)
 		st.mu.Lock()
-		e := st.entries[key]
-		if e == nil {
-			e = &entry{sum: sum, eps: s.EpsFor(key)}
-			if ep, ok := sum.(summary.Epsiloned); ok {
-				e.eps = ep.Epsilon()
+		id, ok := st.index[key]
+		if !ok {
+			_, adoptedBuffered := sum.(*exact.Buffer)
+			id = st.alloc()
+			sl := st.slotAt(id)
+			sl.mu.Lock()
+			sl.gen++
+			sl.dead = false
+			sl.eps = s.EpsFor(key)
+			if ep, okEps := sum.(summary.Epsiloned); okEps {
+				sl.eps = ep.Epsilon()
 			}
-			e.batch, _ = sum.(batchUpdater)
-			e.weighted, _ = sum.(weightedUpdater)
-			e.lastAccess.Store(s.now().UnixNano())
-			// Settle accounting before the entry becomes visible: once the
-			// stripe lock drops, a concurrent budget sweep may reap it, and
-			// settling afterwards would re-inflate the global counter for a
-			// dead entry that is never reaped again.
-			nb := int64(sum.StoredCount()) * int64(s.cfg.BytesPerItem)
-			e.retained = nb
-			st.entries[key] = e
+			sl.install(sum, adoptedBuffered)
+			s.maybePromoteLocked(sl)
+			adoptedBuffered = sl.buffered
+			// Settle accounting before the slot becomes visible (see
+			// getOrCreate for why).
+			sl.items = int64(sl.sum.StoredCount())
+			sl.retained = s.footprint(sl)
+			nb, ni := sl.retained, sl.items
+			sl.lastAccess.Store(s.now().UnixNano())
+			sl.mu.Unlock()
+			st.index[key] = id
 			st.mu.Unlock()
 			s.keys.Add(1)
 			s.creates.Add(1)
-			// Safe in either order against a racing reap: reap frees exactly
-			// the nb recorded above, so the global counter nets to zero.
-			s.account(nb)
+			if adoptedBuffered {
+				s.bufferedKeys.Add(1)
+			}
+			s.account(nb, ni)
 			s.updates.Add(n)
 			s.mutations.Add(1)
 			return nil
 		}
+		sl := st.slotAt(id)
+		h := handle{sl: sl, gen: sl.gen}
 		st.mu.Unlock()
-		e.mu.Lock()
-		if e.dead {
-			e.mu.Unlock()
+		sl.mu.Lock()
+		if !h.valid() {
+			sl.mu.Unlock()
 			continue
 		}
-		err := encoding.MergeAny(e.sum, sum)
-		var delta int64
+		wasBuffered := sl.buffered
+		merged, err := encoding.MergeAdopting(sl.sum, sum)
+		var db, di int64
 		if err == nil {
-			delta = s.settleLocked(e)
+			if merged != any(sl.sum) {
+				// Cross-stage: the incoming sketch absorbed the key's exact
+				// buffer and replaces it.
+				if ep, okEps := merged.(summary.Epsiloned); okEps && ep.Epsilon() > sl.eps {
+					sl.eps = ep.Epsilon()
+				}
+				sl.install(merged.(Summary), false)
+			}
+			s.maybePromoteLocked(sl)
+			if wasBuffered && !sl.buffered {
+				s.promotions.Add(1)
+				s.bufferedKeys.Add(-1)
+			}
+			db, di = s.settleLocked(sl)
 		}
-		e.mu.Unlock()
+		sl.mu.Unlock()
 		if err != nil {
 			return err
 		}
-		s.touch(e)
-		s.account(delta)
+		s.touch(h)
+		s.account(db, di)
 		s.updates.Add(n)
 		s.mutations.Add(1)
 		return nil
@@ -848,11 +1181,18 @@ type Stats struct {
 	// Keys is the number of live keys.
 	Keys int
 	// RetainedItems is the total number of items retained across all keys;
-	// RetainedBytes is the budget-accounted estimate (items × BytesPerItem).
+	// RetainedBytes is the budget-accounted footprint (summary.Sized where
+	// implemented, items × BytesPerItem otherwise).
 	RetainedItems int
 	RetainedBytes int64
 	// MaxRetainedBytes echoes the configured budget (0 = unbounded).
 	MaxRetainedBytes int64
+	// BufferedKeys is the number of live keys still in the pre-promotion
+	// exact-buffer stage; PromotedKeys is the rest. Promotions counts
+	// lifetime buffer→sketch promotions.
+	BufferedKeys int
+	PromotedKeys int
+	Promotions   int64
 	// Updates is the number of items accepted (including merged-in items);
 	// Creates the number of key creations (including recreations).
 	Updates int64
@@ -863,21 +1203,40 @@ type Stats struct {
 	EvictionsIdle int64
 	// Mutations is the content version served as the snapshot ETag basis.
 	Mutations int64
+	// Persistence counters (zero on a non-persistent store): completed
+	// checkpoints, WAL records appended since open, WAL records replayed at
+	// open, and the unix-nanosecond time of the last checkpoint.
+	Checkpoints        int64
+	WALRecords         int64
+	WALReplayed        int64
+	LastCheckpointUnix int64
 }
 
 // Stats returns the operational counters for monitoring endpoints.
 func (s *Store) Stats() Stats {
-	retained := s.retained.Load()
+	keys := int(s.keys.Load())
+	buffered := int(s.bufferedKeys.Load())
+	promoted := keys - buffered
+	if promoted < 0 {
+		promoted = 0
+	}
 	return Stats{
-		Keys:             int(s.keys.Load()),
-		RetainedItems:    int(retained / int64(s.cfg.BytesPerItem)),
-		RetainedBytes:    retained,
-		MaxRetainedBytes: s.cfg.MaxRetainedBytes,
-		Updates:          s.updates.Load(),
-		Creates:          s.creates.Load(),
-		EvictionsLRU:     s.evictionsLRU.Load(),
-		EvictionsIdle:    s.evictionsIdle.Load(),
-		Mutations:        s.mutations.Load(),
+		Keys:               keys,
+		RetainedItems:      int(s.retainedItems.Load()),
+		RetainedBytes:      s.retained.Load(),
+		MaxRetainedBytes:   s.cfg.MaxRetainedBytes,
+		BufferedKeys:       buffered,
+		PromotedKeys:       promoted,
+		Promotions:         s.promotions.Load(),
+		Updates:            s.updates.Load(),
+		Creates:            s.creates.Load(),
+		EvictionsLRU:       s.evictionsLRU.Load(),
+		EvictionsIdle:      s.evictionsIdle.Load(),
+		Mutations:          s.mutations.Load(),
+		Checkpoints:        s.checkpoints.Load(),
+		WALRecords:         s.walRecords.Load(),
+		WALReplayed:        s.walReplayed.Load(),
+		LastCheckpointUnix: s.lastCheckpoint.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
 	"quantilelb/internal/rank"
@@ -114,8 +115,10 @@ func TestDeleteAndRecreate(t *testing.T) {
 
 func TestBudgetEvictionLRU(t *testing.T) {
 	bpi := DefaultBytesPerItem
-	// Budget fits roughly 3 keys of ~32 retained items each.
-	s := New(Config{Eps: 0.01, MaxRetainedBytes: int64(3 * 32 * bpi)})
+	// Budget fits roughly 3 keys of ~32 retained items each. Buffering is
+	// disabled so every key pays the sketch footprint from its first item
+	// (buffered keys are ~4x cheaper and would all fit).
+	s := New(Config{Eps: 0.01, PromoteItems: -1, MaxRetainedBytes: int64(3 * 32 * bpi)})
 	clock := time.Unix(0, 0)
 	s.now = func() time.Time { return clock }
 
@@ -296,11 +299,14 @@ func TestMergePayloadCombinesPerKey(t *testing.T) {
 }
 
 func TestMergePayloadFamilyMismatchRejectsWhole(t *testing.T) {
-	gkStore := New(Config{Eps: 0.05})
+	// Buffering is disabled on both sides: keys this small would otherwise
+	// still be exact buffers, which merge across any pair of families.
+	gkStore := New(Config{Eps: 0.05, PromoteItems: -1})
 	gkStore.Update("k", 1)
 	kllStore := New(Config{
-		Eps:     0.05,
-		Factory: func(eps float64) Summary { return kll.NewFloat64(eps, kll.WithSeed(1)) },
+		Eps:          0.05,
+		PromoteItems: -1,
+		Factory:      func(eps float64) Summary { return kll.NewFloat64(eps, kll.WithSeed(1)) },
 	})
 	// The container holds a perfectly mergeable new key *before* the
 	// conflicting one: nothing at all may be applied, or a retrying client
@@ -347,12 +353,37 @@ func TestStatsAccounting(t *testing.T) {
 	if st.Keys != 2 || st.Updates != 4 || st.Creates != 2 {
 		t.Fatalf("stats = %+v", st)
 	}
-	wantBytes := int64((s.StoredCount("a") + s.StoredCount("b")) * DefaultBytesPerItem)
-	if st.RetainedBytes != wantBytes {
-		t.Fatalf("RetainedBytes = %d, want %d", st.RetainedBytes, wantBytes)
+	if st.BufferedKeys != 2 || st.PromotedKeys != 0 || st.Promotions != 0 {
+		t.Fatalf("promotion stats = %+v", st)
 	}
 	if st.RetainedItems != s.StoredCount("a")+s.StoredCount("b") {
 		t.Fatalf("RetainedItems = %d", st.RetainedItems)
+	}
+	// Both keys are still exact buffers, so the accounted footprint is the
+	// buffers' real cost — between 8 bytes per retained slot and the slack of
+	// append growth, far under the 32-byte flat sketch estimate per item.
+	items := int64(st.RetainedItems)
+	if st.RetainedBytes < 8*items || st.RetainedBytes >= 32*items {
+		t.Fatalf("RetainedBytes = %d for %d buffered items", st.RetainedBytes, items)
+	}
+}
+
+// flatSummary hides any summary.Sized implementation, exercising the
+// documented flat-estimate fallback.
+type flatSummary struct{ Summary }
+
+func TestStatsFlatFallbackAccounting(t *testing.T) {
+	s := New(Config{
+		Eps:          0.05,
+		PromoteItems: -1,
+		Factory:      func(eps float64) Summary { return flatSummary{gk.NewFloat64(eps)} },
+	})
+	s.UpdateBatch("a", []float64{1, 2, 3})
+	s.Update("b", 4)
+	st := s.Stats()
+	wantBytes := int64((s.StoredCount("a") + s.StoredCount("b")) * DefaultBytesPerItem)
+	if st.RetainedBytes != wantBytes {
+		t.Fatalf("RetainedBytes = %d, want flat estimate %d", st.RetainedBytes, wantBytes)
 	}
 }
 

@@ -125,10 +125,17 @@ func TestTortureStableKeysLoseNothing(t *testing.T) {
 			t.Errorf("victim key %q query after recreate = %v, %v", k, v, ok)
 		}
 	}
-	// Accounting stayed consistent: retained bytes match the live summaries.
+	// Accounting stayed consistent: retained bytes match the live summaries'
+	// actual footprints (everything is quiesced, so this recomputation races
+	// nothing).
 	var wantBytes int64
 	for _, k := range s.Keys() {
-		wantBytes += int64(s.StoredCount(k)) * DefaultBytesPerItem
+		h := s.get(k)
+		h.sl.mu.Lock()
+		if h.valid() {
+			wantBytes += s.footprint(h.sl)
+		}
+		h.sl.mu.Unlock()
 	}
 	if got := s.Stats().RetainedBytes; got != wantBytes {
 		t.Errorf("retained accounting drifted: %d, recomputed %d", got, wantBytes)

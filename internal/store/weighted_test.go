@@ -56,8 +56,11 @@ func TestWeightedUpdateValidation(t *testing.T) {
 func TestWeightedExpansionFallback(t *testing.T) {
 	s := New(Config{
 		Eps: 0.05,
-		// The capped strawman has no native weighted path.
-		Factory: func(eps float64) Summary { return capped.NewFloat64(64) },
+		// The capped strawman has no native weighted path. Buffering is
+		// disabled: a buffered key's exact buffer ingests any weight natively,
+		// which would bypass the guard under test.
+		PromoteItems: -1,
+		Factory:      func(eps float64) Summary { return capped.NewFloat64(64) },
 	})
 	if err := s.WeightedUpdate("m", 1.5, 100); err != nil {
 		t.Fatalf("in-guard expansion: %v", err)

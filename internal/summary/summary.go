@@ -100,6 +100,21 @@ func ExpandWeighted[T any](s Quantile[T], x T, w int64) error {
 	return nil
 }
 
+// Sized is implemented by summaries that can report the bytes they actually
+// retain — including preallocated ingest buffers and per-level scratch, not
+// just the item count times a per-item estimate. The multi-tenant store uses
+// it for budget accounting: families that preallocate capacity (req's airtight
+// buffer, mlq's block buffer) retain far more than StoredCount()×32 on small
+// keys, and families storing bare items (KLL, MRL, the reservoir) retain far
+// less, so a flat estimate over- or under-evicts by family. Callers fall back
+// to the documented flat estimate (StoredCount × BytesPerItem) for summaries
+// that do not implement Sized.
+type Sized interface {
+	// RetainedBytes returns the approximate heap bytes retained by the
+	// summary's item storage, counting allocated capacity (not just length).
+	RetainedBytes() int
+}
+
 // Mergeable is implemented by summaries that support merging a same-typed
 // summary into the receiver (the "mergeable summaries" setting referenced in
 // Section 1.2 of the paper).

@@ -1,0 +1,12 @@
+package window
+
+// RetainedBytes reports the heap bytes retained across the per-block GK
+// summaries (summary.Sized): the sum of each block's tuple storage plus the
+// fixed block bookkeeping.
+func (s *Summary[T]) RetainedBytes() int {
+	total := 0
+	for _, b := range s.blocks {
+		total += b.summary.RetainedBytes() + 24 // start, count, pointer
+	}
+	return total
+}

@@ -280,6 +280,14 @@ func ReservoirFactory(eps, delta float64, seed int64) func() *sampling.Reservoir
 	}
 }
 
+// BiasedFactory returns a factory of biased (relative-error at low ranks)
+// summaries with relative accuracy eps, for use with NewSharded; the COMBINE
+// merge keeps eps_new = max across shards, so the sharded view preserves the
+// relative-error guarantee.
+func BiasedFactory(eps float64) func() *biased.Summary[float64] {
+	return func() *biased.Summary[float64] { return biased.NewFloat64(eps) }
+}
+
 // Store is the multi-tenant keyed tier (internal/store): a sharded registry
 // mapping string keys — per-metric, per-endpoint, per-customer streams — to
 // independent summaries created lazily from a factory, with per-key accuracy
@@ -308,6 +316,13 @@ type StoreSummary = store.Summary
 //	st.Update("checkout.latency", 41.5)
 //	p99, _ := st.Query("checkout.latency", 0.99)
 func NewStore(cfg StoreConfig) *Store { return store.New(cfg) }
+
+// OpenStore returns a keyed store with crash-safe persistence rooted at
+// cfg.Dir: it loads the latest checkpoint, replays the write-ahead log, and
+// logs subsequent updates. Call (*Store).Checkpoint to compact the log and
+// (*Store).Close on shutdown. With cfg.Dir empty it behaves exactly like
+// NewStore.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
 
 // SnapshotStore serializes every key of a store into one multi-key container
 // payload (the KindStore wire format of internal/encoding, documented in
