@@ -12,7 +12,7 @@
 // ϕ ∈ {0.999, 0.9999, 1} must stay within the configured relative eps, and
 // the harness-recorded WithinRelEps verdict must hold.
 //
-// Randomized families (KLL, the reservoir, and their sharded variants) carry
+// Randomized families (KLL, FO, the reservoir, and their sharded variants) carry
 // a per-query constant failure probability; their cells only fail the gate
 // above -slack times the configured eps, so an unlucky-but-in-contract draw
 // does not break CI while a real regression (error growing by multiples)
@@ -60,15 +60,17 @@ import (
 // randomized lists the families whose accuracy guarantee is probabilistic;
 // their gate threshold is slack·eps instead of eps.
 var randomized = map[string]bool{
+	"fo":           true,
 	"kll":          true,
 	"reservoir":    true,
+	"sharded-fo":   true,
 	"sharded-kll":  true,
 	"weighted-kll": true,
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR9.json", "committed baseline report")
+		baselinePath = flag.String("baseline", "BENCH_PR10.json", "committed baseline report")
 		reportPath   = flag.String("report", "", "freshly produced report to gate")
 		slack        = flag.Float64("slack", 3.0, "eps multiplier tolerated for randomized families")
 	)

@@ -2,8 +2,9 @@
 // package under internal/ (or any command under cmd/) lacks a package-level
 // doc comment, or when an exported top-level declaration of the public
 // facade package (the repository root), of the shared interface package
-// internal/summary, of the multi-level ingestion core internal/mlq, or of
-// the relative-error tail tier internal/req is undocumented.
+// internal/summary, of the multi-level ingestion core internal/mlq, of
+// the relative-error tail tier internal/req, or of the randomized
+// Felber–Ostrovsky tier internal/fo is undocumented.
 //
 // The rule matches the repository's documentation contract (DESIGN.md):
 // every package states which paper section or related-work result it
@@ -14,7 +15,9 @@
 // obligation everywhere. internal/mlq and internal/req are held to it
 // because their exported surfaces (Entry rank bounds, LevelState/Buffered
 // state, Restore) are the wire contracts the encoding layer and its fuzz
-// corpus build on.
+// corpus build on; internal/fo because its exported surface (Config, the
+// ExportState fields carrying the generator state, Restore) is both the
+// KindFO wire contract and the seeding contract reproducibility rests on.
 //
 // Usage (from the repository root):
 //
@@ -52,7 +55,7 @@ func main() {
 	}
 	// Exported-symbol coverage: the public facade and the shared interface
 	// package every summary implements.
-	for _, dir := range []string{".", "internal/summary", "internal/mlq", "internal/req"} {
+	for _, dir := range []string{".", "internal/summary", "internal/mlq", "internal/req", "internal/fo"} {
 		v, err := checkExportedDocs(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)

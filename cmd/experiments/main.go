@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment to run: all, fig1, fig2, thm2.2, lemma3.4, claim1, spacegap, sandwich, median, rank, biased, randomized, compare, ablations")
+		run    = flag.String("run", "all", "experiment to run: all, fig1, fig2, thm2.2, lemma3.4, claim1, spacegap, sandwich, median, rank, biased, randomized, compare, ablations, shootout, spacecurve")
 		quick  = flag.Bool("quick", false, "use small parameters (fast smoke run)")
 		eps    = flag.Float64("eps", 0, "accuracy parameter (0 = default)")
 		k      = flag.Int("k", 0, "recursion level for single-run experiments (0 = default)")
@@ -58,13 +58,13 @@ func main() {
 		p.CompareN = *n
 	}
 
-	if err := runExperiments(strings.ToLower(*run), p); err != nil {
+	if err := runExperiments(strings.ToLower(*run), *quick, p); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, p experiments.Params) error {
+func runExperiments(which string, quick bool, p experiments.Params) error {
 	print := func(t *experiments.Table, err error) error {
 		if t != nil {
 			fmt.Println(t.Render())
@@ -103,6 +103,18 @@ func runExperiments(which string, p experiments.Params) error {
 		return print(experiments.RandomizedAdversary(p.Eps, p.K))
 	case "compare", "e12":
 		t, _, err := experiments.Compare(p.Eps, p.CompareN, p.CompareWorkloads, p.Seed)
+		return print(t, err)
+	case "shootout", "s1":
+		// GK vs KLL vs FO matrix at the differential suite's scale (eps=0.01,
+		// N=30000, seed 42 — the recorded S1 parameters); -quick shrinks it.
+		eps, n := 0.01, 30_000
+		if quick {
+			n = 8_000
+		}
+		t, _, err := experiments.Shootout(eps, 0.01, n, 42)
+		return print(t, err)
+	case "spacecurve", "s2":
+		t, _, err := experiments.AdversarialSpaceCurve([]float64{0.001, 0.0005}, 0.01, 7)
 		return print(t, err)
 	case "ablations":
 		tables, err := experiments.Ablations(p)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lowerbound [-summary gk|gk-greedy|capped|kll|reservoir|biased]
+//	lowerbound [-summary gk|gk-greedy|capped|kll|reservoir|biased|fo]
 //	           [-eps 0.03125] [-k 8] [-cap 16] [-seed 1] [-nodes] [-leaves]
 //
 // Examples:
@@ -24,6 +24,7 @@ import (
 	"quantilelb/internal/biased"
 	"quantilelb/internal/capped"
 	"quantilelb/internal/core"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/sampling"
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		summaryName = flag.String("summary", "gk", "summary to attack: gk, gk-greedy, capped, kll, reservoir, biased")
+		summaryName = flag.String("summary", "gk", "summary to attack: gk, gk-greedy, capped, kll, reservoir, biased, fo")
 		eps         = flag.Float64("eps", 1.0/32, "accuracy parameter of the summary")
 		k           = flag.Int("k", 8, "recursion level (stream length is (1/eps)*2^k)")
 		capacity    = flag.Int("cap", 16, "capacity for -summary capped / reservoir")
@@ -61,6 +62,10 @@ func main() {
 		factory = func() summary.Summary[*big.Rat] { return sampling.New(cmp, *capacity, *seed) }
 	case "biased":
 		factory = func() summary.Summary[*big.Rat] { return biased.New(cmp, *eps) }
+	case "fo":
+		factory = func() summary.Summary[*big.Rat] {
+			return fo.New(cmp, fo.Config{Eps: *eps, Delta: fo.DefaultDelta, Seed: *seed})
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "lowerbound: unknown summary %q\n", *summaryName)
 		os.Exit(2)

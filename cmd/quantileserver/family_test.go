@@ -97,7 +97,7 @@ func TestEveryFamilyServesHTTP(t *testing.T) {
 // documented in README.md — and its deterministic ordering in error text.
 func TestFamilyNamesSorted(t *testing.T) {
 	got := familyNames()
-	want := []string{"biased", "gk", "kll", "mlq", "mrl", "req", "reservoir"}
+	want := []string{"biased", "fo", "gk", "kll", "mlq", "mrl", "req", "reservoir"}
 	if len(got) != len(want) {
 		t.Fatalf("familyNames() = %v, want %v", got, want)
 	}

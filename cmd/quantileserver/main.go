@@ -4,12 +4,14 @@
 // is a writer or reader of the same summaries, with no coordination beyond
 // the sharded ingestion layer and the keyed store's lock striping.
 //
-// The summary family is selected with -family (biased, gk, kll, mrl, mlq,
-// req, reservoir); it applies to both the single-stream summary and the keyed
-// store's per-key factory. Pick req for sharp high tails (p99.9+), biased for
-// relative error at low ranks, mlq for the fastest ingest, gk for the
-// deterministic baseline; README.md has the full choosing guide. Unknown
-// family names fail startup with a structured error on stderr.
+// The summary family is selected with -family (biased, fo, gk, kll, mrl,
+// mlq, req, reservoir); it applies to both the single-stream summary and the
+// keyed store's per-key factory. Pick req for sharp high tails (p99.9+),
+// biased for relative error at low ranks, mlq for the fastest ingest, gk for
+// the deterministic baseline, fo for the smallest memory at tight eps (a
+// randomized summary: answers carry a failure probability δ, seeded by
+// -seed); README.md has the full choosing guide. Unknown family names fail
+// startup with a structured error on stderr.
 //
 // With -store-dir the keyed store is crash-safe: it checkpoints atomically
 // every -store-checkpoint and appends each update to a write-ahead log that
@@ -173,6 +175,10 @@ var families = map[string]func(nodeConfig) (http.Handler, func()){
 		return build(c, quantilelb.REQFactory(c.eps),
 			func(eps float64) store.Summary { return quantilelb.REQFactory(eps)() })
 	},
+	"fo": func(c nodeConfig) (http.Handler, func()) {
+		f := quantilelb.FOFactory(c.eps, 0.01, c.seed)
+		return build(c, f, func(float64) store.Summary { return f() })
+	},
 	"reservoir": func(c nodeConfig) (http.Handler, func()) {
 		f := quantilelb.ReservoirFactory(c.eps, 0.01, c.seed)
 		return build(c, f, func(float64) store.Summary { return f() })
@@ -208,7 +214,7 @@ func startupError(format string, args ...any) {
 func main() {
 	var (
 		addr            = flag.String("addr", ":8080", "listen address")
-		family          = flag.String("family", "gk", "summary family: biased, gk, kll, mlq, mrl, req, or reservoir")
+		family          = flag.String("family", "gk", "summary family: biased, fo, gk, kll, mlq, mrl, req, or reservoir")
 		eps             = flag.Float64("eps", 0.01, "summary accuracy epsilon (single-stream and per-key default)")
 		shards          = flag.Int("shards", 16, "number of lock-striped shards")
 		refresh         = flag.Int("refresh", 4096, "snapshot staleness budget in updates")
@@ -221,7 +227,7 @@ func main() {
 		storeCheckpoint = flag.Duration("store-checkpoint", time.Minute, "checkpoint interval when -store-dir is set (0 = checkpoint only on shutdown)")
 		storeNoWAL      = flag.Bool("store-no-wal", false, "persist checkpoints only, skipping the per-update write-ahead log")
 		storeWALSync    = flag.Int("store-wal-sync", 0, "fsync the WAL every N records (0 = rely on OS page cache)")
-		seed            = flag.Int64("seed", 1, "RNG seed for the randomized families (kll, reservoir)")
+		seed            = flag.Int64("seed", 1, "RNG seed for the randomized families (fo, kll, reservoir)")
 		maxN            = flag.Int("max-n", 100_000_000, "stream-length bound for the mrl family")
 	)
 	flag.Parse()

@@ -5,6 +5,7 @@ import (
 
 	"quantilelb/internal/biased"
 	"quantilelb/internal/capped"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -176,6 +177,33 @@ func DefaultFamilies(cfg Config) []Family {
 			},
 			BytesPerItem: itemBytes,
 			EpsTarget:    eps,
+		},
+		{
+			Name: "fo",
+			// The randomized Felber–Ostrovsky summary: a seeded sampler in
+			// front of a cascade of fixed-size blocks, retaining
+			// O((1/eps)·log(1/eps)) items independent of N — below the
+			// deterministic lower bound, which randomization may beat. Like
+			// KLL, the per-run error can exceed eps with probability delta.
+			New: func() Target {
+				return fo.NewFloat64(fo.Config{Eps: eps, Delta: 0.01, Seed: cfg.Seed})
+			},
+			BytesPerItem: itemBytes,
+			EpsTarget:    eps,
+		},
+		{
+			Name: "sharded-fo",
+			New: func() Target {
+				var next atomic.Int64
+				return sharded.New(func() *fo.Summary[float64] {
+					return fo.NewFloat64(fo.Config{Eps: eps, Delta: 0.01, Seed: cfg.Seed + next.Add(1)})
+				}, shardedWidth)
+			},
+			BytesPerItem: itemBytes,
+			// COMBINE keeps eps_new = max over the shards' equal eps; the
+			// merged view's failure probability is the sum of the shard
+			// deltas (0.16 at 16 shards), still within the 3x gate slack.
+			EpsTarget: eps,
 		},
 	}
 	// Keyed-fanout families: the multi-tenant store at 1/100/10k keys with

@@ -17,6 +17,7 @@ import (
 	"quantilelb/internal/biased"
 	"quantilelb/internal/capped"
 	"quantilelb/internal/checker"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -27,6 +28,7 @@ import (
 	"quantilelb/internal/store"
 	"quantilelb/internal/stream"
 	"quantilelb/internal/summary"
+	"quantilelb/internal/testseed"
 	"quantilelb/internal/window"
 )
 
@@ -67,8 +69,13 @@ func diffWorkloads(t testing.TB) []checker.Workload {
 // randomizedSlack times it, biased at its relative-error guarantee, and the
 // deliberately capacity-capped strawman records without gating (the lower
 // bound proves it must fail somewhere — asserted separately below).
-func diffCases() []checker.Case {
-	var kllSeed, resSeed atomic.Int64
+func diffCases(t testing.TB) []checker.Case {
+	// Named base seeds so a CI failure in a randomized cell is reproducible
+	// (and sweepable) from the log line via -quantile.seed.
+	kllBase := testseed.For(t, "differential-kll", 100)
+	resBase := testseed.For(t, "differential-reservoir", 200)
+	foBase := testseed.For(t, "differential-fo", 300)
+	var kllSeed, resSeed, foSeed atomic.Int64
 	maxN := 2 * diffN
 	return []checker.Case{
 		{Name: "gk", Eps: diffEps,
@@ -79,7 +86,7 @@ func diffCases() []checker.Case {
 			}},
 		{Name: "kll", Eps: diffEps, Slack: randomizedSlack,
 			New: func() summary.Summary[float64] {
-				return kll.NewFloat64(diffEps, kll.WithSeed(100+kllSeed.Add(1)))
+				return kll.NewFloat64(diffEps, kll.WithSeed(kllBase+kllSeed.Add(1)))
 			}},
 		{Name: "mrl", Eps: diffEps,
 			New: func() summary.Summary[float64] { return mrl.NewFloat64(diffEps, maxN) }},
@@ -87,7 +94,19 @@ func diffCases() []checker.Case {
 			New: func() summary.Summary[float64] { return mlq.NewFloat64(diffEps) }},
 		{Name: "reservoir", Eps: diffEps, Slack: randomizedSlack,
 			New: func() summary.Summary[float64] {
-				return sampling.NewFloat64(diffEps, 0.01, 200+resSeed.Add(1))
+				return sampling.NewFloat64(diffEps, 0.01, resBase+resSeed.Add(1))
+			}},
+		{Name: "fo", Eps: diffEps, Slack: randomizedSlack,
+			// Single-run smoke at the slack allowance; the exact-eps
+			// statistical contract is TestRandomizedDifferentialStatisticalGate.
+			New: func() summary.Summary[float64] {
+				return fo.NewFloat64(fo.Config{Eps: diffEps, Delta: 0.01, Seed: foBase + foSeed.Add(1)})
+			}},
+		{Name: "sharded-fo", Eps: diffEps, Slack: randomizedSlack,
+			New: func() summary.Summary[float64] {
+				return sharded.New(func() *fo.Summary[float64] {
+					return fo.NewFloat64(fo.Config{Eps: diffEps, Delta: 0.01, Seed: foBase + 100 + foSeed.Add(1)})
+				}, 8)
 			}},
 		{Name: "biased", Eps: diffEps, Biased: true,
 			New: func() summary.Summary[float64] { return biased.NewFloat64(diffEps) }},
@@ -116,8 +135,8 @@ func TestDifferentialAllFamiliesAllWorkloads(t *testing.T) {
 		t.Skip("full differential matrix")
 	}
 	workloads := diffWorkloads(t)
-	results := checker.RunDifferential(diffCases(), workloads, diffGrid)
-	wantCells := len(diffCases()) * len(workloads)
+	results := checker.RunDifferential(diffCases(t), workloads, diffGrid)
+	wantCells := len(diffCases(t)) * len(workloads)
 	if len(results) != wantCells {
 		t.Fatalf("got %d cells, want %d", len(results), wantCells)
 	}
@@ -178,12 +197,13 @@ func TestDifferentialKeyedStoreKLL(t *testing.T) {
 		t.Skip("keyed differential matrix (KLL)")
 	}
 	keys := []string{"a", "b", "c"}
+	keyedBase := testseed.For(t, "differential-keyed-kll", 300)
 	var seed atomic.Int64
 	newStore := func() *store.Store {
 		return store.New(store.Config{
 			Eps: diffEps,
 			Factory: func(eps float64) store.Summary {
-				return kll.NewFloat64(eps, kll.WithSeed(300+seed.Add(1)))
+				return kll.NewFloat64(eps, kll.WithSeed(keyedBase+seed.Add(1)))
 			},
 		})
 	}

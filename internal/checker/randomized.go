@@ -1,0 +1,132 @@
+package checker
+
+import (
+	"math"
+	"sort"
+
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/summary"
+)
+
+// RandomizedCase describes one randomized family under the trial-repetition
+// statistical gate. Unlike Case, whose single run must land inside an ad-hoc
+// Slack·ε·N allowance, a RandomizedCase is judged on the statistics its δ
+// actually promises: many independently seeded trials per workload, the
+// failure fraction bounded by δ plus an explicit Chernoff term, and the
+// median trial held to the exact ε·N allowance with no slack at all.
+type RandomizedCase struct {
+	// Name labels the family in results.
+	Name string
+	// New builds a fresh summary for one trial; the seed differs per trial
+	// and the factory must derive all randomness from it.
+	New func(seed int64) summary.Summary[float64]
+	// Eps is the rank-error target checked at the exact ε·N allowance.
+	Eps float64
+	// Delta is the failure probability the family claims for a whole query
+	// grid: the probability that any grid query errs beyond ε·N.
+	Delta float64
+}
+
+// RandomizedResult is the verdict for one (case, workload) cell.
+type RandomizedResult struct {
+	Case     string
+	Workload string
+	// Trials is the number of independently seeded runs.
+	Trials int
+	// MedianWorst is the median over trials of the per-trial worst rank
+	// error on the grid; Allowance is the exact ε·N+1 it must not exceed.
+	MedianWorst float64
+	Allowance   float64
+	// FailFraction is the fraction of trials whose worst error exceeded the
+	// allowance; FailLimit is δ plus the Chernoff slack it is held to.
+	FailFraction float64
+	FailLimit    float64
+	// MeanWorst is the mean of the per-trial worst errors (diagnostic).
+	MeanWorst float64
+}
+
+// Passed reports whether the cell met both the median and the
+// failure-fraction bounds.
+func (r RandomizedResult) Passed() bool {
+	return r.MedianWorst <= r.Allowance && r.FailFraction <= r.FailLimit
+}
+
+// ChernoffSlack returns the additive slack on an observed failure fraction
+// over the given number of trials: by Hoeffding's inequality the empirical
+// mean of trials i.i.d. indicator variables overshoots the true failure
+// probability by more than sqrt(ln(1/γ)/(2·trials)) with probability at most
+// γ, so a gate at δ + ChernoffSlack(trials, γ) false-alarms on a correct
+// family with probability at most γ per cell.
+func ChernoffSlack(trials int, gamma float64) float64 {
+	return math.Sqrt(math.Log(1/gamma) / (2 * float64(trials)))
+}
+
+// RandomizedGateGamma is the per-cell false-alarm probability the gate's
+// Chernoff slack is computed at.
+const RandomizedGateGamma = 1e-3
+
+// RunRandomizedDifferential runs the statistical gate: every case processes
+// every workload in `trials` independently seeded runs (seeds baseSeed,
+// baseSeed+1, …— reproducible from the log), and each cell is judged on
+//
+//   - the median of the per-trial worst rank errors at the exact ε·N+1
+//     allowance (the +1 absorbs rank rounding, as in the benchdiff gate), and
+//   - the fraction of trials whose worst error exceeded that allowance,
+//     bounded by δ + ChernoffSlack(trials, RandomizedGateGamma).
+//
+// The exact rank oracle is built once per workload and shared across trials.
+func RunRandomizedDifferential(cases []RandomizedCase, workloads []Workload, grid, trials int, baseSeed int64) []RandomizedResult {
+	if grid < 1 {
+		grid = 1
+	}
+	cmp := order.Floats[float64]()
+	var results []RandomizedResult
+	for _, wl := range workloads {
+		oracle := rank.NewOracle(cmp, wl.Items)
+		n := oracle.Len()
+		for _, c := range cases {
+			allowance := c.Eps*float64(n) + 1
+			worsts := make([]float64, 0, trials)
+			failures := 0
+			for t := 0; t < trials; t++ {
+				s := c.New(baseSeed + int64(t))
+				for _, x := range wl.Items {
+					s.Update(x)
+				}
+				worst := 0
+				for i := 0; i <= grid; i++ {
+					phi := float64(i) / float64(grid)
+					got, ok := s.Query(phi)
+					if !ok {
+						worst = n
+						break
+					}
+					if e := oracle.RankError(got, phi); e > worst {
+						worst = e
+					}
+				}
+				if float64(worst) > allowance {
+					failures++
+				}
+				worsts = append(worsts, float64(worst))
+			}
+			sort.Float64s(worsts)
+			var sum float64
+			for _, w := range worsts {
+				sum += w
+			}
+			results = append(results, RandomizedResult{
+				Case:         c.Name,
+				Workload:     wl.Name,
+				Trials:       trials,
+				MedianWorst:  worsts[len(worsts)/2],
+				Allowance:    allowance,
+				FailFraction: float64(failures) / float64(trials),
+				FailLimit:    c.Delta + ChernoffSlack(trials, RandomizedGateGamma),
+				MeanWorst:    sum / float64(trials),
+			})
+		}
+	}
+	return results
+}

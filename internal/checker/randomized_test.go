@@ -1,0 +1,77 @@
+package checker_test
+
+// The trial-repetition statistical gate for randomized families: fo and the
+// reservoir are run 100 independently seeded times per workload cell and
+// judged on what their δ actually promises — median-of-trials worst error at
+// the exact ε·N allowance (no randomized slack) and failure fraction at most
+// δ plus the documented Chernoff term. This replaces the ad-hoc Slack
+// multiplier as the accuracy contract for randomized families; the plain
+// differential matrix keeps the slack only as a cheap single-run smoke.
+
+import (
+	"testing"
+
+	"quantilelb/internal/checker"
+	"quantilelb/internal/fo"
+	"quantilelb/internal/sampling"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/testseed"
+)
+
+const (
+	// randTrials is the per-cell trial count; ≥100 keeps the Chernoff slack
+	// below 0.19 at the gate's 1e-3 false-alarm probability.
+	randTrials = 100
+	// randDelta is the failure probability both families are configured
+	// with and judged against.
+	randDelta = 0.05
+)
+
+func randomizedCases() []checker.RandomizedCase {
+	return []checker.RandomizedCase{
+		{Name: "fo", Eps: diffEps, Delta: randDelta,
+			New: func(seed int64) summary.Summary[float64] {
+				return fo.NewFloat64(fo.Config{Eps: diffEps, Delta: randDelta, Seed: seed})
+			}},
+		{Name: "reservoir", Eps: diffEps, Delta: randDelta,
+			New: func(seed int64) summary.Summary[float64] {
+				return sampling.NewFloat64(diffEps, randDelta, seed)
+			}},
+	}
+}
+
+// TestRandomizedDifferentialStatisticalGate is the gate itself: every
+// randomized family, every workload including the paper's adversarial
+// stream, 100 seeded trials per cell, exact eps on the median.
+func TestRandomizedDifferentialStatisticalGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical gate runs 100 trials per cell")
+	}
+	baseSeed := testseed.For(t, "randomized-differential", 5000)
+	workloads := diffWorkloads(t)
+	results := checker.RunRandomizedDifferential(randomizedCases(), workloads, diffGrid, randTrials, baseSeed)
+	wantCells := len(randomizedCases()) * len(workloads)
+	if len(results) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(results), wantCells)
+	}
+	for _, r := range results {
+		t.Logf("%s/%s: median worst %.0f (allow %.0f), fail %.2f (limit %.2f), mean %.0f",
+			r.Case, r.Workload, r.MedianWorst, r.Allowance, r.FailFraction, r.FailLimit, r.MeanWorst)
+		if !r.Passed() {
+			t.Errorf("%s/%s: median worst %.0f vs allowance %.0f, failure fraction %.2f vs limit %.2f",
+				r.Case, r.Workload, r.MedianWorst, r.Allowance, r.FailFraction, r.FailLimit)
+		}
+	}
+}
+
+// TestChernoffSlackDocumentedValues pins the slack formula the gate and its
+// documentation quote: sqrt(ln(1/γ)/(2·trials)).
+func TestChernoffSlackDocumentedValues(t *testing.T) {
+	got := checker.ChernoffSlack(100, 1e-3)
+	if got < 0.185 || got > 0.187 {
+		t.Errorf("ChernoffSlack(100, 1e-3) = %v, want ≈0.186", got)
+	}
+	if s := checker.ChernoffSlack(400, 1e-3); s >= got {
+		t.Errorf("slack must shrink with more trials: %v vs %v", s, got)
+	}
+}

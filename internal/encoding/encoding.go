@@ -28,6 +28,7 @@ import (
 
 	"quantilelb/internal/biased"
 	"quantilelb/internal/exact"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -62,6 +63,7 @@ const (
 	KindDelta     Kind = 9
 	KindExact     Kind = 10
 	KindBiased    Kind = 11
+	KindFO        Kind = 12
 )
 
 // String returns the short family name used in reports and peer status
@@ -90,6 +92,8 @@ func (k Kind) String() string {
 		return "exact"
 	case KindBiased:
 		return "biased"
+	case KindFO:
+		return "fo"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -609,6 +613,8 @@ func Encode(s any) ([]byte, error) {
 		return EncodeExact(v)
 	case *biased.Summary[float64]:
 		return EncodeBiased(v)
+	case *fo.Summary[float64]:
+		return EncodeFO(v)
 	}
 	return nil, fmt.Errorf("encoding: unsupported summary type %T", s)
 }
@@ -616,7 +622,8 @@ func Encode(s any) ([]byte, error) {
 // Decode reconstructs whichever summary a payload holds, dispatching on the
 // Kind tag. The result is one of *gk.Summary[float64], *kll.Sketch[float64],
 // *mrl.Summary[float64], *sampling.Reservoir[float64],
-// *window.Summary[float64], *mlq.Summary, or *req.Summary; use DetectKind
+// *window.Summary[float64], *mlq.Summary, *req.Summary, or
+// *fo.Summary[float64]; use DetectKind
 // first when the caller needs to know without paying for the full decode.
 func Decode(payload []byte) (any, error) {
 	kind, err := DetectKind(payload)
@@ -646,6 +653,8 @@ func Decode(payload []byte) (any, error) {
 		dec, decErr = DecodeExact(payload)
 	case KindBiased:
 		dec, decErr = DecodeBiased(payload)
+	case KindFO:
+		dec, decErr = DecodeFO(payload)
 	case KindStore:
 		return nil, errors.New("encoding: payload is a KindStore container, not a single summary; use DecodeStore")
 	case KindDelta:

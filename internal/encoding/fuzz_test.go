@@ -14,6 +14,7 @@ import (
 
 	"quantilelb/internal/biased"
 	"quantilelb/internal/exact"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -149,6 +150,52 @@ func seedPayloads(tb testing.TB) [][]byte {
 	exactNaN.Update(math.NaN())
 	exactNaN.Update(1)
 	exactNaN.WeightedUpdate(math.NaN(), 5)
+	// FO corpus shapes (the randomized cascade): empty, a small ingest-only
+	// summary whose sampler still passes every item through (base 0), a deep
+	// run whose sampler has folded (base > 0, open window mid-fill), a
+	// weighted payload (binary-decomposed placements), a NaN-bearing payload
+	// (valid under the NaN-first total order), a merged payload (summed δ,
+	// levels realigned by absolute exponent), and a pruned payload
+	// (coarsened eps). Each carries live splitmix64 generator state, so the
+	// corpus exercises the decoder's full State surface.
+	foEmpty := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Seed: 1})
+	foSmall := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Seed: 2})
+	for i := 0; i < 40; i++ {
+		foSmall.Update(float64((i * 7919) % 4001))
+	}
+	foDeep := fo.NewFloat64(fo.Config{Eps: 0.1, Delta: 0.2, Seed: 3})
+	for i := 0; i < 30_000; i++ {
+		foDeep.Update(float64((i * 7919) % 4001))
+	}
+	wfoS := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Seed: 4})
+	for i := 0; i < 500; i++ {
+		w := int64(i%37 + 1)
+		if i%97 == 0 {
+			w <<= 10
+		}
+		wfoS.WeightedUpdate(float64((i*7457)%1009), w)
+	}
+	nanfoS := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Seed: 5})
+	for i := 0; i < 300; i++ {
+		if i%7 == 0 {
+			nanfoS.Update(math.NaN())
+		} else {
+			nanfoS.Update(float64((i * 7919) % 4001))
+		}
+	}
+	nanfoS.WeightedUpdate(math.NaN(), 5)
+	mergedfoS := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.02, Seed: 6})
+	for i := 0; i < 4_000; i++ {
+		mergedfoS.Update(float64((i * 6151) % 997))
+	}
+	if err := mergedfoS.Merge(foDeep); err != nil {
+		tb.Fatalf("building merged fo seed: %v", err)
+	}
+	prunedfoS := fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Seed: 7})
+	for i := 0; i < 20_000; i++ {
+		prunedfoS.Update(float64((i * 6151) % 997))
+	}
+	prunedfoS.Prune(64)
 	// Biased-summary corpus shapes: small ingest-only, a compressed long
 	// stream, and a merged summary (merged tuple lists carry rank bounds the
 	// ingest path alone never produces).
@@ -164,7 +211,7 @@ func seedPayloads(tb testing.TB) [][]byte {
 		tb.Fatalf("building merged biased seed: %v", err)
 	}
 	var out [][]byte
-	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS, reqEmpty, reqFolded, wreqS, nanreqS, mergedreqS, prunedreqS, exactEmpty, exactUnit, exactWeighted, exactNaN, biasedS, mergedbiasedS} {
+	for _, s := range []any{gkS, kllS, mrlS, resS, winS, wgkS, wkllS, wmrlS, wresS, mlqEmpty, mlqSingle, mlqDeep, wmlqS, nanmlqS, prunedmlqS, reqEmpty, reqFolded, wreqS, nanreqS, mergedreqS, prunedreqS, foEmpty, foSmall, foDeep, wfoS, nanfoS, mergedfoS, prunedfoS, exactEmpty, exactUnit, exactWeighted, exactNaN, biasedS, mergedbiasedS} {
 		p, err := Encode(s)
 		if err != nil {
 			tb.Fatalf("building seed corpus: %v", err)

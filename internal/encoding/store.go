@@ -15,6 +15,7 @@ import (
 
 	"quantilelb/internal/biased"
 	"quantilelb/internal/exact"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/kll"
 	"quantilelb/internal/mlq"
@@ -217,6 +218,13 @@ func CheckMergeable(dst, src any) error {
 		if _, ok := src.(*biased.Summary[float64]); ok {
 			return nil
 		}
+	case *fo.Summary[float64]:
+		// fo merge is a free COMBINE like req: eps takes the pairwise max,
+		// the failure probabilities add, and levels align by absolute weight
+		// exponent — no structural parameter must match.
+		if _, ok := src.(*fo.Summary[float64]); ok {
+			return nil
+		}
 	default:
 		return fmt.Errorf("%w: %T has no merge operation", ErrNotMergeable, dst)
 	}
@@ -319,6 +327,10 @@ func MergeAny(dst, src any) error {
 		}
 	case *biased.Summary[float64]:
 		if s, ok := src.(*biased.Summary[float64]); ok {
+			return d.Merge(s)
+		}
+	case *fo.Summary[float64]:
+		if s, ok := src.(*fo.Summary[float64]); ok {
 			return d.Merge(s)
 		}
 	case *exact.Buffer:

@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+// TestShootoutMatrix runs the S1 matrix at a reduced scale and checks its
+// shape and the gated cells: deterministic GK must pass at exact eps on
+// every workload, and every entrant's byte accounting must be populated.
+func TestShootoutMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shoot-out matrix")
+	}
+	const (
+		eps   = 0.01
+		delta = 0.01
+		n     = 8_000
+	)
+	table, rows, err := Shootout(eps, delta, n, 42)
+	if err != nil {
+		t.Fatalf("Shootout: %v", err)
+	}
+	const workloads, entrants = 7, 3
+	if len(rows) != workloads*entrants {
+		t.Fatalf("got %d rows, want %d", len(rows), workloads*entrants)
+	}
+	if len(table.Rows) != len(rows) {
+		t.Fatalf("table rows %d != data rows %d", len(table.Rows), len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxStored <= 0 || r.RetainedBytes <= 0 {
+			t.Errorf("%s/%s: empty space accounting (stored=%d bytes=%d)",
+				r.Workload, r.Summary, r.MaxStored, r.RetainedBytes)
+		}
+		// GK's deterministic guarantee holds at exact eps on every workload,
+		// adversarial included. (The randomized entrants are gated at the 3x
+		// slack inside Shootout itself; a failed cell still lands in Passed.)
+		if r.Summary == "gk" && !r.Passed {
+			t.Errorf("gk failed on %s: worst err %d allowed %v", r.Workload, r.WorstError, r.Allowed)
+		}
+		if !r.Passed && r.Summary != "gk" {
+			t.Errorf("%s exceeded the 3x randomized slack on %s: worst err %d allowed %v",
+				r.Summary, r.Workload, r.WorstError, r.Allowed)
+		}
+	}
+}
+
+// TestAdversarialSpaceCurve asserts the PR's headline acceptance criterion:
+// on the paper's adversarial stream at eps <= 0.001, FO's retained bytes
+// stay strictly below GK's — at the full stream length and at every prefix.
+func TestAdversarialSpaceCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial space curve")
+	}
+	_, rows, err := AdversarialSpaceCurve([]float64{0.001, 0.0005}, 0.01, 7)
+	if err != nil {
+		t.Fatalf("AdversarialSpaceCurve: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.FOBelow {
+			t.Errorf("eps=%g n=%d: fo bytes %d not below gk bytes %d",
+				r.Eps, r.N, r.FOBytes, r.GKBytes)
+		}
+		if r.FOBytes != r.FOStored*8 {
+			// FO retains bare float64 slots; a drift here means the byte
+			// accounting and the stored count diverged.
+			t.Logf("eps=%g n=%d: fo bytes %d vs stored*8 %d (capacity slack)", r.Eps, r.N, r.FOBytes, r.FOStored*8)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package fo_test
+
+// The paper's separation, executable: cmd/lowerbound's adversarial
+// construction (core.Adversary, Pseudocode 2) is driven directly against the
+// randomized fo summary. With the coin flips fixed the summary is
+// deterministic and comparison-based, so Theorem 2.2 applies to each run —
+// but across independently seeded runs the failure rate must stay within the
+// configured δ (plus Chernoff slack), while fo's space never leaves its
+// b·L = O((1/eps)·log(1/eps)) ceiling. The same harness shows GK's retained
+// bytes growing with log(eps·n), the Ω((1/eps)·log(1/eps)·log(eps·n)) side
+// of the separation.
+
+import (
+	"math/big"
+	"testing"
+
+	"quantilelb/internal/checker"
+	"quantilelb/internal/core"
+	"quantilelb/internal/fo"
+	"quantilelb/internal/gk"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/testseed"
+	"quantilelb/internal/universe"
+)
+
+const (
+	advEps    = 1.0 / 16
+	advDelta  = 0.1
+	advTrials = 100
+	advK      = 5 // N = (1/eps)·2^k = 512 items per run
+)
+
+func newRatAdversary(factory func() summary.Summary[*big.Rat]) *core.Adversary[*big.Rat] {
+	uni := universe.NewRational()
+	return &core.Adversary[*big.Rat]{
+		Uni:        uni,
+		Cmp:        uni.Comparator(),
+		Eps:        advEps,
+		NewSummary: factory,
+	}
+}
+
+// TestFOUnderAdversaryFailureRate runs the adversarial construction against
+// fo over ≥100 seeds. Per seed, the run fails when the constructed stream
+// either forces a gap beyond the 2εN bound of Lemma 3.4 (the paper's
+// incorrectness witness) or, replayed into a fresh same-configured summary,
+// produces a quantile answer off by more than ε·N. The observed failure
+// fraction must stay within δ plus the gate's Chernoff slack.
+func TestFOUnderAdversaryFailureRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary sweep over 100 seeds")
+	}
+	baseSeed := testseed.For(t, "fo-adversary", 9000)
+	uni := universe.NewRational()
+	cmp := uni.Comparator()
+	bound := fo.BlockSize(advEps, advDelta)*fo.LevelCap(advEps, fo.BlockSize(advEps, advDelta)) + 1
+	failures := 0
+	for trial := 0; trial < advTrials; trial++ {
+		seed := baseSeed + int64(trial)
+		adv := newRatAdversary(func() summary.Summary[*big.Rat] {
+			return fo.New(cmp, fo.Config{Eps: advEps, Delta: advDelta, Seed: seed})
+		})
+		res, err := adv.Run(advK)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		failed := float64(res.Gap) > res.GapBound
+		// Replay the constructed stream into a fresh summary (new coins) and
+		// check its quantile answers against the exact oracle.
+		replay := fo.New(cmp, fo.Config{Eps: advEps, Delta: advDelta, Seed: seed + 1_000_000})
+		for _, x := range res.Pi {
+			replay.Update(x)
+		}
+		rep := checker.VerifyUniform(cmp, replay, res.Pi, advEps, 64)
+		if !rep.Passed() {
+			failed = true
+		}
+		if c := replay.StoredCount(); c > bound {
+			t.Fatalf("trial %d: fo stored %d items, above its b·L+1 = %d ceiling", trial, c, bound)
+		}
+		if failed {
+			failures++
+		}
+	}
+	frac := float64(failures) / float64(advTrials)
+	limit := advDelta + checker.ChernoffSlack(advTrials, checker.RandomizedGateGamma)
+	t.Logf("adversarial failure fraction %.2f (delta %.2f + slack %.2f)", frac, advDelta, limit-advDelta)
+	if frac > limit {
+		t.Errorf("failure fraction %.2f exceeds delta+slack = %.2f", frac, limit)
+	}
+}
+
+// TestDeterministicSpaceGrowsUnderAdversary is the other side of the
+// separation: GK's retained bytes under the adversarial construction grow
+// with log(eps·n) as k increases, while fo's ceiling does not move at all.
+func TestDeterministicSpaceGrowsUnderAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary growth sweep")
+	}
+	uni := universe.NewRational()
+	cmp := uni.Comparator()
+	const gkTupleBytes = 32
+	var gkBytes []int
+	for _, k := range []int{4, 6, 8} {
+		adv := newRatAdversary(func() summary.Summary[*big.Rat] { return gk.New(cmp, advEps) })
+		res, err := adv.Run(k)
+		if err != nil {
+			t.Fatalf("gk at k=%d: %v", k, err)
+		}
+		gkBytes = append(gkBytes, res.MaxStoredPi*gkTupleBytes)
+		t.Logf("gk: k=%d N=%d max stored %d (%d bytes), theorem 2.2 floor %.0f items",
+			k, res.N, res.MaxStoredPi, res.MaxStoredPi*gkTupleBytes, res.LowerBound)
+	}
+	for i := 1; i < len(gkBytes); i++ {
+		if gkBytes[i] <= gkBytes[i-1] {
+			t.Errorf("gk retained bytes did not grow with log(eps·n): %v", gkBytes)
+		}
+	}
+	// fo's space ceiling is a function of (eps, delta) only — no k anywhere.
+	b := fo.BlockSize(advEps, advDelta)
+	ceiling := (b*fo.LevelCap(advEps, b) + 1) * 8
+	for _, k := range []int{4, 6, 8} {
+		adv := newRatAdversary(func() summary.Summary[*big.Rat] {
+			return fo.New(cmp, fo.Config{Eps: advEps, Delta: advDelta, Seed: int64(k)})
+		})
+		res, err := adv.Run(k)
+		if err != nil {
+			t.Fatalf("fo at k=%d: %v", k, err)
+		}
+		if got := res.MaxStoredPi * 8; got > ceiling {
+			t.Errorf("fo at k=%d retained %d bytes, above its flat ceiling %d", k, got, ceiling)
+		}
+	}
+}

@@ -1,0 +1,710 @@
+// Package fo implements the Felber–Ostrovsky randomized online quantile
+// summary: a sampled substream feeding a cascade of fixed-size blocks, using
+// O((1/ε)·log(1/ε)) words independently of the stream length — the randomized
+// upper bound that sidesteps the deterministic Ω((1/ε)·log(1/ε)·log(εn))
+// lower bound of Cormode & Veselý (the source paper).
+//
+// Layout. Items enter through a window sampler: the stream is split into
+// consecutive windows of 2^σ items and one uniformly random representative
+// per window survives, carrying the window's weight. Sampled items land in a
+// cascade of levels; level e holds items of weight 2^e in a block of at most
+// b slots. A full block is sorted and compacted: a random parity keeps every
+// other item at double weight in the level above, an unbiased halving whose
+// per-query error is ±w/2 with probability 1/2. At most L live levels are
+// kept; when the span would exceed L the bottom level is folded upward and
+// the sampler rate σ doubles, so total space stays at b·L = O((1/ε)log(1/ε))
+// items no matter how long the stream runs.
+//
+// Accuracy. With b = ⌈2·sqrt(ln(2/δ))/ε⌉ the compaction noise for any fixed
+// rank query is sub-Gaussian with standard deviation at most N/b and the
+// sampler contributes at most as much, so the rank error stays within ε·N
+// except with probability at most δ. The guarantee is statistical, not
+// worst-case: with the random bits fixed the summary is deterministic and
+// comparison-based, so the paper's adversary applies to it (Section 6.3) —
+// the failure probability δ is exactly what the lower bound charges.
+//
+// All randomness flows through an injectable seeded RNG (Config.Seed or
+// Config.Rand — never the global source) driven by a serializable splitmix64
+// state, so the wire format (encoding.KindFO) can carry the generator state
+// and snapshot/restore/resume is bit-for-bit deterministic.
+package fo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"quantilelb/internal/order"
+)
+
+// Config carries the construction parameters of a Felber–Ostrovsky summary.
+type Config struct {
+	// Eps is the additive rank-error target: ε·N after N items, with
+	// probability at least 1−Delta per query. Must be in (0, 0.5].
+	Eps float64
+	// Delta is the per-query failure probability δ. Must be in (0, 1).
+	// Zero selects DefaultDelta.
+	Delta float64
+	// Seed seeds the summary's private RNG when Rand is nil. Two summaries
+	// built with equal Config and fed equal streams are byte-identical.
+	Seed int64
+	// Rand, when non-nil, supplies the initial RNG state (one Uint64 draw)
+	// instead of Seed. The summary never retains Rand itself: all later
+	// randomness comes from the private serializable generator, so sharing
+	// one *rand.Rand across summaries is safe.
+	Rand *rand.Rand
+}
+
+// DefaultDelta is the failure probability used when Config.Delta is zero.
+const DefaultDelta = 0.01
+
+// blockConstant scales the block size b = ⌈blockConstant·sqrt(ln(2/δ))/ε⌉.
+// The value 2 makes the per-query failure bound close at δ for query grids
+// of up to ~2/δ distinct ranks (see the package comment).
+const blockConstant = 2.0
+
+// maxLevelSpan caps the number of live levels accepted on the wire.
+const maxLevelSpan = 64
+
+// maxBaseExp caps the sampler exponent so window widths fit in int64.
+const maxBaseExp = 62
+
+// BlockSize returns b, the per-level block capacity for the given ε and δ.
+func BlockSize(eps, delta float64) int {
+	b := int(math.Ceil(blockConstant * math.Sqrt(math.Log(2/delta)) / eps))
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// LevelCap returns L, the maximum number of live levels for the given ε and
+// block size: enough that the sampler's variance N²·2^{1−L}/(4b) stays below
+// the compaction variance, which needs 2^L ≳ 1/(b·ε²).
+func LevelCap(eps float64, b int) int {
+	l := int(math.Ceil(math.Log2(1/(float64(b)*eps*eps)))) + 2
+	if l < 4 {
+		l = 4
+	}
+	if l > maxLevelSpan {
+		l = maxLevelSpan
+	}
+	return l
+}
+
+// Summary is a Felber–Ostrovsky randomized quantile summary over T.
+// It is not safe for concurrent use; wrap it in the sharded layer for that.
+type Summary[T any] struct {
+	cmp   order.Comparator[T]
+	eps   float64
+	delta float64
+	b     int // block capacity per level
+	maxL  int // live-level span cap
+
+	n    int64 // total weight processed
+	base int   // absolute weight exponent of levels[0]; sampler windows are 2^base wide
+
+	// levels[i] holds unsorted items of weight 2^(base+i), fewer than b of
+	// them between operations.
+	levels [][]T
+
+	// Pending sampler window: winExp is the absolute exponent the window was
+	// opened at (≤ base — the cascade may have folded since), winSeen counts
+	// items consumed, winPick is the pre-drawn surviving index, winVal the
+	// representative observed so far (meaningful iff winSeen > winPick).
+	winExp  int
+	winSeen int64
+	winPick int64
+	winVal  T
+
+	src *source
+	rng *rand.Rand
+
+	hasMin, hasMax bool
+	min, max       T
+
+	view      []weighted[T]
+	viewDirty bool
+}
+
+type weighted[T any] struct {
+	v   T
+	cum int64 // cumulative weight up to and including v in sorted order
+}
+
+// source is a splitmix64 rand.Source64 with a single exportable word of
+// state, so the wire format can persist the generator exactly.
+type source struct{ state uint64 }
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+
+// New builds an empty summary over cmp with the given configuration.
+// It panics when cfg.Eps or cfg.Delta is out of range, matching the other
+// families' constructors.
+func New[T any](cmp order.Comparator[T], cfg Config) *Summary[T] {
+	if cfg.Delta == 0 {
+		cfg.Delta = DefaultDelta
+	}
+	if !(cfg.Eps > 0 && cfg.Eps <= 0.5) {
+		panic(fmt.Sprintf("fo: eps %v out of (0, 0.5]", cfg.Eps))
+	}
+	if !(cfg.Delta > 0 && cfg.Delta < 1) {
+		panic(fmt.Sprintf("fo: delta %v out of (0, 1)", cfg.Delta))
+	}
+	var state uint64
+	if cfg.Rand != nil {
+		state = cfg.Rand.Uint64()
+	} else {
+		// Run the seed through one splitmix step so nearby seeds yield
+		// unrelated streams.
+		state = (&source{state: uint64(cfg.Seed)}).Uint64()
+	}
+	s := &Summary[T]{
+		cmp:   cmp,
+		eps:   cfg.Eps,
+		delta: cfg.Delta,
+		b:     BlockSize(cfg.Eps, cfg.Delta),
+		src:   &source{state: state},
+	}
+	s.maxL = LevelCap(s.eps, s.b)
+	s.rng = rand.New(s.src)
+	s.startWindow()
+	// A non-nil empty view with viewDirty=false makes reads on a fresh
+	// summary pure: concurrent readers of an empty sharded snapshot must not
+	// re-enter refresh and race on the cache fields.
+	s.view = make([]weighted[T], 0)
+	s.viewDirty = false
+	return s
+}
+
+// NewFloat64 builds a summary over float64 with the natural order.
+func NewFloat64(cfg Config) *Summary[float64] {
+	return New(order.Floats[float64](), cfg)
+}
+
+// Epsilon returns the rank-error target currently guaranteed (it grows under
+// Merge and Prune).
+func (s *Summary[T]) Epsilon() float64 { return s.eps }
+
+// Delta returns the failure probability currently recorded (it grows under
+// Merge: COMBINE sums the operands' δ).
+func (s *Summary[T]) Delta() float64 { return s.delta }
+
+// startWindow opens a fresh sampler window at the current rate.
+func (s *Summary[T]) startWindow() {
+	s.winExp = s.base
+	s.winSeen = 0
+	if s.winExp == 0 {
+		s.winPick = 0
+	} else {
+		s.winPick = s.rng.Int63n(int64(1) << uint(s.winExp))
+	}
+	var zero T
+	s.winVal = zero
+}
+
+// Update processes one stream item.
+func (s *Summary[T]) Update(x T) {
+	s.touchExtremes(x)
+	s.n++
+	if s.winSeen == s.winPick {
+		s.winVal = x
+	}
+	s.winSeen++
+	if s.winSeen == int64(1)<<uint(s.winExp) {
+		s.place(s.winVal, s.winExp)
+		s.restructure()
+		s.startWindow()
+	}
+	s.viewDirty = true
+}
+
+// UpdateBatch processes a batch of items.
+func (s *Summary[T]) UpdateBatch(xs []T) {
+	for _, x := range xs {
+		s.Update(x)
+	}
+}
+
+// WeightedUpdate ingests x with integer weight w ≥ 1 in O(log w) amortized
+// work: the current window is completed span-wise, whole windows of copies
+// are placed exactly by the binary decomposition of their count (no sampling
+// error — all candidates are equal), and the residue reopens a partial
+// window. It panics on w ≤ 0 like the other natively weighted families.
+func (s *Summary[T]) WeightedUpdate(x T, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("fo: weight %d is not positive", w))
+	}
+	s.touchExtremes(x)
+	s.n += w
+	rem := w
+	if s.winSeen > 0 {
+		width := int64(1) << uint(s.winExp)
+		take := width - s.winSeen
+		if take > rem {
+			take = rem
+		}
+		if s.winPick >= s.winSeen && s.winPick < s.winSeen+take {
+			s.winVal = x
+		}
+		s.winSeen += take
+		rem -= take
+		if s.winSeen == width {
+			s.place(s.winVal, s.winExp)
+			s.restructure()
+			s.startWindow()
+		}
+	}
+	if rem > 0 {
+		e := s.winExp
+		q := rem >> uint(e)
+		rem &= int64(1)<<uint(e) - 1
+		placed := false
+		for j := 0; q>>uint(j) > 0; j++ {
+			if q>>uint(j)&1 == 1 {
+				s.place(x, e+j)
+				placed = true
+			}
+		}
+		if placed {
+			s.restructure()
+			s.startWindow()
+		}
+		if rem > 0 {
+			// rem < 2^e ≤ 2^winExp (the rate only coarsens), so the residue
+			// fits in the fresh window as one span of equal items.
+			if s.winPick < rem {
+				s.winVal = x
+			}
+			s.winSeen = rem
+		}
+	}
+	s.viewDirty = true
+}
+
+// WeightedUpdateBatch processes parallel item and weight slices.
+func (s *Summary[T]) WeightedUpdateBatch(xs []T, ws []int64) {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("fo: WeightedUpdateBatch length mismatch: %d items, %d weights", len(xs), len(ws)))
+	}
+	for i, x := range xs {
+		s.WeightedUpdate(x, ws[i])
+	}
+}
+
+func (s *Summary[T]) touchExtremes(x T) {
+	if !s.hasMin || s.cmp(x, s.min) < 0 {
+		s.min = x
+		s.hasMin = true
+	}
+	if !s.hasMax || s.cmp(x, s.max) > 0 {
+		s.max = x
+		s.hasMax = true
+	}
+}
+
+// place appends one item of weight 2^e into the cascade. Items below the
+// current bottom rate (the cascade folded since their window opened) are
+// resampled up to the bottom level by an unbiased survival coin.
+func (s *Summary[T]) place(v T, e int) {
+	if e < s.base {
+		if s.rng.Int63n(int64(1)<<uint(s.base-e)) != 0 {
+			return
+		}
+		e = s.base
+	}
+	idx := e - s.base
+	for len(s.levels) <= idx {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[idx] = append(s.levels[idx], v)
+}
+
+// restructure restores the two size invariants: every level holds fewer than
+// b items (full blocks compact upward) and at most maxL levels are live
+// (excess folds the bottom level up and doubles the sampler rate).
+func (s *Summary[T]) restructure() {
+	for {
+		changed := false
+		for i := 0; i < len(s.levels); i++ {
+			if len(s.levels[i]) >= s.b {
+				s.compact(i)
+				changed = true
+			}
+		}
+		for len(s.levels) > 0 && len(s.levels[len(s.levels)-1]) == 0 {
+			s.levels = s.levels[:len(s.levels)-1]
+		}
+		if len(s.levels) > s.maxL && s.base < maxBaseExp {
+			s.foldBottom()
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// compact halves level i into level i+1: sort, keep a random parity at
+// double weight, and promote an odd leftover with probability 1/2 — both
+// unbiased, each contributing ±2^(base+i)/2 per straddled query with equal
+// signs equally likely.
+func (s *Summary[T]) compact(i int) {
+	lv := s.levels[i]
+	sort.Slice(lv, func(a, b int) bool { return s.cmp(lv[a], lv[b]) < 0 })
+	parity := int(s.rng.Int63n(2))
+	if i+1 >= len(s.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	up := s.levels[i+1]
+	m := len(lv)
+	for j := 0; j+1 < m; j += 2 {
+		up = append(up, lv[j+parity])
+	}
+	if m%2 == 1 && s.rng.Int63n(2) == 0 {
+		// Unpaired leftover: promote with probability 1/2.
+		up = append(up, lv[m-1])
+	}
+	s.levels[i+1] = up
+	s.levels[i] = lv[:0]
+}
+
+// foldBottom halves level 0 into level 1 regardless of occupancy, drops the
+// bottom slot, and doubles the sampler rate.
+func (s *Summary[T]) foldBottom() {
+	s.compact(0)
+	copy(s.levels, s.levels[1:])
+	s.levels = s.levels[:len(s.levels)-1]
+	s.base++
+}
+
+// Count returns the total weight processed.
+func (s *Summary[T]) Count() int { return int(s.n) }
+
+// StoredCount returns the number of retained items.
+func (s *Summary[T]) StoredCount() int {
+	c := 0
+	for _, lv := range s.levels {
+		c += len(lv)
+	}
+	if s.winSeen > s.winPick {
+		c++
+	}
+	return c
+}
+
+// StoredItems returns the retained items in non-decreasing order.
+func (s *Summary[T]) StoredItems() []T {
+	out := make([]T, 0, s.StoredCount())
+	for _, lv := range s.levels {
+		out = append(out, lv...)
+	}
+	if s.winSeen > s.winPick {
+		out = append(out, s.winVal)
+	}
+	sort.Slice(out, func(a, b int) bool { return s.cmp(out[a], out[b]) < 0 })
+	return out
+}
+
+// RetainedBytes reports the heap bytes retained by item storage, counting
+// allocated capacity: the level slots, the cached query view, and the fixed
+// window/extremes fields.
+func (s *Summary[T]) RetainedBytes() int {
+	var t T
+	itemBytes := int(sizeofApprox(t))
+	bytes := 0
+	for _, lv := range s.levels {
+		bytes += cap(lv) * itemBytes
+	}
+	bytes += cap(s.view) * (itemBytes + 8)
+	bytes += 3 * itemBytes // winVal, min, max
+	return bytes
+}
+
+// sizeofApprox estimates the in-slot size of T without reflection: 8 bytes
+// for word-sized kinds (float64, int64, pointers like *big.Rat) — every T
+// this repository instantiates.
+func sizeofApprox[T any](T) uintptr { return 8 }
+
+// refresh rebuilds the sorted cumulative-weight view.
+func (s *Summary[T]) refresh() {
+	if !s.viewDirty && s.view != nil {
+		return
+	}
+	type entry struct {
+		v T
+		w int64
+	}
+	items := make([]entry, 0, s.StoredCount())
+	for i, lv := range s.levels {
+		w := int64(1) << uint(s.base+i)
+		for _, v := range lv {
+			items = append(items, entry{v, w})
+		}
+	}
+	if s.winSeen > s.winPick {
+		// The open window's representative stands for the winSeen items
+		// consumed so far; its error is bounded by the window width, which
+		// is within the sampler's error budget.
+		items = append(items, entry{s.winVal, s.winSeen})
+	}
+	sort.Slice(items, func(a, b int) bool { return s.cmp(items[a].v, items[b].v) < 0 })
+	if s.view == nil {
+		// Keep the rebuilt view non-nil even when empty, so refresh's guard
+		// short-circuits and concurrent readers stay read-only.
+		s.view = make([]weighted[T], 0, len(items))
+	}
+	s.view = s.view[:0]
+	var cum int64
+	for _, it := range items {
+		cum += it.w
+		s.view = append(s.view, weighted[T]{v: it.v, cum: cum})
+	}
+	s.viewDirty = false
+}
+
+// Query returns an approximate ϕ-quantile. The exact minimum and maximum are
+// tracked out of band, so ϕ=0 and ϕ=1 are answered exactly.
+func (s *Summary[T]) Query(phi float64) (T, bool) {
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	if phi <= 0 && s.hasMin {
+		return s.min, true
+	}
+	if phi >= 1 && s.hasMax {
+		return s.max, true
+	}
+	s.refresh()
+	if len(s.view) == 0 {
+		if s.hasMin {
+			return s.min, true
+		}
+		return zero, false
+	}
+	target := int64(math.Ceil(phi * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	total := s.view[len(s.view)-1].cum
+	if target > total {
+		target = total
+	}
+	i := sort.Search(len(s.view), func(i int) bool { return s.view[i].cum >= target })
+	return s.view[i].v, true
+}
+
+// EstimateRank estimates |{x in stream : x ≤ q}| as the retained weight of
+// items not larger than q.
+func (s *Summary[T]) EstimateRank(q T) int {
+	s.refresh()
+	i := sort.Search(len(s.view), func(i int) bool { return s.cmp(s.view[i].v, q) > 0 })
+	if i == 0 {
+		return 0
+	}
+	return int(s.view[i-1].cum)
+}
+
+// Merge folds other into s as a COMBINE: ε becomes the pairwise maximum and
+// the failure probabilities add (a union bound over the operands' coin
+// flips), recorded honestly in Delta. Levels align by absolute weight
+// exponent, other's open sampler window contributes its representative iff
+// the pre-drawn pick falls inside the consumed prefix (probability
+// winSeen/2^winExp — expected weight winSeen, unbiased), and the cascade is
+// restructured under the merged parameters. other is not modified.
+func (s *Summary[T]) Merge(other *Summary[T]) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.eps > s.eps {
+		s.eps = other.eps
+	}
+	s.delta += other.delta
+	if s.delta >= 1 {
+		s.delta = 0.999999
+	}
+	s.b = BlockSize(s.eps, s.delta)
+	s.maxL = LevelCap(s.eps, s.b)
+	s.n += other.n
+	if other.hasMin {
+		s.touchExtremes(other.min)
+	}
+	if other.hasMax {
+		s.touchExtremes(other.max)
+	}
+	for i, lv := range other.levels {
+		e := other.base + i
+		for _, v := range lv {
+			s.place(v, e)
+		}
+	}
+	if other.winSeen > other.winPick {
+		s.place(other.winVal, other.winExp)
+	}
+	s.restructure()
+	// Materialize the query view now: merged summaries are served to
+	// concurrent readers as sharded snapshots, and a lazy rebuild inside
+	// Query would race.
+	s.viewDirty = true
+	s.refresh()
+	return nil
+}
+
+// Prune shrinks the summary to at most k retained items by folding the
+// bottom level upward, recording the coarsening as ε ← ε + 1/(2k) (the same
+// convention as GK's Prune). k must be positive.
+func (s *Summary[T]) Prune(k int) {
+	if k <= 0 {
+		panic(fmt.Sprintf("fo: prune target %d is not positive", k))
+	}
+	if s.StoredCount() <= k {
+		return
+	}
+	for s.StoredCount() > k && s.base < maxBaseExp {
+		if len(s.levels) == 0 {
+			break
+		}
+		s.foldBottom()
+		s.restructure()
+	}
+	s.eps += 1 / (2 * float64(k))
+	if s.eps > 0.5 {
+		s.eps = 0.5
+	}
+	s.b = BlockSize(s.eps, s.delta)
+	s.maxL = LevelCap(s.eps, s.b)
+	s.restructure()
+	s.viewDirty = true
+}
+
+// State exposes every field of the summary for serialization: the wire
+// format must carry the RNG state and the open sampler window so a restored
+// summary resumes bit-for-bit identically.
+type State[T any] struct {
+	Eps     float64
+	Delta   float64
+	N       int64
+	Base    int
+	Levels  [][]T
+	WinExp  int
+	WinSeen int64
+	WinPick int64
+	WinVal  T
+	RNG     uint64
+	HasMin  bool
+	HasMax  bool
+	Min     T
+	Max     T
+}
+
+// ExportState snapshots the summary. The level slices are deep-copied.
+func (s *Summary[T]) ExportState() State[T] {
+	levels := make([][]T, len(s.levels))
+	for i, lv := range s.levels {
+		levels[i] = append([]T(nil), lv...)
+	}
+	return State[T]{
+		Eps:     s.eps,
+		Delta:   s.delta,
+		N:       s.n,
+		Base:    s.base,
+		Levels:  levels,
+		WinExp:  s.winExp,
+		WinSeen: s.winSeen,
+		WinPick: s.winPick,
+		WinVal:  s.winVal,
+		RNG:     s.src.state,
+		HasMin:  s.hasMin,
+		HasMax:  s.hasMax,
+		Min:     s.min,
+		Max:     s.max,
+	}
+}
+
+// Restore rebuilds a summary from a snapshot, validating every structural
+// invariant the decoder relies on; it never restructures, so encode → decode
+// → encode is the identity and a resumed summary matches an uninterrupted
+// run exactly.
+func Restore[T any](cmp order.Comparator[T], st State[T]) (*Summary[T], error) {
+	if !(st.Eps > 0 && st.Eps <= 0.5) {
+		return nil, fmt.Errorf("fo: restore: eps %v out of (0, 0.5]", st.Eps)
+	}
+	if !(st.Delta > 0 && st.Delta < 1) {
+		return nil, fmt.Errorf("fo: restore: delta %v out of (0, 1)", st.Delta)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("fo: restore: negative count %d", st.N)
+	}
+	if st.Base < 0 || st.Base > maxBaseExp {
+		return nil, fmt.Errorf("fo: restore: base exponent %d out of [0, %d]", st.Base, maxBaseExp)
+	}
+	if st.WinExp < 0 || st.WinExp > st.Base {
+		return nil, fmt.Errorf("fo: restore: window exponent %d out of [0, base=%d]", st.WinExp, st.Base)
+	}
+	width := int64(1) << uint(st.WinExp)
+	if st.WinSeen < 0 || st.WinSeen >= width {
+		return nil, fmt.Errorf("fo: restore: window progress %d out of [0, %d)", st.WinSeen, width)
+	}
+	if st.WinPick < 0 || st.WinPick >= width {
+		return nil, fmt.Errorf("fo: restore: window pick %d out of [0, %d)", st.WinPick, width)
+	}
+	if len(st.Levels) > maxLevelSpan {
+		return nil, fmt.Errorf("fo: restore: %d levels exceed the span cap %d", len(st.Levels), maxLevelSpan)
+	}
+	if st.Base+len(st.Levels) > maxBaseExp+1 {
+		return nil, fmt.Errorf("fo: restore: top exponent %d overflows", st.Base+len(st.Levels)-1)
+	}
+	b := BlockSize(st.Eps, st.Delta)
+	s := &Summary[T]{
+		cmp:       cmp,
+		eps:       st.Eps,
+		delta:     st.Delta,
+		b:         b,
+		maxL:      LevelCap(st.Eps, b),
+		n:         st.N,
+		base:      st.Base,
+		winExp:    st.WinExp,
+		winSeen:   st.WinSeen,
+		winPick:   st.WinPick,
+		winVal:    st.WinVal,
+		src:       &source{state: st.RNG},
+		hasMin:    st.HasMin,
+		hasMax:    st.HasMax,
+		min:       st.Min,
+		max:       st.Max,
+		viewDirty: true,
+	}
+	if len(st.Levels) > s.maxL {
+		return nil, fmt.Errorf("fo: restore: %d levels exceed the cap %d for eps=%v delta=%v",
+			len(st.Levels), s.maxL, st.Eps, st.Delta)
+	}
+	var stored int64
+	s.levels = make([][]T, len(st.Levels))
+	for i, lv := range st.Levels {
+		if len(lv) >= b {
+			return nil, fmt.Errorf("fo: restore: level %d holds %d items, block capacity is %d", i, len(lv), b)
+		}
+		stored += int64(len(lv)) << uint(st.Base+i)
+		s.levels[i] = append([]T(nil), lv...)
+	}
+	if stored > 2*st.N+width {
+		return nil, fmt.Errorf("fo: restore: retained weight %d implausible for count %d", stored, st.N)
+	}
+	s.rng = rand.New(s.src)
+	// Restored summaries may be handed to concurrent readers (store snapshot
+	// loads); materialize the view on this write path.
+	s.refresh()
+	return s, nil
+}

@@ -1,0 +1,391 @@
+package fo_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"quantilelb/internal/checker"
+	"quantilelb/internal/fo"
+	"quantilelb/internal/order"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/testseed"
+)
+
+const (
+	foTestEps   = 0.02
+	foTestDelta = 0.05
+	foTestN     = 30_000
+)
+
+var foWorkloads = []string{"sorted", "reverse", "shuffled", "zipf", "duplicates", "drift"}
+
+func newFO(eps, delta float64, seed int64) *fo.Summary[float64] {
+	return fo.NewFloat64(fo.Config{Eps: eps, Delta: delta, Seed: seed})
+}
+
+func workloadItems(t *testing.T, name string, n int, seed int64) []float64 {
+	t.Helper()
+	gen := stream.NewGenerator(seed)
+	st, err := gen.ByName(name, n)
+	if err != nil {
+		t.Fatalf("workload %s: %v", name, err)
+	}
+	return st.Items()
+}
+
+// medianWorstError feeds items into trials summaries at distinct seeds and
+// returns the median of the per-trial worst rank errors on a 200-point grid.
+func medianWorstError(t *testing.T, items []float64, eps, delta float64, baseSeed int64, trials int) float64 {
+	t.Helper()
+	cmp := order.Floats[float64]()
+	worsts := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		s := newFO(eps, delta, baseSeed+int64(i))
+		rep := checker.VerifyUniform(cmp, s, items, eps, 200)
+		worsts = append(worsts, float64(rep.WorstRankError))
+	}
+	sort.Float64s(worsts)
+	return worsts[len(worsts)/2]
+}
+
+// TestFOMedianAccuracyPerWorkload is the in-package mirror of the statistical
+// gate: on every workload the median-of-trials worst rank error must stay
+// within the exact eps*N allowance — no randomized slack.
+func TestFOMedianAccuracyPerWorkload(t *testing.T) {
+	seed := testseed.For(t, "fo-median-accuracy", 1000)
+	allow := foTestEps*float64(foTestN) + 1
+	for _, name := range foWorkloads {
+		items := workloadItems(t, name, foTestN, 42)
+		med := medianWorstError(t, items, foTestEps, foTestDelta, seed, 15)
+		if med > allow {
+			t.Errorf("%s: median worst rank error %.0f exceeds eps*N = %.0f", name, med, allow)
+		}
+	}
+}
+
+func TestFOEmptyAndSmall(t *testing.T) {
+	s := newFO(0.1, 0.1, 1)
+	if _, ok := s.Query(0.5); ok {
+		t.Fatal("Query on empty summary returned ok")
+	}
+	if s.Count() != 0 || s.StoredCount() != 0 {
+		t.Fatalf("empty summary: Count=%d StoredCount=%d", s.Count(), s.StoredCount())
+	}
+	// Below the block size nothing is compacted or sampled: answers are exact.
+	s = newFO(0.02, 0.1, 1) // block size well above the 50 items fed below
+	for i := 1; i <= 50; i++ {
+		s.Update(float64(i))
+	}
+	for i := 1; i <= 50; i++ {
+		if got := s.EstimateRank(float64(i)); got != i {
+			t.Fatalf("EstimateRank(%d) = %d before any compaction", i, got)
+		}
+	}
+	if v, ok := s.Query(0); !ok || v != 1 {
+		t.Fatalf("Query(0) = %v, %v", v, ok)
+	}
+	if v, ok := s.Query(1); !ok || v != 50 {
+		t.Fatalf("Query(1) = %v, %v", v, ok)
+	}
+}
+
+func TestFOExtremesExact(t *testing.T) {
+	seed := testseed.For(t, "fo-extremes", 7)
+	s := newFO(0.01, 0.05, seed)
+	items := workloadItems(t, "shuffled", foTestN, seed)
+	for _, x := range items {
+		s.Update(x)
+	}
+	lo, hi := items[0], items[0]
+	for _, x := range items {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if v, _ := s.Query(0); v != lo {
+		t.Errorf("Query(0) = %v, want exact minimum %v", v, lo)
+	}
+	if v, _ := s.Query(1); v != hi {
+		t.Errorf("Query(1) = %v, want exact maximum %v", v, hi)
+	}
+}
+
+// TestFOSpaceIndependentOfN pins the headline bound: retained items stay at
+// b*L = O((1/eps) log(1/eps)) no matter how long the stream runs.
+func TestFOSpaceIndependentOfN(t *testing.T) {
+	seed := testseed.For(t, "fo-space", 11)
+	eps, delta := 0.01, 0.01
+	b := fo.BlockSize(eps, delta)
+	l := fo.LevelCap(eps, b)
+	cap := b*l + 1
+	rng := rand.New(rand.NewSource(seed))
+	s := newFO(eps, delta, seed)
+	var atSmall int
+	for i := 0; i < 400_000; i++ {
+		s.Update(rng.Float64())
+		if i == 99_999 {
+			atSmall = s.StoredCount()
+		}
+		if c := s.StoredCount(); c > cap {
+			t.Fatalf("after %d items StoredCount %d exceeds b*L+1 = %d", i+1, c, cap)
+		}
+	}
+	atLarge := s.StoredCount()
+	t.Logf("b=%d L=%d stored@100k=%d stored@400k=%d", b, l, atSmall, atLarge)
+	if float64(atLarge) > 1.5*float64(atSmall)+float64(b) {
+		t.Errorf("retained items grew from %d to %d over 4x the stream: not flat", atSmall, atLarge)
+	}
+}
+
+// TestFOWeightedMatchesExpanded checks the sampling-expanded weighted path
+// against the exact expansion: the weighted summary must answer over the
+// weight-expanded multiset within its guarantee.
+func TestFOWeightedMatchesExpanded(t *testing.T) {
+	seed := testseed.For(t, "fo-weighted", 13)
+	cmp := order.Floats[float64]()
+	rng := rand.New(rand.NewSource(seed))
+	var xs []float64
+	var ws []int64
+	var expanded []float64
+	for len(expanded) < foTestN {
+		x := rng.NormFloat64()
+		w := 1 + rng.Int63n(500)
+		xs = append(xs, x)
+		ws = append(ws, w)
+		for i := int64(0); i < w; i++ {
+			expanded = append(expanded, x)
+		}
+	}
+	allow := foTestEps*float64(len(expanded)) + 1
+	worsts := make([]float64, 0, 15)
+	for i := 0; i < 15; i++ {
+		s := newFO(foTestEps, foTestDelta, seed+int64(i))
+		s.WeightedUpdateBatch(xs, ws)
+		if s.Count() != len(expanded) {
+			t.Fatalf("Count = %d, want total weight %d", s.Count(), len(expanded))
+		}
+		rep := checker.VerifyUniform(cmp, s, expanded, foTestEps, 200)
+		worsts = append(worsts, float64(rep.WorstRankError))
+	}
+	sort.Float64s(worsts)
+	if med := worsts[len(worsts)/2]; med > allow {
+		t.Errorf("weighted ingest: median worst rank error %.0f exceeds eps*W = %.0f", med, allow)
+	}
+}
+
+func TestFOMergeCombine(t *testing.T) {
+	seed := testseed.For(t, "fo-merge", 17)
+	cmp := order.Floats[float64]()
+	items := workloadItems(t, "shuffled", foTestN, seed)
+	allow := foTestEps*float64(len(items)) + 1
+	worsts := make([]float64, 0, 15)
+	for i := 0; i < 15; i++ {
+		a := newFO(foTestEps, foTestDelta, seed+int64(2*i))
+		b := newFO(foTestEps/2, foTestDelta, seed+int64(2*i+1))
+		for _, x := range items[:len(items)/2] {
+			a.Update(x)
+		}
+		for _, x := range items[len(items)/2:] {
+			b.Update(x)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if a.Count() != len(items) {
+			t.Fatalf("merged Count = %d, want %d", a.Count(), len(items))
+		}
+		if a.Epsilon() != foTestEps {
+			t.Fatalf("merged Epsilon = %v, want the pairwise max %v", a.Epsilon(), foTestEps)
+		}
+		if got, want := a.Delta(), 2*foTestDelta; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("merged Delta = %v, want the honest sum %v", got, want)
+		}
+		rep := checker.VerifyUniform(cmp, a, items, foTestEps, 200)
+		worsts = append(worsts, float64(rep.WorstRankError))
+	}
+	sort.Float64s(worsts)
+	if med := worsts[len(worsts)/2]; med > allow {
+		t.Errorf("merged: median worst rank error %.0f exceeds eps*N = %.0f", med, allow)
+	}
+}
+
+func TestFOPrune(t *testing.T) {
+	seed := testseed.For(t, "fo-prune", 19)
+	items := workloadItems(t, "shuffled", foTestN, seed)
+	s := newFO(foTestEps, foTestDelta, seed)
+	for _, x := range items {
+		s.Update(x)
+	}
+	k := s.StoredCount() / 3
+	s.Prune(k)
+	if got := s.StoredCount(); got > k {
+		t.Errorf("after Prune(%d): StoredCount = %d", k, got)
+	}
+	want := foTestEps + 1/(2*float64(k))
+	if math.Abs(s.Epsilon()-want) > 1e-12 {
+		t.Errorf("after Prune(%d): Epsilon = %v, want %v recorded", k, s.Epsilon(), want)
+	}
+	cmp := order.Floats[float64]()
+	rep := checker.VerifyUniform(cmp, s, items, s.Epsilon(), 200)
+	// A single pruned trial stays a statistical guarantee; allow the
+	// documented randomized slack on one draw rather than a median sweep.
+	if float64(rep.WorstRankError) > 3*s.Epsilon()*float64(len(items))+1 {
+		t.Errorf("pruned summary worst rank error %d far beyond %v*N", rep.WorstRankError, s.Epsilon())
+	}
+}
+
+// TestFODeterministicGivenSeed pins the injectable-RNG contract: equal seed
+// and equal input give identical retained state and identical answers.
+func TestFODeterministicGivenSeed(t *testing.T) {
+	items := workloadItems(t, "zipf", foTestN, 23)
+	a := newFO(foTestEps, foTestDelta, 99)
+	b := newFO(foTestEps, foTestDelta, 99)
+	for _, x := range items {
+		a.Update(x)
+		b.Update(x)
+	}
+	if !reflect.DeepEqual(a.ExportState(), b.ExportState()) {
+		t.Fatal("same seed, same input: exported states differ")
+	}
+	for phi := 0.0; phi <= 1.0; phi += 0.01 {
+		va, _ := a.Query(phi)
+		vb, _ := b.Query(phi)
+		if va != vb {
+			t.Fatalf("same seed, same input: Query(%v) differs: %v vs %v", phi, va, vb)
+		}
+	}
+	// A different seed must actually change the coin flips.
+	c := newFO(foTestEps, foTestDelta, 100)
+	for _, x := range items {
+		c.Update(x)
+	}
+	if reflect.DeepEqual(a.ExportState().Levels, c.ExportState().Levels) {
+		t.Error("different seeds retained identical level contents; RNG looks unused")
+	}
+}
+
+// TestFOInjectedRand covers the Config.Rand injection path: the summary
+// draws its initial state from the supplied generator and never touches the
+// global source.
+func TestFOInjectedRand(t *testing.T) {
+	items := workloadItems(t, "shuffled", 5000, 29)
+	mk := func() *fo.Summary[float64] {
+		return fo.NewFloat64(fo.Config{Eps: 0.05, Delta: 0.05, Rand: rand.New(rand.NewSource(31))})
+	}
+	a, b := mk(), mk()
+	for _, x := range items {
+		a.Update(x)
+		b.Update(x)
+	}
+	if !reflect.DeepEqual(a.ExportState(), b.ExportState()) {
+		t.Fatal("fresh injected rand with equal seed: states differ")
+	}
+}
+
+// TestFORestoreResume: an exported-and-restored summary must continue
+// identically to the uninterrupted one — RNG state and the open sampler
+// window travel with the snapshot.
+func TestFORestoreResume(t *testing.T) {
+	items := workloadItems(t, "drift", foTestN, 37)
+	cut := len(items) / 3
+	full := newFO(foTestEps, foTestDelta, 41)
+	head := newFO(foTestEps, foTestDelta, 41)
+	for _, x := range items[:cut] {
+		full.Update(x)
+		head.Update(x)
+	}
+	resumed, err := fo.Restore(order.Floats[float64](), head.ExportState())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, x := range items[cut:] {
+		full.Update(x)
+		resumed.Update(x)
+	}
+	if !reflect.DeepEqual(full.ExportState(), resumed.ExportState()) {
+		t.Fatal("resumed summary diverged from the uninterrupted run")
+	}
+}
+
+func TestFORestoreRejects(t *testing.T) {
+	cmp := order.Floats[float64]()
+	good := func() fo.State[float64] {
+		s := newFO(0.1, 0.1, 1)
+		for i := 0; i < 1000; i++ {
+			s.Update(float64(i))
+		}
+		return s.ExportState()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*fo.State[float64])
+	}{
+		{"eps-zero", func(st *fo.State[float64]) { st.Eps = 0 }},
+		{"eps-large", func(st *fo.State[float64]) { st.Eps = 0.7 }},
+		{"delta-zero", func(st *fo.State[float64]) { st.Delta = 0 }},
+		{"delta-one", func(st *fo.State[float64]) { st.Delta = 1 }},
+		{"negative-n", func(st *fo.State[float64]) { st.N = -1 }},
+		{"base-negative", func(st *fo.State[float64]) { st.Base = -1 }},
+		{"base-huge", func(st *fo.State[float64]) { st.Base = 63 }},
+		{"winexp-above-base", func(st *fo.State[float64]) { st.WinExp = st.Base + 1 }},
+		{"winseen-overflow", func(st *fo.State[float64]) { st.WinSeen = int64(1) << uint(st.WinExp) }},
+		{"winpick-overflow", func(st *fo.State[float64]) { st.WinPick = int64(1) << uint(st.WinExp) }},
+		{"level-overflow", func(st *fo.State[float64]) {
+			big := make([]float64, fo.BlockSize(st.Eps, st.Delta))
+			st.Levels = append(st.Levels, big)
+		}},
+		{"too-many-levels", func(st *fo.State[float64]) {
+			st.Levels = make([][]float64, 65)
+		}},
+		{"weight-implausible", func(st *fo.State[float64]) { st.N = 1 }},
+	}
+	for _, tc := range cases {
+		st := good()
+		tc.mutate(&st)
+		if _, err := fo.Restore(cmp, st); err == nil {
+			t.Errorf("%s: Restore accepted an invalid state", tc.name)
+		}
+	}
+}
+
+func TestFOPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("eps-zero", func() { fo.NewFloat64(fo.Config{Eps: 0}) })
+	expectPanic("eps-large", func() { fo.NewFloat64(fo.Config{Eps: 0.6}) })
+	expectPanic("delta-range", func() { fo.NewFloat64(fo.Config{Eps: 0.1, Delta: 2}) })
+	expectPanic("weight-zero", func() {
+		s := newFO(0.1, 0.1, 1)
+		s.WeightedUpdate(1, 0)
+	})
+	expectPanic("prune-zero", func() {
+		s := newFO(0.1, 0.1, 1)
+		s.Prune(0)
+	})
+}
+
+func TestFOStoredItemsSorted(t *testing.T) {
+	seed := testseed.For(t, "fo-stored-items", 43)
+	s := newFO(0.05, 0.05, seed)
+	for _, x := range workloadItems(t, "shuffled", 20_000, seed) {
+		s.Update(x)
+	}
+	got := s.StoredItems()
+	if len(got) != s.StoredCount() {
+		t.Fatalf("len(StoredItems) = %d, StoredCount = %d", len(got), s.StoredCount())
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("StoredItems not sorted")
+	}
+	if s.RetainedBytes() < 8*s.StoredCount() {
+		t.Errorf("RetainedBytes %d below 8*StoredCount %d", s.RetainedBytes(), 8*s.StoredCount())
+	}
+}

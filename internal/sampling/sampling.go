@@ -27,6 +27,14 @@ type Reservoir[T any] struct {
 	n        int
 	sample   []T
 
+	// sorted caches the sample in query order; sortedStale marks it for
+	// rebuild after a sample mutation. The cache is materialized eagerly at
+	// the end of Merge and Restore so summaries served as shared read
+	// snapshots (the sharded tier's merged views) answer queries without
+	// mutating themselves; single-writer ingest rebuilds it lazily.
+	sorted      []T
+	sortedStale bool
+
 	hasMin, hasMax bool
 	min, max       T
 }
@@ -83,12 +91,14 @@ func (r *Reservoir[T]) Update(x T) {
 	}
 	if len(r.sample) < r.capacity {
 		r.sample = append(r.sample, x)
+		r.sortedStale = true
 		return
 	}
 	// Algorithm R: replace a random slot with probability capacity/n.
 	j := r.rng.Intn(r.n)
 	if j < r.capacity {
 		r.sample[j] = x
+		r.sortedStale = true
 	}
 }
 
@@ -110,10 +120,12 @@ func (r *Reservoir[T]) UpdateBatch(xs []T) {
 		r.n++
 		if len(r.sample) < r.capacity {
 			r.sample = append(r.sample, x)
+			r.sortedStale = true
 			continue
 		}
 		if j := r.rng.Intn(r.n); j < r.capacity {
 			r.sample[j] = x
+			r.sortedStale = true
 		}
 	}
 }
@@ -146,6 +158,7 @@ func (r *Reservoir[T]) WeightedUpdate(x T, w int64) {
 	// Fill phase: copies enter the sample directly until it is full.
 	for w > 0 && len(r.sample) < r.capacity {
 		r.sample = append(r.sample, x)
+		r.sortedStale = true
 		r.n++
 		w--
 	}
@@ -161,6 +174,7 @@ func (r *Reservoir[T]) WeightedUpdate(x T, w int64) {
 		r.n += int(s)
 		w -= s
 		r.sample[r.rng.Intn(r.capacity)] = x
+		r.sortedStale = true
 	}
 }
 
@@ -254,6 +268,8 @@ func (r *Reservoir[T]) Merge(other *Reservoir[T]) error {
 			r.sample = r.sample[:r.capacity]
 		}
 		r.n = other.n
+		r.sortedStale = true
+		r.refreshSorted()
 		return nil
 	}
 	a := append([]T(nil), r.sample...)
@@ -281,6 +297,8 @@ func (r *Reservoir[T]) Merge(other *Reservoir[T]) error {
 	}
 	r.sample = merged
 	r.n += other.n
+	r.sortedStale = true
+	r.refreshSorted()
 	return nil
 }
 
@@ -296,7 +314,7 @@ func (r *Reservoir[T]) Query(phi float64) (T, bool) {
 	if phi >= 1 {
 		return r.max, true
 	}
-	sorted := order.Sorted(r.cmp, r.sample)
+	sorted := r.sortedView()
 	k := int(phi * float64(len(sorted)))
 	if k < 1 {
 		k = 1
@@ -313,7 +331,7 @@ func (r *Reservoir[T]) EstimateRank(q T) int {
 	if r.n == 0 || len(r.sample) == 0 {
 		return 0
 	}
-	sorted := order.Sorted(r.cmp, r.sample)
+	sorted := r.sortedView()
 	le := order.CountLE(r.cmp, sorted, q)
 	return int(math.Round(float64(le) / float64(len(sorted)) * float64(r.n)))
 }
@@ -321,7 +339,7 @@ func (r *Reservoir[T]) EstimateRank(q T) int {
 // StoredItems returns the sampled items (plus min and max if not sampled) in
 // non-decreasing order.
 func (r *Reservoir[T]) StoredItems() []T {
-	items := order.Sorted(r.cmp, r.sample)
+	items := append([]T(nil), r.sortedView()...)
 	if r.hasMin && !order.Contains(r.cmp, items, r.min) {
 		items = order.InsertSorted(r.cmp, items, r.min)
 	}
@@ -346,6 +364,23 @@ func (r *Reservoir[T]) Sample() []T {
 // when the reservoir is empty.
 func (r *Reservoir[T]) Extremes() (min, max T, ok bool) {
 	return r.min, r.max, r.hasMin && r.hasMax
+}
+
+// sortedView returns the sample in non-decreasing order, rebuilding the
+// cached copy only after a mutation. Lazy rebuilds serve the single-writer
+// ingest path; shared read snapshots are materialized by Merge/Restore and
+// never rebuild here.
+func (r *Reservoir[T]) sortedView() []T {
+	r.refreshSorted()
+	return r.sorted
+}
+
+// refreshSorted rebuilds the sorted cache if it is stale.
+func (r *Reservoir[T]) refreshSorted() {
+	if r.sortedStale || (r.sorted == nil && len(r.sample) > 0) {
+		r.sorted = order.Sorted(r.cmp, r.sample)
+		r.sortedStale = false
+	}
 }
 
 // Restore reconstructs a reservoir from previously exported state, validating
@@ -379,5 +414,7 @@ func Restore[T any](cmp order.Comparator[T], capacity, count int, sample []T, mi
 		r.min, r.max = min, max
 		r.hasMin, r.hasMax = true, true
 	}
+	r.sortedStale = true
+	r.refreshSorted()
 	return r, nil
 }

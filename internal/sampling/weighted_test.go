@@ -12,11 +12,12 @@ import (
 
 	"quantilelb/internal/order"
 	"quantilelb/internal/rank"
+	"quantilelb/internal/testseed"
 )
 
 func TestWeightedUpdateWithinEps(t *testing.T) {
 	const n, eps, slack = 3000, 0.05, 3.0
-	rng := rand.New(rand.NewSource(37))
+	rng := rand.New(rand.NewSource(testseed.For(t, "sampling-weighted-stream", 37)))
 	items := make([]float64, n)
 	weights := make([]int64, n)
 	for i := range items {
@@ -53,7 +54,7 @@ func TestWeightedUpdateWithinEps(t *testing.T) {
 // slots, or quantile answers over the weighted distribution would be wrong.
 func TestWeightedHeavyItemOccupancy(t *testing.T) {
 	const capacity = 2000
-	r := New(order.Floats[float64](), capacity, 43)
+	r := New(order.Floats[float64](), capacity, testseed.For(t, "sampling-occupancy", 43))
 	// 100k light items of weight 1, then one item carrying another 100k.
 	for i := 0; i < 100_000; i++ {
 		r.Update(float64(i))
@@ -77,9 +78,10 @@ func TestWeightedHeavyItemOccupancy(t *testing.T) {
 // Algorithm R's acceptance probabilities.
 func TestWeightedSkipMatchesPerCopyRates(t *testing.T) {
 	const capacity, pre, w, trials = 50, 400, 1200, 300
+	base := testseed.For(t, "sampling-skip-vs-percopy", 1)
 	var skipTotal, exactTotal float64
 	for trial := 0; trial < trials; trial++ {
-		r := New(order.Floats[float64](), capacity, int64(trial+1))
+		r := New(order.Floats[float64](), capacity, base+int64(trial))
 		for i := 0; i < pre; i++ {
 			r.Update(float64(i))
 		}
@@ -89,7 +91,7 @@ func TestWeightedSkipMatchesPerCopyRates(t *testing.T) {
 				skipTotal++
 			}
 		}
-		e := New(order.Floats[float64](), capacity, int64(trial+1_000_003))
+		e := New(order.Floats[float64](), capacity, base+int64(trial+1_000_003))
 		for i := 0; i < pre; i++ {
 			e.Update(float64(i))
 		}

@@ -1,0 +1,126 @@
+package sharded
+
+// Torture coverage for the randomized fo family behind the sharded wrapper:
+// fo's Update path mutates the open sampler window and its Merge realigns
+// levels and re-materializes the cached read view, so both must only ever
+// run under the owning shard's lock. Each shard draws its own seed (shared
+// coin flips across shards would correlate the per-shard error), and the
+// merged snapshot's failure probability is the SUM of the shard deltas — the
+// COMBINE accounting — so the accuracy gate here uses the single-run slack
+// convention, not the exact-eps statistical gate (that lives in
+// internal/checker's randomized differential).
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quantilelb/internal/fo"
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/summary"
+	"quantilelb/internal/testseed"
+)
+
+func foFactory(eps, delta float64, seed int64) func() *fo.Summary[float64] {
+	var next atomic.Int64
+	return func() *fo.Summary[float64] {
+		return fo.NewFloat64(fo.Config{Eps: eps, Delta: delta, Seed: seed + next.Add(1)})
+	}
+}
+
+// The sharded wrapper over fo must satisfy the full summary interface.
+var _ summary.Summary[float64] = (*Sharded[float64, *fo.Summary[float64]])(nil)
+
+// TestFOConcurrentBatchIngestion drives writers through fo shards while
+// readers pull merged snapshots, under -race. Afterwards the merged view
+// must hold the exact total weight and answer uniform queries within the
+// single-run randomized slack (3·ε·N + 2: the 3× absorbs one run's
+// δ-probability tail at the fixed seed, the +2 the write-buffer reordering).
+func TestFOConcurrentBatchIngestion(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+		eps       = 0.02
+		delta     = 0.01
+	)
+	base := testseed.For(t, "sharded-fo-torture", 311)
+	s := New(foFactory(eps, delta, base), 8, WithRefreshEvery(5000), WithWriteBuffer(64))
+	all := make([][]float64, writers)
+	for w := range all {
+		rng := rand.New(rand.NewSource(base + int64(w)))
+		items := make([]float64, perWriter)
+		for i := range items {
+			items[i] = float64(w) + rng.Float64()
+		}
+		all[w] = items
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int, items []float64) {
+			defer wg.Done()
+			switch w % 3 {
+			case 0:
+				for i := 0; i < len(items); i += 128 {
+					end := i + 128
+					if end > len(items) {
+						end = len(items)
+					}
+					s.UpdateBatch(items[i:end])
+				}
+			case 1:
+				for _, x := range items {
+					s.Update(x)
+				}
+			default:
+				for _, x := range items {
+					s.WeightedUpdate(x, 1)
+				}
+			}
+		}(w, all[w])
+	}
+	readDone := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readDone:
+					return
+				default:
+					s.Query(0.5)
+					s.EstimateRank(4)
+					s.CDF(2.5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readDone)
+	readers.Wait()
+	s.Refresh()
+
+	n := writers * perWriter
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d (lost items under concurrency)", s.Count(), n)
+	}
+	var flat []float64
+	for _, items := range all {
+		flat = append(flat, items...)
+	}
+	oracle := rank.NewOracle(order.Floats[float64](), flat)
+	allowance := 3*eps*float64(n) + 2
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("query failed after ingestion")
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance {
+			t.Errorf("phi=%v rank error %d exceeds slack allowance %v", phi, e, allowance)
+		}
+	}
+}

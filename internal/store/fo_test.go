@@ -1,0 +1,204 @@
+package store
+
+// Per-key coverage for the randomized fo family: the store's factory hook
+// must hand each key its own independently seeded fo summary at that key's
+// eps, pick up fo's batched and native weighted ingest paths,
+// snapshot/restore/merge it through the KindFO wire format (which carries
+// the generator state, so restored keys resume their runs), and survive the
+// concurrency torture the other families are held to — run under CI's fo
+// -race job.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quantilelb/internal/fo"
+	"quantilelb/internal/order"
+	"quantilelb/internal/rank"
+	"quantilelb/internal/stream"
+	"quantilelb/internal/testseed"
+)
+
+// foKeyFactory seeds each created summary distinctly, as FOFactory does: keys
+// sharing coin flips would correlate their errors.
+func foKeyFactory(delta float64, seed int64) func(eps float64) Summary {
+	var next atomic.Int64
+	return func(eps float64) Summary {
+		return fo.NewFloat64(fo.Config{Eps: eps, Delta: delta, Seed: seed + next.Add(1)})
+	}
+}
+
+// TestFOFactoryBatchesAndSnapshots runs a per-key fo factory through the
+// store: batched and native weighted ingest must both be picked up, the
+// uniform gate holds at the single-run slack, and a snapshot payload restores
+// and keeps merging (fo's free COMBINE).
+func TestFOFactoryBatchesAndSnapshots(t *testing.T) {
+	const eps = 0.02
+	s := New(Config{
+		Eps:     eps,
+		Factory: foKeyFactory(0.01, testseed.For(t, "store-fo-keys", 17)),
+	})
+	gen := stream.NewGenerator(8)
+	items := gen.Shuffled(30_000).Items()
+	s.UpdateBatch("k", items)
+	// Weighted writes route through fo's native weighted path (binary window
+	// decomposition), not the guarded expansion: a heavy run far beyond the
+	// expansion cap must land.
+	if err := s.WeightedUpdate("w", 42.5, 1<<20); err != nil {
+		t.Fatalf("weighted update: %v", err)
+	}
+	if s.Count("w") != 1<<20 {
+		t.Fatalf("weighted count = %d, want %d", s.Count("w"), 1<<20)
+	}
+	oracle := rank.NewOracle(order.Floats[float64](), items)
+	allowance := 3*eps*float64(len(items)) + 1
+	for _, phi := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		got, ok := s.Query("k", phi)
+		if !ok {
+			t.Fatalf("query failed")
+		}
+		if e := oracle.RankError(got, phi); float64(e) > allowance {
+			t.Errorf("fo phi %g error %d exceeds slack allowance %v", phi, e, allowance)
+		}
+	}
+	payload, _, err := s.SnapshotPayload()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r, err := Restore(Config{Eps: eps, Factory: foKeyFactory(0.01, 18)}, payload)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Count("k") != len(items) || r.Count("w") != 1<<20 {
+		t.Fatalf("restored counts = %d/%d", r.Count("k"), r.Count("w"))
+	}
+	// A restored store keeps merging fo payloads per key (free COMBINE).
+	if _, err := r.MergePayload(payload); err != nil {
+		t.Fatalf("merge restored payload: %v", err)
+	}
+	if r.Count("k") != 2*len(items) {
+		t.Fatalf("count after self-merge = %d", r.Count("k"))
+	}
+	// fo tracks the exact extremes out of band, so phi=1 stays exact through
+	// restore and self-merge (the doubled stream has the same maximum).
+	wantMax := oracle.Select(len(items))
+	if got, ok := r.Query("k", 1); !ok || got != wantMax {
+		t.Errorf("max after self-merge = %v, %v; want %v", got, ok, wantMax)
+	}
+}
+
+// TestFOFactoryTortureStableKeys is the store torture cell for the fo
+// factory: concurrent writers over stable and victim keys, snapshotters and
+// a deleter churning alongside, exact counts on keys never deleted, and
+// clean recreation of deleted keys onto fresh summaries.
+func TestFOFactoryTortureStableKeys(t *testing.T) {
+	s := New(Config{
+		Eps:     0.05,
+		Shards:  4,
+		Factory: foKeyFactory(0.05, testseed.For(t, "store-fo-torture", 23)),
+	})
+	const (
+		writers        = 8
+		opsPerWriter   = 2_000
+		stableKeyCount = 5
+		victimKeyCount = 3
+	)
+	stable := make([]string, stableKeyCount)
+	for i := range stable {
+		stable[i] = fmt.Sprintf("stable-%d", i)
+	}
+	victims := make([]string, victimKeyCount)
+	for i := range victims {
+		victims[i] = fmt.Sprintf("victim-%d", i)
+	}
+	var sent [stableKeyCount]atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				ki := (w + i) % stableKeyCount
+				switch i % 4 {
+				case 0, 1:
+					s.Update(stable[ki], float64(i))
+					sent[ki].Add(1)
+				case 2:
+					s.UpdateBatch(stable[ki], []float64{1, 2, 3})
+					sent[ki].Add(3)
+				case 3:
+					s.Update(victims[(w+i)%victimKeyCount], float64(i))
+				}
+			}
+		}(w)
+	}
+	stopCh := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(3)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			for _, k := range stable {
+				s.Query(k, 0.5)
+				s.EstimateRank(k, 1)
+				s.CDF(k, 2)
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			if _, _, err := s.SnapshotPayload(); err != nil {
+				t.Errorf("snapshot under load: %v", err)
+				return
+			}
+			s.Keys()
+			s.Stats()
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			s.Delete(victims[i%victimKeyCount])
+		}
+	}()
+
+	wg.Wait()
+	close(stopCh)
+	aux.Wait()
+
+	for i, k := range stable {
+		if got, want := int64(s.Count(k)), sent[i].Load(); got != want {
+			t.Errorf("stable key %q lost updates: count %d, want %d", k, got, want)
+		}
+	}
+	// Victim keys recreate cleanly onto fresh fo summaries.
+	for _, k := range victims {
+		s.Delete(k)
+		s.Update(k, 42)
+		if s.Count(k) != 1 {
+			t.Errorf("victim key %q did not recreate cleanly: count %d", k, s.Count(k))
+		}
+		if v, ok := s.Query(k, 1); !ok || v != 42 {
+			t.Errorf("victim key %q query after recreate = %v, %v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package testseed centralizes the seeds of randomized-input tests. Every
+// test that feeds pseudo-random data into a summary or store pins a named
+// seed through For, so the exercised stream is fixed across runs, and CI can
+// re-run the whole suite at a different seed with a single flag:
+//
+//	go test ./... -quantile.seed=7
+//
+// The chosen seed is logged next to its name, so a failure in CI is
+// reproducible locally from the log line alone.
+package testseed
+
+import (
+	"flag"
+	"testing"
+)
+
+var override = flag.Int64("quantile.seed", 0,
+	"override the pinned seed of every randomized-input test (0 keeps each test's named default)")
+
+// For returns the seed a randomized-input test should use: the pinned
+// default, unless -quantile.seed overrides it. The decision is logged so the
+// failing configuration can be replayed.
+func For(t testing.TB, name string, def int64) int64 {
+	seed := def
+	if *override != 0 {
+		seed = *override
+	}
+	t.Logf("randomized-input seed %s=%d (replay with -quantile.seed=%d)", name, seed, seed)
+	return seed
+}

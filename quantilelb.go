@@ -7,8 +7,10 @@
 //
 //   - streaming quantile summaries (Greenwald–Khanna and its greedy variant,
 //     MRL, KLL, the multi-level block-buffer summary MLQ, the mergeable
-//     relative-error tail summary REQ, reservoir sampling, biased
-//     low-quantile summaries, and the deliberately space-capped strawman),
+//     relative-error tail summary REQ, the randomized Felber–Ostrovsky
+//     summary FO whose O((1/ε)·log(1/ε)) space beats the deterministic
+//     lower bound, reservoir sampling, biased low-quantile summaries, and
+//     the deliberately space-capped strawman),
 //   - weighted ingestion (UpdateWeighted, WeightedUpdater): pre-counted or
 //     importance-weighted observations ingest in o(w) per item on GK, KLL,
 //     MRL, MLQ, and the reservoir, with rank error at most ε·W over the
@@ -37,6 +39,7 @@ import (
 	"quantilelb/internal/cdf"
 	"quantilelb/internal/core"
 	"quantilelb/internal/encoding"
+	"quantilelb/internal/fo"
 	"quantilelb/internal/gk"
 	"quantilelb/internal/histogram"
 	"quantilelb/internal/kll"
@@ -84,6 +87,7 @@ var (
 	_ Summary = (*window.Summary[float64])(nil)
 	_ Summary = (*mlq.Summary)(nil)
 	_ Summary = (*req.Summary)(nil)
+	_ Summary = (*fo.Summary[float64])(nil)
 	_ Summary = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 
 	// compile-time mergeability checks: every factory NewSharded accepts.
@@ -93,6 +97,7 @@ var (
 	_ summary.Mergeable[*sampling.Reservoir[float64]] = (*sampling.Reservoir[float64])(nil)
 	_ summary.Mergeable[*mlq.Summary]                 = (*mlq.Summary)(nil)
 	_ summary.Mergeable[*req.Summary]                 = (*req.Summary)(nil)
+	_ summary.Mergeable[*fo.Summary[float64]]         = (*fo.Summary[float64])(nil)
 
 	// compile-time weighted-capability checks: every mergeable family and the
 	// sharded wrapper ingest weighted items natively.
@@ -102,6 +107,7 @@ var (
 	_ WeightedUpdater = (*sampling.Reservoir[float64])(nil)
 	_ WeightedUpdater = (*mlq.Summary)(nil)
 	_ WeightedUpdater = (*req.Summary)(nil)
+	_ WeightedUpdater = (*fo.Summary[float64])(nil)
 	_ WeightedUpdater = (*sharded.Sharded[float64, *gk.Summary[float64]])(nil)
 )
 
@@ -175,6 +181,18 @@ func NewMLQ(eps float64) *mlq.Summary { return mlq.NewFloat64(eps) }
 // instead. Its Merge is a free COMBINE (any two req summaries merge,
 // eps_new = max), so it runs under the sharded, keyed, and cluster tiers.
 func NewREQ(eps float64) *req.Summary { return req.NewFloat64(eps) }
+
+// NewFO returns a randomized Felber–Ostrovsky summary (internal/fo): a
+// seeded sampler in front of a cascade of fixed-size blocks, retaining
+// O((1/ε)·log(1/ε)) items independent of the stream length — below the
+// paper's deterministic Ω((1/ε)·log εN) lower bound, which randomization is
+// allowed to beat. Answers are within ε·N except with probability at most
+// delta per query grid. All coin flips derive from seed, so runs are exactly
+// reproducible; its Merge is a free COMBINE (eps_new = max, delta_new = sum),
+// so it runs under the sharded, keyed, and cluster tiers.
+func NewFO(eps, delta float64, seed int64) *fo.Summary[float64] {
+	return fo.NewFloat64(fo.Config{Eps: eps, Delta: delta, Seed: seed})
+}
 
 // NewReservoir returns a reservoir-sampling estimator sized (via the DKW
 // inequality) for accuracy eps with failure probability delta.
@@ -268,6 +286,18 @@ func MLQFactory(eps float64) func() *mlq.Summary {
 // COMBINE merge keeps eps_new = max across shards.
 func REQFactory(eps float64) func() *req.Summary {
 	return func() *req.Summary { return req.NewFloat64(eps) }
+}
+
+// FOFactory returns a factory of randomized Felber–Ostrovsky summaries with
+// accuracy eps and failure probability delta, for use with NewSharded. Each
+// produced summary draws a distinct deterministic seed derived from seed, so
+// shards do not share coin flips; the merged view's delta is the sum of the
+// shard deltas (the COMBINE accounting), so size delta for the shard count.
+func FOFactory(eps, delta float64, seed int64) func() *fo.Summary[float64] {
+	var next atomic.Int64
+	return func() *fo.Summary[float64] {
+		return fo.NewFloat64(fo.Config{Eps: eps, Delta: delta, Seed: seed + next.Add(1)})
+	}
 }
 
 // ReservoirFactory returns a factory of reservoir samplers sized for
@@ -421,6 +451,14 @@ func EncodeREQ(s *req.Summary) ([]byte, error) { return encoding.EncodeREQ(s) }
 // DecodeREQ reconstructs a relative-error summary serialized by EncodeREQ.
 func DecodeREQ(payload []byte) (*req.Summary, error) { return encoding.DecodeREQ(payload) }
 
+// EncodeFO serializes a randomized Felber–Ostrovsky summary, including its
+// generator state and open sampler window, so DecodeFO resumes the run
+// bit-for-bit identically.
+func EncodeFO(s *fo.Summary[float64]) ([]byte, error) { return encoding.EncodeFO(s) }
+
+// DecodeFO reconstructs a randomized summary serialized by EncodeFO.
+func DecodeFO(payload []byte) (*fo.Summary[float64], error) { return encoding.DecodeFO(payload) }
+
 // adapter lifts the public Summary interface to the internal generic one
 // (the method sets are identical).
 type adapter struct{ Summary }
@@ -468,6 +506,7 @@ const (
 	TargetCapped   AttackTarget = "capped"
 	TargetKLL      AttackTarget = "kll"
 	TargetBiased   AttackTarget = "biased"
+	TargetFO       AttackTarget = "fo"
 )
 
 // LowerBoundReport is the distilled outcome of running the paper's
@@ -493,7 +532,7 @@ type LowerBoundReport struct {
 
 // RunLowerBound runs the adversarial construction at recursion level k
 // against a fresh summary of the requested kind. capacity is only used for
-// TargetCapped; seed only for TargetKLL.
+// TargetCapped; seed only for TargetKLL and TargetFO.
 func RunLowerBound(target AttackTarget, eps float64, k, capacity int, seed int64) (*LowerBoundReport, error) {
 	uni := universe.NewRational()
 	cmp := uni.Comparator()
@@ -511,6 +550,10 @@ func RunLowerBound(target AttackTarget, eps float64, k, capacity int, seed int64
 		}
 	case TargetBiased:
 		factory = func() summary.Summary[*big.Rat] { return biased.New(cmp, eps) }
+	case TargetFO:
+		factory = func() summary.Summary[*big.Rat] {
+			return fo.New(cmp, fo.Config{Eps: eps, Delta: fo.DefaultDelta, Seed: seed})
+		}
 	default:
 		return nil, fmt.Errorf("quantilelb: unknown attack target %q", target)
 	}
